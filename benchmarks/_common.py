@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper and prints the
+reproduced series, so ``pytest benchmarks/ --benchmark-only`` leaves a
+readable record of the reproduction next to the timing data.
+
+Scales are chosen so the full suite completes in minutes on a laptop;
+raise ``REPRO_BENCH_SCALE`` to push toward the paper's dataset sizes.
+"""
+
+import os
+
+import pytest
+
+#: Dataset scale factor shared by all figure benchmarks (preset sizes are
+#: 20k/30k/40k objects at scale 1.0).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+#: Queries per (dataset, parameter) cell; the paper uses 50.
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "5"))
+
+#: Timeout for exact algorithms, in seconds (the paper uses 60).
+TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "10"))
+
+
+def run_figure(benchmark, fn, **kwargs):
+    """Benchmark one figure function and print its reproduced series."""
+    result = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    if isinstance(result, tuple) and isinstance(result[0], str):
+        print(result[0])  # table1 returns (text, stats)
+    else:
+        for figure in result:
+            print(figure.render())
+            print()
+    return result

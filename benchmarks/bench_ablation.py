@@ -1,0 +1,62 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* **EXACT's space reduction** — the point of §5 is that the SKECa+ bound
+  shrinks the exhaustive search space; compare EXACT against the
+  unreduced exhaustive baselines (VirbR, brute force) on one workload.
+* **GKG's nearest-holder strategy** — batched per-keyword KD-trees vs the
+  paper's bitmap-pruned bR*-tree descent.
+"""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.baselines.virbr import virbr
+from repro.core.exact import exact
+from repro.core.gkg import gkg
+from repro.core.query import compile_query
+from repro.datasets.queries import generate_queries
+from repro.datasets.synthetic import make_la_like
+
+from _common import SCALE
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    city = make_la_like(scale=SCALE)
+    queries = generate_queries(city, m=5, count=3, seed=6)
+    ctxs = []
+    for q in queries:
+        ctx = compile_query(city, q)
+        ctx.cover_radii  # warm caches so the ablation isolates the search
+        ctxs.append(ctx)
+    return ctxs
+
+
+class TestExactSpaceReduction:
+    def test_exact_with_skeca_bound(self, benchmark, contexts):
+        results = benchmark(lambda: [exact(c) for c in contexts])
+        assert all(g.diameter >= 0 for g in results)
+
+    def test_virbr_tree_enumeration(self, benchmark, contexts):
+        results = benchmark(lambda: [virbr(c) for c in contexts])
+        assert all(g.diameter >= 0 for g in results)
+
+    def test_bruteforce_unreduced(self, benchmark, contexts):
+        results = benchmark(lambda: [brute_force_optimal(c) for c in contexts])
+        assert all(g.diameter >= 0 for g in results)
+
+    def test_all_agree(self, contexts):
+        for ctx in contexts:
+            a = exact(ctx).diameter
+            b = virbr(ctx).diameter
+            assert abs(a - b) < 1e-6
+
+
+class TestGkgStrategies:
+    def test_gkg_kdtree(self, benchmark, contexts):
+        results = benchmark(lambda: [gkg(c, method="kdtree") for c in contexts])
+        assert all(len(g) >= 1 for g in results)
+
+    def test_gkg_brtree(self, benchmark, contexts):
+        results = benchmark(lambda: [gkg(c, method="brtree") for c in contexts])
+        assert all(len(g) >= 1 for g in results)

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the substrate operations behind the algorithms.
+
+Not a paper figure — these pin the cost of the primitives (minimum
+covering circle, circleScan, index queries) so substrate regressions are
+visible independently of the figure-level numbers.
+"""
+
+import random
+
+import pytest
+
+from repro.core.circlescan import circle_scan
+from repro.core.query import compile_query
+from repro.datasets.queries import generate_queries
+from repro.datasets.synthetic import make_la_like
+from repro.geometry.mcc import minimum_covering_circle
+from repro.index.rstar import RStarTree
+
+from _common import SCALE
+
+
+@pytest.fixture(scope="module")
+def city():
+    return make_la_like(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def ctx(city):
+    (query,) = generate_queries(city, m=6, count=1, seed=4)
+    context = compile_query(city, query)
+    context.cover_radii  # warm the per-query caches
+    return context
+
+
+def test_minimum_covering_circle_1k_points(benchmark):
+    rng = random.Random(0)
+    pts = [(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(1000)]
+    circle = benchmark(minimum_covering_circle, pts)
+    assert circle.r > 0
+
+
+def test_rstar_bulk_load_10k(benchmark):
+    rng = random.Random(1)
+    records = [
+        (i, rng.uniform(0, 1e4), rng.uniform(0, 1e4)) for i in range(10_000)
+    ]
+    tree = benchmark(RStarTree.bulk_load, records, 100)
+    assert len(tree) == 10_000
+
+
+def test_rstar_range_query(benchmark, city):
+    tree = city.brtree()
+
+    def query():
+        return sum(1 for _ in tree.range_circle(20_000, 20_000, 3_000))
+
+    benchmark(query)
+
+
+def test_circle_scan_mid_diameter(benchmark, ctx):
+    # Find a diameter at which the scan succeeds: the coverage radius is
+    # necessary but not sufficient (the group must also fit the circle),
+    # so double until the scan hits.
+    pole = int(ctx.cover_radii.argmin())
+    diameter = float(ctx.cover_radii[pole]) * 1.5 + 1e-9
+    while circle_scan(ctx, pole, diameter) is None:
+        diameter *= 2.0
+
+    result = benchmark(circle_scan, ctx, pole, diameter)
+    assert result is not None
+
+
+def test_query_context_compilation(benchmark, city):
+    (query,) = generate_queries(city, m=6, count=1, seed=9)
+
+    benchmark(compile_query, city, query)

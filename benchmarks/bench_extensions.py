@@ -1,0 +1,67 @@
+"""Benches for the beyond-paper extensions (not paper figures).
+
+* top-k mCK: cost of k sequential diversified answers vs one answer;
+* distributed mCK: makespan vs centralized on the same workload, plus the
+  communication bill.
+"""
+
+import pytest
+
+from repro.core.engine import MCKEngine
+from repro.datasets.queries import generate_queries
+from repro.datasets.synthetic import make_la_like
+from repro.distributed import DistributedMCKEngine
+from repro.extensions import top_k_mck
+
+from _common import SCALE
+
+
+@pytest.fixture(scope="module")
+def city():
+    return make_la_like(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def queries(city):
+    return generate_queries(city, m=4, count=3, seed=13)
+
+
+class TestTopK:
+    def test_top1(self, benchmark, city, queries):
+        groups = benchmark(
+            lambda: [top_k_mck(city, q.keywords, k=1) for q in queries]
+        )
+        assert all(len(g) == 1 for g in groups)
+
+    def test_top3_disjoint(self, benchmark, city, queries):
+        groups = benchmark(
+            lambda: [top_k_mck(city, q.keywords, k=3) for q in queries]
+        )
+        for per_query in groups:
+            diameters = [g.diameter for g in per_query]
+            assert diameters == sorted(diameters)
+
+
+class TestDistributed:
+    def test_centralized_exact(self, benchmark, city, queries):
+        engine = MCKEngine(city)
+        benchmark(
+            lambda: [engine.query(q.keywords, algorithm="EXACT") for q in queries]
+        )
+
+    def test_distributed_9_workers(self, benchmark, city, queries):
+        engine = DistributedMCKEngine(city, n_workers=9)
+        results = benchmark(
+            lambda: [engine.query(q.keywords) for q in queries]
+        )
+        central = MCKEngine(city)
+        for q, r in zip(queries, results):
+            reference = central.query(q.keywords, algorithm="EXACT")
+            assert abs(r.group.diameter - reference.diameter) < 1e-9
+        makespan = sum(r.makespan_seconds for r in results)
+        total = sum(r.total_compute_seconds for r in results)
+        print(
+            f"\n  distributed: makespan {makespan * 1e3:.1f} ms, "
+            f"cluster-seconds {total * 1e3:.1f} ms, "
+            f"bytes {sum(r.bytes_shipped for r in results)}"
+        )

@@ -1,0 +1,40 @@
+"""Figure 10: varying the optimal-group diameter bound (LA, TW).
+
+Paper shape: GKG's runtime is flat in the bound; SKECa+ slows as the
+bound grows (larger sweeping areas); both stay near-optimal.  EXACT beats
+VirbR on common successes and keeps a higher success rate; success rates
+drop for both as the bound grows.
+"""
+
+import math
+
+from repro.experiments.figures import fig10_vary_diameter
+
+from _common import QUERIES, SCALE, TIMEOUT, run_figure
+
+
+def test_fig10_vary_diameter_bound(benchmark):
+    figures = run_figure(
+        benchmark,
+        fig10_vary_diameter,
+        dataset_names=("LA", "TW"),
+        scale=SCALE,
+        queries_per_set=QUERIES,
+        bounds=(0.10, 0.15, 0.20, 0.25, 0.30),
+        timeout=TIMEOUT,
+    )
+
+    by_id = {f.figure_id: f for f in figures}
+    for name in ("LA", "TW"):
+        ratio = by_id[f"Fig10-approx-ratio-{name}"]
+        for algo, values in ratio.series.items():
+            for r in values:
+                if not math.isnan(r):
+                    assert r <= 2.0 + 1e-9, (name, algo, r)
+
+        success = by_id[f"Fig10-success-{name}"]
+        for algo, values in success.series.items():
+            assert all(0.0 <= v <= 1.0 for v in values)
+        # EXACT's success rate dominates VirbR's on every bound.
+        for e, v in zip(success.series["EXACT"], success.series["VirbR"]):
+            assert e >= v - 1e-9

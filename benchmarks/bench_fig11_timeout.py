@@ -1,0 +1,29 @@
+"""Figure 11: varying the timeout threshold (LA, 30% diameter bound).
+
+Paper shape: EXACT solves most queries within the smallest threshold and
+always beats VirbR on both success rate and common-success runtime;
+both success rates rise with the threshold.
+"""
+
+from repro.experiments.figures import fig11_vary_timeout
+
+from _common import QUERIES, SCALE, run_figure
+
+
+def test_fig11_vary_timeout(benchmark):
+    runtime, success = run_figure(
+        benchmark,
+        fig11_vary_timeout,
+        scale=SCALE,
+        queries_per_set=QUERIES + 3,
+        timeouts=(0.25, 0.5, 1.0, 2.0, 4.0),
+    )
+
+    for algo in ("EXACT", "VirbR"):
+        values = success.series[algo]
+        # Success rate is monotone in the threshold.
+        for lo, hi in zip(values, values[1:]):
+            assert hi >= lo - 1e-9
+    # EXACT's success rate dominates VirbR's at every threshold.
+    for e, v in zip(success.series["EXACT"], success.series["VirbR"]):
+        assert e >= v - 1e-9

@@ -1,0 +1,38 @@
+"""Figure 13: scalability on growing TW-like datasets (1x .. 5x).
+
+Paper shape (1M–5M tweets): GKG and SKECa+ scale gracefully; EXACT
+scales well; VirbR degrades by orders of magnitude; SKECa+ stays nearly
+optimal throughout.  Our sizes follow the same 1:5 progression at reduced
+absolute scale.
+"""
+
+import math
+
+from repro.experiments.figures import fig13_scalability
+
+from _common import QUERIES, SCALE, TIMEOUT, run_figure
+
+
+def test_fig13_scalability(benchmark):
+    base = SCALE / 2
+    runtime, ratio = run_figure(
+        benchmark,
+        fig13_scalability,
+        scales=(base, 2 * base, 3 * base, 4 * base, 5 * base),
+        queries_per_set=QUERIES,
+        timeout=TIMEOUT,
+    )
+
+    # Sizes follow the 1:5 progression.
+    sizes = runtime.x_values
+    assert sizes == sorted(sizes)
+    assert sizes[-1] >= 4.5 * sizes[0]
+
+    # SKECa+ remains nearly optimal at every size.
+    for r in ratio.series["SKECa+"]:
+        if not math.isnan(r):
+            assert r <= 2 / math.sqrt(3) + 0.01 + 1e-9
+
+    # GKG stays cheap: under 10x its smallest-size cost at 5x data.
+    gkg = [v for v in runtime.series["GKG"] if not math.isnan(v)]
+    assert gkg[-1] <= max(10 * gkg[0], 0.05)

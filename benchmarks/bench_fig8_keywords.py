@@ -1,0 +1,40 @@
+"""Figure 8: varying the number of query keywords m (NY, LA, TW).
+
+Paper shape: GKG fastest and least accurate; SKECa+ nearly optimal;
+EXACT faster than VirbR (by an order of magnitude for m >= 4 at the
+paper's scale); ASGK / ASGKa dominated.
+"""
+
+import math
+
+from repro.experiments.figures import fig8_vary_keywords
+
+from _common import QUERIES, SCALE, TIMEOUT, run_figure
+
+
+def test_fig8_vary_keywords(benchmark):
+    figures = run_figure(
+        benchmark,
+        fig8_vary_keywords,
+        dataset_names=("NY", "LA", "TW"),
+        scale=SCALE,
+        ms=(2, 4, 6, 8, 10),
+        queries_per_set=QUERIES,
+        timeout=TIMEOUT,
+    )
+
+    for fig in figures:
+        if "ratio" not in fig.figure_id:
+            continue
+        # Exact methods report ratio 1 wherever they finished.
+        for algo in ("EXACT", "VirbR", "ASGK"):
+            for r in fig.series.get(algo, []):
+                if not math.isnan(r):
+                    assert abs(r - 1.0) < 1e-6, (fig.figure_id, algo, r)
+        # SKECa+ within its guarantee; GKG within 2.
+        for r in fig.series["SKECa+"]:
+            if not math.isnan(r):
+                assert r <= 2 / math.sqrt(3) + 0.01 + 1e-9
+        for r in fig.series["GKG"]:
+            if not math.isnan(r):
+                assert r <= 2.0 + 1e-9

@@ -1,0 +1,22 @@
+"""Table 1: dataset properties (objects, unique words, total words).
+
+Paper values (full crawls):  NY 485,059 / 116,546 / 1,143,013;
+LA 724,952 / 161,489 / 1,833,486; TW 1,000,100 / 487,552 / 5,170,495.
+The synthetic presets reproduce the unique/total-word ratios at reduced
+scale (see DESIGN.md §3).
+"""
+
+from repro.experiments.figures import table1_datasets
+
+from _common import SCALE, run_figure
+
+
+def test_table1_dataset_properties(benchmark):
+    text, stats = run_figure(benchmark, table1_datasets, scale=SCALE)
+    by_name = {s.name: s for s in stats}
+
+    # Paper-shape assertions: TW has the longest texts and the biggest
+    # vocabulary relative to its size; LA is larger than NY.
+    assert by_name["TW-like"].words_per_object > by_name["NY-like"].words_per_object
+    assert by_name["TW-like"].unique_ratio > by_name["NY-like"].unique_ratio
+    assert by_name["LA-like"].n_objects > by_name["NY-like"].n_objects

@@ -1,0 +1,55 @@
+"""Experiment-harness walkthrough: reproduce a paper figure interactively.
+
+Shows the moving parts the benchmark suite wires together — synthetic
+datasets (Table 1 substitutes), the §6.1 query generator, the timed
+runner with the paper's success-rate censoring, and the per-figure entry
+points.
+
+Run with::
+
+    python examples/benchmark_walkthrough.py
+"""
+
+from repro.datasets import generate_queries, make_la_like, table1_stats
+from repro.experiments import ExperimentRunner, fig7_vary_epsilon, summarize
+
+
+def main() -> None:
+    # 1. A scaled-down LA-like dataset (see DESIGN.md §3 for why synthetic).
+    dataset = make_la_like(scale=0.05)
+    (stats,) = table1_stats([dataset])
+    print(
+        f"dataset: {stats.name}, {stats.n_objects} objects, "
+        f"{stats.unique_words} unique words, "
+        f"{stats.words_per_object:.2f} words/object\n"
+    )
+
+    # 2. Queries per the paper's §6.1 recipe: diameter-bounded circles,
+    #    frequency-weighted term sampling.
+    queries = generate_queries(
+        dataset, m=6, count=5, diameter_fraction=0.2, seed=1
+    )
+    print("query sample:", ", ".join(queries[0].keywords))
+
+    # 3. Run four algorithms under a timeout; ratios use the exact optimum.
+    runner = ExperimentRunner(dataset, epsilon=0.01)
+    measurements = runner.run_suite(
+        ["GKG", "SKECa+", "EXACT", "VirbR"], queries, timeout=30.0
+    )
+    print("\nper-algorithm summary (5 queries):")
+    for s in summarize(measurements):
+        ratio = f"{s.mean_ratio:.4f}" if s.mean_ratio is not None else "-"
+        print(
+            f"  {s.algorithm:7s} runtime {s.mean_runtime * 1e3:8.2f} ms   "
+            f"ratio {ratio}   success {s.success_rate:.0%}"
+        )
+
+    # 4. Or regenerate a full paper figure in one call.
+    print("\nregenerating Figure 7 (epsilon study), tiny scale:")
+    for figure in fig7_vary_epsilon(scale=0.03, queries_per_set=3):
+        print()
+        print(figure.render())
+
+
+if __name__ == "__main__":
+    main()

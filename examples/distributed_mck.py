@@ -1,0 +1,65 @@
+"""Distributed mCK — the paper's §8 future work, simulated.
+
+Splits a city across a grid of workers and answers mCK queries with the
+two-round protocol of ``repro.distributed``: a cheap local-bound round
+(GKG per partition) fixes the halo width, then every worker solves EXACT
+on its core+halo view and the coordinator keeps the global minimum.  The
+result is provably identical to the centralized answer; the interesting
+part is the accounting — replication, messages, and the parallel
+makespan vs the centralized runtime.
+
+Run with::
+
+    python examples/distributed_mck.py
+"""
+
+import time
+
+from repro import MCKEngine
+from repro.datasets import generate_queries, make_la_like
+from repro.distributed import DistributedMCKEngine
+
+
+def main() -> None:
+    dataset = make_la_like(scale=0.08)
+    queries = generate_queries(dataset, m=4, count=4, seed=11)
+    print(f"dataset: {len(dataset)} objects\n")
+
+    central = MCKEngine(dataset)
+    references = {}
+    total_central = 0.0
+    for query in queries:
+        started = time.perf_counter()
+        references[query.keywords] = central.query(
+            query.keywords, algorithm="EXACT"
+        )
+        total_central += time.perf_counter() - started
+    print(f"centralized EXACT: {total_central * 1e3:7.1f} ms for {len(queries)} queries\n")
+
+    for n_workers in (1, 4, 16):
+        distributed = DistributedMCKEngine(dataset, n_workers=n_workers)
+        total_makespan = 0.0
+        total_bytes = 0
+        for query in queries:
+            reference = references[query.keywords]
+            result = distributed.query(query.keywords)
+            assert abs(result.group.diameter - reference.diameter) < 1e-9, (
+                "distributed answer must equal the centralized optimum"
+            )
+            total_makespan += result.makespan_seconds
+            total_bytes += result.bytes_shipped
+
+        print(
+            f"{distributed.n_workers:2d} worker(s): simulated makespan "
+            f"{total_makespan * 1e3:7.1f} ms   shipped {total_bytes / 1024:7.1f} KiB"
+        )
+
+    print(
+        "\nEvery distributed answer matched the centralized EXACT optimum; "
+        "the halo width adapts per query to the GKG bound, which is what "
+        "keeps the protocol exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Locating a photo from its tags — the paper's §1 motivating application.
+
+A photo is tagged with a handful of words but carries no GPS data.
+Issuing an mCK query with the tags over a geo-textual POI database finds
+the tightest group of places that jointly mention all tags; the area of
+that group is the likely shooting location (Zhang et al. [21, 22]).
+
+This example builds a synthetic city, plants a distinctive "neighbourhood"
+whose POIs carry the photo's tags close together, and shows that the mCK
+answer pinpoints it even though each individual tag also appears all over
+the city.
+
+Run with::
+
+    python examples/location_detection.py
+"""
+
+import random
+
+from repro import Dataset, MCKEngine
+from repro.geometry.mcc import minimum_covering_circle
+
+PHOTO_TAGS = ["lighthouse", "fishmarket", "ferry"]
+
+CITY_EXTENT = 10_000.0  # metres
+NEIGHBOURHOOD = (7_600.0, 2_400.0)  # where the photo was actually taken
+
+
+def build_city(seed: int = 7) -> Dataset:
+    rng = random.Random(seed)
+    records = []
+
+    # Background POIs: each photo tag also appears scattered city-wide,
+    # so no single tag gives the location away.
+    generic = ["cafe", "park", "station", "school", "office"]
+    for _ in range(400):
+        x, y = rng.uniform(0, CITY_EXTENT), rng.uniform(0, CITY_EXTENT)
+        tags = [rng.choice(generic)]
+        if rng.random() < 0.10:
+            tags.append(rng.choice(PHOTO_TAGS))
+        records.append((x, y, tags))
+
+    # The harbour neighbourhood: all three tags within ~150 m.
+    nx, ny = NEIGHBOURHOOD
+    records.append((nx, ny, ["lighthouse", "viewpoint"]))
+    records.append((nx + 120, ny + 40, ["fishmarket"]))
+    records.append((nx + 60, ny + 130, ["ferry", "pier"]))
+    return Dataset.from_records(records, name="harbour-city")
+
+
+def main() -> None:
+    dataset = build_city()
+    engine = MCKEngine(dataset)
+
+    print(f"photo tags: {PHOTO_TAGS}")
+    print(f"database  : {len(dataset)} POIs over {CITY_EXTENT / 1000:.0f} km\n")
+
+    group = engine.query(PHOTO_TAGS, algorithm="EXACT")
+    circle = minimum_covering_circle(
+        dataset.location_of(oid) for oid in group.object_ids
+    )
+
+    print(f"detected area : centre ({circle.cx:.0f}, {circle.cy:.0f}) m")
+    print(f"area radius   : {circle.r:.0f} m")
+    print(f"group diameter: {group.diameter:.0f} m")
+    print(f"true location : {NEIGHBOURHOOD}")
+    err = ((circle.cx - NEIGHBOURHOOD[0]) ** 2 + (circle.cy - NEIGHBOURHOOD[1]) ** 2) ** 0.5
+    print(f"error         : {err:.0f} m")
+
+    print("\nmatched POIs:")
+    for obj in group.objects(dataset):
+        print(f"  ({obj.x:7.0f}, {obj.y:7.0f})  {', '.join(sorted(obj.keywords))}")
+
+    assert err < 500, "detection should land in the harbour neighbourhood"
+    print("\nThe tight tag cluster wins over the scattered decoys.")
+
+
+if __name__ == "__main__":
+    main()

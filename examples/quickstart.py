@@ -1,0 +1,54 @@
+"""Quickstart: build a dataset, run every mCK algorithm, compare answers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Dataset, MCKEngine
+
+# A handful of geo-textual objects: (x, y, keywords).  Coordinates are in
+# metres (any planar frame works; real lat/lon data should be converted
+# with repro.datasets.load_latlon_records first).
+RECORDS = [
+    (100.0, 100.0, ["hotel"]),
+    (130.0, 110.0, ["restaurant", "bar"]),
+    (120.0, 140.0, ["shop"]),
+    (150.0, 135.0, ["shrine"]),
+    (900.0, 900.0, ["hotel", "spa"]),
+    (950.0, 910.0, ["restaurant"]),
+    (910.0, 960.0, ["shop"]),
+    (500.0, 100.0, ["shrine", "museum"]),
+    (110.0, 820.0, ["bar"]),
+    (400.0, 400.0, ["museum"]),
+]
+
+
+def main() -> None:
+    dataset = Dataset.from_records(RECORDS, name="quickstart")
+    engine = MCKEngine(dataset)
+
+    query = ["hotel", "restaurant", "shop", "shrine"]
+    print(f"mCK query: {query}\n")
+
+    for algorithm in ("GKG", "SKEC", "SKECa", "SKECa+", "EXACT"):
+        group = engine.query(query, algorithm=algorithm)
+        members = ", ".join(
+            f"#{o.oid}({'/'.join(sorted(o.keywords))})"
+            for o in group.objects(dataset)
+        )
+        print(
+            f"{algorithm:7s} diameter={group.diameter:8.2f} "
+            f"time={group.elapsed_seconds * 1e3:7.2f} ms  members: {members}"
+        )
+
+    exact = engine.query(query, algorithm="EXACT")
+    print(
+        f"\nThe optimal group has diameter {exact.diameter:.2f}; every "
+        "approximation above is within its proven ratio "
+        "(2 for GKG, 2/sqrt(3)+eps for the SKEC family)."
+    )
+
+
+if __name__ == "__main__":
+    main()

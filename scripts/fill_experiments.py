@@ -1,0 +1,94 @@
+"""Fill EXPERIMENTS.md's MEASURED_* placeholders from bench_output.txt.
+
+Maintainer tool: after a full ``pytest benchmarks/ --benchmark-only -s``
+run captured to bench_output.txt, re-run this script to refresh the
+measured sections of EXPERIMENTS.md.
+
+Usage: python scripts/fill_experiments.py [bench_output.txt] [EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def extract_block(text: str, figure_id: str) -> str:
+    """The rendered ASCII table for one figure id, verbatim."""
+    pattern = re.compile(
+        rf"^== {re.escape(figure_id)}.*?(?=^==|^\.|\Z)", re.M | re.S
+    )
+    match = pattern.search(text)
+    if not match:
+        return f"(block {figure_id} not found in bench output)"
+    return match.group(0).rstrip()
+
+
+def extract_table1_row(text: str, name: str) -> str:
+    match = re.search(rf"^{re.escape(name)}\s+(\S+)\s+(\S+)\s+(\S+)\s+(\S+)", text, re.M)
+    if not match:
+        return "(not found)"
+    objects, unique, total, wpo = match.groups()
+    return f"{objects} objects / {unique} unique / {total} total ({wpo} w/obj)"
+
+
+def extract_ablation(text: str) -> str:
+    rows = []
+    for key in ("test_exact_with_skeca_bound", "test_virbr_tree_enumeration",
+                "test_bruteforce_unreduced"):
+        match = re.search(rf"^{key}\s+([\d,.]+)", text, re.M)
+        rows.append(f"{key}: min {match.group(1)} (units per bench table)"
+                    if match else f"{key}: not found")
+    return "; ".join(rows)
+
+
+def main() -> int:
+    bench_path = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "bench_output.txt"
+    exp_path = Path(sys.argv[2]) if len(sys.argv) > 2 else REPO / "EXPERIMENTS.md"
+    bench = bench_path.read_text(encoding="utf-8")
+    doc = exp_path.read_text(encoding="utf-8")
+
+    replacements = {
+        "MEASURED_T1_NY": extract_table1_row(bench, "NY-like"),
+        "MEASURED_T1_LA": extract_table1_row(bench, "LA-like"),
+        "MEASURED_T1_TW": extract_table1_row(bench, "TW-like"),
+        "MEASURED_FIG7_RATIO": extract_block(bench, "Fig7b"),
+        "MEASURED_FIG8_LA": (
+            extract_block(bench, "Fig8-runtime-LA")
+            + "\n\n"
+            + extract_block(bench, "Fig8-ratio-LA")
+        ),
+        "MEASURED_FIG9": (
+            extract_block(bench, "Fig9a") + "\n\n" + extract_block(bench, "Fig9b")
+        ),
+        "MEASURED_FIG10": (
+            extract_block(bench, "Fig10-exact-runtime-LA")
+            + "\n\n"
+            + extract_block(bench, "Fig10-success-LA")
+        ),
+        "MEASURED_FIG11": (
+            extract_block(bench, "Fig11a") + "\n\n" + extract_block(bench, "Fig11b")
+        ),
+        "MEASURED_FIG12": (
+            extract_block(bench, "Fig12a") + "\n\n" + extract_block(bench, "Fig12d")
+        ),
+        "MEASURED_FIG13": (
+            extract_block(bench, "Fig13a") + "\n\n" + extract_block(bench, "Fig13b")
+        ),
+        "MEASURED_ABLATION": extract_ablation(bench),
+    }
+    for placeholder, value in replacements.items():
+        doc = doc.replace(placeholder, value)
+    exp_path.write_text(doc, encoding="utf-8")
+    missing = [p for p in replacements if p in doc]
+    if missing:
+        print(f"warning: placeholders still present: {missing}")
+    print(f"EXPERIMENTS.md updated from {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

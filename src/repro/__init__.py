@@ -1,0 +1,68 @@
+"""repro — reproduction of the SIGMOD 2015 mCK query paper.
+
+Public API highlights:
+
+* :class:`repro.Dataset` — the geo-textual database.
+* :class:`repro.MCKEngine` — build once, answer mCK queries with GKG,
+  SKEC, SKECa, SKECa+ or EXACT.
+* :mod:`repro.baselines` — VirbR, ASGK/ASGKa and brute force comparators.
+* :mod:`repro.datasets` — synthetic NY/LA/TW-like generators and the
+  paper's query generator.
+* :mod:`repro.experiments` — the harness that regenerates every table and
+  figure of the paper's evaluation.
+"""
+
+from .core import (
+    ALGORITHMS,
+    DEFAULT_EPSILON,
+    SQRT3_FACTOR,
+    Dataset,
+    Deadline,
+    GeoObject,
+    Group,
+    MCKEngine,
+    MCKQuery,
+    QueryContext,
+    compile_query,
+    exact,
+    gkg,
+    skec,
+    skeca,
+    skeca_plus,
+)
+from .exceptions import (
+    AlgorithmTimeout,
+    DatasetError,
+    GeometryError,
+    InfeasibleQueryError,
+    QueryError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_EPSILON",
+    "SQRT3_FACTOR",
+    "Dataset",
+    "Deadline",
+    "GeoObject",
+    "Group",
+    "MCKEngine",
+    "MCKQuery",
+    "QueryContext",
+    "compile_query",
+    "exact",
+    "gkg",
+    "skec",
+    "skeca",
+    "skeca_plus",
+    "AlgorithmTimeout",
+    "DatasetError",
+    "GeometryError",
+    "InfeasibleQueryError",
+    "QueryError",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Comparator algorithms: the prior art the paper evaluates against."""
+
+from .asgk import asgk, asgka, dia_coskq_exact, dia_coskq_greedy
+from .brtree_method import brtree_method
+from .bruteforce import brute_force_optimal
+from .virbr import virbr
+
+__all__ = [
+    "asgk",
+    "brtree_method",
+    "asgka",
+    "dia_coskq_exact",
+    "dia_coskq_greedy",
+    "brute_force_optimal",
+    "virbr",
+]

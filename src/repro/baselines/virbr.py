@@ -1,0 +1,64 @@
+"""VirbR — the virtual bR*-tree exact baseline (Zhang et al., ICDE 2010 [22]).
+
+The best previously known mCK algorithm and the paper's main exact
+comparator.  It performs a top-down exhaustive search over the per-query
+*virtual* bR*-tree: starting from {root}, every combination of nodes whose
+keyword bitmaps jointly cover the query is expanded into combinations of
+their children, level by level, until object-level groups are enumerated;
+the smallest-diameter group wins.  Pruning:
+
+* pairwise MinDist between combination members must stay below the current
+  best diameter;
+* combinations have at most m members (an optimal group never needs more
+  than one object per query keyword);
+* partial combinations whose members plus the remaining pool cannot cover
+  the query are abandoned.
+
+Node-level combinations may include members that add no *new* keyword,
+and keep growing past first bitmap coverage — dropping either case would
+discard subtrees that contain the optimal objects for keywords another
+member merely promises (its bitmap has the keyword, but its own holders
+are far away).  Object-level enumeration is irredundant (every object
+must contribute a new keyword), which is safe because objects are final.
+
+Worst-case O(|O'|^|q|), the complexity the paper quotes for the baseline.
+The search engine itself is shared with the original full-tree method of
+[21] (see :mod:`repro.baselines.brtree_method`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.common import Deadline
+from ..core.query import QueryContext
+from ..core.result import Group
+from ._treesearch import TreeCombinationSearch
+
+__all__ = ["virbr"]
+
+
+def virbr(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
+    """Run the VirbR baseline; returns the optimal group."""
+    deadline = deadline or Deadline.unlimited("VirbR")
+    full = ctx.full_mask
+
+    for row, mask in enumerate(ctx.masks):
+        if mask == full:
+            return Group.from_rows(ctx, [row], algorithm="VirbR")
+
+    tree = ctx.virtual_tree.tree
+    search = TreeCombinationSearch(
+        root=tree.root,
+        node_mask=tree.node_mask,
+        item_mask=tree.item_mask,
+        full_mask=full,
+        deadline=deadline,
+    )
+    search.run()
+    rows = [ctx.row_of(oid) for oid in search.best_items]
+    group = Group.from_rows(ctx, rows, algorithm="VirbR")
+    group.diameter = min(group.diameter, search.best_diameter)
+    group.stats["combinations"] = float(search.combinations)
+    group.stats["groups_evaluated"] = float(search.groups_evaluated)
+    return group

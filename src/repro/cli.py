@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro`` or the ``mck`` script.
+
+Subcommands
+-----------
+``generate``   write a synthetic NY/LA/TW-like dataset to JSON-lines
+``query``      answer one mCK query over a dataset file
+``experiment`` regenerate a paper table/figure (table1, fig7 ... fig14)
+``stats``      print Table-1-style statistics for a dataset file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.engine import MCKEngine
+from .datasets.io import load_jsonl, save_jsonl
+from .datasets.stats import table1_stats
+from .datasets.synthetic import make_la_like, make_ny_like, make_tw_like
+from .experiments import figures
+from .experiments.report import render_rows
+
+_EXPERIMENTS = {
+    "table1": lambda args: _render_table1(args),
+    "fig7": lambda args: figures.fig7_vary_epsilon(scale=args.scale),
+    "fig8": lambda args: figures.fig8_vary_keywords(scale=args.scale),
+    "fig9": lambda args: figures.fig9_skec_vs_skecaplus(scale=args.scale),
+    "fig10": lambda args: figures.fig10_vary_diameter(scale=args.scale),
+    "fig11": lambda args: figures.fig11_vary_timeout(scale=args.scale),
+    "fig12": lambda args: figures.fig12_vary_frequency(scale=args.scale),
+    "fig13": lambda args: figures.fig13_scalability(),
+    "fig14": lambda args: figures.fig14_vary_epsilon_ny_tw(scale=args.scale),
+    "distributed": lambda args: figures.ext_distributed_scaling(scale=args.scale),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mck",
+        description="mCK query reproduction (SIGMOD 2015) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("preset", choices=["NY", "LA", "TW"])
+    gen.add_argument("output", help="output JSON-lines path")
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.set_defaults(handler=_cmd_generate)
+
+    query = sub.add_parser("query", help="answer one mCK query")
+    query.add_argument("dataset", help="JSON-lines dataset path")
+    query.add_argument("keywords", nargs="+", help="the m query keywords")
+    query.add_argument(
+        "--algorithm",
+        default="SKECa+",
+        choices=["GKG", "SKEC", "SKECa", "SKECa+", "EXACT"],
+    )
+    query.add_argument("--epsilon", type=float, default=0.01)
+    query.add_argument("--timeout", type=float, default=None)
+    query.set_defaults(handler=_cmd_query)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=0.05)
+    exp.add_argument(
+        "--save-json",
+        metavar="PATH",
+        default=None,
+        help="also write the figure series to a JSON document",
+    )
+    exp.set_defaults(handler=_cmd_experiment)
+
+    stats = sub.add_parser("stats", help="Table-1-style dataset statistics")
+    stats.add_argument("dataset", help="JSON-lines dataset path")
+    stats.set_defaults(handler=_cmd_stats)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    maker = {"NY": make_ny_like, "LA": make_la_like, "TW": make_tw_like}[args.preset]
+    dataset = maker(scale=args.scale, seed=args.seed)
+    save_jsonl(dataset, args.output)
+    print(
+        f"wrote {len(dataset)} objects "
+        f"({dataset.unique_word_count()} unique words) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    dataset = load_jsonl(args.dataset)
+    engine = MCKEngine(dataset)
+    group = engine.query(
+        args.keywords,
+        algorithm=args.algorithm,
+        epsilon=args.epsilon,
+        timeout=args.timeout,
+    )
+    print(f"algorithm : {args.algorithm}")
+    print(f"diameter  : {group.diameter:.6g}")
+    print(f"elapsed   : {group.elapsed_seconds * 1000:.2f} ms")
+    print(f"group     : {len(group)} objects")
+    for obj in group.objects(dataset):
+        kws = ", ".join(sorted(obj.keywords))
+        print(f"  #{obj.oid} at ({obj.x:.1f}, {obj.y:.1f}) [{kws}]")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = _EXPERIMENTS[args.name](args)
+    if isinstance(result, str):
+        print(result)
+        return 0
+    for figure in result:
+        print(figure.render())
+        print()
+    if args.save_json:
+        from .experiments.persistence import save_figures
+
+        save_figures(result, args.save_json)
+        print(f"saved {len(result)} figure(s) to {args.save_json}")
+    return 0
+
+
+def _render_table1(args) -> str:
+    text, _stats = figures.table1_datasets(scale=args.scale)
+    return text
+
+
+def _cmd_stats(args) -> int:
+    dataset = load_jsonl(args.dataset)
+    rows = [
+        (s.name, s.n_objects, s.unique_words, s.total_words, round(s.words_per_object, 2))
+        for s in table1_stats([dataset])
+    ]
+    print(
+        render_rows(
+            "Dataset statistics",
+            ["Dataset", "Objects", "Unique words", "Total words", "Words/object"],
+            rows,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's contribution: mCK query model and the five algorithms."""
+
+from .common import SQRT3_FACTOR, Deadline
+from .engine import ALGORITHMS, MCKEngine
+from .exact import exact
+from .gkg import gkg
+from .objects import Dataset, GeoObject
+from .query import MCKQuery, QueryContext, compile_query
+from .result import Group
+from .skec import skec
+from .skeca import DEFAULT_EPSILON, skeca
+from .skecaplus import SkecaPlusState, skeca_plus, skeca_plus_state
+
+__all__ = [
+    "SQRT3_FACTOR",
+    "Deadline",
+    "ALGORITHMS",
+    "MCKEngine",
+    "exact",
+    "gkg",
+    "Dataset",
+    "GeoObject",
+    "MCKQuery",
+    "QueryContext",
+    "compile_query",
+    "Group",
+    "skec",
+    "skeca",
+    "DEFAULT_EPSILON",
+    "SkecaPlusState",
+    "skeca_plus",
+    "skeca_plus_state",
+]

@@ -1,0 +1,219 @@
+"""Procedure circleScan and its exhaustive-search variant (paper §4.3.2, §5.1).
+
+Given a pole object ``o`` and a diameter ``D``, a circle of diameter ``D``
+whose boundary passes through ``o`` is rotated around ``o``.  An object at
+distance ``d <= D`` from the pole is inside the rotating closed disc
+exactly while the circle-centre polar angle lies within
+``arccos(d / D)`` of the object's own polar angle (Figure 5 of the paper;
+see :mod:`repro.geometry.sweep` for the derivation).  Maintaining a keyword
+frequency table across the sorted enter/exit events answers, in O(n log n):
+
+* :func:`circle_scan` — does *some* position enclose a group covering all
+  query keywords?  (The binary-search oracle of SKECa / SKECa+.)
+* :func:`circle_scan_candidates` — *every* distinct enclosed set that
+  covers the query, maximal under inclusion.  (The candidate circles that
+  Procedure circleScanSearch of EXACT exhaustively searches.)
+
+Event construction is vectorised over the sweeping area; only the event
+walk itself (early-terminating for :func:`circle_scan`) runs in Python.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .query import QueryContext
+
+__all__ = ["circle_scan", "circle_scan_candidates", "sweeping_area"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def sweeping_area(ctx: QueryContext, pole_row: int, diameter: float) -> np.ndarray:
+    """Rows of O' within (closed) distance ``diameter`` of the pole.
+
+    This is the paper's Figure-4 sweeping area: any object enclosed by some
+    rotation position lies within ``D`` of the pole.
+    """
+    return ctx.pole_cache(pole_row).rows_within(diameter)
+
+
+def _sweep_events(ctx: QueryContext, pole_row: int, diameter: float):
+    """Shared setup: prechecks + vectorised enter/exit event arrays.
+
+    Returns ``None`` when the sweeping area cannot cover the query, else
+    ``(inside_rows, angles, kinds, event_rows)`` where ``inside_rows`` are
+    the rows inside the disc at centre angle 0 (including always-inside
+    rows at the pole itself), and events are sorted by angle with exits
+    (kind 0) before enters (kind 1) on ties.
+    """
+    if diameter < ctx.cover_radii[pole_row] * (1.0 - 1e-12):
+        # Even the whole sweeping area cannot cover the query: the rotation
+        # (paper: "the checking on o is thus avoided") is skipped.
+        return None
+    cache = ctx.pole_cache(pole_row)
+    k = cache.prefix_length(diameter)
+    if k == 0 or cache.prefix_union[k] != ctx.full_mask:
+        return None
+
+    rows = cache.rows[:k]
+    dists = cache.dists[:k]
+    pole = ctx.coords[pole_row]
+
+    # Rows essentially at the pole are inside at every rotation position.
+    moving = dists > max(1e-12, 1e-15 * diameter)
+    always_rows = rows[~moving]
+    mrows = rows[moving]
+    if len(mrows) == 0:
+        return list(map(int, always_rows)), _EMPTY, _EMPTY_KINDS, _EMPTY_ROWS
+
+    pts = ctx.coords[mrows]
+    delta_x = pts[:, 0] - pole[0]
+    delta_y = pts[:, 1] - pole[1]
+    ratio = np.minimum(dists[moving] / diameter, 1.0)
+    beta = np.arccos(ratio)
+    phi = np.arctan2(delta_y, delta_x)
+    enter = np.mod(phi - beta, _TWO_PI)
+    exit_ = np.mod(phi + beta, _TWO_PI)
+
+    # Inside at angle 0: the interval wraps (enter > exit) or starts at 0.
+    wraps = (enter > exit_) | (enter == 0.0)
+    inside_rows = [int(r) for r in always_rows]
+    inside_rows.extend(int(r) for r in mrows[wraps])
+
+    angles = np.concatenate([enter, exit_])
+    kinds = np.concatenate(
+        [np.ones(len(mrows), dtype=np.int8), np.zeros(len(mrows), dtype=np.int8)]
+    )
+    event_rows = np.concatenate([mrows, mrows])
+    order = np.lexsort((kinds, angles))
+    return inside_rows, angles[order], kinds[order], event_rows[order]
+
+
+_EMPTY = np.empty(0, dtype=np.float64)
+_EMPTY_KINDS = np.empty(0, dtype=np.int8)
+_EMPTY_ROWS = np.empty(0, dtype=np.intp)
+
+
+def circle_scan(
+    ctx: QueryContext, pole_row: int, diameter: float
+) -> Optional[Tuple[List[int], float]]:
+    """Find one o-across keywords enclosing circle of diameter ``diameter``.
+
+    Returns ``(rows, theta)`` where ``rows`` are the O' rows enclosed at
+    centre angle ``theta`` (radians around the pole) and together cover all
+    query keywords, or ``None`` when no rotation position works — by
+    Property 1 this also rules out every smaller diameter at this pole.
+    """
+    setup = _sweep_events(ctx, pole_row, diameter)
+    if setup is None:
+        return None
+    inside_rows, angles, kinds, event_rows = setup
+    masks = ctx.masks
+    full = ctx.full_mask
+
+    m = full.bit_length()
+    counts = [0] * m
+    covered = 0
+    inside = set(inside_rows)
+    for r in inside:
+        covered = _add_mask(masks[r], counts, covered)
+    if covered == full:
+        return sorted(inside), 0.0
+
+    for i in range(len(angles)):
+        r = int(event_rows[i])
+        if kinds[i]:  # enter
+            if r in inside:
+                continue
+            inside.add(r)
+            covered = _add_mask(masks[r], counts, covered)
+            if covered == full:
+                return sorted(inside), float(angles[i])
+        else:  # exit
+            if r not in inside:
+                continue
+            inside.discard(r)
+            covered = _remove_mask(masks[r], counts, covered)
+    return None
+
+
+def circle_scan_candidates(
+    ctx: QueryContext, pole_row: int, diameter: float
+) -> List[List[int]]:
+    """All maximal enclosed sets covering the query over the full rotation.
+
+    Unlike :func:`circle_scan`, the sweep continues past the first hit and
+    snapshots the enclosed set at every event position where coverage
+    holds.  Snapshots that are subsets of other snapshots are dropped: the
+    exhaustive search over a superset subsumes the search over its subsets.
+    """
+    setup = _sweep_events(ctx, pole_row, diameter)
+    if setup is None:
+        return []
+    inside_rows, angles, kinds, event_rows = setup
+    masks = ctx.masks
+    full = ctx.full_mask
+
+    m = full.bit_length()
+    counts = [0] * m
+    covered = 0
+    inside = set(inside_rows)
+    for r in inside:
+        covered = _add_mask(masks[r], counts, covered)
+
+    snapshots: set = set()
+    if covered == full:
+        snapshots.add(frozenset(inside))
+    for i in range(len(angles)):
+        r = int(event_rows[i])
+        if kinds[i]:
+            if r in inside:
+                continue
+            inside.add(r)
+            covered = _add_mask(masks[r], counts, covered)
+        else:
+            if r not in inside:
+                continue
+            inside.discard(r)
+            covered = _remove_mask(masks[r], counts, covered)
+        if covered == full:
+            snapshots.add(frozenset(inside))
+
+    return _maximal_sets(snapshots)
+
+
+def _maximal_sets(snapshots) -> List[List[int]]:
+    """Drop snapshots strictly contained in another; return sorted lists."""
+    ordered = sorted(snapshots, key=len, reverse=True)
+    maximal: List[frozenset] = []
+    for candidate in ordered:
+        if any(candidate <= kept for kept in maximal):
+            continue
+        maximal.append(candidate)
+    return [sorted(s) for s in maximal]
+
+
+def _add_mask(mask: int, counts: List[int], covered: int) -> int:
+    while mask:
+        low = mask & -mask
+        bit_pos = low.bit_length() - 1
+        counts[bit_pos] += 1
+        if counts[bit_pos] == 1:
+            covered |= low
+        mask ^= low
+    return covered
+
+
+def _remove_mask(mask: int, counts: List[int], covered: int) -> int:
+    while mask:
+        low = mask & -mask
+        bit_pos = low.bit_length() - 1
+        counts[bit_pos] -= 1
+        if counts[bit_pos] == 0:
+            covered &= ~low
+        mask ^= low
+    return covered

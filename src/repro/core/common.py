@@ -1,0 +1,42 @@
+"""Shared helpers for the algorithm implementations."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..exceptions import AlgorithmTimeout
+
+__all__ = ["Deadline", "SQRT3_FACTOR"]
+
+#: The recurring bound 2/sqrt(3) ≈ 1.1547 (Theorems 4–5, Lemma 2).
+SQRT3_FACTOR = 2.0 / (3.0**0.5)
+
+
+class Deadline:
+    """A cooperative wall-clock budget.
+
+    Algorithms poll :meth:`check` at loop boundaries; exceeding the budget
+    raises :class:`~repro.exceptions.AlgorithmTimeout`, which the experiment
+    harness converts into a "did not finish within threshold" sample — the
+    paper's success-rate methodology (§6.2.3).  A ``None`` budget never
+    fires and costs one attribute check per poll.
+    """
+
+    __slots__ = ("algorithm", "budget", "_expires_at")
+
+    def __init__(self, algorithm: str, budget_seconds: Optional[float] = None):
+        self.algorithm = algorithm
+        self.budget = budget_seconds
+        if budget_seconds is None:
+            self._expires_at = None
+        else:
+            self._expires_at = time.monotonic() + budget_seconds
+
+    def check(self) -> None:
+        if self._expires_at is not None and time.monotonic() > self._expires_at:
+            raise AlgorithmTimeout(self.algorithm, self.budget or 0.0)
+
+    @classmethod
+    def unlimited(cls, algorithm: str = "") -> "Deadline":
+        return cls(algorithm, None)

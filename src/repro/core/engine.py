@@ -1,0 +1,114 @@
+"""High-level facade: build once, query with any algorithm.
+
+:class:`MCKEngine` owns a :class:`~repro.core.objects.Dataset`, compiles
+queries to :class:`~repro.core.query.QueryContext` objects (with a small
+LRU so repeated benchmarking of one query does not rebuild the virtual
+tree), and dispatches to the algorithm implementations by name.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..exceptions import QueryError
+from .common import Deadline
+from .exact import exact
+from .gkg import gkg
+from .objects import Dataset
+from .query import MCKQuery, QueryContext, compile_query
+from .result import Group
+from .skec import skec
+from .skeca import DEFAULT_EPSILON, skeca
+from .skecaplus import skeca_plus
+
+__all__ = ["MCKEngine", "ALGORITHMS"]
+
+#: Canonical algorithm names, as used in the paper's figures.
+ALGORITHMS = ("GKG", "SKEC", "SKECa", "SKECa+", "EXACT")
+
+
+class MCKEngine:
+    """Answer mCK queries over one dataset with the paper's algorithms.
+
+    Example
+    -------
+    >>> dataset = Dataset.from_records([(0, 0, ["hotel"]), (1, 1, ["shop"])])
+    >>> engine = MCKEngine(dataset)
+    >>> group = engine.query(["hotel", "shop"], algorithm="EXACT")
+    >>> sorted(group.object_ids)
+    [0, 1]
+    """
+
+    def __init__(self, dataset: Dataset, context_cache_size: int = 16):
+        dataset.finalize()
+        self.dataset = dataset
+        self._cache_size = max(0, context_cache_size)
+        self._contexts: "OrderedDict[Tuple[str, ...], QueryContext]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+
+    def context(self, query) -> QueryContext:
+        """Compile (or fetch from cache) a query context."""
+        if not isinstance(query, MCKQuery):
+            query = MCKQuery(query)
+        key = query.keywords
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = compile_query(self.dataset, query)
+            if self._cache_size:
+                self._contexts[key] = ctx
+                while len(self._contexts) > self._cache_size:
+                    self._contexts.popitem(last=False)
+        else:
+            self._contexts.move_to_end(key)
+        return ctx
+
+    def query(
+        self,
+        keywords: Sequence[str],
+        algorithm: str = "SKECa+",
+        epsilon: float = DEFAULT_EPSILON,
+        timeout: Optional[float] = None,
+    ) -> Group:
+        """Answer one mCK query.
+
+        Parameters
+        ----------
+        keywords:
+            The m query keywords.
+        algorithm:
+            One of ``GKG``, ``SKEC``, ``SKECa``, ``SKECa+``, ``EXACT``.
+        epsilon:
+            Binary-search tolerance for the SKECa family (paper default 0.01).
+        timeout:
+            Optional wall-clock budget in seconds; exceeding it raises
+            :class:`~repro.exceptions.AlgorithmTimeout`.
+        """
+        ctx = self.context(keywords)
+        runner = self._dispatch(algorithm, epsilon)
+        deadline = Deadline(algorithm, timeout)
+        started = time.perf_counter()
+        group = runner(ctx, deadline)
+        group.elapsed_seconds = time.perf_counter() - started
+        return group
+
+    def _dispatch(
+        self, algorithm: str, epsilon: float
+    ) -> Callable[[QueryContext, Deadline], Group]:
+        name = algorithm.strip().upper().replace("_", "").replace("-", "")
+        table: Dict[str, Callable] = {
+            "GKG": lambda ctx, dl: gkg(ctx, dl),
+            "SKEC": lambda ctx, dl: skec(ctx, dl),
+            "SKECA": lambda ctx, dl: skeca(ctx, epsilon, dl),
+            "SKECA+": lambda ctx, dl: skeca_plus(ctx, epsilon, dl),
+            "SKECAPLUS": lambda ctx, dl: skeca_plus(ctx, epsilon, dl),
+            "EXACT": lambda ctx, dl: exact(ctx, epsilon, dl),
+        }
+        try:
+            return table[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
+            ) from None

@@ -1,0 +1,177 @@
+"""Algorithm GKG — the Greedy Keyword Group 2-approximation (paper §3, Alg. 4).
+
+For every object ``o`` containing the least frequent query keyword
+``t_inf``, GKG assembles the feasible group ``G_o`` consisting of ``o``
+plus, for each keyword ``t`` not yet covered, the object nearest to ``o``
+containing ``t``.  The smallest-diameter ``G_o`` over all holders of
+``t_inf`` is returned; Theorem 2 proves δ(G_gkg) ≤ 2 · δ(G_opt).
+
+Two nearest-holder strategies are provided:
+
+* ``"kdtree"`` (default) — per-keyword KD-trees, with all anchors batched
+  into one vectorised query per keyword;
+* ``"brtree"`` — best-first search on the virtual bR*-tree with bitmap
+  pruning, the paper's original index primitive (§3 uses the same index
+  for all methods; this path exercises it).
+
+Both return groups satisfying the Theorem-2 bound; they may differ only in
+tie-breaking among equidistant holders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import InfeasibleQueryError, QueryError
+from .common import Deadline
+from .query import QueryContext
+from .result import Group
+
+__all__ = ["gkg"]
+
+
+def gkg(
+    ctx: QueryContext,
+    deadline: Optional[Deadline] = None,
+    method: str = "kdtree",
+) -> Group:
+    """Run GKG on a compiled query; returns the greedy group."""
+    deadline = deadline or Deadline.unlimited("GKG")
+    anchor_rows = ctx.rows_with_bit(ctx.t_inf_bit)
+    if not anchor_rows:
+        raise InfeasibleQueryError([ctx.t_inf])
+
+    full = ctx.full_mask
+    for anchor in anchor_rows:
+        if ctx.masks[anchor] == full:
+            # A single object covering everything is optimal (δ = 0).
+            return Group.from_rows(ctx, [anchor], algorithm="GKG")
+
+    if method == "kdtree":
+        best_rows = _best_group_kdtree(ctx, anchor_rows, deadline)
+    elif method == "brtree":
+        best_rows = _best_group_brtree(ctx, anchor_rows, deadline)
+    elif method == "irtree":
+        best_rows = _best_group_irtree(ctx, anchor_rows, deadline)
+    else:
+        raise QueryError(
+            f"unknown GKG method {method!r}; use 'kdtree', 'brtree' or 'irtree'"
+        )
+
+    if best_rows is None:
+        raise InfeasibleQueryError(ctx.query.keywords)
+    group = Group.from_rows(ctx, best_rows, algorithm="GKG")
+    group.stats["anchors"] = float(len(anchor_rows))
+    return group
+
+
+def _best_group_kdtree(
+    ctx: QueryContext, anchor_rows: List[int], deadline: Deadline
+) -> Optional[List[int]]:
+    """Vectorised strategy: one batched KD-tree query per query keyword."""
+    full = ctx.full_mask
+    m = ctx.m
+    anchors = np.asarray(anchor_rows, dtype=np.intp)
+    anchor_pts = ctx.coords[anchors]
+
+    # nearest_row[bit][i] = O' row of the holder of `bit` nearest anchor i.
+    nearest_row: List[Optional[np.ndarray]] = [None] * m
+    for bit_pos in range(m):
+        if all(ctx.masks[a] & (1 << bit_pos) for a in anchor_rows):
+            continue  # every anchor already covers it; lookup never needed
+        tree, holders = ctx.keyword_tree(bit_pos)
+        _d, idx = tree.query(anchor_pts, k=1)
+        nearest_row[bit_pos] = holders[idx]
+
+    best_rows: Optional[List[int]] = None
+    best_diameter = float("inf")
+    for i, anchor in enumerate(anchor_rows):
+        deadline.check()
+        covered = ctx.masks[anchor]
+        group_rows = [anchor]
+        missing = full & ~covered
+        while missing:
+            bit_pos = (missing & -missing).bit_length() - 1
+            lookup = nearest_row[bit_pos]
+            assert lookup is not None  # bit uncovered => lookup was built
+            row = int(lookup[i])
+            group_rows.append(row)
+            covered |= ctx.masks[row]
+            missing = full & ~covered
+        diameter = ctx.group_diameter_rows(group_rows)
+        if diameter < best_diameter:
+            best_diameter = diameter
+            best_rows = group_rows
+    return best_rows
+
+
+def _best_group_irtree(
+    ctx: QueryContext, anchor_rows: List[int], deadline: Deadline
+) -> Optional[List[int]]:
+    """IR-tree strategy: per-node inverted-file descent per keyword."""
+    full = ctx.full_mask
+    tree = ctx.ir_tree()
+
+    best_rows: Optional[List[int]] = None
+    best_diameter = float("inf")
+    for anchor in anchor_rows:
+        deadline.check()
+        ax, ay = ctx.location_of_row(anchor)
+        covered = ctx.masks[anchor]
+        group_rows = [anchor]
+        missing = full & ~covered
+        feasible = True
+        while missing:
+            bit_pos = (missing & -missing).bit_length() - 1
+            entry = tree.nearest_with_term(ax, ay, bit_pos)
+            if entry is None:
+                feasible = False
+                break
+            row = ctx.row_of(entry.item)
+            group_rows.append(row)
+            covered |= ctx.masks[row]
+            missing = full & ~covered
+        if not feasible:
+            continue
+        diameter = ctx.group_diameter_rows(group_rows)
+        if diameter < best_diameter:
+            best_diameter = diameter
+            best_rows = group_rows
+    return best_rows
+
+
+def _best_group_brtree(
+    ctx: QueryContext, anchor_rows: List[int], deadline: Deadline
+) -> Optional[List[int]]:
+    """Index strategy: bitmap-pruned nearest search per uncovered keyword."""
+    full = ctx.full_mask
+    tree = ctx.virtual_tree.tree
+
+    best_rows: Optional[List[int]] = None
+    best_diameter = float("inf")
+    for anchor in anchor_rows:
+        deadline.check()
+        ax, ay = ctx.location_of_row(anchor)
+        covered = ctx.masks[anchor]
+        group_rows = [anchor]
+        missing = full & ~covered
+        feasible = True
+        while missing:
+            bit = missing & -missing
+            entry = tree.nearest_with_mask(ax, ay, bit)
+            if entry is None:
+                feasible = False
+                break
+            row = ctx.row_of(entry.item)
+            group_rows.append(row)
+            covered |= ctx.masks[row]
+            missing = full & ~covered
+        if not feasible:
+            continue
+        diameter = ctx.group_diameter_rows(group_rows)
+        if diameter < best_diameter:
+            best_diameter = diameter
+            best_rows = group_rows
+    return best_rows

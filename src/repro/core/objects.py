@@ -1,0 +1,267 @@
+"""Geo-textual objects and the dataset container.
+
+A :class:`GeoObject` is the paper's ``o``: a 2-D location ``o.λ`` plus a
+keyword set ``o.ψ``.  :class:`Dataset` is the database ``O`` together with
+the shared substrate every algorithm needs — the keyword vocabulary, the
+inverted file, a packed coordinate array, and a lazily built global
+bR*-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..index.bitmap import KeywordVocabulary
+from ..index.brtree import BRStarTree
+from ..index.inverted import InvertedIndex
+
+__all__ = ["GeoObject", "Dataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeoObject:
+    """A geo-textual object: id, location, keyword strings."""
+
+    oid: int
+    x: float
+    y: float
+    keywords: FrozenSet[str]
+
+    @property
+    def location(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def covers(self, terms: Iterable[str]) -> bool:
+        """True when this object alone contains every term."""
+        return all(t in self.keywords for t in terms)
+
+
+class Dataset:
+    """The geo-textual database ``O`` with its query-time substrate.
+
+    Build it once from records; all mCK algorithms then share its inverted
+    file, vocabulary and indexes.  Object ids are the dense range
+    ``0..len-1`` in insertion order.
+    """
+
+    def __init__(self, name: str = "dataset"):
+        self.name = name
+        self.objects: List[GeoObject] = []
+        self.vocabulary = KeywordVocabulary()
+        self.inverted = InvertedIndex()
+        self._term_ids: List[Tuple[int, ...]] = []
+        self._coords: Optional[np.ndarray] = None
+        self._brtree: Optional[BRStarTree] = None
+        self._brtree_fanout = 100
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Tuple[float, float, Iterable[str]]],
+        name: str = "dataset",
+    ) -> "Dataset":
+        """Build from ``(x, y, keywords)`` records and finalize."""
+        ds = cls(name=name)
+        for x, y, keywords in records:
+            ds.add(x, y, keywords)
+        ds.finalize()
+        return ds
+
+    def add(self, x: float, y: float, keywords: Iterable[str]) -> int:
+        """Append one object; returns its id."""
+        if self._finalized:
+            raise DatasetError("dataset already finalized; create a new one")
+        kw = frozenset(str(k) for k in keywords)
+        if not kw:
+            raise DatasetError("objects must carry at least one keyword")
+        oid = len(self.objects)
+        self.objects.append(GeoObject(oid, float(x), float(y), kw))
+        # Intern keywords in sorted order: frozenset iteration order depends
+        # on the process hash seed, and term-id assignment must be stable
+        # for datasets and query workloads to be reproducible across runs.
+        term_ids = tuple(sorted(self.vocabulary.observe(t) for t in sorted(kw)))
+        self._term_ids.append(term_ids)
+        self.inverted.add_object(oid, term_ids)
+        return oid
+
+    def finalize(self) -> None:
+        """Freeze the dataset and pack the coordinate array."""
+        if self._finalized:
+            return
+        self.inverted.finalize()
+        self._coords = np.array(
+            [(o.x, o.y) for o in self.objects], dtype=np.float64
+        ).reshape(len(self.objects), 2)
+        self._finalized = True
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[GeoObject]:
+        return iter(self.objects)
+
+    def __getitem__(self, oid: int) -> GeoObject:
+        return self.objects[oid]
+
+    @property
+    def coords(self) -> np.ndarray:
+        """``(n, 2)`` float64 array of locations (requires finalize())."""
+        if self._coords is None:
+            raise DatasetError("dataset not finalized")
+        return self._coords
+
+    def location_of(self, oid: int) -> Tuple[float, float]:
+        o = self.objects[oid]
+        return (o.x, o.y)
+
+    def term_ids_of(self, oid: int) -> Tuple[int, ...]:
+        """Global term ids of an object's keywords."""
+        return self._term_ids[oid]
+
+    @property
+    def term_ids(self) -> List[Tuple[int, ...]]:
+        """``oid -> tuple of global term ids`` (used by VirtualBRTree.build)."""
+        return self._term_ids
+
+    @property
+    def locations(self):
+        """``oid -> (x, y)`` indexable view (used by VirtualBRTree.build)."""
+        return _LocationView(self)
+
+    def brtree(self, fanout: int = 100) -> BRStarTree:
+        """The dataset-wide bR*-tree, built lazily and cached per fanout."""
+        if self._brtree is None or self._brtree_fanout != fanout:
+            records = (
+                (o.oid, o.x, o.y, _mask_from_ids(self._term_ids[o.oid]))
+                for o in self.objects
+            )
+            self._brtree = BRStarTree.build(records, max_entries=fanout)
+            self._brtree_fanout = fanout
+        return self._brtree
+
+    # ------------------------------------------------------------------ #
+    # Derived datasets
+    # ------------------------------------------------------------------ #
+
+    def sample(self, n: int, seed: int = 0, name: Optional[str] = None) -> "Dataset":
+        """A new dataset of ``n`` objects sampled without replacement.
+
+        The paper's scalability study (§6.2.5) samples its 1M–4M datasets
+        from the 5M crawl; this reproduces that methodology.  Object ids
+        are re-densified in the sample.
+        """
+        if not 0 <= n <= len(self.objects):
+            raise DatasetError(
+                f"cannot sample {n} of {len(self.objects)} objects"
+            )
+        import random as _random
+
+        rng = _random.Random(seed)
+        chosen = sorted(rng.sample(range(len(self.objects)), n))
+        return Dataset.from_records(
+            ((self.objects[i].x, self.objects[i].y, self.objects[i].keywords)
+             for i in chosen),
+            name=name or f"{self.name}-sample{n}",
+        )
+
+    def extended(
+        self,
+        records: Iterable[Tuple[float, float, Iterable[str]]],
+        name: Optional[str] = None,
+    ) -> "Dataset":
+        """A new dataset with ``records`` appended (functional update).
+
+        Post-finalize datasets are deliberately immutable (packed arrays,
+        cached indexes); evolving data is modelled by deriving a new
+        dataset, which shares nothing mutable with its parent.
+        """
+        def chain():
+            for o in self.objects:
+                yield (o.x, o.y, o.keywords)
+            yield from records
+
+        return Dataset.from_records(chain(), name=name or self.name)
+
+    def without(self, object_ids, name: Optional[str] = None) -> "Dataset":
+        """A new dataset with the given object ids removed (re-densified)."""
+        drop = set(int(o) for o in object_ids)
+        return Dataset.from_records(
+            (
+                (o.x, o.y, o.keywords)
+                for o in self.objects
+                if o.oid not in drop
+            ),
+            name=name or self.name,
+        )
+
+    def filter_bbox(
+        self, x1: float, y1: float, x2: float, y2: float, name: Optional[str] = None
+    ) -> "Dataset":
+        """A new dataset restricted to a bounding box (e.g. one city area)."""
+        return Dataset.from_records(
+            (
+                (o.x, o.y, o.keywords)
+                for o in self.objects
+                if x1 <= o.x <= x2 and y1 <= o.y <= y2
+            ),
+            name=name or f"{self.name}-bbox",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table 1 of the paper)
+    # ------------------------------------------------------------------ #
+
+    def unique_word_count(self) -> int:
+        return len(self.vocabulary)
+
+    def total_word_count(self) -> int:
+        return sum(len(o.keywords) for o in self.objects)
+
+    def extent_diameter(self) -> float:
+        """Diameter of the dataset's bounding box diagonal.
+
+        Used by the paper's query generator ("20% of the diameter of the
+        whole dataset", §6.1).
+        """
+        coords = self.coords
+        if len(coords) == 0:
+            return 0.0
+        min_xy = coords.min(axis=0)
+        max_xy = coords.max(axis=0)
+        return float(np.hypot(*(max_xy - min_xy)))
+
+
+def _mask_from_ids(term_ids: Sequence[int]) -> int:
+    mask = 0
+    for tid in term_ids:
+        mask |= 1 << tid
+    return mask
+
+
+class _LocationView:
+    """Adapter exposing ``view[oid] -> (x, y)`` over the packed array."""
+
+    __slots__ = ("_dataset",)
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+
+    def __getitem__(self, oid: int) -> Tuple[float, float]:
+        row = self._dataset.coords[oid]
+        return (float(row[0]), float(row[1]))
+
+    def __len__(self) -> int:
+        return len(self._dataset)

@@ -1,0 +1,275 @@
+"""The mCK query and its per-dataset compiled context.
+
+A raw :class:`MCKQuery` is just the m keyword strings.  Before an algorithm
+runs, the query is *compiled* against a dataset into a
+:class:`QueryContext`: keyword strings become global term ids, objects in
+``O'`` get query-local bitmap masks (bit i = query keyword i), and the
+virtual bR*-tree plus packed coordinate arrays are materialised.  All five
+algorithms and all three baselines consume the same context, which is what
+makes the paper's "same index for all methods" comparison fair (§3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..index.virtual import VirtualBRTree
+from .objects import Dataset
+
+__all__ = ["MCKQuery", "QueryContext", "PoleCache", "compile_query"]
+
+
+class PoleCache:
+    """Distance-sorted view of O' around one pole object.
+
+    The SKEC-family algorithms probe the same pole with many diameters
+    (binary search).  Sorting O' by distance from the pole once makes every
+    subsequent sweeping-area query a ``searchsorted`` + slice, and the
+    prefix-union array answers "can the objects within distance D cover the
+    query?" in O(1) — the precheck that skips most circleScan invocations.
+    """
+
+    __slots__ = ("dists", "rows", "prefix_union")
+
+    def __init__(self, dists: np.ndarray, rows: np.ndarray, prefix_union: np.ndarray):
+        self.dists = dists
+        self.rows = rows
+        self.prefix_union = prefix_union
+
+    def prefix_length(self, radius: float) -> int:
+        """Number of O' objects within (closed) distance ``radius``."""
+        bound = radius * (1.0 + 1e-12) + 1e-18
+        return int(np.searchsorted(self.dists, bound, side="right"))
+
+    def union_within(self, radius: float) -> int:
+        """Keyword union mask of all objects within ``radius`` of the pole."""
+        return self.prefix_union[self.prefix_length(radius)]
+
+    def rows_within(self, radius: float) -> np.ndarray:
+        """O' rows within ``radius`` of the pole, nearest first."""
+        return self.rows[: self.prefix_length(radius)]
+
+
+@dataclass(frozen=True)
+class MCKQuery:
+    """An m-closest-keywords query: a tuple of distinct keywords."""
+
+    keywords: Tuple[str, ...]
+
+    def __init__(self, keywords: Sequence[str]):
+        cleaned = tuple(dict.fromkeys(str(k) for k in keywords))
+        if not cleaned:
+            raise QueryError("query must contain at least one keyword")
+        object.__setattr__(self, "keywords", cleaned)
+
+    @property
+    def m(self) -> int:
+        return len(self.keywords)
+
+    def __iter__(self):
+        return iter(self.keywords)
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+
+class QueryContext:
+    """A query compiled against a dataset.
+
+    Exposes everything the algorithms share:
+
+    * ``relevant_ids`` / ``coords`` / ``masks`` — ``O'`` with row-aligned
+      locations and query-local keyword masks;
+    * ``full_mask`` — coverage target ``(1 << m) - 1``;
+    * ``virtual_tree`` — the per-query virtual bR*-tree;
+    * ``t_inf`` — the least frequent query keyword (GKG §3);
+    * distance helpers over the packed array.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        query: MCKQuery,
+        exclude: Optional[frozenset] = None,
+    ):
+        self.dataset = dataset
+        self.query = query
+        self.excluded_ids = frozenset(exclude or ())
+        self.term_ids = [dataset.vocabulary.id_of(t) for t in query.keywords]
+        self.virtual_tree = VirtualBRTree.build(
+            dataset.inverted,
+            self.term_ids,
+            dataset.locations,
+            dataset.term_ids,
+            query_terms=query.keywords,
+            exclude=self.excluded_ids or None,
+        )
+        self.relevant_ids: List[int] = self.virtual_tree.object_ids
+        self.coords: np.ndarray = self.virtual_tree.coords
+        self.masks: List[int] = self.virtual_tree.masks
+        self.full_mask: int = self.virtual_tree.full_mask
+        self.t_inf: str = dataset.vocabulary.least_frequent(list(query.keywords))
+        self.t_inf_bit: int = 1 << query.keywords.index(self.t_inf)
+        self._pole_caches: "OrderedDict[int, PoleCache]" = OrderedDict()
+        #: Cap on cached poles; 1024 poles over a few thousand relevant
+        #: objects stays well under 100 MB.
+        self._pole_cache_limit = 1024
+        self._cover_radii: Optional[np.ndarray] = None
+        self._keyword_trees: dict = {}
+        self._masks_np: Optional[np.ndarray] = None
+        self._ir_tree = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        return self.query.m
+
+    def __len__(self) -> int:
+        """Number of relevant objects |O'|."""
+        return len(self.relevant_ids)
+
+    def row_of(self, oid: int) -> int:
+        return self.virtual_tree.row_of(oid)
+
+    def mask_of_row(self, row: int) -> int:
+        return self.masks[row]
+
+    def location_of_row(self, row: int) -> Tuple[float, float]:
+        return (float(self.coords[row, 0]), float(self.coords[row, 1]))
+
+    def rows_with_bit(self, bit: int) -> List[int]:
+        """Rows of O' whose mask has ``bit`` set (e.g. holders of t_inf)."""
+        return [row for row, mask in enumerate(self.masks) if mask & bit]
+
+    def rows_within(self, cx: float, cy: float, r: float) -> np.ndarray:
+        return self.virtual_tree.rows_within(cx, cy, r)
+
+    def union_mask(self, rows) -> int:
+        return self.virtual_tree.union_mask(rows)
+
+    def covers(self, rows) -> bool:
+        return self.virtual_tree.covers_query(rows)
+
+    @property
+    def cover_radii(self) -> np.ndarray:
+        """Per-pole coverage radius (computed lazily, once per query).
+
+        ``cover_radii[row]`` is the largest over the m query keywords of
+        the distance from pole ``row`` to its nearest holder of that
+        keyword.  A closed disc of diameter D around the pole can enclose a
+        covering group iff ``D >= cover_radii[row]`` — the O(1) precheck
+        that lets circleScan skip hopeless (pole, diameter) probes without
+        touching the sweeping area.
+        """
+        if self._cover_radii is None:
+            radii = np.zeros(len(self.relevant_ids), dtype=np.float64)
+            for bit_pos in range(self.m):
+                tree, _holders = self.keyword_tree(bit_pos)
+                nearest, _idx = tree.query(self.coords, k=1)
+                np.maximum(radii, nearest, out=radii)
+            self._cover_radii = radii
+        return self._cover_radii
+
+    def keyword_tree(self, bit_pos: int):
+        """KD-tree over the holders of query keyword ``bit_pos``.
+
+        Returns ``(tree, holder_rows)`` where ``holder_rows`` maps tree
+        indices back to O' rows.  Built lazily once per keyword and shared
+        by GKG's nearest-holder lookups and the coverage-radius
+        computation.
+        """
+        cached = self._keyword_trees.get(bit_pos)
+        if cached is None:
+            from scipy.spatial import cKDTree
+
+            bit = 1 << bit_pos
+            holder_rows = np.array(
+                [r for r, msk in enumerate(self.masks) if msk & bit], dtype=np.intp
+            )
+            cached = (cKDTree(self.coords[holder_rows]), holder_rows)
+            self._keyword_trees[bit_pos] = cached
+        return cached
+
+    def ir_tree(self):
+        """An IR-tree over O' keyed by query-local bit positions.
+
+        The alternative geo-textual index the paper names in §3; GKG's
+        ``method="irtree"`` descends its per-node inverted files instead of
+        the bR*-tree bitmaps.  Built lazily once per query.
+        """
+        if self._ir_tree is None:
+            from ..index.irtree import IRTree
+
+            records = []
+            for row, oid in enumerate(self.relevant_ids):
+                mask = self.masks[row]
+                bits = []
+                while mask:
+                    low = mask & -mask
+                    bits.append(low.bit_length() - 1)
+                    mask ^= low
+                records.append((oid, self.coords[row, 0], self.coords[row, 1], bits))
+            self._ir_tree = IRTree.build(records)
+        return self._ir_tree
+
+    def pole_cache(self, row: int) -> PoleCache:
+        """Distance-sorted O' view around one pole (LRU-cached)."""
+        cache = self._pole_caches.get(row)
+        if cache is not None:
+            self._pole_caches.move_to_end(row)
+            return cache
+        dists = self.distances_from_row(row)
+        order = np.argsort(dists, kind="stable")
+        sorted_dists = dists[order]
+        if self._masks_np is None:
+            # Query-local masks have at most m <= 64 bits; pack them once.
+            self._masks_np = np.asarray(self.masks, dtype=np.uint64)
+        acc = np.bitwise_or.accumulate(self._masks_np[order])
+        prefix_union = np.concatenate(([np.uint64(0)], acc))
+        cache = PoleCache(sorted_dists, order.astype(np.intp), prefix_union)
+        self._pole_caches[row] = cache
+        while len(self._pole_caches) > self._pole_cache_limit:
+            self._pole_caches.popitem(last=False)
+        return cache
+
+    def distances_from_row(self, row: int) -> np.ndarray:
+        """Distances from one relevant object to all of O' (vectorised)."""
+        delta = self.coords - self.coords[row]
+        return np.hypot(delta[:, 0], delta[:, 1])
+
+    def group_diameter_rows(self, rows: Sequence[int]) -> float:
+        """Diameter (Definition 1) of a set of O' rows."""
+        if len(rows) < 2:
+            return 0.0
+        pts = self.coords[np.asarray(rows, dtype=np.intp)]
+        best = 0.0
+        for i in range(len(pts)):
+            dx = pts[i + 1 :, 0] - pts[i, 0]
+            dy = pts[i + 1 :, 1] - pts[i, 1]
+            if len(dx):
+                cand = float(np.max(dx * dx + dy * dy))
+                if cand > best:
+                    best = cand
+        return best**0.5
+
+
+def compile_query(dataset: Dataset, query, exclude=None) -> QueryContext:
+    """Compile ``query`` (an :class:`MCKQuery` or a keyword sequence).
+
+    ``exclude`` removes specific object ids from O' — the top-k extension
+    uses this to forbid members of already-returned groups.
+    """
+    if not isinstance(query, MCKQuery):
+        query = MCKQuery(query)
+    unknown = [t for t in query.keywords if t not in dataset.vocabulary]
+    if unknown:
+        from ..exceptions import InfeasibleQueryError
+
+        raise InfeasibleQueryError(unknown)
+    return QueryContext(dataset, query, exclude=exclude)

@@ -1,0 +1,114 @@
+"""Result groups returned by the mCK algorithms.
+
+A :class:`Group` records the chosen objects, the diameter δ(G)
+(Definition 1), the minimum covering circle when the producing algorithm
+computed one, and provenance (algorithm name, elapsed time, counters) so
+the experiment harness can report the paper's metrics without re-measuring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry.circle import Circle
+from ..geometry.diameter import group_diameter
+from ..geometry.mcc import minimum_covering_circle
+from .objects import Dataset, GeoObject
+
+__all__ = ["Group"]
+
+
+@dataclass
+class Group:
+    """An answer to an mCK query."""
+
+    object_ids: Tuple[int, ...]
+    diameter: float
+    algorithm: str = ""
+    enclosing_circle: Optional[Circle] = None
+    elapsed_seconds: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_rows(
+        cls,
+        ctx,
+        rows: Sequence[int],
+        algorithm: str = "",
+        enclosing_circle: Optional[Circle] = None,
+    ) -> "Group":
+        """Build from O'-row indices of a compiled query context."""
+        rows = sorted(set(int(r) for r in rows))
+        oids = tuple(ctx.relevant_ids[r] for r in rows)
+        diam = ctx.group_diameter_rows(rows)
+        return cls(
+            object_ids=oids,
+            diameter=diam,
+            algorithm=algorithm,
+            enclosing_circle=enclosing_circle,
+        )
+
+    @classmethod
+    def from_object_ids(
+        cls, dataset: Dataset, oids: Sequence[int], algorithm: str = ""
+    ) -> "Group":
+        """Build directly from dataset object ids."""
+        oids = tuple(sorted(set(int(o) for o in oids)))
+        pts = [dataset.location_of(o) for o in oids]
+        return cls(
+            object_ids=oids, diameter=group_diameter(pts), algorithm=algorithm
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.object_ids)
+
+    def objects(self, dataset: Dataset) -> List[GeoObject]:
+        return [dataset[oid] for oid in self.object_ids]
+
+    def keywords(self, dataset: Dataset) -> frozenset:
+        merged = frozenset()
+        for oid in self.object_ids:
+            merged |= dataset[oid].keywords
+        return merged
+
+    def covers(self, dataset: Dataset, query_keywords: Sequence[str]) -> bool:
+        """Feasibility check (Definition 3)."""
+        return set(query_keywords) <= self.keywords(dataset)
+
+    def mcc(self, dataset: Dataset) -> Circle:
+        """Minimum covering circle of the group's locations."""
+        if self.enclosing_circle is not None:
+            return self.enclosing_circle
+        return minimum_covering_circle(
+            dataset.location_of(o) for o in self.object_ids
+        )
+
+    def explain(self, dataset: Dataset, query_keywords: Sequence[str]) -> Dict[str, List[int]]:
+        """Which group members cover each query keyword.
+
+        Returns ``keyword -> [object ids]`` (empty list for an uncovered
+        keyword — a feasible group never has one, so an empty list flags a
+        broken result in debugging sessions).
+        """
+        coverage: Dict[str, List[int]] = {t: [] for t in query_keywords}
+        for oid in self.object_ids:
+            for t in dataset[oid].keywords:
+                if t in coverage:
+                    coverage[t].append(oid)
+        return coverage
+
+    def ratio_to(self, optimal: "Group") -> float:
+        """Approximation ratio δ(G)/δ(G_opt); 1.0 when both are zero."""
+        if optimal.diameter <= 0.0:
+            return 1.0 if self.diameter <= 1e-12 else float("inf")
+        return self.diameter / optimal.diameter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ids = ",".join(str(o) for o in self.object_ids)
+        return (
+            f"Group([{ids}], diameter={self.diameter:.6g},"
+            f" algorithm={self.algorithm!r})"
+        )

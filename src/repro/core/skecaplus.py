@@ -1,0 +1,168 @@
+"""Algorithm SKECa+ — global binary search for SKECq (paper §4.4, Alg. 2).
+
+SKECa performs a full binary search around every pole; when early poles
+yield large circles the upper bound stays loose for the rest.  SKECa+
+instead binary-searches the diameter of SKECq itself: one probe diameter is
+tried against *all* poles, stopping at the first pole where a circle is
+found (the diameter is then an upper bound for SKECq) and recording, per
+pole, the largest diameter known to fail (``maxInvalidRange``) so later
+probes skip hopeless poles via Property 1.
+
+The output circle and group are the same as SKECa's; EXACT additionally
+consumes the ``max_invalid_range`` array for its Lemma-3 pruning, so the
+full state is exposed through :func:`skeca_plus_state`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry.circle import Circle
+from ..geometry.mcc import minimum_covering_circle
+from .circlescan import circle_scan
+from .common import Deadline
+from .gkg import gkg
+from .query import QueryContext
+from .result import Group
+from .skeca import DEFAULT_EPSILON, _single_object_answer
+
+__all__ = ["skeca_plus", "skeca_plus_state", "SkecaPlusState"]
+
+
+@dataclass
+class SkecaPlusState:
+    """Full outcome of Algorithm 2, consumed by EXACT (Algorithm 3)."""
+
+    group: Group
+    gkg_group: Group
+    alpha: float
+    #: Per-O'-row largest diameter for which circleScan failed (0.0 when
+    #: the pole was never probed unsuccessfully).
+    max_invalid_range: List[float] = field(default_factory=list)
+    binary_steps: int = 0
+    scans: int = 0
+
+
+def skeca_plus(
+    ctx: QueryContext,
+    epsilon: float = DEFAULT_EPSILON,
+    deadline: Optional[Deadline] = None,
+) -> Group:
+    """Run SKECa+; ratio 2/√3 + ε."""
+    return skeca_plus_state(ctx, epsilon, deadline).group
+
+
+def skeca_plus_state(
+    ctx: QueryContext,
+    epsilon: float = DEFAULT_EPSILON,
+    deadline: Optional[Deadline] = None,
+) -> SkecaPlusState:
+    """Run SKECa+ and return the group plus the internal pruning state."""
+    deadline = deadline or Deadline.unlimited("SKECa+")
+    greedy = gkg(ctx, deadline)
+    n_relevant = len(ctx.relevant_ids)
+
+    single = _single_object_answer(ctx, "SKECa+")
+    if single is not None:
+        return SkecaPlusState(
+            group=single,
+            gkg_group=greedy,
+            alpha=epsilon * greedy.diameter / 2.0,
+            max_invalid_range=[0.0] * n_relevant,
+        )
+
+    alpha = epsilon * greedy.diameter / 2.0
+    gkg_rows = [ctx.row_of(oid) for oid in greedy.object_ids]
+    current_circle = minimum_covering_circle(ctx.coords[r] for r in gkg_rows)
+    current_rows = gkg_rows
+
+    search_ub = current_circle.diameter
+    search_lb = greedy.diameter / 2.0
+    max_invalid = [0.0] * n_relevant
+
+    # Probe poles in ascending coverage-radius order: poles that can host a
+    # small keywords enclosing circle come first, so successful probes break
+    # early, and the searchsorted prefix skips every pole whose surrounding
+    # objects cannot cover the query at the probe diameter at all.
+    radii = ctx.cover_radii
+    pole_order = np.argsort(radii, kind="stable")
+    sorted_radii = radii[pole_order]
+
+    # Warm-up: fully binary-search the single most promising pole (smallest
+    # coverage radius).  Its o-across SKEC is an upper bound on SKECq, so
+    # the global search starts with a near-tight range and failing probes —
+    # the expensive case, each sweeping every eligible pole — become rare.
+    from .skeca import find_app_oskec
+
+    steps = 0
+    scans = 0
+    last_success_pole = -1
+    if len(pole_order) > 0:
+        warm_pole = int(pole_order[0])
+        warm, warm_steps = find_app_oskec(
+            ctx, warm_pole, search_lb, search_ub, alpha, deadline
+        )
+        steps += warm_steps
+        scans += warm_steps
+        if warm is not None and warm.diameter < search_ub:
+            search_ub = warm.diameter
+            current_rows = warm.rows
+            current_circle = warm.circle(ctx)
+            last_success_pole = warm_pole
+    while search_ub - search_lb > alpha:
+        deadline.check()
+        diam = (search_ub + search_lb) / 2.0
+        steps += 1
+        found_result = False
+        eligible = int(np.searchsorted(sorted_radii, diam * (1.0 + 1e-12), side="right"))
+        # The pole that hosted the last successful probe is the most likely
+        # to host the next (the probe shrank only a little); trying it
+        # first turns most successful probes into a single sweep.
+        candidates = range(-1, eligible) if last_success_pole >= 0 else range(eligible)
+        for pole_idx in candidates:
+            pole = last_success_pole if pole_idx < 0 else int(pole_order[pole_idx])
+            if pole_idx >= 0 and pole == last_success_pole:
+                continue
+            if diam <= max_invalid[pole]:
+                # Property 1: a diameter known to fail at this pole also
+                # rules out every smaller diameter.
+                continue
+            scans += 1
+            hit = circle_scan(ctx, pole, diam)
+            if hit is not None:
+                search_ub = diam
+                rows, theta = hit
+                current_rows = rows
+                current_circle = _circle_at(ctx, pole, diam, theta)
+                found_result = True
+                last_success_pole = pole
+                break
+            if diam > max_invalid[pole]:
+                max_invalid[pole] = diam
+        if not found_result:
+            search_lb = diam
+
+    group = Group.from_rows(
+        ctx, current_rows, algorithm="SKECa+", enclosing_circle=current_circle
+    )
+    group.stats["binary_steps"] = float(steps)
+    group.stats["circle_scans"] = float(scans)
+    group.stats["alpha"] = alpha
+    return SkecaPlusState(
+        group=group,
+        gkg_group=greedy,
+        alpha=alpha,
+        max_invalid_range=max_invalid,
+        binary_steps=steps,
+        scans=scans,
+    )
+
+
+def _circle_at(ctx: QueryContext, pole_row: int, diameter: float, theta: float) -> Circle:
+    px, py = ctx.location_of_row(pole_row)
+    r = diameter / 2.0
+    return Circle(px + r * math.cos(theta), py + r * math.sin(theta), r)

@@ -1,0 +1,39 @@
+"""Data substrate: synthetic city generators, serialization, UTM, queries."""
+
+from .io import load_csv, load_jsonl, load_latlon_records, save_csv, save_jsonl
+from .queries import QueryWorkload, generate_queries, generate_workload
+from .stats import DatasetStats, table1_stats
+from .synthetic import (
+    PRESETS,
+    SyntheticConfig,
+    generate_city,
+    make_la_like,
+    make_ny_like,
+    make_tw_like,
+)
+from .workloads import load_workload, save_workload
+from .utm import UTM_SCALE_FACTOR, latlon_to_utm, utm_zone
+
+__all__ = [
+    "load_csv",
+    "load_jsonl",
+    "load_latlon_records",
+    "save_csv",
+    "save_jsonl",
+    "QueryWorkload",
+    "generate_queries",
+    "generate_workload",
+    "DatasetStats",
+    "table1_stats",
+    "PRESETS",
+    "SyntheticConfig",
+    "generate_city",
+    "make_la_like",
+    "make_ny_like",
+    "make_tw_like",
+    "save_workload",
+    "load_workload",
+    "UTM_SCALE_FACTOR",
+    "latlon_to_utm",
+    "utm_zone",
+]

@@ -1,0 +1,189 @@
+"""Query-set generation following the paper's methodology (§6.1, §6.2.4).
+
+For each query the generator:
+
+1. draws a random circle whose diameter is at most a given fraction of
+   the dataset diameter ("to set the upper bound diameter at 20% ... we
+   first randomly draw a circle with diameter no larger than 20% of the
+   diameter of all objects");
+2. collects the terms of the objects inside the circle, optionally
+   restricted to the lower-x% frequency pool of the whole dataset
+   (the §6.2.4 frequency experiment);
+3. samples m distinct terms from that set weighted by their in-circle
+   frequencies ("we randomly select the terms that appear in this circle
+   according to their frequencies").
+
+The construction guarantees the optimal group's diameter cannot exceed the
+bound, since the sampled circle itself encloses a feasible group.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.objects import Dataset
+from ..core.query import MCKQuery
+from ..exceptions import DatasetError
+
+__all__ = ["QueryWorkload", "generate_queries", "generate_workload"]
+
+
+@dataclass
+class QueryWorkload:
+    """A generated query set plus the parameters that produced it."""
+
+    dataset_name: str
+    m: int
+    diameter_fraction: float
+    term_pool_fraction: float
+    seed: int
+    queries: List[MCKQuery] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def generate_queries(
+    dataset: Dataset,
+    m: int,
+    count: int,
+    diameter_fraction: float = 0.2,
+    term_pool_fraction: float = 1.0,
+    seed: int = 0,
+    max_attempts_per_query: int = 200,
+) -> List[MCKQuery]:
+    """Generate ``count`` m-keyword queries per the paper's recipe."""
+    if m < 1:
+        raise DatasetError("m must be positive")
+    if not 0.0 < diameter_fraction <= 1.0:
+        raise DatasetError("diameter_fraction must be in (0, 1]")
+    if not 0.0 < term_pool_fraction <= 1.0:
+        raise DatasetError("term_pool_fraction must be in (0, 1]")
+
+    rng = random.Random(seed)
+    coords = dataset.coords
+    if len(coords) == 0:
+        raise DatasetError("cannot generate queries over an empty dataset")
+    extent_diam = dataset.extent_diameter()
+    min_xy = coords.min(axis=0)
+    max_xy = coords.max(axis=0)
+
+    allowed_terms = _term_pool(dataset, term_pool_fraction)
+
+    queries: List[MCKQuery] = []
+    attempts = 0
+    budget = count * max_attempts_per_query
+    while len(queries) < count:
+        attempts += 1
+        if attempts > budget:
+            raise DatasetError(
+                f"could not generate {count} feasible queries "
+                f"(m={m}, diameter_fraction={diameter_fraction}, "
+                f"term_pool_fraction={term_pool_fraction}) — pool too small"
+            )
+        diameter = rng.uniform(0.3, 1.0) * diameter_fraction * extent_diam
+        cx = rng.uniform(min_xy[0], max_xy[0])
+        cy = rng.uniform(min_xy[1], max_xy[1])
+        terms = _sample_terms_in_circle(
+            dataset, coords, cx, cy, diameter / 2.0, m, allowed_terms, rng
+        )
+        if terms is not None:
+            queries.append(MCKQuery(terms))
+    return queries
+
+
+def generate_workload(
+    dataset: Dataset,
+    m: int,
+    count: int,
+    diameter_fraction: float = 0.2,
+    term_pool_fraction: float = 1.0,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Generate a :class:`QueryWorkload` (queries plus provenance)."""
+    queries = generate_queries(
+        dataset,
+        m,
+        count,
+        diameter_fraction=diameter_fraction,
+        term_pool_fraction=term_pool_fraction,
+        seed=seed,
+    )
+    return QueryWorkload(
+        dataset_name=dataset.name,
+        m=m,
+        diameter_fraction=diameter_fraction,
+        term_pool_fraction=term_pool_fraction,
+        seed=seed,
+        queries=queries,
+    )
+
+
+# ---------------------------------------------------------------------- #
+
+
+def _term_pool(dataset: Dataset, fraction: float) -> Optional[frozenset]:
+    """The lower-``fraction`` term pool by ascending document frequency.
+
+    Returns ``None`` for the full pool (fraction == 1.0), which skips the
+    membership filter in the hot loop.
+    """
+    if fraction >= 1.0:
+        return None
+    ranked = dataset.vocabulary.terms_by_frequency()
+    keep = max(1, int(len(ranked) * fraction))
+    return frozenset(ranked[:keep])
+
+
+def _sample_terms_in_circle(
+    dataset: Dataset,
+    coords: np.ndarray,
+    cx: float,
+    cy: float,
+    radius: float,
+    m: int,
+    allowed_terms: Optional[frozenset],
+    rng: random.Random,
+) -> Optional[List[str]]:
+    dx = coords[:, 0] - cx
+    dy = coords[:, 1] - cy
+    inside = np.nonzero(dx * dx + dy * dy <= radius * radius)[0]
+    if len(inside) < 1:
+        return None
+
+    local_freq: Dict[str, int] = {}
+    for oid in inside:
+        # Sorted iteration: frozenset order is hash-seed dependent and the
+        # weighted draw below must be reproducible across processes.
+        for term in sorted(dataset[int(oid)].keywords):
+            if allowed_terms is not None and term not in allowed_terms:
+                continue
+            local_freq[term] = local_freq.get(term, 0) + 1
+    if len(local_freq) < m:
+        return None
+
+    # Weighted sampling of m distinct terms by local frequency.
+    terms = sorted(local_freq)
+    weights = [float(local_freq[t]) for t in terms]
+    chosen: List[str] = []
+    for _ in range(m):
+        total = sum(weights)
+        pick = rng.uniform(0.0, total)
+        acc = 0.0
+        idx = 0
+        for i, w in enumerate(weights):
+            acc += w
+            if pick <= acc:
+                idx = i
+                break
+        chosen.append(terms[idx])
+        del terms[idx]
+        del weights[idx]
+    return chosen

@@ -1,0 +1,43 @@
+"""Dataset statistics in the shape of the paper's Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..core.objects import Dataset
+
+__all__ = ["DatasetStats", "table1_stats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 1."""
+
+    name: str
+    n_objects: int
+    unique_words: int
+    total_words: int
+
+    @property
+    def words_per_object(self) -> float:
+        return self.total_words / self.n_objects if self.n_objects else 0.0
+
+    @property
+    def unique_ratio(self) -> float:
+        return self.unique_words / self.n_objects if self.n_objects else 0.0
+
+
+def table1_stats(datasets: Iterable[Dataset]) -> List[DatasetStats]:
+    """Compute Table-1 rows for the given datasets."""
+    rows = []
+    for ds in datasets:
+        rows.append(
+            DatasetStats(
+                name=ds.name,
+                n_objects=len(ds),
+                unique_words=ds.unique_word_count(),
+                total_words=ds.total_word_count(),
+            )
+        )
+    return rows

@@ -1,0 +1,109 @@
+"""WGS-84 latitude/longitude to UTM conversion, from scratch.
+
+The paper (§6.1) converts all crawled coordinates to the Universal
+Transverse Mercator system under the World Geodetic System 84 ellipsoid so
+that Euclidean distances approximate ground distances in metres.  We
+implement the standard Krüger series expansion used by USGS/Snyder,
+accurate to well under a metre inside a zone — more than enough for
+city-scale diameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+__all__ = ["latlon_to_utm", "utm_zone", "UTM_SCALE_FACTOR"]
+
+# WGS-84 ellipsoid constants.
+_WGS84_A = 6378137.0  # semi-major axis (m)
+_WGS84_F = 1.0 / 298.257223563  # flattening
+_WGS84_E2 = _WGS84_F * (2.0 - _WGS84_F)  # first eccentricity squared
+_WGS84_EP2 = _WGS84_E2 / (1.0 - _WGS84_E2)  # second eccentricity squared
+
+UTM_SCALE_FACTOR = 0.9996
+_FALSE_EASTING = 500000.0
+_FALSE_NORTHING_SOUTH = 10000000.0
+
+
+def utm_zone(lon: float) -> int:
+    """UTM zone number (1..60) of a longitude in degrees."""
+    lon = ((lon + 180.0) % 360.0) - 180.0
+    zone = int((lon + 180.0) / 6.0) + 1
+    return min(zone, 60)
+
+
+def latlon_to_utm(
+    lat: float, lon: float, zone: int = 0, south: Optional[bool] = None
+) -> Tuple[float, float, int]:
+    """Convert WGS-84 ``(lat, lon)`` in degrees to UTM ``(easting, northing, zone)``.
+
+    ``zone`` may be forced (e.g. to keep a dataset spanning a zone border
+    in one planar frame, as location crawls of a single city need); 0 picks
+    the natural zone of the longitude.  ``south`` likewise forces the
+    hemisphere convention (whether the 10,000 km false northing is
+    applied): a dataset straddling the equator must use one convention for
+    all records or cross-equator distances jump by the false northing.
+    ``None`` picks the point's own hemisphere.
+    """
+    if not (-80.0 <= lat <= 84.0):
+        raise ValueError(f"latitude {lat} outside UTM validity band [-80, 84]")
+    if zone == 0:
+        zone = utm_zone(lon)
+    if not (1 <= zone <= 60):
+        raise ValueError(f"invalid UTM zone {zone}")
+
+    lat_rad = math.radians(lat)
+    lon_rad = math.radians(lon)
+    lon0 = math.radians((zone - 1) * 6.0 - 180.0 + 3.0)
+
+    sin_lat = math.sin(lat_rad)
+    cos_lat = math.cos(lat_rad)
+    tan_lat = math.tan(lat_rad)
+
+    n = _WGS84_A / math.sqrt(1.0 - _WGS84_E2 * sin_lat * sin_lat)
+    t = tan_lat * tan_lat
+    c = _WGS84_EP2 * cos_lat * cos_lat
+    a_coef = cos_lat * (lon_rad - lon0)
+
+    # Meridian arc length (Snyder 3-21).
+    e2 = _WGS84_E2
+    e4 = e2 * e2
+    e6 = e4 * e2
+    m = _WGS84_A * (
+        (1.0 - e2 / 4.0 - 3.0 * e4 / 64.0 - 5.0 * e6 / 256.0) * lat_rad
+        - (3.0 * e2 / 8.0 + 3.0 * e4 / 32.0 + 45.0 * e6 / 1024.0)
+        * math.sin(2.0 * lat_rad)
+        + (15.0 * e4 / 256.0 + 45.0 * e6 / 1024.0) * math.sin(4.0 * lat_rad)
+        - (35.0 * e6 / 3072.0) * math.sin(6.0 * lat_rad)
+    )
+
+    k0 = UTM_SCALE_FACTOR
+    easting = (
+        k0
+        * n
+        * (
+            a_coef
+            + (1.0 - t + c) * a_coef**3 / 6.0
+            + (5.0 - 18.0 * t + t * t + 72.0 * c - 58.0 * _WGS84_EP2)
+            * a_coef**5
+            / 120.0
+        )
+        + _FALSE_EASTING
+    )
+    northing = k0 * (
+        m
+        + n
+        * tan_lat
+        * (
+            a_coef**2 / 2.0
+            + (5.0 - t + 9.0 * c + 4.0 * c * c) * a_coef**4 / 24.0
+            + (61.0 - 58.0 * t + t * t + 600.0 * c - 330.0 * _WGS84_EP2)
+            * a_coef**6
+            / 720.0
+        )
+    )
+    apply_false_northing = lat < 0.0 if south is None else south
+    if apply_false_northing:
+        northing += _FALSE_NORTHING_SOUTH
+    return easting, northing, zone

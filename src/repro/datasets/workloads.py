@@ -1,0 +1,55 @@
+"""Workload persistence: save/load query sets with their provenance.
+
+A benchmark run is only comparable across versions if the *workload* is
+identical; persisting the generated queries (plus the parameters that
+produced them) makes runs reproducible even across generator changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..core.query import MCKQuery
+from ..exceptions import DatasetError
+from .queries import QueryWorkload
+
+__all__ = ["save_workload", "load_workload"]
+
+_FORMAT = "repro-workload-v1"
+
+
+def save_workload(workload: QueryWorkload, path: Union[str, Path]) -> None:
+    """Write a workload to one JSON document."""
+    document = {
+        "format": _FORMAT,
+        "dataset_name": workload.dataset_name,
+        "m": workload.m,
+        "diameter_fraction": workload.diameter_fraction,
+        "term_pool_fraction": workload.term_pool_fraction,
+        "seed": workload.seed,
+        "queries": [list(q.keywords) for q in workload.queries],
+    }
+    Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+
+def load_workload(path: Union[str, Path]) -> QueryWorkload:
+    """Read a workload written by :func:`save_workload`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(document, dict) or document.get("format") != _FORMAT:
+        raise DatasetError(f"{path}: not a {_FORMAT} document")
+    try:
+        return QueryWorkload(
+            dataset_name=str(document["dataset_name"]),
+            m=int(document["m"]),
+            diameter_fraction=float(document["diameter_fraction"]),
+            term_pool_fraction=float(document["term_pool_fraction"]),
+            seed=int(document["seed"]),
+            queries=[MCKQuery(q) for q in document["queries"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"{path}: malformed workload ({exc})") from exc

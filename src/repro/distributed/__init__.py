@@ -1,0 +1,14 @@
+"""Simulated distributed mCK processing — the paper's §8 future work."""
+
+from .coordinator import DistributedMCKEngine, DistributedResult
+from .partition import GridPartitioner, Partition
+from .worker import LocalAnswer, Worker
+
+__all__ = [
+    "DistributedMCKEngine",
+    "DistributedResult",
+    "GridPartitioner",
+    "Partition",
+    "LocalAnswer",
+    "Worker",
+]

@@ -1,0 +1,190 @@
+"""Coordinator for the simulated distributed mCK setting (paper §8).
+
+The paper closes with "it would be of interest to investigate the problem
+of answering the mCK query in a distributed setting"; this module builds
+that setting as a single-process simulation with explicit communication
+accounting, so the protocol's behaviour (rounds, bytes, makespan,
+speed-up) can be studied without a cluster.
+
+Protocol (two rounds):
+
+1. **Bound round.** Every worker runs the cheap GKG on its core+halo view
+   and reports its local feasible diameter.  The minimum reported value
+   ``d_ub`` upper-bounds the global optimum *if* some worker is feasible;
+   when every partition misses a keyword, the coordinator falls back to a
+   centralized solve (counted in the stats).
+2. **Exact round.** The dataset is re-partitioned with halo width
+   ``d_ub``.  Any group with diameter <= d_ub containing an object in a
+   worker's core then lies entirely inside that worker's view, so every
+   worker solves EXACT locally and the minimum over workers is the global
+   optimum.  Workers run in parallel; the simulated makespan per round is
+   the slowest worker's compute time.
+
+Communication accounting: one message per worker per round plus the query
+broadcast; replicated objects are charged per (x, y, keywords) record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.engine import MCKEngine
+from ..core.objects import Dataset
+from ..core.result import Group
+from ..exceptions import InfeasibleQueryError
+from .partition import GridPartitioner
+from .worker import LocalAnswer, Worker
+
+__all__ = ["DistributedMCKEngine", "DistributedResult"]
+
+#: Charged bytes per shipped object record (two float64 + small keyword set).
+_BYTES_PER_OBJECT = 48
+#: Charged bytes per control/answer message.
+_BYTES_PER_MESSAGE = 64
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed query with its cost accounting."""
+
+    group: Group
+    rounds: int
+    messages: int
+    bytes_shipped: int
+    #: Simulated parallel wall-clock: sum over rounds of the slowest worker.
+    makespan_seconds: float
+    #: Total compute across all workers (the "cluster seconds").
+    total_compute_seconds: float
+    #: True when the coordinator had to solve centrally (no feasible local
+    #: bound); the distributed protocol then adds no benefit.
+    fell_back_to_central: bool = False
+    worker_answers: List[LocalAnswer] = field(default_factory=list)
+
+
+class DistributedMCKEngine:
+    """Answer mCK queries over a dataset split across simulated workers."""
+
+    def __init__(self, dataset: Dataset, n_workers: int = 4, epsilon: float = 0.01):
+        dataset.finalize()
+        self.dataset = dataset
+        self.partitioner = GridPartitioner(dataset, n_workers)
+        self.epsilon = epsilon
+        self._central_engine: Optional[MCKEngine] = None
+
+    @property
+    def n_workers(self) -> int:
+        return self.partitioner.n_workers
+
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        keywords: Sequence[str],
+        bound_algorithm: str = "GKG",
+        exact_algorithm: str = "EXACT",
+    ) -> DistributedResult:
+        """Run the two-round distributed protocol."""
+        messages = 0
+        bytes_shipped = 0
+        makespan = 0.0
+        total_compute = 0.0
+
+        # Round 1: local bounds on a halo-less partitioning.
+        bound_workers = self._spawn_workers(halo=0.0)
+        messages += len(bound_workers)  # query broadcast
+        bytes_shipped += len(bound_workers) * _BYTES_PER_MESSAGE
+        bound_answers = [
+            w.answer(keywords, algorithm=bound_algorithm, epsilon=self.epsilon)
+            for w in bound_workers
+        ]
+        messages += len(bound_answers)
+        bytes_shipped += len(bound_answers) * _BYTES_PER_MESSAGE
+        round_times = [a.compute_seconds for a in bound_answers]
+        makespan += max(round_times, default=0.0)
+        total_compute += sum(round_times)
+
+        feasible = [a for a in bound_answers if a.group is not None]
+        if not feasible:
+            # No single partition covers the query: the optimum spans cell
+            # borders wider than any local view.  Solve centrally.
+            central_group, central_time = self._central_solve(
+                keywords, exact_algorithm
+            )
+            return DistributedResult(
+                group=central_group,
+                rounds=1,
+                messages=messages,
+                bytes_shipped=bytes_shipped,
+                makespan_seconds=makespan + central_time,
+                total_compute_seconds=total_compute + central_time,
+                fell_back_to_central=True,
+                worker_answers=bound_answers,
+            )
+
+        d_ub = min(a.diameter for a in feasible)
+        best_bound = min(feasible, key=lambda a: a.diameter)
+
+        if d_ub == 0.0:
+            # A single object covers the query: already optimal.
+            return DistributedResult(
+                group=best_bound.group,
+                rounds=1,
+                messages=messages,
+                bytes_shipped=bytes_shipped,
+                makespan_seconds=makespan,
+                total_compute_seconds=total_compute,
+                worker_answers=bound_answers,
+            )
+
+        # Round 2: re-partition with halo = d_ub and solve exactly.
+        exact_workers = self._spawn_workers(halo=d_ub)
+        replicated = sum(len(w.partition.halo_ids) for w in exact_workers)
+        shipped = sum(len(w) for w in exact_workers)
+        bytes_shipped += shipped * _BYTES_PER_OBJECT
+        messages += 2 * len(exact_workers)  # query out, answer back
+        bytes_shipped += 2 * len(exact_workers) * _BYTES_PER_MESSAGE
+
+        exact_answers = [
+            w.answer(keywords, algorithm=exact_algorithm, epsilon=self.epsilon)
+            for w in exact_workers
+        ]
+        round_times = [a.compute_seconds for a in exact_answers]
+        makespan += max(round_times, default=0.0)
+        total_compute += sum(round_times)
+
+        candidates = [a for a in exact_answers if a.group is not None]
+        best = min(candidates, key=lambda a: a.diameter, default=None)
+        if best is None or best.diameter > d_ub:
+            winner = best_bound.group
+        else:
+            winner = best.group
+
+        result = DistributedResult(
+            group=winner,
+            rounds=2,
+            messages=messages,
+            bytes_shipped=bytes_shipped,
+            makespan_seconds=makespan,
+            total_compute_seconds=total_compute,
+            worker_answers=bound_answers + exact_answers,
+        )
+        result.group.stats["replicated_objects"] = float(replicated)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _spawn_workers(self, halo: float) -> List[Worker]:
+        return [
+            Worker(p, self.dataset) for p in self.partitioner.partitions(halo)
+        ]
+
+    def _central_solve(self, keywords, algorithm):
+        if self._central_engine is None:
+            self._central_engine = MCKEngine(self.dataset)
+        started = time.perf_counter()
+        group = self._central_engine.query(
+            keywords, algorithm=algorithm, epsilon=self.epsilon
+        )
+        return group, time.perf_counter() - started

@@ -1,0 +1,96 @@
+"""A simulated worker node: a partition-local mCK solver.
+
+Each worker owns a sub-dataset (its partition's core + halo objects),
+answers mCK queries on it with any of the library's algorithms, and
+accounts its own compute time so the coordinator can report a simulated
+makespan (the distributed wall-clock is the slowest worker, since workers
+run in parallel).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import MCKEngine
+from ..core.objects import Dataset
+from ..core.result import Group
+from ..exceptions import InfeasibleQueryError
+from .partition import Partition
+
+__all__ = ["Worker", "LocalAnswer"]
+
+
+@dataclass
+class LocalAnswer:
+    """One worker's reply to a query round."""
+
+    worker_id: int
+    #: Group in *global* object ids, or None when locally infeasible.
+    group: Optional[Group]
+    compute_seconds: float
+
+    @property
+    def diameter(self) -> float:
+        return self.group.diameter if self.group is not None else float("inf")
+
+
+class Worker:
+    """Holds a partition's objects and answers queries locally."""
+
+    def __init__(self, partition: Partition, dataset: Dataset):
+        self.worker_id = partition.worker_id
+        self.partition = partition
+        #: local oid -> global oid
+        self._global_ids: List[int] = list(partition.all_ids)
+        records = [
+            (
+                dataset.coords[oid, 0],
+                dataset.coords[oid, 1],
+                dataset[oid].keywords,
+            )
+            for oid in self._global_ids
+        ]
+        if records:
+            self.local_dataset: Optional[Dataset] = Dataset.from_records(
+                records, name=f"worker-{self.worker_id}"
+            )
+            self.engine: Optional[MCKEngine] = MCKEngine(self.local_dataset)
+        else:
+            self.local_dataset = None
+            self.engine = None
+
+    def __len__(self) -> int:
+        return len(self._global_ids)
+
+    def answer(
+        self,
+        keywords: Sequence[str],
+        algorithm: str,
+        epsilon: float = 0.01,
+        timeout: Optional[float] = None,
+    ) -> LocalAnswer:
+        """Run one local query; infeasible partitions answer 'no group'."""
+        started = time.perf_counter()
+        if self.engine is None:
+            return LocalAnswer(self.worker_id, None, 0.0)
+        try:
+            local_group = self.engine.query(
+                keywords, algorithm=algorithm, epsilon=epsilon, timeout=timeout
+            )
+        except InfeasibleQueryError:
+            return LocalAnswer(
+                self.worker_id, None, time.perf_counter() - started
+            )
+        global_group = Group(
+            object_ids=tuple(
+                sorted(self._global_ids[oid] for oid in local_group.object_ids)
+            ),
+            diameter=local_group.diameter,
+            algorithm=f"{local_group.algorithm}@w{self.worker_id}",
+            enclosing_circle=local_group.enclosing_circle,
+        )
+        return LocalAnswer(
+            self.worker_id, global_group, time.perf_counter() - started
+        )

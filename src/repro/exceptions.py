@@ -1,0 +1,59 @@
+"""Exception hierarchy for the mCK reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Raised on invalid geometric input (e.g. collinear circumcircle)."""
+
+
+class IndexError_(ReproError):
+    """Raised on invalid index operations (name avoids builtin clash)."""
+
+
+class QueryError(ReproError):
+    """Raised when a query is malformed or cannot be satisfied."""
+
+
+class InfeasibleQueryError(QueryError):
+    """Raised when no group of objects can cover all query keywords."""
+
+    def __init__(self, missing_keywords=()):
+        self.missing_keywords = tuple(missing_keywords)
+        detail = ""
+        if self.missing_keywords:
+            detail = ": no object contains " + ", ".join(
+                repr(t) for t in self.missing_keywords
+            )
+        super().__init__("query keywords cannot all be covered" + detail)
+
+
+class DatasetError(ReproError):
+    """Raised on malformed dataset input or serialization problems."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness on inconsistent configuration."""
+
+
+class AlgorithmTimeout(ReproError):
+    """Raised internally when an algorithm exceeds its time budget.
+
+    The experiment runner converts this into a "failed within threshold"
+    data point, mirroring the paper's success-rate methodology (§6.2.3).
+    """
+
+    def __init__(self, algorithm: str, budget_seconds: float):
+        self.algorithm = algorithm
+        self.budget_seconds = budget_seconds
+        super().__init__(
+            f"{algorithm} exceeded time budget of {budget_seconds:.3f}s"
+        )

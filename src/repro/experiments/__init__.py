@@ -1,0 +1,45 @@
+"""Experiment harness: runners, metrics and per-figure reproductions."""
+
+from .figures import (
+    dataset_by_name,
+    fig7_vary_epsilon,
+    fig8_vary_keywords,
+    fig9_skec_vs_skecaplus,
+    fig10_vary_diameter,
+    fig11_vary_timeout,
+    fig12_vary_frequency,
+    fig13_scalability,
+    fig14_vary_epsilon_ny_tw,
+    table1_datasets,
+    ext_distributed_scaling,
+)
+from .persistence import figure_from_dict, figure_to_dict, load_figures, save_figures
+from .metrics import AlgorithmSummary, QueryMeasurement, summarize
+from .report import FigureResult, render_rows, render_series_table
+from .runner import ALL_ALGORITHMS, ExperimentRunner
+
+__all__ = [
+    "dataset_by_name",
+    "fig7_vary_epsilon",
+    "fig8_vary_keywords",
+    "fig9_skec_vs_skecaplus",
+    "fig10_vary_diameter",
+    "fig11_vary_timeout",
+    "fig12_vary_frequency",
+    "fig13_scalability",
+    "fig14_vary_epsilon_ny_tw",
+    "table1_datasets",
+    "ext_distributed_scaling",
+    "figure_to_dict",
+    "figure_from_dict",
+    "save_figures",
+    "load_figures",
+    "AlgorithmSummary",
+    "QueryMeasurement",
+    "summarize",
+    "FigureResult",
+    "render_rows",
+    "render_series_table",
+    "ALL_ALGORITHMS",
+    "ExperimentRunner",
+]

@@ -1,0 +1,582 @@
+"""One entry point per table/figure of the paper's evaluation (§6).
+
+Every function regenerates the corresponding figure's data series on
+synthetic datasets (see DESIGN.md §3 for the substitution rationale) and
+returns :class:`~repro.experiments.report.FigureResult` objects whose rows
+match the paper's: runtimes per algorithm, approximation ratios, success
+rates.  Sizes default to laptop-scale (pure Python is orders of magnitude
+slower than the authors' C++); every function takes ``scale`` /
+``queries_per_set`` / ``timeout`` knobs to grow a run.
+
+The benchmark suite in ``benchmarks/`` calls these functions — one bench
+file per figure — and EXPERIMENTS.md records measured output next to the
+paper's reported shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.objects import Dataset
+from ..datasets.queries import generate_queries
+from ..datasets.stats import table1_stats
+from ..datasets.synthetic import make_la_like, make_ny_like, make_tw_like
+from .metrics import QueryMeasurement, summarize
+from .report import FigureResult, render_rows
+from .runner import ExperimentRunner
+
+__all__ = [
+    "dataset_by_name",
+    "table1_datasets",
+    "fig7_vary_epsilon",
+    "fig8_vary_keywords",
+    "fig9_skec_vs_skecaplus",
+    "fig10_vary_diameter",
+    "fig11_vary_timeout",
+    "fig12_vary_frequency",
+    "fig13_scalability",
+    "fig14_vary_epsilon_ny_tw",
+]
+
+_MAKERS = {"NY": make_ny_like, "LA": make_la_like, "TW": make_tw_like}
+
+
+def dataset_by_name(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Dataset:
+    """Instantiate one of the NY/LA/TW-like presets."""
+    try:
+        maker = _MAKERS[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown dataset preset {name!r}; pick NY, LA or TW") from None
+    return maker(scale=scale, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# Table 1 — dataset properties.
+# ---------------------------------------------------------------------- #
+
+
+def table1_datasets(scale: float = 0.05) -> Tuple[str, List]:
+    """Table 1: number of objects, unique words, total words per dataset."""
+    datasets = [dataset_by_name(n, scale=scale) for n in ("NY", "LA", "TW")]
+    stats = table1_stats(datasets)
+    rows = [
+        (s.name, s.n_objects, s.unique_words, s.total_words, round(s.words_per_object, 2))
+        for s in stats
+    ]
+    text = render_rows(
+        "Table 1: dataset properties (synthetic, scaled)",
+        ["Dataset", "Objects", "Unique words", "Total words", "Words/object"],
+        rows,
+    )
+    return text, stats
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 (and 14) — tuning the binary-search parameter ε.
+# ---------------------------------------------------------------------- #
+
+
+def fig7_vary_epsilon(
+    dataset_name: str = "LA",
+    scale: float = 0.05,
+    m: int = 6,
+    queries_per_set: int = 5,
+    eps_values: Sequence[float] = (0.0004, 0.002, 0.01, 0.05, 0.25),
+    diameter_fraction: float = 0.2,
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 7: runtime and ratio of SKECa vs SKECa+ as ε varies."""
+    dataset = dataset_by_name(dataset_name, scale=scale)
+    queries = generate_queries(
+        dataset, m, queries_per_set, diameter_fraction=diameter_fraction, seed=seed
+    )
+
+    runtime = FigureResult(
+        "Fig7a", f"Runtime vs ε ({dataset.name})", "epsilon", list(eps_values)
+    )
+    ratio = FigureResult(
+        "Fig7b", f"Approximation ratio vs ε ({dataset.name})", "epsilon", list(eps_values)
+    )
+    series_rt: Dict[str, List[float]] = {"SKECa": [], "SKECa+": []}
+    series_ra: Dict[str, List[float]] = {"SKECa": [], "SKECa+": []}
+
+    for eps in eps_values:
+        runner = ExperimentRunner(dataset, epsilon=eps)
+        measurements = runner.run_suite(["SKECa", "SKECa+"], queries)
+        for algo in ("SKECa", "SKECa+"):
+            summary = _summary_of(measurements, algo)
+            series_rt[algo].append(summary.mean_runtime)
+            series_ra[algo].append(
+                summary.mean_ratio if summary.mean_ratio is not None else math.nan
+            )
+    for algo in ("SKECa", "SKECa+"):
+        runtime.add_series(algo, series_rt[algo])
+        ratio.add_series(algo, series_ra[algo])
+    runtime.notes.append(f"{len(dataset)} objects, m={m}, {queries_per_set} queries")
+    return [runtime, ratio]
+
+
+def fig14_vary_epsilon_ny_tw(
+    scale: float = 0.05,
+    m: int = 6,
+    queries_per_set: int = 5,
+    eps_values: Sequence[float] = (0.0004, 0.002, 0.01, 0.05, 0.25),
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 14 (Appendix F): the ε study repeated on NY and TW."""
+    figures: List[FigureResult] = []
+    for name in ("NY", "TW"):
+        results = fig7_vary_epsilon(
+            dataset_name=name,
+            scale=scale,
+            m=m,
+            queries_per_set=queries_per_set,
+            eps_values=eps_values,
+            seed=seed,
+        )
+        for suffix, fig in zip("ab", results):
+            fig.figure_id = f"Fig14{suffix}-{name}"
+        figures.extend(results)
+    return figures
+
+
+# ---------------------------------------------------------------------- #
+# Figure 8 — varying the number of query keywords.
+# ---------------------------------------------------------------------- #
+
+
+def fig8_vary_keywords(
+    dataset_names: Sequence[str] = ("NY", "LA", "TW"),
+    scale: float = 0.05,
+    ms: Sequence[int] = (2, 4, 6, 8, 10),
+    queries_per_set: int = 5,
+    algorithms: Sequence[str] = ("GKG", "SKECa+", "EXACT", "VirbR", "ASGK", "ASGKa"),
+    timeout: float = 20.0,
+    diameter_fraction: float = 0.2,
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 8: runtime and ratio of six algorithms as m varies."""
+    figures: List[FigureResult] = []
+    for name in dataset_names:
+        dataset = dataset_by_name(name, scale=scale)
+        runner = ExperimentRunner(dataset, reference_timeout=timeout * 3)
+        runtime = FigureResult(
+            f"Fig8-runtime-{name}",
+            f"Runtime vs m ({dataset.name})",
+            "m keywords",
+            list(ms),
+        )
+        ratio = FigureResult(
+            f"Fig8-ratio-{name}",
+            f"Approximation ratio vs m ({dataset.name})",
+            "m keywords",
+            list(ms),
+        )
+        per_algo_rt: Dict[str, List[float]] = {a: [] for a in algorithms}
+        per_algo_ra: Dict[str, List[float]] = {a: [] for a in algorithms}
+        for m in ms:
+            queries = generate_queries(
+                dataset,
+                m,
+                queries_per_set,
+                diameter_fraction=diameter_fraction,
+                seed=seed + m,
+            )
+            measurements = runner.run_suite(algorithms, queries, timeout=timeout)
+            for algo in algorithms:
+                summary = _summary_of(measurements, algo)
+                per_algo_rt[algo].append(summary.mean_runtime)
+                per_algo_ra[algo].append(
+                    summary.mean_ratio if summary.mean_ratio is not None else math.nan
+                )
+        for algo in algorithms:
+            runtime.add_series(algo, per_algo_rt[algo])
+            ratio.add_series(algo, per_algo_ra[algo])
+        runtime.notes.append(
+            f"{len(dataset)} objects, {queries_per_set} queries/set, timeout {timeout}s"
+        )
+        figures.extend([runtime, ratio])
+    return figures
+
+
+# ---------------------------------------------------------------------- #
+# Figure 9 — SKEC vs SKECa+.
+# ---------------------------------------------------------------------- #
+
+
+def fig9_skec_vs_skecaplus(
+    dataset_name: str = "LA",
+    scale: float = 0.05,
+    ms: Sequence[int] = (2, 4, 6),
+    queries_per_set: int = 5,
+    timeout: float = 60.0,
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 9: SKEC against SKECa+ — same accuracy, far slower."""
+    dataset = dataset_by_name(dataset_name, scale=scale)
+    runner = ExperimentRunner(dataset)
+    runtime = FigureResult(
+        "Fig9a", f"SKEC vs SKECa+ runtime ({dataset.name})", "m keywords", list(ms)
+    )
+    ratio = FigureResult(
+        "Fig9b", f"SKEC vs SKECa+ ratio ({dataset.name})", "m keywords", list(ms)
+    )
+    algos = ("SKEC", "SKECa+")
+    per_rt: Dict[str, List[float]] = {a: [] for a in algos}
+    per_ra: Dict[str, List[float]] = {a: [] for a in algos}
+    for m in ms:
+        queries = generate_queries(dataset, m, queries_per_set, seed=seed + m)
+        measurements = runner.run_suite(algos, queries, timeout=timeout)
+        for algo in algos:
+            summary = _summary_of(measurements, algo)
+            per_rt[algo].append(summary.mean_runtime)
+            per_ra[algo].append(
+                summary.mean_ratio if summary.mean_ratio is not None else math.nan
+            )
+    for algo in algos:
+        runtime.add_series(algo, per_rt[algo])
+        ratio.add_series(algo, per_ra[algo])
+    return [runtime, ratio]
+
+
+# ---------------------------------------------------------------------- #
+# Figure 10 — varying the optimal-group diameter bound.
+# ---------------------------------------------------------------------- #
+
+
+def fig10_vary_diameter(
+    dataset_names: Sequence[str] = ("LA", "TW"),
+    scale: float = 0.05,
+    m: int = 6,
+    queries_per_set: int = 5,
+    bounds: Sequence[float] = (0.10, 0.15, 0.20, 0.25, 0.30),
+    timeout: float = 10.0,
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 10: approx runtime/ratio plus exact runtime/success-rate as
+    the diameter bound of the optimal group grows."""
+    figures: List[FigureResult] = []
+    for name in dataset_names:
+        dataset = dataset_by_name(name, scale=scale)
+        runner = ExperimentRunner(dataset, reference_timeout=timeout * 3)
+        approx_rt = FigureResult(
+            f"Fig10-approx-runtime-{name}",
+            f"Approx runtime vs diameter bound ({dataset.name})",
+            "diameter bound",
+            list(bounds),
+        )
+        approx_ra = FigureResult(
+            f"Fig10-approx-ratio-{name}",
+            f"Approx ratio vs diameter bound ({dataset.name})",
+            "diameter bound",
+            list(bounds),
+        )
+        exact_rt = FigureResult(
+            f"Fig10-exact-runtime-{name}",
+            f"Exact runtime vs diameter bound ({dataset.name})",
+            "diameter bound",
+            list(bounds),
+        )
+        exact_sr = FigureResult(
+            f"Fig10-success-{name}",
+            f"Success rate vs diameter bound ({dataset.name})",
+            "diameter bound",
+            list(bounds),
+        )
+        approx_algos = ("GKG", "SKECa+")
+        exact_algos = ("EXACT", "VirbR")
+        data_rt: Dict[str, List[float]] = {a: [] for a in approx_algos + exact_algos}
+        data_ra: Dict[str, List[float]] = {a: [] for a in approx_algos}
+        data_sr: Dict[str, List[float]] = {a: [] for a in exact_algos}
+        for bound in bounds:
+            queries = generate_queries(
+                dataset,
+                m,
+                queries_per_set,
+                diameter_fraction=bound,
+                seed=seed + int(bound * 100),
+            )
+            measurements = runner.run_suite(
+                approx_algos + exact_algos, queries, timeout=timeout
+            )
+            for algo in approx_algos:
+                summary = _summary_of(measurements, algo)
+                data_rt[algo].append(summary.mean_runtime)
+                data_ra[algo].append(
+                    summary.mean_ratio if summary.mean_ratio is not None else math.nan
+                )
+            # The paper compares exact runtimes only on queries where BOTH
+            # exact algorithms finished within the threshold.
+            both = _common_success_runtimes(measurements, exact_algos)
+            for algo in exact_algos:
+                summary = _summary_of(measurements, algo)
+                data_sr[algo].append(summary.success_rate)
+                data_rt[algo].append(both.get(algo, math.nan))
+        for algo in approx_algos:
+            approx_rt.add_series(algo, data_rt[algo])
+            approx_ra.add_series(algo, data_ra[algo])
+        for algo in exact_algos:
+            exact_rt.add_series(algo, data_rt[algo])
+            exact_sr.add_series(algo, data_sr[algo])
+        exact_rt.notes.append("runtimes over queries where both exact methods succeed")
+        figures.extend([approx_rt, approx_ra, exact_rt, exact_sr])
+    return figures
+
+
+# ---------------------------------------------------------------------- #
+# Figure 11 — varying the timeout threshold.
+# ---------------------------------------------------------------------- #
+
+
+def fig11_vary_timeout(
+    dataset_name: str = "LA",
+    scale: float = 0.05,
+    m: int = 6,
+    queries_per_set: int = 8,
+    timeouts: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
+    diameter_fraction: float = 0.3,
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 11: EXACT vs VirbR runtime and success rate as the timeout
+    threshold varies (30% diameter bound, the hard regime)."""
+    dataset = dataset_by_name(dataset_name, scale=scale)
+    runner = ExperimentRunner(dataset, reference_timeout=max(timeouts) * 3)
+    queries = generate_queries(
+        dataset, m, queries_per_set, diameter_fraction=diameter_fraction, seed=seed
+    )
+    algos = ("EXACT", "VirbR")
+    runtime = FigureResult(
+        "Fig11a", f"Runtime vs timeout ({dataset.name})", "timeout (s)", list(timeouts)
+    )
+    success = FigureResult(
+        "Fig11b", f"Success rate vs timeout ({dataset.name})", "timeout (s)", list(timeouts)
+    )
+    per_rt: Dict[str, List[float]] = {a: [] for a in algos}
+    per_sr: Dict[str, List[float]] = {a: [] for a in algos}
+    for limit in timeouts:
+        measurements = runner.run_suite(algos, queries, timeout=limit, with_reference=False)
+        both = _common_success_runtimes(measurements, algos)
+        for algo in algos:
+            summary = _summary_of(measurements, algo)
+            per_sr[algo].append(summary.success_rate)
+            per_rt[algo].append(both.get(algo, math.nan))
+    for algo in algos:
+        runtime.add_series(algo, per_rt[algo])
+        success.add_series(algo, per_sr[algo])
+    return [runtime, success]
+
+
+# ---------------------------------------------------------------------- #
+# Figure 12 — varying the query keyword frequencies.
+# ---------------------------------------------------------------------- #
+
+
+def fig12_vary_frequency(
+    dataset_name: str = "LA",
+    scale: float = 0.05,
+    m: int = 6,
+    queries_per_set: int = 5,
+    pool_fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    timeout: float = 10.0,
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 12: four algorithms as query terms get more frequent."""
+    dataset = dataset_by_name(dataset_name, scale=scale)
+    runner = ExperimentRunner(dataset, reference_timeout=timeout * 3)
+    approx_algos = ("GKG", "SKECa+")
+    exact_algos = ("EXACT", "VirbR")
+    approx_rt = FigureResult(
+        "Fig12a", f"Approx runtime vs term pool ({dataset.name})",
+        "term frequency pool", list(pool_fractions),
+    )
+    approx_ra = FigureResult(
+        "Fig12b", f"Approx ratio vs term pool ({dataset.name})",
+        "term frequency pool", list(pool_fractions),
+    )
+    exact_rt = FigureResult(
+        "Fig12c", f"Exact runtime vs term pool ({dataset.name})",
+        "term frequency pool", list(pool_fractions),
+    )
+    exact_sr = FigureResult(
+        "Fig12d", f"Success rate vs term pool ({dataset.name})",
+        "term frequency pool", list(pool_fractions),
+    )
+    per_rt: Dict[str, List[float]] = {a: [] for a in approx_algos + exact_algos}
+    per_ra: Dict[str, List[float]] = {a: [] for a in approx_algos}
+    per_sr: Dict[str, List[float]] = {a: [] for a in exact_algos}
+    for fraction in pool_fractions:
+        queries = generate_queries(
+            dataset,
+            m,
+            queries_per_set,
+            term_pool_fraction=fraction,
+            seed=seed + int(fraction * 10),
+        )
+        measurements = runner.run_suite(
+            approx_algos + exact_algos, queries, timeout=timeout
+        )
+        for algo in approx_algos:
+            summary = _summary_of(measurements, algo)
+            per_rt[algo].append(summary.mean_runtime)
+            per_ra[algo].append(
+                summary.mean_ratio if summary.mean_ratio is not None else math.nan
+            )
+        both = _common_success_runtimes(measurements, exact_algos)
+        for algo in exact_algos:
+            summary = _summary_of(measurements, algo)
+            per_sr[algo].append(summary.success_rate)
+            per_rt[algo].append(both.get(algo, math.nan))
+    for algo in approx_algos:
+        approx_rt.add_series(algo, per_rt[algo])
+        approx_ra.add_series(algo, per_ra[algo])
+    for algo in exact_algos:
+        exact_rt.add_series(algo, per_rt[algo])
+        exact_sr.add_series(algo, per_sr[algo])
+    return [approx_rt, approx_ra, exact_rt, exact_sr]
+
+
+# ---------------------------------------------------------------------- #
+# Figure 13 — scalability.
+# ---------------------------------------------------------------------- #
+
+
+def fig13_scalability(
+    scales: Sequence[float] = (0.025, 0.05, 0.075, 0.1, 0.125),
+    m: int = 6,
+    queries_per_set: int = 5,
+    algorithms: Sequence[str] = ("GKG", "SKECa+", "EXACT", "VirbR"),
+    timeout: float = 20.0,
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Figure 13: runtime and ratio on growing TW-like datasets.
+
+    The paper scales TW from 1M to 5M tweets, sampling the smaller
+    datasets from the largest crawl (§6.2.5); we generate the largest
+    TW-like dataset once and sample the rest from it, preserving that
+    methodology at reduced absolute size.
+    """
+    sizes: List[int] = []
+    runtime_series: Dict[str, List[float]] = {a: [] for a in algorithms}
+    ratio_series: Dict[str, List[float]] = {a: [] for a in algorithms}
+    largest = make_tw_like(scale=max(scales))
+    for s in scales:
+        n = max(1, int(len(largest) * s / max(scales)))
+        if n >= len(largest):
+            dataset = largest
+        else:
+            dataset = largest.sample(n, seed=seed)
+        sizes.append(len(dataset))
+        runner = ExperimentRunner(dataset, reference_timeout=timeout * 3)
+        queries = generate_queries(dataset, m, queries_per_set, seed=seed)
+        measurements = runner.run_suite(algorithms, queries, timeout=timeout)
+        for algo in algorithms:
+            summary = _summary_of(measurements, algo)
+            runtime_series[algo].append(summary.mean_runtime)
+            ratio_series[algo].append(
+                summary.mean_ratio if summary.mean_ratio is not None else math.nan
+            )
+    runtime = FigureResult("Fig13a", "Scalability: runtime", "objects", sizes)
+    ratio = FigureResult("Fig13b", "Scalability: ratio", "objects", sizes)
+    for algo in algorithms:
+        runtime.add_series(algo, runtime_series[algo])
+        ratio.add_series(algo, ratio_series[algo])
+    return [runtime, ratio]
+
+
+# ---------------------------------------------------------------------- #
+# Extension experiment (not a paper figure): distributed scaling.
+# ---------------------------------------------------------------------- #
+
+
+def ext_distributed_scaling(
+    dataset_name: str = "LA",
+    scale: float = 0.05,
+    m: int = 4,
+    queries_per_set: int = 4,
+    worker_counts: Sequence[int] = (1, 4, 9, 16),
+    seed: int = 0,
+) -> List[FigureResult]:
+    """Distributed mCK (§8 future work): makespan and bytes vs workers.
+
+    Every distributed answer is asserted equal to the centralized EXACT
+    optimum; the series show the simulated parallel wall-clock and the
+    communication bill as the cluster grows.
+    """
+    from ..core.engine import MCKEngine
+    from ..distributed import DistributedMCKEngine
+
+    dataset = dataset_by_name(dataset_name, scale=scale)
+    queries = generate_queries(dataset, m, queries_per_set, seed=seed)
+    central = MCKEngine(dataset)
+    references = {
+        q.keywords: central.query(q.keywords, algorithm="EXACT") for q in queries
+    }
+
+    makespan = FigureResult(
+        "Ext-dist-makespan",
+        f"Distributed makespan vs workers ({dataset.name})",
+        "workers",
+        list(worker_counts),
+    )
+    shipped = FigureResult(
+        "Ext-dist-bytes",
+        f"Bytes shipped vs workers ({dataset.name})",
+        "workers",
+        list(worker_counts),
+    )
+    mk_series: List[float] = []
+    by_series: List[float] = []
+    for n_workers in worker_counts:
+        engine = DistributedMCKEngine(dataset, n_workers=n_workers)
+        total_mk = 0.0
+        total_bytes = 0
+        for q in queries:
+            result = engine.query(q.keywords)
+            reference = references[q.keywords]
+            if abs(result.group.diameter - reference.diameter) > 1e-6:
+                raise AssertionError(
+                    f"distributed answer diverged on {q.keywords}"
+                )
+            total_mk += result.makespan_seconds
+            total_bytes += result.bytes_shipped
+        mk_series.append(total_mk / len(queries))
+        by_series.append(total_bytes / len(queries))
+    makespan.add_series("distributed", mk_series)
+    shipped.add_series("distributed", by_series)
+    makespan.notes.append("answers asserted equal to centralized EXACT")
+    return [makespan, shipped]
+
+
+# ---------------------------------------------------------------------- #
+# Helpers.
+# ---------------------------------------------------------------------- #
+
+
+def _summary_of(measurements: List[QueryMeasurement], algorithm: str):
+    for summary in summarize(measurements):
+        if summary.algorithm == algorithm:
+            return summary
+    raise KeyError(f"no measurements for {algorithm!r}")
+
+
+def _common_success_runtimes(
+    measurements: List[QueryMeasurement], algorithms: Sequence[str]
+) -> Dict[str, float]:
+    """Mean runtime per algorithm over queries where *all* of them
+    succeeded (the paper's §6.2.3 comparison rule)."""
+    by_query: Dict[Tuple, Dict[str, QueryMeasurement]] = {}
+    for m in measurements:
+        if m.algorithm in algorithms:
+            by_query.setdefault(tuple(m.query_keywords), {})[m.algorithm] = m
+    common = [
+        entry
+        for entry in by_query.values()
+        if len(entry) == len(algorithms) and all(s.success for s in entry.values())
+    ]
+    if not common:
+        return {}
+    return {
+        algo: sum(entry[algo].elapsed_seconds for entry in common) / len(common)
+        for algo in algorithms
+    }

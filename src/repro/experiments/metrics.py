@@ -1,0 +1,107 @@
+"""Measurement records and aggregation for the experiment harness.
+
+The paper reports three metrics (§6):
+
+* **runtime** — mean seconds per query, over the queries an algorithm
+  finished within the timeout threshold;
+* **approximation ratio** — mean δ(G)/δ(G_opt) against the exact optimum;
+* **success rate** — fraction of queries finished within the threshold
+  (§6.2.3's censoring methodology).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["QueryMeasurement", "AlgorithmSummary", "summarize", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]); NaN when empty.
+
+    Implemented locally so the metrics layer has no numpy dependency and
+    the behaviour is pinned by tests rather than by library versioning.
+    """
+    if not values:
+        return math.nan
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class QueryMeasurement:
+    """One (algorithm, query) sample."""
+
+    algorithm: str
+    query_keywords: Sequence[str]
+    elapsed_seconds: float
+    diameter: float
+    success: bool
+    #: Optimal diameter for the same query, when a reference was computed.
+    optimal_diameter: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """δ(G)/δ(G_opt); None without a reference or on failure."""
+        if not self.success or self.optimal_diameter is None:
+            return None
+        if self.optimal_diameter <= 0.0:
+            return 1.0 if self.diameter <= 1e-12 else math.inf
+        return self.diameter / self.optimal_diameter
+
+
+@dataclass
+class AlgorithmSummary:
+    """Aggregate of one algorithm over one query set."""
+
+    algorithm: str
+    n_queries: int
+    n_succeeded: int
+    mean_runtime: float
+    mean_ratio: Optional[float]
+    max_ratio: Optional[float]
+    #: Runtime percentiles over succeeded queries (p50, p95); NaN when none.
+    p50_runtime: float = math.nan
+    p95_runtime: float = math.nan
+
+    @property
+    def success_rate(self) -> float:
+        return self.n_succeeded / self.n_queries if self.n_queries else 0.0
+
+
+def summarize(measurements: Sequence[QueryMeasurement]) -> List[AlgorithmSummary]:
+    """Aggregate measurements per algorithm (insertion order preserved)."""
+    by_algorithm: Dict[str, List[QueryMeasurement]] = {}
+    for m in measurements:
+        by_algorithm.setdefault(m.algorithm, []).append(m)
+
+    summaries: List[AlgorithmSummary] = []
+    for algorithm, samples in by_algorithm.items():
+        succeeded = [s for s in samples if s.success]
+        ratios = [r for s in succeeded if (r := s.ratio) is not None and math.isfinite(r)]
+        runtimes = [s.elapsed_seconds for s in succeeded]
+        summaries.append(
+            AlgorithmSummary(
+                algorithm=algorithm,
+                n_queries=len(samples),
+                n_succeeded=len(succeeded),
+                mean_runtime=(
+                    sum(runtimes) / len(runtimes) if runtimes else math.nan
+                ),
+                mean_ratio=sum(ratios) / len(ratios) if ratios else None,
+                max_ratio=max(ratios) if ratios else None,
+                p50_runtime=percentile(runtimes, 50.0),
+                p95_runtime=percentile(runtimes, 95.0),
+            )
+        )
+    return summaries

@@ -1,0 +1,74 @@
+"""Persistence of experiment output: FigureResult <-> JSON.
+
+Lets long benchmark runs be archived and re-rendered (EXPERIMENTS.md is
+generated from saved runs) and lets CI diff reproduced series between
+versions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import List, Union
+
+from ..exceptions import ExperimentError
+from .report import FigureResult
+
+__all__ = ["save_figures", "load_figures", "figure_to_dict", "figure_from_dict"]
+
+_FORMAT = "repro-figures-v1"
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    """JSON-safe dict (NaN encoded as None, which JSON supports)."""
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "x_values": list(figure.x_values),
+        "series": {
+            label: [None if isinstance(v, float) and math.isnan(v) else v for v in values]
+            for label, values in figure.series.items()
+        },
+        "notes": list(figure.notes),
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureResult:
+    try:
+        figure = FigureResult(
+            figure_id=str(payload["figure_id"]),
+            title=str(payload["title"]),
+            x_label=str(payload["x_label"]),
+            x_values=list(payload["x_values"]),
+        )
+        for label, values in payload.get("series", {}).items():
+            figure.add_series(
+                label,
+                [math.nan if v is None else float(v) for v in values],
+            )
+        figure.notes = [str(n) for n in payload.get("notes", [])]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(f"malformed figure payload: {exc}") from exc
+    return figure
+
+
+def save_figures(figures: List[FigureResult], path: Union[str, Path]) -> None:
+    """Write a list of figures to one JSON document."""
+    document = {
+        "format": _FORMAT,
+        "figures": [figure_to_dict(f) for f in figures],
+    }
+    Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+
+def load_figures(path: Union[str, Path]) -> List[FigureResult]:
+    """Read figures written by :func:`save_figures`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(document, dict) or document.get("format") != _FORMAT:
+        raise ExperimentError(f"{path}: not a {_FORMAT} document")
+    return [figure_from_dict(p) for p in document.get("figures", [])]

@@ -1,0 +1,92 @@
+"""Rendering of experiment output as paper-style series and tables."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FigureResult", "render_series_table", "render_rows"]
+
+
+@dataclass
+class FigureResult:
+    """The data behind one reproduced figure (or table).
+
+    ``series`` maps a series label (e.g. ``"EXACT runtime"``) to one value
+    per entry of ``x_values``; ``NaN`` marks missing points (e.g. all
+    queries timed out).
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: List
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        """Attach one series (length must match x_values)."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(self.x_values)} x positions"
+            )
+        self.series[label] = list(values)
+
+    def render(self) -> str:
+        """Render as an ASCII series table."""
+        return render_series_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_series_table(figure: FigureResult, width: int = 12) -> str:
+    """ASCII table: x values across, one row per series."""
+    lines = [f"== {figure.figure_id}: {figure.title} =="]
+    header = _pad(figure.x_label, 24) + "".join(
+        _pad(_fmt(x), width) for x in figure.x_values
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in figure.series.items():
+        row = _pad(label, 24) + "".join(_pad(_fmt(v), width) for v in values)
+        lines.append(row)
+    for note in figure.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_rows(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """ASCII table with explicit columns (used for Table 1)."""
+    widths = [len(str(h)) for h in header]
+    text_rows = [[_fmt(v) for v in row] for row in rows]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        if magnitude >= 1:
+            return f"{value:.4g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _pad(text: str, width: int) -> str:
+    return str(text).ljust(width)

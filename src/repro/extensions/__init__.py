@@ -1,0 +1,12 @@
+"""Extensions beyond the paper's core contribution."""
+
+from .network import NetworkGroup, RoadNetwork, network_exact, network_gkg
+from .topk import top_k_mck
+
+__all__ = [
+    "NetworkGroup",
+    "RoadNetwork",
+    "network_exact",
+    "network_gkg",
+    "top_k_mck",
+]

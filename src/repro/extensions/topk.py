@@ -1,0 +1,91 @@
+"""Top-k mCK: the k best answers instead of one.
+
+A natural extension of the paper's query (single best group): applications
+like photo geolocation and trip planning benefit from *alternative* areas,
+not just the winner.  Two disjointness policies are offered:
+
+* ``"disjoint"`` (default) — successive groups share no objects; after
+  each answer, its members are excluded from O' and the query re-solved.
+  This is the classic diversified top-k and guarantees k genuinely
+  different areas.
+* ``"distinct"`` — successive groups merely have to differ as sets; only
+  the previous *anchor* objects (holders of the least frequent keyword)
+  are excluded, which yields overlapping but non-identical groups.
+
+Each answer is optimal for the residual database under the chosen policy
+(greedy diversification; globally optimal diversified top-k is NP-hard
+already for k = 1 by Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.common import Deadline
+from ..core.exact import exact
+from ..core.objects import Dataset
+from ..core.query import MCKQuery, compile_query
+from ..core.result import Group
+from ..core.skeca import DEFAULT_EPSILON
+from ..core.skecaplus import skeca_plus
+from ..exceptions import InfeasibleQueryError, QueryError
+
+__all__ = ["top_k_mck"]
+
+
+def top_k_mck(
+    dataset: Dataset,
+    keywords,
+    k: int,
+    policy: str = "disjoint",
+    algorithm: str = "EXACT",
+    epsilon: float = DEFAULT_EPSILON,
+    deadline: Optional[Deadline] = None,
+) -> List[Group]:
+    """Return up to ``k`` mCK answers under a disjointness policy.
+
+    Stops early (returning fewer groups) once the residual database can no
+    longer cover the query.
+    """
+    if k < 1:
+        raise QueryError("k must be at least 1")
+    if policy not in ("disjoint", "distinct"):
+        raise QueryError(f"unknown policy {policy!r}; use 'disjoint' or 'distinct'")
+    solver = _solver_for(algorithm, epsilon)
+    query = keywords if isinstance(keywords, MCKQuery) else MCKQuery(keywords)
+
+    groups: List[Group] = []
+    excluded: set = set()
+    while len(groups) < k:
+        try:
+            ctx = compile_query(dataset, query, exclude=frozenset(excluded))
+        except InfeasibleQueryError:
+            break
+        try:
+            group = solver(ctx, deadline)
+        except InfeasibleQueryError:
+            break
+        groups.append(group)
+        if policy == "disjoint":
+            excluded.update(group.object_ids)
+        else:
+            # Exclude only the group's t_inf anchors so the next answer is
+            # forced to differ while still allowed to reuse the area.
+            anchors = [
+                oid
+                for oid in group.object_ids
+                if ctx.t_inf in dataset[oid].keywords
+            ]
+            excluded.update(anchors or group.object_ids[:1])
+    return groups
+
+
+def _solver_for(algorithm: str, epsilon: float):
+    key = algorithm.strip().upper().replace("-", "").replace("_", "")
+    if key == "EXACT":
+        return lambda ctx, dl: exact(ctx, epsilon, dl)
+    if key in ("SKECA+", "SKECAPLUS"):
+        return lambda ctx, dl: skeca_plus(ctx, epsilon, dl)
+    raise QueryError(
+        f"top-k supports EXACT and SKECa+ solvers, not {algorithm!r}"
+    )

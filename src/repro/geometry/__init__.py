@@ -1,0 +1,51 @@
+"""Computational-geometry substrate for the mCK reproduction.
+
+Everything the paper's proofs lean on lives here: distance kernels, circles
+through two/three points (Theorem 3), the minimum covering circle
+(Definition 4), group diameters (Definition 1), and the angular-interval
+algebra behind the rotating-circle sweep of Procedure circleScan.
+"""
+
+from .circle import EPS, Circle, circle_from_three, circle_from_two
+from .elzinga_hearn import minimum_covering_circle_eh
+from .diameter import diameter_bruteforce, diameter_calipers, group_diameter
+from .hull import convex_hull
+from .mcc import minimum_covering_circle, minimum_covering_circle_naive
+from .point import (
+    Point,
+    coords_array,
+    dist,
+    dist_many,
+    dist_sq,
+    dist_sq_many,
+    midpoint,
+    polar_angle,
+)
+from .sweep import TWO_PI, SweepEvent, angle_in_interval, build_events, coverage_interval
+
+__all__ = [
+    "EPS",
+    "Circle",
+    "circle_from_two",
+    "circle_from_three",
+    "group_diameter",
+    "diameter_bruteforce",
+    "diameter_calipers",
+    "convex_hull",
+    "minimum_covering_circle",
+    "minimum_covering_circle_eh",
+    "minimum_covering_circle_naive",
+    "Point",
+    "dist",
+    "dist_sq",
+    "dist_many",
+    "dist_sq_many",
+    "midpoint",
+    "polar_angle",
+    "coords_array",
+    "TWO_PI",
+    "SweepEvent",
+    "build_events",
+    "coverage_interval",
+    "angle_in_interval",
+]

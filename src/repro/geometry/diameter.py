@@ -1,0 +1,79 @@
+"""Group diameter (Definition 1): the maximum pairwise distance in a set.
+
+Small groups (a few objects per query keyword) use the direct quadratic
+scan; larger point sets switch to rotating calipers over the convex hull,
+which is O(n log n).  Both entry points accept any iterable of ``(x, y)``
+pairs, so they work on raw coordinates and on :class:`~repro.core.objects.GeoObject`
+locations alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .hull import convex_hull
+from .point import dist, dist_sq
+
+__all__ = ["group_diameter", "diameter_bruteforce", "diameter_calipers"]
+
+#: Below this size the quadratic scan beats hull construction in practice.
+_CALIPERS_THRESHOLD = 24
+
+
+def group_diameter(points: Iterable[Sequence[float]]) -> float:
+    """Diameter of a point set; 0.0 for the empty set or a single point."""
+    pts = [(float(p[0]), float(p[1])) for p in points]
+    if len(pts) < 2:
+        return 0.0
+    if len(pts) <= _CALIPERS_THRESHOLD:
+        return diameter_bruteforce(pts)
+    return diameter_calipers(pts)
+
+
+def diameter_bruteforce(points: Sequence[Sequence[float]]) -> float:
+    """O(n^2) diameter; reference implementation and fast path for small n."""
+    best_sq = 0.0
+    n = len(points)
+    for i in range(n):
+        pi = points[i]
+        for j in range(i + 1, n):
+            d_sq = dist_sq(pi, points[j])
+            if d_sq > best_sq:
+                best_sq = d_sq
+    return best_sq**0.5
+
+
+def diameter_calipers(points: Sequence[Sequence[float]]) -> float:
+    """Rotating-calipers diameter over the convex hull.
+
+    The farthest pair of a planar set is a pair of antipodal hull vertices;
+    the calipers walk visits each antipodal pair once.
+    """
+    hull = convex_hull(points)
+    n = len(hull)
+    if n == 1:
+        return 0.0
+    if n == 2:
+        return dist(hull[0], hull[1])
+
+    best_sq = 0.0
+    k = 1
+    for i in range(n):
+        j = (i + 1) % n
+        # Advance the caliper while the triangle area keeps growing.
+        while True:
+            nxt = (k + 1) % n
+            area_now = _twice_area(hull[i], hull[j], hull[k])
+            area_next = _twice_area(hull[i], hull[j], hull[nxt])
+            if area_next > area_now:
+                k = nxt
+            else:
+                break
+        best_sq = max(best_sq, dist_sq(hull[i], hull[k]), dist_sq(hull[j], hull[k]))
+    return best_sq**0.5
+
+
+def _twice_area(a: Sequence[float], b: Sequence[float], c: Sequence[float]) -> float:
+    return abs(
+        (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+    )

@@ -1,0 +1,106 @@
+"""Elzinga–Hearn minimum covering circle (the paper's citation [11]).
+
+The paper grounds Theorem 3 in Elzinga & Hearn's geometric
+characterisation; this module implements their classic dual-simplex-style
+algorithm as an independent alternative to Welzl's
+(:mod:`repro.geometry.mcc`).  Having two implementations built from
+different principles lets the test suite cross-check the primitive every
+SKEC-family proof rests on.
+
+Algorithm sketch (Elzinga & Hearn 1972):
+
+1. start with the circle on any two points as a diameter;
+2. if every point is enclosed, stop;
+3. otherwise pick an outside point and form the smallest circle enclosing
+   the current *defining set* plus that point (two- or three-point
+   subproblem, dropping points that stop being extreme);
+4. repeat — the radius strictly grows, so termination is guaranteed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import GeometryError
+from .circle import Circle, circle_from_three, circle_from_two
+from .point import dist
+
+__all__ = ["minimum_covering_circle_eh"]
+
+_EPS = 1e-9
+
+
+def minimum_covering_circle_eh(points: Iterable[Sequence[float]]) -> Circle:
+    """Smallest enclosing circle via the Elzinga–Hearn procedure."""
+    pts = [(float(p[0]), float(p[1])) for p in points]
+    if not pts:
+        raise ValueError("minimum covering circle of an empty point set")
+    pts = list(dict.fromkeys(pts))
+    if len(pts) == 1:
+        return Circle(pts[0][0], pts[0][1], 0.0)
+
+    defining: List[Tuple[float, float]] = [pts[0], pts[1]]
+    circle = circle_from_two(pts[0], pts[1])
+
+    # Each iteration strictly grows the radius; 4n iterations is a safe
+    # engineering bound far above the theoretical requirement.
+    for _ in range(4 * len(pts) + 8):
+        outside = _farthest_outside(pts, circle)
+        if outside is None:
+            return circle
+        defining, circle = _enlarge(defining, outside)
+    raise GeometryError("Elzinga-Hearn failed to converge")  # pragma: no cover
+
+
+def _farthest_outside(
+    pts: Sequence[Tuple[float, float]], circle: Circle
+) -> Optional[Tuple[float, float]]:
+    worst = None
+    worst_excess = _EPS * (1.0 + circle.r)
+    for p in pts:
+        excess = dist(circle.center, p) - circle.r
+        if excess > worst_excess:
+            worst = p
+            worst_excess = excess
+    return worst
+
+
+def _enlarge(
+    defining: List[Tuple[float, float]], p: Tuple[float, float]
+) -> Tuple[List[Tuple[float, float]], Circle]:
+    """Smallest circle enclosing ``defining + [p]`` with p on the boundary,
+    keeping only the points that define it."""
+    support = list(dict.fromkeys(defining + [p]))
+    best: Optional[Tuple[List[Tuple[float, float]], Circle]] = None
+
+    # Two-point candidates through p.
+    for q in support:
+        if q == p:
+            continue
+        circle = circle_from_two(p, q)
+        if _encloses(support, circle):
+            if best is None or circle.r < best[1].r:
+                best = ([p, q], circle)
+    # Three-point candidates through p.
+    n = len(support)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = support[i], support[j]
+            if p in (a, b):
+                continue
+            try:
+                circle = circle_from_three(p, a, b)
+            except GeometryError:
+                continue
+            if _encloses(support, circle):
+                if best is None or circle.r < best[1].r:
+                    best = ([p, a, b], circle)
+
+    if best is None:  # all support points coincide with p
+        return [p], Circle(p[0], p[1], 0.0)
+    return best
+
+
+def _encloses(pts: Sequence[Tuple[float, float]], circle: Circle) -> bool:
+    limit = circle.r + _EPS * (1.0 + circle.r)
+    return all(dist(circle.center, p) <= limit for p in pts)

@@ -1,0 +1,45 @@
+"""Convex hull via Andrew's monotone chain.
+
+The hull feeds the rotating-calipers diameter routine used on large groups
+(the group diameter of Definition 1 is attained by a pair of hull vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["convex_hull", "cross"]
+
+
+def cross(o: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float:
+    """Z-component of the cross product ``(a - o) x (b - o)``."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Iterable[Sequence[float]]) -> List[Tuple[float, float]]:
+    """Convex hull in counter-clockwise order, collinear points dropped.
+
+    Degenerate inputs are handled gracefully: a single point yields a
+    one-element hull, two distinct points a two-element hull, and fully
+    collinear input the two extreme points.
+    """
+    pts = sorted(set((float(p[0]), float(p[1])) for p in points))
+    if len(pts) <= 2:
+        return pts
+
+    lower: List[Tuple[float, float]] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: List[Tuple[float, float]] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    hull = lower[:-1] + upper[:-1]
+    if not hull:  # all points collinear: keep the two extremes
+        return [pts[0], pts[-1]]
+    return hull

@@ -1,0 +1,110 @@
+"""2-D points and distance kernels.
+
+Points are plain ``(x, y)`` float tuples throughout the hot paths of the
+library — tuples are the cheapest Python object with value semantics, and
+every geometric routine in this package accepts them.  The :class:`Point`
+named-tuple subclass adds arithmetic convenience for user-facing code
+without changing the runtime representation.
+
+Batch kernels operating on numpy arrays live here too so that callers have
+one module to import for all distance computations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "dist",
+    "dist_sq",
+    "dist_many",
+    "dist_sq_many",
+    "midpoint",
+    "polar_angle",
+    "coords_array",
+]
+
+
+class Point(NamedTuple):
+    """An immutable 2-D point.
+
+    Being a ``NamedTuple`` it is interchangeable with a plain ``(x, y)``
+    tuple everywhere in the library, while offering ``.x``/``.y`` access and
+    vector arithmetic for readability in examples and tests.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other) -> "Point":  # type: ignore[override]
+        return Point(self.x + other[0], self.y + other[1])
+
+    def __sub__(self, other) -> "Point":
+        return Point(self.x - other[0], self.y - other[1])
+
+    def scaled(self, factor: float) -> "Point":
+        """Return this point scaled about the origin by ``factor``."""
+        return Point(self.x * factor, self.y * factor)
+
+    def distance_to(self, other: Sequence[float]) -> float:
+        """Euclidean distance to ``other``."""
+        return dist(self, other)
+
+
+def dist(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between points ``a`` and ``b``.
+
+    ``math.hypot`` is both faster and more numerically robust than the naive
+    ``sqrt(dx*dx + dy*dy)`` for extreme coordinate magnitudes.
+    """
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def dist_sq(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance — avoids the sqrt for pure comparisons."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def dist_many(origin: Sequence[float], coords: np.ndarray) -> np.ndarray:
+    """Distances from ``origin`` to every row of an ``(n, 2)`` array."""
+    delta = coords - np.asarray(origin, dtype=np.float64)
+    return np.hypot(delta[:, 0], delta[:, 1])
+
+
+def dist_sq_many(origin: Sequence[float], coords: np.ndarray) -> np.ndarray:
+    """Squared distances from ``origin`` to every row of an ``(n, 2)`` array."""
+    delta = coords - np.asarray(origin, dtype=np.float64)
+    return delta[:, 0] * delta[:, 0] + delta[:, 1] * delta[:, 1]
+
+
+def midpoint(a: Sequence[float], b: Sequence[float]) -> Point:
+    """Midpoint of the segment ``ab``."""
+    return Point((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+def polar_angle(pole: Sequence[float], p: Sequence[float]) -> float:
+    """Polar angle of ``p`` in a coordinate system centred at ``pole``.
+
+    Returned in radians within ``[0, 2*pi)`` so angles sort naturally for
+    the circular sweep in :mod:`repro.core.circlescan`.
+    """
+    angle = math.atan2(p[1] - pole[1], p[0] - pole[0])
+    if angle < 0.0:
+        angle += 2.0 * math.pi
+    return angle
+
+
+def coords_array(points: Iterable[Sequence[float]]) -> np.ndarray:
+    """Pack an iterable of points into an ``(n, 2)`` float64 array."""
+    arr = np.asarray(list(points), dtype=np.float64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) coordinates, got shape {arr.shape}")
+    return arr

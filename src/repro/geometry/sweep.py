@@ -1,0 +1,117 @@
+"""Angular-interval algebra backing Procedure circleScan (paper §4.3.2).
+
+Fix a pole ``o`` and a circle of diameter ``D`` whose boundary passes
+through ``o``.  As the circle rotates around ``o``, its centre moves on a
+circle of radius ``D/2`` about ``o``; parameterise the position by the polar
+angle ``theta`` of the centre.  An object ``u`` at distance ``d <= D`` from
+``o`` lies inside the rotating (closed) disc exactly when
+
+    cos(theta - phi(u)) >= d / D,
+
+i.e. when ``theta`` is within ``beta = arccos(d / D)`` of ``phi(u)``, the
+polar angle of ``u`` around ``o``.  The paper's *outside-in* angle is the
+interval start and the *inside-out* angle the interval end (its Figure 5).
+
+This module computes those intervals and expands them into sorted sweep
+events; the keyword bookkeeping on top of the events lives in
+:mod:`repro.core.circlescan`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "TWO_PI",
+    "coverage_interval",
+    "SweepEvent",
+    "build_events",
+    "angle_in_interval",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def coverage_interval(
+    pole: Sequence[float],
+    diameter: float,
+    p: Sequence[float],
+    eps: float = 1e-12,
+) -> Optional[Tuple[float, float]]:
+    """Angular interval of circle-centre angles for which ``p`` is enclosed.
+
+    Returns ``(enter, exit)`` angles in ``[0, 2*pi)`` with the convention
+    that the interval runs counter-clockwise from ``enter`` to ``exit``
+    (wrapping across 0 when ``enter > exit``), or ``None`` when ``p`` is
+    farther than ``diameter`` from the pole and can never be enclosed.
+
+    A point coincident with the pole is always enclosed, encoded as the full
+    interval ``(0.0, 2*pi)``.
+    """
+    dx = p[0] - pole[0]
+    dy = p[1] - pole[1]
+    d = math.hypot(dx, dy)
+    if d > diameter + eps:
+        return None
+    if d <= eps:
+        return (0.0, TWO_PI)
+    ratio = d / diameter
+    if ratio > 1.0:
+        ratio = 1.0
+    beta = math.acos(ratio)
+    phi = math.atan2(dy, dx)
+    enter = (phi - beta) % TWO_PI
+    exit_ = (phi + beta) % TWO_PI
+    return (enter, exit_)
+
+
+class SweepEvent(NamedTuple):
+    """One boundary crossing in the circular sweep.
+
+    ``is_enter`` is True when the object enters the disc at ``angle`` as
+    ``theta`` increases.  ``payload`` carries the caller's object handle.
+    """
+
+    angle: float
+    is_enter: bool
+    payload: object
+
+
+def build_events(
+    intervals: Sequence[Tuple[float, float, object]],
+) -> Tuple[List[SweepEvent], List[object]]:
+    """Expand ``(enter, exit, payload)`` intervals into sorted sweep events.
+
+    Returns ``(events, initially_inside)`` where ``initially_inside`` lists
+    the payloads whose interval contains angle ``0.0`` — the sweep starts
+    there.  Full intervals (``exit - enter >= 2*pi``) are always-inside and
+    never emit events.
+
+    Exit events sort before enter events at the same angle so that a
+    zero-width tangency does not momentarily double-count an object.
+    """
+    events: List[SweepEvent] = []
+    initially_inside: List[object] = []
+    for enter, exit_, payload in intervals:
+        if exit_ - enter >= TWO_PI - 1e-15:
+            initially_inside.append(payload)
+            continue
+        wraps = enter > exit_
+        if wraps or enter == 0.0:
+            initially_inside.append(payload)
+        events.append(SweepEvent(enter, True, payload))
+        events.append(SweepEvent(exit_, False, payload))
+    # Sort by angle; exits first on ties (is_enter False < True).
+    events.sort(key=lambda e: (e.angle, e.is_enter))
+    return events, initially_inside
+
+
+def angle_in_interval(theta: float, enter: float, exit_: float) -> bool:
+    """True when ``theta`` lies in the (possibly wrapping) interval."""
+    theta %= TWO_PI
+    if exit_ - enter >= TWO_PI - 1e-15:
+        return True
+    if enter <= exit_:
+        return enter <= theta <= exit_
+    return theta >= enter or theta <= exit_

@@ -1,0 +1,13 @@
+"""NP-hardness machinery: 3-SAT, DPLL, and the Theorem-1 reduction."""
+
+from .reduction import MCKReduction, decide_3sat_via_mck, reduce_3sat_to_mck
+from .threesat import ThreeSatFormula, dpll_satisfiable, random_3sat
+
+__all__ = [
+    "MCKReduction",
+    "decide_3sat_via_mck",
+    "reduce_3sat_to_mck",
+    "ThreeSatFormula",
+    "dpll_satisfiable",
+    "random_3sat",
+]

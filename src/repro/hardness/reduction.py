@@ -1,0 +1,119 @@
+"""The Theorem-1 reduction: 3-SAT → mCK (paper Appendix A).
+
+Construction: take a circle of diameter ``d' = d + ε``.  Each variable
+``u_i`` becomes a point on the circle with its negation placed
+diametrically opposite (distance exactly ``d'``).  A keyword ``q_i`` is
+attached to both points of pair i, and a keyword ``q_{m+j}`` to the three
+points whose literals appear in clause ``C_j``.  With the variable angles
+spread evenly over ``[0, π)``, every non-antipodal pair of points is at
+distance at most ``d = d' · cos(π / (2m)) < d'``.
+
+An mCK query over all ``m + n`` keywords then has a solution of diameter
+at most ``d`` **iff** the formula is satisfiable: a group within ``d``
+can never contain both points of a pair (they are ``d'`` apart), so it
+picks one literal per variable — an assignment — and covering the clause
+keywords means every clause contains a chosen literal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.engine import MCKEngine
+from ..core.objects import Dataset
+from ..core.result import Group
+from .threesat import ThreeSatFormula
+
+__all__ = ["MCKReduction", "reduce_3sat_to_mck", "decide_3sat_via_mck"]
+
+
+@dataclass
+class MCKReduction:
+    """The mCK instance produced from a 3-SAT formula."""
+
+    formula: ThreeSatFormula
+    dataset: Dataset
+    query_keywords: Tuple[str, ...]
+    #: Decision threshold: satisfiable iff the optimal diameter <= this.
+    threshold: float
+    #: Distance between a variable point and its negation (= d + ε).
+    antipodal_distance: float
+    #: object id -> signed literal it represents.
+    literal_of_object: Dict[int, int]
+
+    def assignment_from_group(self, group: Group) -> Dict[int, bool]:
+        """Read a truth assignment off a group of diameter <= threshold.
+
+        Variables whose points are absent from the group are unconstrained
+        and default to False.
+        """
+        assignment = {v: False for v in range(1, self.formula.n_variables + 1)}
+        for oid in group.object_ids:
+            lit = self.literal_of_object[oid]
+            assignment[abs(lit)] = lit > 0
+        return assignment
+
+
+def reduce_3sat_to_mck(
+    formula: ThreeSatFormula, diameter_prime: float = 2.0
+) -> MCKReduction:
+    """Build the Appendix-A mCK instance for ``formula``."""
+    m = formula.n_variables
+    radius = diameter_prime / 2.0
+    threshold = diameter_prime * math.cos(math.pi / (2.0 * m))
+
+    # Keywords attached to each literal point.
+    keywords_of_literal: Dict[int, List[str]] = {}
+    for v in range(1, m + 1):
+        keywords_of_literal[v] = [f"q{v}"]
+        keywords_of_literal[-v] = [f"q{v}"]
+    for j, clause in enumerate(formula.clauses, start=1):
+        for lit in clause:
+            keywords_of_literal[lit].append(f"q{m + j}")
+
+    dataset = Dataset(name="3sat-reduction")
+    literal_of_object: Dict[int, int] = {}
+    for v in range(1, m + 1):
+        angle = (v - 1) * math.pi / m
+        x = radius * math.cos(angle)
+        y = radius * math.sin(angle)
+        oid = dataset.add(x, y, keywords_of_literal[v])
+        literal_of_object[oid] = v
+        oid = dataset.add(-x, -y, keywords_of_literal[-v])
+        literal_of_object[oid] = -v
+    dataset.finalize()
+
+    query_keywords = tuple(
+        [f"q{v}" for v in range(1, m + 1)]
+        + [f"q{m + j}" for j in range(1, formula.n_clauses + 1)]
+    )
+    return MCKReduction(
+        formula=formula,
+        dataset=dataset,
+        query_keywords=query_keywords,
+        threshold=threshold,
+        antipodal_distance=diameter_prime,
+        literal_of_object=literal_of_object,
+    )
+
+
+def decide_3sat_via_mck(
+    formula: ThreeSatFormula, algorithm: str = "EXACT"
+) -> Tuple[bool, Optional[Dict[int, bool]]]:
+    """Decide satisfiability by solving the reduced mCK instance.
+
+    Returns ``(satisfiable, model)``.  Any exact mCK algorithm works;
+    an approximate one would only be sound for "unsatisfiable" answers.
+    """
+    reduction = reduce_3sat_to_mck(formula)
+    engine = MCKEngine(reduction.dataset)
+    group = engine.query(reduction.query_keywords, algorithm=algorithm)
+    # Strictly below the antipodal distance is the clean separation; use
+    # the midpoint of [threshold, d'] to absorb float error.
+    cutoff = (reduction.threshold + reduction.antipodal_distance) / 2.0
+    if group.diameter <= cutoff:
+        model = reduction.assignment_from_group(group)
+        return True, model
+    return False, None

@@ -1,0 +1,137 @@
+"""3-SAT formulas and a small DPLL solver.
+
+Support machinery for the paper's NP-hardness proof (Theorem 1 /
+Appendix A): the reduction module maps 3-SAT instances to mCK instances,
+and the tests verify that the mCK decision answer matches a ground-truth
+SAT answer computed here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+__all__ = ["ThreeSatFormula", "dpll_satisfiable", "random_3sat"]
+
+
+@dataclass(frozen=True)
+class ThreeSatFormula:
+    """A CNF formula with clauses of at most three literals.
+
+    A literal is a non-zero int: ``+i`` for variable i, ``-i`` for its
+    negation, with variables numbered from 1 (DIMACS convention).
+    """
+
+    n_variables: int
+    clauses: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        for clause in self.clauses:
+            if not clause or len(clause) > 3:
+                raise ValueError(f"clause size must be 1..3, got {clause}")
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.n_variables:
+                    raise ValueError(f"literal {lit} out of range")
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """True when ``assignment`` (variable -> bool) satisfies the formula."""
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+
+def dpll_satisfiable(
+    formula: ThreeSatFormula,
+) -> Tuple[bool, Optional[Dict[int, bool]]]:
+    """Decide satisfiability by DPLL with unit propagation.
+
+    Returns ``(satisfiable, model)``; the model is a full assignment when
+    satisfiable, otherwise ``None``.
+    """
+    clauses = [frozenset(c) for c in formula.clauses]
+    assignment: Dict[int, bool] = {}
+
+    result = _dpll(clauses, assignment)
+    if result is None:
+        return False, None
+    # Unconstrained variables default to False.
+    for v in range(1, formula.n_variables + 1):
+        result.setdefault(v, False)
+    return True, result
+
+
+def _dpll(
+    clauses: List[FrozenSet[int]], assignment: Dict[int, bool]
+) -> Optional[Dict[int, bool]]:
+    clauses = list(clauses)
+
+    # Unit propagation.
+    changed = True
+    while changed:
+        changed = False
+        unit = next((c for c in clauses if len(c) == 1), None)
+        if unit is not None:
+            lit = next(iter(unit))
+            assignment = dict(assignment)
+            assignment[abs(lit)] = lit > 0
+            new_clauses = _assign(clauses, lit)
+            if new_clauses is None:
+                return None
+            clauses = new_clauses
+            changed = True
+
+    if not clauses:
+        return assignment
+    # Branch on the first literal of the first clause.
+    lit = next(iter(clauses[0]))
+    for choice in (lit, -lit):
+        reduced = _assign(clauses, choice)
+        if reduced is None:
+            continue
+        branch_assignment = dict(assignment)
+        branch_assignment[abs(choice)] = choice > 0
+        result = _dpll(reduced, branch_assignment)
+        if result is not None:
+            return result
+    return None
+
+
+def _assign(
+    clauses: List[FrozenSet[int]], lit: int
+) -> Optional[List[FrozenSet[int]]]:
+    """Apply literal ``lit`` := true; ``None`` signals an empty clause."""
+    out: List[FrozenSet[int]] = []
+    for clause in clauses:
+        if lit in clause:
+            continue
+        if -lit in clause:
+            reduced = clause - {-lit}
+            if not reduced:
+                return None
+            out.append(reduced)
+        else:
+            out.append(clause)
+    return out
+
+
+def random_3sat(
+    n_variables: int, n_clauses: int, seed: int = 0
+) -> ThreeSatFormula:
+    """A uniformly random 3-SAT instance (distinct variables per clause)."""
+    if n_variables < 3:
+        raise ValueError("need at least 3 variables for 3-literal clauses")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_variables + 1), 3)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+        clauses.append(clause)
+    return ThreeSatFormula(n_variables, tuple(clauses))

@@ -1,0 +1,40 @@
+"""Spatial and textual index substrate.
+
+* :class:`~repro.index.rstar.RStarTree` — a from-scratch R*-tree.
+* :class:`~repro.index.brtree.BRStarTree` — the keyword-bitmap-augmented
+  bR*-tree of Zhang et al. [21].
+* :class:`~repro.index.virtual.VirtualBRTree` — the per-query virtual
+  bR*-tree of Zhang et al. [22], the index shared by all algorithms in the
+  paper's experiments.
+* :class:`~repro.index.inverted.InvertedIndex` — keyword posting lists.
+* :class:`~repro.index.grid.UniformGrid` — numpy-backed disc queries for
+  the sweeping areas of the SKEC-family algorithms.
+"""
+
+from .bitmap import KeywordVocabulary, iter_bits, mask_of, popcount
+from .brtree import BRStarTree
+from .grid import UniformGrid
+from .inverted import InvertedIndex
+from .irtree import IRTree
+from .mbr import MBR, max_dist, mbr_of_points, min_dist
+from .rstar import LeafEntry, Node, RStarTree
+from .virtual import VirtualBRTree
+
+__all__ = [
+    "KeywordVocabulary",
+    "mask_of",
+    "iter_bits",
+    "popcount",
+    "BRStarTree",
+    "UniformGrid",
+    "InvertedIndex",
+    "IRTree",
+    "MBR",
+    "min_dist",
+    "max_dist",
+    "mbr_of_points",
+    "RStarTree",
+    "Node",
+    "LeafEntry",
+    "VirtualBRTree",
+]

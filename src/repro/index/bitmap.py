@@ -1,0 +1,114 @@
+"""Keyword bitmaps.
+
+The bR*-tree (Zhang et al. [21]) augments every R*-tree node with a bitmap
+of the keywords appearing below it.  We encode bitmaps as arbitrary-width
+Python ints: union is ``|``, coverage testing is a mask comparison, and the
+representation is exact for vocabularies of any size.
+
+Two granularities are used:
+
+* *global* bitmaps over the whole vocabulary (one bit per term id) stored in
+  the bR*-tree nodes, and
+* *query-local* masks over the m query keywords (bits 0..m-1) used inside
+  the algorithms, produced by :meth:`KeywordVocabulary.query_mask`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from ..exceptions import DatasetError
+
+__all__ = ["KeywordVocabulary", "mask_of", "iter_bits", "popcount"]
+
+
+def mask_of(term_ids: Iterable[int]) -> int:
+    """Bitmap with the given bit positions set."""
+    mask = 0
+    for t in term_ids:
+        mask |= 1 << t
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits."""
+    return mask.bit_count()
+
+
+class KeywordVocabulary:
+    """Bidirectional term <-> integer-id mapping with frequency counts.
+
+    Term frequencies (number of objects containing the term) drive both the
+    GKG least-frequent-keyword selection and the paper's §6.2.4
+    frequency-bounded query generation.
+    """
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        self._frequency: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def add(self, term: str) -> int:
+        """Intern ``term``; returns its id. Does not touch frequencies."""
+        tid = self._term_to_id.get(term)
+        if tid is None:
+            tid = len(self._id_to_term)
+            self._term_to_id[term] = tid
+            self._id_to_term.append(term)
+            self._frequency.append(0)
+        return tid
+
+    def observe(self, term: str) -> int:
+        """Intern ``term`` and count one containing object."""
+        tid = self.add(term)
+        self._frequency[tid] += 1
+        return tid
+
+    def id_of(self, term: str) -> int:
+        """The id of a known term; raises DatasetError when unseen."""
+        try:
+            return self._term_to_id[term]
+        except KeyError:
+            raise DatasetError(f"unknown keyword: {term!r}") from None
+
+    def term_of(self, tid: int) -> str:
+        """The term string for an id."""
+        return self._id_to_term[tid]
+
+    def frequency(self, term_or_id) -> int:
+        """Document frequency of a term (by string or id)."""
+        tid = term_or_id if isinstance(term_or_id, int) else self.id_of(term_or_id)
+        return self._frequency[tid]
+
+    def terms_by_frequency(self) -> List[str]:
+        """All terms, least frequent first (the paper ranks ascending)."""
+        order = sorted(range(len(self._id_to_term)), key=self._frequency.__getitem__)
+        return [self._id_to_term[i] for i in order]
+
+    def least_frequent(self, terms: Sequence[str]) -> str:
+        """The least frequent of ``terms`` (GKG's ``t_inf``)."""
+        if not terms:
+            raise DatasetError("cannot pick least frequent of no terms")
+        return min(terms, key=lambda t: self._frequency[self.id_of(t)])
+
+    def global_mask(self, terms: Iterable[str]) -> int:
+        """Whole-vocabulary bitmap of ``terms``."""
+        return mask_of(self.id_of(t) for t in terms)
+
+    def query_mask(self, query_terms: Sequence[str]) -> Dict[int, int]:
+        """Map global term id -> query-local bit for the m query keywords."""
+        return {self.id_of(t): 1 << pos for pos, t in enumerate(query_terms)}

@@ -1,0 +1,60 @@
+"""Inverted keyword file: term id -> posting list of object ids.
+
+The virtual bR*-tree method [22] reads the relevant objects for a query
+from an inverted file before building its per-query tree; GKG and the
+SKEC-family algorithms use the same posting lists to materialise ``O'``,
+the set of objects containing at least one query keyword (paper §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from ..exceptions import DatasetError
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Posting lists over integer term ids.
+
+    Lists are kept sorted by object id, which makes unions (the ``O'``
+    computation) cheap and the output deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[int, List[int]] = {}
+
+    def add_object(self, object_id: int, term_ids: Iterable[int]) -> None:
+        for tid in term_ids:
+            self._postings.setdefault(tid, []).append(object_id)
+
+    def finalize(self) -> None:
+        """Sort and deduplicate all posting lists (idempotent)."""
+        for tid, lst in self._postings.items():
+            if len(lst) > 1:
+                self._postings[tid] = sorted(set(lst))
+
+    def posting(self, term_id: int) -> List[int]:
+        """Object ids containing ``term_id`` (empty list when unseen)."""
+        return self._postings.get(term_id, [])
+
+    def document_frequency(self, term_id: int) -> int:
+        return len(self._postings.get(term_id, ()))
+
+    def relevant_objects(self, term_ids: Sequence[int]) -> List[int]:
+        """Sorted union of posting lists: the paper's ``O'`` for a query."""
+        merged: Set[int] = set()
+        for tid in term_ids:
+            merged.update(self._postings.get(tid, ()))
+        return sorted(merged)
+
+    def uncoverable_terms(self, term_ids: Sequence[int]) -> List[int]:
+        """Query term ids with empty posting lists (query infeasible)."""
+        return [tid for tid in term_ids if not self._postings.get(tid)]
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, term_id: int) -> bool:
+        return term_id in self._postings

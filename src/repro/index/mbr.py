@@ -1,0 +1,147 @@
+"""Minimum bounding rectangles and the MinDist / MaxDist bounds.
+
+The R*-tree machinery and the VirbR baseline both reason about rectangles:
+node MBRs, their areas/margins for the R* split heuristics, and the
+MinDist / MaxDist distance bounds used to prune node combinations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["MBR", "min_dist", "max_dist", "mbr_of_points"]
+
+
+@dataclass(slots=True)
+class MBR:
+    """Axis-aligned minimum bounding rectangle ``[x1, x2] x [y1, y2]``."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    @classmethod
+    def from_point(cls, p: Sequence[float]) -> "MBR":
+        return cls(p[0], p[1], p[0], p[1])
+
+    @classmethod
+    def empty(cls) -> "MBR":
+        inf = math.inf
+        return cls(inf, inf, -inf, -inf)
+
+    def is_empty(self) -> bool:
+        return self.x1 > self.x2 or self.y1 > self.y2
+
+    def copy(self) -> "MBR":
+        return MBR(self.x1, self.y1, self.x2, self.y2)
+
+    # ------------------------------------------------------------------ #
+    # Measures used by the R*-tree heuristics.
+    # ------------------------------------------------------------------ #
+
+    def area(self) -> float:
+        if self.is_empty():
+            return 0.0
+        return (self.x2 - self.x1) * (self.y2 - self.y1)
+
+    def margin(self) -> float:
+        """Perimeter half-sum; the R* split optimises summed margins."""
+        if self.is_empty():
+            return 0.0
+        return (self.x2 - self.x1) + (self.y2 - self.y1)
+
+    def center(self) -> tuple:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    # ------------------------------------------------------------------ #
+    # Mutating combinators (hot path during bulk insertion).
+    # ------------------------------------------------------------------ #
+
+    def include_point(self, p: Sequence[float]) -> None:
+        if p[0] < self.x1:
+            self.x1 = p[0]
+        if p[0] > self.x2:
+            self.x2 = p[0]
+        if p[1] < self.y1:
+            self.y1 = p[1]
+        if p[1] > self.y2:
+            self.y2 = p[1]
+
+    def include_mbr(self, other: "MBR") -> None:
+        if other.x1 < self.x1:
+            self.x1 = other.x1
+        if other.x2 > self.x2:
+            self.x2 = other.x2
+        if other.y1 < self.y1:
+            self.y1 = other.y1
+        if other.y2 > self.y2:
+            self.y2 = other.y2
+
+    def union(self, other: "MBR") -> "MBR":
+        merged = self.copy()
+        merged.include_mbr(other)
+        return merged
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area growth needed to absorb ``other`` (ChooseSubtree metric)."""
+        return self.union(other).area() - self.area()
+
+    def intersection_area(self, other: "MBR") -> float:
+        w = min(self.x2, other.x2) - max(self.x1, other.x1)
+        h = min(self.y2, other.y2) - max(self.y1, other.y1)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    # ------------------------------------------------------------------ #
+    # Predicates and distance bounds.
+    # ------------------------------------------------------------------ #
+
+    def contains_point(self, p: Sequence[float]) -> bool:
+        return self.x1 <= p[0] <= self.x2 and self.y1 <= p[1] <= self.y2
+
+    def intersects(self, other: "MBR") -> bool:
+        return not (
+            other.x1 > self.x2
+            or other.x2 < self.x1
+            or other.y1 > self.y2
+            or other.y2 < self.y1
+        )
+
+    def intersects_circle(self, cx: float, cy: float, r: float) -> bool:
+        """True when the rectangle intersects the closed disc."""
+        dx = max(self.x1 - cx, 0.0, cx - self.x2)
+        dy = max(self.y1 - cy, 0.0, cy - self.y2)
+        return dx * dx + dy * dy <= r * r
+
+
+def min_dist(a: MBR, b: MBR) -> float:
+    """Smallest possible distance between a point in ``a`` and one in ``b``."""
+    dx = max(b.x1 - a.x2, 0.0, a.x1 - b.x2)
+    dy = max(b.y1 - a.y2, 0.0, a.y1 - b.y2)
+    return math.hypot(dx, dy)
+
+
+def max_dist(a: MBR, b: MBR) -> float:
+    """Largest possible distance between a point in ``a`` and one in ``b``."""
+    dx = max(abs(b.x2 - a.x1), abs(a.x2 - b.x1))
+    dy = max(abs(b.y2 - a.y1), abs(a.y2 - b.y1))
+    return math.hypot(dx, dy)
+
+
+def point_min_dist(p: Sequence[float], box: MBR) -> float:
+    """Smallest distance from point ``p`` to rectangle ``box`` (0 inside)."""
+    dx = max(box.x1 - p[0], 0.0, p[0] - box.x2)
+    dy = max(box.y1 - p[1], 0.0, p[1] - box.y2)
+    return math.hypot(dx, dy)
+
+
+def mbr_of_points(points: Iterable[Sequence[float]]) -> MBR:
+    """Tight MBR of an iterable of points."""
+    box = MBR.empty()
+    for p in points:
+        box.include_point(p)
+    return box

@@ -1,0 +1,5 @@
+"""Dependency-free SVG visualisation of datasets and query answers."""
+
+from .svg import SvgCanvas, render_result
+
+__all__ = ["SvgCanvas", "render_result"]

@@ -1,0 +1,175 @@
+"""Minimal SVG rendering of datasets, groups and circles.
+
+Dependency-free visual output for the examples and for eyeballing query
+results: objects are dots (relevant objects highlighted), the answer
+group's objects are emphasised, and its enclosing circle is drawn — the
+picture of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.objects import Dataset
+from ..core.result import Group
+from ..geometry.circle import Circle
+
+__all__ = ["SvgCanvas", "render_result"]
+
+
+@dataclass
+class _Transform:
+    """World -> viewport mapping preserving aspect ratio."""
+
+    scale: float
+    offset_x: float
+    offset_y: float
+    height: float
+
+    def apply(self, x: float, y: float) -> Tuple[float, float]:
+        # Flip y: SVG grows downward, maps grow upward.
+        return (
+            self.offset_x + x * self.scale,
+            self.height - (self.offset_y + y * self.scale),
+        )
+
+
+class SvgCanvas:
+    """Accumulates SVG elements over a world-coordinate bounding box."""
+
+    def __init__(
+        self,
+        world_bounds: Tuple[float, float, float, float],
+        width: int = 640,
+        height: int = 640,
+        margin: int = 20,
+    ):
+        x1, y1, x2, y2 = world_bounds
+        span_x = max(x2 - x1, 1e-9)
+        span_y = max(y2 - y1, 1e-9)
+        scale = min((width - 2 * margin) / span_x, (height - 2 * margin) / span_y)
+        self._t = _Transform(
+            scale=scale,
+            offset_x=margin - x1 * scale,
+            offset_y=margin - y1 * scale,
+            height=float(height),
+        )
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    # ------------------------------------------------------------------ #
+
+    def add_point(
+        self, x: float, y: float, radius: float = 2.0, fill: str = "#9aa0a6",
+        title: Optional[str] = None,
+    ) -> None:
+        """Draw one dot at world coordinates, optional hover tooltip."""
+        px, py = self._t.apply(x, y)
+        tooltip = f"<title>{_escape(title)}</title>" if title else ""
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{radius}" '
+            f'fill="{fill}">{tooltip}</circle>'
+        )
+
+    def add_circle(
+        self, circle: Circle, stroke: str = "#d93025", stroke_width: float = 2.0
+    ) -> None:
+        """Draw an unfilled circle (e.g. a minimum covering circle)."""
+        px, py = self._t.apply(circle.cx, circle.cy)
+        pr = circle.r * self._t.scale
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{pr:.2f}" fill="none" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+
+    def add_segment(
+        self,
+        a: Sequence[float],
+        b: Sequence[float],
+        stroke: str = "#1a73e8",
+        stroke_width: float = 1.0,
+    ) -> None:
+        ax, ay = self._t.apply(a[0], a[1])
+        bx, by = self._t.apply(b[0], b[1])
+        self._elements.append(
+            f'<line x1="{ax:.2f}" y1="{ay:.2f}" x2="{bx:.2f}" y2="{by:.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+
+    def add_label(self, x: float, y: float, text: str, size: int = 12) -> None:
+        """Draw a text label anchored at world coordinates."""
+        px, py = self._t.apply(x, y)
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size}" '
+            f'font-family="sans-serif">{_escape(text)}</text>'
+        )
+
+    def to_svg(self) -> str:
+        """Serialise the canvas to a standalone SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        """Write the SVG document to a file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_svg())
+
+
+def render_result(
+    dataset: Dataset,
+    group: Group,
+    query_keywords: Iterable[str] = (),
+    width: int = 640,
+    height: int = 640,
+) -> str:
+    """Render a query answer over its dataset; returns the SVG text.
+
+    Grey dots: all objects.  Blue dots: objects holding a query keyword.
+    Red dots + circle: the answer group and its minimum covering circle.
+    """
+    coords = dataset.coords
+    bounds = (
+        float(coords[:, 0].min()),
+        float(coords[:, 1].min()),
+        float(coords[:, 0].max()),
+        float(coords[:, 1].max()),
+    )
+    canvas = SvgCanvas(bounds, width=width, height=height)
+
+    query_set = set(query_keywords)
+    group_ids = set(group.object_ids)
+    for obj in dataset:
+        if obj.oid in group_ids:
+            continue
+        relevant = bool(query_set & obj.keywords)
+        canvas.add_point(
+            obj.x,
+            obj.y,
+            radius=2.5 if relevant else 1.5,
+            fill="#1a73e8" if relevant else "#dadce0",
+            title=", ".join(sorted(obj.keywords)),
+        )
+    for oid in group.object_ids:
+        obj = dataset[oid]
+        canvas.add_point(
+            obj.x, obj.y, radius=4.0, fill="#d93025",
+            title=", ".join(sorted(obj.keywords)),
+        )
+    if len(group) >= 1:
+        canvas.add_circle(group.mcc(dataset))
+    return canvas.to_svg()
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

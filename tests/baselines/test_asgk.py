@@ -1,0 +1,89 @@
+"""Tests for the ASGK / ASGKa Dia-CoSKQ adaptations."""
+
+import pytest
+
+from repro.baselines.asgk import asgk, asgka, dia_coskq_exact, dia_coskq_greedy
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestAsgkExactness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_asgk_matches_optimum(self, seed):
+        """The exact adaptation is optimal overall (the optimal group
+        contains a t_inf holder, and the inner solver is exact)."""
+        ds = make_random_dataset(seed, n=30)
+        query = feasible_query(ds, seed, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        got = asgk(ctx)
+        assert got.covers(ds, query)
+        assert got.diameter == pytest.approx(opt.diameter, abs=1e-9)
+
+
+class TestAsgkaApproximation:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_asgka_feasible_and_bounded(self, seed):
+        ds = make_random_dataset(seed + 30, n=30)
+        query = feasible_query(ds, seed, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        got = asgka(ctx)
+        assert got.covers(ds, query)
+        assert got.diameter >= opt.diameter - 1e-9
+        # Greedy nearest-per-keyword around t_inf holders is a
+        # 2-approximation by the same argument as Theorem 2.
+        assert got.diameter <= 2.0 * opt.diameter + 1e-9
+
+    def test_single_object_cover(self):
+        ds = Dataset.from_records([(0, 0, ["a", "b"]), (5, 0, ["a"])])
+        ctx = compile_query(ds, ["a", "b"])
+        assert asgka(ctx).diameter == 0.0
+        assert asgk(ctx).diameter == 0.0
+
+
+class TestDiaCoskqSolvers:
+    @pytest.fixture
+    def ctx(self):
+        ds = Dataset.from_records(
+            [
+                (0, 0, ["q"]),      # row of query point
+                (1, 0, ["a"]),
+                (0, 2, ["b"]),
+                (10, 10, ["a", "b"]),
+            ]
+        )
+        return compile_query(ds, ["q", "a", "b"])
+
+    def test_exact_minimises_including_query_point(self, ctx):
+        query_row = ctx.row_of(0)
+        required = ctx.full_mask & ~ctx.masks[query_row]
+        rows, cost = dia_coskq_exact(ctx, query_row, required)
+        assert rows is not None
+        got_oids = sorted(ctx.relevant_ids[r] for r in rows)
+        assert got_oids == [1, 2]
+        # Cost = max pairwise over {query, 1, 2} = dist(1, 2) = sqrt(5).
+        assert cost == pytest.approx(5**0.5)
+
+    def test_exact_empty_requirement(self, ctx):
+        rows, cost = dia_coskq_exact(ctx, 0, 0)
+        assert rows == [] and cost == 0.0
+
+    def test_greedy_feasible(self, ctx):
+        query_row = ctx.row_of(0)
+        required = ctx.full_mask & ~ctx.masks[query_row]
+        rows, cost = dia_coskq_greedy(ctx, query_row, required)
+        assert rows is not None
+        union = 0
+        for r in rows:
+            union |= ctx.masks[r]
+        assert union & required == required
+
+    def test_greedy_cost_at_least_exact(self, ctx):
+        query_row = ctx.row_of(0)
+        required = ctx.full_mask & ~ctx.masks[query_row]
+        _rows_e, cost_e = dia_coskq_exact(ctx, query_row, required)
+        _rows_g, cost_g = dia_coskq_greedy(ctx, query_row, required)
+        assert cost_g >= cost_e - 1e-9

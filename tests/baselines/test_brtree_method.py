@@ -1,0 +1,70 @@
+"""Tests for the original full-tree bR*-tree method of [21]."""
+
+import pytest
+
+from repro.baselines.brtree_method import brtree_method
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.baselines.virbr import virbr
+from repro.core.common import Deadline
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.exceptions import AlgorithmTimeout
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_bruteforce(self, seed):
+        ds = make_random_dataset(seed, n=30)
+        query = feasible_query(ds, seed, 3)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        got = brtree_method(ctx)
+        assert got.covers(ds, query)
+        assert got.diameter == pytest.approx(opt.diameter, abs=1e-9)
+
+    def test_agrees_with_virbr(self):
+        ds = make_random_dataset(42, n=40)
+        query = feasible_query(ds, 42, 4)
+        ctx = compile_query(ds, query)
+        assert brtree_method(ctx).diameter == pytest.approx(
+            virbr(ctx).diameter, abs=1e-9
+        )
+
+
+class TestFullTreeSpecifics:
+    def test_irrelevant_objects_never_selected(self):
+        """The full tree contains objects with no query keywords; the
+        result must never include them."""
+        ds = Dataset.from_records(
+            [
+                (0, 0, ["a"]),
+                (1, 0, ["b"]),
+                (0.5, 0.5, ["noise"]),
+                (0.4, 0.1, ["junk"]),
+            ]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        got = brtree_method(ctx)
+        assert set(got.object_ids) == {0, 1}
+
+    def test_single_object_cover(self):
+        ds = Dataset.from_records([(0, 0, ["a", "b"]), (9, 9, ["c"])])
+        ctx = compile_query(ds, ["a", "b"])
+        got = brtree_method(ctx)
+        assert got.object_ids == (0,)
+        assert got.diameter == 0.0
+
+    def test_stats_recorded(self):
+        ds = make_random_dataset(3, n=25)
+        ctx = compile_query(ds, feasible_query(ds, 3, 3))
+        got = brtree_method(ctx)
+        assert got.stats["groups_evaluated"] >= 1
+
+
+class TestDeadline:
+    def test_timeout(self):
+        ds = make_random_dataset(5, n=60)
+        ctx = compile_query(ds, feasible_query(ds, 5, 5))
+        with pytest.raises(AlgorithmTimeout):
+            brtree_method(ctx, Deadline("bR", -1.0))

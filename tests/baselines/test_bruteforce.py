@@ -1,0 +1,87 @@
+"""Tests for the brute-force optimal solver (the test suite's ground truth
+itself needs checking on instances small enough to verify by hand)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from tests.conftest import feasible_query, make_random_dataset
+
+
+def _optimal_by_enumeration(ds, query):
+    """Fully independent optimum: try every subset of objects."""
+    best = math.inf
+    best_set = None
+    objs = list(ds)
+    for size in range(1, len(objs) + 1):
+        for combo in itertools.combinations(objs, size):
+            covered = frozenset().union(*(o.keywords for o in combo))
+            if not set(query) <= covered:
+                continue
+            diam = max(
+                (
+                    math.hypot(a.x - b.x, a.y - b.y)
+                    for a, b in itertools.combinations(combo, 2)
+                ),
+                default=0.0,
+            )
+            if diam < best:
+                best = diam
+                best_set = combo
+    assert best_set is not None
+    return best
+
+
+class TestAgainstIndependentEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_small_instances(self, seed):
+        ds = make_random_dataset(seed, n=10, vocab="abcd")
+        query = feasible_query(ds, seed, 3)
+        ctx = compile_query(ds, query)
+        got = brute_force_optimal(ctx)
+        want = _optimal_by_enumeration(ds, query)
+        assert got.diameter == pytest.approx(want, abs=1e-9)
+
+
+class TestHandCrafted:
+    def test_obvious_pair(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (1, 0, ["b"]), (100, 0, ["a"]), (101, 0, ["b"])]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        group = brute_force_optimal(ctx)
+        assert group.diameter == pytest.approx(1.0)
+
+    def test_single_object(self):
+        ds = Dataset.from_records([(5, 5, ["a", "b"]), (0, 0, ["a"])])
+        ctx = compile_query(ds, ["a", "b"])
+        group = brute_force_optimal(ctx)
+        assert group.object_ids == (0,)
+        assert group.diameter == 0.0
+
+    def test_three_way_group(self):
+        ds = Dataset.from_records(
+            [
+                (0, 0, ["a"]),
+                (1, 0, ["b"]),
+                (0.5, 0.8, ["c"]),
+                (100, 100, ["a", "b"]),
+                (50, 50, ["a"]),
+                (53, 50, ["b"]),
+                (50, 53, ["c"]),
+            ]
+        )
+        ctx = compile_query(ds, ["a", "b", "c"])
+        group = brute_force_optimal(ctx)
+        assert set(group.object_ids) == {0, 1, 2}
+
+    def test_result_is_feasible(self):
+        ds = make_random_dataset(3, n=20)
+        query = feasible_query(ds, 3, 4)
+        ctx = compile_query(ds, query)
+        group = brute_force_optimal(ctx)
+        assert group.covers(ds, query)

@@ -1,0 +1,114 @@
+"""Unit tests of the shared tree-combination search engine.
+
+These pin the subtle node-combination semantics with hand-built trees —
+in particular the regression where a combination must keep growing past
+first bitmap coverage (a node's bitmap may promise a keyword whose only
+*close* holder lives in a sibling node).
+"""
+
+import pytest
+
+from repro.baselines._treesearch import TreeCombinationSearch
+from repro.core.common import Deadline
+from repro.index.rstar import LeafEntry, Node
+
+
+def _leaf(entries):
+    node = Node(0)
+    for item, x, y in entries:
+        node.add(LeafEntry(item, x, y))
+    return node
+
+
+def _root(children):
+    root = Node(1)
+    for child in children:
+        root.add(child)
+    return root
+
+
+def _search(root, item_masks, full_mask):
+    node_masks = {}
+
+    def node_mask(node):
+        key = id(node)
+        if key not in node_masks:
+            mask = 0
+            if node.is_leaf:
+                for e in node.entries:
+                    mask |= item_masks[e.item]
+            else:
+                for child in node.entries:
+                    mask |= node_mask(child)
+            node_masks[key] = mask
+        return node_masks[key]
+
+    search = TreeCombinationSearch(
+        root=root,
+        node_mask=node_mask,
+        item_mask=lambda item: item_masks[item],
+        full_mask=full_mask,
+        deadline=Deadline.unlimited("test"),
+    )
+    search.run()
+    return search
+
+
+class TestCoverageIsNotTermination:
+    def test_optimal_spans_covering_node_and_sibling(self):
+        """Regression: L1's bitmap covers {a, b} alone, but the close 'b'
+        holder lives in L2; the combination {L1, L2} must be explored."""
+        # L1: a@(0,0), b@(50,0)  -> within-L1 best diameter 50.
+        # L2: b@(1,0)            -> cross pair {a@(0,0), b@(1,0)} diam 1.
+        l1 = _leaf([("a1", 0.0, 0.0), ("b_far", 50.0, 0.0)])
+        l2 = _leaf([("b_near", 1.0, 0.0)])
+        root = _root([l1, l2])
+        masks = {"a1": 0b01, "b_far": 0b10, "b_near": 0b10}
+        search = _search(root, masks, 0b11)
+        assert search.best_diameter == pytest.approx(1.0)
+        assert sorted(search.best_items) == ["a1", "b_near"]
+
+    def test_three_way_span(self):
+        """Both keywords promised by the first node; optimal uses objects
+        from the second and third."""
+        l1 = _leaf([("a_far", 0.0, 100.0), ("b_far", 100.0, 100.0)])
+        l2 = _leaf([("a_near", 0.0, 0.0)])
+        l3 = _leaf([("b_near", 2.0, 0.0)])
+        root = _root([l1, l2, l3])
+        masks = {"a_far": 0b01, "b_far": 0b10, "a_near": 0b01, "b_near": 0b10}
+        search = _search(root, masks, 0b11)
+        assert search.best_diameter == pytest.approx(2.0)
+
+
+class TestBasicSearch:
+    def test_single_leaf_root(self):
+        root = _leaf([("x", 0.0, 0.0), ("y", 3.0, 4.0)])
+        search = _search(root, {"x": 0b01, "y": 0b10}, 0b11)
+        assert search.best_diameter == pytest.approx(5.0)
+
+    def test_uncoverable_pool(self):
+        root = _leaf([("x", 0.0, 0.0)])
+        search = _search(root, {"x": 0b01}, 0b11)
+        assert search.best_diameter == float("inf")
+        assert search.best_items == []
+
+    def test_distance_pruning_keeps_optimum(self):
+        """Far-apart nodes are pruned only when they cannot beat the
+        incumbent; the optimal pair must survive."""
+        l1 = _leaf([("a1", 0.0, 0.0)])
+        l2 = _leaf([("b1", 1.0, 0.0)])
+        l3 = _leaf([("a2", 1000.0, 0.0), ("b2", 1001.0, 0.0)])
+        root = _root([l1, l2, l3])
+        masks = {"a1": 0b01, "b1": 0b10, "a2": 0b01, "b2": 0b10}
+        search = _search(root, masks, 0b11)
+        assert search.best_diameter == pytest.approx(1.0)
+
+    def test_size_cap_allows_m_nodes(self):
+        # Three keywords spread over three singleton leaves.
+        l1 = _leaf([("a", 0.0, 0.0)])
+        l2 = _leaf([("b", 1.0, 0.0)])
+        l3 = _leaf([("c", 0.0, 1.0)])
+        root = _root([l1, l2, l3])
+        masks = {"a": 0b001, "b": 0b010, "c": 0b100}
+        search = _search(root, masks, 0b111)
+        assert search.best_diameter == pytest.approx(2**0.5)

@@ -1,0 +1,76 @@
+"""Shared fixtures: handcrafted and random datasets with known structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Dataset, MCKEngine
+
+
+@pytest.fixture(scope="session")
+def kyoto_dataset() -> Dataset:
+    """The paper's Figure-1 scenario: shrine/shop/restaurant/hotel POIs.
+
+    Objects 0-3 form a tight cluster (the intended answer); 4-9 are decoys
+    spread out so every keyword also appears far away.
+    """
+    records = [
+        (10.0, 10.0, ["shrine"]),       # 0 - cluster
+        (11.0, 10.5, ["shop"]),         # 1 - cluster
+        (10.5, 11.0, ["restaurant"]),   # 2 - cluster
+        (11.2, 11.2, ["hotel"]),        # 3 - cluster
+        (50.0, 50.0, ["shrine"]),       # 4
+        (52.0, 50.0, ["shop"]),         # 5
+        (90.0, 10.0, ["restaurant"]),   # 6
+        (10.0, 90.0, ["hotel"]),        # 7
+        (60.0, 60.0, ["shop", "cafe"]), # 8
+        (0.0, 0.0, ["museum"]),         # 9
+    ]
+    return Dataset.from_records(records, name="kyoto")
+
+
+@pytest.fixture(scope="session")
+def kyoto_engine(kyoto_dataset) -> MCKEngine:
+    return MCKEngine(kyoto_dataset)
+
+
+@pytest.fixture(scope="session")
+def kyoto_query():
+    return ["shrine", "shop", "restaurant", "hotel"]
+
+
+def make_random_dataset(
+    seed: int,
+    n: int = 40,
+    vocab: str = "abcdefgh",
+    extent: float = 100.0,
+    max_terms: int = 3,
+) -> Dataset:
+    """Deterministic random dataset used by cross-validation tests."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(n):
+        kws = rng.sample(list(vocab), rng.randint(1, max_terms))
+        records.append((rng.uniform(0, extent), rng.uniform(0, extent), kws))
+    return Dataset.from_records(records, name=f"random-{seed}")
+
+
+def feasible_query(dataset: Dataset, seed: int, m: int) -> list:
+    """A feasible m-keyword query over ``dataset`` (terms that exist)."""
+    rng = random.Random(seed * 7919 + 13)
+    terms = dataset.vocabulary.terms_by_frequency()
+    if len(terms) < m:
+        m = len(terms)
+    return rng.sample(terms, m)
+
+
+@pytest.fixture
+def random_dataset_factory():
+    return make_random_dataset
+
+
+@pytest.fixture
+def feasible_query_factory():
+    return feasible_query

@@ -1,0 +1,64 @@
+"""Tests for functional dataset updates (extended / without / explain)."""
+
+import pytest
+
+from repro.core.engine import MCKEngine
+from repro.core.objects import Dataset
+
+
+@pytest.fixture
+def ds():
+    return Dataset.from_records(
+        [(0, 0, ["a"]), (1, 0, ["b"]), (50, 50, ["a", "b"])], name="base"
+    )
+
+
+class TestExtended:
+    def test_appends_records(self, ds):
+        bigger = ds.extended([(2, 0, ["c"])])
+        assert len(bigger) == 4
+        assert bigger[3].keywords == frozenset({"c"})
+        assert len(ds) == 3  # parent untouched
+
+    def test_query_sees_new_objects(self, ds):
+        bigger = ds.extended([(0.5, 0.5, ["c"])])
+        group = MCKEngine(bigger).query(["a", "b", "c"], algorithm="EXACT")
+        assert 3 in group.object_ids
+
+    def test_name_override(self, ds):
+        assert ds.extended([], name="v2").name == "v2"
+        assert ds.extended([]).name == "base"
+
+
+class TestWithout:
+    def test_removes_and_redensifies(self, ds):
+        smaller = ds.without([0])
+        assert len(smaller) == 2
+        assert [o.oid for o in smaller] == [0, 1]
+        assert smaller[0].keywords == frozenset({"b"})
+
+    def test_query_on_reduced(self, ds):
+        smaller = ds.without([2])  # drop the combined holder
+        group = MCKEngine(smaller).query(["a", "b"], algorithm="EXACT")
+        assert group.diameter == pytest.approx(1.0)
+
+    def test_removing_nothing(self, ds):
+        assert len(ds.without([])) == 3
+
+
+class TestExplain:
+    def test_coverage_map(self, ds):
+        group = MCKEngine(ds).query(["a", "b"], algorithm="EXACT")
+        explained = group.explain(ds, ["a", "b"])
+        assert set(explained) == {"a", "b"}
+        for t, oids in explained.items():
+            assert oids, f"{t} uncovered"
+            for oid in oids:
+                assert t in ds[oid].keywords
+
+    def test_uncovered_keyword_flagged(self, ds):
+        from repro.core.result import Group
+
+        broken = Group.from_object_ids(ds, [0])
+        explained = broken.explain(ds, ["a", "b"])
+        assert explained["b"] == []

@@ -1,0 +1,47 @@
+"""Tests for the cooperative Deadline budget."""
+
+import time
+
+import pytest
+
+from repro.core.common import SQRT3_FACTOR, Deadline
+from repro.exceptions import AlgorithmTimeout
+
+
+class TestDeadline:
+    def test_unlimited_never_fires(self):
+        dl = Deadline.unlimited("X")
+        for _ in range(100):
+            dl.check()
+
+    def test_none_budget_never_fires(self):
+        dl = Deadline("X", None)
+        dl.check()
+
+    def test_expired_budget_fires(self):
+        dl = Deadline("X", -1.0)
+        with pytest.raises(AlgorithmTimeout) as exc:
+            dl.check()
+        assert exc.value.algorithm == "X"
+
+    def test_budget_in_future_does_not_fire(self):
+        dl = Deadline("X", 60.0)
+        dl.check()
+
+    def test_short_budget_fires_after_sleep(self):
+        dl = Deadline("X", 0.005)
+        time.sleep(0.02)
+        with pytest.raises(AlgorithmTimeout):
+            dl.check()
+
+    def test_exception_carries_budget(self):
+        dl = Deadline("EXACT", -0.5)
+        with pytest.raises(AlgorithmTimeout) as exc:
+            dl.check()
+        assert exc.value.budget_seconds == -0.5
+
+
+class TestConstants:
+    def test_sqrt3_factor(self):
+        assert SQRT3_FACTOR == pytest.approx(2.0 / 3**0.5)
+        assert 1.154 < SQRT3_FACTOR < 1.155

@@ -1,0 +1,78 @@
+"""Tests for the MCKEngine facade."""
+
+import pytest
+
+from repro.core.engine import ALGORITHMS, MCKEngine
+from repro.core.objects import Dataset
+from repro.exceptions import AlgorithmTimeout, InfeasibleQueryError, QueryError
+from tests.conftest import feasible_query, make_random_dataset
+
+
+@pytest.fixture
+def engine():
+    return MCKEngine(make_random_dataset(1, n=40))
+
+
+class TestQueryDispatch:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms_run(self, engine, algorithm):
+        query = feasible_query(engine.dataset, 1, 3)
+        group = engine.query(query, algorithm=algorithm)
+        assert group.covers(engine.dataset, query)
+        assert group.elapsed_seconds >= 0.0
+
+    def test_algorithm_name_normalization(self, engine):
+        query = feasible_query(engine.dataset, 1, 2)
+        for alias in ("skeca+", "SKECA+", "skecaplus", "SKECa_PLUS".replace("_PLUS", "plus")):
+            group = engine.query(query, algorithm=alias)
+            assert group is not None
+
+    def test_unknown_algorithm(self, engine):
+        with pytest.raises(QueryError):
+            engine.query(["a"], algorithm="quantum")
+
+    def test_infeasible_query(self, engine):
+        with pytest.raises(InfeasibleQueryError):
+            engine.query(["definitely-not-a-keyword"])
+
+    def test_timeout_propagates(self, engine):
+        query = feasible_query(engine.dataset, 1, 4)
+        with pytest.raises(AlgorithmTimeout):
+            engine.query(query, algorithm="EXACT", timeout=-1.0)
+
+
+class TestContextCache:
+    def test_contexts_cached(self, engine):
+        query = feasible_query(engine.dataset, 2, 3)
+        c1 = engine.context(query)
+        c2 = engine.context(query)
+        assert c1 is c2
+
+    def test_cache_eviction(self):
+        engine = MCKEngine(make_random_dataset(3, n=30), context_cache_size=2)
+        terms = engine.dataset.vocabulary.terms_by_frequency()
+        q1, q2, q3 = [terms[0], terms[1]], [terms[1], terms[2]], [terms[2], terms[3]]
+        c1 = engine.context(q1)
+        engine.context(q2)
+        engine.context(q3)  # evicts q1
+        assert engine.context(q1) is not c1
+
+    def test_zero_cache(self):
+        engine = MCKEngine(make_random_dataset(4, n=20), context_cache_size=0)
+        query = feasible_query(engine.dataset, 4, 2)
+        assert engine.context(query) is not engine.context(query)
+
+
+class TestSemantics:
+    def test_exact_never_worse_than_approx(self, engine):
+        query = feasible_query(engine.dataset, 5, 4)
+        exact = engine.query(query, algorithm="EXACT")
+        for algo in ("GKG", "SKECa", "SKECa+"):
+            approx = engine.query(query, algorithm=algo)
+            assert exact.diameter <= approx.diameter + 1e-9
+
+    def test_docstring_example(self):
+        dataset = Dataset.from_records([(0, 0, ["hotel"]), (1, 1, ["shop"])])
+        engine = MCKEngine(dataset)
+        group = engine.query(["hotel", "shop"], algorithm="EXACT")
+        assert sorted(group.object_ids) == [0, 1]

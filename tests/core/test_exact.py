@@ -1,0 +1,117 @@
+"""Tests for Algorithm EXACT (optimal answers via bounded search)."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.common import Deadline
+from repro.core.exact import branch_and_bound_search, exact
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.exceptions import AlgorithmTimeout
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_bruteforce(self, seed):
+        ds = make_random_dataset(seed, n=40)
+        query = feasible_query(ds, seed, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        got = exact(ctx)
+        assert got.covers(ds, query)
+        assert got.diameter == pytest.approx(opt.diameter, abs=1e-9)
+
+    @pytest.mark.parametrize("m", [2, 3, 5, 6])
+    def test_various_query_sizes(self, m):
+        ds = make_random_dataset(100 + m, n=50)
+        query = feasible_query(ds, m, m)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        got = exact(ctx)
+        assert got.diameter == pytest.approx(opt.diameter, abs=1e-9)
+
+    @pytest.mark.parametrize("epsilon", [0.0004, 0.05, 0.25])
+    def test_optimal_regardless_of_epsilon(self, epsilon):
+        """EXACT is exact for every ε: ε only shapes the search bound."""
+        ds = make_random_dataset(77, n=35)
+        query = feasible_query(ds, 77, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        got = exact(ctx, epsilon=epsilon)
+        assert got.diameter == pytest.approx(opt.diameter, abs=1e-9)
+
+
+class TestKyoto:
+    def test_finds_cluster(self, kyoto_dataset, kyoto_query):
+        ctx = compile_query(kyoto_dataset, kyoto_query)
+        group = exact(ctx)
+        assert set(group.object_ids) == {0, 1, 2, 3}
+
+
+class TestSingleObject:
+    def test_zero_diameter_answer(self):
+        ds = Dataset.from_records(
+            [(1, 1, ["a", "b"]), (0, 0, ["a"]), (9, 9, ["b"])]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        group = exact(ctx)
+        assert group.object_ids == (0,)
+        assert group.diameter == 0.0
+
+
+class TestBranchAndBound:
+    def test_search_within_candidate_circle(self):
+        ds = Dataset.from_records(
+            [
+                (0, 0, ["a"]),     # pole
+                (1, 0, ["b"]),
+                (0, 1, ["c"]),
+                (0.1, 0.1, ["b", "c"]),
+            ]
+        )
+        ctx = compile_query(ds, ["a", "b", "c"])
+        pole = ctx.row_of(0)
+        all_rows = list(range(len(ctx.relevant_ids)))
+        rows, diameter = branch_and_bound_search(
+            ctx, pole, all_rows, all_rows, float("inf")
+        )
+        # Optimal containing the pole: {0, 3} with diameter ~0.1414.
+        assert set(ctx.relevant_ids[r] for r in rows) == {0, 3}
+        assert diameter == pytest.approx((0.02) ** 0.5)
+
+    def test_search_keeps_incumbent_when_no_better(self):
+        ds = Dataset.from_records([(0, 0, ["a"]), (5, 0, ["b"])])
+        ctx = compile_query(ds, ["a", "b"])
+        pole = ctx.row_of(0)
+        incumbent_rows = [0, 1]
+        rows, diameter = branch_and_bound_search(
+            ctx, pole, [0, 1], incumbent_rows, 5.0
+        )
+        assert diameter == 5.0
+
+    def test_pole_always_in_group(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (1, 0, ["a", "b"]), (1.1, 0, ["b"])]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        pole = ctx.row_of(0)
+        rows, diameter = branch_and_bound_search(
+            ctx, pole, list(range(3)), [], float("inf")
+        )
+        assert pole in rows
+
+
+class TestStatsAndDeadline:
+    def test_stats_recorded(self):
+        ds = make_random_dataset(55, n=30)
+        ctx = compile_query(ds, feasible_query(ds, 55, 3))
+        group = exact(ctx)
+        assert "candidate_circles" in group.stats
+        assert "pruned_poles" in group.stats
+
+    def test_timeout(self):
+        ds = make_random_dataset(66, n=70)
+        ctx = compile_query(ds, feasible_query(ds, 66, 5))
+        with pytest.raises(AlgorithmTimeout):
+            exact(ctx, deadline=Deadline("EXACT", -1.0))

@@ -1,0 +1,98 @@
+"""Tests for Algorithm GKG (greedy 2-approximation)."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.gkg import gkg
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.exceptions import QueryError
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestKyotoScenario:
+    def test_finds_tight_cluster(self, kyoto_dataset, kyoto_query):
+        ctx = compile_query(kyoto_dataset, kyoto_query)
+        group = gkg(ctx)
+        assert group.covers(kyoto_dataset, kyoto_query)
+        # The greedy result must be within 2x of the true optimum (the
+        # cluster 0-3, diameter ~1.7).
+        opt = brute_force_optimal(ctx)
+        assert group.diameter <= 2 * opt.diameter + 1e-9
+
+    def test_group_is_feasible(self, kyoto_dataset, kyoto_query):
+        ctx = compile_query(kyoto_dataset, kyoto_query)
+        group = gkg(ctx)
+        assert group.covers(kyoto_dataset, kyoto_query)
+
+
+class TestSingleObjectShortcuts:
+    def test_one_object_covers_all(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a", "b", "c"]), (10, 10, ["a"]), (20, 20, ["b"])]
+        )
+        ctx = compile_query(ds, ["a", "b", "c"])
+        group = gkg(ctx)
+        assert group.object_ids == (0,)
+        assert group.diameter == 0.0
+
+    def test_single_keyword_query(self):
+        ds = Dataset.from_records([(0, 0, ["a"]), (9, 9, ["a"])])
+        ctx = compile_query(ds, ["a"])
+        group = gkg(ctx)
+        assert len(group) == 1
+        assert group.diameter == 0.0
+
+
+class TestApproximationBound:
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("method", ["kdtree", "brtree"])
+    def test_theorem2_bound(self, seed, method):
+        ds = make_random_dataset(seed, n=35)
+        query = feasible_query(ds, seed, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        group = gkg(ctx, method=method)
+        assert group.covers(ds, query)
+        assert group.diameter <= 2.0 * opt.diameter + 1e-9
+
+    def test_methods_same_bound_not_necessarily_same_group(self):
+        ds = make_random_dataset(3, n=50)
+        query = feasible_query(ds, 3, 4)
+        ctx = compile_query(ds, query)
+        g_kd = gkg(ctx, method="kdtree")
+        g_br = gkg(ctx, method="brtree")
+        opt = brute_force_optimal(ctx)
+        for g in (g_kd, g_br):
+            assert g.diameter <= 2 * opt.diameter + 1e-9
+
+
+class TestErrors:
+    def test_unknown_method(self):
+        ds = make_random_dataset(1, n=10)
+        ctx = compile_query(ds, feasible_query(ds, 1, 2))
+        with pytest.raises(QueryError):
+            gkg(ctx, method="nope")
+
+
+class TestAnchors:
+    def test_anchor_is_least_frequent_holder(self):
+        # 'rare' appears once; the group must contain that object.
+        ds = Dataset.from_records(
+            [
+                (0, 0, ["rare"]),
+                (1, 0, ["common"]),
+                (50, 50, ["common"]),
+                (51, 50, ["common"]),
+            ]
+        )
+        ctx = compile_query(ds, ["rare", "common"])
+        group = gkg(ctx)
+        assert 0 in group.object_ids
+        assert group.diameter == pytest.approx(1.0)
+
+    def test_stats_record_anchor_count(self):
+        ds = make_random_dataset(5, n=40)
+        ctx = compile_query(ds, feasible_query(ds, 5, 3))
+        group = gkg(ctx)
+        assert group.stats["anchors"] >= 1

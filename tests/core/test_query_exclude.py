@@ -1,0 +1,63 @@
+"""Tests for query compilation with excluded objects (top-k support)."""
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.exceptions import InfeasibleQueryError
+
+
+@pytest.fixture
+def ds():
+    return Dataset.from_records(
+        [
+            (0, 0, ["a"]),      # 0
+            (1, 0, ["b"]),      # 1
+            (10, 10, ["a"]),    # 2
+            (11, 10, ["b"]),    # 3
+            (50, 50, ["c"]),    # 4
+        ]
+    )
+
+
+class TestExclude:
+    def test_excluded_objects_absent_from_relevant_set(self, ds):
+        ctx = compile_query(ds, ["a", "b"], exclude=frozenset({0, 1}))
+        assert ctx.relevant_ids == [2, 3]
+
+    def test_exclusion_recorded(self, ds):
+        ctx = compile_query(ds, ["a", "b"], exclude=frozenset({0}))
+        assert ctx.excluded_ids == frozenset({0})
+
+    def test_empty_exclusion_default(self, ds):
+        ctx = compile_query(ds, ["a", "b"])
+        assert ctx.excluded_ids == frozenset()
+        assert ctx.relevant_ids == [0, 1, 2, 3]
+
+    def test_exclusion_breaking_coverage_raises(self, ds):
+        with pytest.raises(InfeasibleQueryError) as exc:
+            compile_query(ds, ["a", "b"], exclude=frozenset({1, 3}))
+        assert "b" in str(exc.value)
+
+    def test_algorithms_respect_exclusion(self, ds):
+        from repro.core.exact import exact
+
+        ctx = compile_query(ds, ["a", "b"], exclude=frozenset({0, 1}))
+        group = exact(ctx)
+        assert set(group.object_ids) == {2, 3}
+
+
+class TestIrTreeAccessor:
+    def test_built_lazily_and_cached(self, ds):
+        ctx = compile_query(ds, ["a", "b"])
+        t1 = ctx.ir_tree()
+        t2 = ctx.ir_tree()
+        assert t1 is t2
+        assert len(t1) == len(ctx.relevant_ids)
+
+    def test_bit_positions_as_terms(self, ds):
+        ctx = compile_query(ds, ["b", "a"])  # bit 0 = b, bit 1 = a
+        tree = ctx.ir_tree()
+        entry = tree.nearest_with_term(0.0, 0.0, 0)  # nearest 'b' holder
+        assert entry is not None
+        assert entry.item == 1

@@ -1,0 +1,78 @@
+"""Tests for the Group result type."""
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.core.result import Group
+
+
+@pytest.fixture
+def ds():
+    return Dataset.from_records(
+        [(0, 0, ["a"]), (3, 4, ["b"]), (0, 8, ["c"]), (50, 50, ["a", "b", "c"])]
+    )
+
+
+class TestConstruction:
+    def test_from_object_ids(self, ds):
+        g = Group.from_object_ids(ds, [0, 1], algorithm="X")
+        assert g.object_ids == (0, 1)
+        assert g.diameter == pytest.approx(5.0)
+        assert g.algorithm == "X"
+
+    def test_from_object_ids_dedupes(self, ds):
+        g = Group.from_object_ids(ds, [1, 0, 1, 0])
+        assert g.object_ids == (0, 1)
+
+    def test_from_rows(self, ds):
+        ctx = compile_query(ds, ["a", "b"])
+        rows = [ctx.row_of(0), ctx.row_of(1)]
+        g = Group.from_rows(ctx, rows, algorithm="Y")
+        assert set(g.object_ids) == {0, 1}
+        assert g.diameter == pytest.approx(5.0)
+
+    def test_singleton_diameter_zero(self, ds):
+        g = Group.from_object_ids(ds, [3])
+        assert g.diameter == 0.0
+
+
+class TestBehaviour:
+    def test_keywords_union(self, ds):
+        g = Group.from_object_ids(ds, [0, 1])
+        assert g.keywords(ds) == frozenset({"a", "b"})
+
+    def test_covers(self, ds):
+        g = Group.from_object_ids(ds, [0, 1, 2])
+        assert g.covers(ds, ["a", "b", "c"])
+        assert not g.covers(ds, ["a", "b", "c", "d"])
+
+    def test_mcc_encloses_group(self, ds):
+        g = Group.from_object_ids(ds, [0, 1, 2])
+        circle = g.mcc(ds)
+        for oid in g.object_ids:
+            assert circle.contains(ds.location_of(oid), eps=1e-7)
+
+    def test_mcc_uses_cached_circle(self, ds):
+        from repro.geometry.circle import Circle
+
+        g = Group.from_object_ids(ds, [0, 1])
+        g.enclosing_circle = Circle(1, 1, 99.0)
+        assert g.mcc(ds).r == 99.0
+
+    def test_ratio_to(self, ds):
+        opt = Group.from_object_ids(ds, [0, 1])       # diameter 5
+        approx = Group.from_object_ids(ds, [0, 2])    # diameter 8
+        assert approx.ratio_to(opt) == pytest.approx(8.0 / 5.0)
+
+    def test_ratio_to_zero_optimal(self, ds):
+        opt = Group.from_object_ids(ds, [3])
+        same = Group.from_object_ids(ds, [3])
+        other = Group.from_object_ids(ds, [0, 1])
+        assert same.ratio_to(opt) == 1.0
+        assert other.ratio_to(opt) == float("inf")
+
+    def test_len_and_objects(self, ds):
+        g = Group.from_object_ids(ds, [0, 2])
+        assert len(g) == 2
+        assert [o.oid for o in g.objects(ds)] == [0, 2]

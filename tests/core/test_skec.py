@@ -1,0 +1,95 @@
+"""Tests for Algorithm SKEC (exact smallest keywords enclosing circle)."""
+
+import math
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.common import SQRT3_FACTOR
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.core.skec import find_oskec, skec
+from repro.geometry.circle import Circle
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestRatioBound:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_theorem5_bound(self, seed):
+        ds = make_random_dataset(seed, n=30)
+        query = feasible_query(ds, seed, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        group = skec(ctx)
+        assert group.covers(ds, query)
+        assert group.diameter <= SQRT3_FACTOR * opt.diameter + 1e-9
+
+    def test_kyoto(self, kyoto_dataset, kyoto_query):
+        ctx = compile_query(kyoto_dataset, kyoto_query)
+        opt = brute_force_optimal(ctx)
+        group = skec(ctx)
+        assert group.diameter <= SQRT3_FACTOR * opt.diameter + 1e-9
+
+
+class TestSkecCircleIsSmallest:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_no_smaller_covering_circle_exists(self, seed):
+        """The circle SKEC returns must be the smallest keywords enclosing
+        circle; verify against a dense grid of candidate circles."""
+        ds = make_random_dataset(seed, n=14, vocab="abcd")
+        query = feasible_query(ds, seed, 3)
+        ctx = compile_query(ds, query)
+        group = skec(ctx)
+        circle = group.enclosing_circle
+        assert circle is not None
+        # Any circle through two/three relevant objects that covers the
+        # query must be at least as large (Corollary 1 enumeration).
+        from repro.exceptions import GeometryError
+        from repro.geometry.circle import circle_from_three, circle_from_two
+
+        n = len(ctx.relevant_ids)
+        pts = [ctx.location_of_row(r) for r in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                candidates = [circle_from_two(pts[i], pts[j])]
+                for k in range(j + 1, n):
+                    try:
+                        candidates.append(circle_from_three(pts[i], pts[j], pts[k]))
+                    except GeometryError:
+                        continue
+                for cand in candidates:
+                    rows = ctx.rows_within(cand.cx, cand.cy, cand.r)
+                    if len(rows) and ctx.covers(rows):
+                        assert cand.diameter >= circle.diameter - 1e-6
+
+
+class TestSingleObject:
+    def test_single_covering_object_returned(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["x", "y"]), (5, 5, ["x"]), (9, 9, ["y"])]
+        )
+        ctx = compile_query(ds, ["x", "y"])
+        group = skec(ctx)
+        assert group.object_ids == (0,)
+        assert group.diameter == 0.0
+
+
+class TestFindOskec:
+    def test_improves_loose_circle(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (1, 0, ["b"]), (100, 100, ["a", "b"])]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        loose = Circle(0.5, 0.0, 50.0)
+        improved = find_oskec(ctx, ctx.row_of(0), loose)
+        assert improved.diameter <= 1.0 + 1e-9
+
+    def test_keeps_circle_when_pole_hopeless(self):
+        # Pole far from any 'b' holder within the current diameter.
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (100, 0, ["b"]), (101, 0, ["a"])]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        current = Circle(100.5, 0.0, 0.5)
+        out = find_oskec(ctx, ctx.row_of(0), current)
+        assert out is current

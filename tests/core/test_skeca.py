@@ -1,0 +1,87 @@
+"""Tests for Algorithm SKECa (per-object binary search)."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.common import SQRT3_FACTOR, Deadline
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.core.skec import skec
+from repro.core.skeca import find_app_oskec, skeca
+from repro.exceptions import AlgorithmTimeout
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestRatioBound:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("epsilon", [0.01, 0.25])
+    def test_theorem6_bound(self, seed, epsilon):
+        ds = make_random_dataset(seed, n=30)
+        query = feasible_query(ds, seed, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        group = skeca(ctx, epsilon=epsilon)
+        assert group.covers(ds, query)
+        assert group.diameter <= (SQRT3_FACTOR + epsilon) * opt.diameter + 1e-9
+
+
+class TestAgainstExactSkec:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_circle_close_to_exact_skec(self, seed):
+        """The SKECa circle diameter is within alpha of the exact SKECq."""
+        ds = make_random_dataset(seed + 50, n=25)
+        query = feasible_query(ds, seed, 3)
+        ctx = compile_query(ds, query)
+        exact_group = skec(ctx)
+        eps = 0.01
+        approx_group = skeca(ctx, epsilon=eps)
+        alpha = approx_group.stats.get("alpha", 1e-9)
+        assert approx_group.enclosing_circle is not None
+        assert exact_group.enclosing_circle is not None
+        assert (
+            approx_group.enclosing_circle.diameter
+            <= exact_group.enclosing_circle.diameter + alpha + 1e-9
+        )
+
+
+class TestFindAppOskec:
+    def test_returns_none_when_pole_cannot_beat_bound(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (100, 0, ["b"]), (101, 0, ["a"])]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        found, steps = find_app_oskec(
+            ctx, ctx.row_of(0), search_lb=0.0, current_ub=1.0, alpha=0.01
+        )
+        assert found is None
+        assert steps == 1
+
+    def test_converges_within_alpha(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (2, 0, ["b"]), (50, 50, ["a", "b"])]
+        )
+        ctx = compile_query(ds, ["a", "b"])
+        alpha = 0.001
+        found, _steps = find_app_oskec(
+            ctx, ctx.row_of(0), search_lb=0.0, current_ub=10.0, alpha=alpha
+        )
+        assert found is not None
+        # True SKECo diameter is 2.0 (segment as diameter).
+        assert 2.0 - 1e-9 <= found.diameter <= 2.0 + alpha + 10.0 * alpha
+
+    def test_steps_grow_with_precision(self):
+        ds = make_random_dataset(8, n=30)
+        query = feasible_query(ds, 8, 3)
+        ctx = compile_query(ds, query)
+        coarse = skeca(ctx, epsilon=0.25)
+        fine = skeca(ctx, epsilon=0.0004)
+        assert fine.stats["binary_steps"] >= coarse.stats["binary_steps"]
+
+
+class TestDeadline:
+    def test_timeout_raises(self):
+        ds = make_random_dataset(9, n=60)
+        query = feasible_query(ds, 9, 5)
+        ctx = compile_query(ds, query)
+        with pytest.raises(AlgorithmTimeout):
+            skeca(ctx, deadline=Deadline("SKECa", -1.0))

@@ -1,0 +1,102 @@
+"""Tests for Algorithm SKECa+ (global binary search, Algorithm 2)."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.circlescan import circle_scan
+from repro.core.common import SQRT3_FACTOR
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.core.skeca import skeca
+from repro.core.skecaplus import skeca_plus, skeca_plus_state
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestRatioBound:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("epsilon", [0.01, 0.25])
+    def test_theorem6_bound(self, seed, epsilon):
+        ds = make_random_dataset(seed, n=30)
+        query = feasible_query(ds, seed, 4)
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        group = skeca_plus(ctx, epsilon=epsilon)
+        assert group.covers(ds, query)
+        assert group.diameter <= (SQRT3_FACTOR + epsilon) * opt.diameter + 1e-9
+
+
+class TestEquivalenceWithSkeca:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_quality_as_skeca(self, seed):
+        """Both algorithms converge to within alpha of ø(SKECq): their
+        circle diameters differ by at most alpha."""
+        ds = make_random_dataset(seed + 20, n=30)
+        query = feasible_query(ds, seed, 3)
+        ctx = compile_query(ds, query)
+        a = skeca(ctx, epsilon=0.01)
+        b = skeca_plus(ctx, epsilon=0.01)
+        assert a.enclosing_circle is not None and b.enclosing_circle is not None
+        alpha = max(a.stats.get("alpha", 0.0), b.stats.get("alpha", 0.0))
+        if alpha == 0.0:
+            alpha = 1e-9  # both hit the single-object shortcut
+        assert abs(a.enclosing_circle.diameter - b.enclosing_circle.diameter) <= (
+            alpha + 1e-9
+        )
+
+
+class TestState:
+    def test_max_invalid_range_is_sound(self):
+        """Every recorded invalid diameter must truly fail circleScan."""
+        ds = make_random_dataset(4, n=25)
+        query = feasible_query(ds, 4, 3)
+        ctx = compile_query(ds, query)
+        state = skeca_plus_state(ctx, epsilon=0.05)
+        for pole, bad_diam in enumerate(state.max_invalid_range):
+            if bad_diam > 0.0:
+                assert circle_scan(ctx, pole, bad_diam) is None, (
+                    f"pole {pole}: diameter {bad_diam} recorded invalid but scans OK"
+                )
+
+    def test_state_contains_gkg_group(self):
+        ds = make_random_dataset(5, n=25)
+        ctx = compile_query(ds, feasible_query(ds, 5, 3))
+        state = skeca_plus_state(ctx, epsilon=0.01)
+        assert state.gkg_group.algorithm == "GKG"
+        assert state.alpha > 0.0
+
+    def test_binary_steps_bounded_by_log(self):
+        import math
+
+        ds = make_random_dataset(6, n=40)
+        ctx = compile_query(ds, feasible_query(ds, 6, 4))
+        eps = 0.01
+        state = skeca_plus_state(ctx, epsilon=eps)
+        # The range is at most (2/sqrt(3) - 1/2) * d_gkg and alpha is
+        # eps*d_gkg/2, so steps <= log2(range/alpha) + warm-up steps.
+        bound = math.log2((2 / 3**0.5 - 0.5) / (eps / 2)) + 1
+        # Warm-up binary search adds at most the same number again.
+        assert state.binary_steps <= 2 * bound + 2
+
+
+class TestSingleObject:
+    def test_single_covering_object(self):
+        ds = Dataset.from_records(
+            [(3, 3, ["x", "y", "z"]), (9, 9, ["x"]), (0, 0, ["y"])]
+        )
+        ctx = compile_query(ds, ["x", "y", "z"])
+        state = skeca_plus_state(ctx)
+        assert state.group.object_ids == (0,)  # record 0 covers all keywords
+        assert state.group.diameter == 0.0
+
+
+class TestCircleEnclosesGroup:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_enclosing_circle_valid(self, seed):
+        ds = make_random_dataset(seed + 40, n=30)
+        query = feasible_query(ds, seed, 3)
+        ctx = compile_query(ds, query)
+        group = skeca_plus(ctx)
+        circle = group.enclosing_circle
+        assert circle is not None
+        for oid in group.object_ids:
+            assert circle.contains(ds.location_of(oid), eps=1e-6)

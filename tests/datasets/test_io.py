@@ -1,0 +1,130 @@
+"""Tests for dataset serialization."""
+
+import json
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.datasets.io import (
+    load_csv,
+    load_jsonl,
+    load_latlon_records,
+    save_csv,
+    save_jsonl,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def sample():
+    return Dataset.from_records(
+        [(0.5, 1.5, ["hotel", "bar"]), (2.0, 3.0, ["shop"])], name="sample"
+    )
+
+
+class TestJsonl:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_jsonl(sample, path)
+        loaded = load_jsonl(path)
+        assert loaded.name == "sample"
+        assert len(loaded) == len(sample)
+        for a, b in zip(sample, loaded):
+            assert (a.x, a.y, a.keywords) == (b.x, b.y, b.keywords)
+
+    def test_headerless_file_accepted(self, tmp_path):
+        path = tmp_path / "raw.jsonl"
+        path.write_text(
+            '{"x": 1, "y": 2, "keywords": ["a"]}\n{"x": 3, "y": 4, "keywords": ["b"]}\n'
+        )
+        loaded = load_jsonl(path)
+        assert len(loaded) == 2
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_jsonl(path)
+
+    def test_invalid_json_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"x": 1, "y": 2, "keywords": ["a"]}\nnot json\n')
+        with pytest.raises(DatasetError) as exc:
+            load_jsonl(path)
+        assert ":2:" in str(exc.value)
+
+    def test_missing_fields_raise(self, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        path.write_text('{"x": 1, "keywords": ["a"]}\n')
+        with pytest.raises(DatasetError):
+            load_jsonl(path)
+
+    def test_empty_keywords_raise(self, tmp_path):
+        path = tmp_path / "bad3.jsonl"
+        path.write_text('{"x": 1, "y": 1, "keywords": []}\n')
+        with pytest.raises(DatasetError):
+            load_jsonl(path)
+
+    def test_blank_lines_skipped(self, sample, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_jsonl(sample, path)
+        text = path.read_text() + "\n\n"
+        path.write_text(text)
+        assert len(load_jsonl(path)) == 2
+
+
+class TestCsv:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "ds.csv"
+        save_csv(sample, path)
+        loaded = load_csv(path, name="sample")
+        assert len(loaded) == 2
+        assert loaded[0].keywords == frozenset({"hotel", "bar"})
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,keywords\n1,2\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_bad_coordinates(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("x,y,keywords\noops,2,a\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_no_keywords(self, tmp_path):
+        path = tmp_path / "bad3.csv"
+        path.write_text("x,y,keywords\n1,2,\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+
+class TestLatLonImport:
+    def test_projects_to_metres(self):
+        # Two points ~1.11 km apart in latitude.
+        records = [
+            (40.70, -74.00, ["a"]),
+            (40.71, -74.00, ["b"]),
+        ]
+        ds = load_latlon_records(records)
+        d = ((ds[0].x - ds[1].x) ** 2 + (ds[0].y - ds[1].y) ** 2) ** 0.5
+        assert d == pytest.approx(1110.0, rel=0.01)
+
+    def test_single_zone_used(self):
+        # Points straddling a zone border still land in one frame.
+        records = [(50.0, 5.9, ["a"]), (50.0, 6.1, ["b"])]
+        ds = load_latlon_records(records)
+        d = abs(ds[0].x - ds[1].x)
+        assert d == pytest.approx(14_300, rel=0.05)
+
+    def test_forced_zone(self):
+        records = [(40.7, -74.0, ["a"])]
+        ds = load_latlon_records(records, zone=17)
+        assert ds[0].x > 500_000  # west of zone 17's central meridian? east

@@ -1,0 +1,108 @@
+"""Tests for the paper-style query generator."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.query import compile_query
+from repro.datasets.queries import generate_queries, generate_workload
+from repro.datasets.synthetic import make_ny_like
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def city():
+    return make_ny_like(scale=0.05)
+
+
+class TestBasicGeneration:
+    def test_count_and_m(self, city):
+        queries = generate_queries(city, m=4, count=6, seed=1)
+        assert len(queries) == 6
+        for q in queries:
+            assert q.m == 4
+
+    def test_deterministic(self, city):
+        a = generate_queries(city, m=3, count=4, seed=9)
+        b = generate_queries(city, m=3, count=4, seed=9)
+        assert [q.keywords for q in a] == [q.keywords for q in b]
+
+    def test_different_seeds_differ(self, city):
+        a = generate_queries(city, m=3, count=4, seed=1)
+        b = generate_queries(city, m=3, count=4, seed=2)
+        assert [q.keywords for q in a] != [q.keywords for q in b]
+
+    def test_queries_feasible(self, city):
+        for q in generate_queries(city, m=5, count=5, seed=3):
+            ctx = compile_query(city, q)  # raises if infeasible
+            assert len(ctx) > 0
+
+
+class TestDiameterBound:
+    @pytest.mark.parametrize("fraction", [0.1, 0.2])
+    def test_optimal_diameter_within_bound(self, city, fraction):
+        """The generating circle encloses a feasible group, so the optimal
+        diameter cannot exceed the bound."""
+        bound = fraction * city.extent_diameter()
+        for q in generate_queries(
+            city, m=3, count=4, diameter_fraction=fraction, seed=5
+        ):
+            ctx = compile_query(city, q)
+            opt = brute_force_optimal(ctx)
+            assert opt.diameter <= bound + 1e-6
+
+
+class TestTermPool:
+    def test_restricted_pool_lowers_frequencies(self, city):
+        rare = generate_queries(city, m=3, count=5, term_pool_fraction=0.2, seed=7)
+        common = generate_queries(city, m=3, count=5, term_pool_fraction=1.0, seed=7)
+        mean_rare = _mean_frequency(city, rare)
+        mean_common = _mean_frequency(city, common)
+        assert mean_rare < mean_common
+
+    def test_pool_membership(self, city):
+        fraction = 0.3
+        ranked = city.vocabulary.terms_by_frequency()
+        pool = set(ranked[: int(len(ranked) * fraction)])
+        for q in generate_queries(
+            city, m=3, count=5, term_pool_fraction=fraction, seed=11
+        ):
+            assert set(q.keywords) <= pool
+
+
+class TestValidation:
+    def test_bad_m(self, city):
+        with pytest.raises(DatasetError):
+            generate_queries(city, m=0, count=1)
+
+    def test_bad_fraction(self, city):
+        with pytest.raises(DatasetError):
+            generate_queries(city, m=2, count=1, diameter_fraction=0.0)
+        with pytest.raises(DatasetError):
+            generate_queries(city, m=2, count=1, term_pool_fraction=1.5)
+
+    def test_impossible_pool_raises(self, city):
+        # m larger than the vocabulary can support in any circle.
+        with pytest.raises(DatasetError):
+            generate_queries(
+                city, m=10_000, count=1, max_attempts_per_query=3
+            )
+
+
+class TestWorkload:
+    def test_workload_carries_provenance(self, city):
+        w = generate_workload(city, m=4, count=3, diameter_fraction=0.15, seed=2)
+        assert w.dataset_name == city.name
+        assert w.m == 4
+        assert w.diameter_fraction == 0.15
+        assert len(w) == 3
+        assert list(w) == w.queries
+
+
+def _mean_frequency(city, queries):
+    total = 0
+    n = 0
+    for q in queries:
+        for t in q.keywords:
+            total += city.vocabulary.frequency(t)
+            n += 1
+    return total / n

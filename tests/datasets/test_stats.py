@@ -1,0 +1,37 @@
+"""Tests for Table-1-style dataset statistics."""
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.datasets.stats import DatasetStats, table1_stats
+
+
+class TestDatasetStats:
+    def test_derived_ratios(self):
+        s = DatasetStats(name="x", n_objects=100, unique_words=25, total_words=250)
+        assert s.words_per_object == 2.5
+        assert s.unique_ratio == 0.25
+
+    def test_zero_objects(self):
+        s = DatasetStats(name="x", n_objects=0, unique_words=0, total_words=0)
+        assert s.words_per_object == 0.0
+        assert s.unique_ratio == 0.0
+
+
+class TestTable1:
+    def test_counts_match_dataset(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a", "b"]), (1, 1, ["b", "c"]), (2, 2, ["c"])], name="tiny"
+        )
+        (row,) = table1_stats([ds])
+        assert row.name == "tiny"
+        assert row.n_objects == 3
+        assert row.unique_words == 3
+        assert row.total_words == 5
+
+    def test_multiple_datasets_ordered(self):
+        a = Dataset.from_records([(0, 0, ["x"])], name="a")
+        b = Dataset.from_records([(0, 0, ["y"]), (1, 1, ["z"])], name="b")
+        rows = table1_stats([a, b])
+        assert [r.name for r in rows] == ["a", "b"]
+        assert [r.n_objects for r in rows] == [1, 2]

@@ -1,0 +1,143 @@
+"""Tests for the synthetic NY/LA/TW-like generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    PRESETS,
+    SyntheticConfig,
+    generate_city,
+    make_la_like,
+    make_ny_like,
+    make_tw_like,
+)
+
+
+class TestGenerateCity:
+    @pytest.fixture(scope="class")
+    def small(self):
+        config = SyntheticConfig(
+            name="test-city",
+            n_objects=800,
+            vocab_size=200,
+            words_per_object=2.5,
+            extent=10_000.0,
+            n_clusters=5,
+            cluster_spread=300.0,
+            seed=42,
+        )
+        return generate_city(config)
+
+    def test_object_count(self, small):
+        assert len(small) == 800
+
+    def test_every_object_has_keywords(self, small):
+        for obj in small:
+            assert len(obj.keywords) >= 1
+
+    def test_locations_in_extent(self, small):
+        coords = small.coords
+        assert coords.min() >= 0.0
+        assert coords.max() <= 10_000.0
+
+    def test_mean_words_close_to_target(self, small):
+        mean = small.total_word_count() / len(small)
+        # Dedup within objects pulls the mean slightly below the target.
+        assert 1.5 <= mean <= 2.6
+
+    def test_zipf_skew(self, small):
+        """The most frequent term should dominate: a Zipf signature."""
+        freqs = sorted(
+            (small.vocabulary.frequency(t) for t in small.vocabulary.terms_by_frequency()),
+            reverse=True,
+        )
+        assert freqs[0] > 5 * freqs[len(freqs) // 2]
+
+    def test_deterministic(self):
+        config = PRESETS["NY"].scaled(0.01)
+        a = generate_city(config)
+        b = generate_city(config)
+        assert np.array_equal(a.coords, b.coords)
+        assert [o.keywords for o in a] == [o.keywords for o in b]
+
+    def test_spatial_clustering_present(self, small):
+        """Clustered data has lower mean nearest-neighbour distance than a
+        uniform scatter of the same density."""
+        from scipy.spatial import cKDTree
+
+        coords = small.coords
+        tree = cKDTree(coords)
+        d, _ = tree.query(coords, k=2)
+        mean_nn = d[:, 1].mean()
+        rng = np.random.default_rng(0)
+        uniform = rng.uniform(0, 10_000, size=coords.shape)
+        du, _ = cKDTree(uniform).query(uniform, k=2)
+        assert mean_nn < 0.8 * du[:, 1].mean()
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "maker,name",
+        [(make_ny_like, "NY-like"), (make_la_like, "LA-like"), (make_tw_like, "TW-like")],
+    )
+    def test_preset_names(self, maker, name):
+        ds = maker(scale=0.01)
+        assert ds.name == name
+        assert len(ds) > 0
+
+    def test_scale_grows_linearly(self):
+        small = make_ny_like(scale=0.01)
+        large = make_ny_like(scale=0.02)
+        assert len(large) == 2 * len(small)
+
+    def test_seed_override_changes_data(self):
+        a = make_ny_like(scale=0.01, seed=1)
+        b = make_ny_like(scale=0.01, seed=2)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_tw_has_longer_texts_than_ny(self):
+        ny = make_ny_like(scale=0.02)
+        tw = make_tw_like(scale=0.02)
+        assert (tw.total_word_count() / len(tw)) > (
+            ny.total_word_count() / len(ny)
+        )
+
+    def test_scaled_config(self):
+        base = PRESETS["LA"]
+        half = base.scaled(0.5)
+        assert half.n_objects == base.n_objects // 2
+        assert half.extent == base.extent
+
+
+class TestZipfStatistics:
+    def test_rank_frequency_slope(self):
+        """log-frequency vs log-rank slope should be near -1 for the head
+        of a Zipf(1) vocabulary (tolerant band: sampling noise, dedup)."""
+        import numpy as np
+
+        ds = make_ny_like(scale=0.1)
+        freqs = sorted(
+            (
+                ds.vocabulary.frequency(t)
+                for t in ds.vocabulary.terms_by_frequency()
+            ),
+            reverse=True,
+        )
+        head = np.array(freqs[:50], dtype=float)
+        ranks = np.arange(1, len(head) + 1, dtype=float)
+        slope = np.polyfit(np.log(ranks), np.log(head), 1)[0]
+        assert -1.5 < slope < -0.6, f"slope {slope} not Zipf-like"
+
+    def test_background_fraction_scatters(self):
+        """With full background fraction the data loses its clustering."""
+        from scipy.spatial import cKDTree
+
+        config = PRESETS["NY"].scaled(0.05)
+        clustered = generate_city(config)
+        uniform_cfg = SyntheticConfig(
+            **{**config.__dict__, "background_fraction": 1.0}
+        )
+        scattered = generate_city(uniform_cfg)
+        d_c, _ = cKDTree(clustered.coords).query(clustered.coords, k=2)
+        d_s, _ = cKDTree(scattered.coords).query(scattered.coords, k=2)
+        assert d_c[:, 1].mean() < d_s[:, 1].mean()

@@ -1,0 +1,86 @@
+"""Tests for the WGS-84 -> UTM conversion."""
+
+import math
+
+import pytest
+
+from repro.datasets.utm import latlon_to_utm, utm_zone
+
+
+def _haversine(lat1, lon1, lat2, lon2):
+    radius = 6371008.8
+    p1, p2 = math.radians(lat1), math.radians(lat2)
+    dphi = p2 - p1
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(p1) * math.cos(p2) * math.sin(dlam / 2) ** 2
+    return 2 * radius * math.asin(math.sqrt(a))
+
+
+class TestZones:
+    def test_zone_of_greenwich(self):
+        assert utm_zone(0.0) == 31
+
+    def test_zone_of_new_york(self):
+        assert utm_zone(-74.0) == 18
+
+    def test_zone_of_los_angeles(self):
+        assert utm_zone(-118.24) == 11
+
+    def test_zone_wraps(self):
+        assert utm_zone(180.0) == 1
+        assert utm_zone(-180.0) == 1
+
+    def test_zone_boundaries(self):
+        assert utm_zone(-180.0 + 1e-9) == 1
+        assert utm_zone(-174.0 + 1e-9) == 2
+
+
+class TestConversion:
+    def test_central_meridian_easting(self):
+        # On the central meridian of zone 31 (3 deg E), easting = 500 km.
+        e, n, z = latlon_to_utm(45.0, 3.0)
+        assert z == 31
+        assert e == pytest.approx(500_000.0, abs=0.01)
+
+    def test_equator_northing_zero(self):
+        e, n, z = latlon_to_utm(0.0, 3.0)
+        assert n == pytest.approx(0.0, abs=0.01)
+
+    def test_southern_hemisphere_false_northing(self):
+        e, n, z = latlon_to_utm(-33.87, 151.21)  # Sydney
+        assert n > 6_000_000.0  # false northing applied
+
+    def test_forced_zone(self):
+        e1, n1, z1 = latlon_to_utm(40.7, -74.0)
+        e2, n2, z2 = latlon_to_utm(40.7, -74.0, zone=17)
+        assert z1 == 18 and z2 == 17
+        assert e1 != e2
+
+    def test_rejects_polar_latitudes(self):
+        with pytest.raises(ValueError):
+            latlon_to_utm(85.0, 0.0)
+        with pytest.raises(ValueError):
+            latlon_to_utm(-81.0, 0.0)
+
+    def test_rejects_bad_zone(self):
+        with pytest.raises(ValueError):
+            latlon_to_utm(40.0, -74.0, zone=61)
+
+
+class TestGroundDistances:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ((40.7128, -74.0060), (40.7580, -73.9855)),   # Manhattan
+            ((34.0522, -118.2437), (34.1015, -118.3265)),  # LA
+            ((40.70, -74.02), (40.90, -73.80)),            # ~29 km
+        ],
+    )
+    def test_euclidean_close_to_haversine(self, a, b):
+        """UTM exists so Euclidean distance approximates ground distance;
+        the error inside a zone at city scale is far below 0.5%."""
+        ea, na, za = latlon_to_utm(*a)
+        eb, nb, _zb = latlon_to_utm(*b, zone=za)
+        d_utm = math.hypot(ea - eb, na - nb)
+        d_ground = _haversine(a[0], a[1], b[0], b[1])
+        assert d_utm == pytest.approx(d_ground, rel=0.005)

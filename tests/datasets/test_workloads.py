@@ -1,0 +1,57 @@
+"""Tests for workload persistence."""
+
+import pytest
+
+from repro.datasets.queries import generate_workload
+from repro.datasets.synthetic import make_ny_like
+from repro.datasets.workloads import load_workload, save_workload
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ds = make_ny_like(scale=0.02)
+    return generate_workload(ds, m=3, count=4, diameter_fraction=0.15, seed=5)
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, workload, tmp_path):
+        path = tmp_path / "wl.json"
+        save_workload(workload, path)
+        restored = load_workload(path)
+        assert restored.dataset_name == workload.dataset_name
+        assert restored.m == workload.m
+        assert restored.diameter_fraction == workload.diameter_fraction
+        assert restored.seed == workload.seed
+        assert [q.keywords for q in restored] == [q.keywords for q in workload]
+
+    def test_queries_usable_after_load(self, workload, tmp_path):
+        from repro.core.engine import MCKEngine
+
+        path = tmp_path / "wl.json"
+        save_workload(workload, path)
+        restored = load_workload(path)
+        ds = make_ny_like(scale=0.02)
+        engine = MCKEngine(ds)
+        group = engine.query(restored.queries[0].keywords, algorithm="GKG")
+        assert group.diameter >= 0.0
+
+
+class TestValidation:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(DatasetError):
+            load_workload(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad2.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(DatasetError):
+            load_workload(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "bad3.json"
+        path.write_text('{"format": "repro-workload-v1", "m": 3}')
+        with pytest.raises(DatasetError):
+            load_workload(path)

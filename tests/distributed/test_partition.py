@@ -1,0 +1,84 @@
+"""Tests for the grid partitioner."""
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.distributed.partition import GridPartitioner
+from repro.exceptions import ExperimentError
+from tests.conftest import make_random_dataset
+
+
+@pytest.fixture
+def ds():
+    return make_random_dataset(1, n=120)
+
+
+class TestGrid:
+    def test_worker_count_square(self, ds):
+        assert GridPartitioner(ds, 4).n_workers == 4
+        assert GridPartitioner(ds, 9).n_workers == 9
+        assert GridPartitioner(ds, 5).n_workers == 4  # floor(sqrt(5))^2
+
+    def test_rejects_zero_workers(self, ds):
+        with pytest.raises(ExperimentError):
+            GridPartitioner(ds, 0)
+
+    def test_rejects_empty_dataset(self):
+        ds = Dataset(name="empty")
+        ds.finalize()
+        with pytest.raises(ExperimentError):
+            GridPartitioner(ds, 4)
+
+    def test_rejects_negative_halo(self, ds):
+        with pytest.raises(ExperimentError):
+            GridPartitioner(ds, 4).partitions(-1.0)
+
+
+class TestCoreAssignment:
+    def test_every_object_in_exactly_one_core(self, ds):
+        parts = GridPartitioner(ds, 9).partitions(halo=0.0)
+        seen = []
+        for p in parts:
+            seen.extend(p.core_ids)
+        assert sorted(seen) == list(range(len(ds)))
+
+    def test_core_objects_inside_core_rect(self, ds):
+        parts = GridPartitioner(ds, 4).partitions(halo=0.0)
+        for p in parts:
+            x1, y1, x2, y2 = p.core
+            for oid in p.core_ids:
+                x, y = ds.location_of(oid)
+                assert x1 - 1e-9 <= x <= x2 + 1e-9
+                assert y1 - 1e-9 <= y <= y2 + 1e-9
+
+    def test_zero_halo_no_replication(self, ds):
+        parts = GridPartitioner(ds, 4).partitions(halo=0.0)
+        assert all(not p.halo_ids for p in parts)
+
+
+class TestHalo:
+    def test_halo_covers_nearby_objects(self, ds):
+        """Every object within `halo` of a worker's core rectangle must be
+        in that worker's view — the correctness condition of the protocol."""
+        halo = 20.0
+        parts = GridPartitioner(ds, 9).partitions(halo=halo)
+        for p in parts:
+            x1, y1, x2, y2 = p.core
+            view = set(p.all_ids)
+            for oid in range(len(ds)):
+                x, y = ds.location_of(oid)
+                dx = max(x1 - x, 0.0, x - x2)
+                dy = max(y1 - y, 0.0, y - y2)
+                if (dx * dx + dy * dy) ** 0.5 <= halo - 1e-9:
+                    assert oid in view, (p.worker_id, oid)
+
+    def test_larger_halo_more_replication(self, ds):
+        grid = GridPartitioner(ds, 9)
+        small = sum(len(p.halo_ids) for p in grid.partitions(10.0))
+        large = sum(len(p.halo_ids) for p in grid.partitions(40.0))
+        assert large >= small
+
+    def test_huge_halo_replicates_everywhere(self, ds):
+        parts = GridPartitioner(ds, 4).partitions(halo=1e6)
+        for p in parts:
+            assert len(p) == len(ds)

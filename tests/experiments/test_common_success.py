@@ -1,0 +1,65 @@
+"""Tests for the §6.2.3 common-success runtime comparison rule."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import _common_success_runtimes
+from repro.experiments.metrics import QueryMeasurement
+
+
+def _m(algo, query, elapsed, success=True):
+    return QueryMeasurement(
+        algorithm=algo,
+        query_keywords=query,
+        elapsed_seconds=elapsed,
+        diameter=1.0 if success else math.inf,
+        success=success,
+    )
+
+
+class TestCommonSuccessRuntimes:
+    def test_only_common_successes_counted(self):
+        ms = [
+            _m("A", ("q1",), 1.0),
+            _m("B", ("q1",), 2.0),
+            _m("A", ("q2",), 10.0),
+            _m("B", ("q2",), 20.0, success=False),  # B failed on q2
+        ]
+        out = _common_success_runtimes(ms, ("A", "B"))
+        assert out["A"] == pytest.approx(1.0)  # q2 excluded for both
+        assert out["B"] == pytest.approx(2.0)
+
+    def test_empty_when_no_common_query(self):
+        ms = [
+            _m("A", ("q1",), 1.0),
+            _m("B", ("q2",), 2.0),
+        ]
+        assert _common_success_runtimes(ms, ("A", "B")) == {}
+
+    def test_empty_when_all_fail(self):
+        ms = [
+            _m("A", ("q1",), 1.0, success=False),
+            _m("B", ("q1",), 2.0, success=False),
+        ]
+        assert _common_success_runtimes(ms, ("A", "B")) == {}
+
+    def test_means_over_multiple_queries(self):
+        ms = [
+            _m("A", ("q1",), 1.0),
+            _m("B", ("q1",), 4.0),
+            _m("A", ("q2",), 3.0),
+            _m("B", ("q2",), 6.0),
+        ]
+        out = _common_success_runtimes(ms, ("A", "B"))
+        assert out["A"] == pytest.approx(2.0)
+        assert out["B"] == pytest.approx(5.0)
+
+    def test_other_algorithms_ignored(self):
+        ms = [
+            _m("A", ("q1",), 1.0),
+            _m("B", ("q1",), 2.0),
+            _m("C", ("q1",), 99.0),
+        ]
+        out = _common_success_runtimes(ms, ("A", "B"))
+        assert set(out) == {"A", "B"}

@@ -1,0 +1,131 @@
+"""Tests for measurement records and aggregation."""
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import AlgorithmSummary, QueryMeasurement, summarize
+
+
+def _m(algo, elapsed, diameter, success=True, optimal=None):
+    return QueryMeasurement(
+        algorithm=algo,
+        query_keywords=("a", "b"),
+        elapsed_seconds=elapsed,
+        diameter=diameter,
+        success=success,
+        optimal_diameter=optimal,
+    )
+
+
+class TestQueryMeasurement:
+    def test_ratio(self):
+        assert _m("X", 0.1, 5.0, optimal=4.0).ratio == pytest.approx(1.25)
+
+    def test_ratio_none_without_reference(self):
+        assert _m("X", 0.1, 5.0).ratio is None
+
+    def test_ratio_none_on_failure(self):
+        assert _m("X", 0.1, math.inf, success=False, optimal=1.0).ratio is None
+
+    def test_ratio_zero_optimal(self):
+        assert _m("X", 0.1, 0.0, optimal=0.0).ratio == 1.0
+        assert _m("X", 0.1, 2.0, optimal=0.0).ratio == math.inf
+
+
+class TestSummarize:
+    def test_groups_by_algorithm(self):
+        ms = [_m("A", 0.1, 1.0, optimal=1.0), _m("B", 0.2, 2.0, optimal=1.0)]
+        summaries = {s.algorithm: s for s in summarize(ms)}
+        assert set(summaries) == {"A", "B"}
+        assert summaries["B"].mean_ratio == pytest.approx(2.0)
+
+    def test_mean_runtime_over_successes_only(self):
+        ms = [
+            _m("A", 0.1, 1.0),
+            _m("A", 0.3, 1.0),
+            _m("A", 99.0, math.inf, success=False),
+        ]
+        (s,) = summarize(ms)
+        assert s.mean_runtime == pytest.approx(0.2)
+        assert s.n_succeeded == 2
+        assert s.success_rate == pytest.approx(2 / 3)
+
+    def test_all_failed(self):
+        ms = [_m("A", 1.0, math.inf, success=False)]
+        (s,) = summarize(ms)
+        assert math.isnan(s.mean_runtime)
+        assert s.mean_ratio is None
+        assert s.success_rate == 0.0
+
+    def test_max_ratio(self):
+        ms = [
+            _m("A", 0.1, 1.0, optimal=1.0),
+            _m("A", 0.1, 3.0, optimal=1.5),
+        ]
+        (s,) = summarize(ms)
+        assert s.max_ratio == pytest.approx(2.0)
+
+    def test_infinite_ratio_excluded(self):
+        ms = [
+            _m("A", 0.1, 2.0, optimal=0.0),   # inf ratio
+            _m("A", 0.1, 1.0, optimal=1.0),
+        ]
+        (s,) = summarize(ms)
+        assert s.mean_ratio == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert summarize([]) == []
+
+    def test_success_rate_zero_queries(self):
+        s = AlgorithmSummary("A", 0, 0, math.nan, None, None)
+        assert s.success_rate == 0.0
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        from repro.experiments.metrics import percentile
+
+        assert math.isnan(percentile([], 50))
+
+    def test_single_value(self):
+        from repro.experiments.metrics import percentile
+
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_median_interpolates(self):
+        from repro.experiments.metrics import percentile
+
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        from repro.experiments.metrics import percentile
+
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_rejects_bad_q(self):
+        from repro.experiments.metrics import percentile
+
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_unsorted_input(self):
+        from repro.experiments.metrics import percentile
+
+        assert percentile([9.0, 1.0, 5.0, 3.0, 7.0], 50) == 5.0
+
+
+class TestRuntimePercentilesInSummary:
+    def test_percentiles_populated(self):
+        ms = [_m("A", t, 1.0) for t in (0.1, 0.2, 0.3, 0.4, 10.0)]
+        (s,) = summarize(ms)
+        assert s.p50_runtime == pytest.approx(0.3)
+        assert s.p95_runtime > s.p50_runtime
+
+    def test_percentiles_nan_when_all_fail(self):
+        ms = [_m("A", 1.0, math.inf, success=False)]
+        (s,) = summarize(ms)
+        assert math.isnan(s.p50_runtime)

@@ -1,0 +1,70 @@
+"""Tests for figure persistence (JSON round-trips)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.persistence import (
+    figure_from_dict,
+    figure_to_dict,
+    load_figures,
+    save_figures,
+)
+from repro.experiments.report import FigureResult
+
+
+def _figure():
+    fig = FigureResult("F1", "A Title", "m", [2, 4, 6])
+    fig.add_series("GKG", [0.1, 0.2, math.nan])
+    fig.add_series("EXACT", [1.0, 2.0, 3.0])
+    fig.notes.append("a note")
+    return fig
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = _figure()
+        restored = figure_from_dict(figure_to_dict(original))
+        assert restored.figure_id == original.figure_id
+        assert restored.x_values == original.x_values
+        assert restored.series["EXACT"] == original.series["EXACT"]
+        assert math.isnan(restored.series["GKG"][2])
+        assert restored.notes == original.notes
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "figs.json"
+        save_figures([_figure(), _figure()], path)
+        restored = load_figures(path)
+        assert len(restored) == 2
+        assert restored[0].render() == _figure().render()
+
+    def test_nan_becomes_null_in_json(self, tmp_path):
+        path = tmp_path / "figs.json"
+        save_figures([_figure()], path)
+        assert "null" in path.read_text()
+        assert "NaN" not in path.read_text()
+
+
+class TestValidation:
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_figures(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"format": "something-else", "figures": []}')
+        with pytest.raises(ExperimentError):
+            load_figures(path)
+
+    def test_malformed_payload(self):
+        with pytest.raises(ExperimentError):
+            figure_from_dict({"figure_id": "x"})
+
+    def test_series_length_mismatch_rejected(self):
+        payload = figure_to_dict(_figure())
+        payload["series"]["GKG"] = [1.0]
+        with pytest.raises(ExperimentError):
+            figure_from_dict(payload)

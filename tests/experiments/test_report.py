@@ -1,0 +1,53 @@
+"""Tests for the ASCII report rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import FigureResult, render_rows, render_series_table
+
+
+class TestFigureResult:
+    def test_add_series(self):
+        fig = FigureResult("F1", "title", "x", [1, 2, 3])
+        fig.add_series("algo", [0.1, 0.2, 0.3])
+        assert fig.series["algo"] == [0.1, 0.2, 0.3]
+
+    def test_add_series_length_mismatch(self):
+        fig = FigureResult("F1", "title", "x", [1, 2])
+        with pytest.raises(ValueError):
+            fig.add_series("algo", [0.1])
+
+    def test_render_contains_everything(self):
+        fig = FigureResult("F1", "My Title", "m", [2, 4])
+        fig.add_series("GKG", [0.01, 0.02])
+        fig.notes.append("a note")
+        text = fig.render()
+        assert "F1" in text
+        assert "My Title" in text
+        assert "GKG" in text
+        assert "a note" in text
+
+    def test_nan_rendered_as_dash(self):
+        fig = FigureResult("F1", "t", "x", [1])
+        fig.add_series("A", [math.nan])
+        assert "-" in fig.render()
+
+    def test_str_is_render(self):
+        fig = FigureResult("F1", "t", "x", [1])
+        assert str(fig) == fig.render()
+
+
+class TestRenderRows:
+    def test_aligned_columns(self):
+        text = render_rows("T", ["name", "count"], [("abc", 1), ("de", 22)])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "name" in lines[1] and "count" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = render_rows("T", ["v"], [(0.000123,), (1234567.0,), (1.5,)])
+        assert "0.000123" in text
+        assert "1.23e+06" in text
+        assert "1.5" in text

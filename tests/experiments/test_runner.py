@@ -1,0 +1,93 @@
+"""Tests for the experiment runner (timeouts, references, dispatch)."""
+
+import math
+
+import pytest
+
+from repro.datasets.queries import generate_queries
+from repro.exceptions import QueryError
+from repro.experiments.runner import ALL_ALGORITHMS, ExperimentRunner
+from tests.conftest import feasible_query, make_random_dataset
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(make_random_dataset(1, n=50))
+
+
+@pytest.fixture(scope="module")
+def queries(runner):
+    terms = runner.dataset.vocabulary.terms_by_frequency()
+    return [[terms[0], terms[1], terms[2]], [terms[3], terms[4], terms[5]]]
+
+
+class TestRunSuite:
+    def test_all_measurements_present(self, runner, queries):
+        ms = runner.run_suite(["GKG", "EXACT"], queries)
+        assert len(ms) == 4
+        assert {m.algorithm for m in ms} == {"GKG", "EXACT"}
+
+    def test_reference_attached(self, runner, queries):
+        ms = runner.run_suite(["GKG"], queries)
+        for m in ms:
+            assert m.optimal_diameter is not None
+            assert m.ratio >= 1.0 - 1e-9
+
+    def test_without_reference(self, runner, queries):
+        ms = runner.run_suite(["GKG"], queries, with_reference=False)
+        for m in ms:
+            assert m.optimal_diameter is None
+
+    def test_exact_ratio_is_one(self, runner, queries):
+        ms = runner.run_suite(["EXACT"], queries)
+        for m in ms:
+            assert m.ratio == pytest.approx(1.0)
+
+    def test_timeout_marks_failure(self, runner, queries):
+        ms = runner.run_suite(
+            ["EXACT"], queries, timeout=-1.0, with_reference=False
+        )
+        for m in ms:
+            assert not m.success
+            assert m.diameter == math.inf
+
+    def test_per_algorithm_timeouts(self, runner, queries):
+        ms = runner.run_suite(
+            ["GKG", "EXACT"],
+            queries,
+            timeout={"EXACT": -1.0},
+            with_reference=False,
+        )
+        by_algo = {}
+        for m in ms:
+            by_algo.setdefault(m.algorithm, []).append(m)
+        assert all(m.success for m in by_algo["GKG"])
+        assert all(not m.success for m in by_algo["EXACT"])
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_every_algorithm_runs(self, runner, queries, name):
+        ms = runner.run_suite([name], queries[:1], with_reference=False)
+        assert len(ms) == 1
+        assert ms[0].success
+
+    def test_unknown_name(self, runner, queries):
+        with pytest.raises(QueryError):
+            runner.run_suite(["nope"], queries)
+
+    def test_name_normalization(self, runner, queries):
+        ms = runner.run_suite(["skeca+"], queries[:1], with_reference=False)
+        assert ms[0].algorithm == "skeca+"
+
+
+class TestEpsilonPlumbs(object):
+    def test_epsilon_affects_skeca(self):
+        ds = make_random_dataset(2, n=60)
+        q = feasible_query(ds, 2, 4)
+        coarse = ExperimentRunner(ds, epsilon=0.25)
+        fine = ExperimentRunner(ds, epsilon=0.0004)
+        mc = coarse.run_suite(["SKECa+"], [q], with_reference=False)[0]
+        mf = fine.run_suite(["SKECa+"], [q], with_reference=False)[0]
+        # Finer epsilon can only improve (or match) the found diameter.
+        assert mf.diameter <= mc.diameter + 1e-9

@@ -1,0 +1,52 @@
+"""Tests for the runner's reference computation corner cases."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from tests.conftest import feasible_query, make_random_dataset
+
+
+class TestReferenceFailure:
+    def test_timed_out_reference_yields_no_ratio(self):
+        ds = make_random_dataset(1, n=50)
+        q = feasible_query(ds, 1, 4)
+        runner = ExperimentRunner(ds, reference_timeout=-1.0)
+        (m,) = runner.run_suite(["GKG"], [q])
+        assert m.success
+        assert m.optimal_diameter is None
+        assert m.ratio is None
+
+    def test_alternate_reference_algorithm(self):
+        ds = make_random_dataset(2, n=40)
+        q = feasible_query(ds, 2, 3)
+        runner = ExperimentRunner(ds, reference_algorithm="BRUTE")
+        (m,) = runner.run_suite(["EXACT"], [q])
+        assert m.ratio == pytest.approx(1.0)
+
+    def test_reference_not_charged_to_algorithm(self):
+        """The reference solve must not inflate the measured runtime."""
+        ds = make_random_dataset(3, n=50)
+        q = feasible_query(ds, 3, 4)
+        runner = ExperimentRunner(ds)
+        (with_ref,) = runner.run_suite(["GKG"], [q])
+        (without_ref,) = runner.run_suite(["GKG"], [q], with_reference=False)
+        # Same algorithm on a warm context: timings within one order.
+        assert with_ref.elapsed_seconds < max(10 * without_ref.elapsed_seconds, 0.05)
+
+
+class TestMeasurementFields:
+    def test_query_keywords_recorded(self):
+        ds = make_random_dataset(4, n=30)
+        q = feasible_query(ds, 4, 3)
+        runner = ExperimentRunner(ds)
+        (m,) = runner.run_suite(["GKG"], [q], with_reference=False)
+        assert tuple(m.query_keywords) == tuple(q)
+
+    def test_accepts_mckquery_objects(self):
+        from repro.core.query import MCKQuery
+
+        ds = make_random_dataset(5, n=30)
+        q = MCKQuery(feasible_query(ds, 5, 3))
+        runner = ExperimentRunner(ds)
+        (m,) = runner.run_suite(["GKG"], [q], with_reference=False)
+        assert m.success

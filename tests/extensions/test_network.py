@@ -1,0 +1,161 @@
+"""Tests for mCK under road-network distances."""
+
+import itertools
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.objects import Dataset
+from repro.exceptions import DatasetError, InfeasibleQueryError, QueryError
+from repro.extensions.network import (
+    RoadNetwork,
+    network_exact,
+    network_gkg,
+)
+
+
+def _grid_graph(n=6):
+    g = nx.grid_2d_graph(n, n)
+    for node in g.nodes:
+        g.nodes[node]["pos"] = (float(node[0]), float(node[1]))
+    return g
+
+
+def _random_city(seed, n_objects=20, grid=6, vocab="abcd"):
+    rng = random.Random(seed)
+    records = []
+    for _ in range(n_objects):
+        records.append(
+            (
+                rng.uniform(0, grid - 1),
+                rng.uniform(0, grid - 1),
+                rng.sample(list(vocab), rng.randint(1, 2)),
+            )
+        )
+    ds = Dataset.from_records(records)
+    return RoadNetwork(_grid_graph(grid), ds), ds
+
+
+def _bruteforce_network_optimum(network, ds, keywords):
+    relevant = [o.oid for o in ds if set(o.keywords) & set(keywords)]
+    best = math.inf
+    for size in range(1, len(keywords) + 1):
+        for combo in itertools.combinations(relevant, size):
+            covered = set()
+            for oid in combo:
+                covered |= ds[oid].keywords
+            if not set(keywords) <= covered:
+                continue
+            best = min(best, network.group_diameter(list(combo)))
+    return best
+
+
+class TestRoadNetwork:
+    def test_snapping(self):
+        ds = Dataset.from_records([(0.2, 0.3, ["a"]), (4.8, 4.9, ["b"])])
+        net = RoadNetwork(_grid_graph(), ds)
+        assert net.vertex_of(0) == (0, 0)
+        assert net.vertex_of(1) == (5, 5)
+
+    def test_distance_is_manhattan_on_grid(self):
+        ds = Dataset.from_records([(0, 0, ["a"]), (3, 4, ["b"])])
+        net = RoadNetwork(_grid_graph(), ds)
+        assert net.distance(0, 1) == pytest.approx(7.0)  # grid path
+
+    def test_distance_symmetric(self):
+        net, ds = _random_city(1)
+        for a in range(0, 6):
+            for b in range(a, 6):
+                assert net.distance(a, b) == pytest.approx(net.distance(b, a))
+
+    def test_disconnected_is_infinite(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0.0, 0.0))
+        g.add_node(1, pos=(10.0, 10.0))
+        ds = Dataset.from_records([(0, 0, ["a"]), (10, 10, ["b"])])
+        net = RoadNetwork(g, ds)
+        assert net.distance(0, 1) == math.inf
+
+    def test_missing_pos_rejected(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(DatasetError):
+            RoadNetwork(g, Dataset.from_records([(0, 0, ["a"])]))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(DatasetError):
+            RoadNetwork(nx.Graph(), Dataset.from_records([(0, 0, ["a"])]))
+
+    def test_explicit_weights_respected(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0.0, 0.0))
+        g.add_node(1, pos=(1.0, 0.0))
+        g.add_edge(0, 1, weight=42.0)
+        ds = Dataset.from_records([(0, 0, ["a"]), (1, 0, ["b"])])
+        net = RoadNetwork(g, ds)
+        assert net.distance(0, 1) == pytest.approx(42.0)
+
+
+class TestNetworkExact:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce(self, seed):
+        net, ds = _random_city(seed)
+        keywords = ["a", "b", "c"]
+        try:
+            got = network_exact(net, keywords)
+        except InfeasibleQueryError:
+            return
+        want = _bruteforce_network_optimum(net, ds, keywords)
+        assert got.diameter == pytest.approx(want, abs=1e-9)
+
+    def test_network_optimum_differs_from_euclidean(self):
+        """A wall in the road graph makes Euclidean neighbours far apart."""
+        g = nx.Graph()
+        # A C-shaped road: 0-1-2-3-4; vertices 0 and 4 are Euclidean-close.
+        positions = [(0.0, 0.0), (0.0, 2.0), (2.0, 2.0), (2.0, 0.0), (0.5, 0.0)]
+        for i, pos in enumerate(positions):
+            g.add_node(i, pos=pos)
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            g.add_edge(a, b)
+        ds = Dataset.from_records(
+            [(0.0, 0.0, ["a"]), (0.5, 0.0, ["b"]), (0.0, 2.0, ["b"])]
+        )
+        net = RoadNetwork(g, ds)
+        got = network_exact(net, ["a", "b"])
+        # Euclidean would pick the 0.5-away 'b'; network distance to it is
+        # the long way around (2+2+1.5=5.5... edges: 0-1=2,1-2=2,2-3=2,3-4=1.5
+        # so dist(0,4)=7.5) while the 'b' at (0,2) is 2 away by road.
+        assert set(got.object_ids) == {0, 2}
+        assert got.diameter == pytest.approx(2.0)
+
+    def test_infeasible(self):
+        net, ds = _random_city(2)
+        with pytest.raises(InfeasibleQueryError):
+            network_exact(net, ["a", "zzz"])
+
+    def test_empty_query(self):
+        net, ds = _random_city(3)
+        with pytest.raises(QueryError):
+            network_exact(net, [])
+
+
+class TestNetworkGkg:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_factor_two_bound(self, seed):
+        net, ds = _random_city(seed + 10)
+        keywords = ["a", "b"]
+        try:
+            greedy = network_gkg(net, keywords)
+            exact = network_exact(net, keywords)
+        except InfeasibleQueryError:
+            return
+        assert exact.diameter <= greedy.diameter + 1e-9
+        assert greedy.diameter <= 2.0 * exact.diameter + 1e-9
+
+    def test_single_object_cover(self):
+        ds = Dataset.from_records([(1, 1, ["a", "b"]), (4, 4, ["a"])])
+        net = RoadNetwork(_grid_graph(), ds)
+        got = network_gkg(net, ["a", "b"])
+        assert got.diameter == 0.0

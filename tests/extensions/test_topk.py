@@ -1,0 +1,96 @@
+"""Tests for the top-k mCK extension."""
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.exceptions import QueryError
+from repro.extensions.topk import top_k_mck
+from tests.conftest import feasible_query, make_random_dataset
+
+
+@pytest.fixture
+def two_cluster_dataset():
+    """Two clean clusters each covering {a, b}, one tighter than the other."""
+    return Dataset.from_records(
+        [
+            (0.0, 0.0, ["a"]),
+            (1.0, 0.0, ["b"]),       # cluster 1, diameter 1
+            (50.0, 50.0, ["a"]),
+            (53.0, 50.0, ["b"]),     # cluster 2, diameter 3
+            (200.0, 200.0, ["a"]),   # stragglers
+            (260.0, 200.0, ["b"]),
+        ]
+    )
+
+
+class TestDisjointPolicy:
+    def test_returns_clusters_in_order(self, two_cluster_dataset):
+        groups = top_k_mck(two_cluster_dataset, ["a", "b"], k=2)
+        assert len(groups) == 2
+        assert set(groups[0].object_ids) == {0, 1}
+        assert set(groups[1].object_ids) == {2, 3}
+        assert groups[0].diameter <= groups[1].diameter
+
+    def test_groups_disjoint(self, two_cluster_dataset):
+        groups = top_k_mck(two_cluster_dataset, ["a", "b"], k=3)
+        seen = set()
+        for g in groups:
+            assert not (seen & set(g.object_ids))
+            seen.update(g.object_ids)
+
+    def test_stops_when_exhausted(self, two_cluster_dataset):
+        groups = top_k_mck(two_cluster_dataset, ["a", "b"], k=10)
+        assert len(groups) == 3  # three a/b pairs exist
+
+    def test_diameters_non_decreasing(self):
+        ds = make_random_dataset(1, n=60)
+        query = feasible_query(ds, 1, 3)
+        groups = top_k_mck(ds, query, k=4)
+        for a, b in zip(groups, groups[1:]):
+            assert a.diameter <= b.diameter + 1e-9
+
+    def test_every_group_feasible(self):
+        ds = make_random_dataset(2, n=50)
+        query = feasible_query(ds, 2, 3)
+        for g in top_k_mck(ds, query, k=3):
+            assert g.covers(ds, query)
+
+
+class TestDistinctPolicy:
+    def test_groups_differ(self, two_cluster_dataset):
+        groups = top_k_mck(
+            two_cluster_dataset, ["a", "b"], k=3, policy="distinct"
+        )
+        sets = [frozenset(g.object_ids) for g in groups]
+        assert len(sets) == len(set(sets))
+
+    def test_first_group_is_optimum(self, two_cluster_dataset):
+        groups = top_k_mck(
+            two_cluster_dataset, ["a", "b"], k=1, policy="distinct"
+        )
+        assert groups[0].diameter == pytest.approx(1.0)
+
+
+class TestSolvers:
+    def test_skeca_plus_solver(self, two_cluster_dataset):
+        groups = top_k_mck(
+            two_cluster_dataset, ["a", "b"], k=2, algorithm="SKECa+"
+        )
+        assert len(groups) == 2
+        # Each group is within the approximation guarantee of its residual
+        # optimum; the first residual optimum is 1.0.
+        assert groups[0].diameter <= (2 / 3**0.5 + 0.01) * 1.0 + 1e-9
+
+
+class TestValidation:
+    def test_k_must_be_positive(self, two_cluster_dataset):
+        with pytest.raises(QueryError):
+            top_k_mck(two_cluster_dataset, ["a", "b"], k=0)
+
+    def test_unknown_policy(self, two_cluster_dataset):
+        with pytest.raises(QueryError):
+            top_k_mck(two_cluster_dataset, ["a", "b"], k=1, policy="weird")
+
+    def test_unknown_solver(self, two_cluster_dataset):
+        with pytest.raises(QueryError):
+            top_k_mck(two_cluster_dataset, ["a", "b"], k=1, algorithm="GKG")

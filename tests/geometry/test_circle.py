@@ -1,0 +1,88 @@
+"""Tests for repro.geometry.circle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.circle import Circle, circle_from_three, circle_from_two
+
+
+class TestCircle:
+    def test_diameter(self):
+        assert Circle(0, 0, 2.5).diameter == 5.0
+
+    def test_contains_inside_and_boundary(self):
+        c = Circle(0, 0, 1.0)
+        assert c.contains((0.5, 0.5))
+        assert c.contains((1.0, 0.0))  # boundary counts (closed disc)
+        assert not c.contains((1.001, 0.0))
+
+    def test_contains_epsilon_slack(self):
+        c = Circle(0, 0, 1.0)
+        assert c.contains((1.0 + 1e-12, 0.0))
+
+    def test_contains_many_matches_scalar(self):
+        c = Circle(1.0, -1.0, 2.0)
+        pts = np.array([[0.0, 0.0], [5.0, 5.0], [3.0, -1.0], [1.0, 1.0]])
+        mask = c.contains_many(pts)
+        assert list(mask) == [c.contains(p) for p in pts]
+
+    def test_on_boundary(self):
+        c = Circle(0, 0, 1.0)
+        assert c.on_boundary((math.cos(0.7), math.sin(0.7)))
+        assert not c.on_boundary((0.5, 0.0))
+
+    def test_scaled(self):
+        c = Circle(3, 4, 2.0).scaled(1.5)
+        assert (c.cx, c.cy, c.r) == (3, 4, 3.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Circle(0, 0, 1).r = 2  # type: ignore[misc]
+
+
+class TestCircleFromTwo:
+    def test_diameter_is_segment(self):
+        c = circle_from_two((0, 0), (4, 0))
+        assert (c.cx, c.cy) == (2, 0)
+        assert c.r == 2.0
+
+    def test_boundary_passes_both(self):
+        c = circle_from_two((1, 2), (5, -3))
+        assert c.on_boundary((1, 2))
+        assert c.on_boundary((5, -3))
+
+    def test_coincident_points(self):
+        c = circle_from_two((7, 7), (7, 7))
+        assert c.r == 0.0
+
+
+class TestCircleFromThree:
+    def test_unit_circle(self):
+        c = circle_from_three((1, 0), (0, 1), (-1, 0))
+        assert c.cx == pytest.approx(0.0, abs=1e-12)
+        assert c.cy == pytest.approx(0.0, abs=1e-12)
+        assert c.r == pytest.approx(1.0)
+
+    def test_boundary_passes_all_three(self):
+        pts = [(0.3, 1.7), (-2.0, 0.4), (1.1, -0.9)]
+        c = circle_from_three(*pts)
+        for p in pts:
+            assert c.on_boundary(p)
+
+    def test_right_triangle_hypotenuse_is_diameter(self):
+        # Thales: the circumcircle of a right triangle is centred on the
+        # hypotenuse midpoint.
+        c = circle_from_three((0, 0), (4, 0), (0, 3))
+        assert (c.cx, c.cy) == pytest.approx((2.0, 1.5))
+        assert c.r == pytest.approx(2.5)
+
+    def test_collinear_raises(self):
+        with pytest.raises(GeometryError):
+            circle_from_three((0, 0), (1, 1), (2, 2))
+
+    def test_duplicate_points_raise(self):
+        with pytest.raises(GeometryError):
+            circle_from_three((0, 0), (0, 0), (1, 1))

@@ -1,0 +1,61 @@
+"""Tests for group diameter (Definition 1): brute force vs calipers."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.diameter import (
+    diameter_bruteforce,
+    diameter_calipers,
+    group_diameter,
+)
+
+
+class TestGroupDiameter:
+    def test_empty_and_singleton(self):
+        assert group_diameter([]) == 0.0
+        assert group_diameter([(3, 3)]) == 0.0
+
+    def test_pair(self):
+        assert group_diameter([(0, 0), (3, 4)]) == pytest.approx(5.0)
+
+    def test_square(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert group_diameter(pts) == pytest.approx(math.sqrt(2))
+
+    def test_interior_points_ignored(self):
+        pts = [(0, 0), (10, 0), (5, 1), (5, 2), (4, -1)]
+        assert group_diameter(pts) == pytest.approx(10.0)
+
+    def test_duplicates(self):
+        assert group_diameter([(1, 1), (1, 1), (1, 1)]) == 0.0
+
+
+class TestCalipersMatchesBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_clouds(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 80)
+        pts = [(rng.uniform(-100, 100), rng.uniform(-100, 100)) for _ in range(n)]
+        assert diameter_calipers(pts) == pytest.approx(
+            diameter_bruteforce(pts), rel=1e-12
+        )
+
+    def test_collinear(self):
+        pts = [(float(i), 3.0) for i in range(40)]
+        assert diameter_calipers(pts) == pytest.approx(39.0)
+
+    def test_circle_points(self):
+        pts = [
+            (math.cos(2 * math.pi * i / 37), math.sin(2 * math.pi * i / 37))
+            for i in range(37)
+        ]
+        brute = diameter_bruteforce(pts)
+        assert diameter_calipers(pts) == pytest.approx(brute, rel=1e-12)
+        assert brute == pytest.approx(2.0, abs=0.02)
+
+    def test_large_set_dispatches_to_calipers(self):
+        rng = random.Random(123)
+        pts = [(rng.gauss(0, 10), rng.gauss(0, 10)) for _ in range(500)]
+        assert group_diameter(pts) == pytest.approx(diameter_bruteforce(pts))

@@ -1,0 +1,59 @@
+"""Tests for the Elzinga–Hearn MCC against the Welzl implementation."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.elzinga_hearn import minimum_covering_circle_eh
+from repro.geometry.mcc import minimum_covering_circle
+from repro.geometry.point import dist
+
+
+class TestBasics:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            minimum_covering_circle_eh([])
+
+    def test_single_point(self):
+        c = minimum_covering_circle_eh([(2, 9)])
+        assert (c.cx, c.cy, c.r) == (2, 9, 0.0)
+
+    def test_identical_points(self):
+        c = minimum_covering_circle_eh([(1, 1)] * 7)
+        assert c.r == 0.0
+
+    def test_two_points(self):
+        c = minimum_covering_circle_eh([(0, 0), (6, 8)])
+        assert c.r == pytest.approx(5.0)
+
+    def test_equilateral_triangle(self):
+        pts = [(0, 0), (1, 0), (0.5, math.sqrt(3) / 2)]
+        c = minimum_covering_circle_eh(pts)
+        assert c.r == pytest.approx(1 / math.sqrt(3))
+
+    def test_collinear(self):
+        pts = [(float(i), float(2 * i)) for i in range(9)]
+        c = minimum_covering_circle_eh(pts)
+        assert c.r == pytest.approx(minimum_covering_circle(pts).r, rel=1e-7)
+
+
+class TestAgreementWithWelzl:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_clouds(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 40)
+        pts = [(rng.uniform(-100, 100), rng.uniform(-100, 100)) for _ in range(n)]
+        eh = minimum_covering_circle_eh(pts)
+        welzl = minimum_covering_circle(pts)
+        assert eh.r == pytest.approx(welzl.r, rel=1e-6, abs=1e-6)
+        for p in pts:
+            assert dist(eh.center, p) <= eh.r + 1e-6
+
+    def test_points_on_circle(self):
+        pts = [
+            (3 * math.cos(t) - 1, 3 * math.sin(t) + 2)
+            for t in [0.2, 1.1, 2.3, 3.6, 4.9, 5.8]
+        ]
+        c = minimum_covering_circle_eh(pts)
+        assert c.r == pytest.approx(3.0, rel=1e-7)

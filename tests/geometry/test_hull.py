@@ -1,0 +1,62 @@
+"""Tests for the monotone-chain convex hull."""
+
+import random
+
+import pytest
+
+from repro.geometry.hull import convex_hull, cross
+
+
+class TestCross:
+    def test_left_turn_positive(self):
+        assert cross((0, 0), (1, 0), (1, 1)) > 0
+
+    def test_right_turn_negative(self):
+        assert cross((0, 0), (1, 0), (1, -1)) < 0
+
+    def test_collinear_zero(self):
+        assert cross((0, 0), (1, 1), (2, 2)) == 0
+
+
+class TestConvexHull:
+    def test_single_point(self):
+        assert convex_hull([(1, 2)]) == [(1, 2)]
+
+    def test_two_points(self):
+        assert convex_hull([(3, 3), (1, 2)]) == [(1, 2), (3, 3)]
+
+    def test_square_with_interior(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2), (1, 3)]
+        hull = set(convex_hull(pts))
+        assert hull == {(0, 0), (4, 0), (4, 4), (0, 4)}
+
+    def test_collinear_input(self):
+        pts = [(float(i), float(i)) for i in range(5)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0, 0), (4, 4)}
+
+    def test_collinear_edges_dropped(self):
+        # Midpoints of square edges must not appear in the hull.
+        pts = [(0, 0), (2, 0), (4, 0), (4, 4), (0, 4)]
+        assert (2, 0) not in convex_hull(pts)
+
+    def test_counterclockwise_orientation(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)])
+        n = len(hull)
+        for i in range(n):
+            assert cross(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]) > 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_points_inside_hull(self, seed):
+        rng = random.Random(seed)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(30)]
+        hull = convex_hull(pts)
+        n = len(hull)
+        for p in pts:
+            # point-in-convex-polygon: on the left of every edge.
+            for i in range(n):
+                assert cross(hull[i], hull[(i + 1) % n], p) >= -1e-9
+
+    def test_duplicates_removed(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (1, 0), (0, 1)])
+        assert len(hull) == 3

@@ -1,0 +1,110 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import (
+    Point,
+    coords_array,
+    dist,
+    dist_many,
+    dist_sq,
+    dist_sq_many,
+    midpoint,
+    polar_angle,
+)
+
+
+class TestDist:
+    def test_unit_distance(self):
+        assert dist((0, 0), (1, 0)) == 1.0
+
+    def test_pythagorean_triple(self):
+        assert dist((0, 0), (3, 4)) == 5.0
+
+    def test_symmetric(self):
+        assert dist((2, 7), (-1, 3)) == dist((-1, 3), (2, 7))
+
+    def test_zero_for_same_point(self):
+        assert dist((5.5, -2.5), (5.5, -2.5)) == 0.0
+
+    def test_matches_dist_sq(self):
+        a, b = (1.5, 2.5), (-3.0, 4.0)
+        assert dist(a, b) == pytest.approx(math.sqrt(dist_sq(a, b)))
+
+    def test_huge_coordinates_no_overflow(self):
+        # hypot avoids intermediate overflow where the naive formula fails.
+        a = (1e200, 0.0)
+        b = (0.0, 1e200)
+        assert math.isfinite(dist(a, b))
+
+
+class TestBatchKernels:
+    def test_dist_many_matches_scalar(self):
+        origin = (3.0, -2.0)
+        pts = np.array([[0.0, 0.0], [3.0, -2.0], [10.0, 5.0]])
+        expected = [dist(origin, p) for p in pts]
+        assert dist_many(origin, pts) == pytest.approx(expected)
+
+    def test_dist_sq_many_matches_scalar(self):
+        origin = (1.0, 1.0)
+        pts = np.array([[4.0, 5.0], [1.0, 1.0]])
+        assert dist_sq_many(origin, pts) == pytest.approx([25.0, 0.0])
+
+    def test_empty_input(self):
+        out = dist_many((0, 0), np.empty((0, 2)))
+        assert out.shape == (0,)
+
+
+class TestPoint:
+    def test_tuple_compatibility(self):
+        p = Point(1.0, 2.0)
+        assert p == (1.0, 2.0)
+        assert p[0] == 1.0 and p[1] == 2.0
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - (1, 1) == Point(2, 3)
+
+    def test_scaled(self):
+        assert Point(2, -4).scaled(0.5) == Point(1, -2)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to((0, 9)) == 9.0
+
+
+class TestMidpointAndAngle:
+    def test_midpoint(self):
+        assert midpoint((0, 0), (4, 6)) == Point(2, 3)
+
+    def test_polar_angle_quadrants(self):
+        pole = (0.0, 0.0)
+        assert polar_angle(pole, (1, 0)) == pytest.approx(0.0)
+        assert polar_angle(pole, (0, 1)) == pytest.approx(math.pi / 2)
+        assert polar_angle(pole, (-1, 0)) == pytest.approx(math.pi)
+        assert polar_angle(pole, (0, -1)) == pytest.approx(3 * math.pi / 2)
+
+    def test_polar_angle_range(self):
+        # Always within [0, 2*pi).
+        for ang_deg in range(0, 360, 17):
+            rad = math.radians(ang_deg)
+            p = (math.cos(rad), math.sin(rad))
+            got = polar_angle((0, 0), p)
+            assert 0.0 <= got < 2 * math.pi
+            assert got == pytest.approx(rad, abs=1e-12)
+
+
+class TestCoordsArray:
+    def test_packs_points(self):
+        arr = coords_array([(1, 2), (3, 4)])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_empty(self):
+        assert coords_array([]).shape == (0, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            coords_array([(1, 2, 3)])

@@ -1,0 +1,110 @@
+"""Tests for the angular-interval algebra behind circleScan."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.sweep import (
+    TWO_PI,
+    angle_in_interval,
+    build_events,
+    coverage_interval,
+)
+
+
+def _circle_at(pole, diameter, theta):
+    """Centre of the rotating circle at angle theta."""
+    r = diameter / 2.0
+    return (pole[0] + r * math.cos(theta), pole[1] + r * math.sin(theta))
+
+
+def _inside(pole, diameter, theta, p):
+    cx, cy = _circle_at(pole, diameter, theta)
+    return math.hypot(p[0] - cx, p[1] - cy) <= diameter / 2.0 + 1e-9
+
+
+class TestCoverageInterval:
+    def test_none_when_too_far(self):
+        assert coverage_interval((0, 0), 1.0, (2.0, 0.0)) is None
+
+    def test_full_interval_at_pole(self):
+        assert coverage_interval((0, 0), 1.0, (0, 0)) == (0.0, TWO_PI)
+
+    def test_boundary_distance_single_angle(self):
+        # At distance exactly D the interval degenerates to one angle.
+        interval = coverage_interval((0, 0), 2.0, (2.0, 0.0))
+        assert interval is not None
+        enter, exit_ = interval
+        assert enter == pytest.approx(exit_, abs=1e-6)
+
+    def test_interval_matches_geometry(self):
+        # For any theta inside the interval, the point must actually lie in
+        # the rotated circle, and vice versa.
+        pole = (1.0, -2.0)
+        diameter = 4.0
+        p = (2.5, -1.0)
+        interval = coverage_interval(pole, diameter, p)
+        assert interval is not None
+        enter, exit_ = interval
+        for k in range(64):
+            theta = TWO_PI * k / 64
+            expected = _inside(pole, diameter, theta, p)
+            got = angle_in_interval(theta, enter, exit_)
+            assert got == expected, f"theta={theta}"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_points_boundary_consistency(self, seed):
+        rng = random.Random(seed)
+        pole = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+        diameter = rng.uniform(0.5, 6.0)
+        angle = rng.uniform(0, TWO_PI)
+        d = rng.uniform(0.01, diameter * 0.999)
+        p = (pole[0] + d * math.cos(angle), pole[1] + d * math.sin(angle))
+        interval = coverage_interval(pole, diameter, p)
+        assert interval is not None
+        enter, exit_ = interval
+        # At the interval endpoints, the point lies on the circle boundary.
+        for theta in (enter, exit_):
+            cx, cy = _circle_at(pole, diameter, theta)
+            assert math.hypot(p[0] - cx, p[1] - cy) == pytest.approx(
+                diameter / 2.0, rel=1e-6
+            )
+
+
+class TestAngleInInterval:
+    def test_plain_interval(self):
+        assert angle_in_interval(1.0, 0.5, 1.5)
+        assert not angle_in_interval(2.0, 0.5, 1.5)
+
+    def test_wrapping_interval(self):
+        assert angle_in_interval(0.1, 6.0, 0.5)
+        assert angle_in_interval(6.2, 6.0, 0.5)
+        assert not angle_in_interval(3.0, 6.0, 0.5)
+
+    def test_full_interval(self):
+        assert angle_in_interval(4.0, 0.0, TWO_PI)
+
+
+class TestBuildEvents:
+    def test_full_interval_always_inside(self):
+        events, inside = build_events([(0.0, TWO_PI, "x")])
+        assert events == []
+        assert inside == ["x"]
+
+    def test_wrapping_initially_inside(self):
+        events, inside = build_events([(6.0, 0.5, "w")])
+        assert inside == ["w"]
+        assert len(events) == 2
+
+    def test_sorted_by_angle(self):
+        intervals = [(2.0, 3.0, "a"), (0.5, 1.0, "b"), (1.5, 2.5, "c")]
+        events, inside = build_events(intervals)
+        assert inside == []
+        angles = [e.angle for e in events]
+        assert angles == sorted(angles)
+
+    def test_exit_before_enter_on_tie(self):
+        events, _ = build_events([(1.0, 2.0, "a"), (2.0, 3.0, "b")])
+        tied = [e for e in events if e.angle == 2.0]
+        assert [e.is_enter for e in tied] == [False, True]

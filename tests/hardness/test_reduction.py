@@ -1,0 +1,98 @@
+"""Tests for the Theorem-1 reduction (3-SAT -> mCK)."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import dist
+from repro.hardness.reduction import decide_3sat_via_mck, reduce_3sat_to_mck
+from repro.hardness.threesat import ThreeSatFormula, dpll_satisfiable, random_3sat
+
+
+class TestConstruction:
+    @pytest.fixture
+    def reduction(self):
+        f = ThreeSatFormula(3, ((1, 2, 3), (-1, -2, 3)))
+        return reduce_3sat_to_mck(f)
+
+    def test_two_points_per_variable(self, reduction):
+        assert len(reduction.dataset) == 2 * reduction.formula.n_variables
+
+    def test_antipodal_distance(self, reduction):
+        ds = reduction.dataset
+        by_literal = {lit: oid for oid, lit in reduction.literal_of_object.items()}
+        for v in range(1, reduction.formula.n_variables + 1):
+            d = dist(
+                ds.location_of(by_literal[v]), ds.location_of(by_literal[-v])
+            )
+            assert d == pytest.approx(reduction.antipodal_distance)
+
+    def test_cross_pairs_within_threshold(self, reduction):
+        ds = reduction.dataset
+        n = len(ds)
+        for i in range(n):
+            for j in range(i + 1, n):
+                li = reduction.literal_of_object[i]
+                lj = reduction.literal_of_object[j]
+                if abs(li) == abs(lj):
+                    continue  # antipodal pair, exempt
+                d = dist(ds.location_of(i), ds.location_of(j))
+                assert d <= reduction.threshold + 1e-9
+
+    def test_keyword_structure(self, reduction):
+        # Variable keyword qi on both points of pair i; clause keywords on
+        # the three literal points of the clause.
+        ds = reduction.dataset
+        m = reduction.formula.n_variables
+        by_literal = {lit: oid for oid, lit in reduction.literal_of_object.items()}
+        for v in range(1, m + 1):
+            assert f"q{v}" in ds[by_literal[v]].keywords
+            assert f"q{v}" in ds[by_literal[-v]].keywords
+        for j, clause in enumerate(reduction.formula.clauses, start=1):
+            for lit in clause:
+                assert f"q{m + j}" in ds[by_literal[lit]].keywords
+
+    def test_threshold_strictly_below_antipodal(self, reduction):
+        assert reduction.threshold < reduction.antipodal_distance
+
+
+class TestDecision:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agrees_with_dpll(self, seed):
+        f = random_3sat(4, 10, seed=seed)
+        sat_dpll, _ = dpll_satisfiable(f)
+        sat_mck, model = decide_3sat_via_mck(f)
+        assert sat_mck == sat_dpll
+        if sat_mck:
+            assert f.evaluate(model)
+
+    def test_unsatisfiable_instance(self):
+        clauses = tuple(
+            (s1 * 1, s2 * 2, s3 * 3)
+            for s1 in (1, -1)
+            for s2 in (1, -1)
+            for s3 in (1, -1)
+        )
+        f = ThreeSatFormula(3, clauses)
+        sat, model = decide_3sat_via_mck(f)
+        assert not sat and model is None
+
+    def test_satisfiable_with_forced_assignment(self):
+        # x1 must be true, x2 must be false.
+        f = ThreeSatFormula(3, ((1, 1, 1), (-2, -2, -2), (1, -2, 3)))
+        sat, model = decide_3sat_via_mck(f)
+        assert sat
+        assert model[1] is True
+        assert model[2] is False
+
+
+class TestGroupToAssignment:
+    def test_assignment_extraction(self):
+        f = ThreeSatFormula(3, ((1, 2, 3),))
+        reduction = reduce_3sat_to_mck(f)
+        from repro.core.engine import MCKEngine
+
+        engine = MCKEngine(reduction.dataset)
+        group = engine.query(reduction.query_keywords, algorithm="EXACT")
+        assignment = reduction.assignment_from_group(group)
+        assert f.evaluate(assignment)

@@ -1,0 +1,96 @@
+"""Tests for the 3-SAT machinery."""
+
+import pytest
+
+from repro.hardness.threesat import ThreeSatFormula, dpll_satisfiable, random_3sat
+
+
+class TestFormula:
+    def test_valid_formula(self):
+        f = ThreeSatFormula(3, (((1, -2, 3)), (-1, 2, -3)))
+        assert f.n_clauses == 2
+
+    def test_rejects_oversized_clause(self):
+        with pytest.raises(ValueError):
+            ThreeSatFormula(4, ((1, 2, 3, 4),))
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            ThreeSatFormula(2, ((0, 1, 2),))
+
+    def test_rejects_out_of_range_variable(self):
+        with pytest.raises(ValueError):
+            ThreeSatFormula(2, ((1, 2, 3),))
+
+    def test_evaluate(self):
+        f = ThreeSatFormula(2, ((1, 2), (-1, 2)))
+        assert f.evaluate({1: True, 2: True})
+        assert f.evaluate({1: False, 2: True})
+        assert not f.evaluate({1: True, 2: False})
+
+
+class TestDPLL:
+    def test_trivially_satisfiable(self):
+        f = ThreeSatFormula(1, ((1,),))
+        sat, model = dpll_satisfiable(f)
+        assert sat and model == {1: True}
+
+    def test_trivially_unsatisfiable(self):
+        f = ThreeSatFormula(1, ((1,), (-1,)))
+        sat, model = dpll_satisfiable(f)
+        assert not sat and model is None
+
+    def test_model_satisfies(self):
+        f = ThreeSatFormula(
+            4, ((1, 2, -3), (-1, 3, 4), (2, -3, -4), (-2, 3, -4))
+        )
+        sat, model = dpll_satisfiable(f)
+        assert sat
+        assert f.evaluate(model)
+
+    def test_unsatisfiable_complete_enumeration(self):
+        # All 8 sign patterns over 3 variables: no assignment satisfies all.
+        clauses = tuple(
+            (s1 * 1, s2 * 2, s3 * 3)
+            for s1 in (1, -1)
+            for s2 in (1, -1)
+            for s3 in (1, -1)
+        )
+        f = ThreeSatFormula(3, clauses)
+        sat, _ = dpll_satisfiable(f)
+        assert not sat
+
+    def test_unconstrained_variables_defaulted(self):
+        f = ThreeSatFormula(5, ((1, 2, 3),))
+        sat, model = dpll_satisfiable(f)
+        assert sat
+        assert set(model) == {1, 2, 3, 4, 5}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_bruteforce(self, seed):
+        f = random_3sat(5, 15, seed=seed)
+        sat, model = dpll_satisfiable(f)
+        brute = any(
+            f.evaluate({v + 1: bool(bits >> v & 1) for v in range(5)})
+            for bits in range(32)
+        )
+        assert sat == brute
+        if sat:
+            assert f.evaluate(model)
+
+
+class TestRandomGenerator:
+    def test_structure(self):
+        f = random_3sat(6, 20, seed=1)
+        assert f.n_variables == 6
+        assert f.n_clauses == 20
+        for clause in f.clauses:
+            assert len(clause) == 3
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_deterministic(self):
+        assert random_3sat(5, 10, seed=3).clauses == random_3sat(5, 10, seed=3).clauses
+
+    def test_rejects_too_few_variables(self):
+        with pytest.raises(ValueError):
+            random_3sat(2, 5)

@@ -1,0 +1,95 @@
+"""Tests for keyword bitmaps and the vocabulary."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.index.bitmap import KeywordVocabulary, iter_bits, mask_of, popcount
+
+
+class TestMaskHelpers:
+    def test_mask_of(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+
+    def test_mask_of_empty(self):
+        assert mask_of([]) == 0
+
+    def test_iter_bits_roundtrip(self):
+        bits = [1, 3, 64, 200]
+        assert list(iter_bits(mask_of(bits))) == bits
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(1 << 500) == 1
+
+
+class TestVocabulary:
+    def test_add_interns(self):
+        v = KeywordVocabulary()
+        a = v.add("hotel")
+        assert v.add("hotel") == a
+        assert v.id_of("hotel") == a
+        assert v.term_of(a) == "hotel"
+
+    def test_observe_counts_frequency(self):
+        v = KeywordVocabulary()
+        v.observe("a")
+        v.observe("a")
+        v.observe("b")
+        assert v.frequency("a") == 2
+        assert v.frequency("b") == 1
+
+    def test_frequency_by_id(self):
+        v = KeywordVocabulary()
+        tid = v.observe("x")
+        assert v.frequency(tid) == 1
+
+    def test_unknown_term_raises(self):
+        v = KeywordVocabulary()
+        with pytest.raises(DatasetError):
+            v.id_of("missing")
+
+    def test_contains(self):
+        v = KeywordVocabulary()
+        v.add("z")
+        assert "z" in v
+        assert "y" not in v
+
+    def test_terms_by_frequency_ascending(self):
+        v = KeywordVocabulary()
+        for term, count in [("common", 5), ("rare", 1), ("mid", 3)]:
+            for _ in range(count):
+                v.observe(term)
+        assert v.terms_by_frequency() == ["rare", "mid", "common"]
+
+    def test_least_frequent(self):
+        v = KeywordVocabulary()
+        for term, count in [("a", 4), ("b", 2), ("c", 9)]:
+            for _ in range(count):
+                v.observe(term)
+        assert v.least_frequent(["a", "b", "c"]) == "b"
+        assert v.least_frequent(["a", "c"]) == "a"
+
+    def test_least_frequent_empty_raises(self):
+        with pytest.raises(DatasetError):
+            KeywordVocabulary().least_frequent([])
+
+    def test_global_mask(self):
+        v = KeywordVocabulary()
+        ids = [v.add(t) for t in ("p", "q", "r")]
+        assert v.global_mask(["p", "r"]) == (1 << ids[0]) | (1 << ids[2])
+
+    def test_query_mask_positions(self):
+        v = KeywordVocabulary()
+        for t in ("w", "x", "y"):
+            v.add(t)
+        mapping = v.query_mask(["y", "w"])
+        assert mapping[v.id_of("y")] == 0b01
+        assert mapping[v.id_of("w")] == 0b10
+
+    def test_len(self):
+        v = KeywordVocabulary()
+        v.add("one")
+        v.add("two")
+        v.add("one")
+        assert len(v) == 2

@@ -1,0 +1,114 @@
+"""Tests for the keyword-bitmap-augmented bR*-tree."""
+
+import math
+import random
+
+import pytest
+
+from repro.index.bitmap import mask_of
+from repro.index.brtree import BRStarTree
+
+
+def _records(seed, n, n_terms=6):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        terms = rng.sample(range(n_terms), rng.randint(1, 3))
+        out.append((i, rng.uniform(0, 100), rng.uniform(0, 100), mask_of(terms)))
+    return out
+
+
+class TestBuild:
+    def test_build_and_invariants(self):
+        tree = BRStarTree.build(_records(1, 300), max_entries=8)
+        assert len(tree) == 300
+        tree.check_invariants()
+
+    def test_root_mask_is_union(self):
+        records = _records(2, 100)
+        tree = BRStarTree.build(records, max_entries=8)
+        expected = 0
+        for _i, _x, _y, mask in records:
+            expected |= mask
+        assert tree.node_mask(tree.root) == expected
+
+    def test_item_mask(self):
+        records = _records(3, 20)
+        tree = BRStarTree.build(records, max_entries=8)
+        for item, _x, _y, mask in records:
+            assert tree.item_mask(item) == mask
+
+    def test_empty_build(self):
+        tree = BRStarTree.build([], max_entries=8)
+        assert len(tree) == 0
+
+
+class TestDynamicInsert:
+    def test_insert_refreshes_masks(self):
+        tree = BRStarTree.build(_records(4, 50), max_entries=8)
+        tree.insert(999, 50, 50, mask_of([5]))
+        assert tree.node_mask(tree.root) & (1 << 5)
+        tree.check_invariants()
+
+    def test_insert_many(self):
+        tree = BRStarTree.build([], max_entries=8)
+        for item, x, y, mask in _records(5, 120):
+            tree.insert(item, x, y, mask)
+        assert len(tree) == 120
+        tree.check_invariants()
+
+
+class TestNearestWithMask:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce(self, seed):
+        records = _records(seed + 10, 250)
+        tree = BRStarTree.build(records, max_entries=8)
+        rng = random.Random(seed)
+        for _ in range(10):
+            qx, qy = rng.uniform(0, 100), rng.uniform(0, 100)
+            bit = 1 << rng.randrange(6)
+            holders = [r for r in records if r[3] & bit]
+            if not holders:
+                continue
+            best = min(holders, key=lambda r: math.hypot(r[1] - qx, r[2] - qy))
+            got = tree.nearest_with_mask(qx, qy, bit)
+            assert got is not None
+            assert math.hypot(got.x - qx, got.y - qy) == pytest.approx(
+                math.hypot(best[1] - qx, best[2] - qy)
+            )
+            assert tree.item_mask(got.item) & bit
+
+    def test_no_holder_returns_none(self):
+        tree = BRStarTree.build(_records(20, 50, n_terms=4), max_entries=8)
+        assert tree.nearest_with_mask(0, 0, 1 << 60) is None
+
+    def test_nearest_iter_filters_and_sorts(self):
+        records = _records(21, 150)
+        tree = BRStarTree.build(records, max_entries=8)
+        bit = 1
+        pairs = list(tree.nearest_iter_with_mask(50, 50, bit))
+        dists = [d for _e, d in pairs]
+        assert dists == sorted(dists)
+        for entry, _d in pairs:
+            assert tree.item_mask(entry.item) & bit
+
+    def test_multi_bit_mask_matches_any(self):
+        records = [
+            (0, 0.0, 0.0, mask_of([0])),
+            (1, 10.0, 0.0, mask_of([1])),
+            (2, 20.0, 0.0, mask_of([2])),
+        ]
+        tree = BRStarTree.build(records, max_entries=8)
+        got = tree.nearest_with_mask(9.0, 0.0, mask_of([1, 2]))
+        assert got is not None and got.item == 1
+
+
+class TestRangeDelegation:
+    def test_range_circle(self):
+        records = _records(30, 200)
+        tree = BRStarTree.build(records, max_entries=8)
+        got = {e.item for e in tree.range_circle(50, 50, 20)}
+        expected = {
+            i for i, x, y, _m in records if math.hypot(x - 50, y - 50) <= 20
+        }
+        assert got == expected

@@ -1,0 +1,93 @@
+"""Tests for the uniform grid."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.index.grid import UniformGrid
+
+
+def _cloud(seed, n, extent=100.0):
+    rng = random.Random(seed)
+    return np.array(
+        [(rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(n)]
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        grid = UniformGrid(np.empty((0, 2)))
+        assert len(grid) == 0
+        assert grid.rows_within(0, 0, 10).size == 0
+
+    def test_single_point(self):
+        grid = UniformGrid(np.array([[5.0, 5.0]]))
+        assert list(grid.rows_within(5, 5, 0.0)) == [0]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            UniformGrid(np.zeros((3, 3)))
+
+    def test_explicit_cell_size(self):
+        grid = UniformGrid(_cloud(1, 50), cell_size=10.0)
+        assert grid.cell_size == 10.0
+
+
+class TestDiscQueries:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce(self, seed):
+        coords = _cloud(seed, 300)
+        grid = UniformGrid(coords)
+        rng = random.Random(seed + 100)
+        for _ in range(15):
+            cx, cy = rng.uniform(-10, 110), rng.uniform(-10, 110)
+            r = rng.uniform(0, 40)
+            expected = {
+                i
+                for i in range(len(coords))
+                if math.hypot(coords[i, 0] - cx, coords[i, 1] - cy) <= r
+            }
+            got = set(grid.rows_within(cx, cy, r).tolist())
+            assert got == expected
+
+    def test_boundary_is_closed(self):
+        coords = np.array([[0.0, 0.0], [3.0, 0.0]])
+        grid = UniformGrid(coords)
+        assert 1 in set(grid.rows_within(0, 0, 3.0).tolist())
+
+    def test_negative_radius_empty(self):
+        grid = UniformGrid(_cloud(2, 20))
+        assert grid.rows_within(50, 50, -1.0).size == 0
+
+    def test_count_within(self):
+        coords = np.array([[0, 0], [1, 0], [5, 0]], dtype=float)
+        grid = UniformGrid(coords)
+        assert grid.count_within(0, 0, 1.5) == 2
+
+    def test_identical_points(self):
+        coords = np.zeros((25, 2))
+        grid = UniformGrid(coords)
+        assert grid.count_within(0, 0, 0.0) == 25
+
+
+class TestDegenerateExtent:
+    def test_huge_radius_over_tiny_extent_is_fast(self):
+        """Regression: the cell sweep must clamp to occupied cells — a
+        kilometre-radius query over a nanometre-extent grid previously
+        iterated ~1e12 empty cells."""
+        import time
+
+        coords = np.array([[0.0, 0.0], [1e-9, 1e-9]])
+        grid = UniformGrid(coords)
+        started = time.perf_counter()
+        rows = grid.rows_within(0.0, 0.0, 1e6)
+        assert time.perf_counter() - started < 1.0
+        assert sorted(rows.tolist()) == [0, 1]
+
+    def test_far_query_center(self):
+        coords = np.array([[5.0, 5.0]])
+        grid = UniformGrid(coords)
+        assert grid.rows_within(1e7, 1e7, 5.0).size == 0
+        assert grid.rows_within(1e7, 1e7, 2e7).size == 1

@@ -1,0 +1,75 @@
+"""Tests for the inverted keyword file."""
+
+from repro.index.inverted import InvertedIndex
+
+
+def _build():
+    idx = InvertedIndex()
+    idx.add_object(0, [1, 2])
+    idx.add_object(1, [2, 3])
+    idx.add_object(2, [1])
+    idx.add_object(3, [3, 4])
+    idx.finalize()
+    return idx
+
+
+class TestPostings:
+    def test_posting_sorted(self):
+        idx = _build()
+        assert idx.posting(1) == [0, 2]
+        assert idx.posting(2) == [0, 1]
+
+    def test_posting_unknown_term_empty(self):
+        assert _build().posting(99) == []
+
+    def test_document_frequency(self):
+        idx = _build()
+        assert idx.document_frequency(3) == 2
+        assert idx.document_frequency(4) == 1
+        assert idx.document_frequency(42) == 0
+
+    def test_finalize_dedupes(self):
+        idx = InvertedIndex()
+        idx.add_object(7, [5])
+        idx.add_object(7, [5])
+        idx.finalize()
+        assert idx.posting(5) == [7]
+
+    def test_finalize_idempotent(self):
+        idx = _build()
+        idx.finalize()
+        assert idx.posting(1) == [0, 2]
+
+
+class TestRelevantObjects:
+    def test_union_sorted(self):
+        idx = _build()
+        assert idx.relevant_objects([1, 3]) == [0, 1, 2, 3]
+
+    def test_single_term(self):
+        assert _build().relevant_objects([4]) == [3]
+
+    def test_no_terms(self):
+        assert _build().relevant_objects([]) == []
+
+    def test_overlapping_postings_deduped(self):
+        assert _build().relevant_objects([1, 2]) == [0, 1, 2]
+
+
+class TestUncoverable:
+    def test_detects_missing_terms(self):
+        idx = _build()
+        assert idx.uncoverable_terms([1, 9, 4, 77]) == [9, 77]
+
+    def test_all_present(self):
+        assert _build().uncoverable_terms([1, 2, 3, 4]) == []
+
+
+class TestDunder:
+    def test_len_counts_terms(self):
+        assert len(_build()) == 4
+
+    def test_contains(self):
+        idx = _build()
+        assert 1 in idx
+        assert 9 not in idx

@@ -1,0 +1,95 @@
+"""Tests for the IR-tree alternative index."""
+
+import math
+import random
+
+import pytest
+
+from repro.index.irtree import IRTree
+
+
+def _records(seed, n, n_terms=5):
+    rng = random.Random(seed)
+    return [
+        (
+            i,
+            rng.uniform(0, 100),
+            rng.uniform(0, 100),
+            rng.sample(range(n_terms), rng.randint(1, 3)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestBuild:
+    def test_build_and_invariants(self):
+        tree = IRTree.build(_records(1, 200), max_entries=8)
+        assert len(tree) == 200
+        tree.check_invariants()
+
+    def test_root_terms_are_union(self):
+        records = _records(2, 80)
+        tree = IRTree.build(records, max_entries=8)
+        expected = set()
+        for _i, _x, _y, terms in records:
+            expected.update(terms)
+        assert tree.node_terms(tree.root) == expected
+
+    def test_empty_tree(self):
+        tree = IRTree.build([], max_entries=8)
+        assert len(tree) == 0
+        assert tree.nearest_with_term(0, 0, 1) is None
+
+    def test_item_terms(self):
+        records = _records(3, 20)
+        tree = IRTree.build(records, max_entries=8)
+        for item, _x, _y, terms in records:
+            assert tree.item_terms(item) == frozenset(terms)
+
+
+class TestNearestWithTerm:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce(self, seed):
+        records = _records(seed + 10, 150)
+        tree = IRTree.build(records, max_entries=8)
+        rng = random.Random(seed)
+        for _ in range(8):
+            qx, qy = rng.uniform(0, 100), rng.uniform(0, 100)
+            term = rng.randrange(5)
+            holders = [r for r in records if term in r[3]]
+            if not holders:
+                continue
+            best = min(holders, key=lambda r: math.hypot(r[1] - qx, r[2] - qy))
+            got = tree.nearest_with_term(qx, qy, term)
+            assert got is not None
+            assert math.hypot(got.x - qx, got.y - qy) == pytest.approx(
+                math.hypot(best[1] - qx, best[2] - qy)
+            )
+
+    def test_unknown_term_returns_none(self):
+        tree = IRTree.build(_records(20, 50), max_entries=8)
+        assert tree.nearest_with_term(50, 50, 999) is None
+
+    def test_iterator_ascending(self):
+        records = _records(21, 100)
+        tree = IRTree.build(records, max_entries=8)
+        dists = [d for _e, d in tree.nearest_iter_with_term(50, 50, 0)]
+        assert dists == sorted(dists)
+        assert len(dists) == sum(1 for r in records if 0 in r[3])
+
+
+class TestGkgIntegration:
+    def test_gkg_irtree_method(self):
+        from repro.baselines.bruteforce import brute_force_optimal
+        from repro.core.gkg import gkg
+        from repro.core.query import compile_query
+        from tests.conftest import feasible_query, make_random_dataset
+
+        for seed in range(6):
+            ds = make_random_dataset(seed, n=30)
+            query = feasible_query(ds, seed, 3)
+            ctx = compile_query(ds, query)
+            opt = brute_force_optimal(ctx)
+            group = gkg(ctx, method="irtree")
+            assert group.covers(ds, query)
+            assert group.diameter <= 2.0 * opt.diameter + 1e-9

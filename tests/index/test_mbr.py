@@ -1,0 +1,106 @@
+"""Tests for MBRs and the MinDist/MaxDist bounds."""
+
+import math
+import random
+
+import pytest
+
+from repro.index.mbr import MBR, max_dist, mbr_of_points, min_dist, point_min_dist
+
+
+class TestMBRBasics:
+    def test_from_point(self):
+        box = MBR.from_point((2, 3))
+        assert (box.x1, box.y1, box.x2, box.y2) == (2, 3, 2, 3)
+        assert box.area() == 0.0
+
+    def test_empty(self):
+        assert MBR.empty().is_empty()
+        assert MBR.empty().area() == 0.0
+        assert MBR.empty().margin() == 0.0
+
+    def test_include_point_grows(self):
+        box = MBR.from_point((0, 0))
+        box.include_point((4, -2))
+        assert (box.x1, box.y1, box.x2, box.y2) == (0, -2, 4, 0)
+
+    def test_union_and_enlargement(self):
+        a = MBR(0, 0, 2, 2)
+        b = MBR(3, 3, 4, 4)
+        u = a.union(b)
+        assert (u.x1, u.y1, u.x2, u.y2) == (0, 0, 4, 4)
+        assert a.enlargement(b) == pytest.approx(16 - 4)
+
+    def test_margin(self):
+        assert MBR(0, 0, 3, 4).margin() == 7.0
+
+    def test_center(self):
+        assert MBR(0, 0, 4, 2).center() == (2.0, 1.0)
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        box = MBR(0, 0, 2, 2)
+        assert box.contains_point((1, 1))
+        assert box.contains_point((2, 2))  # boundary
+        assert not box.contains_point((2.1, 1))
+
+    def test_intersects(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.intersects(MBR(1, 1, 3, 3))
+        assert a.intersects(MBR(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(MBR(3, 3, 4, 4))
+
+    def test_intersection_area(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.intersection_area(MBR(1, 1, 3, 3)) == pytest.approx(1.0)
+        assert a.intersection_area(MBR(5, 5, 6, 6)) == 0.0
+
+    def test_intersects_circle(self):
+        box = MBR(0, 0, 2, 2)
+        assert box.intersects_circle(1, 1, 0.1)   # centre inside
+        assert box.intersects_circle(3, 1, 1.0)   # touching edge
+        assert not box.intersects_circle(4, 4, 1.0)
+
+
+class TestDistanceBounds:
+    def test_min_dist_overlapping_is_zero(self):
+        assert min_dist(MBR(0, 0, 2, 2), MBR(1, 1, 3, 3)) == 0.0
+
+    def test_min_dist_axis_separated(self):
+        assert min_dist(MBR(0, 0, 1, 1), MBR(3, 0, 4, 1)) == 2.0
+
+    def test_min_dist_diagonal(self):
+        assert min_dist(MBR(0, 0, 1, 1), MBR(4, 5, 6, 7)) == pytest.approx(5.0)
+
+    def test_max_dist_corners(self):
+        assert max_dist(MBR(0, 0, 1, 1), MBR(3, 0, 4, 1)) == pytest.approx(
+            math.hypot(4, 1)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bounds_hold_for_random_points(self, seed):
+        rng = random.Random(seed)
+        pts_a = [(rng.uniform(0, 3), rng.uniform(0, 3)) for _ in range(6)]
+        pts_b = [(rng.uniform(5, 9), rng.uniform(2, 8)) for _ in range(6)]
+        a, b = mbr_of_points(pts_a), mbr_of_points(pts_b)
+        lo, hi = min_dist(a, b), max_dist(a, b)
+        for p in pts_a:
+            for q in pts_b:
+                d = math.hypot(p[0] - q[0], p[1] - q[1])
+                assert lo - 1e-9 <= d <= hi + 1e-9
+
+    def test_point_min_dist(self):
+        box = MBR(0, 0, 2, 2)
+        assert point_min_dist((1, 1), box) == 0.0
+        assert point_min_dist((4, 1), box) == 2.0
+        assert point_min_dist((4, 4), box) == pytest.approx(math.hypot(2, 2))
+
+
+class TestMbrOfPoints:
+    def test_basic(self):
+        box = mbr_of_points([(1, 5), (-2, 3), (4, 0)])
+        assert (box.x1, box.y1, box.x2, box.y2) == (-2, 0, 4, 5)
+
+    def test_empty_iterable(self):
+        assert mbr_of_points([]).is_empty()

@@ -1,0 +1,148 @@
+"""Tests for the from-scratch R*-tree: invariants and query correctness."""
+
+import math
+import random
+
+import pytest
+
+from repro.index.mbr import MBR
+from repro.index.rstar import RStarTree
+
+
+def _random_records(seed, n, extent=100.0):
+    rng = random.Random(seed)
+    return [(i, rng.uniform(0, extent), rng.uniform(0, extent)) for i in range(n)]
+
+
+class TestInsertion:
+    def test_empty_tree(self):
+        tree = RStarTree(max_entries=8)
+        assert len(tree) == 0
+        assert list(tree.range_circle(0, 0, 100)) == []
+
+    def test_insert_and_count(self):
+        tree = RStarTree(max_entries=8)
+        for item, x, y in _random_records(1, 50):
+            tree.insert(item, x, y)
+        assert len(tree) == 50
+        tree.check_invariants()
+
+    def test_split_produces_valid_tree(self):
+        tree = RStarTree(max_entries=4)
+        for item, x, y in _random_records(2, 200):
+            tree.insert(item, x, y)
+        tree.check_invariants()
+        assert tree.height() >= 3
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=3)
+
+    def test_duplicate_locations(self):
+        tree = RStarTree(max_entries=4)
+        for i in range(30):
+            tree.insert(i, 5.0, 5.0)
+        tree.check_invariants()
+        assert len(list(tree.range_circle(5, 5, 0.1))) == 30
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 5, 100, 1234])
+    def test_sizes(self, n):
+        tree = RStarTree.bulk_load(_random_records(3, n), max_entries=16)
+        assert len(tree) == n
+        if n:
+            tree.check_invariants()
+
+    def test_bulk_load_all_entries_present(self):
+        records = _random_records(4, 300)
+        tree = RStarTree.bulk_load(records, max_entries=10)
+        items = sorted(e.item for e in tree.iter_leaf_entries())
+        assert items == list(range(300))
+
+    def test_height_logarithmic(self):
+        tree = RStarTree.bulk_load(_random_records(5, 10_000), max_entries=100)
+        assert tree.height() <= 3
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("builder", ["insert", "bulk"])
+    def test_range_circle_matches_bruteforce(self, builder):
+        records = _random_records(6, 400)
+        if builder == "insert":
+            tree = RStarTree(max_entries=8)
+            for r in records:
+                tree.insert(*r)
+        else:
+            tree = RStarTree.bulk_load(records, max_entries=8)
+        for cx, cy, r in [(50, 50, 10), (0, 0, 30), (90, 10, 5), (50, 50, 0.0)]:
+            expected = {
+                item
+                for item, x, y in records
+                if math.hypot(x - cx, y - cy) <= r
+            }
+            got = {e.item for e in tree.range_circle(cx, cy, r)}
+            assert got == expected
+
+    def test_range_rect_matches_bruteforce(self):
+        records = _random_records(7, 300)
+        tree = RStarTree.bulk_load(records, max_entries=12)
+        box = MBR(20, 30, 60, 70)
+        expected = {
+            item for item, x, y in records if 20 <= x <= 60 and 30 <= y <= 70
+        }
+        got = {e.item for e in tree.range_rect(box)}
+        assert got == expected
+
+
+class TestNearest:
+    def test_nearest_matches_bruteforce(self):
+        records = _random_records(8, 500)
+        tree = RStarTree.bulk_load(records, max_entries=16)
+        rng = random.Random(99)
+        for _ in range(20):
+            qx, qy = rng.uniform(0, 100), rng.uniform(0, 100)
+            best = min(records, key=lambda r: math.hypot(r[1] - qx, r[2] - qy))
+            got = tree.nearest(qx, qy)
+            assert got is not None
+            assert math.hypot(got.x - qx, got.y - qy) == pytest.approx(
+                math.hypot(best[1] - qx, best[2] - qy)
+            )
+
+    def test_nearest_with_predicate(self):
+        records = _random_records(9, 200)
+        tree = RStarTree.bulk_load(records, max_entries=8)
+        even = tree.nearest(50, 50, predicate=lambda e: e.item % 2 == 0)
+        assert even is not None and even.item % 2 == 0
+        best_even = min(
+            (r for r in records if r[0] % 2 == 0),
+            key=lambda r: math.hypot(r[1] - 50, r[2] - 50),
+        )
+        assert math.hypot(even.x - 50, even.y - 50) == pytest.approx(
+            math.hypot(best_even[1] - 50, best_even[2] - 50)
+        )
+
+    def test_nearest_iter_ascending_distances(self):
+        records = _random_records(10, 100)
+        tree = RStarTree.bulk_load(records, max_entries=8)
+        dists = [d for _e, d in tree.nearest_iter(25, 75)]
+        assert dists == sorted(dists)
+        assert len(dists) == 100
+
+    def test_nearest_empty_tree(self):
+        assert RStarTree(max_entries=8).nearest(0, 0) is None
+
+    def test_prune_cuts_subtrees(self):
+        records = _random_records(11, 200)
+        tree = RStarTree.bulk_load(records, max_entries=8)
+        # Prune everything: no results.
+        assert tree.nearest(50, 50, prune=lambda n: True) is None
+
+
+class TestMixedWorkload:
+    def test_bulk_then_insert(self):
+        tree = RStarTree.bulk_load(_random_records(12, 100), max_entries=8)
+        for item, x, y in _random_records(13, 100):
+            tree.insert(item + 1000, x, y)
+        assert len(tree) == 200
+        tree.check_invariants()

@@ -1,0 +1,144 @@
+"""Tests for R*-tree deletion (CondenseTree)."""
+
+import random
+
+import pytest
+
+from repro.index.rstar import RStarTree
+
+
+def _records(seed, n):
+    rng = random.Random(seed)
+    return [(i, rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(n)]
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        records = _records(1, 50)
+        tree = RStarTree.bulk_load(records, max_entries=6)
+        item, x, y = records[10]
+        assert tree.delete(item, x, y)
+        assert len(tree) == 49
+        assert item not in {e.item for e in tree.iter_leaf_entries()}
+        tree.check_invariants()
+
+    def test_delete_missing_returns_false(self):
+        tree = RStarTree.bulk_load(_records(2, 20), max_entries=6)
+        assert not tree.delete(999, 1.0, 1.0)
+        assert len(tree) == 20
+
+    def test_delete_wrong_location_returns_false(self):
+        records = _records(3, 20)
+        tree = RStarTree.bulk_load(records, max_entries=6)
+        item, x, y = records[0]
+        assert not tree.delete(item, x + 50.0, y)
+        assert len(tree) == 20
+
+    def test_delete_from_empty(self):
+        tree = RStarTree(max_entries=6)
+        assert not tree.delete(0, 0.0, 0.0)
+
+    def test_delete_all_one_by_one(self):
+        records = _records(4, 120)
+        tree = RStarTree.bulk_load(records, max_entries=5)
+        rng = random.Random(4)
+        order = list(records)
+        rng.shuffle(order)
+        remaining = {i for i, _x, _y in records}
+        for step, (item, x, y) in enumerate(order):
+            assert tree.delete(item, x, y), item
+            remaining.discard(item)
+            if step % 17 == 0 and remaining:
+                tree.check_invariants()
+                assert {e.item for e in tree.iter_leaf_entries()} == remaining
+        assert len(tree) == 0
+
+    def test_root_shrinks_after_mass_deletion(self):
+        records = _records(5, 200)
+        tree = RStarTree.bulk_load(records, max_entries=5)
+        tall = tree.height()
+        for item, x, y in records[:190]:
+            assert tree.delete(item, x, y)
+        tree.check_invariants()
+        assert tree.height() <= tall
+        assert len(tree) == 10
+
+    def test_queries_correct_after_deletions(self):
+        records = _records(6, 150)
+        tree = RStarTree.bulk_load(records, max_entries=6)
+        deleted = set()
+        for item, x, y in records[::3]:
+            tree.delete(item, x, y)
+            deleted.add(item)
+        import math
+
+        got = {e.item for e in tree.range_circle(50, 50, 30)}
+        expected = {
+            i
+            for i, x, y in records
+            if i not in deleted and math.hypot(x - 50, y - 50) <= 30
+        }
+        assert got == expected
+
+    def test_interleaved_insert_delete(self):
+        tree = RStarTree(max_entries=4)
+        rng = random.Random(7)
+        alive = {}
+        for step in range(400):
+            if alive and rng.random() < 0.4:
+                item = rng.choice(list(alive))
+                x, y = alive.pop(item)
+                assert tree.delete(item, x, y)
+            else:
+                item = step
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                alive[item] = (x, y)
+                tree.insert(item, x, y)
+        tree.check_invariants()
+        assert {e.item for e in tree.iter_leaf_entries()} == set(alive)
+
+    def test_duplicate_positions_delete_one(self):
+        tree = RStarTree(max_entries=4)
+        for i in range(10):
+            tree.insert(i, 5.0, 5.0)
+        assert tree.delete(3, 5.0, 5.0)
+        items = {e.item for e in tree.iter_leaf_entries()}
+        assert items == set(range(10)) - {3}
+
+
+class TestDatasetSample:
+    def test_sample_size_and_determinism(self):
+        from tests.conftest import make_random_dataset
+
+        ds = make_random_dataset(1, n=60)
+        a = ds.sample(20, seed=3)
+        b = ds.sample(20, seed=3)
+        assert len(a) == 20
+        assert [o.location for o in a] == [o.location for o in b]
+
+    def test_sample_subset_of_parent(self):
+        from tests.conftest import make_random_dataset
+
+        ds = make_random_dataset(2, n=40)
+        parent_locations = {o.location for o in ds}
+        child = ds.sample(15, seed=1)
+        assert all(o.location in parent_locations for o in child)
+
+    def test_sample_bounds(self):
+        from repro.exceptions import DatasetError
+        from tests.conftest import make_random_dataset
+
+        ds = make_random_dataset(3, n=10)
+        with pytest.raises(DatasetError):
+            ds.sample(11)
+        assert len(ds.sample(0)) == 0 or True  # zero-size sample allowed
+
+    def test_filter_bbox(self):
+        from repro.core.objects import Dataset
+
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (5, 5, ["b"]), (20, 20, ["c"])]
+        )
+        inside = ds.filter_bbox(-1, -1, 10, 10)
+        assert len(inside) == 2
+        assert inside.unique_word_count() == 2

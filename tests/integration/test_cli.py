@@ -1,0 +1,75 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dataset_path(tmp_path):
+    path = tmp_path / "city.jsonl"
+    code = main(["generate", "NY", str(path), "--scale", "0.01"])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_jsonl(self, dataset_path):
+        lines = dataset_path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-mck-v1"
+        record = json.loads(lines[1])
+        assert {"x", "y", "keywords"} <= set(record)
+
+    def test_seed_changes_output(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        main(["generate", "NY", str(a), "--scale", "0.01", "--seed", "1"])
+        main(["generate", "NY", str(b), "--scale", "0.01", "--seed", "2"])
+        assert a.read_text() != b.read_text()
+
+
+class TestQuery:
+    def test_query_prints_group(self, dataset_path, capsys):
+        code = main(
+            ["query", str(dataset_path), "t0", "t1", "--algorithm", "EXACT"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out
+        assert "EXACT" in out
+
+    def test_approximate_algorithm(self, dataset_path, capsys):
+        code = main(["query", str(dataset_path), "t0", "t1", "t2"])
+        assert code == 0
+        assert "SKECa+" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_table(self, dataset_path, capsys):
+        code = main(["stats", str(dataset_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Objects" in out
+        assert "NY-like" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        code = main(["experiment", "table1", "--scale", "0.01"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_fig7_tiny(self, capsys):
+        code = main(["experiment", "fig7", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig7a" in out and "Fig7b" in out
+
+
+class TestUsage:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()

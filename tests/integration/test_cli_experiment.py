@@ -1,0 +1,65 @@
+"""CLI experiment subcommand tests (JSON export, epsilon/timeout flags)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperimentJson:
+    def test_save_json_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "fig7.json"
+        code = main(
+            ["experiment", "fig7", "--scale", "0.01", "--save-json", str(out)]
+        )
+        assert code == 0
+        assert "saved 2 figure(s)" in capsys.readouterr().out
+
+        from repro.experiments.persistence import load_figures
+
+        figures = load_figures(out)
+        assert [f.figure_id for f in figures] == ["Fig7a", "Fig7b"]
+        document = json.loads(out.read_text())
+        assert document["format"] == "repro-figures-v1"
+
+    def test_table1_has_no_json(self, tmp_path, capsys):
+        # table1 returns a string; --save-json is simply unused.
+        code = main(["experiment", "table1", "--scale", "0.01"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestQueryFlags:
+    @pytest.fixture
+    def dataset_path(self, tmp_path):
+        path = tmp_path / "city.jsonl"
+        assert main(["generate", "LA", str(path), "--scale", "0.005"]) == 0
+        return path
+
+    def test_epsilon_flag(self, dataset_path, capsys):
+        code = main(
+            [
+                "query", str(dataset_path), "t0", "t1",
+                "--algorithm", "SKECa+", "--epsilon", "0.25",
+            ]
+        )
+        assert code == 0
+        assert "diameter" in capsys.readouterr().out
+
+    def test_timeout_flag_propagates(self, dataset_path):
+        from repro.datasets.io import load_jsonl
+        from repro.exceptions import AlgorithmTimeout
+
+        # Rare terms so no single object covers the query (the
+        # single-object shortcut legitimately returns before any deadline
+        # poll).
+        ds = load_jsonl(dataset_path)
+        rare = ds.vocabulary.terms_by_frequency()[:6]
+        with pytest.raises(AlgorithmTimeout):
+            main(
+                [
+                    "query", str(dataset_path), *rare,
+                    "--algorithm", "EXACT", "--timeout", "-1",
+                ]
+            )

@@ -1,0 +1,88 @@
+"""Randomized cross-validation: every algorithm against brute force.
+
+These are the strongest correctness tests in the suite: three exact
+algorithms implemented with entirely different strategies (bounded circle
+search, virtual-tree enumeration, Dia-CoSKQ adaptation) must all agree
+with plain exhaustive enumeration, and every approximation algorithm must
+respect its proven ratio on every instance.
+"""
+
+import pytest
+
+from repro.baselines.asgk import asgk, asgka
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.baselines.virbr import virbr
+from repro.core.common import SQRT3_FACTOR
+from repro.core.exact import exact
+from repro.core.gkg import gkg
+from repro.core.query import compile_query
+from repro.core.skec import skec
+from repro.core.skeca import skeca
+from repro.core.skecaplus import skeca_plus
+from tests.conftest import feasible_query, make_random_dataset
+
+SEEDS = range(10)
+
+
+def _instance(seed, n=45, m=4):
+    ds = make_random_dataset(seed, n=n)
+    query = feasible_query(ds, seed, m)
+    return ds, query, compile_query(ds, query)
+
+
+class TestExactAlgorithmsAgree:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_three_exact_implementations(self, seed):
+        ds, query, ctx = _instance(seed)
+        reference = brute_force_optimal(ctx).diameter
+        assert exact(ctx).diameter == pytest.approx(reference, abs=1e-9)
+        assert virbr(ctx).diameter == pytest.approx(reference, abs=1e-9)
+        assert asgk(ctx).diameter == pytest.approx(reference, abs=1e-9)
+
+
+class TestApproximationBounds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_ratios_hold(self, seed):
+        ds, query, ctx = _instance(seed)
+        opt = brute_force_optimal(ctx).diameter
+        eps = 0.01
+
+        checks = [
+            (gkg(ctx), 2.0),
+            (skec(ctx), SQRT3_FACTOR),
+            (skeca(ctx, eps), SQRT3_FACTOR + eps),
+            (skeca_plus(ctx, eps), SQRT3_FACTOR + eps),
+            (asgka(ctx), 2.0),
+        ]
+        for group, bound in checks:
+            assert group.covers(ds, query), group.algorithm
+            assert group.diameter <= bound * opt + 1e-9, (
+                f"{group.algorithm}: {group.diameter} > {bound} * {opt}"
+            )
+
+
+class TestLargerQueries:
+    @pytest.mark.parametrize("m", [2, 6])
+    def test_exact_agreement_across_query_sizes(self, m):
+        ds, query, ctx = _instance(500 + m, n=55, m=m)
+        reference = brute_force_optimal(ctx).diameter
+        assert exact(ctx).diameter == pytest.approx(reference, abs=1e-9)
+        assert virbr(ctx).diameter == pytest.approx(reference, abs=1e-9)
+
+
+class TestClusteredData:
+    """Random uniform data is easy; clustered synthetic data stresses the
+    sweeping-area density assumptions."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_on_synthetic_city(self, seed):
+        from repro.datasets.queries import generate_queries
+        from repro.datasets.synthetic import make_ny_like
+
+        ds = make_ny_like(scale=0.015, seed=seed)
+        (query,) = generate_queries(ds, m=4, count=1, seed=seed)
+        ctx = compile_query(ds, query)
+        reference = brute_force_optimal(ctx).diameter
+        assert exact(ctx).diameter == pytest.approx(reference, abs=1e-9)
+        group = skeca_plus(ctx, 0.01)
+        assert group.diameter <= (SQRT3_FACTOR + 0.01) * reference + 1e-9

@@ -1,0 +1,110 @@
+"""Edge cases cutting across modules: degenerate datasets and queries."""
+
+import pytest
+
+from repro.baselines.asgk import asgk, asgka
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.baselines.virbr import virbr
+from repro.core.engine import ALGORITHMS, MCKEngine
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+
+
+class TestSingleKeywordQueries:
+    """m = 1: every holder is a complete answer (diameter 0)."""
+
+    @pytest.fixture
+    def ds(self):
+        return Dataset.from_records(
+            [(0, 0, ["a"]), (5, 5, ["a", "b"]), (9, 9, ["b"])]
+        )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms(self, ds, algorithm):
+        group = MCKEngine(ds).query(["a"], algorithm=algorithm)
+        assert group.diameter == 0.0
+        assert len(group) == 1
+
+    def test_baselines(self, ds):
+        ctx = compile_query(ds, ["b"])
+        for solver in (virbr, asgk, asgka, brute_force_optimal):
+            assert solver(ctx).diameter == 0.0
+
+
+class TestCoincidentObjects:
+    """All objects at one point: every feasible group has diameter 0."""
+
+    @pytest.fixture
+    def ds(self):
+        return Dataset.from_records(
+            [(3, 3, ["a"]), (3, 3, ["b"]), (3, 3, ["c"]), (3, 3, ["a", "c"])]
+        )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_zero_diameter(self, ds, algorithm):
+        group = MCKEngine(ds).query(["a", "b", "c"], algorithm=algorithm)
+        assert group.diameter == pytest.approx(0.0, abs=1e-12)
+        assert group.covers(ds, ["a", "b", "c"])
+
+
+class TestCollinearDatasets:
+    """Degenerate geometry: all objects on one line."""
+
+    @pytest.fixture
+    def ds(self):
+        return Dataset.from_records(
+            [(float(i), 0.0, [k]) for i, k in enumerate("abcabcabc")]
+        )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_optimal_window(self, ds, algorithm):
+        # Optimal {a,b,c} group on the line is any consecutive window: diam 2.
+        group = MCKEngine(ds).query(["a", "b", "c"], algorithm=algorithm)
+        if algorithm in ("EXACT",):
+            assert group.diameter == pytest.approx(2.0)
+        else:
+            assert group.diameter <= 2.0 * 2.0 + 1e-9
+
+    def test_exact_matches_bruteforce(self, ds):
+        ctx = compile_query(ds, ["a", "b", "c"])
+        from repro.core.exact import exact
+
+        assert exact(ctx).diameter == pytest.approx(
+            brute_force_optimal(ctx).diameter
+        )
+
+
+class TestTinyDatasets:
+    def test_two_objects(self):
+        ds = Dataset.from_records([(0, 0, ["a"]), (7, 0, ["b"])])
+        for algorithm in ALGORITHMS:
+            group = MCKEngine(ds).query(["a", "b"], algorithm=algorithm)
+            assert group.diameter == pytest.approx(7.0), algorithm
+
+    def test_exactly_one_feasible_group(self):
+        ds = Dataset.from_records(
+            [(0, 0, ["a"]), (100, 100, ["b"]), (200, 0, ["c"])]
+        )
+        for algorithm in ALGORITHMS:
+            group = MCKEngine(ds).query(["a", "b", "c"], algorithm=algorithm)
+            assert set(group.object_ids) == {0, 1, 2}, algorithm
+
+
+class TestHugeCoordinates:
+    """UTM-scale coordinates (1e5-1e7 m) must not break the geometry."""
+
+    def test_all_algorithms_agree(self):
+        base_x, base_y = 583_000.0, 4_507_000.0
+        ds = Dataset.from_records(
+            [
+                (base_x, base_y, ["a"]),
+                (base_x + 120, base_y + 40, ["b"]),
+                (base_x + 60, base_y + 130, ["c"]),
+                (base_x + 50_000, base_y, ["a", "b", "c"]),
+            ]
+        )
+        ctx = compile_query(ds, ["a", "b", "c"])
+        reference = brute_force_optimal(ctx).diameter
+        for algorithm in ("EXACT", "SKECa+", "SKEC"):
+            group = MCKEngine(ds).query(["a", "b", "c"], algorithm=algorithm)
+            assert group.diameter <= 1.17 * reference + 1e-6, algorithm

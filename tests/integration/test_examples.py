@@ -1,0 +1,40 @@
+"""Every example script must run end-to-end (the examples are API docs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # artefacts (SVGs) land in the temp dir, not the repo
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-1500:]}\n{result.stderr[-1500:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_example_inventory():
+    """The README promises at least these scenarios."""
+    required = {
+        "quickstart.py",
+        "location_detection.py",
+        "trip_planning.py",
+        "np_hardness_demo.py",
+        "benchmark_walkthrough.py",
+        "distributed_mck.py",
+        "road_network_mck.py",
+        "visualize_query.py",
+    }
+    assert required <= set(ALL_EXAMPLES)

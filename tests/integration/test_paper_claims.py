@@ -1,0 +1,115 @@
+"""Assertions of the paper's qualitative experimental claims at small scale.
+
+Each test pins down one claim of §6 that the benches reproduce at larger
+scale; keeping a cheap automated version here guards against regressions
+that silently break a reproduced shape.
+"""
+
+import pytest
+
+from repro.core.engine import MCKEngine
+from repro.core.query import compile_query
+from repro.datasets.queries import generate_queries
+from repro.datasets.synthetic import make_la_like
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.metrics import summarize
+
+
+@pytest.fixture(scope="module")
+def city():
+    return make_la_like(scale=0.04)
+
+
+@pytest.fixture(scope="module")
+def queries(city):
+    return generate_queries(city, m=4, count=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def measurements(city, queries):
+    runner = ExperimentRunner(city)
+    return runner.run_suite(
+        ["GKG", "SKECa+", "EXACT", "VirbR"], queries, timeout=15.0
+    )
+
+
+def _summary(measurements, algo):
+    for s in summarize(measurements):
+        if s.algorithm == algo:
+            return s
+    raise KeyError(algo)
+
+
+class TestAccuracyOrdering:
+    def test_skeca_plus_at_least_as_accurate_as_gkg(self, measurements):
+        """§6.2.2: SKECa+ achieves better accuracy than GKG."""
+        gkg = _summary(measurements, "GKG")
+        sk = _summary(measurements, "SKECa+")
+        assert sk.mean_ratio <= gkg.mean_ratio + 1e-9
+
+    def test_skeca_plus_near_optimal(self, measurements):
+        """§6.2.2: SKECa+ always obtains nearly optimal groups."""
+        sk = _summary(measurements, "SKECa+")
+        assert sk.mean_ratio <= 1.16  # the 2/sqrt(3)+eps guarantee
+        assert sk.max_ratio <= 1.16
+
+    def test_exact_ratio_exactly_one(self, measurements):
+        ex = _summary(measurements, "EXACT")
+        assert ex.mean_ratio == pytest.approx(1.0, abs=1e-9)
+
+    def test_virbr_ratio_exactly_one(self, measurements):
+        vb = _summary(measurements, "VirbR")
+        if vb.n_succeeded:
+            assert vb.mean_ratio == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRuntimeOrdering:
+    def test_gkg_fastest(self, measurements):
+        """§6.2.2: GKG runs the fastest on all datasets."""
+        gkg = _summary(measurements, "GKG")
+        for algo in ("SKECa+", "EXACT"):
+            other = _summary(measurements, algo)
+            assert gkg.mean_runtime <= other.mean_runtime * 1.5 + 0.005
+
+    def test_exact_not_slower_than_virbr(self, city, queries):
+        """§1/§6.2.2: EXACT outperforms VirbR (allowing slack at this tiny
+        scale where both are in milliseconds)."""
+        runner = ExperimentRunner(city)
+        ms = runner.run_suite(
+            ["EXACT", "VirbR"], queries, timeout=15.0, with_reference=False
+        )
+        ex = _summary(ms, "EXACT")
+        vb = _summary(ms, "VirbR")
+        if vb.n_succeeded == 0:
+            # VirbR hit the threshold on every query while EXACT finished:
+            # the claim holds in its strongest form.
+            assert ex.n_succeeded > 0
+            return
+        assert ex.mean_runtime <= vb.mean_runtime * 2.0 + 0.01
+
+
+class TestEpsilonClaim:
+    def test_smaller_epsilon_no_worse_accuracy(self, city):
+        """Figure 7: accuracy degrades as epsilon grows."""
+        queries = generate_queries(city, m=4, count=3, seed=9)
+        fine = ExperimentRunner(city, epsilon=0.0004)
+        coarse = ExperimentRunner(city, epsilon=0.25)
+        fine_ms = fine.run_suite(["SKECa+"], queries)
+        coarse_ms = coarse.run_suite(["SKECa+"], queries)
+        assert (
+            _summary(fine_ms, "SKECa+").mean_ratio
+            <= _summary(coarse_ms, "SKECa+").mean_ratio + 1e-9
+        )
+
+
+class TestSingleObjectAnswer:
+    def test_all_algorithms_handle_full_cover_object(self, city):
+        """An object covering the whole query short-circuits everywhere."""
+        obj = max(city, key=lambda o: len(o.keywords))
+        keywords = sorted(obj.keywords)[:3]
+        if len(keywords) < 2:
+            pytest.skip("no multi-keyword object in this sample")
+        engine = MCKEngine(city)
+        for algo in ("GKG", "SKECa", "SKECa+", "EXACT"):
+            group = engine.query(keywords, algorithm=algo)
+            assert group.diameter == pytest.approx(0.0, abs=1e-9), algo

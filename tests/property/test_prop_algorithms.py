@@ -1,0 +1,117 @@
+"""Property-based tests of the mCK algorithms on generated instances."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.common import SQRT3_FACTOR
+from repro.core.exact import exact
+from repro.core.gkg import gkg
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.core.skeca import skeca
+from repro.core.skecaplus import skeca_plus
+
+TERMS = ["a", "b", "c", "d", "e"]
+
+coordinate = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+record = st.tuples(
+    coordinate,
+    coordinate,
+    st.lists(st.sampled_from(TERMS), min_size=1, max_size=3, unique=True),
+)
+
+
+@st.composite
+def instance(draw):
+    """A dataset plus a feasible query over it."""
+    records = draw(st.lists(record, min_size=4, max_size=22))
+    present = sorted({t for _x, _y, kws in records for t in kws})
+    if len(present) < 2:
+        # Force feasibility with a second keyword.
+        records.append((0.0, 0.0, [t for t in TERMS if t not in present][:1]))
+        present = sorted({t for _x, _y, kws in records for t in kws})
+    m = draw(st.integers(min_value=2, max_value=min(4, len(present))))
+    query = draw(
+        st.lists(st.sampled_from(present), min_size=m, max_size=m, unique=True)
+    )
+    ds = Dataset.from_records(records)
+    return ds, query
+
+
+class TestExactIsOptimal:
+    @given(instance())
+    @settings(max_examples=50, deadline=None)
+    def test_exact_matches_bruteforce(self, inst):
+        ds, query = inst
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx)
+        got = exact(ctx)
+        assert math.isclose(got.diameter, opt.diameter, rel_tol=1e-9, abs_tol=1e-9)
+        assert got.covers(ds, query)
+
+
+class TestApproximationInvariants:
+    @given(instance())
+    @settings(max_examples=50, deadline=None)
+    def test_gkg_bound(self, inst):
+        ds, query = inst
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx).diameter
+        group = gkg(ctx)
+        assert group.covers(ds, query)
+        assert group.diameter <= 2.0 * opt + 1e-9
+
+    @given(instance(), st.sampled_from([0.01, 0.1, 0.25]))
+    @settings(max_examples=50, deadline=None)
+    def test_skeca_plus_bound(self, inst, epsilon):
+        ds, query = inst
+        ctx = compile_query(ds, query)
+        opt = brute_force_optimal(ctx).diameter
+        group = skeca_plus(ctx, epsilon=epsilon)
+        assert group.covers(ds, query)
+        assert group.diameter <= (SQRT3_FACTOR + epsilon) * opt + 1e-9
+
+    @given(instance())
+    @settings(max_examples=30, deadline=None)
+    def test_skeca_and_plus_close(self, inst):
+        ds, query = inst
+        ctx = compile_query(ds, query)
+        a = skeca(ctx, 0.01)
+        b = skeca_plus(ctx, 0.01)
+        alpha = max(a.stats.get("alpha", 0.0), b.stats.get("alpha", 0.0), 1e-9)
+        if a.enclosing_circle is not None and b.enclosing_circle is not None:
+            assert (
+                abs(a.enclosing_circle.diameter - b.enclosing_circle.diameter)
+                <= alpha + 1e-9
+            )
+
+
+class TestStructuralInvariants:
+    @given(instance())
+    @settings(max_examples=40, deadline=None)
+    def test_group_size_at_most_m(self, inst):
+        """Every returned minimal group needs at most m objects — EXACT
+        and brute force prune redundant members."""
+        ds, query = inst
+        ctx = compile_query(ds, query)
+        group = exact(ctx)
+        assert 1 <= len(group) <= len(query)
+
+    @given(instance())
+    @settings(max_examples=40, deadline=None)
+    def test_diameter_matches_reported(self, inst):
+        """The reported diameter equals the recomputed diameter of the
+        returned object set."""
+        ds, query = inst
+        ctx = compile_query(ds, query)
+        for group in (gkg(ctx), skeca_plus(ctx), exact(ctx)):
+            from repro.geometry.diameter import group_diameter
+
+            actual = group_diameter(ds.location_of(o) for o in group.object_ids)
+            assert math.isclose(
+                group.diameter, actual, rel_tol=1e-9, abs_tol=1e-9
+            ), group.algorithm

@@ -1,0 +1,112 @@
+"""Property-based tests of Procedure circleScan against a rotation oracle."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circlescan import circle_scan, circle_scan_candidates
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+
+TERMS = ["a", "b", "c"]
+
+coordinate = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+record = st.tuples(
+    coordinate,
+    coordinate,
+    st.lists(st.sampled_from(TERMS), min_size=1, max_size=2, unique=True),
+)
+
+
+@st.composite
+def scan_instance(draw):
+    records = draw(st.lists(record, min_size=3, max_size=14))
+    present = sorted({t for _x, _y, kws in records for t in kws})
+    if len(present) < 2:
+        records.append((0.0, 0.0, [t for t in TERMS if t not in present][:1]))
+        present = sorted({t for _x, _y, kws in records for t in kws})
+    query = present[: draw(st.integers(2, len(present)))]
+    ds = Dataset.from_records(records)
+    ctx = compile_query(ds, query)
+    pole = draw(st.integers(0, len(ctx.relevant_ids) - 1))
+    diameter = draw(st.floats(min_value=0.05, max_value=40.0))
+    return ctx, pole, diameter
+
+
+def _oracle(ctx, pole, diameter, samples=720):
+    """Dense rotation sampling: does some position cover the query?
+
+    Sampling misses events narrower than the step, so the property tests
+    only assert agreement away from knife-edge configurations.
+    """
+    px, py = ctx.location_of_row(pole)
+    r = diameter / 2.0
+    full = ctx.full_mask
+    coords = ctx.coords
+    masks = ctx.masks
+    for k in range(samples):
+        theta = 2 * math.pi * k / samples
+        cx, cy = px + r * math.cos(theta), py + r * math.sin(theta)
+        union = 0
+        for row in range(len(masks)):
+            if math.hypot(coords[row, 0] - cx, coords[row, 1] - cy) <= r + 1e-9:
+                union |= masks[row]
+                if union == full:
+                    return True
+    return False
+
+
+class TestScanAgainstOracle:
+    @given(scan_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_scan_success_implies_oracle_or_boundary(self, inst):
+        ctx, pole, diameter = inst
+        result = circle_scan(ctx, pole, diameter)
+        oracle = _oracle(ctx, pole, diameter)
+        if result is not None:
+            # The scan found a covering position; verify it directly.
+            rows, theta = result
+            assert ctx.covers(rows)
+            px, py = ctx.location_of_row(pole)
+            r = diameter / 2.0
+            cx, cy = px + r * math.cos(theta), py + r * math.sin(theta)
+            for row in rows:
+                x, y = ctx.location_of_row(row)
+                assert math.hypot(x - cx, y - cy) <= r + 1e-6
+        else:
+            # The scan failed; the oracle may only succeed within float
+            # noise of a boundary, i.e. with a slightly larger diameter.
+            assert not oracle or circle_scan(ctx, pole, diameter * (1 + 1e-6))
+
+
+class TestScanMonotonicity:
+    @given(scan_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_property1_monotone(self, inst):
+        """Property 1: success at D implies success at 2D."""
+        ctx, pole, diameter = inst
+        if circle_scan(ctx, pole, diameter) is not None:
+            assert circle_scan(ctx, pole, diameter * 2.0) is not None
+
+
+class TestCandidates:
+    @given(scan_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_consistent_with_scan(self, inst):
+        ctx, pole, diameter = inst
+        hit = circle_scan(ctx, pole, diameter)
+        candidates = circle_scan_candidates(ctx, pole, diameter)
+        if hit is None:
+            assert candidates == []
+        else:
+            assert candidates
+            hit_set = set(hit[0])
+            assert any(hit_set <= set(c) for c in candidates)
+
+    @given(scan_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_every_candidate_covers(self, inst):
+        ctx, pole, diameter = inst
+        for cand in circle_scan_candidates(ctx, pole, diameter):
+            assert ctx.covers(cand)

@@ -1,0 +1,127 @@
+"""Property-based tests for the extensions and the data substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import MCKEngine
+from repro.core.objects import Dataset
+from repro.datasets.utm import latlon_to_utm
+from repro.distributed import DistributedMCKEngine
+from repro.extensions import top_k_mck
+
+TERMS = ["a", "b", "c", "d"]
+
+coordinate = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+record = st.tuples(
+    coordinate,
+    coordinate,
+    st.lists(st.sampled_from(TERMS), min_size=1, max_size=2, unique=True),
+)
+
+
+@st.composite
+def instance(draw):
+    records = draw(st.lists(record, min_size=6, max_size=25))
+    present = sorted({t for _x, _y, kws in records for t in kws})
+    if len(present) < 2:
+        records.append((0.0, 0.0, [t for t in TERMS if t not in present][:1]))
+        present = sorted({t for _x, _y, kws in records for t in kws})
+    m = draw(st.integers(2, min(3, len(present))))
+    query = draw(st.lists(st.sampled_from(present), min_size=m, max_size=m, unique=True))
+    return Dataset.from_records(records), query
+
+
+class TestDistributedProperties:
+    @given(instance(), st.sampled_from([1, 4, 9]))
+    @settings(max_examples=25, deadline=None)
+    def test_distributed_equals_centralized(self, inst, n_workers):
+        ds, query = inst
+        central = MCKEngine(ds).query(query, algorithm="EXACT")
+        result = DistributedMCKEngine(ds, n_workers=n_workers).query(query)
+        assert math.isclose(
+            result.group.diameter, central.diameter, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(instance())
+    @settings(max_examples=20, deadline=None)
+    def test_accounting_sane(self, inst):
+        ds, query = inst
+        result = DistributedMCKEngine(ds, n_workers=4).query(query)
+        assert result.messages >= 4
+        assert result.bytes_shipped > 0
+        assert 0.0 <= result.makespan_seconds <= result.total_compute_seconds + 1e-9
+
+
+class TestTopKProperties:
+    @given(instance(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_topk_invariants(self, inst, k):
+        ds, query = inst
+        groups = top_k_mck(ds, query, k=k)
+        assert len(groups) <= k
+        # Diameters are non-decreasing and groups pairwise disjoint.
+        for a, b in zip(groups, groups[1:]):
+            assert a.diameter <= b.diameter + 1e-9
+        seen = set()
+        for g in groups:
+            assert g.covers(ds, query)
+            assert not (seen & set(g.object_ids))
+            seen.update(g.object_ids)
+
+    @given(instance())
+    @settings(max_examples=20, deadline=None)
+    def test_top1_equals_exact(self, inst):
+        ds, query = inst
+        groups = top_k_mck(ds, query, k=1)
+        central = MCKEngine(ds).query(query, algorithm="EXACT")
+        assert len(groups) == 1
+        assert math.isclose(
+            groups[0].diameter, central.diameter, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestUtmProperties:
+    @given(
+        st.floats(min_value=-70.0, max_value=70.0),
+        st.floats(min_value=-179.0, max_value=179.0),
+        st.floats(min_value=0.001, max_value=0.05),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_local_distances_preserved(self, lat, lon, delta_deg, bearing):
+        """Small displacements (a few km) keep Euclidean-UTM distance within
+        0.2% of the WGS-84 ellipsoidal ground distance.
+
+        (A spherical haversine oracle is NOT accurate enough here: the
+        sphere's mean radius misstates meridional arcs near the equator by
+        ~0.5%, more than UTM's own distortion.)
+        """
+        lat2 = lat + delta_deg * math.cos(bearing)
+        lon2 = lon + delta_deg * math.sin(bearing)
+        if not (-70.0 <= lat2 <= 70.0):
+            return
+        south = lat < 0.0
+        e1, n1, zone = latlon_to_utm(lat, lon, south=south)
+        e2, n2, _ = latlon_to_utm(lat2, lon2, zone=zone, south=south)
+        d_utm = math.hypot(e1 - e2, n1 - n2)
+        d_ground = _ellipsoidal_ground_distance(lat, lon, lat2, lon2)
+        if d_ground < 1.0:
+            return
+        assert math.isclose(d_utm, d_ground, rel_tol=0.002)
+
+
+def _ellipsoidal_ground_distance(lat1, lon1, lat2, lon2):
+    """Local WGS-84 metric at the midpoint: exact to first order for
+    displacements of a few kilometres."""
+    a = 6378137.0
+    e2 = 0.00669437999014
+    phi = math.radians((lat1 + lat2) / 2.0)
+    sin_phi = math.sin(phi)
+    w = math.sqrt(1.0 - e2 * sin_phi * sin_phi)
+    meridional = a * (1.0 - e2) / (w * w * w)
+    prime_vertical = a / w
+    d_phi = math.radians(lat2 - lat1)
+    d_lam = math.radians(lon2 - lon1)
+    return math.hypot(meridional * d_phi, prime_vertical * math.cos(phi) * d_lam)

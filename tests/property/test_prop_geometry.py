@@ -1,0 +1,134 @@
+"""Property-based tests for the geometry substrate (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import circle_from_three, circle_from_two
+from repro.geometry.diameter import diameter_bruteforce, diameter_calipers
+from repro.geometry.hull import convex_hull, cross
+from repro.geometry.mcc import minimum_covering_circle
+from repro.geometry.point import dist
+from repro.geometry.sweep import TWO_PI, angle_in_interval, coverage_interval
+
+coordinate = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+point = st.tuples(coordinate, coordinate)
+points = st.lists(point, min_size=1, max_size=40)
+
+
+class TestMCCProperties:
+    @given(points)
+    @settings(max_examples=80, deadline=None)
+    def test_encloses_all_points(self, pts):
+        circle = minimum_covering_circle(pts)
+        for p in pts:
+            assert dist(circle.center, p) <= circle.r + 1e-6 + 1e-9 * abs(circle.r)
+
+    @given(st.lists(point, min_size=2, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_theorem4_lower_bound(self, pts):
+        """√3/2 · ø(MCC) <= δ(G) <= ø(MCC) (Theorem 4)."""
+        circle = minimum_covering_circle(pts)
+        diam = diameter_bruteforce(pts)
+        assert diam <= circle.diameter + 1e-6
+        assert diam >= (math.sqrt(3) / 2) * circle.diameter - 1e-6
+
+    @given(points, point)
+    @settings(max_examples=50, deadline=None)
+    def test_adding_point_never_shrinks(self, pts, extra):
+        before = minimum_covering_circle(pts).r
+        after = minimum_covering_circle(pts + [extra]).r
+        assert after >= before - 1e-7 - 1e-9 * before
+
+
+class TestDiameterProperties:
+    @given(st.lists(point, min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_calipers_equals_bruteforce(self, pts):
+        a = diameter_bruteforce(pts)
+        b = diameter_calipers(pts)
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(st.lists(point, min_size=2, max_size=30), st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_scales_diameter(self, pts, factor):
+        base = diameter_bruteforce(pts)
+        scaled = diameter_bruteforce([(x * factor, y * factor) for x, y in pts])
+        assert math.isclose(scaled, base * factor, rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestHullProperties:
+    @given(st.lists(point, min_size=3, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return  # collinear degenerate case
+        n = len(hull)
+        for p in pts:
+            for i in range(n):
+                assert cross(hull[i], hull[(i + 1) % n], p) >= -1e-6
+
+    @given(st.lists(point, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_hull_vertices_subset_of_input(self, pts):
+        input_set = {(float(x), float(y)) for x, y in pts}
+        for v in convex_hull(pts):
+            assert v in input_set
+
+
+class TestCircleConstructions:
+    @given(point, point)
+    @settings(max_examples=60, deadline=None)
+    def test_two_point_circle_diameter(self, a, b):
+        c = circle_from_two(a, b)
+        assert math.isclose(c.diameter, dist(a, b), rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(point, point, point)
+    @settings(max_examples=80, deadline=None)
+    def test_three_point_circle_equidistant(self, a, b, c):
+        from repro.exceptions import GeometryError
+
+        try:
+            circle = circle_from_three(a, b, c)
+        except GeometryError:
+            return
+        # Skip numerically ill-conditioned near-collinear triples.
+        if circle.r > 1e7:
+            return
+        for p in (a, b, c):
+            assert math.isclose(
+                dist(circle.center, p), circle.r, rel_tol=1e-5, abs_tol=1e-6
+            )
+
+
+class TestSweepProperties:
+    @given(
+        point,
+        st.floats(0.1, 100.0),
+        st.floats(0.0, TWO_PI),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interval_boundary_consistency(self, pole, diameter, angle, frac):
+        """A point inside its coverage interval is geometrically inside
+        the rotated circle, and vice versa."""
+        d = frac * diameter
+        p = (pole[0] + d * math.cos(angle), pole[1] + d * math.sin(angle))
+        interval = coverage_interval(pole, diameter, p)
+        assert interval is not None
+        enter, exit_ = interval
+        r = diameter / 2.0
+        for k in range(8):
+            theta = TWO_PI * k / 8
+            cx = pole[0] + r * math.cos(theta)
+            cy = pole[1] + r * math.sin(theta)
+            geometric = math.hypot(p[0] - cx, p[1] - cy) <= r + 1e-9
+            algebraic = angle_in_interval(theta, enter, exit_)
+            # Allow disagreement only within float noise of the boundary.
+            if geometric != algebraic:
+                boundary_gap = abs(math.hypot(p[0] - cx, p[1] - cy) - r)
+                assert boundary_gap < 1e-6 * max(1.0, diameter)

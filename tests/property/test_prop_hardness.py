@@ -1,0 +1,91 @@
+"""Property-based tests for the NP-hardness machinery."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.reduction import decide_3sat_via_mck, reduce_3sat_to_mck
+from repro.hardness.threesat import ThreeSatFormula, dpll_satisfiable
+
+
+@st.composite
+def planted_satisfiable_formula(draw):
+    """A 3-SAT formula guaranteed satisfiable: clauses are generated to be
+    satisfied by a hidden planted assignment."""
+    n_vars = draw(st.integers(3, 7))
+    assignment = {v: draw(st.booleans()) for v in range(1, n_vars + 1)}
+    n_clauses = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_vars + 1), 3)
+        # Make at least the first literal true under the planted assignment.
+        first = variables[0] if assignment[variables[0]] else -variables[0]
+        rest = [v if rng.random() < 0.5 else -v for v in variables[1:]]
+        clauses.append((first, *rest))
+    return ThreeSatFormula(n_vars, tuple(clauses)), assignment
+
+
+@st.composite
+def random_formula(draw):
+    n_vars = draw(st.integers(3, 6))
+    n_clauses = draw(st.integers(1, 14))
+    clauses = []
+    for _ in range(n_clauses):
+        variables = draw(
+            st.lists(
+                st.integers(1, n_vars), min_size=3, max_size=3, unique=True
+            )
+        )
+        signs = draw(st.lists(st.booleans(), min_size=3, max_size=3))
+        clauses.append(
+            tuple(v if s else -v for v, s in zip(variables, signs))
+        )
+    return ThreeSatFormula(n_vars, tuple(clauses))
+
+
+class TestPlantedInstances:
+    @given(planted_satisfiable_formula())
+    @settings(max_examples=25, deadline=None)
+    def test_mck_finds_satisfiable(self, planted):
+        formula, assignment = planted
+        assert formula.evaluate(assignment), "planting broken"
+        sat, model = decide_3sat_via_mck(formula)
+        assert sat
+        assert formula.evaluate(model)
+
+
+class TestRandomInstances:
+    @given(random_formula())
+    @settings(max_examples=25, deadline=None)
+    def test_mck_agrees_with_dpll(self, formula):
+        sat_dpll, _ = dpll_satisfiable(formula)
+        sat_mck, model = decide_3sat_via_mck(formula)
+        assert sat_mck == sat_dpll
+        if sat_mck:
+            assert formula.evaluate(model)
+
+
+class TestReductionGeometry:
+    @given(random_formula())
+    @settings(max_examples=25, deadline=None)
+    def test_separation_margin(self, formula):
+        """The decision threshold separates strictly: every cross pair is
+        within the threshold, every antipodal pair strictly beyond it."""
+        reduction = reduce_3sat_to_mck(formula)
+        ds = reduction.dataset
+        n = len(ds)
+        for i in range(n):
+            for j in range(i + 1, n):
+                li = reduction.literal_of_object[i]
+                lj = reduction.literal_of_object[j]
+                d = math.hypot(
+                    ds[i].x - ds[j].x, ds[i].y - ds[j].y
+                )
+                if abs(li) == abs(lj):
+                    assert d > reduction.threshold + 1e-9
+                else:
+                    assert d <= reduction.threshold + 1e-9

@@ -1,0 +1,103 @@
+"""Property-based tests for the index substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.grid import UniformGrid
+from repro.index.mbr import mbr_of_points, min_dist, max_dist
+from repro.index.rstar import RStarTree
+
+import numpy as np
+
+# Clamp magnitudes below 1e-9 to zero: the library's squared-distance
+# predicates legitimately underflow on denormal-range coordinates, which
+# cannot occur in metre-scale geo data.
+coordinate = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False).map(
+    lambda v: 0.0 if abs(v) < 1e-9 else v
+)
+point = st.tuples(coordinate, coordinate)
+
+
+class TestRStarProperties:
+    @given(st.lists(point, min_size=0, max_size=120), st.integers(4, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_load_preserves_items(self, pts, fanout):
+        records = [(i, x, y) for i, (x, y) in enumerate(pts)]
+        tree = RStarTree.bulk_load(records, max_entries=fanout)
+        assert sorted(e.item for e in tree.iter_leaf_entries()) == list(
+            range(len(pts))
+        )
+        if pts:
+            tree.check_invariants()
+
+    @given(st.lists(point, min_size=1, max_size=60), point, st.floats(0, 500).map(lambda v: 0.0 if v < 1e-9 else v))
+    @settings(max_examples=50, deadline=None)
+    def test_range_circle_exact(self, pts, centre, radius):
+        records = [(i, x, y) for i, (x, y) in enumerate(pts)]
+        tree = RStarTree.bulk_load(records, max_entries=8)
+        got = {e.item for e in tree.range_circle(centre[0], centre[1], radius)}
+        expected = {
+            i
+            for i, (x, y) in enumerate(pts)
+            if math.hypot(x - centre[0], y - centre[1]) <= radius
+        }
+        assert got == expected
+
+    @given(st.lists(point, min_size=1, max_size=60), point)
+    @settings(max_examples=50, deadline=None)
+    def test_nearest_is_nearest(self, pts, query):
+        records = [(i, x, y) for i, (x, y) in enumerate(pts)]
+        tree = RStarTree.bulk_load(records, max_entries=8)
+        got = tree.nearest(query[0], query[1])
+        best = min(math.hypot(x - query[0], y - query[1]) for x, y in pts)
+        assert got is not None
+        assert math.isclose(
+            math.hypot(got.x - query[0], got.y - query[1]),
+            best,
+            rel_tol=1e-12,
+            abs_tol=1e-9,
+        )
+
+    @given(st.lists(point, min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_insert_invariants(self, pts):
+        tree = RStarTree(max_entries=4)
+        for i, (x, y) in enumerate(pts):
+            tree.insert(i, x, y)
+        tree.check_invariants()
+        assert len(tree) == len(pts)
+
+
+class TestMBRProperties:
+    @given(
+        st.lists(point, min_size=1, max_size=20),
+        st.lists(point, min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_min_max_dist_bound_point_pairs(self, pts_a, pts_b):
+        a = mbr_of_points(pts_a)
+        b = mbr_of_points(pts_b)
+        lo = min_dist(a, b)
+        hi = max_dist(a, b)
+        for p in pts_a:
+            for q in pts_b:
+                d = math.hypot(p[0] - q[0], p[1] - q[1])
+                assert lo - 1e-9 <= d <= hi + 1e-9
+
+
+class TestGridProperties:
+    @given(st.lists(point, min_size=0, max_size=100), point, st.floats(0, 300).map(lambda v: 0.0 if v < 1e-9 else v))
+    @settings(max_examples=50, deadline=None)
+    def test_disc_query_exact(self, pts, centre, radius):
+        coords = np.array(pts, dtype=float).reshape(len(pts), 2)
+        grid = UniformGrid(coords)
+        got = set(grid.rows_within(centre[0], centre[1], radius).tolist())
+        expected = {
+            i
+            for i, (x, y) in enumerate(pts)
+            if math.hypot(x - centre[0], y - centre[1])
+            <= radius * (1 + 1e-12) + 1e-18
+        }
+        assert got == expected

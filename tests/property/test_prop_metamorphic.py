@@ -1,0 +1,134 @@
+"""Metamorphic property tests: answers must respect the Euclidean group.
+
+The mCK problem is defined purely by pairwise Euclidean distances, so for
+any isometry T (translation, rotation, reflection) the optimal diameter
+is unchanged, and for a scaling by s it scales by exactly s.  These tests
+apply random transforms to whole instances and compare.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact
+from repro.core.gkg import gkg
+from repro.core.objects import Dataset
+from repro.core.query import compile_query
+from repro.core.skecaplus import skeca_plus
+
+TERMS = ["a", "b", "c", "d"]
+
+coordinate = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+record = st.tuples(
+    coordinate,
+    coordinate,
+    st.lists(st.sampled_from(TERMS), min_size=1, max_size=2, unique=True),
+)
+
+
+@st.composite
+def instance(draw):
+    records = draw(st.lists(record, min_size=5, max_size=18))
+    present = sorted({t for _x, _y, kws in records for t in kws})
+    if len(present) < 2:
+        records.append((0.0, 0.0, [t for t in TERMS if t not in present][:1]))
+        present = sorted({t for _x, _y, kws in records for t in kws})
+    m = draw(st.integers(2, min(3, len(present))))
+    query = draw(st.lists(st.sampled_from(present), min_size=m, max_size=m, unique=True))
+    return records, query
+
+
+def _transform(records, tx, ty, angle, scale):
+    cos_a, sin_a = math.cos(angle), math.sin(angle)
+    out = []
+    for x, y, kws in records:
+        rx = scale * (x * cos_a - y * sin_a) + tx
+        ry = scale * (x * sin_a + y * cos_a) + ty
+        out.append((rx, ry, kws))
+    return out
+
+
+class TestIsometryInvariance:
+    @given(
+        instance(),
+        st.floats(-1e4, 1e4),
+        st.floats(-1e4, 1e4),
+        st.floats(0.0, 2 * math.pi),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_diameter_invariant(self, inst, tx, ty, angle):
+        records, query = inst
+        base = exact(compile_query(Dataset.from_records(records), query))
+        moved = exact(
+            compile_query(
+                Dataset.from_records(_transform(records, tx, ty, angle, 1.0)),
+                query,
+            )
+        )
+        assert math.isclose(
+            base.diameter, moved.diameter, rel_tol=1e-6, abs_tol=1e-6
+        )
+
+    @given(instance(), st.floats(0.0, 2 * math.pi))
+    @settings(max_examples=30, deadline=None)
+    def test_skeca_plus_bound_invariant(self, inst, angle):
+        """SKECa+ may pick different near-optimal groups after rotation,
+        but both stay within the guarantee of the (invariant) optimum."""
+        records, query = inst
+        ctx_a = compile_query(Dataset.from_records(records), query)
+        ctx_b = compile_query(
+            Dataset.from_records(_transform(records, 0, 0, angle, 1.0)), query
+        )
+        opt = exact(ctx_a).diameter
+        bound = (2 / math.sqrt(3) + 0.01) * opt + 1e-6
+        assert skeca_plus(ctx_a).diameter <= bound
+        assert skeca_plus(ctx_b).diameter <= bound
+
+
+class TestScalingEquivariance:
+    @given(instance(), st.floats(0.01, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_diameter_scales(self, inst, scale):
+        records, query = inst
+        base = exact(compile_query(Dataset.from_records(records), query))
+        scaled = exact(
+            compile_query(
+                Dataset.from_records(_transform(records, 0, 0, 0.0, scale)),
+                query,
+            )
+        )
+        assert math.isclose(
+            scaled.diameter, base.diameter * scale, rel_tol=1e-6, abs_tol=1e-9
+        )
+
+    @given(instance(), st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_gkg_group_scales_identically(self, inst, scale):
+        """GKG is deterministic: scaling must not change the chosen ids."""
+        records, query = inst
+        a = gkg(compile_query(Dataset.from_records(records), query))
+        b = gkg(
+            compile_query(
+                Dataset.from_records(_transform(records, 0, 0, 0.0, scale)),
+                query,
+            )
+        )
+        assert a.object_ids == b.object_ids
+        assert math.isclose(
+            b.diameter, a.diameter * scale, rel_tol=1e-6, abs_tol=1e-9
+        )
+
+
+class TestObjectOrderInvariance:
+    @given(instance())
+    @settings(max_examples=30, deadline=None)
+    def test_exact_invariant_under_record_permutation(self, inst):
+        records, query = inst
+        base = exact(compile_query(Dataset.from_records(records), query))
+        reordered = exact(
+            compile_query(Dataset.from_records(list(reversed(records))), query)
+        )
+        assert math.isclose(
+            base.diameter, reordered.diameter, rel_tol=1e-9, abs_tol=1e-9
+        )

@@ -1,0 +1,81 @@
+"""Tests of the top-level package surface and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AlgorithmTimeout,
+    DatasetError,
+    ExperimentError,
+    GeometryError,
+    InfeasibleQueryError,
+    QueryError,
+    ReproError,
+)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_entry_points(self):
+        assert callable(repro.exact)
+        assert callable(repro.skeca_plus)
+        assert isinstance(repro.ALGORITHMS, tuple)
+        assert "EXACT" in repro.ALGORITHMS
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.datasets
+        import repro.distributed
+        import repro.experiments
+        import repro.extensions
+        import repro.hardness
+        import repro.viz
+
+        assert callable(repro.extensions.top_k_mck)
+        assert callable(repro.viz.render_result)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            GeometryError,
+            QueryError,
+            DatasetError,
+            ExperimentError,
+            AlgorithmTimeout,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_infeasible_is_query_error(self):
+        assert issubclass(InfeasibleQueryError, QueryError)
+
+    def test_infeasible_message_names_keywords(self):
+        err = InfeasibleQueryError(["ghost", "phantom"])
+        assert "ghost" in str(err)
+        assert err.missing_keywords == ("ghost", "phantom")
+
+    def test_infeasible_without_keywords(self):
+        err = InfeasibleQueryError()
+        assert "covered" in str(err)
+
+    def test_timeout_carries_context(self):
+        err = AlgorithmTimeout("EXACT", 1.5)
+        assert err.algorithm == "EXACT"
+        assert err.budget_seconds == 1.5
+        assert "EXACT" in str(err)
+
+    def test_single_except_clause_catches_everything(self):
+        for exc in (GeometryError("x"), InfeasibleQueryError(), AlgorithmTimeout("A", 1)):
+            try:
+                raise exc
+            except ReproError:
+                pass

@@ -1,0 +1,87 @@
+"""Tests for the SVG rendering helpers."""
+
+import pytest
+
+from repro.core.engine import MCKEngine
+from repro.core.objects import Dataset
+from repro.geometry.circle import Circle
+from repro.viz.svg import SvgCanvas, render_result
+
+
+@pytest.fixture
+def ds():
+    return Dataset.from_records(
+        [
+            (0.0, 0.0, ["a"]),
+            (10.0, 0.0, ["b"]),
+            (5.0, 8.0, ["c"]),
+            (100.0, 100.0, ["noise"]),
+        ]
+    )
+
+
+class TestSvgCanvas:
+    def test_valid_document(self):
+        canvas = SvgCanvas((0, 0, 10, 10))
+        canvas.add_point(5, 5)
+        svg = canvas.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<circle" in svg
+
+    def test_y_axis_flipped(self):
+        canvas = SvgCanvas((0, 0, 10, 10), width=100, height=100, margin=0)
+        canvas.add_point(0, 0)
+        canvas.add_point(0, 10)
+        low, high = canvas._elements
+        # World y=0 maps to the bottom (larger SVG y) of the viewport.
+        assert 'cy="100.00"' in low
+        assert 'cy="0.00"' in high
+
+    def test_circle_scaled(self):
+        canvas = SvgCanvas((0, 0, 10, 10), width=120, height=120, margin=10)
+        canvas.add_circle(Circle(5, 5, 2))
+        assert 'r="20.00"' in canvas._elements[0]  # scale = 100/10
+
+    def test_label_escaped(self):
+        canvas = SvgCanvas((0, 0, 1, 1))
+        canvas.add_label(0.5, 0.5, "<b> & stuff")
+        assert "&lt;b&gt; &amp; stuff" in canvas._elements[0]
+
+    def test_segment(self):
+        canvas = SvgCanvas((0, 0, 1, 1))
+        canvas.add_segment((0, 0), (1, 1))
+        assert "<line" in canvas._elements[0]
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas((0, 0, 1, 1))
+        canvas.add_point(0.5, 0.5)
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_degenerate_bounds(self):
+        canvas = SvgCanvas((5, 5, 5, 5))
+        canvas.add_point(5, 5)
+        assert "<circle" in canvas.to_svg()
+
+
+class TestRenderResult:
+    def test_renders_group_and_circle(self, ds):
+        engine = MCKEngine(ds)
+        group = engine.query(["a", "b", "c"], algorithm="EXACT")
+        svg = render_result(ds, group, query_keywords=["a", "b", "c"])
+        assert svg.count("#d93025") == len(group) + 1  # group dots + circle
+        assert "#dadce0" in svg  # the noise object
+
+    def test_relevant_objects_highlighted(self, ds):
+        engine = MCKEngine(ds)
+        group = engine.query(["a", "b"], algorithm="EXACT")
+        svg = render_result(ds, group, query_keywords=["a", "b", "c"])
+        assert "#1a73e8" in svg  # the 'c' holder is relevant but not chosen
+
+    def test_tooltips_present(self, ds):
+        engine = MCKEngine(ds)
+        group = engine.query(["a", "b"], algorithm="EXACT")
+        svg = render_result(ds, group, query_keywords=["a", "b"])
+        assert "<title>" in svg
