@@ -22,6 +22,29 @@ QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "5"))
 #: Timeout for exact algorithms, in seconds (the paper uses 60).
 TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "10"))
 
+#: When set, every benchmark appends the process-wide MetricsRegistry
+#: (per-algorithm latency + search/pruning counters) to this JSON path.
+METRICS_PATH = os.environ.get("REPRO_BENCH_METRICS")
+
+
+def dump_metrics(path=None):
+    """Write the process-wide serving metrics registry to ``path`` as JSON.
+
+    Every :class:`~repro.experiments.runner.ExperimentRunner` the figure
+    functions create reports into ``MetricsRegistry.default()``, so after a
+    benchmark run this holds per-algorithm latency aggregates and the
+    circleScan/pruning counters of everything that executed.
+    """
+    from repro.serving.stats import MetricsRegistry
+
+    target = path or METRICS_PATH
+    if not target:
+        return None
+    with open(target, "w") as fh:
+        fh.write(MetricsRegistry.default().to_json())
+        fh.write("\n")
+    return target
+
 
 def run_figure(benchmark, fn, **kwargs):
     """Benchmark one figure function and print its reproduced series."""
@@ -33,4 +56,5 @@ def run_figure(benchmark, fn, **kwargs):
         for figure in result:
             print(figure.render())
             print()
+    dump_metrics()
     return result

@@ -1,0 +1,17 @@
+"""Make ``import repro`` work when running examples from a fresh checkout.
+
+Each example starts with ``import _bootstrap``; Python puts the script's
+own directory on ``sys.path``, so this module is always importable no
+matter the working directory.  When ``repro`` is already installed (or
+``PYTHONPATH`` points at ``src/``) this is a no-op.
+"""
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivially environment-dependent
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    _src = Path(__file__).resolve().parents[1] / "src"
+    if _src.is_dir():
+        sys.path.insert(0, str(_src))

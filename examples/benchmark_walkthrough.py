@@ -10,6 +10,8 @@ Run with::
     python examples/benchmark_walkthrough.py
 """
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro.datasets import generate_queries, make_la_like, table1_stats
 from repro.experiments import ExperimentRunner, fig7_vary_epsilon, summarize
 

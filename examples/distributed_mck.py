@@ -15,6 +15,8 @@ Run with::
 
 import time
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro import MCKEngine
 from repro.datasets import generate_queries, make_la_like
 from repro.distributed import DistributedMCKEngine

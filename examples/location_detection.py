@@ -17,6 +17,8 @@ Run with::
 
 import random
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro import Dataset, MCKEngine
 from repro.geometry.mcc import minimum_covering_circle
 

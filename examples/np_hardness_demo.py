@@ -11,6 +11,8 @@ Run with::
     python examples/np_hardness_demo.py
 """
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro.hardness import (
     decide_3sat_via_mck,
     dpll_satisfiable,

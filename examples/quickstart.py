@@ -5,6 +5,8 @@ Run with::
     python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro import Dataset, MCKEngine
 
 # A handful of geo-textual objects: (x, y, keywords).  Coordinates are in

@@ -12,6 +12,8 @@ Run with::
 
 import networkx as nx
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro import Dataset, MCKEngine
 from repro.extensions import RoadNetwork, network_exact
 

@@ -16,6 +16,8 @@ Run with::
 
 import random
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro import Dataset, MCKEngine
 
 WISH_LIST = ["shrine", "shop", "restaurant", "hotel"]

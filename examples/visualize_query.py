@@ -12,6 +12,8 @@ Run with::
 
 from pathlib import Path
 
+import _bootstrap  # noqa: F401  (sys.path shim for fresh checkouts)
+
 from repro import MCKEngine
 from repro.datasets import generate_queries, make_ny_like
 from repro.viz import render_result

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Repo health check: byte-compile everything, then run the test suite.
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== pytest =="
+python -m pytest -q "$@"

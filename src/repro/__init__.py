@@ -20,9 +20,11 @@ from .core import (
     Deadline,
     GeoObject,
     Group,
+    Instrumentation,
     MCKEngine,
     MCKQuery,
     QueryContext,
+    canonical_algorithm,
     compile_query,
     exact,
     gkg,
@@ -49,9 +51,11 @@ __all__ = [
     "Deadline",
     "GeoObject",
     "Group",
+    "Instrumentation",
     "MCKEngine",
     "MCKQuery",
     "QueryContext",
+    "canonical_algorithm",
     "compile_query",
     "exact",
     "gkg",

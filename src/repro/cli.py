@@ -2,10 +2,12 @@
 
 Subcommands
 -----------
-``generate``   write a synthetic NY/LA/TW-like dataset to JSON-lines
-``query``      answer one mCK query over a dataset file
-``experiment`` regenerate a paper table/figure (table1, fig7 ... fig14)
-``stats``      print Table-1-style statistics for a dataset file
+``generate``    write a synthetic NY/LA/TW-like dataset to JSON-lines
+``query``       answer one mCK query over a dataset file
+``experiment``  regenerate a paper table/figure (table1, fig7 ... fig14)
+``stats``       print Table-1-style statistics for a dataset file
+``serve-bench`` replay a query workload through the batched
+                :class:`~repro.serving.QueryService` and dump JSON metrics
 """
 
 from __future__ import annotations
@@ -85,6 +87,48 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="Table-1-style dataset statistics")
     stats.add_argument("dataset", help="JSON-lines dataset path")
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="replay a workload through the batched QueryService, dump JSON metrics",
+    )
+    serve.add_argument(
+        "--dataset", default=None, help="JSON-lines dataset path (overrides --preset)"
+    )
+    serve.add_argument("--preset", choices=["NY", "LA", "TW"], default="NY")
+    serve.add_argument("--scale", type=float, default=0.02)
+    serve.add_argument("--m", type=int, default=4, help="keywords per query")
+    serve.add_argument(
+        "--queries", type=int, default=50, help="distinct queries in the workload"
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="times the workload is replayed (exercises the result cache)",
+    )
+    serve.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["SKECa+"],
+        metavar="ALGO",
+        help="algorithms to serve (GKG, SKEC, SKECa, SKECa+, EXACT)",
+    )
+    serve.add_argument("--epsilon", type=float, default=0.01)
+    serve.add_argument("--timeout", type=float, default=None)
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--cache-size", type=int, default=1024)
+    serve.add_argument("--cache-ttl", type=float, default=None)
+    serve.add_argument(
+        "--process-exact",
+        action="store_true",
+        help="run EXACT queries on a process pool",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--output", default=None, help="write the JSON dump here instead of stdout"
+    )
+    serve.set_defaults(handler=_cmd_serve_bench)
     return parser
 
 
@@ -137,6 +181,88 @@ def _cmd_experiment(args) -> int:
 def _render_table1(args) -> str:
     text, _stats = figures.table1_datasets(scale=args.scale)
     return text
+
+
+def _cmd_serve_bench(args) -> int:
+    import json
+    import time as _time
+
+    from .core.engine import canonical_algorithm
+    from .datasets.queries import generate_queries
+    from .exceptions import QueryError
+    from .serving import QueryRequest, QueryService
+
+    try:
+        algorithms = [canonical_algorithm(a) for a in args.algorithms]
+    except QueryError as exc:
+        print(f"serve-bench: {exc}", file=sys.stderr)
+        return 2
+    if args.cache_ttl is not None and args.cache_ttl <= 0:
+        print("serve-bench: --cache-ttl must be positive", file=sys.stderr)
+        return 2
+
+    if args.dataset:
+        dataset = load_jsonl(args.dataset)
+    else:
+        maker = {"NY": make_ny_like, "LA": make_la_like, "TW": make_tw_like}[
+            args.preset
+        ]
+        dataset = maker(scale=args.scale, seed=args.seed)
+
+    workload = generate_queries(
+        dataset, m=args.m, count=args.queries, seed=args.seed
+    )
+    requests = [
+        QueryRequest(
+            keywords=q.keywords,
+            algorithm=algorithm,
+            epsilon=args.epsilon,
+            timeout=args.timeout,
+        )
+        for algorithm in algorithms
+        for q in workload
+    ]
+
+    started = _time.perf_counter()
+    with QueryService(
+        dataset,
+        max_workers=args.workers,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        use_processes_for_exact=args.process_exact,
+    ) as service:
+        failures = 0
+        for _round in range(max(1, args.repeat)):
+            for result in service.query_many(requests):
+                if not result.ok:
+                    failures += 1
+        wall = _time.perf_counter() - started
+        dump = {
+            "workload": {
+                "dataset": dataset.name,
+                "objects": len(dataset),
+                "m": args.m,
+                "distinct_queries": len(workload),
+                "algorithms": algorithms,
+                "repeat": max(1, args.repeat),
+                "requests_total": len(requests) * max(1, args.repeat),
+                "failures": failures,
+                "wall_seconds": wall,
+                "throughput_qps": len(requests) * max(1, args.repeat) / wall
+                if wall > 0
+                else None,
+            },
+            "metrics": service.metrics_dict(),
+        }
+
+    text = json.dumps(dump, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote serve-bench metrics to {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_stats(args) -> int:

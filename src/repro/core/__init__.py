@@ -1,7 +1,7 @@
 """The paper's contribution: mCK query model and the five algorithms."""
 
-from .common import SQRT3_FACTOR, Deadline
-from .engine import ALGORITHMS, MCKEngine
+from .common import SQRT3_FACTOR, Deadline, Instrumentation
+from .engine import ALGORITHMS, MCKEngine, canonical_algorithm
 from .exact import exact
 from .gkg import gkg
 from .objects import Dataset, GeoObject
@@ -14,8 +14,10 @@ from .skecaplus import SkecaPlusState, skeca_plus, skeca_plus_state
 __all__ = [
     "SQRT3_FACTOR",
     "Deadline",
+    "Instrumentation",
     "ALGORITHMS",
     "MCKEngine",
+    "canonical_algorithm",
     "exact",
     "gkg",
     "Dataset",

@@ -47,8 +47,11 @@ def _sweep_events(ctx: QueryContext, pole_row: int, diameter: float):
     Returns ``None`` when the sweeping area cannot cover the query, else
     ``(inside_rows, angles, kinds, event_rows)`` where ``inside_rows`` are
     the rows inside the disc at centre angle 0 (including always-inside
-    rows at the pole itself), and events are sorted by angle with exits
-    (kind 0) before enters (kind 1) on ties.
+    rows at the pole itself), and events are sorted by angle with enters
+    (kind 1) before exits (kind 0) on ties — the enclosing disc is closed,
+    so at a tie angle both the entering and the exiting object are
+    enclosed, and an object at distance exactly ``D`` (a degenerate
+    single-angle interval) must be entered before it is exited.
     """
     if diameter < ctx.cover_radii[pole_row] * (1.0 - 1e-12):
         # Even the whole sweeping area cannot cover the query: the rotation
@@ -89,7 +92,7 @@ def _sweep_events(ctx: QueryContext, pole_row: int, diameter: float):
         [np.ones(len(mrows), dtype=np.int8), np.zeros(len(mrows), dtype=np.int8)]
     )
     event_rows = np.concatenate([mrows, mrows])
-    order = np.lexsort((kinds, angles))
+    order = np.lexsort((-kinds, angles))
     return inside_rows, angles[order], kinds[order], event_rows[order]
 
 

@@ -3,14 +3,60 @@
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from ..exceptions import AlgorithmTimeout
 
-__all__ = ["Deadline", "SQRT3_FACTOR"]
+__all__ = ["Deadline", "Instrumentation", "SQRT3_FACTOR"]
 
 #: The recurring bound 2/sqrt(3) ≈ 1.1547 (Theorems 4–5, Lemma 2).
 SQRT3_FACTOR = 2.0 / (3.0**0.5)
+
+
+class Instrumentation:
+    """Per-query counter and timing sink threaded through the algorithms.
+
+    The algorithms already report summary counters on the returned
+    :class:`~repro.core.result.Group`; an ``Instrumentation`` object is
+    additionally updated *while* the algorithm runs, so a caller observes
+    work done even when the run ends in an
+    :class:`~repro.exceptions.AlgorithmTimeout`.  The serving layer turns
+    one of these into a :class:`~repro.serving.stats.QueryStats` record.
+
+    Counters are plain floats under well-known names: ``circle_scans``,
+    ``binary_steps``, ``candidate_circles``, ``pruned_poles``,
+    ``anchors``, ``poles_scanned``.
+    """
+
+    __slots__ = ("counters", "timings")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.timings: Dict[str, float] = {}
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + n
+
+    #: Group stats that are parameters rather than work counters; they
+    #: would be meaningless summed across queries.
+    _NON_COUNTERS = frozenset({"alpha"})
+
+    def merge_group_stats(self, stats: Dict[str, float]) -> None:
+        """Fold a finished group's summary counters in (keep the larger).
+
+        Counters incremented live and counters reported on the group
+        describe the same work; ``max`` avoids double counting while still
+        capturing counters only one of the two paths knows about.
+        """
+        for name, value in stats.items():
+            if name in self._NON_COUNTERS:
+                continue
+            self.counters[name] = max(self.counters.get(name, 0.0), float(value))
+
+    def as_dict(self) -> Dict[str, float]:
+        merged: Dict[str, float] = dict(self.counters)
+        merged.update(self.timings)
+        return merged
 
 
 class Deadline:
@@ -21,13 +67,23 @@ class Deadline:
     harness converts into a "did not finish within threshold" sample — the
     paper's success-rate methodology (§6.2.3).  A ``None`` budget never
     fires and costs one attribute check per poll.
+
+    A deadline optionally carries an :class:`Instrumentation` sink; the
+    algorithms report progress counters through :meth:`count`, which is a
+    no-op when no sink is attached.
     """
 
-    __slots__ = ("algorithm", "budget", "_expires_at")
+    __slots__ = ("algorithm", "budget", "instrumentation", "_expires_at")
 
-    def __init__(self, algorithm: str, budget_seconds: Optional[float] = None):
+    def __init__(
+        self,
+        algorithm: str,
+        budget_seconds: Optional[float] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
         self.algorithm = algorithm
         self.budget = budget_seconds
+        self.instrumentation = instrumentation
         if budget_seconds is None:
             self._expires_at = None
         else:
@@ -36,6 +92,11 @@ class Deadline:
     def check(self) -> None:
         if self._expires_at is not None and time.monotonic() > self._expires_at:
             raise AlgorithmTimeout(self.algorithm, self.budget or 0.0)
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        """Report algorithm work to the attached instrumentation, if any."""
+        if self.instrumentation is not None:
+            self.instrumentation.count(name, n)
 
     @classmethod
     def unlimited(cls, algorithm: str = "") -> "Deadline":

@@ -13,7 +13,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..exceptions import QueryError
-from .common import Deadline
+from .common import Deadline, Instrumentation
 from .exact import exact
 from .gkg import gkg
 from .objects import Dataset
@@ -23,10 +23,37 @@ from .skec import skec
 from .skeca import DEFAULT_EPSILON, skeca
 from .skecaplus import skeca_plus
 
-__all__ = ["MCKEngine", "ALGORITHMS"]
+__all__ = ["MCKEngine", "ALGORITHMS", "canonical_algorithm"]
 
 #: Canonical algorithm names, as used in the paper's figures.
 ALGORITHMS = ("GKG", "SKEC", "SKECa", "SKECa+", "EXACT")
+
+#: Accepted spellings (after stripping whitespace/underscores/dashes and
+#: uppercasing) mapped to the canonical paper name.
+_CANONICAL = {
+    "GKG": "GKG",
+    "SKEC": "SKEC",
+    "SKECA": "SKECa",
+    "SKECA+": "SKECa+",
+    "SKECAPLUS": "SKECa+",
+    "EXACT": "EXACT",
+}
+
+
+def canonical_algorithm(algorithm: str) -> str:
+    """Normalise an algorithm spelling to its canonical paper name.
+
+    Accepts any case, surrounding whitespace, and ``-``/``_`` separators —
+    ``"skeca_plus"``, ``" EXACT "`` and ``"SKECa+"`` all resolve.  Raises
+    :class:`~repro.exceptions.QueryError` for unknown names.
+    """
+    key = str(algorithm).strip().upper().replace("_", "").replace("-", "")
+    try:
+        return _CANONICAL[key]
+    except KeyError:
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
+        ) from None
 
 
 class MCKEngine:
@@ -71,6 +98,7 @@ class MCKEngine:
         algorithm: str = "SKECa+",
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> Group:
         """Answer one mCK query.
 
@@ -85,30 +113,38 @@ class MCKEngine:
         timeout:
             Optional wall-clock budget in seconds; exceeding it raises
             :class:`~repro.exceptions.AlgorithmTimeout`.
+        instrumentation:
+            Optional :class:`~repro.core.common.Instrumentation` sink; when
+            given, the context-compile and algorithm times plus the
+            algorithm's live pruning/search counters are recorded on it
+            (even if the query times out).
         """
-        ctx = self.context(keywords)
         runner = self._dispatch(algorithm, epsilon)
-        deadline = Deadline(algorithm, timeout)
+        compile_started = time.perf_counter()
+        ctx = self.context(keywords)
+        compile_seconds = time.perf_counter() - compile_started
+        deadline = Deadline(algorithm, timeout, instrumentation)
         started = time.perf_counter()
-        group = runner(ctx, deadline)
-        group.elapsed_seconds = time.perf_counter() - started
+        try:
+            group = runner(ctx, deadline)
+        finally:
+            elapsed = time.perf_counter() - started
+            if instrumentation is not None:
+                instrumentation.timings["context_seconds"] = compile_seconds
+                instrumentation.timings["algorithm_seconds"] = elapsed
+        group.elapsed_seconds = elapsed
+        if instrumentation is not None:
+            instrumentation.merge_group_stats(group.stats)
         return group
 
     def _dispatch(
         self, algorithm: str, epsilon: float
     ) -> Callable[[QueryContext, Deadline], Group]:
-        name = algorithm.strip().upper().replace("_", "").replace("-", "")
         table: Dict[str, Callable] = {
             "GKG": lambda ctx, dl: gkg(ctx, dl),
             "SKEC": lambda ctx, dl: skec(ctx, dl),
-            "SKECA": lambda ctx, dl: skeca(ctx, epsilon, dl),
-            "SKECA+": lambda ctx, dl: skeca_plus(ctx, epsilon, dl),
-            "SKECAPLUS": lambda ctx, dl: skeca_plus(ctx, epsilon, dl),
+            "SKECa": lambda ctx, dl: skeca(ctx, epsilon, dl),
+            "SKECa+": lambda ctx, dl: skeca_plus(ctx, epsilon, dl),
             "EXACT": lambda ctx, dl: exact(ctx, epsilon, dl),
         }
-        try:
-            return table[name]
-        except KeyError:
-            raise QueryError(
-                f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
-            ) from None
+        return table[canonical_algorithm(algorithm)]

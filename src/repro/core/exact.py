@@ -85,15 +85,18 @@ def exact_from_state(
             # Lemma 3: ø(SKECo) > 2/√3 · ø(MCC_Gskeca) means this pole
             # cannot be on the boundary of MCC_Gopt.
             pruned_poles += 1
+            deadline.count("pruned_poles")
             continue
         candidates = circle_scan_candidates(ctx, pole, diam)
         for cand_rows in candidates:
             deadline.check()
             searched += 1
+            deadline.count("candidate_circles")
             best_rows, best_diameter = branch_and_bound_search(
                 ctx, pole, cand_rows, best_rows, best_diameter, deadline
             )
 
+    best_rows = _prune_redundant_rows(ctx, best_rows)
     group = Group.from_rows(ctx, best_rows, algorithm="EXACT")
     # Guard against float drift between the incremental diameter and the
     # recomputed one.
@@ -101,6 +104,29 @@ def exact_from_state(
     group.stats["candidate_circles"] = float(searched)
     group.stats["pruned_poles"] = float(pruned_poles)
     return group
+
+
+def _prune_redundant_rows(ctx: QueryContext, rows: Sequence[int]) -> List[int]:
+    """Drop members whose keywords the rest of the group already covers.
+
+    The branch-and-bound incumbent is sometimes seeded by SKECa+'s enclosed
+    set, which may carry redundant objects; an irredundant cover has at
+    most one member per query keyword (≤ m members), and removing members
+    never grows the diameter, so optimality is preserved.
+    """
+    kept = list(dict.fromkeys(int(r) for r in rows))
+    full = ctx.full_mask
+    # Try to drop later rows first so the pole-adjacent seed order survives.
+    for row in sorted(kept, reverse=True):
+        if len(kept) == 1:
+            break
+        union = 0
+        for other in kept:
+            if other != row:
+                union |= ctx.masks[other]
+        if union == full:
+            kept.remove(row)
+    return kept
 
 
 def branch_and_bound_search(

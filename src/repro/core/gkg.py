@@ -42,6 +42,7 @@ def gkg(
     anchor_rows = ctx.rows_with_bit(ctx.t_inf_bit)
     if not anchor_rows:
         raise InfeasibleQueryError([ctx.t_inf])
+    deadline.count("anchors", len(anchor_rows))
 
     full = ctx.full_mask
     for anchor in anchor_rows:

@@ -43,6 +43,7 @@ def skec(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
     pole_order = np.argsort(ctx.cover_radii, kind="stable")
     for pole in (int(p) for p in pole_order):
         deadline.check()
+        deadline.count("poles_scanned")
         current = find_oskec(ctx, pole, current, deadline)
 
     rows = _enclosed_rows(ctx, current)
@@ -90,6 +91,7 @@ def find_oskec(
         oj_pt = (coords[oj, 0], coords[oj, 1])
 
         # Two-object case: segment pole-oj is the circle diameter.
+        deadline.count("candidate_circles")
         candidate = circle_from_two(pole, oj_pt)
         current = _try_candidate(ctx, candidate, current)
 
@@ -104,6 +106,7 @@ def find_oskec(
                 candidate = circle_from_three(pole, oj_pt, om_pt)
             except GeometryError:
                 continue
+            deadline.count("candidate_circles")
             current = _try_candidate(ctx, candidate, current)
     return current
 

@@ -106,6 +106,7 @@ def find_app_oskec(
     procedure), otherwise the best circle located within tolerance α.
     """
     deadline = deadline or Deadline.unlimited("SKECa")
+    deadline.count("circle_scans")
     hit = circle_scan(ctx, pole_row, current_ub)
     if hit is None:
         return None, 1
@@ -119,6 +120,8 @@ def find_app_oskec(
         deadline.check()
         diam = (ub + lb) / 2.0
         steps += 1
+        deadline.count("binary_steps")
+        deadline.count("circle_scans")
         hit = circle_scan(ctx, pole_row, diam)
         if hit is not None:
             ub = diam

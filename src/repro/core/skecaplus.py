@@ -117,6 +117,7 @@ def skeca_plus_state(
         deadline.check()
         diam = (search_ub + search_lb) / 2.0
         steps += 1
+        deadline.count("binary_steps")
         found_result = False
         eligible = int(np.searchsorted(sorted_radii, diam * (1.0 + 1e-12), side="right"))
         # The pole that hosted the last successful probe is the most likely
@@ -130,8 +131,10 @@ def skeca_plus_state(
             if diam <= max_invalid[pole]:
                 # Property 1: a diameter known to fail at this pole also
                 # rules out every smaller diameter.
+                deadline.count("property1_skips")
                 continue
             scans += 1
+            deadline.count("circle_scans")
             hit = circle_scan(ctx, pole, diam)
             if hit is not None:
                 search_ub = diam

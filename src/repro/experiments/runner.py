@@ -17,7 +17,7 @@ from ..baselines.asgk import asgk, asgka
 from ..baselines.brtree_method import brtree_method
 from ..baselines.bruteforce import brute_force_optimal
 from ..baselines.virbr import virbr
-from ..core.common import Deadline
+from ..core.common import Deadline, Instrumentation
 from ..core.engine import MCKEngine
 from ..core.exact import exact
 from ..core.gkg import gkg
@@ -56,12 +56,21 @@ class ExperimentRunner:
         epsilon: float = 0.01,
         reference_algorithm: str = "EXACT",
         reference_timeout: Optional[float] = None,
+        metrics=None,
     ):
         self.dataset = dataset
         self.engine = MCKEngine(dataset)
         self.epsilon = epsilon
         self.reference_algorithm = reference_algorithm
         self.reference_timeout = reference_timeout
+        if metrics is None:
+            # Shared process-wide registry so figure functions that build
+            # their own runners still report through one sink (the
+            # benchmark suite and `mck serve-bench` dump it as JSON).
+            from ..serving.stats import MetricsRegistry
+
+            metrics = MetricsRegistry.default()
+        self.metrics = metrics
         self._dispatch: Dict[str, Callable[[QueryContext, Deadline], Group]] = {
             "GKG": lambda ctx, dl: gkg(ctx, dl),
             "SKEC": lambda ctx, dl: skec(ctx, dl),
@@ -112,12 +121,14 @@ class ExperimentRunner:
     ) -> QueryMeasurement:
         """One timed (algorithm, query) sample."""
         runner = self._runner_for(algorithm)
-        deadline = Deadline(algorithm, timeout)
+        instr = Instrumentation()
+        deadline = Deadline(algorithm, timeout, instr)
         started = time.perf_counter()
         try:
             group = runner(ctx, deadline)
             elapsed = time.perf_counter() - started
-            return QueryMeasurement(
+            instr.merge_group_stats(group.stats)
+            measurement = QueryMeasurement(
                 algorithm=algorithm,
                 query_keywords=ctx.query.keywords,
                 elapsed_seconds=elapsed,
@@ -127,7 +138,7 @@ class ExperimentRunner:
             )
         except AlgorithmTimeout:
             elapsed = time.perf_counter() - started
-            return QueryMeasurement(
+            measurement = QueryMeasurement(
                 algorithm=algorithm,
                 query_keywords=ctx.query.keywords,
                 elapsed_seconds=elapsed,
@@ -135,8 +146,27 @@ class ExperimentRunner:
                 success=False,
                 optimal_diameter=optimal_diameter,
             )
+        self._record_metrics(measurement, instr)
+        return measurement
 
     # ------------------------------------------------------------------ #
+
+    def _record_metrics(self, m: QueryMeasurement, instr: Instrumentation) -> None:
+        from ..serving.stats import QueryStats
+
+        self.metrics.record(
+            QueryStats(
+                keywords=tuple(m.query_keywords),
+                algorithm=m.algorithm,
+                epsilon=self.epsilon,
+                context_seconds=instr.timings.get("context_seconds", 0.0),
+                algorithm_seconds=m.elapsed_seconds,
+                total_seconds=m.elapsed_seconds,
+                success=m.success,
+                diameter=m.diameter if m.success else float("nan"),
+                counters=dict(instr.counters),
+            )
+        )
 
     def _runner_for(self, algorithm: str) -> Callable:
         key = algorithm.strip().upper().replace("-", "").replace("_", "")

@@ -1,0 +1,19 @@
+"""Query-serving layer: batched execution, result caching, metrics.
+
+Built on top of :class:`~repro.core.engine.MCKEngine`; see
+``docs/serving.md`` for the full walkthrough.
+"""
+
+from .cache import ResultCache, make_cache_key
+from .service import QueryRequest, QueryService, ServedResult
+from .stats import MetricsRegistry, QueryStats
+
+__all__ = [
+    "QueryRequest",
+    "QueryService",
+    "ServedResult",
+    "ResultCache",
+    "make_cache_key",
+    "MetricsRegistry",
+    "QueryStats",
+]

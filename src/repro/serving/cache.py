@@ -1,0 +1,136 @@
+"""LRU + TTL result cache for answered mCK queries.
+
+Keys are ``(frozenset(keywords), canonical_algorithm, epsilon)`` — keyword
+*sets*, because an mCK answer is order-independent (and
+:class:`~repro.core.query.MCKQuery` deduplicates), and the canonical
+algorithm spelling, so ``"skeca_plus"`` and ``"SKECa+"`` share an entry.
+
+Entries expire ``ttl_seconds`` after insertion (``None`` disables expiry)
+and the least recently *used* entry is evicted beyond ``max_size``.  All
+operations are thread-safe; the clock is injectable so tests can drive
+TTL expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
+
+from ..core.engine import canonical_algorithm
+
+__all__ = ["ResultCache", "make_cache_key"]
+
+CacheKey = Tuple[frozenset, str, float]
+
+
+def make_cache_key(
+    keywords: Iterable[str], algorithm: str, epsilon: float
+) -> CacheKey:
+    """Build the canonical cache key for one query configuration."""
+    return (
+        frozenset(str(k) for k in keywords),
+        canonical_algorithm(algorithm),
+        float(epsilon),
+    )
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU cache with optional per-entry TTL."""
+
+    def __init__(
+        self,
+        max_size: int = 1024,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive or None, got {ttl_seconds}")
+        self.max_size = max(0, int(max_size))
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[object, Optional[float]]]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: Hashable):
+        """Return the cached value or ``None``; counts a hit or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        if self.max_size == 0:
+            return
+        expires_at = (
+            None if self.ttl_seconds is None else self._clock() + self.ttl_seconds
+        )
+        with self._lock:
+            self._entries[key] = (value, expires_at)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Presence check without touching LRU order or hit/miss counters."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            _value, expires_at = entry
+            return expires_at is None or self._clock() < expires_at
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry eagerly; returns how many were dropped."""
+        if self.ttl_seconds is None:
+            return 0
+        now = self._clock()
+        with self._lock:
+            stale = [
+                k
+                for k, (_v, expires_at) in self._entries.items()
+                if expires_at is not None and now >= expires_at
+            ]
+            for k in stale:
+                del self._entries[k]
+            self._expirations += len(stale)
+            return len(stale)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+            }

@@ -1,0 +1,403 @@
+"""Batched, cached, instrumented mCK query serving.
+
+:class:`QueryService` wraps one :class:`~repro.core.engine.MCKEngine` and
+answers *streams* of queries instead of one call at a time:
+
+* ``query_many()`` executes a batch concurrently on a thread pool (the
+  algorithms release no GIL but spend much of their time in numpy, so
+  threads already overlap usefully) and returns results in input order;
+* an optional :class:`~concurrent.futures.ProcessPoolExecutor` offloads
+  EXACT — the only algorithm whose branch-and-bound is CPU-bound pure
+  Python — to worker processes (``use_processes_for_exact=True``);
+* identical in-flight queries are coalesced (single-flight) and finished
+  answers are kept in an LRU+TTL :class:`~repro.serving.cache.ResultCache`
+  keyed by ``(frozenset(keywords), algorithm, epsilon)``;
+* every answer carries a :class:`~repro.serving.stats.QueryStats` record
+  and feeds a :class:`~repro.serving.stats.MetricsRegistry`.
+
+Failures the mCK model itself defines — infeasible queries, algorithm
+timeouts — surface as failed :class:`ServedResult` entries rather than
+poisoning the whole batch; programming errors still propagate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.common import Instrumentation
+from ..core.engine import MCKEngine, canonical_algorithm
+from ..core.objects import Dataset
+from ..core.result import Group
+from ..core.skeca import DEFAULT_EPSILON
+from ..exceptions import AlgorithmTimeout, ReproError
+from .cache import ResultCache, make_cache_key
+from .stats import MetricsRegistry, QueryStats
+
+__all__ = ["QueryRequest", "ServedResult", "QueryService"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One mCK query plus its execution parameters."""
+
+    keywords: Tuple[str, ...]
+    algorithm: str = "SKECa+"
+    epsilon: float = DEFAULT_EPSILON
+    timeout: Optional[float] = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "keywords", tuple(str(k) for k in self.keywords)
+        )
+
+    @classmethod
+    def coerce(
+        cls,
+        item: Union["QueryRequest", Sequence[str]],
+        algorithm: str = "SKECa+",
+        epsilon: float = DEFAULT_EPSILON,
+        timeout: Optional[float] = None,
+    ) -> "QueryRequest":
+        """Accept a ready request or a bare keyword sequence."""
+        if isinstance(item, QueryRequest):
+            return item
+        return cls(
+            keywords=tuple(item),
+            algorithm=algorithm,
+            epsilon=epsilon,
+            timeout=timeout,
+        )
+
+
+@dataclass
+class ServedResult:
+    """The service's answer to one request."""
+
+    request: QueryRequest
+    group: Optional[Group]
+    stats: QueryStats
+    #: Human-readable failure reason (``None`` on success).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.group is not None
+
+
+# --------------------------------------------------------------------- #
+# Process-pool plumbing.  Workers rebuild the engine once per process
+# (the initializer runs before any task) and return plain picklable
+# tuples — custom exceptions with multi-arg constructors do not survive
+# a round-trip through the result queue.
+# --------------------------------------------------------------------- #
+
+_WORKER_ENGINE: Optional[MCKEngine] = None
+
+
+def _process_worker_init(dataset: Dataset) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = MCKEngine(dataset)
+
+
+def _process_worker_query(
+    keywords: Tuple[str, ...],
+    algorithm: str,
+    epsilon: float,
+    timeout: Optional[float],
+):
+    assert _WORKER_ENGINE is not None, "process pool initializer did not run"
+    instr = Instrumentation()
+    try:
+        group = _WORKER_ENGINE.query(
+            keywords, algorithm, epsilon, timeout, instrumentation=instr
+        )
+        return ("ok", group, instr.counters, instr.timings)
+    except AlgorithmTimeout as err:
+        return ("timeout", str(err), instr.counters, instr.timings)
+    except ReproError as err:
+        return ("error", str(err), instr.counters, instr.timings)
+
+
+class QueryService:
+    """Serve batches of mCK queries over one dataset.
+
+    Parameters
+    ----------
+    source:
+        A finalized :class:`~repro.core.objects.Dataset` or an existing
+        :class:`~repro.core.engine.MCKEngine`.
+    max_workers:
+        Thread-pool width for ``query_many``/``submit`` (default:
+        ``min(8, cpu_count)``).
+    cache_size / cache_ttl:
+        Result-cache capacity and optional per-entry time-to-live in
+        seconds; ``cache_size=0`` disables caching (and single-flight
+        coalescing) entirely.
+    use_processes_for_exact:
+        Opt-in: run EXACT queries on a :class:`ProcessPoolExecutor` whose
+        workers each hold their own engine.  Worth it only when EXACT
+        dominates the workload; worker start-up re-indexes the dataset.
+    metrics:
+        A shared :class:`MetricsRegistry`; defaults to a private one.
+    """
+
+    def __init__(
+        self,
+        source: Union[Dataset, MCKEngine],
+        *,
+        max_workers: Optional[int] = None,
+        cache_size: int = 1024,
+        cache_ttl: Optional[float] = None,
+        use_processes_for_exact: bool = False,
+        process_workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        cache_clock=time.monotonic,
+    ):
+        self.engine = source if isinstance(source, MCKEngine) else MCKEngine(source)
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.cache = ResultCache(
+            max_size=cache_size, ttl_seconds=cache_ttl, clock=cache_clock
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="mck-serve"
+        )
+        self._use_processes_for_exact = use_processes_for_exact
+        self._process_workers = process_workers
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_pool_lock = Lock()
+        self._inflight: Dict[tuple, Future] = {}
+        self._inflight_lock = Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        keywords: Sequence[str],
+        algorithm: str = "SKECa+",
+        epsilon: float = DEFAULT_EPSILON,
+        timeout: Optional[float] = None,
+    ) -> ServedResult:
+        """Answer one query on the calling thread (cache + metrics apply)."""
+        return self._serve(
+            QueryRequest.coerce(keywords, algorithm, epsilon, timeout)
+        )
+
+    def submit(
+        self,
+        keywords: Union[QueryRequest, Sequence[str]],
+        algorithm: str = "SKECa+",
+        epsilon: float = DEFAULT_EPSILON,
+        timeout: Optional[float] = None,
+    ) -> "Future[ServedResult]":
+        """Enqueue one query; returns a future of its :class:`ServedResult`."""
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        request = QueryRequest.coerce(keywords, algorithm, epsilon, timeout)
+        return self._pool.submit(self._serve, request)
+
+    def query_many(
+        self,
+        requests: Iterable[Union[QueryRequest, Sequence[str]]],
+        algorithm: str = "SKECa+",
+        epsilon: float = DEFAULT_EPSILON,
+        timeout: Optional[float] = None,
+    ) -> List[ServedResult]:
+        """Answer a batch concurrently; results come back in input order."""
+        coerced = [
+            QueryRequest.coerce(item, algorithm, epsilon, timeout)
+            for item in requests
+        ]
+        futures = [self._pool.submit(self._serve, req) for req in coerced]
+        return [f.result() for f in futures]
+
+    def metrics_dict(self) -> dict:
+        """Aggregate metrics including the cache's current counters."""
+        self.metrics.record_cache(self.cache.stats())
+        return self.metrics.as_dict()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _serve(self, request: QueryRequest) -> ServedResult:
+        started = time.perf_counter()
+        key = self._cache_key(request)
+
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self._finish_hit(request, cached, started)
+            return self._serve_with_singleflight(request, key, started)
+
+        group, stats, error = self._execute(request, started)
+        self.metrics.record(stats)
+        return ServedResult(request=request, group=group, stats=stats, error=error)
+
+    def _serve_with_singleflight(
+        self, request: QueryRequest, key: tuple, started: float
+    ) -> ServedResult:
+        with self._inflight_lock:
+            fut = self._inflight.get(key)
+            if fut is None or fut.done():
+                fut = Future()
+                self._inflight[key] = fut
+                leader = True
+            else:
+                leader = False
+
+        if leader:
+            try:
+                group, stats, error = self._execute(request, started)
+                if group is not None:
+                    self.cache.put(key, group)
+                fut.set_result((group, error))
+            except BaseException as err:  # pragma: no cover - defensive
+                fut.set_exception(err)
+                raise
+            finally:
+                with self._inflight_lock:
+                    if self._inflight.get(key) is fut:
+                        del self._inflight[key]
+            self.metrics.record(stats)
+            return ServedResult(
+                request=request, group=group, stats=stats, error=error
+            )
+
+        # Follower: wait for the leader, then read its answer.  Re-probing
+        # the cache keeps the hit counters truthful; when the leader failed
+        # (nothing cached) the shared in-flight answer is used directly.
+        group, error = fut.result()
+        if group is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                group = cached
+        return self._finish_join(request, group, error, started)
+
+    def _cache_key(self, request: QueryRequest) -> Optional[tuple]:
+        if self.cache.max_size == 0:
+            return None
+        return make_cache_key(request.keywords, request.algorithm, request.epsilon)
+
+    def _execute(
+        self, request: QueryRequest, started: float
+    ) -> Tuple[Optional[Group], QueryStats, Optional[str]]:
+        """Run the algorithm (thread-local or process pool) and measure."""
+        algorithm = canonical_algorithm(request.algorithm)
+        stats = QueryStats(
+            keywords=request.keywords,
+            algorithm=algorithm,
+            epsilon=request.epsilon,
+        )
+        if self._use_processes_for_exact and algorithm == "EXACT":
+            outcome = self._run_in_process_pool(request)
+        else:
+            outcome = self._run_inline(request)
+        kind, payload, counters, timings = outcome
+        stats.counters = {k: float(v) for k, v in counters.items()}
+        stats.context_seconds = timings.get("context_seconds", 0.0)
+        stats.algorithm_seconds = timings.get("algorithm_seconds", 0.0)
+        stats.total_seconds = time.perf_counter() - started
+        if kind == "ok":
+            group: Group = payload
+            stats.diameter = group.diameter
+            stats.group_size = len(group)
+            return group, stats, None
+        stats.success = False
+        return None, stats, str(payload)
+
+    def _run_inline(self, request: QueryRequest):
+        instr = Instrumentation()
+        try:
+            group = self.engine.query(
+                request.keywords,
+                request.algorithm,
+                request.epsilon,
+                request.timeout,
+                instrumentation=instr,
+            )
+            return ("ok", group, instr.counters, instr.timings)
+        except AlgorithmTimeout as err:
+            return ("timeout", str(err), instr.counters, instr.timings)
+        except ReproError as err:
+            return ("error", str(err), instr.counters, instr.timings)
+
+    def _run_in_process_pool(self, request: QueryRequest):
+        pool = self._ensure_process_pool()
+        return pool.submit(
+            _process_worker_query,
+            request.keywords,
+            request.algorithm,
+            request.epsilon,
+            request.timeout,
+        ).result()
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        with self._process_pool_lock:
+            if self._process_pool is None:
+                workers = self._process_workers or min(4, os.cpu_count() or 1)
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_process_worker_init,
+                    initargs=(self.engine.dataset,),
+                )
+            return self._process_pool
+
+    def _finish_hit(
+        self, request: QueryRequest, group: Group, started: float
+    ) -> ServedResult:
+        stats = QueryStats(
+            keywords=request.keywords,
+            algorithm=canonical_algorithm(request.algorithm),
+            epsilon=request.epsilon,
+            total_seconds=time.perf_counter() - started,
+            cache_hit=True,
+            diameter=group.diameter,
+            group_size=len(group),
+        )
+        self.metrics.record(stats)
+        return ServedResult(request=request, group=group, stats=stats)
+
+    def _finish_join(
+        self,
+        request: QueryRequest,
+        group: Optional[Group],
+        error: Optional[str],
+        started: float,
+    ) -> ServedResult:
+        stats = QueryStats(
+            keywords=request.keywords,
+            algorithm=canonical_algorithm(request.algorithm),
+            epsilon=request.epsilon,
+            total_seconds=time.perf_counter() - started,
+            cache_hit=group is not None,
+            success=group is not None,
+            counters={"coalesced": 1.0},
+        )
+        if group is not None:
+            stats.diameter = group.diameter
+            stats.group_size = len(group)
+        self.metrics.record(stats)
+        return ServedResult(request=request, group=group, stats=stats, error=error)

@@ -1,0 +1,174 @@
+"""Per-query statistics and aggregate metrics for the serving layer.
+
+Every answered query yields one :class:`QueryStats` record: where the time
+went (context compile vs. algorithm), whether the result came from the
+cache, and the algorithm's search/pruning counters (circleScan
+invocations, candidate circles, Lemma-3 pole prunes, ...) as reported
+through :class:`~repro.core.common.Instrumentation`.
+
+A :class:`MetricsRegistry` folds those records into per-algorithm
+aggregates (latency mean/p50/p95, counter sums) plus service-wide cache
+counters, and renders everything as one JSON document — the shape the
+experiment harness, the benchmark suite and the ``mck serve-bench``
+subcommand all dump.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QueryStats", "MetricsRegistry"]
+
+
+@dataclass
+class QueryStats:
+    """Everything measured while answering one mCK query."""
+
+    keywords: Tuple[str, ...]
+    algorithm: str
+    epsilon: float
+    #: Seconds compiling (or fetching the cached) query context.
+    context_seconds: float = 0.0
+    #: Seconds inside the algorithm proper.
+    algorithm_seconds: float = 0.0
+    #: End-to-end seconds as observed by the service (includes cache probe).
+    total_seconds: float = 0.0
+    cache_hit: bool = False
+    success: bool = True
+    diameter: float = math.nan
+    group_size: int = 0
+    #: Search/pruning counters: ``circle_scans``, ``binary_steps``,
+    #: ``candidate_circles``, ``pruned_poles``, ``property1_skips``, ...
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "keywords": list(self.keywords),
+            "algorithm": self.algorithm,
+            "epsilon": self.epsilon,
+            "context_seconds": self.context_seconds,
+            "algorithm_seconds": self.algorithm_seconds,
+            "total_seconds": self.total_seconds,
+            "cache_hit": self.cache_hit,
+            "success": self.success,
+            "diameter": None if math.isnan(self.diameter) else self.diameter,
+            "group_size": self.group_size,
+            "counters": dict(self.counters),
+        }
+
+
+class _AlgorithmAggregate:
+    """Latency and counter totals for one algorithm (lock held by caller)."""
+
+    __slots__ = ("queries", "failures", "cache_hits", "latencies",
+                 "context_seconds", "algorithm_seconds", "counters")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.failures = 0
+        self.cache_hits = 0
+        self.latencies: List[float] = []
+        self.context_seconds = 0.0
+        self.algorithm_seconds = 0.0
+        self.counters: Dict[str, float] = {}
+
+    def add(self, stats: QueryStats) -> None:
+        self.queries += 1
+        if not stats.success:
+            self.failures += 1
+        if stats.cache_hit:
+            self.cache_hits += 1
+        else:
+            # Latency aggregates describe real algorithm executions; cache
+            # hits would drag every percentile toward ~0 and hide the
+            # algorithm's true cost.
+            self.latencies.append(stats.total_seconds)
+            self.context_seconds += stats.context_seconds
+            self.algorithm_seconds += stats.algorithm_seconds
+            for name, value in stats.counters.items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def as_dict(self) -> dict:
+        from ..experiments.metrics import percentile
+
+        executed = len(self.latencies)
+        return {
+            "queries": self.queries,
+            "executed": executed,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "latency_seconds": {
+                "mean": (sum(self.latencies) / executed) if executed else None,
+                "p50": percentile(self.latencies, 50.0) if executed else None,
+                "p95": percentile(self.latencies, 95.0) if executed else None,
+                "total": sum(self.latencies),
+            },
+            "context_seconds_total": self.context_seconds,
+            "algorithm_seconds_total": self.algorithm_seconds,
+            "counters": dict(self.counters),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe aggregate of :class:`QueryStats` plus cache counters."""
+
+    _default: Optional["MetricsRegistry"] = None
+    _default_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_algorithm: Dict[str, _AlgorithmAggregate] = {}
+        self._cache: Dict[str, int] = {}
+        self._records = 0
+
+    @classmethod
+    def default(cls) -> "MetricsRegistry":
+        """The process-wide registry used when no explicit one is wired."""
+        with cls._default_lock:
+            if cls._default is None:
+                cls._default = cls()
+            return cls._default
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, stats: QueryStats) -> None:
+        with self._lock:
+            self._records += 1
+            agg = self._by_algorithm.get(stats.algorithm)
+            if agg is None:
+                agg = self._by_algorithm[stats.algorithm] = _AlgorithmAggregate()
+            agg.add(stats)
+
+    def record_cache(self, counters: Dict[str, int]) -> None:
+        """Fold in (overwrite) the result cache's counter snapshot."""
+        with self._lock:
+            self._cache.update(counters)
+
+    @property
+    def total_queries(self) -> int:
+        with self._lock:
+            return self._records
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "queries_total": self._records,
+                "cache": dict(self._cache),
+                "algorithms": {
+                    name: agg.as_dict()
+                    for name, agg in sorted(self._by_algorithm.items())
+                },
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._by_algorithm.clear()
+            self._cache.clear()
+            self._records = 0

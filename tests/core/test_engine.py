@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.engine import ALGORITHMS, MCKEngine
+from repro.core.engine import ALGORITHMS, MCKEngine, canonical_algorithm
 from repro.core.objects import Dataset
 from repro.exceptions import AlgorithmTimeout, InfeasibleQueryError, QueryError
 from tests.conftest import feasible_query, make_random_dataset
@@ -39,6 +39,62 @@ class TestQueryDispatch:
         query = feasible_query(engine.dataset, 1, 4)
         with pytest.raises(AlgorithmTimeout):
             engine.query(query, algorithm="EXACT", timeout=-1.0)
+
+
+class TestDispatchAliases:
+    """Every reasonable spelling must resolve to the canonical name."""
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("GKG", "GKG"),
+            ("gkg", "GKG"),
+            (" GKG ", "GKG"),
+            ("SKEC", "SKEC"),
+            ("skec", "SKEC"),
+            ("SKECa", "SKECa"),
+            ("skeca", "SKECa"),
+            ("SKECa+", "SKECa+"),
+            ("skeca+", "SKECa+"),
+            ("skecaplus", "SKECa+"),
+            ("skeca_plus", "SKECa+"),
+            ("SKECA-PLUS", "SKECa+"),
+            (" SKECa+ ", "SKECa+"),
+            ("EXACT", "EXACT"),
+            ("exact", "EXACT"),
+            ("exact ", "EXACT"),
+            ("\tExAcT\n", "EXACT"),
+        ],
+    )
+    def test_canonical_algorithm(self, alias, canonical):
+        assert canonical_algorithm(alias) == canonical
+
+    @pytest.mark.parametrize(
+        "alias", ["exact ", " gkg", "Skeca_Plus", "skeca-plus", "SKECA+"]
+    )
+    def test_whitespace_and_case_variants_dispatch(self, engine, alias):
+        query = feasible_query(engine.dataset, 7, 2)
+        group = engine.query(query, algorithm=alias)
+        assert group.covers(engine.dataset, query)
+
+    def test_aliases_share_cache_key_semantics(self, engine):
+        query = feasible_query(engine.dataset, 8, 2)
+        a = engine.query(query, algorithm="skeca_plus")
+        b = engine.query(query, algorithm="SKECa+")
+        assert a.diameter == pytest.approx(b.diameter)
+
+    @pytest.mark.parametrize("bad", ["quantum", "", "SKECa++", "EXACTLY"])
+    def test_unknown_algorithm_message_lists_algorithms(self, engine, bad):
+        with pytest.raises(QueryError) as excinfo:
+            engine.query(["a"], algorithm=bad)
+        message = str(excinfo.value)
+        assert repr(bad) in message
+        for name in ALGORITHMS:
+            assert name in message
+
+    def test_canonical_algorithm_error_is_query_error(self):
+        with pytest.raises(QueryError):
+            canonical_algorithm("nope")
 
 
 class TestContextCache:

@@ -1,13 +1,28 @@
 """Every example script must run end-to-end (the examples are API docs)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
-ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+SRC_DIR = REPO_ROOT / "src"
+ALL_EXAMPLES = sorted(
+    p.name for p in EXAMPLES_DIR.glob("*.py") if not p.name.startswith("_")
+)
+
+
+def _example_env():
+    """The subprocess must see ``src/`` even without an installed package."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) if not existing else os.pathsep.join([str(SRC_DIR), existing])
+    )
+    return env
 
 
 @pytest.mark.parametrize("script", ALL_EXAMPLES)
@@ -18,6 +33,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # artefacts (SVGs) land in the temp dir, not the repo
+        env=_example_env(),
     )
     assert result.returncode == 0, (
         f"{script} failed:\n{result.stdout[-1500:]}\n{result.stderr[-1500:]}"

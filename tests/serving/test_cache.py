@@ -1,0 +1,131 @@
+"""Tests for the LRU+TTL result cache and its key normalisation."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.serving.cache import ResultCache, make_cache_key
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic TTL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCacheKey:
+    def test_keyword_order_and_duplicates_do_not_matter(self):
+        a = make_cache_key(["hotel", "shop"], "SKECa+", 0.01)
+        b = make_cache_key(["shop", "hotel", "shop"], "SKECa+", 0.01)
+        assert a == b
+
+    def test_algorithm_aliases_share_keys(self):
+        spellings = ["SKECa+", "skecaplus", "skeca_plus", " SKECA-PLUS "]
+        keys = {make_cache_key(["a"], s, 0.01) for s in spellings}
+        assert len(keys) == 1
+
+    def test_epsilon_distinguishes_keys(self):
+        assert make_cache_key(["a"], "SKECa+", 0.01) != make_cache_key(
+            ["a"], "SKECa+", 0.1
+        )
+
+    def test_algorithm_distinguishes_keys(self):
+        assert make_cache_key(["a"], "GKG", 0.01) != make_cache_key(
+            ["a"], "EXACT", 0.01
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(QueryError):
+            make_cache_key(["a"], "quantum", 0.01)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_size=4)
+        key = make_cache_key(["a"], "GKG", 0.01)
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_contains_does_not_touch_counters(self):
+        cache = ResultCache(max_size=4)
+        cache.put("k", "v")
+        assert "k" in cache
+        assert "missing" not in cache
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+
+    def test_zero_size_disables_storage(self):
+        cache = ResultCache(max_size=0)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+
+class TestLRUEviction:
+    def test_least_recently_used_goes_first(self):
+        cache = ResultCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_eviction_counter_monotone(self):
+        cache = ResultCache(max_size=1)
+        for i in range(5):
+            cache.put(i, i)
+        assert cache.stats()["evictions"] == 4
+        assert len(cache) == 1
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=4, ttl_seconds=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(9.9)
+        assert cache.get("k") == "v"
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        # The expired lookup counts as a miss, not a hit.
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=4, ttl_seconds=None, clock=clock)
+        cache.put("k", "v")
+        clock.advance(1e9)
+        assert cache.get("k") == "v"
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=8, ttl_seconds=5.0, clock=clock)
+        for i in range(3):
+            cache.put(i, i)
+        clock.advance(6.0)
+        cache.put("fresh", 1)
+        assert cache.purge_expired() == 3
+        assert len(cache) == 1
+        assert cache.stats()["expirations"] == 3
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(ttl_seconds=0.0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl_seconds=-1.0)

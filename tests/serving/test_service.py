@@ -1,0 +1,249 @@
+"""Tests for the batched QueryService: ordering, cache, stats, equivalence."""
+
+import pytest
+
+from repro import MCKEngine
+from repro.serving import QueryRequest, QueryService
+from repro.serving.cache import make_cache_key
+from tests.conftest import feasible_query, make_random_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_random_dataset(11, n=60)
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return [feasible_query(dataset, seed, 3) for seed in range(12)]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestOrderingAndEquivalence:
+    def test_results_in_input_order(self, dataset, queries):
+        with QueryService(dataset) as service:
+            results = service.query_many(queries)
+        assert [r.request.keywords for r in results] == [
+            tuple(q) for q in queries
+        ]
+
+    def test_batched_matches_sequential(self, dataset, queries):
+        engine = MCKEngine(dataset)
+        sequential = [engine.query(q, algorithm="SKECa+") for q in queries]
+        with QueryService(dataset) as service:
+            batched = service.query_many(queries, algorithm="SKECa+")
+        for seq, bat in zip(sequential, batched):
+            assert bat.ok
+            assert bat.group.diameter == pytest.approx(seq.diameter, abs=1e-12)
+
+    def test_repeated_queries_hit_cache_with_identical_answers(
+        self, dataset, queries
+    ):
+        """The acceptance-criteria scenario: >= 100 repeated queries."""
+        engine = MCKEngine(dataset)
+        sequential = {
+            tuple(q): engine.query(q, algorithm="SKECa+").diameter
+            for q in queries
+        }
+        batch = [QueryRequest(tuple(q)) for q in queries] * 9  # 108 requests
+        with QueryService(dataset, cache_size=64) as service:
+            results = service.query_many(batch)
+            metrics = service.metrics_dict()
+        assert len(results) == 108
+        for r in results:
+            assert r.ok, r.error
+            assert r.group.diameter == pytest.approx(
+                sequential[r.request.keywords], abs=1e-12
+            )
+        assert metrics["cache"]["hits"] > 0
+        assert metrics["queries_total"] == 108
+        # Far fewer executions than requests: cache + single-flight.
+        assert metrics["algorithms"]["SKECa+"]["executed"] < 108
+
+    def test_mixed_algorithms_batch(self, dataset, queries):
+        requests = [
+            QueryRequest(tuple(queries[0]), algorithm="GKG"),
+            QueryRequest(tuple(queries[0]), algorithm="SKECa+"),
+            QueryRequest(tuple(queries[0]), algorithm="EXACT"),
+        ]
+        with QueryService(dataset) as service:
+            gkg, skecap, exact = service.query_many(requests)
+        assert gkg.ok and skecap.ok and exact.ok
+        assert exact.group.diameter <= gkg.group.diameter + 1e-9
+        assert exact.group.diameter <= skecap.group.diameter + 1e-9
+
+
+class TestCacheBehaviour:
+    def test_second_query_is_a_hit(self, dataset, queries):
+        with QueryService(dataset) as service:
+            first = service.query(queries[0])
+            second = service.query(queries[0])
+        assert not first.stats.cache_hit
+        assert second.stats.cache_hit
+        assert second.group.diameter == first.group.diameter
+
+    def test_alias_spellings_share_cache_entries(self, dataset, queries):
+        with QueryService(dataset) as service:
+            service.query(queries[0], algorithm="SKECa+")
+            aliased = service.query(queries[0], algorithm="skeca_plus")
+        assert aliased.stats.cache_hit
+
+    def test_ttl_expiry_forces_recompute(self, dataset, queries):
+        clock = FakeClock()
+        with QueryService(
+            dataset, cache_ttl=30.0, cache_clock=clock
+        ) as service:
+            service.query(queries[0])
+            clock.advance(31.0)
+            again = service.query(queries[0])
+            stats = service.cache.stats()
+        assert not again.stats.cache_hit
+        assert stats["expirations"] == 1
+
+    def test_cache_disabled(self, dataset, queries):
+        with QueryService(dataset, cache_size=0) as service:
+            service.query(queries[0])
+            second = service.query(queries[0])
+        assert not second.stats.cache_hit
+
+    def test_cache_key_present_after_query(self, dataset, queries):
+        with QueryService(dataset) as service:
+            service.query(queries[0], algorithm="GKG", epsilon=0.05)
+            key = make_cache_key(queries[0], "GKG", 0.05)
+            assert key in service.cache
+
+
+class TestStatsAndMetrics:
+    def test_query_stats_fields(self, dataset, queries):
+        with QueryService(dataset) as service:
+            result = service.query(queries[0], algorithm="SKECa+")
+        s = result.stats
+        assert s.algorithm == "SKECa+"
+        assert s.total_seconds > 0.0
+        assert s.algorithm_seconds > 0.0
+        assert s.context_seconds >= 0.0
+        assert s.group_size == len(result.group)
+        assert s.diameter == result.group.diameter
+        assert s.counters.get("circle_scans", 0) >= 0
+
+    def test_exact_reports_pruning_counters(self, dataset, queries):
+        with QueryService(dataset) as service:
+            result = service.query(queries[0], algorithm="EXACT")
+        # EXACT always reports its candidate/pruning counters, even when 0.
+        assert "candidate_circles" in result.stats.counters
+        assert "pruned_poles" in result.stats.counters
+
+    def test_metrics_monotone_over_batches(self, dataset, queries):
+        with QueryService(dataset) as service:
+            totals = []
+            for _ in range(3):
+                service.query_many(queries[:4])
+                totals.append(service.metrics.total_queries)
+        assert totals == sorted(totals)
+        assert totals[-1] == 12
+
+    def test_metrics_dict_includes_cache_section(self, dataset, queries):
+        with QueryService(dataset) as service:
+            service.query(queries[0])
+            dump = service.metrics_dict()
+        assert dump["cache"]["misses"] >= 1
+        assert "max_size" in dump["cache"]
+
+
+class TestFailureIsolation:
+    def test_timeout_yields_failed_result_not_exception(self, dataset, queries):
+        requests = [
+            QueryRequest(tuple(queries[0]), algorithm="EXACT", timeout=-1.0),
+            QueryRequest(tuple(queries[1]), algorithm="GKG"),
+        ]
+        with QueryService(dataset, cache_size=0) as service:
+            failed, okay = service.query_many(requests)
+        assert not failed.ok
+        assert not failed.stats.success
+        assert "budget" in failed.error
+        assert okay.ok
+
+    def test_infeasible_query_isolated(self, dataset, queries):
+        requests = [
+            QueryRequest(("no-such-keyword-anywhere",)),
+            QueryRequest(tuple(queries[0])),
+        ]
+        with QueryService(dataset, cache_size=0) as service:
+            bad, good = service.query_many(requests)
+        assert not bad.ok
+        assert "covered" in bad.error
+        assert good.ok
+
+    def test_failures_are_not_cached(self, dataset, queries):
+        req = QueryRequest(tuple(queries[0]), algorithm="EXACT", timeout=-1.0)
+        with QueryService(dataset) as service:
+            service.query_many([req])
+            retry = service.query(queries[0], algorithm="EXACT")
+        assert retry.ok
+        assert not retry.stats.cache_hit
+
+
+class TestSubmitAndLifecycle:
+    def test_submit_returns_future(self, dataset, queries):
+        with QueryService(dataset) as service:
+            future = service.submit(queries[0])
+            result = future.result(timeout=60)
+        assert result.ok
+
+    def test_submit_after_close_raises(self, dataset, queries):
+        service = QueryService(dataset)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(queries[0])
+
+    def test_close_is_idempotent(self, dataset):
+        service = QueryService(dataset)
+        service.close()
+        service.close()
+
+    def test_accepts_prebuilt_engine(self, dataset, queries):
+        engine = MCKEngine(dataset)
+        with QueryService(engine) as service:
+            assert service.engine is engine
+            assert service.query(queries[0]).ok
+
+
+class TestSingleFlight:
+    def test_identical_concurrent_queries_coalesce(self, dataset, queries):
+        batch = [QueryRequest(tuple(queries[0]))] * 24
+        with QueryService(dataset, max_workers=8) as service:
+            results = service.query_many(batch)
+            executed = service.metrics_dict()["algorithms"]["SKECa+"]["executed"]
+        diameters = {r.group.diameter for r in results if r.ok}
+        assert len(diameters) == 1
+        assert all(r.ok for r in results)
+        # One leader computes; everyone else joins the flight or hits the
+        # cache.  (A tiny race can elect a second leader; never 24.)
+        assert executed <= 3
+
+
+class TestProcessPool:
+    def test_exact_via_process_pool_matches_inline(self):
+        dataset = make_random_dataset(21, n=25)
+        query = feasible_query(dataset, 3, 3)
+        inline = MCKEngine(dataset).query(query, algorithm="EXACT")
+        with QueryService(
+            dataset,
+            use_processes_for_exact=True,
+            process_workers=2,
+            cache_size=0,
+        ) as service:
+            served = service.query(query, algorithm="EXACT")
+        assert served.ok
+        assert served.group.diameter == pytest.approx(inline.diameter, abs=1e-12)
+        assert sorted(served.group.object_ids) == sorted(inline.object_ids)

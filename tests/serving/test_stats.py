@@ -1,0 +1,105 @@
+"""Tests for QueryStats records and the MetricsRegistry aggregates."""
+
+import json
+import math
+
+from repro.serving.stats import MetricsRegistry, QueryStats
+
+
+def _stats(algorithm="SKECa+", seconds=0.5, cache_hit=False, success=True, **counters):
+    return QueryStats(
+        keywords=("a", "b"),
+        algorithm=algorithm,
+        epsilon=0.01,
+        context_seconds=0.1,
+        algorithm_seconds=seconds,
+        total_seconds=seconds,
+        cache_hit=cache_hit,
+        success=success,
+        diameter=1.0,
+        group_size=2,
+        counters={k: float(v) for k, v in counters.items()},
+    )
+
+
+class TestQueryStats:
+    def test_as_dict_is_json_serializable(self):
+        d = _stats(circle_scans=3).as_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["counters"] == {"circle_scans": 3.0}
+
+    def test_nan_diameter_becomes_none(self):
+        s = _stats()
+        s.diameter = math.nan
+        assert s.as_dict()["diameter"] is None
+
+
+class TestMetricsRegistry:
+    def test_record_aggregates_per_algorithm(self):
+        reg = MetricsRegistry()
+        reg.record(_stats("GKG", 0.1))
+        reg.record(_stats("GKG", 0.3))
+        reg.record(_stats("EXACT", 1.0))
+        dump = reg.as_dict()
+        assert dump["queries_total"] == 3
+        gkg = dump["algorithms"]["GKG"]
+        assert gkg["queries"] == 2
+        assert gkg["executed"] == 2
+        assert gkg["latency_seconds"]["mean"] == (0.1 + 0.3) / 2
+        assert gkg["latency_seconds"]["p50"] is not None
+        assert gkg["latency_seconds"]["p95"] is not None
+
+    def test_cache_hits_do_not_skew_latency(self):
+        reg = MetricsRegistry()
+        reg.record(_stats(seconds=1.0))
+        for _ in range(10):
+            reg.record(_stats(seconds=0.000001, cache_hit=True))
+        agg = reg.as_dict()["algorithms"]["SKECa+"]
+        assert agg["queries"] == 11
+        assert agg["cache_hits"] == 10
+        assert agg["executed"] == 1
+        assert agg["latency_seconds"]["mean"] == 1.0
+
+    def test_counters_sum(self):
+        reg = MetricsRegistry()
+        reg.record(_stats(circle_scans=2, pruned_poles=1))
+        reg.record(_stats(circle_scans=5))
+        counters = reg.as_dict()["algorithms"]["SKECa+"]["counters"]
+        assert counters["circle_scans"] == 7.0
+        assert counters["pruned_poles"] == 1.0
+
+    def test_failures_counted(self):
+        reg = MetricsRegistry()
+        reg.record(_stats(success=False))
+        assert reg.as_dict()["algorithms"]["SKECa+"]["failures"] == 1
+
+    def test_counts_are_monotone(self):
+        reg = MetricsRegistry()
+        seen = []
+        for i in range(5):
+            reg.record(_stats(seconds=0.1 * (i + 1)))
+            seen.append(reg.total_queries)
+        assert seen == sorted(seen)
+        assert seen[-1] == 5
+
+    def test_record_cache_snapshot(self):
+        reg = MetricsRegistry()
+        reg.record_cache({"hits": 3, "misses": 1})
+        reg.record_cache({"hits": 5, "misses": 2, "evictions": 1})
+        assert reg.as_dict()["cache"] == {"hits": 5, "misses": 2, "evictions": 1}
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.record(_stats())
+        parsed = json.loads(reg.to_json())
+        assert parsed["queries_total"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.record(_stats())
+        reg.reset()
+        assert reg.as_dict()["queries_total"] == 0
+        assert reg.as_dict()["algorithms"] == {}
+
+    def test_default_is_a_singleton(self):
+        assert MetricsRegistry.default() is MetricsRegistry.default()
