@@ -32,17 +32,22 @@ def dump_metrics(path=None):
 
     Every :class:`~repro.experiments.runner.ExperimentRunner` the figure
     functions create reports into ``MetricsRegistry.default()``, so after a
-    benchmark run this holds per-algorithm latency aggregates and the
-    circleScan/pruning counters of everything that executed.
+    benchmark run this holds per-algorithm latency aggregates (including
+    the p50/p95/p99 histogram snapshots) and the circleScan/pruning
+    counters of everything that executed.  A Prometheus text rendering of
+    the same registry lands next to it at ``<path>.prom``.
     """
     from repro.serving.stats import MetricsRegistry
 
     target = path or METRICS_PATH
     if not target:
         return None
+    registry = MetricsRegistry.default()
     with open(target, "w") as fh:
-        fh.write(MetricsRegistry.default().to_json())
+        fh.write(registry.to_json())
         fh.write("\n")
+    with open(target + ".prom", "w") as fh:
+        fh.write(registry.to_prometheus())
     return target
 
 

@@ -12,3 +12,6 @@ python -m compileall -q src
 
 echo "== pytest =="
 python -m pytest -q "$@"
+
+echo "== trace smoke =="
+python scripts/trace_smoke.py

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Observability smoke check: run ``mck trace`` on a tiny synthetic dataset
+and validate both exporter outputs.
+
+Checks, in order:
+
+1. ``mck trace`` exits 0 and writes both files;
+2. the Chrome trace is valid JSON with a non-empty ``traceEvents`` list of
+   complete ("ph": "X") events, including a ``serve.request`` root and at
+   least one algorithm-level span (binary_step / circlescan / gkg);
+3. the Prometheus text parses line-by-line: every sample line matches the
+   exposition grammar, ``mck_query_latency_seconds`` has cumulative
+   histogram buckets and both ``cache="hit"`` and ``cache="miss"`` series.
+
+Run from the repo root: ``python scripts/trace_smoke.py [algorithm]``.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})? -?(?:[0-9.e+-]+|\+Inf|NaN)$"
+)
+
+
+def fail(message):
+    print(f"trace-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    algorithm = sys.argv[1] if len(sys.argv) > 1 else "SKECa+"
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.json"
+        prom_path = Path(tmp) / "metrics.prom"
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "trace",
+            "--preset",
+            "NY",
+            "--scale",
+            "0.005",
+            "--m",
+            "3",
+            "--queries",
+            "3",
+            "--repeat",
+            "2",
+            "--algorithm",
+            algorithm,
+            "--trace-out",
+            str(trace_path),
+            "--prom-out",
+            str(prom_path),
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(cmd, cwd=REPO, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail(f"mck trace exited {proc.returncode}:\n{proc.stderr}")
+
+        # -- Chrome trace ------------------------------------------------ #
+        document = json.loads(trace_path.read_text())
+        events = document.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            fail("traceEvents missing or empty")
+        names = {e["name"] for e in events}
+        for event in events:
+            for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+                if field not in event:
+                    fail(f"trace event missing {field!r}: {event}")
+            if event["ph"] != "X":
+                fail(f"unexpected phase {event['ph']!r}")
+        if "serve.request" not in names:
+            fail(f"no serve.request span in {sorted(names)}")
+        algo_spans = {
+            "skecaplus.binary_step",
+            "skeca.binary_step",
+            "circlescan",
+            "gkg.anchor_round",
+            "gkg.run",
+            "exact.search",
+            "skec.pole",
+        }
+        if not (names & algo_spans):
+            fail(f"no algorithm-level spans in {sorted(names)}")
+
+        # -- Prometheus text --------------------------------------------- #
+        prom = prom_path.read_text()
+        hit = miss = buckets = 0
+        for line in prom.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            if not SAMPLE_RE.match(line):
+                fail(f"malformed exposition line: {line!r}")
+            if line.startswith("mck_query_latency_seconds_bucket"):
+                buckets += 1
+                if 'cache="hit"' in line:
+                    hit += 1
+                if 'cache="miss"' in line:
+                    miss += 1
+        if buckets == 0:
+            fail("no mck_query_latency_seconds buckets")
+        if miss == 0:
+            fail("no cache=miss latency series")
+        if hit == 0:
+            fail("no cache=hit latency series (repeat>=2 should produce hits)")
+
+    print(
+        f"trace-smoke: OK ({len(events)} events, {len(names)} span names, "
+        f"{buckets} latency buckets, hit/miss series present)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,11 @@ Subcommands
 ``stats``       print Table-1-style statistics for a dataset file
 ``serve-bench`` replay a query workload through the batched
                 :class:`~repro.serving.QueryService` and dump JSON metrics
+``trace``       serve a small workload with the span tracer attached and
+                write a Chrome trace-event JSON (plus optional Prometheus
+                text exposition of the latency histograms)
+``metrics``     run a nested ``mck`` command, then pretty-print the
+                process-wide :class:`~repro.serving.stats.MetricsRegistry`
 """
 
 from __future__ import annotations
@@ -129,6 +134,73 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON dump here instead of stdout"
     )
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace a small served workload; write Chrome trace JSON",
+    )
+    trace.add_argument(
+        "--dataset", default=None, help="JSON-lines dataset path (overrides --preset)"
+    )
+    trace.add_argument("--preset", choices=["NY", "LA", "TW"], default="NY")
+    trace.add_argument("--scale", type=float, default=0.01)
+    trace.add_argument("--m", type=int, default=4, help="keywords per query")
+    trace.add_argument(
+        "--queries", type=int, default=5, help="distinct queries in the workload"
+    )
+    trace.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="workload replays (>=2 exercises both cache hit and miss paths)",
+    )
+    trace.add_argument(
+        "--algorithm",
+        default="SKECa+",
+        choices=["GKG", "SKEC", "SKECa", "SKECa+", "EXACT"],
+    )
+    trace.add_argument("--epsilon", type=float, default=0.01)
+    trace.add_argument("--timeout", type=float, default=None)
+    trace.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of root spans to record (0..1)",
+    )
+    trace.add_argument(
+        "--trace-out",
+        default="mck-trace.json",
+        help="Chrome trace-event JSON output path (open in Perfetto)",
+    )
+    trace.add_argument(
+        "--prom-out",
+        default=None,
+        help="also write Prometheus text exposition of the metrics here",
+    )
+    trace.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs (with correlation ids) to stderr",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(handler=_cmd_trace)
+
+    met = sub.add_parser(
+        "metrics",
+        help="run a nested mck command, then pretty-print the default metrics registry",
+    )
+    met.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus text exposition instead of JSON",
+    )
+    met.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="COMMAND",
+        help="nested mck command executed before the registry is printed",
+    )
+    met.set_defaults(handler=_cmd_metrics)
     return parser
 
 
@@ -263,6 +335,104 @@ def _cmd_serve_bench(args) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+    from collections import Counter as _Counter
+
+    from .datasets.queries import generate_queries
+    from .observability.exporters import write_chrome_trace
+    from .observability.logging import configure_logging
+    from .observability.tracer import Tracer, set_tracer
+    from .serving import QueryRequest, QueryService
+    from .serving.stats import MetricsRegistry
+
+    if not 0.0 <= args.sample_rate <= 1.0:
+        print("trace: --sample-rate must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.log_json:
+        import logging as _logging
+
+        configure_logging(level=_logging.DEBUG)
+
+    if args.dataset:
+        dataset = load_jsonl(args.dataset)
+    else:
+        maker = {"NY": make_ny_like, "LA": make_la_like, "TW": make_tw_like}[
+            args.preset
+        ]
+        dataset = maker(scale=args.scale, seed=args.seed)
+
+    workload = generate_queries(
+        dataset, m=args.m, count=args.queries, seed=args.seed
+    )
+    requests = [
+        QueryRequest(
+            keywords=q.keywords,
+            algorithm=args.algorithm,
+            epsilon=args.epsilon,
+            timeout=args.timeout,
+        )
+        for q in workload
+    ]
+
+    tracer = Tracer(sample_rate=args.sample_rate)
+    # Install globally so index builds and any code outside the service's
+    # explicit wiring land in the same trace.
+    set_tracer(tracer)
+    registry = MetricsRegistry()
+    failures = 0
+    try:
+        with QueryService(dataset, metrics=registry, tracer=tracer) as service:
+            for _round in range(max(1, args.repeat)):
+                for result in service.query_many(requests):
+                    if not result.ok:
+                        failures += 1
+            registry.record_cache(service.cache.stats())
+    finally:
+        set_tracer(None)
+
+    events = write_chrome_trace(tracer, args.trace_out)
+    by_name = _Counter(span["name"] for span in tracer.finished_spans())
+    print(f"served {len(requests) * max(1, args.repeat)} requests "
+          f"({failures} failed) over {len(dataset)} objects")
+    print(f"wrote {events} trace events to {args.trace_out}")
+    for name, count in sorted(by_name.items()):
+        print(f"  {name:32s} {count}")
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(registry.to_prometheus())
+        print(f"wrote Prometheus metrics to {args.prom_out}")
+    else:
+        summary = registry.as_dict()["histograms"].get(
+            "mck_query_latency_seconds", {}
+        )
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .serving.stats import MetricsRegistry
+
+    rest = [arg for arg in args.rest if arg != "--"]
+    if not rest:
+        print(
+            "metrics: a nested mck command is required "
+            "(e.g. mck metrics experiment table1)",
+            file=sys.stderr,
+        )
+        return 2
+    if rest[0] == "metrics":
+        print("metrics: cannot nest the metrics command", file=sys.stderr)
+        return 2
+    rc = main(rest)
+    registry = MetricsRegistry.default()
+    if args.prometheus:
+        print(registry.to_prometheus(), end="")
+    else:
+        print(registry.to_json())
+    return rc
 
 
 def _cmd_stats(args) -> int:

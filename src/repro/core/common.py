@@ -6,15 +6,21 @@ import time
 from typing import Dict, Optional
 
 from ..exceptions import AlgorithmTimeout
+from ..observability import tracer as _tracing
 
-__all__ = ["Deadline", "Instrumentation", "SQRT3_FACTOR"]
+__all__ = [
+    "Deadline",
+    "Instrumentation",
+    "SQRT3_FACTOR",
+    "instrumentation_span",
+]
 
 #: The recurring bound 2/sqrt(3) ≈ 1.1547 (Theorems 4–5, Lemma 2).
 SQRT3_FACTOR = 2.0 / (3.0**0.5)
 
 
 class Instrumentation:
-    """Per-query counter and timing sink threaded through the algorithms.
+    """Per-query counter, timing and span sink threaded through the algorithms.
 
     The algorithms already report summary counters on the returned
     :class:`~repro.core.result.Group`; an ``Instrumentation`` object is
@@ -26,16 +32,64 @@ class Instrumentation:
     Counters are plain floats under well-known names: ``circle_scans``,
     ``binary_steps``, ``candidate_circles``, ``pruned_poles``,
     ``anchors``, ``poles_scanned``.
+
+    An optional :class:`~repro.observability.tracer.Tracer` may be
+    attached (``tracer`` slot); :meth:`span` then opens nested spans
+    around algorithm phases.  With no tracer attached (and none installed
+    globally) span calls return the shared no-op span — near-zero cost.
     """
 
-    __slots__ = ("counters", "timings")
+    __slots__ = ("counters", "timings", "tracer")
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.counters: Dict[str, float] = {}
         self.timings: Dict[str, float] = {}
+        self.tracer = tracer
 
     def count(self, name: str, n: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + n
+
+    def record_max(self, name: str, value: float) -> None:
+        """Keep the largest observed value (e.g. ``search_depth_max``)."""
+        current = self.counters.get(name, 0.0)
+        if value > current:
+            self.counters[name] = float(value)
+
+    def span(self, name: str, **attributes):
+        """Open a span on the attached (or global) tracer; no-op otherwise."""
+        tracer = self.tracer
+        if tracer is None:
+            tracer = _tracing._GLOBAL_TRACER
+            if tracer is None:
+                return _tracing.NULL_SPAN
+        return tracer.span(name, **attributes)
+
+    # -- cross-boundary counter transport ------------------------------- #
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of the counters, for later :meth:`deltas_since`."""
+        return dict(self.counters)
+
+    def deltas_since(self, snapshot: Dict[str, float]) -> Dict[str, float]:
+        """Counter increments since ``snapshot`` was taken.
+
+        The EXACT process-pool workers report *deltas* rather than raw
+        totals, so a reused worker (whose engine, caches and counters
+        outlive one task) never leaks earlier queries' work into the
+        parent's registry — and a fresh worker reports the same numbers
+        either way.
+        """
+        deltas: Dict[str, float] = {}
+        for name, value in self.counters.items():
+            diff = value - snapshot.get(name, 0.0)
+            if diff != 0.0:
+                deltas[name] = diff
+        return deltas
+
+    def merge_counters(self, deltas: Dict[str, float]) -> None:
+        """Fold another instrumentation's counter *deltas* in (summing)."""
+        for name, value in deltas.items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
 
     #: Group stats that are parameters rather than work counters; they
     #: would be meaningless summed across queries.
@@ -59,6 +113,16 @@ class Instrumentation:
         return merged
 
 
+def instrumentation_span(instrumentation: Optional[Instrumentation], name: str, **attributes):
+    """Span via an instrumentation's tracer, the global tracer, or no-op."""
+    if instrumentation is not None:
+        return instrumentation.span(name, **attributes)
+    tracer = _tracing._GLOBAL_TRACER
+    if tracer is None:
+        return _tracing.NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
 class Deadline:
     """A cooperative wall-clock budget.
 
@@ -69,8 +133,9 @@ class Deadline:
     fires and costs one attribute check per poll.
 
     A deadline optionally carries an :class:`Instrumentation` sink; the
-    algorithms report progress counters through :meth:`count`, which is a
-    no-op when no sink is attached.
+    algorithms report progress counters through :meth:`count` and open
+    trace spans through :meth:`span`, both no-ops when no sink (or tracer)
+    is attached.
     """
 
     __slots__ = ("algorithm", "budget", "instrumentation", "_expires_at")
@@ -97,6 +162,20 @@ class Deadline:
         """Report algorithm work to the attached instrumentation, if any."""
         if self.instrumentation is not None:
             self.instrumentation.count(name, n)
+
+    def record_max(self, name: str, value: float) -> None:
+        if self.instrumentation is not None:
+            self.instrumentation.record_max(name, value)
+
+    def span(self, name: str, **attributes):
+        """Open a trace span for an algorithm phase (no-op when untraced)."""
+        instr = self.instrumentation
+        if instr is not None:
+            return instr.span(name, **attributes)
+        tracer = _tracing._GLOBAL_TRACER
+        if tracer is None:
+            return _tracing.NULL_SPAN
+        return tracer.span(name, **attributes)
 
     @classmethod
     def unlimited(cls, algorithm: str = "") -> "Deadline":

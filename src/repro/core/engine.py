@@ -13,7 +13,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..exceptions import QueryError
-from .common import Deadline, Instrumentation
+from .common import Deadline, Instrumentation, instrumentation_span
 from .exact import exact
 from .gkg import gkg
 from .objects import Dataset
@@ -119,19 +119,27 @@ class MCKEngine:
             algorithm's live pruning/search counters are recorded on it
             (even if the query times out).
         """
+        canonical = canonical_algorithm(algorithm)
         runner = self._dispatch(algorithm, epsilon)
-        compile_started = time.perf_counter()
-        ctx = self.context(keywords)
-        compile_seconds = time.perf_counter() - compile_started
-        deadline = Deadline(algorithm, timeout, instrumentation)
-        started = time.perf_counter()
-        try:
-            group = runner(ctx, deadline)
-        finally:
-            elapsed = time.perf_counter() - started
-            if instrumentation is not None:
-                instrumentation.timings["context_seconds"] = compile_seconds
-                instrumentation.timings["algorithm_seconds"] = elapsed
+        with instrumentation_span(
+            instrumentation, "engine.query", algorithm=canonical
+        ):
+            compile_started = time.perf_counter()
+            with instrumentation_span(instrumentation, "engine.context_compile"):
+                ctx = self.context(keywords)
+            compile_seconds = time.perf_counter() - compile_started
+            deadline = Deadline(algorithm, timeout, instrumentation)
+            started = time.perf_counter()
+            try:
+                with instrumentation_span(
+                    instrumentation, "engine.algorithm", algorithm=canonical
+                ):
+                    group = runner(ctx, deadline)
+            finally:
+                elapsed = time.perf_counter() - started
+                if instrumentation is not None:
+                    instrumentation.timings["context_seconds"] = compile_seconds
+                    instrumentation.timings["algorithm_seconds"] = elapsed
         group.elapsed_seconds = elapsed
         if instrumentation is not None:
             instrumentation.merge_group_stats(group.stats)

@@ -42,7 +42,8 @@ def exact(
 ) -> Group:
     """Run EXACT; returns the optimal group."""
     deadline = deadline or Deadline.unlimited("EXACT")
-    state = skeca_plus_state(ctx, epsilon, deadline)
+    with deadline.span("exact.skeca_plus_bound"):
+        state = skeca_plus_state(ctx, epsilon, deadline)
     return exact_from_state(ctx, state, deadline)
 
 
@@ -87,14 +88,19 @@ def exact_from_state(
             pruned_poles += 1
             deadline.count("pruned_poles")
             continue
-        candidates = circle_scan_candidates(ctx, pole, diam)
+        with deadline.span("exact.candidate_enumeration", pole=pole) as enum_span:
+            candidates = circle_scan_candidates(ctx, pole, diam)
+            enum_span.set_attribute("candidates", len(candidates))
         for cand_rows in candidates:
             deadline.check()
             searched += 1
             deadline.count("candidate_circles")
-            best_rows, best_diameter = branch_and_bound_search(
-                ctx, pole, cand_rows, best_rows, best_diameter, deadline
-            )
+            with deadline.span(
+                "exact.search", pole=pole, candidate_size=len(cand_rows)
+            ):
+                best_rows, best_diameter = branch_and_bound_search(
+                    ctx, pole, cand_rows, best_rows, best_diameter, deadline
+                )
 
     best_rows = _prune_redundant_rows(ctx, best_rows)
     group = Group.from_rows(ctx, best_rows, algorithm="EXACT")
@@ -171,10 +177,15 @@ def branch_and_bound_search(
     best = {
         "rows": list(best_rows),
         "diameter": best_diameter,
+        # Deepest recursion reached: how close the pruning strategies let
+        # the enumeration get to a full m-way expansion.
+        "max_depth": 0,
     }
 
     def recurse(selected: List[int], covered: int, diameter: float, start: int) -> None:
         deadline.check()
+        if len(selected) > best["max_depth"]:
+            best["max_depth"] = len(selected)
         if covered == full:
             if diameter < best["diameter"]:
                 best["diameter"] = diameter
@@ -209,4 +220,5 @@ def branch_and_bound_search(
             selected.pop()
 
     recurse([0], masks[0], 0.0, 1)
+    deadline.record_max("search_depth_max", best["max_depth"])
     return best["rows"], best["diameter"]

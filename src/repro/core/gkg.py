@@ -79,29 +79,31 @@ def _best_group_kdtree(
 
     # nearest_row[bit][i] = O' row of the holder of `bit` nearest anchor i.
     nearest_row: List[Optional[np.ndarray]] = [None] * m
-    for bit_pos in range(m):
-        if all(ctx.masks[a] & (1 << bit_pos) for a in anchor_rows):
-            continue  # every anchor already covers it; lookup never needed
-        tree, holders = ctx.keyword_tree(bit_pos)
-        _d, idx = tree.query(anchor_pts, k=1)
-        nearest_row[bit_pos] = holders[idx]
+    with deadline.span("gkg.knn_batch", anchors=len(anchor_rows)):
+        for bit_pos in range(m):
+            if all(ctx.masks[a] & (1 << bit_pos) for a in anchor_rows):
+                continue  # every anchor already covers it; lookup never needed
+            tree, holders = ctx.keyword_tree(bit_pos)
+            _d, idx = tree.query(anchor_pts, k=1)
+            nearest_row[bit_pos] = holders[idx]
 
     best_rows: Optional[List[int]] = None
     best_diameter = float("inf")
     for i, anchor in enumerate(anchor_rows):
         deadline.check()
-        covered = ctx.masks[anchor]
-        group_rows = [anchor]
-        missing = full & ~covered
-        while missing:
-            bit_pos = (missing & -missing).bit_length() - 1
-            lookup = nearest_row[bit_pos]
-            assert lookup is not None  # bit uncovered => lookup was built
-            row = int(lookup[i])
-            group_rows.append(row)
-            covered |= ctx.masks[row]
+        with deadline.span("gkg.anchor_round", anchor=int(anchor)):
+            covered = ctx.masks[anchor]
+            group_rows = [anchor]
             missing = full & ~covered
-        diameter = ctx.group_diameter_rows(group_rows)
+            while missing:
+                bit_pos = (missing & -missing).bit_length() - 1
+                lookup = nearest_row[bit_pos]
+                assert lookup is not None  # bit uncovered => lookup was built
+                row = int(lookup[i])
+                group_rows.append(row)
+                covered |= ctx.masks[row]
+                missing = full & ~covered
+            diameter = ctx.group_diameter_rows(group_rows)
         if diameter < best_diameter:
             best_diameter = diameter
             best_rows = group_rows
@@ -119,21 +121,22 @@ def _best_group_irtree(
     best_diameter = float("inf")
     for anchor in anchor_rows:
         deadline.check()
-        ax, ay = ctx.location_of_row(anchor)
-        covered = ctx.masks[anchor]
-        group_rows = [anchor]
-        missing = full & ~covered
-        feasible = True
-        while missing:
-            bit_pos = (missing & -missing).bit_length() - 1
-            entry = tree.nearest_with_term(ax, ay, bit_pos)
-            if entry is None:
-                feasible = False
-                break
-            row = ctx.row_of(entry.item)
-            group_rows.append(row)
-            covered |= ctx.masks[row]
+        with deadline.span("gkg.anchor_round", anchor=int(anchor)):
+            ax, ay = ctx.location_of_row(anchor)
+            covered = ctx.masks[anchor]
+            group_rows = [anchor]
             missing = full & ~covered
+            feasible = True
+            while missing:
+                bit_pos = (missing & -missing).bit_length() - 1
+                entry = tree.nearest_with_term(ax, ay, bit_pos)
+                if entry is None:
+                    feasible = False
+                    break
+                row = ctx.row_of(entry.item)
+                group_rows.append(row)
+                covered |= ctx.masks[row]
+                missing = full & ~covered
         if not feasible:
             continue
         diameter = ctx.group_diameter_rows(group_rows)
@@ -154,21 +157,22 @@ def _best_group_brtree(
     best_diameter = float("inf")
     for anchor in anchor_rows:
         deadline.check()
-        ax, ay = ctx.location_of_row(anchor)
-        covered = ctx.masks[anchor]
-        group_rows = [anchor]
-        missing = full & ~covered
-        feasible = True
-        while missing:
-            bit = missing & -missing
-            entry = tree.nearest_with_mask(ax, ay, bit)
-            if entry is None:
-                feasible = False
-                break
-            row = ctx.row_of(entry.item)
-            group_rows.append(row)
-            covered |= ctx.masks[row]
+        with deadline.span("gkg.anchor_round", anchor=int(anchor)):
+            ax, ay = ctx.location_of_row(anchor)
+            covered = ctx.masks[anchor]
+            group_rows = [anchor]
             missing = full & ~covered
+            feasible = True
+            while missing:
+                bit = missing & -missing
+                entry = tree.nearest_with_mask(ax, ay, bit)
+                if entry is None:
+                    feasible = False
+                    break
+                row = ctx.row_of(entry.item)
+                group_rows.append(row)
+                covered |= ctx.masks[row]
+                missing = full & ~covered
         if not feasible:
             continue
         diameter = ctx.group_diameter_rows(group_rows)

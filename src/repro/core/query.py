@@ -19,6 +19,7 @@ import numpy as np
 
 from ..exceptions import QueryError
 from ..index.virtual import VirtualBRTree
+from ..observability.tracer import span as _trace_span
 from .objects import Dataset
 
 __all__ = ["MCKQuery", "QueryContext", "PoleCache", "compile_query"]
@@ -188,11 +189,13 @@ class QueryContext:
         if cached is None:
             from scipy.spatial import cKDTree
 
-            bit = 1 << bit_pos
-            holder_rows = np.array(
-                [r for r, msk in enumerate(self.masks) if msk & bit], dtype=np.intp
-            )
-            cached = (cKDTree(self.coords[holder_rows]), holder_rows)
+            with _trace_span("index.keyword_tree_build", keyword_bit=bit_pos):
+                bit = 1 << bit_pos
+                holder_rows = np.array(
+                    [r for r, msk in enumerate(self.masks) if msk & bit],
+                    dtype=np.intp,
+                )
+                cached = (cKDTree(self.coords[holder_rows]), holder_rows)
             self._keyword_trees[bit_pos] = cached
         return cached
 
@@ -224,15 +227,16 @@ class QueryContext:
         if cache is not None:
             self._pole_caches.move_to_end(row)
             return cache
-        dists = self.distances_from_row(row)
-        order = np.argsort(dists, kind="stable")
-        sorted_dists = dists[order]
-        if self._masks_np is None:
-            # Query-local masks have at most m <= 64 bits; pack them once.
-            self._masks_np = np.asarray(self.masks, dtype=np.uint64)
-        acc = np.bitwise_or.accumulate(self._masks_np[order])
-        prefix_union = np.concatenate(([np.uint64(0)], acc))
-        cache = PoleCache(sorted_dists, order.astype(np.intp), prefix_union)
+        with _trace_span("index.pole_cache_build", pole=row):
+            dists = self.distances_from_row(row)
+            order = np.argsort(dists, kind="stable")
+            sorted_dists = dists[order]
+            if self._masks_np is None:
+                # Query-local masks have at most m <= 64 bits; pack them once.
+                self._masks_np = np.asarray(self.masks, dtype=np.uint64)
+            acc = np.bitwise_or.accumulate(self._masks_np[order])
+            prefix_union = np.concatenate(([np.uint64(0)], acc))
+            cache = PoleCache(sorted_dists, order.astype(np.intp), prefix_union)
         self._pole_caches[row] = cache
         while len(self._pole_caches) > self._pole_cache_limit:
             self._pole_caches.popitem(last=False)

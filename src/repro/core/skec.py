@@ -30,7 +30,8 @@ def skec(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
     """Run SKEC: exact SKECq, 2/√3-approximate mCK answer."""
     deadline = deadline or Deadline.unlimited("SKEC")
 
-    greedy = gkg(ctx, deadline)
+    with deadline.span("gkg.run"):
+        greedy = gkg(ctx, deadline)
     current = _mcc_of_rows(ctx, _rows_of(ctx, greedy))
 
     single = _single_object_answer(ctx)
@@ -44,7 +45,8 @@ def skec(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
     for pole in (int(p) for p in pole_order):
         deadline.check()
         deadline.count("poles_scanned")
-        current = find_oskec(ctx, pole, current, deadline)
+        with deadline.span("skec.pole", pole=pole):
+            current = find_oskec(ctx, pole, current, deadline)
 
     rows = _enclosed_rows(ctx, current)
     group = Group.from_rows(ctx, rows, algorithm="SKEC", enclosing_circle=current)

@@ -55,7 +55,8 @@ def skeca(
 ) -> Group:
     """Run SKECa; ratio 2/√3 + ε."""
     deadline = deadline or Deadline.unlimited("SKECa")
-    greedy = gkg(ctx, deadline)
+    with deadline.span("gkg.run"):
+        greedy = gkg(ctx, deadline)
 
     single = _single_object_answer(ctx, "SKECa")
     if single is not None:
@@ -74,9 +75,10 @@ def skeca(
     # circles — is part of what Figure 7 measures, so no reordering here.
     for pole in range(len(ctx.relevant_ids)):
         deadline.check()
-        found, steps = find_app_oskec(
-            ctx, pole, search_lb, current_ub, alpha, deadline
-        )
+        with deadline.span("skeca.pole", pole=pole):
+            found, steps = find_app_oskec(
+                ctx, pole, search_lb, current_ub, alpha, deadline
+            )
         binary_steps += steps
         if found is not None and found.diameter < current_ub:
             current_ub = found.diameter
@@ -107,7 +109,8 @@ def find_app_oskec(
     """
     deadline = deadline or Deadline.unlimited("SKECa")
     deadline.count("circle_scans")
-    hit = circle_scan(ctx, pole_row, current_ub)
+    with deadline.span("circlescan", pole=pole_row):
+        hit = circle_scan(ctx, pole_row, current_ub)
     if hit is None:
         return None, 1
 
@@ -122,7 +125,9 @@ def find_app_oskec(
         steps += 1
         deadline.count("binary_steps")
         deadline.count("circle_scans")
-        hit = circle_scan(ctx, pole_row, diam)
+        with deadline.span("skeca.binary_step", diameter=diam):
+            with deadline.span("circlescan", pole=pole_row):
+                hit = circle_scan(ctx, pole_row, diam)
         if hit is not None:
             ub = diam
             best = _FoundCircle(pole_row, diam, hit[1], hit[0])

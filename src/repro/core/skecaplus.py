@@ -63,7 +63,8 @@ def skeca_plus_state(
 ) -> SkecaPlusState:
     """Run SKECa+ and return the group plus the internal pruning state."""
     deadline = deadline or Deadline.unlimited("SKECa+")
-    greedy = gkg(ctx, deadline)
+    with deadline.span("gkg.run"):
+        greedy = gkg(ctx, deadline)
     n_relevant = len(ctx.relevant_ids)
 
     single = _single_object_answer(ctx, "SKECa+")
@@ -103,9 +104,10 @@ def skeca_plus_state(
     last_success_pole = -1
     if len(pole_order) > 0:
         warm_pole = int(pole_order[0])
-        warm, warm_steps = find_app_oskec(
-            ctx, warm_pole, search_lb, search_ub, alpha, deadline
-        )
+        with deadline.span("skecaplus.warmup", pole=warm_pole):
+            warm, warm_steps = find_app_oskec(
+                ctx, warm_pole, search_lb, search_ub, alpha, deadline
+            )
         steps += warm_steps
         scans += warm_steps
         if warm is not None and warm.diameter < search_ub:
@@ -120,32 +122,40 @@ def skeca_plus_state(
         deadline.count("binary_steps")
         found_result = False
         eligible = int(np.searchsorted(sorted_radii, diam * (1.0 + 1e-12), side="right"))
-        # The pole that hosted the last successful probe is the most likely
-        # to host the next (the probe shrank only a little); trying it
-        # first turns most successful probes into a single sweep.
-        candidates = range(-1, eligible) if last_success_pole >= 0 else range(eligible)
-        for pole_idx in candidates:
-            pole = last_success_pole if pole_idx < 0 else int(pole_order[pole_idx])
-            if pole_idx >= 0 and pole == last_success_pole:
-                continue
-            if diam <= max_invalid[pole]:
-                # Property 1: a diameter known to fail at this pole also
-                # rules out every smaller diameter.
-                deadline.count("property1_skips")
-                continue
-            scans += 1
-            deadline.count("circle_scans")
-            hit = circle_scan(ctx, pole, diam)
-            if hit is not None:
-                search_ub = diam
-                rows, theta = hit
-                current_rows = rows
-                current_circle = _circle_at(ctx, pole, diam, theta)
-                found_result = True
-                last_success_pole = pole
-                break
-            if diam > max_invalid[pole]:
-                max_invalid[pole] = diam
+        with deadline.span(
+            "skecaplus.binary_step", diameter=diam, eligible_poles=eligible
+        ) as step_span:
+            # The pole that hosted the last successful probe is the most
+            # likely to host the next (the probe shrank only a little);
+            # trying it first turns most successful probes into a single
+            # sweep.
+            candidates = (
+                range(-1, eligible) if last_success_pole >= 0 else range(eligible)
+            )
+            for pole_idx in candidates:
+                pole = last_success_pole if pole_idx < 0 else int(pole_order[pole_idx])
+                if pole_idx >= 0 and pole == last_success_pole:
+                    continue
+                if diam <= max_invalid[pole]:
+                    # Property 1: a diameter known to fail at this pole also
+                    # rules out every smaller diameter.
+                    deadline.count("property1_skips")
+                    continue
+                scans += 1
+                deadline.count("circle_scans")
+                with deadline.span("circlescan", pole=pole):
+                    hit = circle_scan(ctx, pole, diam)
+                if hit is not None:
+                    search_ub = diam
+                    rows, theta = hit
+                    current_rows = rows
+                    current_circle = _circle_at(ctx, pole, diam, theta)
+                    found_result = True
+                    last_success_pole = pole
+                    break
+                if diam > max_invalid[pole]:
+                    max_invalid[pole] = diam
+            step_span.set_attribute("found", found_result)
         if not found_result:
             search_lb = diam
 

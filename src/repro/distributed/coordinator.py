@@ -34,10 +34,14 @@ from ..core.engine import MCKEngine
 from ..core.objects import Dataset
 from ..core.result import Group
 from ..exceptions import InfeasibleQueryError
+from ..observability.logging import correlation_scope, get_logger
+from ..observability.tracer import span as _trace_span
 from .partition import GridPartitioner
 from .worker import LocalAnswer, Worker
 
 __all__ = ["DistributedMCKEngine", "DistributedResult"]
+
+_log = get_logger("distributed.coordinator")
 
 #: Charged bytes per shipped object record (two float64 + small keyword set).
 _BYTES_PER_OBJECT = 48
@@ -86,19 +90,40 @@ class DistributedMCKEngine:
         exact_algorithm: str = "EXACT",
     ) -> DistributedResult:
         """Run the two-round distributed protocol."""
+        with correlation_scope() as cid:
+            with _trace_span(
+                "dist.query", workers=self.n_workers, m=len(list(keywords))
+            ):
+                return self._query_traced(
+                    keywords, bound_algorithm, exact_algorithm, cid
+                )
+
+    def _query_traced(
+        self,
+        keywords: Sequence[str],
+        bound_algorithm: str,
+        exact_algorithm: str,
+        cid: str,
+    ) -> DistributedResult:
         messages = 0
         bytes_shipped = 0
         makespan = 0.0
         total_compute = 0.0
 
         # Round 1: local bounds on a halo-less partitioning.
-        bound_workers = self._spawn_workers(halo=0.0)
-        messages += len(bound_workers)  # query broadcast
-        bytes_shipped += len(bound_workers) * _BYTES_PER_MESSAGE
-        bound_answers = [
-            w.answer(keywords, algorithm=bound_algorithm, epsilon=self.epsilon)
-            for w in bound_workers
-        ]
+        with _trace_span("dist.bound_round", algorithm=bound_algorithm):
+            bound_workers = self._spawn_workers(halo=0.0)
+            messages += len(bound_workers)  # query broadcast
+            bytes_shipped += len(bound_workers) * _BYTES_PER_MESSAGE
+            bound_answers = [
+                w.answer(
+                    keywords,
+                    algorithm=bound_algorithm,
+                    epsilon=self.epsilon,
+                    correlation_id=cid,
+                )
+                for w in bound_workers
+            ]
         messages += len(bound_answers)
         bytes_shipped += len(bound_answers) * _BYTES_PER_MESSAGE
         round_times = [a.compute_seconds for a in bound_answers]
@@ -109,9 +134,15 @@ class DistributedMCKEngine:
         if not feasible:
             # No single partition covers the query: the optimum spans cell
             # borders wider than any local view.  Solve centrally.
-            central_group, central_time = self._central_solve(
-                keywords, exact_algorithm
+            _log.info(
+                "dist.central_fallback",
+                workers=len(bound_workers),
+                algorithm=exact_algorithm,
             )
+            with _trace_span("dist.central_solve", algorithm=exact_algorithm):
+                central_group, central_time = self._central_solve(
+                    keywords, exact_algorithm
+                )
             return DistributedResult(
                 group=central_group,
                 rounds=1,
@@ -125,6 +156,9 @@ class DistributedMCKEngine:
 
         d_ub = min(a.diameter for a in feasible)
         best_bound = min(feasible, key=lambda a: a.diameter)
+        _log.debug(
+            "dist.bound_round_done", d_ub=d_ub, feasible_workers=len(feasible)
+        )
 
         if d_ub == 0.0:
             # A single object covers the query: already optimal.
@@ -139,17 +173,25 @@ class DistributedMCKEngine:
             )
 
         # Round 2: re-partition with halo = d_ub and solve exactly.
-        exact_workers = self._spawn_workers(halo=d_ub)
-        replicated = sum(len(w.partition.halo_ids) for w in exact_workers)
-        shipped = sum(len(w) for w in exact_workers)
-        bytes_shipped += shipped * _BYTES_PER_OBJECT
-        messages += 2 * len(exact_workers)  # query out, answer back
-        bytes_shipped += 2 * len(exact_workers) * _BYTES_PER_MESSAGE
+        with _trace_span(
+            "dist.exact_round", algorithm=exact_algorithm, halo=d_ub
+        ):
+            exact_workers = self._spawn_workers(halo=d_ub)
+            replicated = sum(len(w.partition.halo_ids) for w in exact_workers)
+            shipped = sum(len(w) for w in exact_workers)
+            bytes_shipped += shipped * _BYTES_PER_OBJECT
+            messages += 2 * len(exact_workers)  # query out, answer back
+            bytes_shipped += 2 * len(exact_workers) * _BYTES_PER_MESSAGE
 
-        exact_answers = [
-            w.answer(keywords, algorithm=exact_algorithm, epsilon=self.epsilon)
-            for w in exact_workers
-        ]
+            exact_answers = [
+                w.answer(
+                    keywords,
+                    algorithm=exact_algorithm,
+                    epsilon=self.epsilon,
+                    correlation_id=cid,
+                )
+                for w in exact_workers
+            ]
         round_times = [a.compute_seconds for a in exact_answers]
         makespan += max(round_times, default=0.0)
         total_compute += sum(round_times)

@@ -17,9 +17,13 @@ from ..core.engine import MCKEngine
 from ..core.objects import Dataset
 from ..core.result import Group
 from ..exceptions import InfeasibleQueryError
+from ..observability.logging import correlation_scope, get_logger
+from ..observability.tracer import span as _trace_span
 from .partition import Partition
 
 __all__ = ["Worker", "LocalAnswer"]
+
+_log = get_logger("distributed.worker")
 
 
 @dataclass
@@ -70,19 +74,37 @@ class Worker:
         algorithm: str,
         epsilon: float = 0.01,
         timeout: Optional[float] = None,
+        correlation_id: str = "",
     ) -> LocalAnswer:
-        """Run one local query; infeasible partitions answer 'no group'."""
+        """Run one local query; infeasible partitions answer 'no group'.
+
+        ``correlation_id`` models the id a real RPC would carry: the
+        worker re-enters the coordinator's correlation scope so its log
+        events and spans join the originating query.
+        """
         started = time.perf_counter()
         if self.engine is None:
             return LocalAnswer(self.worker_id, None, 0.0)
-        try:
-            local_group = self.engine.query(
-                keywords, algorithm=algorithm, epsilon=epsilon, timeout=timeout
-            )
-        except InfeasibleQueryError:
-            return LocalAnswer(
-                self.worker_id, None, time.perf_counter() - started
-            )
+        with correlation_scope(correlation_id or None):
+            with _trace_span(
+                "dist.worker", worker_id=self.worker_id, algorithm=algorithm
+            ):
+                try:
+                    local_group = self.engine.query(
+                        keywords,
+                        algorithm=algorithm,
+                        epsilon=epsilon,
+                        timeout=timeout,
+                    )
+                except InfeasibleQueryError:
+                    _log.debug(
+                        "worker.infeasible",
+                        worker_id=self.worker_id,
+                        algorithm=algorithm,
+                    )
+                    return LocalAnswer(
+                        self.worker_id, None, time.perf_counter() - started
+                    )
         global_group = Group(
             object_ids=tuple(
                 sorted(self._global_ids[oid] for oid in local_group.object_ids)

@@ -28,9 +28,12 @@ from ..core.skec import skec
 from ..core.skeca import skeca
 from ..core.skecaplus import skeca_plus
 from ..exceptions import AlgorithmTimeout, QueryError
+from ..observability.logging import correlation_scope, get_logger
 from .metrics import QueryMeasurement
 
 __all__ = ["ExperimentRunner", "ALL_ALGORITHMS"]
+
+_log = get_logger("experiments")
 
 #: Every runnable algorithm name, paper methods plus baselines.
 ALL_ALGORITHMS = (
@@ -121,30 +124,51 @@ class ExperimentRunner:
     ) -> QueryMeasurement:
         """One timed (algorithm, query) sample."""
         runner = self._runner_for(algorithm)
+        # Instrumentation without an explicit tracer falls back to the
+        # process-global one, so `mck trace` / set_tracer() also cover
+        # experiment suites.
         instr = Instrumentation()
         deadline = Deadline(algorithm, timeout, instr)
-        started = time.perf_counter()
-        try:
-            group = runner(ctx, deadline)
-            elapsed = time.perf_counter() - started
-            instr.merge_group_stats(group.stats)
-            measurement = QueryMeasurement(
+        with correlation_scope():
+            with instr.span(
+                "experiment.sample",
                 algorithm=algorithm,
-                query_keywords=ctx.query.keywords,
-                elapsed_seconds=elapsed,
-                diameter=group.diameter,
-                success=True,
-                optimal_diameter=optimal_diameter,
-            )
-        except AlgorithmTimeout:
-            elapsed = time.perf_counter() - started
-            measurement = QueryMeasurement(
+                m=len(ctx.query.keywords),
+            ):
+                started = time.perf_counter()
+                try:
+                    group = runner(ctx, deadline)
+                    elapsed = time.perf_counter() - started
+                    instr.merge_group_stats(group.stats)
+                    measurement = QueryMeasurement(
+                        algorithm=algorithm,
+                        query_keywords=ctx.query.keywords,
+                        elapsed_seconds=elapsed,
+                        diameter=group.diameter,
+                        success=True,
+                        optimal_diameter=optimal_diameter,
+                    )
+                except AlgorithmTimeout:
+                    elapsed = time.perf_counter() - started
+                    measurement = QueryMeasurement(
+                        algorithm=algorithm,
+                        query_keywords=ctx.query.keywords,
+                        elapsed_seconds=elapsed,
+                        diameter=float("inf"),
+                        success=False,
+                        optimal_diameter=optimal_diameter,
+                    )
+                    _log.warning(
+                        "sample.timeout",
+                        algorithm=algorithm,
+                        keywords=list(ctx.query.keywords),
+                        timeout=timeout,
+                    )
+            _log.debug(
+                "sample.done",
                 algorithm=algorithm,
-                query_keywords=ctx.query.keywords,
                 elapsed_seconds=elapsed,
-                diameter=float("inf"),
-                success=False,
-                optimal_diameter=optimal_diameter,
+                success=measurement.success,
             )
         self._record_metrics(measurement, instr)
         return measurement

@@ -1,0 +1,61 @@
+"""End-to-end observability for the mCK query stack.
+
+Three cooperating layers (see ``docs/observability.md``):
+
+* :mod:`~repro.observability.tracer` — low-overhead nested spans around
+  every algorithm phase (binary-search steps, circleScan calls, EXACT's
+  branch-and-bound, serving stages), exported as Chrome trace-event JSON;
+* :mod:`~repro.observability.metrics` — histogram / counter / gauge
+  families with labels, feeding the serving
+  :class:`~repro.serving.stats.MetricsRegistry` and the Prometheus text
+  exposition in :mod:`~repro.observability.exporters`;
+* :mod:`~repro.observability.logging` — structured JSON logs with
+  per-query correlation ids propagated across thread pools, the EXACT
+  process pool, and the distributed coordinator→worker calls.
+"""
+
+from .exporters import chrome_trace, render_prometheus, write_chrome_trace
+from .logging import (
+    JsonFormatter,
+    StructuredLogger,
+    configure_logging,
+    correlation_scope,
+    get_correlation_id,
+    get_logger,
+    new_correlation_id,
+    set_correlation_id,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    log_buckets,
+)
+from .tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, span, traced
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "traced",
+    "Histogram",
+    "Counter",
+    "Gauge",
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+    "chrome_trace",
+    "write_chrome_trace",
+    "JsonFormatter",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "correlation_scope",
+    "new_correlation_id",
+    "set_correlation_id",
+    "get_correlation_id",
+]

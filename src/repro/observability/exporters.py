@@ -1,0 +1,125 @@
+"""Exporters: Prometheus text exposition and Chrome trace-event JSON.
+
+Two consumers, two formats:
+
+* :func:`render_prometheus` — the `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ a
+  Prometheus scraper (or ``curl`` + eyeballs) understands.  Works on any
+  iterable of :mod:`repro.observability.metrics` families.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event JSON
+  format (``{"traceEvents": [...]}``, complete ``"ph": "X"`` events) that
+  Perfetto and ``chrome://tracing`` load directly.  Works on a
+  :class:`~repro.observability.tracer.Tracer` or a plain span-dict list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Union
+
+from .tracer import Tracer
+
+__all__ = [
+    "render_prometheus",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+def _escape(value: str) -> str:
+    return str(value).translate(_ESCAPES)
+
+
+def _render_labels(labels: Dict[str, str], extra=None) -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())]
+    if extra is not None:
+        parts.append(f'{extra[0]}="{_escape(extra[1])}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(metrics: Iterable[Any]) -> str:
+    """Render metric families as Prometheus text exposition (version 0.0.4).
+
+    Each family must expose ``name``, ``kind``, ``help`` and a
+    ``samples()`` iterator of ``(suffix, labels, extra_label, value)``
+    tuples — the protocol of :class:`~repro.observability.metrics.Counter`,
+    :class:`~repro.observability.metrics.Gauge` and
+    :class:`~repro.observability.metrics.Histogram`.
+    """
+    lines: List[str] = []
+    for metric in metrics:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for suffix, labels, extra, value in metric.samples():
+            label_text = _render_labels(labels, extra)
+            lines.append(f"{metric.name}{suffix}{label_text} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace events
+# --------------------------------------------------------------------- #
+
+
+def _spans_of(source: Union[Tracer, Iterable[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    if isinstance(source, Tracer):
+        return source.finished_spans()
+    return list(source)
+
+
+def chrome_trace(source: Union[Tracer, Iterable[Dict[str, Any]]]) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from spans.
+
+    Every span becomes one complete ("ph": "X") event; trace/span ids and
+    attributes ride along in ``args`` so Perfetto's query view can slice by
+    them.  Timestamps are microseconds (the format's unit), preserving the
+    monotonic-clock origin — only relative times are meaningful.
+    """
+    events: List[Dict[str, Any]] = []
+    for sp in sorted(_spans_of(source), key=lambda s: s["start_ns"]):
+        args = {k: _json_safe(v) for k, v in sp.get("attributes", {}).items()}
+        args["trace_id"] = sp.get("trace_id")
+        args["span_id"] = sp.get("span_id")
+        if sp.get("parent_id"):
+            args["parent_id"] = sp["parent_id"]
+        events.append(
+            {
+                "name": sp["name"],
+                "ph": "X",
+                "ts": sp["start_ns"] / 1000.0,
+                "dur": max(sp["end_ns"] - sp["start_ns"], 0) / 1000.0,
+                "pid": sp.get("pid", 0),
+                "tid": sp.get("thread_id", 0),
+                "cat": sp["name"].split(".", 1)[0],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: Union[Tracer, Iterable[Dict[str, Any]]], path: str
+) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    document = chrome_trace(source)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")
+    return len(document["traceEvents"])
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else str(value)
+    return str(value)

@@ -1,0 +1,180 @@
+"""Structured JSON logging with per-query correlation ids.
+
+Every log record is one JSON object per line — machine-parseable, with a
+stable field set (``ts``, ``level``, ``logger``, ``event``) plus arbitrary
+structured fields and the current *correlation id*.  The correlation id is
+a :mod:`contextvars` variable: the serving layer assigns one per query,
+the EXACT process-pool workers and the distributed coordinator→worker
+calls carry it across boundaries, so every line of one query's journey
+greps together::
+
+    {"ts": ..., "level": "info", "logger": "repro.serving",
+     "event": "query.done", "correlation_id": "q-5f3a...", "algorithm": "SKECa+", ...}
+
+Nothing is emitted unless :func:`configure_logging` (or the application's
+own logging config) installs a handler — the library only ever *creates*
+records under the ``repro`` logger namespace.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import io
+import json
+import logging
+import uuid
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "correlation_id",
+    "new_correlation_id",
+    "set_correlation_id",
+    "get_correlation_id",
+    "correlation_scope",
+    "JsonFormatter",
+    "StructuredLogger",
+    "get_logger",
+    "configure_logging",
+]
+
+#: The active query's correlation id ("" when outside any query).
+correlation_id: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_correlation_id", default=""
+)
+
+
+def new_correlation_id() -> str:
+    """Mint a fresh correlation id (short, log-friendly)."""
+    return "q-" + uuid.uuid4().hex[:12]
+
+
+def set_correlation_id(value: str) -> None:
+    correlation_id.set(value)
+
+
+def get_correlation_id() -> str:
+    return correlation_id.get()
+
+
+@contextlib.contextmanager
+def correlation_scope(value: Optional[str] = None):
+    """Bind a correlation id for the duration of the block; yields the id."""
+    cid = value or new_correlation_id()
+    token = correlation_id.set(cid)
+    try:
+        yield cid
+    finally:
+        correlation_id.reset(token)
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as one JSON object per line.
+
+    The record ``msg`` becomes the ``event`` field; structured fields
+    attached by :class:`StructuredLogger` (under ``structured_fields``)
+    are merged at the top level, and the active correlation id is added
+    when one is bound.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        cid = getattr(record, "correlation_id", "") or correlation_id.get()
+        if cid:
+            document["correlation_id"] = cid
+        fields = getattr(record, "structured_fields", None)
+        if fields:
+            for key, value in fields.items():
+                if key not in document:
+                    document[key] = _json_safe(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            document["exception"] = record.exc_info[0].__name__
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+class StructuredLogger:
+    """Thin event-style façade over a stdlib logger.
+
+    ``log.info("query.done", algorithm="EXACT", seconds=0.12)`` emits a
+    record whose formatter-visible extras carry the fields; with
+    :class:`JsonFormatter` installed they land as top-level JSON keys.
+    The ``isEnabledFor`` check keeps disabled-level calls cheap.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @property
+    def raw(self) -> logging.Logger:
+        return self._logger
+
+    def _log(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(
+                level,
+                event,
+                extra={
+                    "structured_fields": fields,
+                    "correlation_id": correlation_id.get(),
+                },
+            )
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure_logging(
+    stream: Optional[io.TextIOBase] = None,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Install a JSON handler on the ``repro`` logger (idempotent).
+
+    Returns the handler so callers (tests, the CLI) can detach it or read
+    its stream.  Repeated calls replace the previously installed handler
+    rather than stacking duplicates.
+    """
+    logger = logging.getLogger("repro")
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_json_handler", False):
+            logger.removeHandler(existing)
+    handler = logging.StreamHandler(stream) if stream is not None else logging.StreamHandler()
+    handler.setFormatter(JsonFormatter())
+    handler._repro_json_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else str(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)

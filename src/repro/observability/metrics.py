@@ -1,0 +1,306 @@
+"""Histogram / counter / gauge metric primitives with labels.
+
+The serving layer's :class:`~repro.serving.stats.MetricsRegistry` is built
+on these: a :class:`Histogram` with fixed log-scale buckets records
+per-algorithm latency (p50/p95/p99 without storing every sample),
+:class:`Counter` and :class:`Gauge` families carry labelled counts, and
+:func:`repro.observability.exporters.render_prometheus` turns any of them
+into Prometheus text exposition.
+
+All three metric types are *families*: one object per metric name, with
+children keyed by label values.  ``observe``/``inc``/``set`` take the
+labels as keyword arguments::
+
+    hist = Histogram("mck_query_latency_seconds", label_names=("algorithm", "cache"))
+    hist.observe(0.012, algorithm="SKECa+", cache="miss")
+    hist.percentile(95.0, algorithm="SKECa+", cache="miss")
+
+Thread safety: one lock per family, held only for the few dict/array
+operations of a single observation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "Counter",
+    "Gauge",
+]
+
+
+def log_buckets(
+    lo: float = 1e-6, hi: float = 100.0, per_decade: int = 4
+) -> Tuple[float, ...]:
+    """Fixed log-scale bucket upper bounds from ``lo`` to at least ``hi``.
+
+    Bounds are ``lo * 10**(i / per_decade)`` — the same bucket geometry for
+    every histogram, so percentile error is a constant relative factor
+    (≤ 10**(1/per_decade), ~78% at the default 4/decade before the
+    intra-bucket interpolation tightens it).
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    bounds: List[float] = []
+    i = 0
+    while True:
+        bound = lo * 10.0 ** (i / per_decade)
+        bounds.append(bound)
+        if bound >= hi:
+            break
+        i += 1
+    return tuple(bounds)
+
+
+#: Default bucket bounds for latency histograms: 1µs .. 100s, 4 per decade.
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-6, 100.0, 4)
+
+
+class _Metric:
+    """Shared family plumbing: name, help text, label keying."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", label_names: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[k]) for k in self.label_names)
+
+    def label_sets(self) -> List[Tuple[str, ...]]:
+        with self._lock:
+            return sorted(self._children)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram family (cumulative-bucket semantics).
+
+    Bucket counts are *non-cumulative* internally; the exporter and
+    :meth:`snapshot` render the Prometheus-style cumulative form.  Beyond
+    the largest bound, samples land in the implicit ``+Inf`` bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help, label_names)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+
+    class _Child:
+        __slots__ = ("counts", "inf_count", "count", "sum", "min", "max")
+
+        def __init__(self, n_bounds: int):
+            self.counts = [0] * n_bounds
+            self.inf_count = 0
+            self.count = 0
+            self.sum = 0.0
+            self.min = math.inf
+            self.max = -math.inf
+
+    def _child(self, labels: Dict[str, Any]) -> "Histogram._Child":
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = Histogram._Child(len(self.bounds))
+        return child
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        with self._lock:
+            child = self._child(labels)
+            child.count += 1
+            child.sum += value
+            if value < child.min:
+                child.min = value
+            if value > child.max:
+                child.max = value
+            idx = self._bucket_index(value)
+            if idx is None:
+                child.inf_count += 1
+            else:
+                child.counts[idx] += 1
+
+    def _bucket_index(self, value: float) -> Optional[int]:
+        bounds = self.bounds
+        lo, hi = 0, len(bounds)
+        if value > bounds[-1]:
+            return None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # -- reading --------------------------------------------------------- #
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            child = self._children.get(self._key(labels))
+            return child.count if child else 0
+
+    def percentile(self, q: float, **labels: Any) -> Optional[float]:
+        """Estimated q-th percentile (linear interpolation inside the
+        bucket); ``None`` when no samples were observed."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            child = self._children.get(self._key(labels))
+            if child is None or child.count == 0:
+                return None
+            return self._estimate(child, q)
+
+    def _estimate(self, child: "Histogram._Child", q: float) -> float:
+        rank = q / 100.0 * child.count
+        cumulative = 0
+        for i, n in enumerate(child.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                frac = (rank - cumulative) / n
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, frac))
+                # Never extrapolate past the observed extremes.
+                return min(max(estimate, child.min), child.max)
+            cumulative += n
+        # Rank falls in the +Inf bucket: the max is the best estimate.
+        return child.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump: per label-set counts, sum, and percentiles."""
+        with self._lock:
+            out: Dict[str, Any] = {
+                "name": self.name,
+                "kind": self.kind,
+                "label_names": list(self.label_names),
+                "series": [],
+            }
+            for key in sorted(self._children):
+                child = self._children[key]
+                cumulative = 0
+                buckets = []
+                for bound, n in zip(self.bounds, child.counts):
+                    cumulative += n
+                    if n:
+                        buckets.append({"le": bound, "count": cumulative})
+                out["series"].append(
+                    {
+                        "labels": dict(zip(self.label_names, key)),
+                        "count": child.count,
+                        "sum": child.sum,
+                        "min": child.min if child.count else None,
+                        "max": child.max if child.count else None,
+                        "p50": self._estimate(child, 50.0) if child.count else None,
+                        "p95": self._estimate(child, 95.0) if child.count else None,
+                        "p99": self._estimate(child, 99.0) if child.count else None,
+                        "buckets": buckets,
+                    }
+                )
+            return out
+
+    def samples(self):
+        """Prometheus sample tuples: (suffix, labels, extra_label, value)."""
+        with self._lock:
+            for key in sorted(self._children):
+                child = self._children[key]
+                labels = dict(zip(self.label_names, key))
+                cumulative = 0
+                for bound, n in zip(self.bounds, child.counts):
+                    cumulative += n
+                    yield ("_bucket", labels, ("le", _format_float(bound)), float(cumulative))
+                yield ("_bucket", labels, ("le", "+Inf"), float(child.count))
+                yield ("_sum", labels, None, child.sum)
+                yield ("_count", labels, None, float(child.count))
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter family."""
+
+    kind = "counter"
+
+    def inc(self, n: float = 1.0, **labels: Any) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + float(n)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._children.get(self._key(labels), 0.0))
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "label_names": list(self.label_names),
+                "series": [
+                    {"labels": dict(zip(self.label_names, key)), "value": value}
+                    for key, value in sorted(self._children.items())
+                ],
+            }
+
+    def samples(self):
+        with self._lock:
+            for key, value in sorted(self._children.items()):
+                yield ("", dict(zip(self.label_names, key)), None, float(value))
+
+
+class Gauge(_Metric):
+    """Set-to-current-value gauge family."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def inc(self, n: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + float(n)
+
+    def dec(self, n: float = 1.0, **labels: Any) -> None:
+        self.inc(-n, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._children.get(self._key(labels), 0.0))
+
+    snapshot = Counter.snapshot
+    samples = Counter.samples
+
+
+def _format_float(value: float) -> str:
+    """Compact, exact-round-trip float formatting for bucket bounds."""
+    text = repr(float(value))
+    return text[:-2] if text.endswith(".0") else text

@@ -1,0 +1,406 @@
+"""A low-overhead span tracer for the mCK query stack.
+
+A *span* is one named, timed piece of work (a binary-search step, a
+``circleScan`` call, a cache probe).  Spans nest: each thread keeps its own
+span stack, so a span started while another is open becomes its child, and
+the whole tree of one request shares a ``trace_id``.  Finished spans are
+buffered on the tracer and exported as Chrome trace-event JSON (loadable in
+Perfetto / ``chrome://tracing``) by :mod:`repro.observability.exporters`.
+
+Design constraints, in order:
+
+* **Near-zero cost when disabled.**  The algorithm hot loops call
+  ``deadline.span(...)`` unconditionally; when no tracer is wired (the
+  default) that returns the shared :data:`NULL_SPAN` singleton — no
+  allocation, no clock read.
+* **Thread isolation.**  The span stack is thread-local; the serving
+  layer's thread pool traces concurrent queries without cross-talk.
+* **Picklable export.**  ``drain()`` returns plain dicts so worker
+  processes (EXACT's process pool, the distributed simulation) can ship
+  their spans back to the parent tracer via ``ingest()``.
+
+The clock is ``time.monotonic_ns`` (never wall time) so span durations are
+immune to clock steps.  A ``sample_rate`` knob drops whole traces at the
+root: children follow their root's sampling decision, so a sampled trace
+is always structurally complete.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import random
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "traced",
+]
+
+
+class Span:
+    """One finished or in-flight span.
+
+    Used both as the in-flight record (while its ``with`` block runs) and
+    as the context-manager handle the block receives, so attributes can be
+    attached mid-flight::
+
+        with tracer.span("exact.search") as sp:
+            ...
+            sp.set_attribute("max_depth", depth)
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_ns",
+        "end_ns",
+        "attributes",
+        "thread_id",
+        "pid",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str],
+        attributes: Optional[Dict[str, Any]],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = uuid.uuid4().hex[:16]
+        self.parent_id = parent_id
+        self.start_ns = 0
+        self.end_ns = 0
+        self.attributes = attributes or {}
+        self.thread_id = threading.get_ident()
+        self.pid = os.getpid()
+
+    # -- context manager ------------------------------------------------- #
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_ns = self._tracer._clock_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_ns = self._tracer._clock_ns()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "thread_id": self.thread_id,
+            "pid": self.pid,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-mode fast path.
+
+    A single module-level instance serves every disabled/unsampled
+    ``span()`` call, so tracing spots in hot loops allocate nothing when
+    tracing is off.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans into a bounded buffer; thread-safe.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; a disabled tracer hands out :data:`NULL_SPAN`.
+    sample_rate:
+        Probability that a *root* span (and therefore its whole trace) is
+        recorded.  Child spans inherit the decision, so sampling never
+        produces orphaned children.
+    max_spans:
+        Finished-span buffer cap; beyond it new spans are counted in
+        ``dropped`` but not stored.
+    clock_ns:
+        Injectable monotonic clock (tests pin it for deterministic spans).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_rate: float = 1.0,
+        max_spans: int = 100_000,
+        clock_ns: Callable[[], int] = time.monotonic_ns,
+        rng: Optional[random.Random] = None,
+    ):
+        self.enabled = enabled
+        self.sample_rate = float(sample_rate)
+        self.max_spans = int(max_spans)
+        self.dropped = 0
+        self._clock_ns = clock_ns
+        self._rng = rng or random.Random()
+        self._finished: List[Span] = []
+        self._foreign: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span lifecycle -------------------------------------------------- #
+
+    def span(self, name: str, **attributes: Any):
+        """Start a span as a context manager; returns :data:`NULL_SPAN`
+        when disabled or the enclosing trace is unsampled."""
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            if parent is _UNSAMPLED:
+                return _unsampled_span(stack)
+            return Span(self, name, parent.trace_id, parent.span_id, attributes)
+        # Root span: make the sampling decision for the whole trace.
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return _unsampled_span(stack)
+        trace_id = self.current_trace_id() or uuid.uuid4().hex
+        return Span(self, name, trace_id, None, attributes)
+
+    def record_complete(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        **attributes: Any,
+    ) -> None:
+        """Record an already-measured interval (e.g. queue wait) as a span."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if parent is _UNSAMPLED:
+            return
+        sp = Span(
+            self,
+            name,
+            parent.trace_id if parent else (self.current_trace_id() or uuid.uuid4().hex),
+            parent.span_id if parent else None,
+            attributes,
+        )
+        sp.start_ns = start_ns
+        sp.end_ns = end_ns
+        self._store(sp)
+
+    def set_trace_id(self, trace_id: Optional[str]) -> None:
+        """Pin the trace id used by the next *root* span on this thread.
+
+        Cross-process propagation: the parent sends its trace id along with
+        the task; the worker pins it so its spans join the same trace.
+        """
+        self._local.trace_id = trace_id
+
+    def current_trace_id(self) -> Optional[str]:
+        stack = self._stack()
+        for sp in reversed(stack):
+            if sp is not _UNSAMPLED:
+                return sp.trace_id
+        return getattr(self._local, "trace_id", None)
+
+    # -- buffer management ---------------------------------------------- #
+
+    def finished_spans(self) -> List[Dict[str, Any]]:
+        """Snapshot of all recorded spans (local + ingested) as dicts."""
+        with self._lock:
+            return [s.to_dict() for s in self._finished] + list(self._foreign)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop and return all recorded spans (picklable plain dicts)."""
+        with self._lock:
+            out = [s.to_dict() for s in self._finished] + self._foreign
+            self._finished = []
+            self._foreign = []
+            return out
+
+    def ingest(self, spans: Iterable[Dict[str, Any]]) -> None:
+        """Adopt span dicts produced by another tracer (other process)."""
+        with self._lock:
+            for sp in spans:
+                if len(self._finished) + len(self._foreign) >= self.max_spans:
+                    self.dropped += 1
+                    continue
+                self._foreign.append(dict(sp))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished = []
+            self._foreign = []
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished) + len(self._foreign)
+
+    # -- internals ------------------------------------------------------- #
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, sp) -> None:
+        self._stack().append(sp)
+
+    def _pop(self, sp) -> None:
+        stack = self._stack()
+        # Pop back to (and including) sp; tolerates a mis-nested exit
+        # instead of corrupting the stack for the rest of the thread.
+        while stack:
+            top = stack.pop()
+            if top is sp:
+                break
+        if sp is not _UNSAMPLED:
+            self._store(sp)
+
+    def _store(self, sp: Span) -> None:
+        with self._lock:
+            if len(self._finished) + len(self._foreign) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._finished.append(sp)
+
+
+class _UnsampledMarker:
+    """Stack marker for an unsampled trace: children skip recording too."""
+
+    __slots__ = ()
+
+    trace_id = None
+    span_id = None
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set_attribute(self, key, value):
+        pass
+
+
+_UNSAMPLED = _UnsampledMarker()
+
+
+class _UnsampledSpan:
+    """Context manager that pushes/pops the unsampled marker."""
+
+    __slots__ = ("_stack",)
+
+    def __init__(self, stack):
+        self._stack = stack
+
+    def __enter__(self):
+        self._stack.append(_UNSAMPLED)
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        stack = self._stack
+        if stack and stack[-1] is _UNSAMPLED:
+            stack.pop()
+        return False
+
+    def set_attribute(self, key, value):
+        pass
+
+
+def _unsampled_span(stack):
+    return _UnsampledSpan(stack)
+
+
+# --------------------------------------------------------------------- #
+# Global tracer.  ``None`` by default: every tracing spot in the library
+# degrades to one module-attribute read plus returning NULL_SPAN.
+# --------------------------------------------------------------------- #
+
+_GLOBAL_TRACER: Optional[Tracer] = None
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or clear, with ``None``) the process-global tracer."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _GLOBAL_TRACER
+
+
+def span(name: str, **attributes: Any):
+    """Start a span on the global tracer (no-op when none is installed)."""
+    tracer = _GLOBAL_TRACER
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def traced(name: Optional[str] = None):
+    """Decorator: wrap every call of the function in a global-tracer span.
+
+    >>> @traced("index.rebuild")
+    ... def rebuild(): ...
+    """
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = _GLOBAL_TRACER
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

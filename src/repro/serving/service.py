@@ -15,6 +15,16 @@ answers *streams* of queries instead of one call at a time:
 * every answer carries a :class:`~repro.serving.stats.QueryStats` record
   and feeds a :class:`~repro.serving.stats.MetricsRegistry`.
 
+Observability: every request gets a correlation id (propagated into
+process-pool workers and structured log events), and when a
+:class:`~repro.observability.tracer.Tracer` is attached — explicitly via
+the ``tracer`` parameter or globally via
+:func:`repro.observability.tracer.set_tracer` — each request emits a
+``serve.request`` root span with ``serve.queue`` / ``serve.cache_probe`` /
+``serve.execute`` / ``serve.cache_store`` children, plus whatever spans
+the algorithm itself records through its
+:class:`~repro.core.common.Deadline`.
+
 Failures the mCK model itself defines — infeasible queries, algorithm
 timeouts — surface as failed :class:`ServedResult` entries rather than
 poisoning the whole batch; programming errors still propagate.
@@ -25,7 +35,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from threading import Lock
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -35,10 +45,14 @@ from ..core.objects import Dataset
 from ..core.result import Group
 from ..core.skeca import DEFAULT_EPSILON
 from ..exceptions import AlgorithmTimeout, ReproError
+from ..observability import tracer as _tracing
+from ..observability.logging import correlation_scope, get_logger
 from .cache import ResultCache, make_cache_key
 from .stats import MetricsRegistry, QueryStats
 
 __all__ = ["QueryRequest", "ServedResult", "QueryService"]
+
+_log = get_logger("serving")
 
 
 @dataclass(frozen=True)
@@ -88,15 +102,26 @@ class ServedResult:
     def ok(self) -> bool:
         return self.group is not None
 
+    @property
+    def correlation_id(self) -> str:
+        return self.stats.correlation_id
+
 
 # --------------------------------------------------------------------- #
 # Process-pool plumbing.  Workers rebuild the engine once per process
 # (the initializer runs before any task) and return plain picklable
 # tuples — custom exceptions with multi-arg constructors do not survive
 # a round-trip through the result queue.
+#
+# Counters cross the boundary as *deltas against a pre-query snapshot*
+# rather than raw totals: a pool worker is reused for many queries, so
+# shipping an instrumentation's absolute counters would double-count any
+# state that outlives one call.  Spans cross as plain dicts (``drain``)
+# and are re-ingested into the parent's tracer.
 # --------------------------------------------------------------------- #
 
 _WORKER_ENGINE: Optional[MCKEngine] = None
+_WORKER_TRACER: Optional[_tracing.Tracer] = None
 
 
 def _process_worker_init(dataset: Dataset) -> None:
@@ -109,18 +134,31 @@ def _process_worker_query(
     algorithm: str,
     epsilon: float,
     timeout: Optional[float],
+    correlation_id: str = "",
+    trace_id: Optional[str] = None,
 ):
     assert _WORKER_ENGINE is not None, "process pool initializer did not run"
+    global _WORKER_TRACER
     instr = Instrumentation()
-    try:
-        group = _WORKER_ENGINE.query(
-            keywords, algorithm, epsilon, timeout, instrumentation=instr
-        )
-        return ("ok", group, instr.counters, instr.timings)
-    except AlgorithmTimeout as err:
-        return ("timeout", str(err), instr.counters, instr.timings)
-    except ReproError as err:
-        return ("error", str(err), instr.counters, instr.timings)
+    if trace_id is not None:
+        if _WORKER_TRACER is None:
+            _WORKER_TRACER = _tracing.Tracer()
+        _WORKER_TRACER.reset()
+        _WORKER_TRACER.set_trace_id(trace_id)
+        instr.tracer = _WORKER_TRACER
+    before = instr.snapshot()
+    with correlation_scope(correlation_id or None):
+        try:
+            group = _WORKER_ENGINE.query(
+                keywords, algorithm, epsilon, timeout, instrumentation=instr
+            )
+            kind, payload = "ok", group
+        except AlgorithmTimeout as err:
+            kind, payload = "timeout", str(err)
+        except ReproError as err:
+            kind, payload = "error", str(err)
+    spans = _WORKER_TRACER.drain() if instr.tracer is not None else []
+    return (kind, payload, instr.deltas_since(before), dict(instr.timings), spans)
 
 
 class QueryService:
@@ -144,6 +182,10 @@ class QueryService:
         dominates the workload; worker start-up re-indexes the dataset.
     metrics:
         A shared :class:`MetricsRegistry`; defaults to a private one.
+    tracer:
+        Optional :class:`~repro.observability.tracer.Tracer`.  When
+        omitted, the process-global tracer (if any) is used; when neither
+        exists, tracing costs nothing.
     """
 
     def __init__(
@@ -156,6 +198,7 @@ class QueryService:
         use_processes_for_exact: bool = False,
         process_workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[_tracing.Tracer] = None,
         cache_clock=time.monotonic,
     ):
         self.engine = source if isinstance(source, MCKEngine) else MCKEngine(source)
@@ -164,6 +207,7 @@ class QueryService:
             max_size=cache_size, ttl_seconds=cache_ttl, clock=cache_clock
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="mck-serve"
         )
@@ -202,7 +246,7 @@ class QueryService:
         if self._closed:
             raise RuntimeError("QueryService is closed")
         request = QueryRequest.coerce(keywords, algorithm, epsilon, timeout)
-        return self._pool.submit(self._serve, request)
+        return self._pool.submit(self._serve, request, time.monotonic_ns())
 
     def query_many(
         self,
@@ -216,7 +260,10 @@ class QueryService:
             QueryRequest.coerce(item, algorithm, epsilon, timeout)
             for item in requests
         ]
-        futures = [self._pool.submit(self._serve, req) for req in coerced]
+        enqueued = time.monotonic_ns()
+        futures = [
+            self._pool.submit(self._serve, req, enqueued) for req in coerced
+        ]
         return [f.result() for f in futures]
 
     def metrics_dict(self) -> dict:
@@ -242,22 +289,69 @@ class QueryService:
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _serve(self, request: QueryRequest) -> ServedResult:
+    def _tracer(self) -> Optional[_tracing.Tracer]:
+        return self.tracer if self.tracer is not None else _tracing.get_tracer()
+
+    def _span(self, name: str, **attributes):
+        tracer = self._tracer()
+        if tracer is None:
+            return _tracing.NULL_SPAN
+        return tracer.span(name, **attributes)
+
+    def _serve(
+        self, request: QueryRequest, enqueued_ns: Optional[int] = None
+    ) -> ServedResult:
         started = time.perf_counter()
+        with correlation_scope() as cid:
+            with self._span(
+                "serve.request",
+                algorithm=request.algorithm,
+                m=len(request.keywords),
+                correlation_id=cid,
+            ) as root:
+                if enqueued_ns is not None:
+                    # The wait happened before this span existed; record it
+                    # as an already-complete child.
+                    tracer = self._tracer()
+                    if tracer is not None:
+                        tracer.record_complete(
+                            "serve.queue", enqueued_ns, time.monotonic_ns()
+                        )
+                result = self._serve_traced(request, started, cid)
+                root.set_attribute(
+                    "cache", "hit" if result.stats.cache_hit else "miss"
+                )
+                if not result.ok:
+                    root.set_attribute("error", result.error or "failed")
+            _log.debug(
+                "query.served",
+                algorithm=result.stats.algorithm,
+                keywords=list(request.keywords),
+                cache_hit=result.stats.cache_hit,
+                success=result.stats.success,
+                total_seconds=result.stats.total_seconds,
+                error=result.error,
+            )
+        return result
+
+    def _serve_traced(
+        self, request: QueryRequest, started: float, cid: str
+    ) -> ServedResult:
         key = self._cache_key(request)
-
         if key is not None:
-            cached = self.cache.get(key)
+            with self._span("serve.cache_probe") as probe:
+                cached = self.cache.get(key)
+                probe.set_attribute("hit", cached is not None)
             if cached is not None:
-                return self._finish_hit(request, cached, started)
-            return self._serve_with_singleflight(request, key, started)
+                return self._finish_hit(request, cached, started, cid)
+            return self._serve_with_singleflight(request, key, started, cid)
 
-        group, stats, error = self._execute(request, started)
+        group, stats, error = self._execute(request, started, cid)
         self.metrics.record(stats)
         return ServedResult(request=request, group=group, stats=stats, error=error)
 
     def _serve_with_singleflight(
-        self, request: QueryRequest, key: tuple, started: float
+        self, request: QueryRequest, key: tuple, started: float, cid: str
     ) -> ServedResult:
         with self._inflight_lock:
             fut = self._inflight.get(key)
@@ -270,9 +364,10 @@ class QueryService:
 
         if leader:
             try:
-                group, stats, error = self._execute(request, started)
+                group, stats, error = self._execute(request, started, cid)
                 if group is not None:
-                    self.cache.put(key, group)
+                    with self._span("serve.cache_store"):
+                        self.cache.put(key, group)
                 fut.set_result((group, error))
             except BaseException as err:  # pragma: no cover - defensive
                 fut.set_exception(err)
@@ -289,12 +384,13 @@ class QueryService:
         # Follower: wait for the leader, then read its answer.  Re-probing
         # the cache keeps the hit counters truthful; when the leader failed
         # (nothing cached) the shared in-flight answer is used directly.
-        group, error = fut.result()
+        with self._span("serve.coalesced_wait"):
+            group, error = fut.result()
         if group is not None:
             cached = self.cache.get(key)
             if cached is not None:
                 group = cached
-        return self._finish_join(request, group, error, started)
+        return self._finish_join(request, group, error, started, cid)
 
     def _cache_key(self, request: QueryRequest) -> Optional[tuple]:
         if self.cache.max_size == 0:
@@ -302,7 +398,7 @@ class QueryService:
         return make_cache_key(request.keywords, request.algorithm, request.epsilon)
 
     def _execute(
-        self, request: QueryRequest, started: float
+        self, request: QueryRequest, started: float, cid: str
     ) -> Tuple[Optional[Group], QueryStats, Optional[str]]:
         """Run the algorithm (thread-local or process pool) and measure."""
         algorithm = canonical_algorithm(request.algorithm)
@@ -310,12 +406,18 @@ class QueryService:
             keywords=request.keywords,
             algorithm=algorithm,
             epsilon=request.epsilon,
+            correlation_id=cid,
         )
-        if self._use_processes_for_exact and algorithm == "EXACT":
-            outcome = self._run_in_process_pool(request)
-        else:
-            outcome = self._run_inline(request)
-        kind, payload, counters, timings = outcome
+        with self._span("serve.execute", algorithm=algorithm):
+            if self._use_processes_for_exact and algorithm == "EXACT":
+                outcome = self._run_in_process_pool(request, cid)
+            else:
+                outcome = self._run_inline(request)
+        kind, payload, counters, timings, worker_spans = outcome
+        if worker_spans:
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.ingest(worker_spans)
         stats.counters = {k: float(v) for k, v in counters.items()}
         stats.context_seconds = timings.get("context_seconds", 0.0)
         stats.algorithm_seconds = timings.get("algorithm_seconds", 0.0)
@@ -326,10 +428,17 @@ class QueryService:
             stats.group_size = len(group)
             return group, stats, None
         stats.success = False
+        _log.warning(
+            "query.failed",
+            algorithm=algorithm,
+            keywords=list(request.keywords),
+            kind=kind,
+            error=str(payload),
+        )
         return None, stats, str(payload)
 
     def _run_inline(self, request: QueryRequest):
-        instr = Instrumentation()
+        instr = Instrumentation(tracer=self._tracer())
         try:
             group = self.engine.query(
                 request.keywords,
@@ -338,20 +447,24 @@ class QueryService:
                 request.timeout,
                 instrumentation=instr,
             )
-            return ("ok", group, instr.counters, instr.timings)
+            return ("ok", group, instr.counters, instr.timings, [])
         except AlgorithmTimeout as err:
-            return ("timeout", str(err), instr.counters, instr.timings)
+            return ("timeout", str(err), instr.counters, instr.timings, [])
         except ReproError as err:
-            return ("error", str(err), instr.counters, instr.timings)
+            return ("error", str(err), instr.counters, instr.timings, [])
 
-    def _run_in_process_pool(self, request: QueryRequest):
+    def _run_in_process_pool(self, request: QueryRequest, cid: str):
         pool = self._ensure_process_pool()
+        tracer = self._tracer()
+        trace_id = tracer.current_trace_id() if tracer is not None else None
         return pool.submit(
             _process_worker_query,
             request.keywords,
             request.algorithm,
             request.epsilon,
             request.timeout,
+            cid,
+            trace_id,
         ).result()
 
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
@@ -366,7 +479,7 @@ class QueryService:
             return self._process_pool
 
     def _finish_hit(
-        self, request: QueryRequest, group: Group, started: float
+        self, request: QueryRequest, group: Group, started: float, cid: str
     ) -> ServedResult:
         stats = QueryStats(
             keywords=request.keywords,
@@ -376,6 +489,7 @@ class QueryService:
             cache_hit=True,
             diameter=group.diameter,
             group_size=len(group),
+            correlation_id=cid,
         )
         self.metrics.record(stats)
         return ServedResult(request=request, group=group, stats=stats)
@@ -386,6 +500,7 @@ class QueryService:
         group: Optional[Group],
         error: Optional[str],
         started: float,
+        cid: str,
     ) -> ServedResult:
         stats = QueryStats(
             keywords=request.keywords,
@@ -394,6 +509,7 @@ class QueryService:
             total_seconds=time.perf_counter() - started,
             cache_hit=group is not None,
             success=group is not None,
+            correlation_id=cid,
             counters={"coalesced": 1.0},
         )
         if group is not None:

@@ -6,11 +6,16 @@ cache, and the algorithm's search/pruning counters (circleScan
 invocations, candidate circles, Lemma-3 pole prunes, ...) as reported
 through :class:`~repro.core.common.Instrumentation`.
 
-A :class:`MetricsRegistry` folds those records into per-algorithm
-aggregates (latency mean/p50/p95, counter sums) plus service-wide cache
-counters, and renders everything as one JSON document — the shape the
-experiment harness, the benchmark suite and the ``mck serve-bench``
-subcommand all dump.
+A :class:`MetricsRegistry` folds those records into two parallel views:
+
+* per-algorithm aggregates (exact latency mean/p50/p95 over the retained
+  samples, counter sums) — the JSON document the experiment harness, the
+  benchmark suite and the ``mck serve-bench`` subcommand all dump;
+* histogram / counter / gauge *families*
+  (:mod:`repro.observability.metrics`) with fixed log-scale buckets and
+  ``algorithm`` / ``cache`` labels — constant memory regardless of query
+  volume, and renderable as Prometheus text exposition via
+  :meth:`MetricsRegistry.to_prometheus`.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ import json
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..observability.exporters import render_prometheus
+from ..observability.metrics import Counter, Gauge, Histogram
 
 __all__ = ["QueryStats", "MetricsRegistry"]
 
@@ -41,6 +49,8 @@ class QueryStats:
     success: bool = True
     diameter: float = math.nan
     group_size: int = 0
+    #: Correlation id of the serving request that produced this record.
+    correlation_id: str = ""
     #: Search/pruning counters: ``circle_scans``, ``binary_steps``,
     #: ``candidate_circles``, ``pruned_poles``, ``property1_skips``, ...
     counters: Dict[str, float] = field(default_factory=dict)
@@ -57,6 +67,7 @@ class QueryStats:
             "success": self.success,
             "diameter": None if math.isnan(self.diameter) else self.diameter,
             "group_size": self.group_size,
+            "correlation_id": self.correlation_id,
             "counters": dict(self.counters),
         }
 
@@ -96,15 +107,24 @@ class _AlgorithmAggregate:
         from ..experiments.metrics import percentile
 
         executed = len(self.latencies)
+
+        def _maybe(value: float) -> Optional[float]:
+            # A cache-hit-only run has zero executed samples; every latency
+            # statistic is then explicitly None (never NaN, never 0/0).
+            if executed == 0 or value != value:
+                return None
+            return value
+
         return {
             "queries": self.queries,
             "executed": executed,
             "cache_hits": self.cache_hits,
             "failures": self.failures,
             "latency_seconds": {
-                "mean": (sum(self.latencies) / executed) if executed else None,
-                "p50": percentile(self.latencies, 50.0) if executed else None,
-                "p95": percentile(self.latencies, 95.0) if executed else None,
+                "samples": executed,
+                "mean": _maybe(sum(self.latencies) / executed) if executed else None,
+                "p50": _maybe(percentile(self.latencies, 50.0)),
+                "p95": _maybe(percentile(self.latencies, 95.0)),
                 "total": sum(self.latencies),
             },
             "context_seconds_total": self.context_seconds,
@@ -114,7 +134,7 @@ class _AlgorithmAggregate:
 
 
 class MetricsRegistry:
-    """Thread-safe aggregate of :class:`QueryStats` plus cache counters."""
+    """Thread-safe aggregate of :class:`QueryStats` plus metric families."""
 
     _default: Optional["MetricsRegistry"] = None
     _default_lock = threading.Lock()
@@ -124,6 +144,34 @@ class MetricsRegistry:
         self._by_algorithm: Dict[str, _AlgorithmAggregate] = {}
         self._cache: Dict[str, int] = {}
         self._records = 0
+        # Built-in metric families; custom ones join via histogram()/
+        # counter()/gauge().
+        self._families: Dict[str, object] = {}
+        self.latency_histogram = self.histogram(
+            "mck_query_latency_seconds",
+            help="End-to-end query latency by algorithm and cache outcome.",
+            label_names=("algorithm", "cache"),
+        )
+        self.algorithm_histogram = self.histogram(
+            "mck_algorithm_seconds",
+            help="Seconds inside the algorithm proper (cache misses only).",
+            label_names=("algorithm",),
+        )
+        self.queries_counter = self.counter(
+            "mck_queries_total",
+            help="Served queries by algorithm, cache outcome and success.",
+            label_names=("algorithm", "cache", "success"),
+        )
+        self.work_counter = self.counter(
+            "mck_algorithm_work_total",
+            help="Algorithm search/pruning work counters (circle_scans, ...).",
+            label_names=("algorithm", "counter"),
+        )
+        self.cache_gauge = self.gauge(
+            "mck_result_cache",
+            help="Result-cache counters from the latest snapshot.",
+            label_names=("stat",),
+        )
 
     @classmethod
     def default(cls) -> "MetricsRegistry":
@@ -134,6 +182,46 @@ class MetricsRegistry:
             return cls._default
 
     # ------------------------------------------------------------------ #
+    # Metric-family accessors (create on first use, return existing after)
+    # ------------------------------------------------------------------ #
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._family(
+            name, lambda: Histogram(name, help, label_names, buckets), Histogram
+        )
+
+    def counter(
+        self, name: str, help: str = "", label_names: Sequence[str] = ()
+    ) -> Counter:
+        return self._family(name, lambda: Counter(name, help, label_names), Counter)
+
+    def gauge(
+        self, name: str, help: str = "", label_names: Sequence[str] = ()
+    ) -> Gauge:
+        return self._family(name, lambda: Gauge(name, help, label_names), Gauge)
+
+    def _family(self, name: str, factory, expected_type):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = factory()
+            elif not isinstance(family, expected_type):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(family).__name__}"
+                )
+            return family
+
+    def metric_families(self) -> List[object]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------ #
 
     def record(self, stats: QueryStats) -> None:
         with self._lock:
@@ -142,11 +230,33 @@ class MetricsRegistry:
             if agg is None:
                 agg = self._by_algorithm[stats.algorithm] = _AlgorithmAggregate()
             agg.add(stats)
+        # Family updates take each family's own lock; done outside ours so
+        # the registry lock stays small and un-nested.
+        cache_label = "hit" if stats.cache_hit else "miss"
+        self.latency_histogram.observe(
+            stats.total_seconds, algorithm=stats.algorithm, cache=cache_label
+        )
+        self.queries_counter.inc(
+            1.0,
+            algorithm=stats.algorithm,
+            cache=cache_label,
+            success="true" if stats.success else "false",
+        )
+        if not stats.cache_hit:
+            self.algorithm_histogram.observe(
+                stats.algorithm_seconds, algorithm=stats.algorithm
+            )
+            for name, value in stats.counters.items():
+                self.work_counter.inc(
+                    value, algorithm=stats.algorithm, counter=name
+                )
 
     def record_cache(self, counters: Dict[str, int]) -> None:
         """Fold in (overwrite) the result cache's counter snapshot."""
         with self._lock:
             self._cache.update(counters)
+        for name, value in counters.items():
+            self.cache_gauge.set(float(value), stat=name)
 
     @property
     def total_queries(self) -> int:
@@ -154,6 +264,11 @@ class MetricsRegistry:
             return self._records
 
     def as_dict(self) -> dict:
+        histograms = {
+            family.name: family.snapshot()
+            for family in self.metric_families()
+            if isinstance(family, Histogram)
+        }
         with self._lock:
             return {
                 "queries_total": self._records,
@@ -162,13 +277,24 @@ class MetricsRegistry:
                     name: agg.as_dict()
                     for name, agg in sorted(self._by_algorithm.items())
                 },
+                "histograms": histograms,
             }
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+        # allow_nan=False: a NaN anywhere in the dump is a bug (the
+        # aggregation must emit None for undefined statistics).
+        return json.dumps(
+            self.as_dict(), indent=indent, sort_keys=True, allow_nan=False
+        )
+
+    def to_prometheus(self) -> str:
+        """Render every metric family as Prometheus text exposition."""
+        return render_prometheus(self.metric_families())
 
     def reset(self) -> None:
         with self._lock:
             self._by_algorithm.clear()
             self._cache.clear()
             self._records = 0
+            self._families.clear()
+        self.__init__()

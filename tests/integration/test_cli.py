@@ -73,3 +73,93 @@ class TestUsage:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestTrace:
+    def test_writes_chrome_trace_and_prometheus(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "trace",
+                "--preset",
+                "NY",
+                "--scale",
+                "0.005",
+                "--m",
+                "3",
+                "--queries",
+                "2",
+                "--repeat",
+                "2",
+                "--algorithm",
+                "SKECa+",
+                "--trace-out",
+                str(trace_path),
+                "--prom-out",
+                str(prom_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        document = json.loads(trace_path.read_text())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "serve.request" in names
+        assert "engine.query" in names
+        prom = prom_path.read_text()
+        assert 'mck_query_latency_seconds_bucket' in prom
+        assert 'cache="hit"' in prom and 'cache="miss"' in prom
+
+    def test_existing_dataset_and_histogram_summary(self, dataset_path, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--dataset",
+                str(dataset_path),
+                "--m",
+                "2",
+                "--queries",
+                "1",
+                "--repeat",
+                "1",
+                "--algorithm",
+                "GKG",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mck_query_latency_seconds" in out
+        assert trace_path.exists()
+
+    def test_rejects_bad_sample_rate(self, tmp_path, capsys):
+        code = main(
+            ["trace", "--sample-rate", "1.5", "--trace-out", str(tmp_path / "t.json")]
+        )
+        assert code == 2
+
+
+class TestMetricsCommand:
+    def test_wraps_nested_command(self, capsys):
+        code = main(["metrics", "experiment", "table1", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "mck_algorithm_seconds" in out
+
+    def test_prometheus_flag(self, capsys):
+        code = main(
+            ["metrics", "--prometheus", "experiment", "table1", "--scale", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE mck_algorithm_seconds histogram" in out
+
+    def test_rejects_nested_metrics(self, capsys):
+        assert main(["metrics", "metrics"]) == 2
+
+    def test_requires_nested_command(self, capsys):
+        assert main(["metrics"]) == 2

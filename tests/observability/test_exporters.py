@@ -1,0 +1,134 @@
+"""Exporter golden tests: Prometheus text and Chrome trace JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.exporters import (
+    chrome_trace,
+    render_prometheus,
+    write_chrome_trace,
+)
+from repro.observability.metrics import Counter, Gauge, Histogram
+from repro.observability.tracer import Tracer
+
+
+def make_tracer():
+    state = {"now": 0}
+
+    def clock():
+        state["now"] += 1000
+        return state["now"]
+
+    return Tracer(clock_ns=clock)
+
+
+class TestPrometheus:
+    def test_counter_golden(self):
+        c = Counter("mck_queries_total", help="Served queries.", label_names=("algo",))
+        c.inc(3, algo="GKG")
+        text = render_prometheus([c])
+        assert text == (
+            "# HELP mck_queries_total Served queries.\n"
+            "# TYPE mck_queries_total counter\n"
+            'mck_queries_total{algo="GKG"} 3\n'
+        )
+
+    def test_gauge_without_labels(self):
+        g = Gauge("mck_cache_size")
+        g.set(42.0)
+        text = render_prometheus([g])
+        assert "# TYPE mck_cache_size gauge\n" in text
+        assert "mck_cache_size 42\n" in text
+
+    def test_histogram_exposition_grammar(self):
+        h = Histogram(
+            "mck_latency", label_names=("algorithm", "cache"), buckets=(0.1, 1.0)
+        )
+        h.observe(0.05, algorithm="SKECa+", cache="miss")
+        h.observe(0.5, algorithm="SKECa+", cache="miss")
+        text = render_prometheus([h])
+        lines = text.splitlines()
+        assert "# TYPE mck_latency histogram" in lines
+        assert (
+            'mck_latency_bucket{algorithm="SKECa+",cache="miss",le="0.1"} 1'
+            in lines
+        )
+        assert (
+            'mck_latency_bucket{algorithm="SKECa+",cache="miss",le="1"} 2'
+            in lines
+        )
+        assert (
+            'mck_latency_bucket{algorithm="SKECa+",cache="miss",le="+Inf"} 2'
+            in lines
+        )
+        assert 'mck_latency_count{algorithm="SKECa+",cache="miss"} 2' in lines
+        (sum_line,) = [l for l in lines if l.startswith("mck_latency_sum")]
+        assert float(sum_line.rsplit(" ", 1)[1]) == 0.55
+
+    def test_label_escaping(self):
+        c = Counter("c", label_names=("q",))
+        c.inc(q='say "hi"\nplease\\now')
+        text = render_prometheus([c])
+        assert r'q="say \"hi\"\nplease\\now"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus([]) == ""
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, tmp_path):
+        tracer = make_tracer()
+        with tracer.span("outer", algorithm="SKECa+"):
+            with tracer.span("inner", pole=3):
+                pass
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer, str(path))
+        assert count == 2
+        document = json.loads(path.read_text())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]  # by start
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+            assert event["cat"] == event["name"]
+        inner = events[1]
+        assert inner["args"]["pole"] == 3
+        assert inner["args"]["parent_id"] == events[0]["args"]["span_id"]
+        assert inner["args"]["trace_id"] == events[0]["args"]["trace_id"]
+
+    def test_category_is_name_prefix(self):
+        tracer = make_tracer()
+        with tracer.span("serve.request"):
+            pass
+        (event,) = chrome_trace(tracer)["traceEvents"]
+        assert event["cat"] == "serve"
+
+    def test_accepts_plain_span_dicts(self):
+        tracer = make_tracer()
+        with tracer.span("work"):
+            pass
+        shipped = tracer.drain()
+        document = chrome_trace(shipped)
+        assert [e["name"] for e in document["traceEvents"]] == ["work"]
+
+    def test_nonfinite_and_object_attributes_become_json_safe(self):
+        tracer = make_tracer()
+        with tracer.span("s", bad=float("nan"), obj=object(), ok=1.5):
+            pass
+        document = chrome_trace(tracer)
+        text = json.dumps(document, allow_nan=False)  # must not raise
+        args = json.loads(text)["traceEvents"][0]["args"]
+        assert isinstance(args["bad"], str)
+        assert isinstance(args["obj"], str)
+        assert args["ok"] == 1.5
+
+    def test_events_sorted_by_start_time(self):
+        tracer = make_tracer()
+        spans = [
+            {"name": "b", "start_ns": 2000, "end_ns": 3000, "attributes": {}},
+            {"name": "a", "start_ns": 1000, "end_ns": 1500, "attributes": {}},
+        ]
+        names = [e["name"] for e in chrome_trace(spans)["traceEvents"]]
+        assert names == ["a", "b"]

@@ -1,0 +1,135 @@
+"""Structured-logging tests: JSON lines, correlation ids, idempotency."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability.logging import (
+    JsonFormatter,
+    configure_logging,
+    correlation_scope,
+    get_correlation_id,
+    get_logger,
+    new_correlation_id,
+    set_correlation_id,
+)
+
+
+@pytest.fixture
+def capture():
+    """Attach a JSON handler on a StringIO; detach afterwards."""
+    stream = io.StringIO()
+    handler = configure_logging(stream=stream, level=logging.DEBUG)
+    try:
+        yield stream
+    finally:
+        logging.getLogger("repro").removeHandler(handler)
+        logging.getLogger("repro").setLevel(logging.WARNING)
+
+
+def emitted(stream) -> list:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestCorrelationIds:
+    def test_shape(self):
+        cid = new_correlation_id()
+        assert cid.startswith("q-")
+        assert len(cid) == 14
+
+    def test_scope_binds_and_restores(self):
+        assert get_correlation_id() == ""
+        with correlation_scope() as cid:
+            assert get_correlation_id() == cid
+            with correlation_scope("q-nested") as inner:
+                assert inner == "q-nested"
+                assert get_correlation_id() == "q-nested"
+            assert get_correlation_id() == cid
+        assert get_correlation_id() == ""
+
+    def test_set_correlation_id(self):
+        set_correlation_id("q-manual")
+        try:
+            assert get_correlation_id() == "q-manual"
+        finally:
+            set_correlation_id("")
+
+
+class TestStructuredLogger:
+    def test_json_lines_with_fields(self, capture):
+        log = get_logger("serving")
+        log.info("query.served", algorithm="SKECa+", seconds=0.25, hit=False)
+        (record,) = emitted(capture)
+        assert record["event"] == "query.served"
+        assert record["logger"] == "repro.serving"
+        assert record["level"] == "info"
+        assert record["algorithm"] == "SKECa+"
+        assert record["seconds"] == 0.25
+        assert record["hit"] is False
+        assert "ts" in record
+
+    def test_correlation_id_lands_in_records(self, capture):
+        log = get_logger("serving")
+        with correlation_scope("q-abc") as cid:
+            log.info("inside")
+        log.info("outside")
+        inside, outside = emitted(capture)
+        assert inside["correlation_id"] == "q-abc"
+        assert "correlation_id" not in outside
+
+    def test_levels_filtered(self, capture):
+        logging.getLogger("repro").setLevel(logging.WARNING)
+        log = get_logger("x")
+        log.debug("hidden")
+        log.warning("shown", detail=1)
+        (record,) = emitted(capture)
+        assert record["event"] == "shown"
+
+    def test_nonserializable_fields_degrade_to_str(self, capture):
+        log = get_logger("x")
+        log.info("weird", value=object(), nan=float("nan"))
+        (record,) = emitted(capture)
+        assert isinstance(record["value"], str)
+        assert isinstance(record["nan"], str)
+
+    def test_logger_name_prefixing(self):
+        assert get_logger("serving").raw.name == "repro.serving"
+        assert get_logger("repro.core").raw.name == "repro.core"
+
+
+class TestConfigureLogging:
+    def test_idempotent(self):
+        s1, s2 = io.StringIO(), io.StringIO()
+        h1 = configure_logging(stream=s1, level=logging.INFO)
+        h2 = configure_logging(stream=s2, level=logging.INFO)
+        try:
+            logger = logging.getLogger("repro")
+            marked = [
+                h for h in logger.handlers
+                if getattr(h, "_repro_json_handler", False)
+            ]
+            assert marked == [h2]
+            get_logger("x").info("once")
+            assert s1.getvalue() == ""
+            assert len(emitted(s2)) == 1
+        finally:
+            logging.getLogger("repro").removeHandler(h2)
+            logging.getLogger("repro").setLevel(logging.WARNING)
+
+    def test_formatter_handles_exceptions(self):
+        formatter = JsonFormatter()
+        try:
+            raise KeyError("nope")
+        except KeyError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.t", logging.ERROR, __file__, 1, "boom", (), sys.exc_info()
+            )
+        document = json.loads(formatter.format(record))
+        assert document["exception"] == "KeyError"
+        assert document["event"] == "boom"

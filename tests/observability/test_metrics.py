@@ -1,0 +1,171 @@
+"""Histogram/Counter/Gauge family tests: buckets, percentiles, labels."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_geometry(self):
+        bounds = log_buckets(1e-3, 1.0, per_decade=2)
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] >= 1.0
+        for a, b in zip(bounds, bounds[1:]):
+            assert b / a == pytest.approx(10 ** 0.5)
+
+    def test_default_latency_buckets_span_1us_to_100s(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 100.0
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 0.5)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, per_decade=0)
+
+
+class TestHistogram:
+    def test_observe_and_count(self):
+        hist = Histogram("h", label_names=("algo",))
+        for v in (0.001, 0.002, 0.004):
+            hist.observe(v, algo="GKG")
+        assert hist.count(algo="GKG") == 3
+        assert hist.count(algo="EXACT") == 0
+
+    def test_percentile_none_when_empty(self):
+        hist = Histogram("h", label_names=("algo",))
+        assert hist.percentile(95.0, algo="GKG") is None
+
+    def test_percentile_clamped_to_observed_extremes(self):
+        hist = Histogram("h")
+        for _ in range(100):
+            hist.observe(0.0015)
+        # Interpolation inside the bucket would spread estimates across the
+        # bucket; the clamp pins them to the single observed value.
+        assert hist.percentile(50.0) == pytest.approx(0.0015)
+        assert hist.percentile(99.0) == pytest.approx(0.0015)
+
+    def test_percentile_orders_correctly(self):
+        hist = Histogram("h")
+        for _ in range(95):
+            hist.observe(0.001)
+        for _ in range(5):
+            hist.observe(1.0)
+        p50, p99 = hist.percentile(50.0), hist.percentile(99.0)
+        assert p50 < 0.01 < p99
+        assert p99 <= 1.0
+
+    def test_overflow_lands_in_inf_bucket(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        hist.observe(50.0)
+        (sample,) = [s for s in hist.samples() if s[2] == ("le", "+Inf")]
+        assert sample[3] == 1.0
+        assert hist.percentile(99.0) == pytest.approx(50.0)
+
+    def test_rejects_percentile_out_of_range(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 0.5))
+
+    def test_label_validation(self):
+        hist = Histogram("h", label_names=("algo",))
+        with pytest.raises(ValueError):
+            hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.observe(1.0, algo="GKG", extra="nope")
+
+    def test_snapshot_shape(self):
+        hist = Histogram("h", label_names=("algo",))
+        hist.observe(0.002, algo="GKG")
+        snap = hist.snapshot()
+        assert snap["kind"] == "histogram"
+        (series,) = snap["series"]
+        assert series["labels"] == {"algo": "GKG"}
+        assert series["count"] == 1
+        assert series["p50"] is not None
+        assert series["buckets"][-1]["count"] == 1
+
+    def test_cumulative_bucket_samples(self):
+        hist = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0):
+            hist.observe(v)
+        bucket_counts = [s[3] for s in hist.samples() if s[0] == "_bucket"]
+        assert bucket_counts == [1.0, 2.0, 3.0, 3.0]  # cumulative + +Inf
+        (total,) = [s[3] for s in hist.samples() if s[0] == "_count"]
+        assert total == 3.0
+
+    def test_thread_safety_no_lost_updates(self):
+        hist = Histogram("h")
+
+        def hammer():
+            for _ in range(500):
+                hist.observe(0.01)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count() == 2000
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c", label_names=("kind",))
+        c.inc(kind="a")
+        c.inc(2.5, kind="a")
+        assert c.value(kind="a") == pytest.approx(3.5)
+        assert c.value(kind="b") == 0.0
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_samples(self):
+        c = Counter("c", label_names=("kind",))
+        c.inc(kind="x")
+        ((suffix, labels, extra, value),) = list(c.samples())
+        assert (suffix, labels, extra, value) == ("", {"kind": "x"}, None, 1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(2.0)
+        assert g.value() == pytest.approx(13.0)
+
+    def test_gauge_can_go_negative(self):
+        g = Gauge("g")
+        g.dec(4.0)
+        assert g.value() == pytest.approx(-4.0)
+
+
+class TestFiniteness:
+    def test_snapshot_has_no_nan(self):
+        hist = Histogram("h")
+        hist.observe(0.5)
+        snap = hist.snapshot()
+        for series in snap["series"]:
+            for key in ("sum", "min", "max", "p50", "p95", "p99"):
+                value = series[key]
+                assert value is None or math.isfinite(value)

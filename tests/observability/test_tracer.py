@@ -1,0 +1,208 @@
+"""Tracer unit tests: nesting, threads, sampling, the disabled fast path."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_SPAN,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    traced,
+)
+
+
+def make_tracer(**kwargs):
+    """A tracer with a deterministic fake clock ticking 10 ns per read."""
+    state = {"now": 0}
+
+    def clock():
+        state["now"] += 10
+        return state["now"]
+
+    return Tracer(clock_ns=clock, **kwargs)
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        spans = {s["name"]: s for s in tracer.finished_spans()}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["inner"]["trace_id"] == spans["outer"]["trace_id"]
+        assert spans["outer"]["parent_id"] is None
+        assert outer.span_id != inner.span_id
+
+    def test_children_finish_before_parents(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        names = [s["name"] for s in tracer.finished_spans()]
+        assert names == ["c", "b", "a"]
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = make_tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        ids = {s["trace_id"] for s in tracer.finished_spans()}
+        assert len(ids) == 2
+
+    def test_durations_are_monotonic_and_nested(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {s["name"]: s for s in tracer.finished_spans()}
+        inner, outer = spans["inner"], spans["outer"]
+        assert outer["start_ns"] < inner["start_ns"]
+        assert inner["end_ns"] < outer["end_ns"]
+        assert inner["end_ns"] > inner["start_ns"]
+
+    def test_exception_records_error_attribute(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (sp,) = tracer.finished_spans()
+        assert sp["attributes"]["error"] == "ValueError"
+
+    def test_attributes_and_set_attribute(self):
+        tracer = make_tracer()
+        with tracer.span("step", pole=7) as sp:
+            sp.set_attribute("found", True)
+        (rec,) = tracer.finished_spans()
+        assert rec["attributes"] == {"pole": 7, "found": True}
+
+    def test_record_complete_joins_current_parent(self):
+        tracer = make_tracer()
+        with tracer.span("request") as root:
+            tracer.record_complete("queue", 1, 5)
+        spans = {s["name"]: s for s in tracer.finished_spans()}
+        assert spans["queue"]["parent_id"] == root.span_id
+        assert spans["queue"]["start_ns"] == 1
+        assert spans["queue"]["end_ns"] == 5
+
+
+class TestThreadIsolation:
+    def test_threads_do_not_share_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.finished_spans()
+        assert len(spans) == 2
+        # Both overlapped in time, yet neither parents the other.
+        assert all(s["parent_id"] is None for s in spans)
+        assert len({s["trace_id"] for s in spans}) == 2
+
+
+class TestDisabledFastPath:
+    def test_disabled_tracer_returns_the_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other", key=1) is NULL_SPAN
+        with tracer.span("x") as sp:
+            sp.set_attribute("ignored", 1)
+        assert len(tracer) == 0
+
+    def test_global_span_without_tracer_is_the_null_singleton(self):
+        assert get_tracer() is None
+        assert span("hot.loop") is NULL_SPAN
+
+    def test_null_span_is_reusable_and_inert(self):
+        with NULL_SPAN as a:
+            with NULL_SPAN as b:
+                assert a is b is NULL_SPAN
+
+
+class TestSampling:
+    def test_unsampled_root_drops_children_too(self):
+        tracer = make_tracer(sample_rate=0.0)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert len(tracer) == 0
+
+    def test_sampled_traces_are_structurally_complete(self):
+        tracer = make_tracer(sample_rate=0.5, rng=random.Random(7))
+        for _ in range(50):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        spans = tracer.finished_spans()
+        assert 0 < len(spans) < 100
+        roots = [s for s in spans if s["parent_id"] is None]
+        children = [s for s in spans if s["parent_id"] is not None]
+        # Every recorded child has its recorded root; never orphans.
+        assert len(roots) == len(children)
+        root_ids = {s["span_id"] for s in roots}
+        assert all(c["parent_id"] in root_ids for c in children)
+
+
+class TestBufferManagement:
+    def test_max_spans_counts_drops(self):
+        tracer = make_tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_drain_and_ingest_round_trip(self):
+        source = make_tracer()
+        with source.span("work", pole=3):
+            pass
+        shipped = source.drain()
+        assert len(source) == 0
+        sink = make_tracer()
+        sink.ingest(shipped)
+        assert [s["name"] for s in sink.finished_spans()] == ["work"]
+
+    def test_set_trace_id_pins_the_next_root(self):
+        tracer = make_tracer()
+        tracer.set_trace_id("abc123")
+        with tracer.span("root"):
+            pass
+        (sp,) = tracer.finished_spans()
+        assert sp["trace_id"] == "abc123"
+
+
+class TestGlobalRegistration:
+    def test_set_tracer_and_traced_decorator(self):
+        tracer = make_tracer()
+        previous = set_tracer(tracer)
+        try:
+
+            @traced("decorated.fn")
+            def fn(x):
+                return x + 1
+
+            assert fn(1) == 2
+            with span("manual"):
+                pass
+        finally:
+            set_tracer(previous)
+        names = {s["name"] for s in tracer.finished_spans()}
+        assert names == {"decorated.fn", "manual"}
+        assert get_tracer() is previous

@@ -247,3 +247,126 @@ class TestProcessPool:
         assert served.ok
         assert served.group.diameter == pytest.approx(inline.diameter, abs=1e-12)
         assert sorted(served.group.object_ids) == sorted(inline.object_ids)
+
+    def test_process_pool_counters_are_per_query_deltas(self):
+        # Pool workers are reused across queries; each answer must carry
+        # only its own query's counters, never a worker-lifetime total.
+        dataset = make_random_dataset(22, n=25)
+        query = feasible_query(dataset, 4, 3)
+        with QueryService(
+            dataset,
+            use_processes_for_exact=True,
+            process_workers=1,
+            cache_size=0,
+        ) as service:
+            first = service.query(query, algorithm="EXACT")
+            second = service.query(query, algorithm="EXACT")
+        assert first.ok and second.ok
+        assert first.stats.counters
+        # Same query on the same (reused) worker: identical work, so any
+        # accumulation across the boundary would double the counters.
+        for name, value in first.stats.counters.items():
+            assert second.stats.counters.get(name) == pytest.approx(value)
+
+
+class TestObservability:
+    def test_serve_spans_nest_under_request(self, dataset, queries):
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        with QueryService(dataset, tracer=tracer) as service:
+            assert service.query(queries[0]).ok
+        spans = {s["name"]: s for s in tracer.finished_spans()}
+        root = spans["serve.request"]
+        assert root["parent_id"] is None
+        assert spans["serve.cache_probe"]["parent_id"] == root["span_id"]
+        assert spans["serve.execute"]["parent_id"] == root["span_id"]
+        assert spans["serve.cache_store"]["trace_id"] == root["trace_id"]
+        # Algorithm spans recorded through the Deadline join the same trace.
+        assert spans["engine.query"]["trace_id"] == root["trace_id"]
+        assert root["attributes"]["cache"] == "miss"
+
+    def test_cache_hit_span_attribute(self, dataset, queries):
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        with QueryService(dataset, tracer=tracer) as service:
+            service.query(queries[1])
+            tracer.reset()
+            service.query(queries[1])
+        (root,) = [
+            s for s in tracer.finished_spans() if s["name"] == "serve.request"
+        ]
+        assert root["attributes"]["cache"] == "hit"
+
+    def test_queue_wait_span_for_submitted_queries(self, dataset, queries):
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        with QueryService(dataset, tracer=tracer) as service:
+            assert service.submit(queries[2]).result().ok
+        names = [s["name"] for s in tracer.finished_spans()]
+        assert "serve.queue" in names
+
+    def test_no_tracer_means_no_spans_and_null_fast_path(self, dataset, queries):
+        from repro.observability.tracer import NULL_SPAN, get_tracer
+
+        assert get_tracer() is None
+        with QueryService(dataset) as service:
+            assert service._span("serve.request") is NULL_SPAN
+            assert service.query(queries[3]).ok
+
+    def test_correlation_ids_unique_per_request(self, dataset, queries):
+        with QueryService(dataset) as service:
+            results = service.query_many(queries[:4])
+        cids = [r.correlation_id for r in results]
+        assert all(c.startswith("q-") for c in cids)
+        assert len(set(cids)) == len(cids)
+
+    def test_correlation_id_crosses_process_pool(self):
+        from repro.observability.tracer import Tracer
+
+        dataset = make_random_dataset(23, n=25)
+        query = feasible_query(dataset, 5, 3)
+        tracer = Tracer()
+        with QueryService(
+            dataset,
+            use_processes_for_exact=True,
+            process_workers=1,
+            cache_size=0,
+            tracer=tracer,
+        ) as service:
+            result = service.query(query, algorithm="EXACT")
+        assert result.ok
+        assert result.correlation_id.startswith("q-")
+        spans = tracer.finished_spans()
+        # The worker's spans came back and joined the parent's trace id.
+        pids = {s["pid"] for s in spans}
+        assert len(pids) == 2
+        (root,) = [s for s in spans if s["name"] == "serve.request"]
+        worker_spans = [s for s in spans if s["pid"] != root["pid"]]
+        assert worker_spans
+        assert all(s["trace_id"] == root["trace_id"] for s in worker_spans)
+
+    def test_structured_log_emitted_per_query(self, dataset, queries):
+        import io
+        import json as _json
+        import logging
+
+        from repro.observability.logging import configure_logging
+
+        stream = io.StringIO()
+        handler = configure_logging(stream=stream, level=logging.DEBUG)
+        try:
+            with QueryService(dataset) as service:
+                service.query(queries[6])
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+            logging.getLogger("repro").setLevel(logging.WARNING)
+        records = [
+            _json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        served = [r for r in records if r["event"] == "query.served"]
+        assert served
+        assert served[0]["correlation_id"].startswith("q-")
+        assert served[0]["cache_hit"] is False

@@ -3,6 +3,8 @@
 import json
 import math
 
+import pytest
+
 from repro.serving.stats import MetricsRegistry, QueryStats
 
 
@@ -103,3 +105,98 @@ class TestMetricsRegistry:
 
     def test_default_is_a_singleton(self):
         assert MetricsRegistry.default() is MetricsRegistry.default()
+
+
+class TestHistogramFamilies:
+    def test_latency_histogram_labelled_by_algorithm_and_cache(self):
+        reg = MetricsRegistry()
+        reg.record(_stats("GKG", 0.2))
+        reg.record(_stats("GKG", 0.0001, cache_hit=True))
+        hist = reg.latency_histogram
+        assert hist.count(algorithm="GKG", cache="miss") == 1
+        assert hist.count(algorithm="GKG", cache="hit") == 1
+
+    def test_work_counter_folds_instrumentation_counters(self):
+        reg = MetricsRegistry()
+        reg.record(_stats("EXACT", circle_scans=4, pruned_poles=2))
+        reg.record(_stats("EXACT", circle_scans=6))
+        assert reg.work_counter.value(algorithm="EXACT", counter="circle_scans") == 10.0
+        assert reg.work_counter.value(algorithm="EXACT", counter="pruned_poles") == 2.0
+
+    def test_as_dict_includes_histograms_section(self):
+        reg = MetricsRegistry()
+        reg.record(_stats("GKG", 0.2))
+        dump = reg.as_dict()
+        assert "mck_query_latency_seconds" in dump["histograms"]
+        (series,) = [
+            s
+            for s in dump["histograms"]["mck_query_latency_seconds"]["series"]
+            if s["labels"]["cache"] == "miss"
+        ]
+        assert series["count"] == 1
+        assert series["p50"] is not None
+
+    def test_to_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.record(_stats("SKECa+", 0.05))
+        reg.record(_stats("SKECa+", 0.0001, cache_hit=True))
+        text = reg.to_prometheus()
+        assert "# TYPE mck_query_latency_seconds histogram" in text
+        assert 'algorithm="SKECa+",cache="miss"' in text
+        assert 'algorithm="SKECa+",cache="hit"' in text
+        assert "mck_queries_total" in text
+
+    def test_custom_family_accessors(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("my_counter", label_names=("kind",))
+        assert reg.counter("my_counter") is counter
+        with pytest.raises(ValueError):
+            reg.gauge("my_counter")
+
+    def test_reset_clears_families(self):
+        reg = MetricsRegistry()
+        reg.record(_stats("GKG", 0.2))
+        reg.reset()
+        assert reg.latency_histogram.count(algorithm="GKG", cache="miss") == 0
+        assert reg.to_json()  # still renders
+
+
+class TestCacheHitOnlyAggregates:
+    """A run answered entirely from cache must dump clean JSON (no NaN)."""
+
+    def test_samples_field_and_none_statistics(self):
+        reg = MetricsRegistry()
+        for _ in range(4):
+            reg.record(_stats(cache_hit=True))
+        agg = reg.as_dict()["algorithms"]["SKECa+"]
+        latency = agg["latency_seconds"]
+        assert latency["samples"] == 0
+        assert latency["mean"] is None
+        assert latency["p50"] is None
+        assert latency["p95"] is None
+        assert latency["total"] == 0.0
+        assert agg["cache_hits"] == 4
+
+    def test_cache_hit_only_dump_is_nan_free_json(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            reg.record(_stats(cache_hit=True))
+        # allow_nan=False inside to_json: a NaN anywhere would raise here.
+        parsed = json.loads(reg.to_json())
+        assert parsed["algorithms"]["SKECa+"]["latency_seconds"]["samples"] == 0
+
+    def test_executed_runs_report_samples_count(self):
+        reg = MetricsRegistry()
+        reg.record(_stats(seconds=0.1))
+        reg.record(_stats(seconds=0.2))
+        reg.record(_stats(cache_hit=True))
+        latency = reg.as_dict()["algorithms"]["SKECa+"]["latency_seconds"]
+        assert latency["samples"] == 2
+        assert latency["mean"] == pytest.approx(0.15)
+
+
+class TestCorrelationId:
+    def test_correlation_id_round_trips_as_dict(self):
+        s = _stats()
+        s.correlation_id = "q-deadbeef0123"
+        assert s.as_dict()["correlation_id"] == "q-deadbeef0123"
