@@ -15,3 +15,6 @@ python -m pytest -q "$@"
 
 echo "== trace smoke =="
 python scripts/trace_smoke.py
+
+echo "== fault-injection smoke =="
+python scripts/fault_smoke.py

@@ -39,6 +39,7 @@ from .exceptions import (
     InfeasibleQueryError,
     QueryError,
     ReproError,
+    WorkerCrashed,
 )
 
 __version__ = "1.0.0"
@@ -68,5 +69,6 @@ __all__ = [
     "InfeasibleQueryError",
     "QueryError",
     "ReproError",
+    "WorkerCrashed",
     "__version__",
 ]

@@ -133,6 +133,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--output", default=None, help="write the JSON dump here instead of stdout"
     )
+    serve.add_argument(
+        "--strict-timeouts",
+        action="store_true",
+        help="fail queries on an expired deadline (paper §6.2.3) instead of "
+        "returning the best feasible incumbent as a degraded answer",
+    )
+    serve.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="arm a fault for the run, e.g. slow-scan:delay=0.2, "
+        "clock-skew:after=50, pool-reject:times=2, worker-crash "
+        "(repeatable; see repro.testing.faults)",
+    )
+    serve.add_argument(
+        "--prom-out",
+        default=None,
+        help="also write Prometheus text exposition of the service metrics here",
+    )
     serve.set_defaults(handler=_cmd_serve_bench)
 
     trace = sub.add_parser(
@@ -263,10 +283,17 @@ def _cmd_serve_bench(args) -> int:
     from .datasets.queries import generate_queries
     from .exceptions import QueryError
     from .serving import QueryRequest, QueryService
+    from .testing import faults
 
     try:
         algorithms = [canonical_algorithm(a) for a in args.algorithms]
     except QueryError as exc:
+        print(f"serve-bench: {exc}", file=sys.stderr)
+        return 2
+    try:
+        for spec in args.inject_fault:
+            faults.arm_spec(spec)
+    except ValueError as exc:
         print(f"serve-bench: {exc}", file=sys.stderr)
         return 2
     if args.cache_ttl is not None and args.cache_ttl <= 0:
@@ -296,36 +323,47 @@ def _cmd_serve_bench(args) -> int:
     ]
 
     started = _time.perf_counter()
-    with QueryService(
-        dataset,
-        max_workers=args.workers,
-        cache_size=args.cache_size,
-        cache_ttl=args.cache_ttl,
-        use_processes_for_exact=args.process_exact,
-    ) as service:
-        failures = 0
-        for _round in range(max(1, args.repeat)):
-            for result in service.query_many(requests):
-                if not result.ok:
-                    failures += 1
-        wall = _time.perf_counter() - started
-        dump = {
-            "workload": {
-                "dataset": dataset.name,
-                "objects": len(dataset),
-                "m": args.m,
-                "distinct_queries": len(workload),
-                "algorithms": algorithms,
-                "repeat": max(1, args.repeat),
-                "requests_total": len(requests) * max(1, args.repeat),
-                "failures": failures,
-                "wall_seconds": wall,
-                "throughput_qps": len(requests) * max(1, args.repeat) / wall
-                if wall > 0
-                else None,
-            },
-            "metrics": service.metrics_dict(),
-        }
+    try:
+        with QueryService(
+            dataset,
+            max_workers=args.workers,
+            cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl,
+            use_processes_for_exact=args.process_exact,
+            strict_timeouts=args.strict_timeouts,
+        ) as service:
+            failures = 0
+            degraded = 0
+            for _round in range(max(1, args.repeat)):
+                for result in service.query_many(requests):
+                    if not result.ok:
+                        failures += 1
+                    elif result.degraded:
+                        degraded += 1
+            wall = _time.perf_counter() - started
+            dump = {
+                "workload": {
+                    "dataset": dataset.name,
+                    "objects": len(dataset),
+                    "m": args.m,
+                    "distinct_queries": len(workload),
+                    "algorithms": algorithms,
+                    "repeat": max(1, args.repeat),
+                    "requests_total": len(requests) * max(1, args.repeat),
+                    "failures": failures,
+                    "degraded": degraded,
+                    "strict_timeouts": args.strict_timeouts,
+                    "injected_faults": list(args.inject_fault),
+                    "wall_seconds": wall,
+                    "throughput_qps": len(requests) * max(1, args.repeat) / wall
+                    if wall > 0
+                    else None,
+                },
+                "metrics": service.metrics_dict(),
+            }
+            prom_text = service.metrics.to_prometheus() if args.prom_out else None
+    finally:
+        faults.reset()
 
     text = json.dumps(dump, indent=2, sort_keys=True)
     if args.output:
@@ -334,6 +372,10 @@ def _cmd_serve_bench(args) -> int:
         print(f"wrote serve-bench metrics to {args.output}")
     else:
         print(text)
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(prom_text)
+        print(f"wrote Prometheus exposition to {args.prom_out}")
     return 0
 
 

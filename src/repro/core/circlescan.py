@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..testing import faults as _faults
 from .query import QueryContext
 
 __all__ = ["circle_scan", "circle_scan_candidates", "sweeping_area"]
@@ -111,6 +112,8 @@ def circle_scan(
     query keywords, or ``None`` when no rotation position works — by
     Property 1 this also rules out every smaller diameter at this pole.
     """
+    # Chaos site: tests arm a delay here to model a stalled sweep.
+    _faults.fire("core.circlescan", pole=pole_row, diameter=diameter)
     setup = _sweep_events(ctx, pole_row, diameter)
     if setup is None:
         return None

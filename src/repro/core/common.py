@@ -3,20 +3,62 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..exceptions import AlgorithmTimeout
 from ..observability import tracer as _tracing
+from ..testing import faults as _faults
 
 __all__ = [
     "Deadline",
     "Instrumentation",
     "SQRT3_FACTOR",
     "instrumentation_span",
+    "QUALITY_EXACT",
+    "QUALITY_APPROX",
+    "QUALITY_GREEDY",
+    "QUALITY_PARTIAL",
+    "QUALITY_RANK",
+    "quality_ratio_bound",
 ]
 
 #: The recurring bound 2/sqrt(3) ≈ 1.1547 (Theorems 4–5, Lemma 2).
 SQRT3_FACTOR = 2.0 / (3.0**0.5)
+
+
+# --------------------------------------------------------------------- #
+# Answer-quality tags.  A degraded (anytime) answer returned on timeout
+# carries the strongest certificate that held when the budget expired.
+# --------------------------------------------------------------------- #
+
+#: Certified optimal (EXACT completed, or a zero-diameter group).
+QUALITY_EXACT = "exact"
+#: Within 2/√3 + ε of optimal (a converged SKECa-family bound, Theorem 6).
+QUALITY_APPROX = "approx_2sqrt3"
+#: Within 2× of optimal (the completed GKG group, Theorem 2).
+QUALITY_GREEDY = "greedy_2x"
+#: Feasible — covers every query keyword — but with no ratio certificate
+#: (e.g. GKG interrupted before all t_inf anchors were tried).
+QUALITY_PARTIAL = "partial"
+
+#: Stronger certificates rank higher; used to decide which incumbent to keep.
+QUALITY_RANK = {
+    QUALITY_PARTIAL: 0,
+    QUALITY_GREEDY: 1,
+    QUALITY_APPROX: 2,
+    QUALITY_EXACT: 3,
+}
+
+
+def quality_ratio_bound(quality: str, epsilon: float = 0.0) -> float:
+    """Certified worst-case ratio δ(G)/δ(G_opt) for a quality tag."""
+    if quality == QUALITY_EXACT:
+        return 1.0
+    if quality == QUALITY_APPROX:
+        return SQRT3_FACTOR + epsilon
+    if quality == QUALITY_GREEDY:
+        return 2.0
+    return float("inf")
 
 
 class Instrumentation:
@@ -124,7 +166,7 @@ def instrumentation_span(instrumentation: Optional[Instrumentation], name: str, 
 
 
 class Deadline:
-    """A cooperative wall-clock budget.
+    """A cooperative wall-clock budget with an anytime incumbent channel.
 
     Algorithms poll :meth:`check` at loop boundaries; exceeding the budget
     raises :class:`~repro.exceptions.AlgorithmTimeout`, which the experiment
@@ -132,13 +174,40 @@ class Deadline:
     paper's success-rate methodology (§6.2.3).  A ``None`` budget never
     fires and costs one attribute check per poll.
 
+    **Incumbent channel.**  As an algorithm improves its best feasible
+    group it publishes the O'-rows through :meth:`offer` (cheap: a list
+    copy, no :class:`~repro.core.result.Group` construction).  On expiry
+    the stored incumbent is materialized and attached to the raised
+    :class:`~repro.exceptions.AlgorithmTimeout` together with a quality
+    tag, so callers running in degraded mode can answer with the best
+    feasible group instead of failing.  Quality is derived from bounds the
+    algorithm certifies along the way via :meth:`note_bound`: once GKG
+    completes, any incumbent no larger than the greedy diameter is a
+    certified 2-approximation; once a SKECa-family search converges, the
+    2/√3 + ε certificate applies below its diameter.
+
     A deadline optionally carries an :class:`Instrumentation` sink; the
     algorithms report progress counters through :meth:`count` and open
     trace spans through :meth:`span`, both no-ops when no sink (or tracer)
     is attached.
+
+    Fault injection: :meth:`check` consults the
+    ``core.deadline.clock`` site of :mod:`repro.testing.faults`, so tests
+    can skew the observed clock and force expiry at an exact poll.
     """
 
-    __slots__ = ("algorithm", "budget", "instrumentation", "_expires_at")
+    __slots__ = (
+        "algorithm",
+        "budget",
+        "instrumentation",
+        "_expires_at",
+        "_offer_ctx",
+        "_offer_rows",
+        "_offer_diameter",
+        "_offer_quality",
+        "_greedy_bound",
+        "_approx_bound",
+    )
 
     def __init__(
         self,
@@ -153,10 +222,115 @@ class Deadline:
             self._expires_at = None
         else:
             self._expires_at = time.monotonic() + budget_seconds
+        self._offer_ctx = None
+        self._offer_rows: Optional[list] = None
+        self._offer_diameter = float("inf")
+        self._offer_quality: Optional[str] = None
+        self._greedy_bound = float("inf")
+        self._approx_bound = float("inf")
 
     def check(self) -> None:
-        if self._expires_at is not None and time.monotonic() > self._expires_at:
-            raise AlgorithmTimeout(self.algorithm, self.budget or 0.0)
+        expires_at = self._expires_at
+        if expires_at is None:
+            return
+        now = time.monotonic()
+        if _faults.ACTIVE:
+            now += _faults.clock_skew()
+        if now > expires_at:
+            raise self.timeout()
+
+    # -- anytime incumbent channel -------------------------------------- #
+
+    def note_bound(self, quality: str, diameter: float) -> None:
+        """Record a certified approximation bound reached by the run.
+
+        ``note_bound(QUALITY_GREEDY, d)`` certifies that any feasible
+        group with diameter ≤ ``d`` is within 2× of optimal (Theorem 2);
+        ``note_bound(QUALITY_APPROX, d)`` certifies 2/√3 + ε below ``d``
+        (Theorem 6 / Lemma 2).  Later :meth:`offer` calls use the tightest
+        applicable certificate automatically.
+        """
+        if quality == QUALITY_GREEDY:
+            if diameter < self._greedy_bound:
+                self._greedy_bound = diameter
+        elif quality in (QUALITY_APPROX, QUALITY_EXACT):
+            if diameter < self._approx_bound:
+                self._approx_bound = diameter
+            # An approx bound is also at least as strong as a greedy one.
+            if diameter < self._greedy_bound:
+                self._greedy_bound = diameter
+
+    def offer(
+        self,
+        ctx,
+        rows: Sequence[int],
+        diameter: float,
+        quality: Optional[str] = None,
+    ) -> None:
+        """Publish a feasible incumbent (O'-rows of ``ctx``).
+
+        ``diameter`` may be an upper bound (e.g. the enclosing-circle
+        diameter); the true group diameter is recomputed if the incumbent
+        is ever materialized.  The stored incumbent is replaced when the
+        new offer is smaller, or equal-sized with a stronger certificate.
+        """
+        if quality is None:
+            # An infinite bound means "never certified" — it must not
+            # confer a tag, so each comparison requires a finite bound.
+            if diameter <= 0.0:
+                quality = QUALITY_EXACT
+            elif diameter <= self._approx_bound < float("inf"):
+                quality = QUALITY_APPROX
+            elif diameter <= self._greedy_bound < float("inf"):
+                quality = QUALITY_GREEDY
+            else:
+                quality = QUALITY_PARTIAL
+        if self._offer_rows is not None:
+            if diameter > self._offer_diameter:
+                return
+            if diameter == self._offer_diameter and QUALITY_RANK.get(
+                quality, 0
+            ) <= QUALITY_RANK.get(self._offer_quality or "", 0):
+                return
+        self._offer_ctx = ctx
+        self._offer_rows = list(rows)
+        self._offer_diameter = diameter
+        self._offer_quality = quality
+
+    def incumbent(self):
+        """Materialize the best offered group, or ``(None, "")``.
+
+        Returns ``(group, quality)``; the group's quality tag and a
+        re-derived certificate are applied using the group's *actual*
+        diameter (offers may carry conservative upper bounds).
+        """
+        if self._offer_rows is None or self._offer_ctx is None:
+            return None, ""
+        from .result import Group  # local import: result imports nothing back
+
+        group = Group.from_rows(
+            self._offer_ctx, self._offer_rows, algorithm=self.algorithm
+        )
+        quality = self._offer_quality or QUALITY_PARTIAL
+        # The recomputed diameter may clear a stronger certificate than
+        # the conservative offer bound did.
+        if group.diameter <= 0.0:
+            quality = QUALITY_EXACT
+        elif group.diameter <= self._approx_bound < float("inf"):
+            if QUALITY_RANK[QUALITY_APPROX] > QUALITY_RANK.get(quality, 0):
+                quality = QUALITY_APPROX
+        elif group.diameter <= self._greedy_bound < float("inf"):
+            if QUALITY_RANK[QUALITY_GREEDY] > QUALITY_RANK.get(quality, 0):
+                quality = QUALITY_GREEDY
+        group.quality = quality
+        return group, quality
+
+    def timeout(self) -> AlgorithmTimeout:
+        """Build the expiry exception, materializing the incumbent."""
+        group, quality = self.incumbent()
+        return AlgorithmTimeout(
+            self.algorithm, self.budget or 0.0, incumbent=group, quality=quality
+        )
 
     def count(self, name: str, n: float = 1.0) -> None:
         """Report algorithm work to the attached instrumentation, if any."""

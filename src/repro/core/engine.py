@@ -12,7 +12,7 @@ import time
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from ..exceptions import QueryError
+from ..exceptions import AlgorithmTimeout, QueryError
 from .common import Deadline, Instrumentation, instrumentation_span
 from .exact import exact
 from .gkg import gkg
@@ -99,6 +99,7 @@ class MCKEngine:
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
         instrumentation: Optional[Instrumentation] = None,
+        degrade_on_timeout: bool = False,
     ) -> Group:
         """Answer one mCK query.
 
@@ -118,6 +119,13 @@ class MCKEngine:
             given, the context-compile and algorithm times plus the
             algorithm's live pruning/search counters are recorded on it
             (even if the query times out).
+        degrade_on_timeout:
+            When True and the budget expires while the algorithm holds a
+            feasible incumbent, return that incumbent as a degraded
+            answer — ``stats["degraded"] == 1.0``, ``quality`` set to its
+            certificate tag — instead of raising.  The default (False)
+            keeps the paper's strict §6.2.3 fail-hard semantics.  A
+            timeout with no incumbent raises either way.
         """
         canonical = canonical_algorithm(algorithm)
         runner = self._dispatch(algorithm, epsilon)
@@ -135,6 +143,15 @@ class MCKEngine:
                     instrumentation, "engine.algorithm", algorithm=canonical
                 ):
                     group = runner(ctx, deadline)
+            except AlgorithmTimeout as err:
+                if not degrade_on_timeout or err.incumbent is None:
+                    raise
+                group = err.incumbent
+                group.algorithm = canonical
+                group.quality = err.quality
+                group.stats["degraded"] = 1.0
+                if instrumentation is not None:
+                    instrumentation.count("degraded")
             finally:
                 elapsed = time.perf_counter() - started
                 if instrumentation is not None:

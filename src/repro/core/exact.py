@@ -26,7 +26,7 @@ import numpy as np
 
 from ..geometry.mcc import minimum_covering_circle
 from .circlescan import circle_scan_candidates
-from .common import SQRT3_FACTOR, Deadline
+from .common import QUALITY_APPROX, QUALITY_EXACT, SQRT3_FACTOR, Deadline
 from .query import QueryContext
 from .result import Group
 from .skeca import DEFAULT_EPSILON
@@ -64,6 +64,12 @@ def exact_from_state(
             algorithm="EXACT",
             enclosing_circle=skeca_group.enclosing_circle,
         )
+        # Emit the search counters (as zeros) on this path too; the
+        # experiment runner and serve-bench aggregates read them from
+        # every EXACT answer.
+        result.stats["candidate_circles"] = 0.0
+        result.stats["pruned_poles"] = 0.0
+        result.quality = QUALITY_EXACT
         return result
 
     skeca_rows = [ctx.row_of(oid) for oid in skeca_group.object_ids]
@@ -76,6 +82,11 @@ def exact_from_state(
     if state.gkg_group.diameter < best_diameter:
         best_rows = [ctx.row_of(oid) for oid in state.gkg_group.object_ids]
         best_diameter = state.gkg_group.diameter
+    # Anytime channel: the SKECa+ certificate covers the seed and every
+    # smaller incumbent the branch-and-bound finds below it (a timeout
+    # mid-enumeration then degrades to a 2/√3 + ε answer, not a failure).
+    deadline.note_bound(QUALITY_APPROX, skeca_group.diameter)
+    deadline.offer(ctx, best_rows, best_diameter)
 
     max_invalid = state.max_invalid_range
     searched = 0
@@ -109,6 +120,7 @@ def exact_from_state(
     group.diameter = min(group.diameter, best_diameter)
     group.stats["candidate_circles"] = float(searched)
     group.stats["pruned_poles"] = float(pruned_poles)
+    group.quality = QUALITY_EXACT
     return group
 
 
@@ -190,6 +202,7 @@ def branch_and_bound_search(
             if diameter < best["diameter"]:
                 best["diameter"] = diameter
                 best["rows"] = [local[i] for i in selected]
+                deadline.offer(ctx, best["rows"], diameter)
             return
         # Pruning Strategy 3: remaining candidates cannot close the gap.
         if (covered | suffix_mask[start]) != full:

@@ -25,7 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import InfeasibleQueryError, QueryError
-from .common import Deadline
+from .common import QUALITY_EXACT, QUALITY_GREEDY, QUALITY_PARTIAL, Deadline
 from .query import QueryContext
 from .result import Group
 
@@ -48,7 +48,10 @@ def gkg(
     for anchor in anchor_rows:
         if ctx.masks[anchor] == full:
             # A single object covering everything is optimal (δ = 0).
-            return Group.from_rows(ctx, [anchor], algorithm="GKG")
+            deadline.offer(ctx, [anchor], 0.0, quality=QUALITY_EXACT)
+            group = Group.from_rows(ctx, [anchor], algorithm="GKG")
+            group.quality = QUALITY_EXACT
+            return group
 
     if method == "kdtree":
         best_rows = _best_group_kdtree(ctx, anchor_rows, deadline)
@@ -65,6 +68,12 @@ def gkg(
         raise InfeasibleQueryError(ctx.query.keywords)
     group = Group.from_rows(ctx, best_rows, algorithm="GKG")
     group.stats["anchors"] = float(len(anchor_rows))
+    # The greedy group is a certified 2-approximation only once every
+    # t_inf anchor has been tried (Theorem 2); record the bound and
+    # re-offer the finished group so a later timeout degrades to it.
+    deadline.note_bound(QUALITY_GREEDY, group.diameter)
+    deadline.offer(ctx, best_rows, group.diameter)
+    group.quality = QUALITY_GREEDY
     return group
 
 
@@ -107,6 +116,8 @@ def _best_group_kdtree(
         if diameter < best_diameter:
             best_diameter = diameter
             best_rows = group_rows
+            # Feasible but unrated until the anchor loop completes.
+            deadline.offer(ctx, group_rows, diameter, quality=QUALITY_PARTIAL)
     return best_rows
 
 
@@ -143,6 +154,7 @@ def _best_group_irtree(
         if diameter < best_diameter:
             best_diameter = diameter
             best_rows = group_rows
+            deadline.offer(ctx, group_rows, diameter, quality=QUALITY_PARTIAL)
     return best_rows
 
 
@@ -179,4 +191,5 @@ def _best_group_brtree(
         if diameter < best_diameter:
             best_diameter = diameter
             best_rows = group_rows
+            deadline.offer(ctx, group_rows, diameter, quality=QUALITY_PARTIAL)
     return best_rows

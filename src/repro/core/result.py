@@ -29,6 +29,16 @@ class Group:
     enclosing_circle: Optional[Circle] = None
     elapsed_seconds: float = 0.0
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Certified answer quality (``exact`` / ``approx_2sqrt3`` /
+    #: ``greedy_2x`` / ``partial``), or ``None`` when the producing code
+    #: predates the tagging.  Degraded (anytime) answers additionally set
+    #: ``stats["degraded"] = 1.0``.
+    quality: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when this answer was returned on an expired deadline."""
+        return bool(self.stats.get("degraded"))
 
     @classmethod
     def from_rows(

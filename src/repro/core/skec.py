@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 
 from ..exceptions import GeometryError
 from ..geometry.circle import Circle, circle_from_three, circle_from_two
-from .common import Deadline
+from .common import QUALITY_APPROX, QUALITY_EXACT, Deadline
 from .gkg import gkg
 from .query import QueryContext
 from .result import Group
@@ -50,6 +50,10 @@ def skec(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
 
     rows = _enclosed_rows(ctx, current)
     group = Group.from_rows(ctx, rows, algorithm="SKEC", enclosing_circle=current)
+    # SKECq is exact, so the enclosed group meets the Theorem-5 2/√3 bound.
+    deadline.note_bound(QUALITY_APPROX, group.diameter)
+    deadline.offer(ctx, rows, group.diameter)
+    group.quality = QUALITY_APPROX
     return group
 
 
@@ -95,7 +99,7 @@ def find_oskec(
         # Two-object case: segment pole-oj is the circle diameter.
         deadline.count("candidate_circles")
         candidate = circle_from_two(pole, oj_pt)
-        current = _try_candidate(ctx, candidate, current)
+        current = _try_candidate(ctx, candidate, current, deadline)
 
         # Three-object case: om strictly closer to the pole than oj.
         for dist_m, om in olist[:j]:
@@ -109,16 +113,24 @@ def find_oskec(
             except GeometryError:
                 continue
             deadline.count("candidate_circles")
-            current = _try_candidate(ctx, candidate, current)
+            current = _try_candidate(ctx, candidate, current, deadline)
     return current
 
 
-def _try_candidate(ctx: QueryContext, candidate: Circle, current: Circle) -> Circle:
+def _try_candidate(
+    ctx: QueryContext,
+    candidate: Circle,
+    current: Circle,
+    deadline: Optional[Deadline] = None,
+) -> Circle:
     """Adopt ``candidate`` when it is smaller and encloses a covering group."""
     if candidate.diameter >= current.diameter:
         return current
     rows = ctx.rows_within(candidate.cx, candidate.cy, candidate.r)
     if len(rows) and ctx.covers(rows):
+        if deadline is not None:
+            # Feasible enclosed group, diameter ≤ the candidate circle's.
+            deadline.offer(ctx, [int(r) for r in rows], candidate.diameter)
         return candidate
     return current
 
@@ -129,12 +141,14 @@ def _single_object_answer(ctx: QueryContext) -> Optional[Group]:
     for row, mask in enumerate(ctx.masks):
         if mask == full:
             x, y = ctx.location_of_row(row)
-            return Group.from_rows(
+            group = Group.from_rows(
                 ctx,
                 [row],
                 algorithm="SKEC",
                 enclosing_circle=Circle(x, y, 0.0),
             )
+            group.quality = QUALITY_EXACT
+            return group
     return None
 
 

@@ -22,7 +22,7 @@ import numpy as np
 from ..geometry.circle import Circle
 from ..geometry.mcc import minimum_covering_circle
 from .circlescan import circle_scan
-from .common import Deadline
+from .common import QUALITY_APPROX, QUALITY_EXACT, Deadline
 from .gkg import gkg
 from .query import QueryContext
 from .result import Group
@@ -90,6 +90,10 @@ def skeca(
     )
     group.stats["binary_steps"] = float(binary_steps)
     group.stats["alpha"] = alpha
+    # The converged search certifies the Theorem-6 ratio for this group.
+    deadline.note_bound(QUALITY_APPROX, group.diameter)
+    deadline.offer(ctx, current_rows, group.diameter)
+    group.quality = QUALITY_APPROX
     return group
 
 
@@ -116,6 +120,9 @@ def find_app_oskec(
 
     rows, theta = hit
     best = _FoundCircle(pole_row, current_ub, theta, rows)
+    # Enclosed group feasible with diameter ≤ the circle diameter: a valid
+    # (conservatively bounded) anytime incumbent.
+    deadline.offer(ctx, rows, current_ub)
     ub = current_ub
     lb = max(search_lb, 0.0)
     steps = 1
@@ -131,6 +138,7 @@ def find_app_oskec(
         if hit is not None:
             ub = diam
             best = _FoundCircle(pole_row, diam, hit[1], hit[0])
+            deadline.offer(ctx, hit[0], diam)
         else:
             lb = diam
     return best, steps
@@ -141,7 +149,9 @@ def _single_object_answer(ctx: QueryContext, algorithm: str) -> Optional[Group]:
     for row, mask in enumerate(ctx.masks):
         if mask == full:
             x, y = ctx.location_of_row(row)
-            return Group.from_rows(
+            group = Group.from_rows(
                 ctx, [row], algorithm=algorithm, enclosing_circle=Circle(x, y, 0.0)
             )
+            group.quality = QUALITY_EXACT
+            return group
     return None

@@ -24,7 +24,7 @@ import numpy as np
 from ..geometry.circle import Circle
 from ..geometry.mcc import minimum_covering_circle
 from .circlescan import circle_scan
-from .common import Deadline
+from .common import QUALITY_APPROX, Deadline
 from .gkg import gkg
 from .query import QueryContext
 from .result import Group
@@ -110,11 +110,15 @@ def skeca_plus_state(
             )
         steps += warm_steps
         scans += warm_steps
-        if warm is not None and warm.diameter < search_ub:
-            search_ub = warm.diameter
-            current_rows = warm.rows
-            current_circle = warm.circle(ctx)
+        if warm is not None:
+            # Any successful warm probe makes this pole the last-success
+            # pole; previously a probe matching search_ub exactly was
+            # discarded and the first binary step lost its fast path.
             last_success_pole = warm_pole
+            if warm.diameter < search_ub:
+                search_ub = warm.diameter
+                current_rows = warm.rows
+                current_circle = warm.circle(ctx)
     while search_ub - search_lb > alpha:
         deadline.check()
         diam = (search_ub + search_lb) / 2.0
@@ -150,6 +154,7 @@ def skeca_plus_state(
                     rows, theta = hit
                     current_rows = rows
                     current_circle = _circle_at(ctx, pole, diam, theta)
+                    deadline.offer(ctx, rows, diam)
                     found_result = True
                     last_success_pole = pole
                     break
@@ -165,6 +170,11 @@ def skeca_plus_state(
     group.stats["binary_steps"] = float(steps)
     group.stats["circle_scans"] = float(scans)
     group.stats["alpha"] = alpha
+    # Converged: the Theorem-6 certificate holds for this group, and for
+    # any smaller incumbent EXACT finds while refining it.
+    deadline.note_bound(QUALITY_APPROX, group.diameter)
+    deadline.offer(ctx, current_rows, group.diameter)
+    group.quality = QUALITY_APPROX
     return SkecaPlusState(
         group=group,
         gkg_group=greedy,

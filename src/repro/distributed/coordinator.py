@@ -33,9 +33,10 @@ from typing import List, Optional, Sequence
 from ..core.engine import MCKEngine
 from ..core.objects import Dataset
 from ..core.result import Group
-from ..exceptions import InfeasibleQueryError
+from ..exceptions import InfeasibleQueryError, WorkerCrashed
 from ..observability.logging import correlation_scope, get_logger
 from ..observability.tracer import span as _trace_span
+from ..serving.stats import MetricsRegistry
 from .partition import GridPartitioner
 from .worker import LocalAnswer, Worker
 
@@ -65,16 +66,48 @@ class DistributedResult:
     #: bound); the distributed protocol then adds no benefit.
     fell_back_to_central: bool = False
     worker_answers: List[LocalAnswer] = field(default_factory=list)
+    #: Worker crashes observed across both rounds.
+    worker_crashes: int = 0
+    #: Respawn-and-resubmit attempts that followed those crashes.
+    worker_retries: int = 0
 
 
 class DistributedMCKEngine:
     """Answer mCK queries over a dataset split across simulated workers."""
 
-    def __init__(self, dataset: Dataset, n_workers: int = 4, epsilon: float = 0.01):
+    def __init__(
+        self,
+        dataset: Dataset,
+        n_workers: int = 4,
+        epsilon: float = 0.01,
+        max_worker_retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        retry_backoff_cap: float = 1.0,
+        sleep=time.sleep,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         dataset.finalize()
         self.dataset = dataset
         self.partitioner = GridPartitioner(dataset, n_workers)
         self.epsilon = epsilon
+        #: Respawn-and-resubmit budget per worker per round; a worker that
+        #: exhausts it is abandoned and contributes an infeasible answer
+        #: (the protocol degrades, it does not fail).
+        self.max_worker_retries = max(0, max_worker_retries)
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.retry_backoff_cap = retry_backoff_cap
+        self._sleep = sleep
+        self.metrics = metrics if metrics is not None else MetricsRegistry.default()
+        self._crash_counter = self.metrics.counter(
+            "mck_worker_crashes_total",
+            help="Distributed worker crashes observed by the coordinator.",
+            label_names=("round",),
+        )
+        self._worker_retry_counter = self.metrics.counter(
+            "mck_worker_retries_total",
+            help="Worker respawn-and-resubmit attempts after a crash.",
+            label_names=("round",),
+        )
         self._central_engine: Optional[MCKEngine] = None
 
     @property
@@ -115,15 +148,9 @@ class DistributedMCKEngine:
             bound_workers = self._spawn_workers(halo=0.0)
             messages += len(bound_workers)  # query broadcast
             bytes_shipped += len(bound_workers) * _BYTES_PER_MESSAGE
-            bound_answers = [
-                w.answer(
-                    keywords,
-                    algorithm=bound_algorithm,
-                    epsilon=self.epsilon,
-                    correlation_id=cid,
-                )
-                for w in bound_workers
-            ]
+            bound_answers, crashes, retries = self._gather(
+                bound_workers, keywords, bound_algorithm, cid, "bound"
+            )
         messages += len(bound_answers)
         bytes_shipped += len(bound_answers) * _BYTES_PER_MESSAGE
         round_times = [a.compute_seconds for a in bound_answers]
@@ -152,6 +179,8 @@ class DistributedMCKEngine:
                 total_compute_seconds=total_compute + central_time,
                 fell_back_to_central=True,
                 worker_answers=bound_answers,
+                worker_crashes=crashes,
+                worker_retries=retries,
             )
 
         d_ub = min(a.diameter for a in feasible)
@@ -170,6 +199,8 @@ class DistributedMCKEngine:
                 makespan_seconds=makespan,
                 total_compute_seconds=total_compute,
                 worker_answers=bound_answers,
+                worker_crashes=crashes,
+                worker_retries=retries,
             )
 
         # Round 2: re-partition with halo = d_ub and solve exactly.
@@ -183,15 +214,11 @@ class DistributedMCKEngine:
             messages += 2 * len(exact_workers)  # query out, answer back
             bytes_shipped += 2 * len(exact_workers) * _BYTES_PER_MESSAGE
 
-            exact_answers = [
-                w.answer(
-                    keywords,
-                    algorithm=exact_algorithm,
-                    epsilon=self.epsilon,
-                    correlation_id=cid,
-                )
-                for w in exact_workers
-            ]
+            exact_answers, exact_crashes, exact_retries = self._gather(
+                exact_workers, keywords, exact_algorithm, cid, "exact"
+            )
+            crashes += exact_crashes
+            retries += exact_retries
         round_times = [a.compute_seconds for a in exact_answers]
         makespan += max(round_times, default=0.0)
         total_compute += sum(round_times)
@@ -211,11 +238,85 @@ class DistributedMCKEngine:
             makespan_seconds=makespan,
             total_compute_seconds=total_compute,
             worker_answers=bound_answers + exact_answers,
+            worker_crashes=crashes,
+            worker_retries=retries,
         )
         result.group.stats["replicated_objects"] = float(replicated)
         return result
 
     # ------------------------------------------------------------------ #
+
+    #: Failures treated as a dead worker rather than a query error.
+    _WORKER_FAILURES = (WorkerCrashed, BrokenPipeError, EOFError)
+
+    def _gather(
+        self,
+        workers: List[Worker],
+        keywords: Sequence[str],
+        algorithm: str,
+        cid: str,
+        round_label: str,
+    ):
+        """Collect every worker's answer, respawning crashed workers.
+
+        A crash (dead process, torn pipe) is retried up to
+        ``max_worker_retries`` times with capped exponential backoff; each
+        retry rebuilds the worker from its partition (the simulated
+        equivalent of restarting the process on its shard) and resubmits.
+        A worker that keeps dying is abandoned with an infeasible answer —
+        round 1 then bounds from the surviving workers, and round 2's
+        minimum is taken over the survivors, so the query still completes.
+
+        Returns ``(answers, crashes, retries)``; ``workers`` is updated in
+        place with any respawned instances.
+        """
+        answers: List[LocalAnswer] = []
+        crashes = 0
+        retries = 0
+        for i, worker in enumerate(workers):
+            attempt = 0
+            while True:
+                try:
+                    answers.append(
+                        worker.answer(
+                            keywords,
+                            algorithm=algorithm,
+                            epsilon=self.epsilon,
+                            correlation_id=cid,
+                        )
+                    )
+                    break
+                except self._WORKER_FAILURES as err:
+                    crashes += 1
+                    self._crash_counter.inc(1.0, round=round_label)
+                    _log.warning(
+                        "dist.worker_crashed",
+                        worker_id=worker.worker_id,
+                        round=round_label,
+                        attempt=attempt,
+                        error=str(err),
+                    )
+                    if attempt >= self.max_worker_retries:
+                        _log.warning(
+                            "dist.worker_abandoned",
+                            worker_id=worker.worker_id,
+                            round=round_label,
+                            attempts=attempt + 1,
+                        )
+                        answers.append(LocalAnswer(worker.worker_id, None, 0.0))
+                        break
+                    backoff = min(
+                        self.retry_backoff_cap,
+                        self.retry_backoff_seconds * (2.0 ** attempt),
+                    )
+                    if backoff > 0.0:
+                        self._sleep(backoff)
+                    worker = Worker(worker.partition, self.dataset)
+                    workers[i] = worker
+                    retries += 1
+                    self._worker_retry_counter.inc(1.0, round=round_label)
+                    attempt += 1
+        return answers, crashes, retries
 
     def _spawn_workers(self, halo: float) -> List[Worker]:
         return [

@@ -19,6 +19,7 @@ from ..core.result import Group
 from ..exceptions import InfeasibleQueryError
 from ..observability.logging import correlation_scope, get_logger
 from ..observability.tracer import span as _trace_span
+from ..testing import faults as _faults
 from .partition import Partition
 
 __all__ = ["Worker", "LocalAnswer"]
@@ -82,6 +83,14 @@ class Worker:
         worker re-enters the coordinator's correlation scope so its log
         events and spans join the originating query.
         """
+        # Fault site: a crash here models the worker process dying before
+        # (or while) computing — the coordinator sees the raised error
+        # exactly as it would see a dead RPC peer.
+        _faults.fire(
+            "distributed.worker.answer",
+            worker_id=self.worker_id,
+            algorithm=algorithm,
+        )
         started = time.perf_counter()
         if self.engine is None:
             return LocalAnswer(self.worker_id, None, 0.0)

@@ -49,11 +49,47 @@ class AlgorithmTimeout(ReproError):
 
     The experiment runner converts this into a "failed within threshold"
     data point, mirroring the paper's success-rate methodology (§6.2.3).
+
+    When the algorithm had already published a feasible answer through its
+    deadline's incumbent channel (see
+    :meth:`repro.core.common.Deadline.offer`), the exception carries that
+    group as ``incumbent`` plus its certified ``quality`` tag
+    (``exact`` / ``approx_2sqrt3`` / ``greedy_2x`` / ``partial``); callers
+    in degraded mode return it instead of failing, strict callers ignore
+    it and keep the paper's fail-hard semantics.
     """
 
-    def __init__(self, algorithm: str, budget_seconds: float):
+    def __init__(
+        self,
+        algorithm: str,
+        budget_seconds: float,
+        incumbent=None,
+        quality: str = "",
+    ):
         self.algorithm = algorithm
         self.budget_seconds = budget_seconds
-        super().__init__(
-            f"{algorithm} exceeded time budget of {budget_seconds:.3f}s"
-        )
+        #: Best feasible :class:`~repro.core.result.Group` found before
+        #: expiry, or ``None`` when the run had produced nothing usable.
+        self.incumbent = incumbent
+        #: Quality tag certifying the incumbent's approximation bound.
+        self.quality = quality
+        message = f"{algorithm} exceeded time budget of {budget_seconds:.3f}s"
+        if incumbent is not None:
+            message += f" (feasible {quality or 'unrated'} incumbent available)"
+        super().__init__(message)
+
+
+class WorkerCrashed(ReproError):
+    """A distributed worker died mid-task (dead process / broken pipe).
+
+    The coordinator treats this as a transient infrastructure failure:
+    the worker is respawned from its partition and the task resubmitted
+    with capped exponential backoff.
+    """
+
+    def __init__(self, worker_id: int = -1, detail: str = ""):
+        self.worker_id = worker_id
+        message = f"worker {worker_id} crashed"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)

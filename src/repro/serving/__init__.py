@@ -4,6 +4,7 @@ Built on top of :class:`~repro.core.engine.MCKEngine`; see
 ``docs/serving.md`` for the full walkthrough.
 """
 
+from .breaker import CircuitBreaker
 from .cache import ResultCache, make_cache_key
 from .service import QueryRequest, QueryService, ServedResult
 from .stats import MetricsRegistry, QueryStats
@@ -12,6 +13,7 @@ __all__ = [
     "QueryRequest",
     "QueryService",
     "ServedResult",
+    "CircuitBreaker",
     "ResultCache",
     "make_cache_key",
     "MetricsRegistry",

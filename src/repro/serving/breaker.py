@@ -1,0 +1,113 @@
+"""Circuit breaker guarding the EXACT process pool.
+
+A tiny three-state breaker (``closed`` → ``open`` → ``half_open``) with
+the classic semantics:
+
+* **closed** — requests flow; consecutive failures are counted and the
+  breaker trips open at ``failure_threshold``.
+* **open** — requests are refused (callers degrade immediately instead of
+  burning their deadline on a pool that keeps dying) until
+  ``cooldown_seconds`` elapse.
+* **half_open** — after the cooldown one probe request is let through;
+  success closes the breaker, failure re-opens it and restarts the
+  cooldown.
+
+The breaker is deliberately clock-injectable (tests pass a fake
+monotonic clock) and reports every state change through an optional
+``on_transition(old, new)`` callback, which the serving layer uses to
+feed the ``mck_circuit_transitions_total`` counter and the
+``mck_circuit_open`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        #: True while a half-open probe is in flight (only one at a time).
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In ``half_open`` only the first caller gets through (the probe);
+        concurrent callers are refused until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._transition_locked(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            if self._state == HALF_OPEN:
+                # The probe failed; back to a full cooldown.
+                self._opened_at = self._clock()
+                self._transition_locked(OPEN)
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+                self._transition_locked(OPEN)
+
+    # ------------------------------------------------------------------ #
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._probing = False
+            self._transition_locked(HALF_OPEN)
+
+    def _transition_locked(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state and self._on_transition is not None:
+            # Callback runs under the lock; keep it tiny (counter bumps).
+            self._on_transition(old, new_state)

@@ -87,6 +87,19 @@ class ResultCache:
         with self._lock:
             self._entries[key] = (value, expires_at)
             self._entries.move_to_end(key)
+            if len(self._entries) > self.max_size:
+                # Prefer dropping entries that are already dead over
+                # evicting live ones LRU-first; dead entries counted as
+                # expirations would otherwise sit resident until probed.
+                now = self._clock()
+                stale = [
+                    k
+                    for k, (_v, exp) in self._entries.items()
+                    if exp is not None and now >= exp
+                ]
+                for k in stale:
+                    del self._entries[k]
+                self._expirations += len(stale)
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self._evictions += 1
@@ -96,13 +109,22 @@ class ResultCache:
             return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        """Presence check without touching LRU order or hit/miss counters."""
+        """Presence check without touching LRU order or hit/miss counters.
+
+        An expired entry is dropped (and counted as an expiration) rather
+        than left resident: before this, a ``key in cache`` probe would
+        report False yet keep the dead entry occupying capacity.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return False
             _value, expires_at = entry
-            return expires_at is None or self._clock() < expires_at
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                return False
+            return True
 
     def clear(self) -> None:
         with self._lock:

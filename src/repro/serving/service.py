@@ -34,7 +34,12 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 from threading import Lock
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -47,6 +52,8 @@ from ..core.skeca import DEFAULT_EPSILON
 from ..exceptions import AlgorithmTimeout, ReproError
 from ..observability import tracer as _tracing
 from ..observability.logging import correlation_scope, get_logger
+from ..testing import faults as _faults
+from .breaker import OPEN, CircuitBreaker
 from .cache import ResultCache, make_cache_key
 from .stats import MetricsRegistry, QueryStats
 
@@ -103,6 +110,11 @@ class ServedResult:
         return self.group is not None
 
     @property
+    def degraded(self) -> bool:
+        """True when the answer is an anytime incumbent / fallback."""
+        return self.stats.degraded
+
+    @property
     def correlation_id(self) -> str:
         return self.stats.correlation_id
 
@@ -136,6 +148,7 @@ def _process_worker_query(
     timeout: Optional[float],
     correlation_id: str = "",
     trace_id: Optional[str] = None,
+    degrade: bool = False,
 ):
     assert _WORKER_ENGINE is not None, "process pool initializer did not run"
     global _WORKER_TRACER
@@ -150,9 +163,14 @@ def _process_worker_query(
     with correlation_scope(correlation_id or None):
         try:
             group = _WORKER_ENGINE.query(
-                keywords, algorithm, epsilon, timeout, instrumentation=instr
+                keywords,
+                algorithm,
+                epsilon,
+                timeout,
+                instrumentation=instr,
+                degrade_on_timeout=degrade,
             )
-            kind, payload = "ok", group
+            kind, payload = ("degraded" if group.degraded else "ok"), group
         except AlgorithmTimeout as err:
             kind, payload = "timeout", str(err)
         except ReproError as err:
@@ -180,6 +198,22 @@ class QueryService:
         Opt-in: run EXACT queries on a :class:`ProcessPoolExecutor` whose
         workers each hold their own engine.  Worth it only when EXACT
         dominates the workload; worker start-up re-indexes the dataset.
+    strict_timeouts:
+        When False (default) a query whose deadline expires returns the
+        algorithm's best feasible incumbent as a *degraded* answer
+        (``group.degraded`` / ``stats.degraded`` true, ``quality`` tagged)
+        instead of failing.  Set True for the paper's strict §6.2.3
+        fail-hard semantics: timeouts surface as failed results.
+    pool_retries / pool_retry_backoff / pool_backoff_cap:
+        Retry budget for EXACT process-pool submissions that die (broken
+        pool, dead worker, torn pipe).  Each retry recreates the pool and
+        waits ``min(cap, backoff * 2**attempt)`` seconds first.  When the
+        budget is exhausted the query falls back to an in-process SKECa+
+        answer marked degraded (or fails, under ``strict_timeouts``).
+    breaker_threshold / breaker_cooldown:
+        Circuit breaker over those pool failures: after ``threshold``
+        consecutive failures the pool is not retried at all for
+        ``cooldown`` seconds — queries degrade immediately.
     metrics:
         A shared :class:`MetricsRegistry`; defaults to a private one.
     tracer:
@@ -197,6 +231,12 @@ class QueryService:
         cache_ttl: Optional[float] = None,
         use_processes_for_exact: bool = False,
         process_workers: Optional[int] = None,
+        strict_timeouts: bool = False,
+        pool_retries: int = 2,
+        pool_retry_backoff: float = 0.05,
+        pool_backoff_cap: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[_tracing.Tracer] = None,
         cache_clock=time.monotonic,
@@ -208,6 +248,15 @@ class QueryService:
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.strict_timeouts = strict_timeouts
+        self.pool_retries = max(0, pool_retries)
+        self.pool_retry_backoff = pool_retry_backoff
+        self.pool_backoff_cap = pool_backoff_cap
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown,
+            on_transition=self._on_breaker_transition,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="mck-serve"
         )
@@ -289,6 +338,11 @@ class QueryService:
     # Internals
     # ------------------------------------------------------------------ #
 
+    def _on_breaker_transition(self, old_state: str, new_state: str) -> None:
+        self.metrics.circuit_transition_counter.inc(1.0, state=new_state)
+        self.metrics.circuit_open_gauge.set(1.0 if new_state == OPEN else 0.0)
+        _log.warning("pool.circuit", old_state=old_state, new_state=new_state)
+
     def _tracer(self) -> Optional[_tracing.Tracer]:
         return self.tracer if self.tracer is not None else _tracing.get_tracer()
 
@@ -365,7 +419,10 @@ class QueryService:
         if leader:
             try:
                 group, stats, error = self._execute(request, started, cid)
-                if group is not None:
+                # Degraded answers are never cached: they are worse than a
+                # completed run and would keep being served after the
+                # deadline pressure (or pool outage) has passed.
+                if group is not None and not group.degraded:
                     with self._span("serve.cache_store"):
                         self.cache.put(key, group)
                 fut.set_result((group, error))
@@ -422,10 +479,20 @@ class QueryService:
         stats.context_seconds = timings.get("context_seconds", 0.0)
         stats.algorithm_seconds = timings.get("algorithm_seconds", 0.0)
         stats.total_seconds = time.perf_counter() - started
-        if kind == "ok":
+        if kind in ("ok", "degraded"):
             group: Group = payload
             stats.diameter = group.diameter
             stats.group_size = len(group)
+            stats.degraded = kind == "degraded"
+            stats.quality = group.quality or ""
+            if stats.degraded:
+                _log.warning(
+                    "query.degraded",
+                    algorithm=algorithm,
+                    keywords=list(request.keywords),
+                    quality=stats.quality,
+                    diameter=group.diameter,
+                )
             return group, stats, None
         stats.success = False
         _log.warning(
@@ -437,35 +504,106 @@ class QueryService:
         )
         return None, stats, str(payload)
 
-    def _run_inline(self, request: QueryRequest):
+    def _run_inline(self, request: QueryRequest, algorithm: Optional[str] = None):
         instr = Instrumentation(tracer=self._tracer())
         try:
             group = self.engine.query(
                 request.keywords,
-                request.algorithm,
+                algorithm or request.algorithm,
                 request.epsilon,
                 request.timeout,
                 instrumentation=instr,
+                degrade_on_timeout=not self.strict_timeouts,
             )
-            return ("ok", group, instr.counters, instr.timings, [])
+            kind = "degraded" if group.degraded else "ok"
+            return (kind, group, instr.counters, instr.timings, [])
         except AlgorithmTimeout as err:
             return ("timeout", str(err), instr.counters, instr.timings, [])
         except ReproError as err:
             return ("error", str(err), instr.counters, instr.timings, [])
 
+    # Pool failures worth retrying: the executor broke (a worker died —
+    # BrokenProcessPool), or the result pipe tore mid-read.
+    _POOL_FAILURES = (BrokenExecutor, BrokenPipeError, EOFError, OSError)
+
     def _run_in_process_pool(self, request: QueryRequest, cid: str):
-        pool = self._ensure_process_pool()
         tracer = self._tracer()
         trace_id = tracer.current_trace_id() if tracer is not None else None
-        return pool.submit(
-            _process_worker_query,
-            request.keywords,
-            request.algorithm,
-            request.epsilon,
-            request.timeout,
-            cid,
-            trace_id,
-        ).result()
+        algorithm = canonical_algorithm(request.algorithm)
+        attempt = 0
+        while True:
+            if not self.breaker.allow():
+                return self._pool_fallback(
+                    request, "process pool circuit breaker is open"
+                )
+            try:
+                # The fault site fires before the pool is (re)built so an
+                # injected rejection never spawns real worker processes.
+                _faults.fire(
+                    "serving.pool.submit", algorithm=algorithm, attempt=attempt
+                )
+                pool = self._ensure_process_pool()
+                outcome = pool.submit(
+                    _process_worker_query,
+                    request.keywords,
+                    request.algorithm,
+                    request.epsilon,
+                    request.timeout,
+                    cid,
+                    trace_id,
+                    not self.strict_timeouts,
+                ).result()
+            except self._POOL_FAILURES as err:
+                self.breaker.record_failure()
+                self._reset_process_pool()
+                _log.warning(
+                    "pool.failure",
+                    algorithm=algorithm,
+                    attempt=attempt,
+                    error=str(err),
+                )
+                if attempt >= self.pool_retries:
+                    return self._pool_fallback(
+                        request, f"process pool failed after {attempt + 1} attempts"
+                    )
+                self.metrics.pool_retry_counter.inc(1.0, algorithm=algorithm)
+                backoff = min(
+                    self.pool_backoff_cap,
+                    self.pool_retry_backoff * (2.0 ** attempt),
+                )
+                if backoff > 0.0:
+                    time.sleep(backoff)
+                attempt += 1
+                continue
+            self.breaker.record_success()
+            return outcome
+
+    def _pool_fallback(self, request: QueryRequest, reason: str):
+        """Answer in-process with SKECa+ when the EXACT pool is unusable.
+
+        The answer is feasible but only 2/√3+ε-certified, so it is always
+        marked degraded; strict mode refuses the substitution and reports
+        the pool failure instead.
+        """
+        algorithm = canonical_algorithm(request.algorithm)
+        self.metrics.pool_fallback_counter.inc(1.0, algorithm=algorithm)
+        if self.strict_timeouts:
+            return ("error", reason, {}, {}, [])
+        _log.warning(
+            "pool.fallback",
+            algorithm=algorithm,
+            keywords=list(request.keywords),
+            reason=reason,
+        )
+        kind, payload, counters, timings, spans = self._run_inline(
+            request, algorithm="SKECa+"
+        )
+        if kind in ("ok", "degraded"):
+            group: Group = payload
+            group.stats["degraded"] = 1.0
+            group.stats["pool_fallback"] = 1.0
+            return ("degraded", group, counters, timings, spans)
+        return (kind, payload, counters, timings, spans)
 
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
         with self._process_pool_lock:
@@ -477,6 +615,13 @@ class QueryService:
                     initargs=(self.engine.dataset,),
                 )
             return self._process_pool
+
+    def _reset_process_pool(self) -> None:
+        """Tear down a (possibly broken) pool; the next use rebuilds it."""
+        with self._process_pool_lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def _finish_hit(
         self, request: QueryRequest, group: Group, started: float, cid: str
@@ -490,6 +635,7 @@ class QueryService:
             diameter=group.diameter,
             group_size=len(group),
             correlation_id=cid,
+            quality=group.quality or "",
         )
         self.metrics.record(stats)
         return ServedResult(request=request, group=group, stats=stats)
@@ -515,5 +661,7 @@ class QueryService:
         if group is not None:
             stats.diameter = group.diameter
             stats.group_size = len(group)
+            stats.degraded = group.degraded
+            stats.quality = group.quality or ""
         self.metrics.record(stats)
         return ServedResult(request=request, group=group, stats=stats, error=error)

@@ -47,6 +47,12 @@ class QueryStats:
     total_seconds: float = 0.0
     cache_hit: bool = False
     success: bool = True
+    #: True when the answer is a degraded (anytime) incumbent returned on
+    #: an expired deadline or a pool fallback, not a completed run.
+    degraded: bool = False
+    #: Certified quality tag of the answer (``exact`` / ``approx_2sqrt3``
+    #: / ``greedy_2x`` / ``partial``), or ``""`` when untagged.
+    quality: str = ""
     diameter: float = math.nan
     group_size: int = 0
     #: Correlation id of the serving request that produced this record.
@@ -65,6 +71,8 @@ class QueryStats:
             "total_seconds": self.total_seconds,
             "cache_hit": self.cache_hit,
             "success": self.success,
+            "degraded": self.degraded,
+            "quality": self.quality,
             "diameter": None if math.isnan(self.diameter) else self.diameter,
             "group_size": self.group_size,
             "correlation_id": self.correlation_id,
@@ -75,13 +83,14 @@ class QueryStats:
 class _AlgorithmAggregate:
     """Latency and counter totals for one algorithm (lock held by caller)."""
 
-    __slots__ = ("queries", "failures", "cache_hits", "latencies",
+    __slots__ = ("queries", "failures", "cache_hits", "degraded", "latencies",
                  "context_seconds", "algorithm_seconds", "counters")
 
     def __init__(self) -> None:
         self.queries = 0
         self.failures = 0
         self.cache_hits = 0
+        self.degraded = 0
         self.latencies: List[float] = []
         self.context_seconds = 0.0
         self.algorithm_seconds = 0.0
@@ -91,6 +100,8 @@ class _AlgorithmAggregate:
         self.queries += 1
         if not stats.success:
             self.failures += 1
+        if stats.degraded:
+            self.degraded += 1
         if stats.cache_hit:
             self.cache_hits += 1
         else:
@@ -120,6 +131,7 @@ class _AlgorithmAggregate:
             "executed": executed,
             "cache_hits": self.cache_hits,
             "failures": self.failures,
+            "degraded": self.degraded,
             "latency_seconds": {
                 "samples": executed,
                 "mean": _maybe(sum(self.latencies) / executed) if executed else None,
@@ -171,6 +183,31 @@ class MetricsRegistry:
             "mck_result_cache",
             help="Result-cache counters from the latest snapshot.",
             label_names=("stat",),
+        )
+        self.degraded_counter = self.counter(
+            "mck_degraded_total",
+            help="Degraded (anytime incumbent / fallback) answers served.",
+            label_names=("algorithm", "quality"),
+        )
+        self.pool_retry_counter = self.counter(
+            "mck_pool_retries_total",
+            help="EXACT process-pool submissions retried after a pool failure.",
+            label_names=("algorithm",),
+        )
+        self.pool_fallback_counter = self.counter(
+            "mck_pool_fallbacks_total",
+            help="Queries answered by the in-process fallback after the "
+            "pool retry budget was exhausted or the breaker was open.",
+            label_names=("algorithm",),
+        )
+        self.circuit_transition_counter = self.counter(
+            "mck_circuit_transitions_total",
+            help="Process-pool circuit-breaker state transitions.",
+            label_names=("state",),
+        )
+        self.circuit_open_gauge = self.gauge(
+            "mck_circuit_open",
+            help="1 while the process-pool circuit breaker is open.",
         )
 
     @classmethod
@@ -242,6 +279,12 @@ class MetricsRegistry:
             cache=cache_label,
             success="true" if stats.success else "false",
         )
+        if stats.degraded:
+            self.degraded_counter.inc(
+                1.0,
+                algorithm=stats.algorithm,
+                quality=stats.quality or "unrated",
+            )
         if not stats.cache_hit:
             self.algorithm_histogram.observe(
                 stats.algorithm_seconds, algorithm=stats.algorithm

@@ -1,0 +1,292 @@
+"""Fault-injection harness: named failure points armed from tests or CLI.
+
+Production code declares *sites* — :func:`fire` calls at the places where
+a real deployment fails (a worker process dies, the EXACT pool rejects a
+task, a circleScan stalls, a deadline clock drifts).  A site is inert
+until a test arms a fault against it, so the steady-state overhead is one
+module-attribute read per call.  Everything is process-local and
+deterministic: faults trigger by *call count* (``after`` skipped matches,
+then at most ``times`` triggers), never by wall clock or randomness.
+
+Known sites
+-----------
+``core.circlescan``
+    Fired on entry to every circleScan sweep.  Arm a ``delay`` to model a
+    slow scan that pushes a query over its deadline.
+``core.deadline.clock``
+    Consulted by :meth:`repro.core.common.Deadline.check`; an armed
+    ``skew`` is *added* to the monotonic clock, so a deadline expires at a
+    chosen poll (``after=N`` → expiry exactly at the N+1-th check).  Skew
+    faults stay triggered once reached (``times=None``); a skewed clock
+    does not jump back.
+``serving.pool.submit``
+    Fired before each submission to the EXACT process pool.  Arm the
+    ``broken_pool`` error to model a pool rejection / dead worker and
+    exercise the retry budget and circuit breaker.
+``distributed.worker.answer``
+    Fired when a distributed worker starts a task.  Arm the
+    ``worker_crash`` error (crash-on-nth-task via ``after``) to exercise
+    the coordinator's respawn-and-resubmit path.
+
+Example
+-------
+>>> from repro.testing import faults
+>>> with faults.injected("core.circlescan", delay=0.2):
+...     service.query(["a", "b"], timeout=0.05)   # degrades, never hangs
+
+Faults can also be armed from a CLI spec string (see :func:`arm_spec`):
+``slow-scan:delay=0.2``, ``pool-reject:after=1,times=2``,
+``worker-crash``, ``clock-skew:after=50``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "Fault",
+    "arm",
+    "arm_spec",
+    "disarm",
+    "reset",
+    "fire",
+    "clock_skew",
+    "injected",
+    "fired",
+    "snapshot",
+    "ALIASES",
+    "ACTIVE",
+]
+
+#: Fast-path flag: ``fire``/``clock_skew`` return immediately while False.
+#: Maintained by arm/disarm/reset; read without the lock (a stale read
+#: costs one extra dict lookup, never a missed armed fault).
+ACTIVE: bool = False
+
+_LOCK = threading.Lock()
+_SITES: Dict[str, List["Fault"]] = {}
+
+ErrorSpec = Union[BaseException, Callable[[], BaseException], type, None]
+
+
+@dataclass
+class Fault:
+    """One armed fault against a site.
+
+    ``after`` matching fires are skipped before the fault triggers; it
+    then triggers at most ``times`` times (``None`` = every later fire —
+    the right setting for clock skew, which must not jump back).  An
+    optional ``match`` predicate receives the fire-site's keyword context
+    (e.g. ``worker_id``) and can restrict the fault to some calls only.
+    """
+
+    site: str
+    error: ErrorSpec = None
+    delay: float = 0.0
+    skew: float = 0.0
+    after: int = 0
+    times: Optional[int] = 1
+    match: Optional[Callable[..., bool]] = None
+    #: Matching :func:`fire` invocations seen so far.
+    calls: int = 0
+    #: Times this fault actually triggered.
+    triggered: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def _try_trigger(self) -> bool:
+        """Count one matching fire; report whether the fault triggers."""
+        with self._lock:
+            self.calls += 1
+            if self.calls <= self.after:
+                return False
+            if self.times is not None and self.triggered >= self.times:
+                return False
+            self.triggered += 1
+            return True
+
+    def _materialize_error(self) -> Optional[BaseException]:
+        err = self.error
+        if err is None:
+            return None
+        if isinstance(err, BaseException):
+            return err
+        return err()  # class or zero-arg factory
+
+
+def arm(
+    site: str,
+    *,
+    error: ErrorSpec = None,
+    delay: float = 0.0,
+    skew: float = 0.0,
+    after: int = 0,
+    times: Optional[int] = 1,
+    match: Optional[Callable[..., bool]] = None,
+) -> Fault:
+    """Arm a fault against ``site``; returns the handle for :func:`disarm`."""
+    if skew and times == 1:
+        # A skewed clock that silently un-skews after one read would make
+        # deadlines flap; default skew faults to "sticky once triggered".
+        times = None
+    fault = Fault(
+        site=site,
+        error=error,
+        delay=delay,
+        skew=skew,
+        after=after,
+        times=times,
+        match=match,
+    )
+    global ACTIVE
+    with _LOCK:
+        _SITES.setdefault(site, []).append(fault)
+        ACTIVE = True
+    return fault
+
+
+def disarm(fault: Fault) -> None:
+    """Remove one armed fault (no-op if already gone)."""
+    global ACTIVE
+    with _LOCK:
+        faults = _SITES.get(fault.site)
+        if faults and fault in faults:
+            faults.remove(fault)
+            if not faults:
+                del _SITES[fault.site]
+        ACTIVE = bool(_SITES)
+
+
+def reset() -> None:
+    """Disarm everything (test teardown / CLI cleanup)."""
+    global ACTIVE
+    with _LOCK:
+        _SITES.clear()
+        ACTIVE = False
+
+
+@contextmanager
+def injected(site: str, **kwargs):
+    """Context manager: arm on entry, disarm on exit."""
+    fault = arm(site, **kwargs)
+    try:
+        yield fault
+    finally:
+        disarm(fault)
+
+
+def _matching(site: str, ctx: dict) -> List[Fault]:
+    with _LOCK:
+        faults = list(_SITES.get(site, ()))
+    matched = []
+    for fault in faults:
+        if fault.match is not None and not fault.match(**ctx):
+            continue
+        matched.append(fault)
+    return matched
+
+
+def fire(site: str, **ctx) -> None:
+    """Production hook: trigger any armed faults for ``site``.
+
+    Order of effects when several faults trigger at once: all delays are
+    slept first, then the first armed error is raised.  With nothing armed
+    (the production steady state) this is a single attribute read.
+    """
+    if not ACTIVE:
+        return
+    triggered = [f for f in _matching(site, ctx) if f._try_trigger()]
+    for fault in triggered:
+        if fault.delay > 0.0:
+            time.sleep(fault.delay)
+    for fault in triggered:
+        err = fault._materialize_error()
+        if err is not None:
+            raise err
+
+
+def clock_skew(site: str = "core.deadline.clock") -> float:
+    """Summed skew of the armed clock faults that trigger on this read."""
+    if not ACTIVE:
+        return 0.0
+    total = 0.0
+    for fault in _matching(site, {}):
+        if fault.skew and fault._try_trigger():
+            total += fault.skew
+    return total
+
+
+def fired(site: str) -> int:
+    """Total trigger count across faults armed at ``site`` (assertions)."""
+    with _LOCK:
+        return sum(f.triggered for f in _SITES.get(site, ()))
+
+
+def snapshot() -> Dict[str, List[Fault]]:
+    """Copy of the armed-fault table (debugging / assertions)."""
+    with _LOCK:
+        return {site: list(faults) for site, faults in _SITES.items()}
+
+
+# --------------------------------------------------------------------- #
+# CLI spec parsing: "alias[:key=value,...]" strings for --inject-fault.
+# --------------------------------------------------------------------- #
+
+
+def _broken_pool_error() -> BaseException:
+    from concurrent.futures.process import BrokenProcessPool
+
+    return BrokenProcessPool("injected pool rejection (repro.testing.faults)")
+
+
+def _worker_crash_error() -> BaseException:
+    from ..exceptions import WorkerCrashed
+
+    return WorkerCrashed(-1, "injected crash (repro.testing.faults)")
+
+
+#: alias -> (site, default arm() kwargs).  The error values are factories
+#: so each trigger raises a fresh exception instance.
+ALIASES: Dict[str, tuple] = {
+    "slow-scan": ("core.circlescan", {"delay": 0.1, "times": None}),
+    "clock-skew": ("core.deadline.clock", {"skew": 3600.0, "times": None}),
+    "pool-reject": ("serving.pool.submit", {"error": _broken_pool_error}),
+    "worker-crash": ("distributed.worker.answer", {"error": _worker_crash_error}),
+}
+
+_INT_KEYS = frozenset({"after", "times"})
+_FLOAT_KEYS = frozenset({"delay", "skew"})
+
+
+def arm_spec(spec: str) -> Fault:
+    """Arm a fault from a CLI spec string like ``pool-reject:after=1,times=2``.
+
+    The alias picks the site and the failure mode; ``key=value`` overrides
+    tune the numeric knobs (``after``, ``times``, ``delay``, ``skew``).
+    ``times=0`` means unlimited (spelled explicitly, since ``None`` has no
+    CLI spelling).
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    if name not in ALIASES:
+        known = ", ".join(sorted(ALIASES))
+        raise ValueError(f"unknown fault alias {name!r}; known: {known}")
+    site, defaults = ALIASES[name]
+    kwargs = dict(defaults)
+    if rest.strip():
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep or key not in (_INT_KEYS | _FLOAT_KEYS):
+                raise ValueError(f"bad fault option {pair!r} in {spec!r}")
+            if key in _INT_KEYS:
+                parsed: Optional[float] = int(value)
+                if key == "times" and parsed == 0:
+                    parsed = None
+            else:
+                parsed = float(value)
+            kwargs[key] = parsed
+    return arm(site, **kwargs)

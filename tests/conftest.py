@@ -7,6 +7,14 @@ import random
 import pytest
 
 from repro import Dataset, MCKEngine
+from repro.testing import faults as _faults
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No armed fault ever outlives its test."""
+    yield
+    _faults.reset()
 
 
 @pytest.fixture(scope="session")

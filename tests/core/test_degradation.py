@@ -1,0 +1,182 @@
+"""Anytime incumbent channel: Deadline offers, quality tags, engine modes."""
+
+import pytest
+
+from repro import Dataset, MCKEngine
+from repro.core.common import (
+    QUALITY_APPROX,
+    QUALITY_EXACT,
+    QUALITY_GREEDY,
+    QUALITY_PARTIAL,
+    QUALITY_RANK,
+    Deadline,
+    quality_ratio_bound,
+)
+from repro.core.query import compile_query
+from repro.exceptions import AlgorithmTimeout
+from repro.testing import faults
+
+QUERY = ["shrine", "shop", "restaurant", "hotel"]
+
+
+@pytest.fixture
+def kyoto_ctx(kyoto_dataset):
+    return compile_query(kyoto_dataset, QUERY)
+
+
+class TestDeadlineIncumbent:
+    def test_no_offer_no_incumbent(self):
+        deadline = Deadline("EXACT", 10.0)
+        group, quality = deadline.incumbent()
+        assert group is None and quality == ""
+        err = deadline.timeout()
+        assert err.incumbent is None and err.quality == ""
+
+    def test_offer_materializes_group(self, kyoto_dataset, kyoto_ctx):
+        deadline = Deadline("EXACT", 10.0)
+        rows = list(range(len(kyoto_ctx.relevant_ids)))[:4]
+        deadline.offer(kyoto_ctx, rows, kyoto_ctx.group_diameter_rows(rows))
+        group, quality = deadline.incumbent()
+        assert group is not None
+        assert group.covers(kyoto_dataset, QUERY) or len(group) == 4
+        assert quality == QUALITY_PARTIAL  # no bound certified yet
+
+    def test_smaller_offer_wins(self, kyoto_ctx):
+        deadline = Deadline("EXACT", 10.0)
+        deadline.offer(kyoto_ctx, [0, 1, 2, 3], 5.0)
+        deadline.offer(kyoto_ctx, [0, 1], 2.0)
+        assert deadline._offer_rows == [0, 1]
+        deadline.offer(kyoto_ctx, [2, 3], 4.0)  # worse: ignored
+        assert deadline._offer_rows == [0, 1]
+
+    def test_equal_offer_needs_stronger_certificate(self, kyoto_ctx):
+        deadline = Deadline("EXACT", 10.0)
+        deadline.offer(kyoto_ctx, [0, 1], 2.0, quality=QUALITY_PARTIAL)
+        deadline.offer(kyoto_ctx, [2, 3], 2.0, quality=QUALITY_GREEDY)
+        assert deadline._offer_quality == QUALITY_GREEDY
+        deadline.offer(kyoto_ctx, [0, 1], 2.0, quality=QUALITY_PARTIAL)
+        assert deadline._offer_rows == [2, 3]
+
+    def test_note_bound_upgrades_quality(self, kyoto_ctx):
+        deadline = Deadline("EXACT", 10.0)
+        deadline.note_bound(QUALITY_GREEDY, 10.0)
+        deadline.offer(kyoto_ctx, [0, 1, 2, 3], 5.0)
+        assert deadline._offer_quality == QUALITY_GREEDY
+        deadline.note_bound(QUALITY_APPROX, 6.0)
+        _group, quality = deadline.incumbent()
+        # The recomputed actual diameter clears the approx certificate.
+        assert quality == QUALITY_APPROX
+
+    def test_timeout_carries_incumbent(self, kyoto_ctx):
+        deadline = Deadline("SKECa+", 1.5)
+        deadline.offer(kyoto_ctx, [0, 1, 2, 3], 5.0)
+        err = deadline.timeout()
+        assert isinstance(err, AlgorithmTimeout)
+        assert err.incumbent is not None
+        assert err.quality == err.incumbent.quality
+        assert "exceeded time budget" in str(err)
+
+
+class TestQualityHelpers:
+    def test_rank_ladder(self):
+        assert (
+            QUALITY_RANK[QUALITY_EXACT]
+            > QUALITY_RANK[QUALITY_APPROX]
+            > QUALITY_RANK[QUALITY_GREEDY]
+            > QUALITY_RANK[QUALITY_PARTIAL]
+        )
+
+    def test_ratio_bounds(self):
+        assert quality_ratio_bound(QUALITY_EXACT) == pytest.approx(1.0)
+        assert quality_ratio_bound(QUALITY_APPROX, 0.01) == pytest.approx(
+            2.0 / (3.0**0.5) + 0.01
+        )
+        assert quality_ratio_bound(QUALITY_GREEDY) == pytest.approx(2.0)
+        assert quality_ratio_bound(QUALITY_PARTIAL) == float("inf")
+
+
+class TestCompletedRunsAreTagged:
+    @pytest.mark.parametrize(
+        "algorithm,expected",
+        [
+            ("GKG", QUALITY_GREEDY),
+            ("SKEC", QUALITY_APPROX),
+            ("SKECa", QUALITY_APPROX),
+            ("SKECa+", QUALITY_APPROX),
+            ("EXACT", QUALITY_EXACT),
+        ],
+    )
+    def test_quality_tag(self, kyoto_engine, algorithm, expected):
+        group = kyoto_engine.query(QUERY, algorithm=algorithm)
+        assert group.quality == expected
+        assert not group.degraded
+
+
+class TestEngineDegradedMode:
+    @pytest.mark.parametrize("algorithm", ["SKEC", "SKECa", "SKECa+", "EXACT"])
+    def test_degrade_returns_feasible_incumbent(
+        self, kyoto_engine, kyoto_dataset, algorithm
+    ):
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=2, times=None
+        ):
+            group = kyoto_engine.query(
+                QUERY, algorithm=algorithm, timeout=60.0, degrade_on_timeout=True
+            )
+        assert group.degraded
+        assert group.stats["degraded"] == 1.0
+        assert group.covers(kyoto_dataset, QUERY)
+        assert group.quality in (QUALITY_APPROX, QUALITY_GREEDY, QUALITY_PARTIAL)
+
+    def test_strict_mode_raises_with_incumbent(self, kyoto_engine):
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=2, times=None
+        ):
+            with pytest.raises(AlgorithmTimeout) as info:
+                kyoto_engine.query(QUERY, algorithm="EXACT", timeout=60.0)
+        assert info.value.incumbent is not None
+        assert info.value.incumbent.covers(
+            kyoto_engine.dataset, QUERY
+        )
+
+    def test_no_incumbent_raises_even_degraded(self, kyoto_engine):
+        # Expire at the very first check: nothing offered yet.
+        with faults.injected("core.deadline.clock", skew=1e9, times=None):
+            with pytest.raises(AlgorithmTimeout) as info:
+                kyoto_engine.query(
+                    QUERY, algorithm="EXACT", timeout=60.0, degrade_on_timeout=True
+                )
+        assert info.value.incumbent is None
+
+    def test_degraded_not_worse_than_greedy_when_certified(
+        self, kyoto_engine, kyoto_dataset
+    ):
+        brute = kyoto_engine.query(QUERY, algorithm="EXACT").diameter
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=3, times=None
+        ):
+            group = kyoto_engine.query(
+                QUERY, algorithm="EXACT", timeout=60.0, degrade_on_timeout=True
+            )
+        bound = quality_ratio_bound(group.quality, kyoto_engine_epsilon())
+        assert group.diameter <= bound * brute + 1e-9
+
+
+def kyoto_engine_epsilon() -> float:
+    from repro.core.skeca import DEFAULT_EPSILON
+
+    return DEFAULT_EPSILON
+
+
+class TestSlowScanDegrades:
+    def test_slow_circlescan_pushes_over_real_deadline(
+        self, kyoto_engine, kyoto_dataset
+    ):
+        # A genuinely slow scan against a tiny real budget: the query
+        # degrades instead of hanging or failing.
+        with faults.injected("core.circlescan", delay=0.05, times=None):
+            group = kyoto_engine.query(
+                QUERY, algorithm="EXACT", timeout=0.02, degrade_on_timeout=True
+            )
+        assert group.degraded
+        assert group.covers(kyoto_dataset, QUERY)

@@ -115,3 +115,29 @@ class TestStatsAndDeadline:
         ctx = compile_query(ds, feasible_query(ds, 66, 5))
         with pytest.raises(AlgorithmTimeout):
             exact(ctx, deadline=Deadline("EXACT", -1.0))
+
+
+class TestSingleObjectStats:
+    """Regression: the single-object shortcut must emit the same stats
+    keys as the full branch-and-bound (consumers index them blindly)."""
+
+    def test_single_object_answer_has_search_counters(self):
+        ds = Dataset.from_records(
+            [(5.0, 5.0, ["a", "b", "c"]), (50.0, 50.0, ["a"])]
+        )
+        ctx = compile_query(ds, ["a", "b", "c"])
+        group = exact(ctx)
+        assert len(group) == 1
+        assert group.diameter == 0.0
+        assert group.stats["candidate_circles"] == 0.0
+        assert group.stats["pruned_poles"] == 0.0
+        assert group.quality == "exact"
+
+    def test_multi_object_answer_has_same_keys(self, kyoto_dataset, kyoto_query):
+        ctx = compile_query(kyoto_dataset, kyoto_query)
+        single = exact(compile_query(
+            Dataset.from_records([(0.0, 0.0, ["x", "y"])]), ["x", "y"]
+        ))
+        multi = exact(ctx)
+        assert set(single.stats) >= {"candidate_circles", "pruned_poles"}
+        assert set(multi.stats) >= {"candidate_circles", "pruned_poles"}

@@ -100,3 +100,36 @@ class TestCircleEnclosesGroup:
         assert circle is not None
         for oid in group.object_ids:
             assert circle.contains(ds.location_of(oid), eps=1e-6)
+
+
+class TestWarmupEqualDiameter:
+    """Regression: a warm probe succeeding exactly at the initial upper
+    bound must still be recorded (its pole seeds the binary loop's
+    try-last-success-first fast path)."""
+
+    def test_two_object_instance(self):
+        # With exactly one object per keyword the warm probe cannot beat
+        # the GKG circle: warm.diameter == search_ub, the previously
+        # discarded case.
+        ds = Dataset.from_records([(0.0, 0.0, ["a"]), (3.0, 4.0, ["b"])])
+        ctx = compile_query(ds, ["a", "b"])
+        group = skeca_plus(ctx, epsilon=0.01)
+        assert group.covers(ds, ["a", "b"])
+        assert group.diameter == pytest.approx(5.0)
+
+    def test_matches_skeca_on_tight_instances(self):
+        from repro.core.skeca import skeca
+
+        records = [
+            (0.0, 0.0, ["a"]),
+            (1.0, 0.0, ["b"]),
+            (0.5, 0.9, ["c"]),
+            (40.0, 40.0, ["a", "b"]),
+            (41.0, 40.0, ["c"]),
+        ]
+        ds = Dataset.from_records(records)
+        ctx = compile_query(ds, ["a", "b", "c"])
+        plus = skeca_plus(ctx, epsilon=0.01)
+        base = skeca(ctx, 0.01)
+        assert plus.covers(ds, ["a", "b", "c"])
+        assert plus.diameter == pytest.approx(base.diameter, rel=0.05)

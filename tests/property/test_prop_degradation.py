@@ -1,0 +1,77 @@
+"""Property: a degraded (anytime) answer is always feasible and honest.
+
+Whatever poll the deadline expires at, a degraded answer must (1) cover
+every query keyword and (2) respect the approximation ratio its quality
+tag certifies, measured against the brute-force optimum.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_optimal
+from repro.core.common import (
+    QUALITY_APPROX,
+    QUALITY_EXACT,
+    QUALITY_GREEDY,
+    QUALITY_PARTIAL,
+    quality_ratio_bound,
+)
+from repro.core.engine import MCKEngine
+from repro.core.query import compile_query
+from repro.core.skeca import DEFAULT_EPSILON
+from repro.exceptions import AlgorithmTimeout
+from repro.testing import faults
+
+from .test_prop_algorithms import instance
+
+ALL_QUALITIES = (QUALITY_EXACT, QUALITY_APPROX, QUALITY_GREEDY, QUALITY_PARTIAL)
+
+
+@given(
+    instance(),
+    st.sampled_from(["GKG", "SKECa", "SKECa+", "EXACT"]),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_degraded_answer_feasible_and_within_tagged_bound(
+    inst, algorithm, expire_after
+):
+    ds, query = inst
+    engine = MCKEngine(ds)
+    faults.reset()  # hypothesis reuses one test-function invocation
+    try:
+        with faults.injected(
+            "core.deadline.clock", skew=1e12, after=expire_after, times=None
+        ):
+            try:
+                group = engine.query(
+                    query,
+                    algorithm=algorithm,
+                    timeout=3600.0,
+                    degrade_on_timeout=True,
+                )
+            except AlgorithmTimeout as err:
+                # Expired before anything feasible was offered; the raise
+                # itself must then carry no incumbent.
+                assert err.incumbent is None
+                assume(False)  # nothing further to check on this example
+    finally:
+        faults.reset()
+
+    assert group.covers(ds, query), "degraded answer must stay feasible"
+    assert group.quality in ALL_QUALITIES
+
+    if group.degraded:
+        opt = brute_force_optimal(compile_query(ds, query)).diameter
+        bound = quality_ratio_bound(group.quality, DEFAULT_EPSILON)
+        if math.isinf(bound):
+            return  # 'partial' certifies feasibility only
+        if opt <= 0.0:
+            assert group.diameter <= 1e-9
+        else:
+            assert group.diameter <= bound * opt + 1e-6, (
+                f"{algorithm} degraded answer {group.diameter:.6g} breaks "
+                f"its {group.quality} bound ({bound:.4f} x {opt:.6g})"
+            )

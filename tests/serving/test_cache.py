@@ -129,3 +129,50 @@ class TestTTL:
             ResultCache(ttl_seconds=0.0)
         with pytest.raises(ValueError):
             ResultCache(ttl_seconds=-1.0)
+
+
+class TestExpiredEntriesAreDropped:
+    """Regression: expired entries must not stay resident in memory."""
+
+    def test_contains_drops_expired_entry(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=4, ttl_seconds=5.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(6.0)
+        assert "k" not in cache
+        # Before the fix the dead entry stayed resident after the probe.
+        assert len(cache) == 0
+        assert cache.stats()["expirations"] == 1
+
+    def test_contains_live_entry_untouched(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=4, ttl_seconds=5.0, clock=clock)
+        cache.put("k", "v")
+        assert "k" in cache
+        assert len(cache) == 1
+        assert cache.stats()["expirations"] == 0
+
+    def test_put_prefers_dropping_expired_over_evicting_live(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=3, ttl_seconds=5.0, clock=clock)
+        cache.put("old1", 1)
+        cache.put("old2", 2)
+        clock.advance(6.0)          # old1/old2 now dead
+        cache.put("live", 3)
+        cache.put("new", 4)         # over capacity: drop the dead, keep live
+        assert cache.get("live") == 3
+        assert cache.get("new") == 4
+        stats = cache.stats()
+        assert stats["expirations"] == 2
+        assert stats["evictions"] == 0
+
+    def test_put_still_evicts_lru_when_nothing_expired(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=2, ttl_seconds=5.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["expirations"] == 0

@@ -1,0 +1,98 @@
+"""QueryService graceful degradation under deadline pressure."""
+
+import pytest
+
+from repro.serving import MetricsRegistry, QueryService
+from repro.testing import faults
+
+QUERY = ["shrine", "shop", "restaurant", "hotel"]
+
+
+@pytest.fixture
+def service(kyoto_engine):
+    with QueryService(kyoto_engine, metrics=MetricsRegistry()) as svc:
+        yield svc
+
+
+class TestDefaultModeDegrades:
+    def test_timeout_returns_quality_tagged_group(self, service, kyoto_dataset):
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=2, times=None
+        ):
+            result = service.query(QUERY, algorithm="EXACT", timeout=60.0)
+        assert result.ok
+        assert result.error is None
+        assert result.degraded
+        assert result.stats.degraded
+        assert result.stats.quality == result.group.quality
+        assert result.group.quality  # tagged
+        assert result.group.covers(kyoto_dataset, QUERY)
+
+    def test_degraded_answer_not_cached(self, service):
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=2, times=None
+        ):
+            degraded = service.query(QUERY, algorithm="EXACT", timeout=60.0)
+        assert degraded.degraded
+        assert service.cache.stats()["size"] == 0
+        # The same query without pressure completes, is better-or-equal,
+        # and is cached normally.
+        full = service.query(QUERY, algorithm="EXACT", timeout=60.0)
+        assert not full.degraded
+        assert full.group.diameter <= degraded.group.diameter + 1e-9
+        assert service.cache.stats()["size"] == 1
+
+    def test_degraded_counter_in_prometheus(self, service):
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=2, times=None
+        ):
+            result = service.query(QUERY, algorithm="EXACT", timeout=60.0)
+        assert result.degraded
+        prom = service.metrics.to_prometheus()
+        assert "mck_degraded_total{" in prom
+        assert (
+            service.metrics.degraded_counter.value(
+                algorithm="EXACT", quality=result.stats.quality
+            )
+            == 1.0
+        )
+
+    def test_degraded_flag_in_stats_dict(self, service):
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=2, times=None
+        ):
+            result = service.query(QUERY, algorithm="EXACT", timeout=60.0)
+        record = result.stats.as_dict()
+        assert record["degraded"] is True
+        assert record["quality"] == result.group.quality
+        agg = service.metrics.as_dict()["algorithms"]["EXACT"]
+        assert agg["degraded"] == 1
+
+    def test_no_incumbent_timeout_still_fails(self, service):
+        with faults.injected("core.deadline.clock", skew=1e9, times=None):
+            result = service.query(QUERY, algorithm="EXACT", timeout=60.0)
+        assert not result.ok
+        assert "exceeded time budget" in result.error
+
+
+class TestStrictMode:
+    def test_strict_timeouts_fail_hard(self, kyoto_engine):
+        with QueryService(
+            kyoto_engine, metrics=MetricsRegistry(), strict_timeouts=True
+        ) as svc:
+            with faults.injected(
+                "core.deadline.clock", skew=1e9, after=2, times=None
+            ):
+                result = svc.query(QUERY, algorithm="EXACT", timeout=60.0)
+            assert not result.ok
+            assert not result.degraded
+            assert "exceeded time budget" in result.error
+            assert svc.cache.stats()["size"] == 0
+
+    def test_untimed_queries_unaffected(self, kyoto_engine, kyoto_dataset):
+        with QueryService(
+            kyoto_engine, metrics=MetricsRegistry(), strict_timeouts=True
+        ) as svc:
+            result = svc.query(QUERY, algorithm="SKECa+")
+            assert result.ok and not result.degraded
+            assert result.group.covers(kyoto_dataset, QUERY)

@@ -1,0 +1,128 @@
+"""Semantics of the fault-injection harness itself."""
+
+import time
+
+import pytest
+
+from repro.exceptions import WorkerCrashed
+from repro.testing import faults
+
+
+class TestArmDisarm:
+    def test_inert_by_default(self):
+        assert faults.ACTIVE is False
+        faults.fire("core.circlescan")  # no-op, nothing armed
+
+    def test_injected_context_disarms(self):
+        with faults.injected("some.site", error=RuntimeError("boom")):
+            assert faults.ACTIVE is True
+            with pytest.raises(RuntimeError):
+                faults.fire("some.site")
+        assert faults.ACTIVE is False
+        faults.fire("some.site")  # disarmed again
+
+    def test_reset_clears_everything(self):
+        faults.arm("a", error=RuntimeError)
+        faults.arm("b", delay=0.1)
+        faults.reset()
+        assert faults.ACTIVE is False
+        assert faults.snapshot() == {}
+
+    def test_other_sites_unaffected(self):
+        with faults.injected("site.one", error=RuntimeError("boom")):
+            faults.fire("site.two")  # nothing armed here
+
+
+class TestTriggerCounting:
+    def test_after_skips_first_matches(self):
+        with faults.injected("s", error=RuntimeError, after=2) as fault:
+            faults.fire("s")
+            faults.fire("s")
+            assert fault.triggered == 0
+            with pytest.raises(RuntimeError):
+                faults.fire("s")
+            assert fault.triggered == 1
+
+    def test_times_limits_triggers(self):
+        with faults.injected("s", error=RuntimeError, times=2):
+            for _ in range(2):
+                with pytest.raises(RuntimeError):
+                    faults.fire("s")
+            faults.fire("s")  # budget exhausted
+            assert faults.fired("s") == 2
+
+    def test_times_none_is_unlimited(self):
+        with faults.injected("s", error=RuntimeError, times=None):
+            for _ in range(5):
+                with pytest.raises(RuntimeError):
+                    faults.fire("s")
+
+    def test_match_predicate_filters_context(self):
+        with faults.injected(
+            "s", error=RuntimeError, times=None, match=lambda worker_id: worker_id == 1
+        ):
+            faults.fire("s", worker_id=0)
+            with pytest.raises(RuntimeError):
+                faults.fire("s", worker_id=1)
+
+
+class TestEffects:
+    def test_error_factory_fresh_instances(self):
+        with faults.injected("s", error=lambda: WorkerCrashed(3, "x"), times=2):
+            errors = []
+            for _ in range(2):
+                with pytest.raises(WorkerCrashed) as info:
+                    faults.fire("s")
+                errors.append(info.value)
+            assert errors[0] is not errors[1]
+            assert errors[0].worker_id == 3
+
+    def test_delay_sleeps(self):
+        with faults.injected("s", delay=0.02):
+            started = time.perf_counter()
+            faults.fire("s")
+            assert time.perf_counter() - started >= 0.015
+
+    def test_clock_skew_sticky(self):
+        # times defaults to 1 but arm() makes skew faults sticky.
+        with faults.injected("core.deadline.clock", skew=5.0):
+            assert faults.clock_skew() == 5.0
+            assert faults.clock_skew() == 5.0  # does not un-skew
+        assert faults.clock_skew() == 0.0
+
+    def test_clock_skew_after(self):
+        with faults.injected("core.deadline.clock", skew=5.0, after=2):
+            assert faults.clock_skew() == 0.0
+            assert faults.clock_skew() == 0.0
+            assert faults.clock_skew() == 5.0
+
+
+class TestSpecParsing:
+    def test_alias_defaults(self):
+        fault = faults.arm_spec("slow-scan")
+        assert fault.site == "core.circlescan"
+        assert fault.delay == pytest.approx(0.1)
+        assert fault.times is None
+
+    def test_overrides(self):
+        fault = faults.arm_spec("pool-reject:after=1,times=2")
+        assert fault.site == "serving.pool.submit"
+        assert fault.after == 1
+        assert fault.times == 2
+
+    def test_times_zero_means_unlimited(self):
+        fault = faults.arm_spec("worker-crash:times=0")
+        assert fault.times is None
+
+    def test_skew_override(self):
+        fault = faults.arm_spec("clock-skew:skew=12.5,after=3")
+        assert fault.skew == pytest.approx(12.5)
+        assert fault.after == 3
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault alias"):
+            faults.arm_spec("nope")
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(ValueError, match="bad fault option"):
+            faults.arm_spec("slow-scan:color=red")
