@@ -18,3 +18,6 @@ python scripts/trace_smoke.py
 
 echo "== fault-injection smoke =="
 python scripts/fault_smoke.py
+
+echo "== overload smoke =="
+python scripts/overload_smoke.py

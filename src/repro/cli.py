@@ -122,6 +122,27 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epsilon", type=float, default=0.01)
     serve.add_argument("--timeout", type=float, default=None)
     serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="open-loop mode: submit the workload as a Poisson arrival "
+        "process at this rate (queries/s) instead of replaying it "
+        "closed-loop; overloads are shed, not queued without bound",
+    )
+    serve.add_argument(
+        "--admission-capacity",
+        type=int,
+        default=1024,
+        help="bounded admission queue capacity; 0 = unbounded",
+    )
+    serve.add_argument(
+        "--shed-policy",
+        default="reject-newest",
+        choices=["reject-newest", "reject-oldest", "deadline-aware"],
+        help="load-shedding policy applied when the admission queue fills",
+    )
     serve.add_argument("--cache-size", type=int, default=1024)
     serve.add_argument("--cache-ttl", type=float, default=None)
     serve.add_argument(
@@ -281,7 +302,7 @@ def _cmd_serve_bench(args) -> int:
 
     from .core.engine import canonical_algorithm
     from .datasets.queries import generate_queries
-    from .exceptions import QueryError
+    from .exceptions import QueryError, QueryRejected
     from .serving import QueryRequest, QueryService
     from .testing import faults
 
@@ -299,6 +320,15 @@ def _cmd_serve_bench(args) -> int:
     if args.cache_ttl is not None and args.cache_ttl <= 0:
         print("serve-bench: --cache-ttl must be positive", file=sys.stderr)
         return 2
+    if args.arrival_rate is not None and args.arrival_rate <= 0:
+        print("serve-bench: --arrival-rate must be positive", file=sys.stderr)
+        return 2
+    if args.admission_capacity < 0:
+        print(
+            "serve-bench: --admission-capacity must be >= 0", file=sys.stderr
+        )
+        return 2
+    admission_capacity = args.admission_capacity or None
 
     if args.dataset:
         dataset = load_jsonl(args.dataset)
@@ -327,6 +357,8 @@ def _cmd_serve_bench(args) -> int:
         with QueryService(
             dataset,
             max_workers=args.workers,
+            admission_capacity=admission_capacity,
+            shed_policy=args.shed_policy,
             cache_size=args.cache_size,
             cache_ttl=args.cache_ttl,
             use_processes_for_exact=args.process_exact,
@@ -334,12 +366,42 @@ def _cmd_serve_bench(args) -> int:
         ) as service:
             failures = 0
             degraded = 0
-            for _round in range(max(1, args.repeat)):
-                for result in service.query_many(requests):
+            rejected = 0
+            rounds = max(1, args.repeat)
+            if args.arrival_rate is not None:
+                # Open loop: arrivals do not wait for completions, so a
+                # slow service sees a growing queue — exactly the regime
+                # admission control and shedding are for.
+                import random as _random
+
+                rng = _random.Random(args.seed)
+                futures = []
+                for _round in range(rounds):
+                    for request in requests:
+                        _time.sleep(rng.expovariate(args.arrival_rate))
+                        try:
+                            futures.append(service.submit(request))
+                        except QueryRejected:
+                            rejected += 1
+                for future in futures:
+                    try:
+                        result = future.result()
+                    except QueryRejected:
+                        rejected += 1
+                        continue
                     if not result.ok:
                         failures += 1
                     elif result.degraded:
                         degraded += 1
+            else:
+                for _round in range(rounds):
+                    for result in service.query_many(requests):
+                        if result.rejected:
+                            rejected += 1
+                        elif not result.ok:
+                            failures += 1
+                        elif result.degraded:
+                            degraded += 1
             wall = _time.perf_counter() - started
             dump = {
                 "workload": {
@@ -348,17 +410,22 @@ def _cmd_serve_bench(args) -> int:
                     "m": args.m,
                     "distinct_queries": len(workload),
                     "algorithms": algorithms,
-                    "repeat": max(1, args.repeat),
-                    "requests_total": len(requests) * max(1, args.repeat),
+                    "repeat": rounds,
+                    "requests_total": len(requests) * rounds,
                     "failures": failures,
                     "degraded": degraded,
+                    "rejected": rejected,
+                    "arrival_rate": args.arrival_rate,
+                    "admission_capacity": admission_capacity,
+                    "shed_policy": args.shed_policy,
                     "strict_timeouts": args.strict_timeouts,
                     "injected_faults": list(args.inject_fault),
                     "wall_seconds": wall,
-                    "throughput_qps": len(requests) * max(1, args.repeat) / wall
+                    "throughput_qps": len(requests) * rounds / wall
                     if wall > 0
                     else None,
                 },
+                "admission": service.admission_dict(),
                 "metrics": service.metrics_dict(),
             }
             prom_text = service.metrics.to_prometheus() if args.prom_out else None

@@ -26,14 +26,15 @@ broadcast; replicated objects are charged per (x, y, keywords) record.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.engine import MCKEngine
 from ..core.objects import Dataset
 from ..core.result import Group
-from ..exceptions import InfeasibleQueryError, WorkerCrashed
+from ..exceptions import InfeasibleQueryError, QueryRejected, WorkerCrashed
 from ..observability.logging import correlation_scope, get_logger
 from ..observability.tracer import span as _trace_span
 from ..serving.stats import MetricsRegistry
@@ -85,6 +86,7 @@ class DistributedMCKEngine:
         retry_backoff_cap: float = 1.0,
         sleep=time.sleep,
         metrics: Optional[MetricsRegistry] = None,
+        worker_queue_capacity: Optional[int] = None,
     ):
         dataset.finalize()
         self.dataset = dataset
@@ -108,11 +110,67 @@ class DistributedMCKEngine:
             help="Worker respawn-and-resubmit attempts after a crash.",
             label_names=("round",),
         )
+        #: Backpressure: max outstanding tasks a single worker will accept
+        #: before the coordinator refuses further submissions with
+        #: :class:`~repro.exceptions.QueryRejected` (reason
+        #: ``worker_backpressure``).  ``None`` = unbounded (the seed
+        #: behaviour).  Depth is tracked per worker id so respawned workers
+        #: inherit the slot accounting of the shard they replaced.
+        if worker_queue_capacity is not None and worker_queue_capacity < 1:
+            raise ValueError(
+                "worker_queue_capacity must be >= 1 or None, got "
+                f"{worker_queue_capacity!r}"
+            )
+        self.worker_queue_capacity = worker_queue_capacity
+        self._pending: Dict[int, int] = {}
+        self._pending_lock = threading.Lock()
         self._central_engine: Optional[MCKEngine] = None
 
     @property
     def n_workers(self) -> int:
         return self.partitioner.n_workers
+
+    # ------------------------------------------------------------------ #
+    # Worker backpressure: bounded per-worker outstanding-task queues.
+    # ------------------------------------------------------------------ #
+
+    def pending_tasks(self, worker_id: int) -> int:
+        """Outstanding (submitted, unanswered) tasks at ``worker_id``."""
+        with self._pending_lock:
+            return self._pending.get(worker_id, 0)
+
+    def _acquire_worker_slot(self, worker_id: int, round_label: str) -> None:
+        with self._pending_lock:
+            depth = self._pending.get(worker_id, 0)
+            cap = self.worker_queue_capacity
+            if cap is not None and depth >= cap:
+                self.metrics.admission_rejected_counter.inc(
+                    1.0, reason="worker_backpressure"
+                )
+                _log.warning(
+                    "dist.worker_backpressure",
+                    worker_id=worker_id,
+                    round=round_label,
+                    depth=depth,
+                    capacity=cap,
+                )
+                raise QueryRejected(
+                    "worker_backpressure",
+                    f"worker {worker_id} queue full "
+                    f"({depth} pending >= capacity {cap})",
+                )
+            self._pending[worker_id] = depth + 1
+            self.metrics.queue_depth_gauge.set(
+                float(depth + 1), queue=f"worker-{worker_id}"
+            )
+
+    def _release_worker_slot(self, worker_id: int) -> None:
+        with self._pending_lock:
+            depth = max(0, self._pending.get(worker_id, 0) - 1)
+            self._pending[worker_id] = depth
+            self.metrics.queue_depth_gauge.set(
+                float(depth), queue=f"worker-{worker_id}"
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -277,14 +335,18 @@ class DistributedMCKEngine:
             attempt = 0
             while True:
                 try:
-                    answers.append(
-                        worker.answer(
-                            keywords,
-                            algorithm=algorithm,
-                            epsilon=self.epsilon,
-                            correlation_id=cid,
+                    self._acquire_worker_slot(worker.worker_id, round_label)
+                    try:
+                        answers.append(
+                            worker.answer(
+                                keywords,
+                                algorithm=algorithm,
+                                epsilon=self.epsilon,
+                                correlation_id=cid,
+                            )
                         )
-                    )
+                    finally:
+                        self._release_worker_slot(worker.worker_id)
                     break
                 except self._WORKER_FAILURES as err:
                     crashes += 1

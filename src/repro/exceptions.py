@@ -23,6 +23,49 @@ class QueryError(ReproError):
     """Raised when a query is malformed or cannot be satisfied."""
 
 
+class InvalidRequestError(QueryError):
+    """A serving request was constructed with invalid parameters.
+
+    Raised at :class:`~repro.serving.service.QueryRequest` construction
+    time — empty keyword tuples, non-positive ``epsilon``, non-positive
+    ``timeout`` — so malformed requests fail fast and typed instead of
+    surfacing as confusing errors deep inside the engine.
+    """
+
+
+class QueryRejected(ReproError):
+    """The service refused a request under overload (HTTP-429-style).
+
+    Raised by the admission-control layer (see
+    :mod:`repro.serving.admission`) instead of queueing work it cannot
+    finish: the queue is at capacity, a shedding policy evicted the
+    request, its deadline is already unmeetable, or the service is
+    shutting down.  ``reason`` is machine-readable and mirrors the
+    ``reason`` label of the ``mck_admission_rejected_total`` metric:
+
+    ``capacity``
+        The bounded admission queue was full (``reject-newest``).
+    ``shed_oldest``
+        Evicted from the queue to admit a newer request
+        (``reject-oldest``).
+    ``deadline_unmeetable``
+        The request's remaining deadline cannot be met given observed
+        service times and the current backlog (``deadline-aware``).
+    ``worker_backpressure``
+        A distributed worker's bounded task queue was full.
+    ``shutdown``
+        The service is closing; queued work is rejected, not dropped.
+    """
+
+    def __init__(self, reason: str = "capacity", detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        message = f"query rejected ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 class InfeasibleQueryError(QueryError):
     """Raised when no group of objects can cover all query keywords."""
 

@@ -1,9 +1,20 @@
-"""Query-serving layer: batched execution, result caching, metrics.
+"""Query-serving layer: batched execution, result caching, metrics,
+admission control and load shedding.
 
 Built on top of :class:`~repro.core.engine.MCKEngine`; see
-``docs/serving.md`` for the full walkthrough.
+``docs/serving.md`` for the full walkthrough and ``docs/overload.md``
+for the overload-protection subsystem.
 """
 
+from .admission import (
+    DEADLINE_AWARE,
+    REJECT_NEWEST,
+    REJECT_OLDEST,
+    SHED_POLICIES,
+    AdaptiveConcurrencyLimiter,
+    AdmissionController,
+    estimate_cost,
+)
 from .breaker import CircuitBreaker
 from .cache import ResultCache, make_cache_key
 from .service import QueryRequest, QueryService, ServedResult
@@ -13,6 +24,13 @@ __all__ = [
     "QueryRequest",
     "QueryService",
     "ServedResult",
+    "AdmissionController",
+    "AdaptiveConcurrencyLimiter",
+    "estimate_cost",
+    "SHED_POLICIES",
+    "REJECT_NEWEST",
+    "REJECT_OLDEST",
+    "DEADLINE_AWARE",
     "CircuitBreaker",
     "ResultCache",
     "make_cache_key",

@@ -32,13 +32,13 @@ poisoning the whole batch; programming errors still propagate.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import (
     BrokenExecutor,
     Future,
     ProcessPoolExecutor,
-    ThreadPoolExecutor,
 )
 from dataclasses import dataclass
 from threading import Lock
@@ -49,10 +49,21 @@ from ..core.engine import MCKEngine, canonical_algorithm
 from ..core.objects import Dataset
 from ..core.result import Group
 from ..core.skeca import DEFAULT_EPSILON
-from ..exceptions import AlgorithmTimeout, ReproError
+from ..exceptions import (
+    AlgorithmTimeout,
+    InvalidRequestError,
+    QueryRejected,
+    ReproError,
+)
 from ..observability import tracer as _tracing
 from ..observability.logging import correlation_scope, get_logger
 from ..testing import faults as _faults
+from .admission import (
+    REJECT_NEWEST,
+    AdaptiveConcurrencyLimiter,
+    AdmissionController,
+    estimate_cost,
+)
 from .breaker import OPEN, CircuitBreaker
 from .cache import ResultCache, make_cache_key
 from .stats import MetricsRegistry, QueryStats
@@ -64,7 +75,15 @@ _log = get_logger("serving")
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One mCK query plus its execution parameters."""
+    """One mCK query plus its execution parameters.
+
+    Validated at construction: a bare string is treated as a single
+    keyword (never split into characters), the keyword tuple must be
+    non-empty with non-empty terms, ``epsilon`` must be a positive finite
+    number and ``timeout`` (when given) positive.  Violations raise
+    :class:`~repro.exceptions.InvalidRequestError` here, not deep inside
+    the engine.
+    """
 
     keywords: Tuple[str, ...]
     algorithm: str = "SKECa+"
@@ -72,23 +91,44 @@ class QueryRequest:
     timeout: Optional[float] = None
 
     def __post_init__(self):
-        object.__setattr__(
-            self, "keywords", tuple(str(k) for k in self.keywords)
-        )
+        raw = self.keywords
+        if isinstance(raw, str):
+            # tuple("hotel") would yield ('h','o','t','e','l'); a bare
+            # string can only sensibly mean one keyword.
+            raw = (raw,)
+        keywords = tuple(str(k) for k in raw)
+        if not keywords:
+            raise InvalidRequestError("a query needs at least one keyword")
+        if any(not k for k in keywords):
+            raise InvalidRequestError(
+                f"query keywords must be non-empty strings, got {keywords!r}"
+            )
+        object.__setattr__(self, "keywords", keywords)
+        eps = self.epsilon
+        if not isinstance(eps, (int, float)) or isinstance(eps, bool) \
+                or not math.isfinite(eps) or eps <= 0:
+            raise InvalidRequestError(
+                f"epsilon must be a positive finite number, got {eps!r}"
+            )
+        if self.timeout is not None and not self.timeout > 0:
+            raise InvalidRequestError(
+                f"timeout must be positive (or None), got {self.timeout!r}"
+            )
 
     @classmethod
     def coerce(
         cls,
-        item: Union["QueryRequest", Sequence[str]],
+        item: Union["QueryRequest", str, Sequence[str]],
         algorithm: str = "SKECa+",
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
     ) -> "QueryRequest":
-        """Accept a ready request or a bare keyword sequence."""
+        """Accept a ready request, a bare keyword, or a keyword sequence."""
         if isinstance(item, QueryRequest):
             return item
+        keywords = (item,) if isinstance(item, str) else tuple(item)
         return cls(
-            keywords=tuple(item),
+            keywords=keywords,
             algorithm=algorithm,
             epsilon=epsilon,
             timeout=timeout,
@@ -113,6 +153,11 @@ class ServedResult:
     def degraded(self) -> bool:
         """True when the answer is an anytime incumbent / fallback."""
         return self.stats.degraded
+
+    @property
+    def rejected(self) -> bool:
+        """True when admission control refused the request (never ran)."""
+        return self.stats.rejected
 
     @property
     def correlation_id(self) -> str:
@@ -198,6 +243,19 @@ class QueryService:
         Opt-in: run EXACT queries on a :class:`ProcessPoolExecutor` whose
         workers each hold their own engine.  Worth it only when EXACT
         dominates the workload; worker start-up re-indexes the dataset.
+    admission_capacity:
+        Bound on the admission queue (requests accepted but not yet
+        executing).  When the queue is full the ``shed_policy`` decides
+        who gets a :class:`~repro.exceptions.QueryRejected`; ``None``
+        disables the bound entirely.  See :mod:`repro.serving.admission`.
+    shed_policy:
+        ``reject-newest`` (default), ``reject-oldest`` or
+        ``deadline-aware`` (sheds requests whose remaining deadline is
+        unmeetable given the observed p95 service time and queue depth).
+    limiter:
+        Optional :class:`~repro.serving.admission.AdaptiveConcurrencyLimiter`
+        governing cost-weighted inflight work (AIMD on latency); a
+        default sized from ``max_workers`` is built when omitted.
     strict_timeouts:
         When False (default) a query whose deadline expires returns the
         algorithm's best feasible incumbent as a *degraded* answer
@@ -227,6 +285,9 @@ class QueryService:
         source: Union[Dataset, MCKEngine],
         *,
         max_workers: Optional[int] = None,
+        admission_capacity: Optional[int] = 1024,
+        shed_policy: str = REJECT_NEWEST,
+        limiter: Optional[AdaptiveConcurrencyLimiter] = None,
         cache_size: int = 1024,
         cache_ttl: Optional[float] = None,
         use_processes_for_exact: bool = False,
@@ -257,9 +318,27 @@ class QueryService:
             cooldown_seconds=breaker_cooldown,
             on_transition=self._on_breaker_transition,
         )
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.max_workers, thread_name_prefix="mck-serve"
+        self.limiter = limiter if limiter is not None else AdaptiveConcurrencyLimiter(
+            initial=4.0 * self.max_workers,
+            max_limit=16.0 * self.max_workers,
         )
+        self.admission = AdmissionController(
+            max_workers=self.max_workers,
+            capacity=admission_capacity,
+            policy=shed_policy,
+            limiter=self.limiter,
+            service_time=self.metrics.service_time_p95,
+            on_reject=self._on_admission_reject,
+            on_depth=lambda depth: self.metrics.queue_depth_gauge.set(
+                float(depth), queue="admission"
+            ),
+            on_inflight=lambda count, _cost: self.metrics.inflight_gauge.set(
+                float(count), queue="admission"
+            ),
+            on_limit=self.metrics.concurrency_limit_gauge.set,
+            thread_name_prefix="mck-serve",
+        )
+        self.metrics.concurrency_limit_gauge.set(self.limiter.limit)
         self._use_processes_for_exact = use_processes_for_exact
         self._process_workers = process_workers
         self._process_pool: Optional[ProcessPoolExecutor] = None
@@ -279,10 +358,13 @@ class QueryService:
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
     ) -> ServedResult:
-        """Answer one query on the calling thread (cache + metrics apply)."""
-        return self._serve(
-            QueryRequest.coerce(keywords, algorithm, epsilon, timeout)
-        )
+        """Answer one query through admission control and wait for it.
+
+        Raises :class:`~repro.exceptions.QueryRejected` when admission
+        control sheds the request (queue full, unmeetable deadline, or
+        the service is closing).
+        """
+        return self.submit(keywords, algorithm, epsilon, timeout).result()
 
     def submit(
         self,
@@ -291,11 +373,15 @@ class QueryService:
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
     ) -> "Future[ServedResult]":
-        """Enqueue one query; returns a future of its :class:`ServedResult`."""
-        if self._closed:
-            raise RuntimeError("QueryService is closed")
+        """Enqueue one query; returns a future of its :class:`ServedResult`.
+
+        Raises :class:`~repro.exceptions.QueryRejected` immediately when
+        the request is not admitted (reason ``shutdown`` after
+        :meth:`close`); a request shed *after* admission resolves its
+        future with the same exception.
+        """
         request = QueryRequest.coerce(keywords, algorithm, epsilon, timeout)
-        return self._pool.submit(self._serve, request, time.monotonic_ns())
+        return self._submit(request)
 
     def query_many(
         self,
@@ -304,27 +390,59 @@ class QueryService:
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
     ) -> List[ServedResult]:
-        """Answer a batch concurrently; results come back in input order."""
+        """Answer a batch concurrently; results come back in input order.
+
+        Admission rejections do not poison the batch: a rejected request
+        yields a failed :class:`ServedResult` with ``rejected`` true and
+        the :class:`~repro.exceptions.QueryRejected` message as its
+        ``error``, in its input-order slot.
+        """
         coerced = [
             QueryRequest.coerce(item, algorithm, epsilon, timeout)
             for item in requests
         ]
-        enqueued = time.monotonic_ns()
-        futures = [
-            self._pool.submit(self._serve, req, enqueued) for req in coerced
-        ]
-        return [f.result() for f in futures]
+        outcomes: List[Union[Future, QueryRejected]] = []
+        for request in coerced:
+            try:
+                outcomes.append(self._submit(request))
+            except QueryRejected as err:
+                outcomes.append(err)
+        results: List[ServedResult] = []
+        for request, outcome in zip(coerced, outcomes):
+            if isinstance(outcome, QueryRejected):
+                results.append(self._rejected_result(request, outcome))
+                continue
+            try:
+                results.append(outcome.result())
+            except QueryRejected as err:
+                results.append(self._rejected_result(request, err))
+        return results
 
     def metrics_dict(self) -> dict:
         """Aggregate metrics including the cache's current counters."""
         self.metrics.record_cache(self.cache.stats())
         return self.metrics.as_dict()
 
+    def admission_dict(self) -> dict:
+        """Admission-control snapshot: conservation counters, depth, limit."""
+        counters = self.admission.counters()
+        counters["queue_depth"] = self.admission.queue_depth
+        counters["inflight"] = self.admission.inflight
+        counters["concurrency_limit"] = self.limiter.limit
+        return counters
+
     def close(self) -> None:
+        """Drain accepted work, reject queued work, release the pools.
+
+        Idempotent: calling :meth:`close` again is a no-op.  Requests
+        already executing complete and their futures resolve; requests
+        still queued resolve with ``QueryRejected(reason="shutdown")``;
+        later :meth:`submit` calls raise the same.
+        """
         if self._closed:
             return
         self._closed = True
-        self._pool.shutdown(wait=True)
+        self.admission.close()
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
 
@@ -337,6 +455,56 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _submit(self, request: QueryRequest) -> "Future[ServedResult]":
+        algorithm = canonical_algorithm(request.algorithm)
+        return self.admission.submit(
+            self._serve,
+            request,
+            time.monotonic_ns(),
+            cost=self._estimate_cost(request, algorithm),
+            timeout=request.timeout,
+            key=algorithm,
+        )
+
+    def _estimate_cost(self, request: QueryRequest, algorithm: str) -> float:
+        """Cost weight from algorithm, m, and keyword document frequency."""
+        vocab = self.engine.dataset.vocabulary
+        n_objects = max(1, len(self.engine.dataset))
+        frequencies = [
+            vocab.frequency(keyword)
+            for keyword in request.keywords
+            if keyword in vocab
+        ]
+        min_rel = min(frequencies) / n_objects if frequencies else 0.0
+        return estimate_cost(algorithm, len(request.keywords), min_rel)
+
+    def _rejected_result(
+        self, request: QueryRequest, err: QueryRejected
+    ) -> ServedResult:
+        """A failed :class:`ServedResult` for a shed request.
+
+        Rejected requests never executed, so they are *not* recorded into
+        the latency aggregates (which would drag every percentile toward
+        zero); the ``mck_admission_rejected_total`` counter already
+        accounts for them.
+        """
+        stats = QueryStats(
+            keywords=request.keywords,
+            algorithm=canonical_algorithm(request.algorithm),
+            epsilon=request.epsilon,
+            success=False,
+            rejected=True,
+        )
+        return ServedResult(
+            request=request, group=None, stats=stats, error=str(err)
+        )
+
+    def _on_admission_reject(self, reason: str) -> None:
+        self.metrics.admission_rejected_counter.inc(1.0, reason=reason)
+        # debug, not warning: under overload this fires per rejection, and a
+        # log storm is itself an overload amplifier — the counter is the signal.
+        _log.debug("admission.rejected", reason=reason)
 
     def _on_breaker_transition(self, old_state: str, new_state: str) -> None:
         self.metrics.circuit_transition_counter.inc(1.0, state=new_state)
@@ -365,11 +533,22 @@ class QueryService:
             ) as root:
                 if enqueued_ns is not None:
                     # The wait happened before this span existed; record it
-                    # as an already-complete child.
+                    # as two already-complete children: the raw queue wait
+                    # and the admission view of it (policy, live depth,
+                    # concurrency limit at dispatch).
                     tracer = self._tracer()
                     if tracer is not None:
+                        now_ns = time.monotonic_ns()
                         tracer.record_complete(
-                            "serve.queue", enqueued_ns, time.monotonic_ns()
+                            "serve.queue", enqueued_ns, now_ns
+                        )
+                        tracer.record_complete(
+                            "serve.admission",
+                            enqueued_ns,
+                            now_ns,
+                            policy=self.admission.policy,
+                            queue_depth=self.admission.queue_depth,
+                            concurrency_limit=round(self.limiter.limit, 3),
                         )
                 result = self._serve_traced(request, started, cid)
                 root.set_attribute(

@@ -47,6 +47,9 @@ class QueryStats:
     total_seconds: float = 0.0
     cache_hit: bool = False
     success: bool = True
+    #: True when admission control rejected the request (it never ran; a
+    #: rejected record is not folded into latency aggregates).
+    rejected: bool = False
     #: True when the answer is a degraded (anytime) incumbent returned on
     #: an expired deadline or a pool fallback, not a completed run.
     degraded: bool = False
@@ -71,6 +74,7 @@ class QueryStats:
             "total_seconds": self.total_seconds,
             "cache_hit": self.cache_hit,
             "success": self.success,
+            "rejected": self.rejected,
             "degraded": self.degraded,
             "quality": self.quality,
             "diameter": None if math.isnan(self.diameter) else self.diameter,
@@ -209,6 +213,28 @@ class MetricsRegistry:
             "mck_circuit_open",
             help="1 while the process-pool circuit breaker is open.",
         )
+        self.admission_rejected_counter = self.counter(
+            "mck_admission_rejected_total",
+            help="Requests rejected or shed by admission control, by reason "
+            "(capacity, shed_oldest, deadline_unmeetable, "
+            "worker_backpressure, shutdown).",
+            label_names=("reason",),
+        )
+        self.queue_depth_gauge = self.gauge(
+            "mck_queue_depth",
+            help="Requests waiting in a bounded queue (admission queue or a "
+            "distributed worker's task queue).",
+            label_names=("queue",),
+        )
+        self.inflight_gauge = self.gauge(
+            "mck_inflight",
+            help="Requests currently executing, by queue.",
+            label_names=("queue",),
+        )
+        self.concurrency_limit_gauge = self.gauge(
+            "mck_concurrency_limit",
+            help="Current adaptive concurrency limit in cost-weighted units.",
+        )
 
     @classmethod
     def default(cls) -> "MetricsRegistry":
@@ -293,6 +319,31 @@ class MetricsRegistry:
                 self.work_counter.inc(
                     value, algorithm=stats.algorithm, counter=name
                 )
+
+    def service_time_p95(self, algorithm: Optional[str] = None) -> Optional[float]:
+        """Observed p95 *execution* latency in seconds, or ``None`` cold.
+
+        Reads the ``mck_query_latency_seconds`` histogram's cache-miss
+        series (cache hits are not service time).  With ``algorithm`` the
+        answer is that algorithm's p95; without, a sample-count-weighted
+        average over every algorithm's p95 — the admission layer's
+        deadline-aware shed policy uses this as its service-time estimate.
+        """
+        hist = self.latency_histogram
+        if algorithm is not None:
+            return hist.percentile(95.0, algorithm=algorithm, cache="miss")
+        total = 0
+        acc = 0.0
+        for key in hist.label_sets():
+            labels = dict(zip(hist.label_names, key))
+            if labels.get("cache") != "miss":
+                continue
+            count = hist.count(**labels)
+            p95 = hist.percentile(95.0, **labels)
+            if count and p95 is not None:
+                total += count
+                acc += p95 * count
+        return acc / total if total else None
 
     def record_cache(self, counters: Dict[str, int]) -> None:
         """Fold in (overwrite) the result cache's counter snapshot."""

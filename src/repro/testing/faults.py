@@ -23,6 +23,11 @@ Known sites
     Fired before each submission to the EXACT process pool.  Arm the
     ``broken_pool`` error to model a pool rejection / dead worker and
     exercise the retry budget and circuit breaker.
+``serving.admission.capacity``
+    Fired on every admission attempt (before capacity/policy checks).
+    Arm a :class:`~repro.exceptions.QueryRejected` (the
+    ``admission-reject`` alias) to model a full admission queue without
+    generating real load, or a ``delay`` to model a slow admission path.
 ``distributed.worker.answer``
     Fired when a distributed worker starts a task.  Arm the
     ``worker_crash`` error (crash-on-nth-task via ``after``) to exercise
@@ -36,7 +41,7 @@ Example
 
 Faults can also be armed from a CLI spec string (see :func:`arm_spec`):
 ``slow-scan:delay=0.2``, ``pool-reject:after=1,times=2``,
-``worker-crash``, ``clock-skew:after=50``.
+``worker-crash``, ``clock-skew:after=50``, ``admission-reject:times=5``.
 """
 
 from __future__ import annotations
@@ -248,6 +253,14 @@ def _worker_crash_error() -> BaseException:
     return WorkerCrashed(-1, "injected crash (repro.testing.faults)")
 
 
+def _admission_reject_error() -> BaseException:
+    from ..exceptions import QueryRejected
+
+    return QueryRejected(
+        "injected", "injected admission rejection (repro.testing.faults)"
+    )
+
+
 #: alias -> (site, default arm() kwargs).  The error values are factories
 #: so each trigger raises a fresh exception instance.
 ALIASES: Dict[str, tuple] = {
@@ -255,6 +268,10 @@ ALIASES: Dict[str, tuple] = {
     "clock-skew": ("core.deadline.clock", {"skew": 3600.0, "times": None}),
     "pool-reject": ("serving.pool.submit", {"error": _broken_pool_error}),
     "worker-crash": ("distributed.worker.answer", {"error": _worker_crash_error}),
+    "admission-reject": (
+        "serving.admission.capacity",
+        {"error": _admission_reject_error},
+    ),
 }
 
 _INT_KEYS = frozenset({"after", "times"})

@@ -1,0 +1,124 @@
+"""Coordinator backpressure: bounded per-worker outstanding-task queues."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.distributed.coordinator import DistributedMCKEngine
+from repro.distributed.worker import Worker
+from repro.exceptions import QueryRejected
+from repro.serving.stats import MetricsRegistry
+
+WAIT = 30.0
+
+
+@pytest.fixture
+def dataset(random_dataset_factory):
+    return random_dataset_factory(17, n=40)
+
+
+@pytest.fixture
+def query(dataset, feasible_query_factory):
+    return feasible_query_factory(dataset, seed=17, m=3)
+
+
+class TestSlotAccounting:
+    def test_acquire_release_and_pending_accessor(self, dataset):
+        engine = DistributedMCKEngine(
+            dataset,
+            n_workers=2,
+            worker_queue_capacity=1,
+            metrics=MetricsRegistry(),
+        )
+        assert engine.pending_tasks(0) == 0
+        engine._acquire_worker_slot(0, "bound")
+        assert engine.pending_tasks(0) == 1
+        assert engine.pending_tasks(1) == 0  # slots are per worker
+        with pytest.raises(QueryRejected) as excinfo:
+            engine._acquire_worker_slot(0, "bound")
+        assert excinfo.value.reason == "worker_backpressure"
+        rejected = engine.metrics.admission_rejected_counter.value(
+            reason="worker_backpressure"
+        )
+        assert rejected == 1.0
+        engine._release_worker_slot(0)
+        assert engine.pending_tasks(0) == 0
+        engine._acquire_worker_slot(0, "bound")  # the freed slot is reusable
+
+    def test_depth_gauge_tracks_per_worker_queue(self, dataset):
+        registry = MetricsRegistry()
+        engine = DistributedMCKEngine(
+            dataset, n_workers=2, worker_queue_capacity=4, metrics=registry
+        )
+        engine._acquire_worker_slot(1, "exact")
+        assert registry.queue_depth_gauge.value(queue="worker-1") == 1.0
+        engine._release_worker_slot(1)
+        assert registry.queue_depth_gauge.value(queue="worker-1") == 0.0
+
+    def test_capacity_validation(self, dataset):
+        with pytest.raises(ValueError):
+            DistributedMCKEngine(dataset, n_workers=2, worker_queue_capacity=0)
+
+
+class TestQueryBehaviour:
+    def test_sequential_queries_fit_capacity_one(self, dataset, query):
+        # The coordinator submits to each worker one task at a time, so a
+        # single-caller workload never trips a capacity-1 bound.
+        engine = DistributedMCKEngine(
+            dataset,
+            n_workers=2,
+            worker_queue_capacity=1,
+            metrics=MetricsRegistry(),
+        )
+        result = engine.query(query)
+        assert result.group is not None
+        assert all(
+            engine.pending_tasks(i) == 0 for i in range(engine.n_workers)
+        )
+
+    def test_concurrent_queries_shed_with_typed_rejection(
+        self, dataset, query, monkeypatch
+    ):
+        engine = DistributedMCKEngine(
+            dataset,
+            n_workers=2,
+            worker_queue_capacity=1,
+            metrics=MetricsRegistry(),
+        )
+        release = threading.Event()
+        first_inside = threading.Event()
+        original_answer = Worker.answer
+
+        def slow_answer(self, *args, **kwargs):
+            first_inside.set()
+            assert release.wait(WAIT)
+            return original_answer(self, *args, **kwargs)
+
+        monkeypatch.setattr(Worker, "answer", slow_answer)
+        outcome = {}
+
+        def background_query():
+            outcome["result"] = engine.query(query)
+
+        thread = threading.Thread(target=background_query)
+        thread.start()
+        try:
+            assert first_inside.wait(WAIT)
+            # Worker 0's single slot is held by the background query; a
+            # concurrent query is refused with the typed rejection instead
+            # of queueing without bound.
+            with pytest.raises(QueryRejected) as excinfo:
+                engine.query(query)
+            assert excinfo.value.reason == "worker_backpressure"
+            assert "worker" in str(excinfo.value)
+        finally:
+            release.set()
+            thread.join(timeout=WAIT)
+        assert not thread.is_alive()
+        assert outcome["result"].group is not None
+        rejected = engine.metrics.admission_rejected_counter.value(
+            reason="worker_backpressure"
+        )
+        assert rejected >= 1.0

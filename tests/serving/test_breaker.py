@@ -1,0 +1,97 @@
+"""CircuitBreaker under concurrency: half-open admits exactly one probe."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _hammer_allow(breaker: CircuitBreaker, n_threads: int = 16):
+    """Race ``n_threads`` through ``allow()`` from a barrier; return admits."""
+    barrier = threading.Barrier(n_threads)
+    admitted = []
+    lock = threading.Lock()
+
+    def attempt():
+        barrier.wait()
+        if breaker.allow():
+            with lock:
+                admitted.append(threading.get_ident())
+
+    threads = [threading.Thread(target=attempt) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return admitted
+
+
+class TestHalfOpenConcurrency:
+    def test_exactly_one_probe_admitted_per_half_open_window(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_seconds=1.0,
+            clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        rounds = 5
+        for _ in range(rounds):
+            breaker.record_failure()
+            assert breaker.state == OPEN
+            clock.advance(1.5)  # cooldown elapsed: next allow() probes
+            admitted = _hammer_allow(breaker, n_threads=16)
+            assert len(admitted) == 1, (
+                f"half-open admitted {len(admitted)} concurrent probes"
+            )
+            breaker.record_success()
+            assert breaker.state == CLOSED
+        assert transitions.count((CLOSED, OPEN)) == rounds
+        assert transitions.count((OPEN, HALF_OPEN)) == rounds
+        assert transitions.count((HALF_OPEN, CLOSED)) == rounds
+
+    def test_failed_probe_reopens_and_no_second_probe_leaks(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # the probe
+        # While the probe is in flight every other caller is refused.
+        assert not any(_hammer_allow(breaker, n_threads=8))
+        breaker.record_failure()  # probe failed: full cooldown again
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(1.5)
+        admitted = _hammer_allow(breaker, n_threads=8)
+        assert len(admitted) == 1
+
+    def test_open_breaker_admits_nobody_under_contention(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_seconds=30.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert _hammer_allow(breaker, n_threads=16) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)

@@ -163,7 +163,7 @@ class TestStatsAndMetrics:
 class TestFailureIsolation:
     def test_timeout_yields_failed_result_not_exception(self, dataset, queries):
         requests = [
-            QueryRequest(tuple(queries[0]), algorithm="EXACT", timeout=-1.0),
+            QueryRequest(tuple(queries[0]), algorithm="EXACT", timeout=1e-9),
             QueryRequest(tuple(queries[1]), algorithm="GKG"),
         ]
         with QueryService(dataset, cache_size=0) as service:
@@ -185,7 +185,7 @@ class TestFailureIsolation:
         assert good.ok
 
     def test_failures_are_not_cached(self, dataset, queries):
-        req = QueryRequest(tuple(queries[0]), algorithm="EXACT", timeout=-1.0)
+        req = QueryRequest(tuple(queries[0]), algorithm="EXACT", timeout=1e-9)
         with QueryService(dataset) as service:
             service.query_many([req])
             retry = service.query(queries[0], algorithm="EXACT")
@@ -201,10 +201,13 @@ class TestSubmitAndLifecycle:
         assert result.ok
 
     def test_submit_after_close_raises(self, dataset, queries):
+        from repro.exceptions import QueryRejected
+
         service = QueryService(dataset)
         service.close()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(QueryRejected) as excinfo:
             service.submit(queries[0])
+        assert excinfo.value.reason == "shutdown"
 
     def test_close_is_idempotent(self, dataset):
         service = QueryService(dataset)
