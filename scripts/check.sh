@@ -21,3 +21,6 @@ python scripts/fault_smoke.py
 
 echo "== overload smoke =="
 python scripts/overload_smoke.py
+
+echo "== live smoke =="
+python scripts/live_smoke.py

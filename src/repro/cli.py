@@ -8,6 +8,10 @@ Subcommands
 ``stats``       print Table-1-style statistics for a dataset file
 ``serve-bench`` replay a query workload through the batched
                 :class:`~repro.serving.QueryService` and dump JSON metrics
+``live-bench``  drive a mixed read/write Poisson workload against a
+                :class:`~repro.live.LiveMCKEngine`-backed service and dump
+                JSON metrics (epochs, delta size, compactions, WAL records,
+                keyword-scoped cache invalidations)
 ``trace``       serve a small workload with the span tracer attached and
                 write a Chrome trace-event JSON (plus optional Prometheus
                 text exposition of the latency histograms)
@@ -175,6 +179,78 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write Prometheus text exposition of the service metrics here",
     )
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    live = sub.add_parser(
+        "live-bench",
+        help="drive a mixed read/write workload against a live (mutable) "
+        "engine, dump JSON metrics",
+    )
+    live.add_argument(
+        "--dataset", default=None, help="JSON-lines dataset path (overrides --preset)"
+    )
+    live.add_argument("--preset", choices=["NY", "LA", "TW"], default="NY")
+    live.add_argument("--scale", type=float, default=0.02)
+    live.add_argument("--m", type=int, default=4, help="keywords per query")
+    live.add_argument(
+        "--queries", type=int, default=25, help="distinct queries in the read mix"
+    )
+    live.add_argument(
+        "--operations",
+        type=int,
+        default=200,
+        help="total operations (reads + writes) to drive",
+    )
+    live.add_argument(
+        "--write-ratio",
+        type=float,
+        default=0.3,
+        help="fraction of operations that are mutations (inserts/deletes)",
+    )
+    live.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        metavar="OPS",
+        help="open-loop mode: Poisson arrivals at this rate (operations/s); "
+        "omitted = closed loop (each mutation completes before the next op)",
+    )
+    live.add_argument(
+        "--algorithm",
+        default="SKECa+",
+        choices=["GKG", "SKEC", "SKECa", "SKECa+", "EXACT"],
+    )
+    live.add_argument("--epsilon", type=float, default=0.01)
+    live.add_argument("--timeout", type=float, default=None)
+    live.add_argument("--workers", type=int, default=None)
+    live.add_argument("--cache-size", type=int, default=1024)
+    live.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="write-ahead-log path (durability across restarts)",
+    )
+    live.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=64,
+        help="delta size (adds + tombstones) that triggers compaction",
+    )
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="arm a fault for the run, e.g. compaction-fail:times=2, "
+        "slow-scan:delay=0.2 (repeatable; see repro.testing.faults)",
+    )
+    live.add_argument(
+        "--output", default=None, help="write the JSON dump here instead of stdout"
+    )
+    live.add_argument(
+        "--prom-out",
+        default=None,
+        help="also write Prometheus text exposition of the service metrics here",
+    )
+    live.set_defaults(handler=_cmd_live_bench)
 
     trace = sub.add_parser(
         "trace",
@@ -437,6 +513,175 @@ def _cmd_serve_bench(args) -> int:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         print(f"wrote serve-bench metrics to {args.output}")
+    else:
+        print(text)
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(prom_text)
+        print(f"wrote Prometheus exposition to {args.prom_out}")
+    return 0
+
+
+def _cmd_live_bench(args) -> int:
+    import json
+    import random as _random
+    import time as _time
+
+    from .datasets.queries import generate_queries
+    from .exceptions import QueryRejected, ReproError
+    from .live import LiveMCKEngine
+    from .serving import QueryRequest, QueryService
+    from .testing import faults
+
+    try:
+        for spec in args.inject_fault:
+            faults.arm_spec(spec)
+    except ValueError as exc:
+        print(f"live-bench: {exc}", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.write_ratio <= 1.0:
+        print("live-bench: --write-ratio must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.arrival_rate is not None and args.arrival_rate <= 0:
+        print("live-bench: --arrival-rate must be positive", file=sys.stderr)
+        return 2
+
+    if args.dataset:
+        dataset = load_jsonl(args.dataset)
+    else:
+        maker = {"NY": make_ny_like, "LA": make_la_like, "TW": make_tw_like}[
+            args.preset
+        ]
+        dataset = maker(scale=args.scale, seed=args.seed)
+
+    workload = generate_queries(
+        dataset, m=args.m, count=args.queries, seed=args.seed
+    )
+    # Mutations reuse the workload's keywords so writes actually collide
+    # with cached reads — otherwise the invalidation path never fires.
+    terms = sorted({k for q in workload for k in q.keywords})
+    coords = dataset.coords
+    x_lo, y_lo = float(coords[:, 0].min()), float(coords[:, 1].min())
+    x_hi, y_hi = float(coords[:, 0].max()), float(coords[:, 1].max())
+
+    rng = _random.Random(args.seed)
+    reads = writes = inserts = deletes = 0
+    failures = degraded = rejected = mutation_errors = 0
+    inserted_oids: List[int] = []
+    started = _time.perf_counter()
+    engine = LiveMCKEngine.from_dataset(
+        dataset,
+        wal_path=args.wal,
+        compact_threshold=args.compact_threshold,
+    )
+    try:
+        with QueryService(
+            engine,
+            max_workers=args.workers,
+            cache_size=args.cache_size,
+        ) as service:
+            futures = []
+            for _op in range(max(0, args.operations)):
+                if args.arrival_rate is not None:
+                    _time.sleep(rng.expovariate(args.arrival_rate))
+                if rng.random() < args.write_ratio:
+                    writes += 1
+                    try:
+                        if inserted_oids and rng.random() < 0.4:
+                            oid = inserted_oids.pop(
+                                rng.randrange(len(inserted_oids))
+                            )
+                            service.submit_mutation(deletes=[oid]).result()
+                            deletes += 1
+                        else:
+                            kws = rng.sample(
+                                terms, min(len(terms), rng.randint(1, 3))
+                            )
+                            oids = service.submit_mutation(
+                                inserts=[(
+                                    rng.uniform(x_lo, x_hi),
+                                    rng.uniform(y_lo, y_hi),
+                                    kws,
+                                )]
+                            ).result()
+                            inserted_oids.extend(oids)
+                            inserts += 1
+                    except QueryRejected:
+                        rejected += 1
+                    except ReproError:
+                        mutation_errors += 1
+                else:
+                    reads += 1
+                    q = workload[rng.randrange(len(workload))]
+                    request = QueryRequest(
+                        keywords=q.keywords,
+                        algorithm=args.algorithm,
+                        epsilon=args.epsilon,
+                        timeout=args.timeout,
+                    )
+                    try:
+                        futures.append(service.submit(request))
+                    except QueryRejected:
+                        rejected += 1
+            for future in futures:
+                try:
+                    result = future.result()
+                except QueryRejected:
+                    rejected += 1
+                    continue
+                if not result.ok:
+                    failures += 1
+                elif result.degraded:
+                    degraded += 1
+            wall = _time.perf_counter() - started
+            cache_stats = service.cache.stats()
+            dump = {
+                "workload": {
+                    "dataset": dataset.name,
+                    "objects_initial": len(dataset),
+                    "objects_final": len(engine),
+                    "m": args.m,
+                    "operations": args.operations,
+                    "reads": reads,
+                    "writes": writes,
+                    "inserts": inserts,
+                    "deletes": deletes,
+                    "write_ratio": args.write_ratio,
+                    "arrival_rate": args.arrival_rate,
+                    "failures": failures,
+                    "degraded": degraded,
+                    "rejected": rejected,
+                    "mutation_errors": mutation_errors,
+                    "injected_faults": list(args.inject_fault),
+                    "wall_seconds": wall,
+                    "throughput_ops": args.operations / wall if wall > 0 else None,
+                },
+                "live": {
+                    "epoch": engine.epoch,
+                    "delta_size": engine.delta_size,
+                    "compactions": engine.compactor.compactions,
+                    "compaction_failures": engine.compactor.failures,
+                    "wal_records": (
+                        engine.wal.records_written
+                        if engine.wal is not None
+                        else None
+                    ),
+                    "cache_invalidations": cache_stats["invalidations"],
+                },
+                "cache": cache_stats,
+                "admission": service.admission_dict(),
+                "metrics": service.metrics_dict(),
+            }
+            prom_text = service.metrics.to_prometheus() if args.prom_out else None
+    finally:
+        engine.close()
+        faults.reset()
+
+    text = json.dumps(dump, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote live-bench metrics to {args.output}")
     else:
         print(text)
     if args.prom_out:

@@ -23,7 +23,12 @@ from .skec import skec
 from .skeca import DEFAULT_EPSILON, skeca
 from .skecaplus import skeca_plus
 
-__all__ = ["MCKEngine", "ALGORITHMS", "canonical_algorithm"]
+__all__ = [
+    "MCKEngine",
+    "ALGORITHMS",
+    "canonical_algorithm",
+    "dispatch_algorithm",
+]
 
 #: Canonical algorithm names, as used in the paper's figures.
 ALGORITHMS = ("GKG", "SKEC", "SKECa", "SKECa+", "EXACT")
@@ -54,6 +59,26 @@ def canonical_algorithm(algorithm: str) -> str:
         raise QueryError(
             f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
         ) from None
+
+
+def dispatch_algorithm(
+    algorithm: str, epsilon: float
+) -> Callable[[QueryContext, Deadline], Group]:
+    """The ``(context, deadline) -> Group`` runner for an algorithm name.
+
+    Shared by :class:`MCKEngine` and the live engine
+    (:class:`repro.live.engine.LiveMCKEngine`): both compile a query
+    context — against a static dataset or a pinned live snapshot — and
+    hand it to the same unmodified algorithm implementations.
+    """
+    table: Dict[str, Callable] = {
+        "GKG": lambda ctx, dl: gkg(ctx, dl),
+        "SKEC": lambda ctx, dl: skec(ctx, dl),
+        "SKECa": lambda ctx, dl: skeca(ctx, epsilon, dl),
+        "SKECa+": lambda ctx, dl: skeca_plus(ctx, epsilon, dl),
+        "EXACT": lambda ctx, dl: exact(ctx, epsilon, dl),
+    }
+    return table[canonical_algorithm(algorithm)]
 
 
 class MCKEngine:
@@ -165,11 +190,4 @@ class MCKEngine:
     def _dispatch(
         self, algorithm: str, epsilon: float
     ) -> Callable[[QueryContext, Deadline], Group]:
-        table: Dict[str, Callable] = {
-            "GKG": lambda ctx, dl: gkg(ctx, dl),
-            "SKEC": lambda ctx, dl: skec(ctx, dl),
-            "SKECa": lambda ctx, dl: skeca(ctx, epsilon, dl),
-            "SKECa+": lambda ctx, dl: skeca_plus(ctx, epsilon, dl),
-            "EXACT": lambda ctx, dl: exact(ctx, epsilon, dl),
-        }
-        return table[canonical_algorithm(algorithm)]
+        return dispatch_algorithm(algorithm, epsilon)

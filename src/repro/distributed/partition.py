@@ -70,6 +70,15 @@ class GridPartitioner:
         cy = min(int((y - self._min_xy[1]) / self._cell_h), self.cells - 1)
         return (max(cx, 0), max(cy, 0))
 
+    def worker_for(self, x: float, y: float) -> int:
+        """The worker id owning a point (row-major over the grid).
+
+        Used by the live layer to route mutations: the object's core cell
+        decides which shard's engine applies the insert or delete.
+        """
+        cx, cy = self.cell_of(x, y)
+        return cy * self.cells + cx
+
     def partitions(self, halo: float) -> List[Partition]:
         """Assign every object to one core cell, replicate into halos."""
         if halo < 0:

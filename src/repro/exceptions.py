@@ -83,6 +83,16 @@ class DatasetError(ReproError):
     """Raised on malformed dataset input or serialization problems."""
 
 
+class WALError(ReproError):
+    """Raised on invalid write-ahead-log operations (see :mod:`repro.live.wal`).
+
+    Note that a *corrupt* WAL never raises during replay — torn tails are
+    expected after a crash and replay stops cleanly at the last valid
+    record; this exception covers programming errors such as appending to
+    a closed log or constructing a record with an unknown op.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised by the experiment harness on inconsistent configuration."""
 

@@ -52,10 +52,40 @@ class BRStarTree:
         return index
 
     def insert(self, item, x: float, y: float, mask: int) -> None:
-        """Insert one record; bitmap annotations are refreshed lazily."""
+        """Insert one record, maintaining bitmaps incrementally when safe.
+
+        When the insert triggered no restructuring (no forced reinsert,
+        split, or root growth — the common case, roughly ``1 - 1/fanout``
+        of inserts), the new record's leaf→root parent chain is the only
+        set of nodes whose subtree changed, and OR-ing the new mask along
+        it keeps every bitmap exact.  A restructured insert (entries
+        moved between nodes) falls back to marking the annotations stale;
+        the next read triggers one full bottom-up recomputation.
+        """
+        # Re-registering an item can *change* its mask; bits of the old
+        # mask may linger on other paths, so only a full recompute is safe.
+        rebound = item in self._item_mask and self._item_mask[item] != mask
         self._item_mask[item] = mask
-        self._tree.insert(item, x, y)
-        self._masks_fresh = False
+        tree = self._tree
+        before = tree.restructures
+        old_root = tree.root
+        tree.insert(item, x, y)
+        if (
+            rebound
+            or not self._masks_fresh
+            or tree.restructures != before
+            or tree.root is not old_root
+        ):
+            self._masks_fresh = False
+            return
+        leaf = tree._find_leaf(tree.root, item, float(x), float(y))
+        if leaf is None:  # pragma: no cover - defensive; should not happen
+            self._masks_fresh = False
+            return
+        node: Optional[Node] = leaf
+        while node is not None:
+            self._node_mask[id(node)] = self._node_mask.get(id(node), 0) | mask
+            node = node.parent
 
     def _recompute_masks(self) -> None:
         self._node_mask.clear()

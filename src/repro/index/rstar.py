@@ -109,6 +109,12 @@ class RStarTree:
             self.min_entries = max_entries // 2
         self.root = Node(0)
         self.size = 0
+        #: Bumped whenever entries move between nodes (forced reinsert,
+        #: split, delete-condense).  Annotation layers compare it across
+        #: an insert to learn whether the insertion path is still exactly
+        #: the leaf's parent chain (incremental update safe) or entries
+        #: were shuffled (full recompute needed).
+        self.restructures = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -233,6 +239,7 @@ class RStarTree:
         return best
 
     def _overflow_treatment(self, node: Node, reinserted_levels: set) -> None:
+        self.restructures += 1
         if node is not self.root and node.level not in reinserted_levels:
             reinserted_levels.add(node.level)
             self._forced_reinsert(node, reinserted_levels)
@@ -346,6 +353,9 @@ class RStarTree:
                 del leaf.entries[i]
                 break
         self.size -= 1
+        # A removal shrinks subtree unions even without condensing, so any
+        # annotation layer's cached aggregates are stale from here on.
+        self.restructures += 1
         self._condense(leaf)
         # Shrink the root when it degenerates to a single internal child.
         while not self.root.is_leaf and len(self.root) == 1:

@@ -1,0 +1,45 @@
+"""Live updates: a mutable, versioned object store for mCK serving.
+
+The paper's indexes (and both baselines' — Zhang et al.'s bR*-tree,
+Long et al.'s Dia-CoSKQ) are built once over a static database.  This
+package layers *mutability* on top of that build-once substrate without
+ever blocking readers:
+
+* :mod:`repro.live.wal` — an append-only write-ahead log (JSON lines
+  with CRC32, replayed on open, fsync batching) making mutations durable;
+* :mod:`repro.live.delta` — a small immutable delta overlay (adds +
+  tombstones + its own inverted keyword map) merged over the last sealed
+  base, plus the merged dataset/index views readers consume;
+* :mod:`repro.live.snapshots` — epoch-based versioning: immutable
+  ``(base, delta)`` snapshots swapped atomically copy-on-write; readers
+  pin the epoch they started on, retired epochs drain by reader count;
+* :mod:`repro.live.compaction` — a background compactor that reseals the
+  delta into a fresh base off-thread and publishes a new epoch;
+* :mod:`repro.live.engine` — :class:`LiveMCKEngine`, mirroring
+  :meth:`repro.core.engine.MCKEngine.query` over the mutable store;
+* :mod:`repro.live.sharded` — shard-routed mutations over the
+  distributed grid partitioning.
+"""
+
+from .base import SealedBase
+from .compaction import Compactor
+from .delta import DeltaOverlay, LiveIndex, LiveView
+from .engine import LiveMCKEngine
+from .sharded import ShardedLiveStore
+from .snapshots import EpochManager, Snapshot
+from .wal import WalRecord, WriteAheadLog, read_wal
+
+__all__ = [
+    "Compactor",
+    "DeltaOverlay",
+    "EpochManager",
+    "LiveIndex",
+    "LiveMCKEngine",
+    "LiveView",
+    "SealedBase",
+    "ShardedLiveStore",
+    "Snapshot",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_wal",
+]

@@ -1,0 +1,421 @@
+"""A mutable, versioned mCK engine: reads never block on writers.
+
+:class:`LiveMCKEngine` mirrors :class:`~repro.core.engine.MCKEngine`'s
+``query()`` contract but serves it from an epoch-pinned snapshot of a
+``(sealed base, delta overlay)`` pair:
+
+* **writes** (:meth:`insert` / :meth:`delete` / :meth:`apply_batch`) go
+  through an optional write-ahead log, build a new immutable delta by
+  copy-on-write and publish a new epoch — a pointer swap, never an
+  in-place index mutation;
+* **reads** pin the epoch they start on, so a query in flight keeps a
+  consistent view while any number of mutations and compactions land;
+* a :class:`~repro.live.compaction.Compactor` folds a grown delta back
+  into a fresh sealed base off the write path.
+
+Durability model: the sealed base handed to :meth:`LiveMCKEngine.open`
+(or the initial records) plus a full WAL replay reproduces the exact
+live object set.  Compaction is an in-memory reorganisation only and
+needs no checkpointing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.common import Deadline, Instrumentation, instrumentation_span
+from ..core.engine import canonical_algorithm, dispatch_algorithm
+from ..core.objects import Dataset, GeoObject
+from ..core.query import MCKQuery, QueryContext, compile_query
+from ..core.result import Group
+from ..core.skeca import DEFAULT_EPSILON
+from ..exceptions import AlgorithmTimeout, DatasetError
+from ..observability.tracer import span
+from .base import SealedBase
+from .compaction import Compactor
+from .delta import DeltaOverlay, LiveView
+from .snapshots import EpochManager, Snapshot
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = ["LiveMCKEngine"]
+
+#: ``listener(op, oid, keywords)`` — fired after each mutation publishes.
+MutationListener = Callable[[str, int, Tuple[str, ...]], None]
+
+
+class LiveMCKEngine:
+    """Versioned mutable store answering mCK queries without read locks.
+
+    Example
+    -------
+    >>> engine = LiveMCKEngine.from_records(
+    ...     [(0.0, 0.0, ["hotel"]), (1.0, 1.0, ["shop"])]
+    ... )
+    >>> oid = engine.insert(0.5, 0.5, ["cafe"])
+    >>> group = engine.query(["hotel", "cafe"], algorithm="EXACT")
+    >>> sorted(group.object_ids) == sorted([0, oid])
+    True
+    """
+
+    def __init__(
+        self,
+        base: SealedBase,
+        wal_path: Optional[str] = None,
+        wal_sync_every: int = 64,
+        compact_threshold: int = 512,
+        compact_ratio: float = 0.25,
+        auto_compact: bool = True,
+        background_compaction: bool = False,
+        metrics=None,
+        context_cache_size: int = 16,
+        oid_start: int = 0,
+    ):
+        self.name = base.name
+        self.metrics = metrics
+        self._write_lock = threading.RLock()
+        self._listeners: List[MutationListener] = []
+        self._contexts: "OrderedDict[Tuple[int, Tuple[str, ...]], QueryContext]" = (
+            OrderedDict()
+        )
+        self._context_lock = threading.Lock()
+        self._context_cache_size = max(0, context_cache_size)
+        self._closed = False
+
+        delta = DeltaOverlay()
+        # ``oid_start`` lets a sharded deployment give each shard its own
+        # disjoint oid range; new oids never dip below it.
+        next_oid = max(base.max_oid() + 1, int(oid_start))
+
+        self.wal: Optional[WriteAheadLog] = None
+        if wal_path is not None:
+            self.wal = WriteAheadLog(wal_path, sync_every=wal_sync_every)
+            if self.wal.recovered:
+                with span("live.replay", records=len(self.wal.recovered)):
+                    delta, next_oid = _replay(base, self.wal.recovered, next_oid)
+
+        self._next_oid = next_oid
+        self._epochs = EpochManager(Snapshot(0, base, delta))
+        self.compactor = Compactor(
+            self,
+            threshold=compact_threshold,
+            ratio=compact_ratio,
+            enabled=auto_compact,
+        )
+        if background_compaction:
+            self.compactor.start()
+        self._publish_metrics()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Tuple[float, float, Iterable[str]]],
+        name: str = "live",
+        **kwargs,
+    ) -> "LiveMCKEngine":
+        """Open over ``(x, y, keywords)`` records with dense initial oids."""
+        sealed = SealedBase.build(
+            ((i, x, y, kw) for i, (x, y, kw) in enumerate(records)), name=name
+        )
+        return cls(sealed, **kwargs)
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, **kwargs) -> "LiveMCKEngine":
+        """Open over an existing static :class:`Dataset` (oids preserved)."""
+        dataset.finalize()
+        sealed = SealedBase.build(
+            ((o.oid, o.x, o.y, o.keywords) for o in dataset), name=dataset.name
+        )
+        return cls(sealed, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def epoch(self) -> int:
+        return self._epochs.epoch
+
+    @property
+    def delta_size(self) -> int:
+        return self._epochs.current().delta.size
+
+    @property
+    def dataset(self) -> LiveView:
+        """The current snapshot's merged dataset-shaped view.
+
+        Gives the serving layer (cost estimation, feasibility probes) the
+        same surface a static engine's ``.dataset`` offers.  For a
+        *consistent* read spanning several calls, pin a snapshot instead.
+        """
+        return self._epochs.current().view()
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def pin(self):
+        """Pin the current epoch; context manager yielding the snapshot."""
+        return self._epochs.pin()
+
+    def snapshot(self) -> Snapshot:
+        return self._epochs.current()
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register ``listener(op, oid, keywords)`` fired post-publish.
+
+        Listeners run after the new epoch is visible, so a reader racing a
+        notification can at worst see *fresher* data than the notification
+        describes — never staler (the invalidation layer relies on this).
+        """
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, x: float, y: float, keywords: Iterable[str]) -> int:
+        """Insert one object; returns its stable oid."""
+        oids = self.apply_batch(inserts=[(x, y, keywords)])
+        return oids[0]
+
+    def delete(self, oid: int) -> None:
+        """Delete a live object (raises ``DatasetError`` if not live)."""
+        self.apply_batch(deletes=[oid])
+
+    def apply_batch(
+        self,
+        inserts: Sequence[Tuple[float, float, Iterable[str]]] = (),
+        deletes: Sequence[int] = (),
+    ) -> List[int]:
+        """Apply one atomic mutation batch; returns new oids in order.
+
+        The whole batch lands in a single published epoch: readers see
+        either none of it or all of it.
+        """
+        if not inserts and not deletes:
+            return []
+        self._check_open()
+        with self._write_lock, span(
+            "live.apply", inserts=len(inserts), deletes=len(deletes)
+        ):
+            current = self._epochs.current()
+            view = current.view()
+
+            new_objects: List[GeoObject] = []
+            for x, y, keywords in inserts:
+                kw = frozenset(str(k) for k in keywords)
+                if not kw:
+                    raise DatasetError("objects must carry at least one keyword")
+                oid = self._next_oid
+                self._next_oid += 1
+                new_objects.append(GeoObject(oid, float(x), float(y), kw))
+
+            victims: List[Tuple[int, Tuple[str, ...]]] = []
+            for oid in deletes:
+                oid = int(oid)
+                victim = view.get(oid)
+                if victim is None:
+                    raise DatasetError(f"cannot delete oid {oid}: not live")
+                victims.append((oid, tuple(sorted(victim.keywords))))
+
+            if self.wal is not None:
+                for obj in new_objects:
+                    self.wal.append_insert(
+                        obj.oid, obj.x, obj.y, sorted(obj.keywords)
+                    )
+                for oid, _ in victims:
+                    self.wal.append_delete(oid)
+
+            delta = current.delta.with_batch(inserts=new_objects, deletes=victims)
+            self._epochs.publish(current.base, delta)
+            self._publish_metrics(
+                wal_inserts=len(new_objects) if self.wal is not None else 0,
+                wal_deletes=len(victims) if self.wal is not None else 0,
+            )
+
+        # Outside the write lock: listeners (cache invalidation) and the
+        # compactor must never extend the writer critical section.
+        for obj in new_objects:
+            self._notify("insert", obj.oid, tuple(sorted(obj.keywords)))
+        for oid, kw in victims:
+            self._notify("delete", oid, kw)
+        self.compactor.notify()
+        return [obj.oid for obj in new_objects]
+
+    def compact(self) -> bool:
+        """Force a synchronous compaction; True if one ran."""
+        return self.compactor.compact_now(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Query (mirrors MCKEngine.query against a pinned snapshot)
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        keywords: Sequence[str],
+        algorithm: str = "SKECa+",
+        epsilon: float = DEFAULT_EPSILON,
+        timeout: Optional[float] = None,
+        instrumentation: Optional[Instrumentation] = None,
+        degrade_on_timeout: bool = False,
+    ) -> Group:
+        """Answer one mCK query on a pinned snapshot.
+
+        Same contract as :meth:`repro.core.engine.MCKEngine.query`; the
+        answering epoch is recorded in ``group.stats["epoch"]``.
+        """
+        canonical = canonical_algorithm(algorithm)
+        runner = dispatch_algorithm(algorithm, epsilon)
+        with self._epochs.pin() as snapshot:
+            with instrumentation_span(
+                instrumentation, "engine.query", algorithm=canonical
+            ):
+                compile_started = time.perf_counter()
+                with instrumentation_span(
+                    instrumentation, "engine.context_compile"
+                ):
+                    ctx = self._context(snapshot, keywords)
+                compile_seconds = time.perf_counter() - compile_started
+                deadline = Deadline(algorithm, timeout, instrumentation)
+                started = time.perf_counter()
+                try:
+                    with instrumentation_span(
+                        instrumentation, "engine.algorithm", algorithm=canonical
+                    ):
+                        group = runner(ctx, deadline)
+                except AlgorithmTimeout as err:
+                    if not degrade_on_timeout or err.incumbent is None:
+                        raise
+                    group = err.incumbent
+                    group.algorithm = canonical
+                    group.quality = err.quality
+                    group.stats["degraded"] = 1.0
+                    if instrumentation is not None:
+                        instrumentation.count("degraded")
+                finally:
+                    elapsed = time.perf_counter() - started
+                    if instrumentation is not None:
+                        instrumentation.timings["context_seconds"] = (
+                            compile_seconds
+                        )
+                        instrumentation.timings["algorithm_seconds"] = elapsed
+            group.stats["epoch"] = float(snapshot.epoch)
+        group.elapsed_seconds = elapsed
+        if instrumentation is not None:
+            instrumentation.merge_group_stats(group.stats)
+        return group
+
+    def _context(
+        self, snapshot: Snapshot, keywords: Sequence[str]
+    ) -> QueryContext:
+        """Per-(epoch, keywords) compiled-context LRU.
+
+        Keyed by epoch so a context never outlives its snapshot's
+        consistency: after any mutation the key misses and the context is
+        rebuilt against the new view.
+        """
+        query = keywords if isinstance(keywords, MCKQuery) else MCKQuery(keywords)
+        key = (snapshot.epoch, query.keywords)
+        with self._context_lock:
+            ctx = self._contexts.get(key)
+            if ctx is not None:
+                self._contexts.move_to_end(key)
+                return ctx
+        ctx = compile_query(snapshot.view(), query)
+        if self._context_cache_size:
+            with self._context_lock:
+                self._contexts[key] = ctx
+                while len(self._contexts) > self._context_cache_size:
+                    self._contexts.popitem(last=False)
+        return ctx
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / internals
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        """Force the WAL's group-commit boundary (no-op without a WAL)."""
+        if self.wal is not None:
+            self.wal.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.compactor.stop()
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "LiveMCKEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatasetError(f"live engine {self.name!r} is closed")
+
+    def _notify(self, op: str, oid: int, keywords: Tuple[str, ...]) -> None:
+        for listener in self._listeners:
+            listener(op, oid, keywords)
+
+    def _publish_metrics(self, wal_inserts: int = 0, wal_deletes: int = 0) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        current = self._epochs.current()
+        metrics.live_epoch_gauge.set(float(current.epoch))
+        metrics.delta_size_gauge.set(float(current.delta.size))
+        if wal_inserts:
+            metrics.wal_records_counter.inc(wal_inserts, op="insert")
+        if wal_deletes:
+            metrics.wal_records_counter.inc(wal_deletes, op="delete")
+
+
+def _replay(
+    base: SealedBase, records: Sequence[WalRecord], next_oid: int
+) -> Tuple[DeltaOverlay, int]:
+    """Fold recovered WAL records into one overlay over ``base``.
+
+    Replays sequentially into plain dicts (a per-record copy-on-write
+    rebuild would be quadratic), then builds the overlay in one pass.
+    """
+    adds = {}
+    tombstones = set()
+    for record in records:
+        if record.op == "insert":
+            if record.oid in base or record.oid in adds or record.oid in tombstones:
+                raise DatasetError(
+                    f"WAL replay: insert of oid {record.oid} collides with a "
+                    "live or previously mutated object"
+                )
+            adds[record.oid] = GeoObject(
+                record.oid, record.x, record.y, frozenset(record.keywords)
+            )
+            next_oid = max(next_oid, record.oid + 1)
+        else:
+            was_add = adds.pop(record.oid, None)
+            if was_add is None and record.oid not in base:
+                raise DatasetError(
+                    f"WAL replay: delete of oid {record.oid} which was never live"
+                )
+            if was_add is None:
+                # Tombstone only needed for base victims; a deleted WAL add
+                # simply vanishes (it was never sealed anywhere).
+                tombstones.add(record.oid)
+            next_oid = max(next_oid, record.oid + 1)
+    return DeltaOverlay.from_state(adds, tombstones, base), next_oid

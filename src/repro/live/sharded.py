@@ -1,0 +1,211 @@
+"""Shard-routed mutations over a grid of live engines.
+
+:class:`ShardedLiveStore` tiles space with the same
+:class:`~repro.distributed.partition.GridPartitioner` the distributed
+query layer uses (paper §8) and runs one independent
+:class:`~repro.live.engine.LiveMCKEngine` per grid cell.  Mutations are
+*routed*: an insert goes to the engine owning the point's core cell, a
+delete to the shard that owns the oid.  Each shard keeps its own WAL,
+delta, epochs and compactor, so write throughput scales with the grid
+and a compaction stalls at most one shard's delta.
+
+Oids stay globally unique: shard ``i`` allocates from the disjoint range
+``[i * oid_stride, (i + 1) * oid_stride)``.
+
+Queries are answered per-shard and the best feasible group wins.  That
+is exact whenever the optimal group lies inside one shard's view — the
+same locality property the distributed protocol gets from halos
+(:mod:`repro.distributed.partition`); halo replication for live shards
+is future work, so treat cross-shard answers as a lower bound here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.objects import Dataset
+from ..core.result import Group
+from ..core.skeca import DEFAULT_EPSILON
+from ..distributed.partition import GridPartitioner
+from ..exceptions import DatasetError, InfeasibleQueryError
+from .base import SealedBase
+from .engine import LiveMCKEngine
+
+__all__ = ["ShardedLiveStore"]
+
+#: Default per-shard oid range width (~10^12 objects per shard).
+DEFAULT_OID_STRIDE = 1 << 40
+
+
+class ShardedLiveStore:
+    """Route live mutations to per-cell engines with disjoint oid ranges."""
+
+    def __init__(
+        self,
+        records: Sequence[Tuple[float, float, Iterable[str]]],
+        n_shards: int = 4,
+        name: str = "sharded-live",
+        wal_dir: Optional[str] = None,
+        oid_stride: int = DEFAULT_OID_STRIDE,
+        metrics=None,
+        **engine_kwargs,
+    ):
+        records = list(records)
+        if not records:
+            raise DatasetError("sharded live store needs bootstrap records "
+                               "to fix the partitioning extent")
+        self.name = name
+        self.oid_stride = int(oid_stride)
+        # The bootstrap dataset only fixes the grid extent; the per-shard
+        # engines are the source of truth from here on.
+        bootstrap = Dataset.from_records(
+            [(x, y, kw) for x, y, kw in records], name=f"{name}-bootstrap"
+        )
+        self.partitioner = GridPartitioner(bootstrap, n_shards)
+        self.n_shards = self.partitioner.n_workers
+
+        grouped: Dict[int, List[Tuple[int, float, float, Iterable[str]]]] = {
+            s: [] for s in range(self.n_shards)
+        }
+        self._owner: Dict[int, int] = {}
+        for x, y, kw in records:
+            shard = self.partitioner.worker_for(x, y)
+            oid = shard * self.oid_stride + len(grouped[shard])
+            grouped[shard].append((oid, x, y, kw))
+            self._owner[oid] = shard
+
+        self.shards: List[LiveMCKEngine] = []
+        for shard in range(self.n_shards):
+            wal_path = None
+            if wal_dir is not None:
+                wal_path = f"{wal_dir}/shard-{shard:03d}.wal"
+            self.shards.append(
+                LiveMCKEngine(
+                    SealedBase.build(grouped[shard], name=f"{name}-s{shard}"),
+                    wal_path=wal_path,
+                    metrics=metrics if shard == 0 else None,
+                    oid_start=shard * self.oid_stride,
+                    **engine_kwargs,
+                )
+            )
+            # A WAL replay may have grown the shard beyond its bootstrap
+            # set; adopt those recovered objects into the routing map.
+            for oid in self.shards[shard].dataset.live_oids():
+                self._owner.setdefault(oid, shard)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, x: float, y: float) -> int:
+        """The shard id owning a point."""
+        return self.partitioner.worker_for(x, y)
+
+    def shard_of(self, oid: int) -> int:
+        """The shard owning a live oid (raises when unknown)."""
+        try:
+            return self._owner[oid]
+        except KeyError:
+            raise DatasetError(f"oid {oid} is not live in any shard") from None
+
+    def insert(self, x: float, y: float, keywords: Iterable[str]) -> int:
+        shard = self.route(x, y)
+        oid = self.shards[shard].insert(x, y, keywords)
+        self._owner[oid] = shard
+        return oid
+
+    def delete(self, oid: int) -> None:
+        shard = self.shard_of(oid)
+        self.shards[shard].delete(oid)
+        del self._owner[oid]
+
+    def apply_batch(
+        self,
+        inserts: Sequence[Tuple[float, float, Iterable[str]]] = (),
+        deletes: Sequence[int] = (),
+    ) -> List[int]:
+        """Group a mixed batch by shard; each shard applies atomically.
+
+        Atomicity is per shard — a cross-shard batch is not a distributed
+        transaction.
+        """
+        by_shard_ins: Dict[int, List[Tuple[float, float, Iterable[str]]]] = {}
+        order: List[int] = []
+        for x, y, kw in inserts:
+            shard = self.route(x, y)
+            by_shard_ins.setdefault(shard, []).append((x, y, kw))
+            order.append(shard)
+        by_shard_del: Dict[int, List[int]] = {}
+        for oid in deletes:
+            by_shard_del.setdefault(self.shard_of(oid), []).append(oid)
+
+        produced: Dict[int, List[int]] = {}
+        for shard in sorted(set(by_shard_ins) | set(by_shard_del)):
+            oids = self.shards[shard].apply_batch(
+                inserts=by_shard_ins.get(shard, ()),
+                deletes=by_shard_del.get(shard, ()),
+            )
+            produced[shard] = oids
+            for oid in oids:
+                self._owner[oid] = shard
+            for oid in by_shard_del.get(shard, ()):
+                del self._owner[oid]
+        # Reassemble new oids in the caller's insert order.
+        cursors = {shard: 0 for shard in produced}
+        out: List[int] = []
+        for shard in order:
+            out.append(produced[shard][cursors[shard]])
+            cursors[shard] += 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Query / introspection
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        keywords: Sequence[str],
+        algorithm: str = "SKECa+",
+        epsilon: float = DEFAULT_EPSILON,
+        timeout: Optional[float] = None,
+    ) -> Group:
+        """Best per-shard answer (see module docstring for exactness)."""
+        best: Optional[Group] = None
+        feasible = False
+        for shard in self.shards:
+            try:
+                group = shard.query(
+                    keywords, algorithm=algorithm, epsilon=epsilon,
+                    timeout=timeout,
+                )
+            except InfeasibleQueryError:
+                continue
+            feasible = True
+            if best is None or group.diameter < best.diameter:
+                best = group
+        if not feasible or best is None:
+            raise InfeasibleQueryError(missing_keywords=tuple(keywords))
+        return best
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def epochs(self) -> List[int]:
+        return [shard.epoch for shard in self.shards]
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self.shards]
+
+    def flush(self) -> None:
+        for shard in self.shards:
+            shard.flush()
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedLiveStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

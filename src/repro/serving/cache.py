@@ -1,4 +1,4 @@
-"""LRU + TTL result cache for answered mCK queries.
+"""LRU + TTL result cache with keyword-scoped invalidation.
 
 Keys are ``(frozenset(keywords), canonical_algorithm, epsilon)`` — keyword
 *sets*, because an mCK answer is order-independent (and
@@ -9,6 +9,33 @@ Entries expire ``ttl_seconds`` after insertion (``None`` disables expiry)
 and the least recently *used* entry is evicted beyond ``max_size``.  All
 operations are thread-safe; the clock is injectable so tests can drive
 TTL expiry deterministically.
+
+Keyword-scoped invalidation
+---------------------------
+A live (mutable) store makes cached answers go stale: inserting one
+``cafe`` object can change the answer of *every* query mentioning
+``cafe`` and of no query that doesn't.  Instead of flushing the whole
+cache per mutation, a :class:`KeywordGenerations` table keeps one
+monotonically increasing counter per keyword; mutations
+:meth:`~KeywordGenerations.bump` the counters of exactly the keywords
+they touch.  Each cache entry records the *sum* of its query keywords'
+generations at probe time, and a lookup whose recomputed sum differs
+treats the entry as a miss and drops it (counted under
+``invalidations``).
+
+The stamp is the **sum**, not the max, of the per-keyword counters: with
+``gen = {a: 5, b: 0}`` a bump of ``b`` leaves ``max(gen)`` unchanged at 5
+— the stale entry would survive — while the sum strictly increases on
+every bump of any member keyword.
+
+Accounting
+----------
+Every entry removal funnels through one internal drop path tagged with a
+reason, so the books always balance::
+
+    inserts == live + evictions + expirations + invalidations
+
+(an overwrite of a live key counts the displaced entry as an eviction).
 """
 
 from __future__ import annotations
@@ -20,7 +47,7 @@ from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
 
 from ..core.engine import canonical_algorithm
 
-__all__ = ["ResultCache", "make_cache_key"]
+__all__ = ["ResultCache", "KeywordGenerations", "make_cache_key"]
 
 CacheKey = Tuple[frozenset, str, float]
 
@@ -36,30 +63,112 @@ def make_cache_key(
     )
 
 
+class KeywordGenerations:
+    """Per-keyword monotone counters scoping invalidation to mutations.
+
+    ``bump(keywords)`` is called by the mutation path (inserts *and*
+    deletes — both can change any answer mentioning those keywords);
+    ``stamp(keywords)`` is called by the cache on probe and fill.  A
+    keyword never bumped has generation 0, so stamps need no warm-up.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._gen: Dict[str, int] = {}
+        self._bumps = 0
+
+    def bump(self, keywords: Iterable[str]) -> None:
+        """Advance the generation of every given keyword by one."""
+        with self._lock:
+            for keyword in keywords:
+                keyword = str(keyword)
+                self._gen[keyword] = self._gen.get(keyword, 0) + 1
+                self._bumps += 1
+
+    def stamp(self, keywords: Iterable[str]) -> int:
+        """The summed generation of a keyword set (0 for never-bumped)."""
+        with self._lock:
+            return sum(self._gen.get(str(k), 0) for k in keywords)
+
+    def generation(self, keyword: str) -> int:
+        with self._lock:
+            return self._gen.get(str(keyword), 0)
+
+    @property
+    def bumps(self) -> int:
+        """Total single-keyword bumps applied (telemetry)."""
+        with self._lock:
+            return self._bumps
+
+
 class ResultCache:
-    """A bounded, thread-safe LRU cache with optional per-entry TTL."""
+    """A bounded, thread-safe LRU cache with TTL and keyword invalidation."""
 
     def __init__(
         self,
         max_size: int = 1024,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        generations: Optional[KeywordGenerations] = None,
+        on_invalidate: Optional[Callable[[int], None]] = None,
     ):
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError(f"ttl_seconds must be positive or None, got {ttl_seconds}")
         self.max_size = max(0, int(max_size))
         self.ttl_seconds = ttl_seconds
+        self.generations = generations
+        self._on_invalidate = on_invalidate
         self._clock = clock
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, Tuple[object, Optional[float]]]" = (
+        # key -> (value, expires_at, stamp)
+        self._entries: "OrderedDict[Hashable, Tuple[object, Optional[float], int]]" = (
             OrderedDict()
         )
         self._hits = 0
         self._misses = 0
+        self._inserts = 0
         self._evictions = 0
         self._expirations = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------ #
+    # The single drop path: every removal is an eviction, an expiration
+    # or an invalidation — nothing leaves the table unaccounted.
+    # ------------------------------------------------------------------ #
+
+    def _drop(self, key: Hashable, reason: str) -> None:
+        del self._entries[key]
+        if reason == "evicted":
+            self._evictions += 1
+        elif reason == "expired":
+            self._expirations += 1
+        elif reason == "invalidated":
+            self._invalidations += 1
+            if self._on_invalidate is not None:
+                self._on_invalidate(1)
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown drop reason {reason!r}")
+
+    def _current_stamp(self, key: Hashable) -> int:
+        if self.generations is None:
+            return 0
+        # make_cache_key puts the keyword frozenset first; foreign keys
+        # (plain hashables from direct users) carry no keyword scope.
+        if isinstance(key, tuple) and key and isinstance(key[0], frozenset):
+            return self.generations.stamp(key[0])
+        return 0
+
+    # ------------------------------------------------------------------ #
+
+    def probe_stamp(self, key: Hashable) -> int:
+        """The generation stamp a fill for ``key`` should carry.
+
+        Captured *before* executing the query and passed back to
+        :meth:`put`: a mutation landing mid-execution bumps the live
+        generation past the captured stamp, so the (possibly stale)
+        result is dropped on its next lookup instead of being trusted.
+        """
+        return self._current_stamp(key)
 
     def get(self, key: Hashable):
         """Return the cached value or ``None``; counts a hit or a miss."""
@@ -68,25 +177,41 @@ class ResultCache:
             if entry is None:
                 self._misses += 1
                 return None
-            value, expires_at = entry
+            value, expires_at, stamp = entry
             if expires_at is not None and self._clock() >= expires_at:
-                del self._entries[key]
-                self._expirations += 1
+                self._drop(key, "expired")
+                self._misses += 1
+                return None
+            if stamp != self._current_stamp(key):
+                self._drop(key, "invalidated")
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
             return value
 
-    def put(self, key: Hashable, value) -> None:
+    def put(self, key: Hashable, value, stamp: Optional[int] = None) -> None:
+        """Insert ``value``; ``stamp`` should come from :meth:`probe_stamp`.
+
+        When ``stamp`` is omitted the current generation stamp is used —
+        correct only if no mutation could have raced the computation.
+        """
         if self.max_size == 0:
             return
         expires_at = (
             None if self.ttl_seconds is None else self._clock() + self.ttl_seconds
         )
         with self._lock:
-            self._entries[key] = (value, expires_at)
+            if stamp is None:
+                stamp = self._current_stamp(key)
+            if key in self._entries:
+                # Overwriting displaces a live entry: account it so
+                # inserts == live + evictions + expirations + invalidations
+                # keeps holding.
+                self._drop(key, "evicted")
+            self._entries[key] = (value, expires_at, stamp)
             self._entries.move_to_end(key)
+            self._inserts += 1
             if len(self._entries) > self.max_size:
                 # Prefer dropping entries that are already dead over
                 # evicting live ones LRU-first; dead entries counted as
@@ -94,15 +219,14 @@ class ResultCache:
                 now = self._clock()
                 stale = [
                     k
-                    for k, (_v, exp) in self._entries.items()
+                    for k, (_v, exp, _s) in self._entries.items()
                     if exp is not None and now >= exp
                 ]
                 for k in stale:
-                    del self._entries[k]
-                self._expirations += len(stale)
+                    self._drop(k, "expired")
             while len(self._entries) > self.max_size:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+                oldest = next(iter(self._entries))
+                self._drop(oldest, "evicted")
 
     def __len__(self) -> int:
         with self._lock:
@@ -111,24 +235,29 @@ class ResultCache:
     def __contains__(self, key: Hashable) -> bool:
         """Presence check without touching LRU order or hit/miss counters.
 
-        An expired entry is dropped (and counted as an expiration) rather
-        than left resident: before this, a ``key in cache`` probe would
-        report False yet keep the dead entry occupying capacity.
+        A dead entry (expired or generation-stale) is dropped and
+        accounted rather than left resident: before this, a ``key in
+        cache`` probe would report False yet keep the dead entry
+        occupying capacity.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return False
-            _value, expires_at = entry
+            _value, expires_at, stamp = entry
             if expires_at is not None and self._clock() >= expires_at:
-                del self._entries[key]
-                self._expirations += 1
+                self._drop(key, "expired")
+                return False
+            if stamp != self._current_stamp(key):
+                self._drop(key, "invalidated")
                 return False
             return True
 
     def clear(self) -> None:
+        """Drop everything (each entry accounted as an eviction)."""
         with self._lock:
-            self._entries.clear()
+            for key in list(self._entries):
+                self._drop(key, "evicted")
 
     def purge_expired(self) -> int:
         """Drop every expired entry eagerly; returns how many were dropped."""
@@ -138,13 +267,33 @@ class ResultCache:
         with self._lock:
             stale = [
                 k
-                for k, (_v, expires_at) in self._entries.items()
+                for k, (_v, expires_at, _s) in self._entries.items()
                 if expires_at is not None and now >= expires_at
             ]
             for k in stale:
-                del self._entries[k]
-            self._expirations += len(stale)
+                self._drop(k, "expired")
             return len(stale)
+
+    def invalidate_keywords(self, keywords: Iterable[str]) -> int:
+        """Eagerly drop every entry whose keyword set intersects ``keywords``.
+
+        The generation mechanism already invalidates lazily on probe;
+        this eager sweep exists for explicit flushes (an operator purging
+        a keyword) and returns how many entries were dropped.
+        """
+        touched = frozenset(str(k) for k in keywords)
+        with self._lock:
+            doomed = [
+                k
+                for k in self._entries
+                if isinstance(k, tuple)
+                and k
+                and isinstance(k[0], frozenset)
+                and k[0] & touched
+            ]
+            for k in doomed:
+                self._drop(k, "invalidated")
+            return len(doomed)
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
@@ -153,6 +302,8 @@ class ResultCache:
                 "max_size": self.max_size,
                 "hits": self._hits,
                 "misses": self._misses,
+                "inserts": self._inserts,
                 "evictions": self._evictions,
                 "expirations": self._expirations,
+                "invalidations": self._invalidations,
             }

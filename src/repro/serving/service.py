@@ -55,6 +55,7 @@ from ..exceptions import (
     QueryRejected,
     ReproError,
 )
+from ..live.engine import LiveMCKEngine
 from ..observability import tracer as _tracing
 from ..observability.logging import correlation_scope, get_logger
 from ..testing import faults as _faults
@@ -65,7 +66,7 @@ from .admission import (
     estimate_cost,
 )
 from .breaker import OPEN, CircuitBreaker
-from .cache import ResultCache, make_cache_key
+from .cache import KeywordGenerations, ResultCache, make_cache_key
 from .stats import MetricsRegistry, QueryStats
 
 __all__ = ["QueryRequest", "ServedResult", "QueryService"]
@@ -230,8 +231,14 @@ class QueryService:
     Parameters
     ----------
     source:
-        A finalized :class:`~repro.core.objects.Dataset` or an existing
-        :class:`~repro.core.engine.MCKEngine`.
+        A finalized :class:`~repro.core.objects.Dataset`, an existing
+        :class:`~repro.core.engine.MCKEngine`, or a
+        :class:`~repro.live.engine.LiveMCKEngine`.  With a live engine
+        the service additionally accepts mutations (:meth:`insert` /
+        :meth:`delete` / :meth:`submit_mutation`), wires the engine's
+        mutation stream into keyword-scoped cache invalidation, and
+        forbids ``use_processes_for_exact`` (pool workers would hold a
+        frozen dataset copy).
     max_workers:
         Thread-pool width for ``query_many``/``submit`` (default:
         ``min(8, cpu_count)``).
@@ -302,12 +309,37 @@ class QueryService:
         tracer: Optional[_tracing.Tracer] = None,
         cache_clock=time.monotonic,
     ):
-        self.engine = source if isinstance(source, MCKEngine) else MCKEngine(source)
+        if isinstance(source, (MCKEngine, LiveMCKEngine)):
+            self.engine = source
+        else:
+            self.engine = MCKEngine(source)
+        self._live = isinstance(self.engine, LiveMCKEngine)
+        if self._live and use_processes_for_exact:
+            raise ValueError(
+                "use_processes_for_exact is not supported with a live engine: "
+                "pool workers hold a frozen copy of the dataset and would "
+                "silently miss every mutation"
+            )
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
-        self.cache = ResultCache(
-            max_size=cache_size, ttl_seconds=cache_ttl, clock=cache_clock
-        )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Per-keyword generation counters scoping cache invalidation to
+        #: the keywords a mutation actually touched (live engines only).
+        self.generations = KeywordGenerations() if self._live else None
+        self.cache = ResultCache(
+            max_size=cache_size,
+            ttl_seconds=cache_ttl,
+            clock=cache_clock,
+            generations=self.generations,
+            on_invalidate=(
+                (lambda n: self.metrics.cache_invalidation_counter.inc(float(n)))
+                if self._live
+                else None
+            ),
+        )
+        if self._live:
+            self.engine.add_mutation_listener(self._on_mutation)
+            if self.engine.metrics is None:
+                self.engine.metrics = self.metrics
         self.tracer = tracer
         self.strict_timeouts = strict_timeouts
         self.pool_retries = max(0, pool_retries)
@@ -417,6 +449,66 @@ class QueryService:
             except QueryRejected as err:
                 results.append(self._rejected_result(request, err))
         return results
+
+    # ------------------------------------------------------------------ #
+    # Mutations (live engines only)
+    # ------------------------------------------------------------------ #
+
+    #: Admission-cost weight of one mutation batch.  Mutations are cheap
+    #: cost-class work: a WAL append plus one copy-on-write delta step,
+    #: orders of magnitude lighter than any query algorithm.
+    MUTATION_COST = 0.25
+
+    def submit_mutation(
+        self,
+        inserts: Sequence[Tuple[float, float, Iterable[str]]] = (),
+        deletes: Sequence[int] = (),
+    ) -> "Future[List[int]]":
+        """Admit one atomic mutation batch; future yields the new oids.
+
+        Mutations flow through the same :class:`AdmissionController` as
+        queries, so overload protection (bounded queue, shedding,
+        concurrency limiting) governs writers too — but with the cheap
+        :attr:`MUTATION_COST` weight and their own ``MUTATION`` latency
+        bucket, a write burst cannot be mistaken for slow queries.
+
+        Raises :class:`~repro.exceptions.QueryRejected` when shed and
+        ``TypeError`` when the underlying engine is not live.
+        """
+        self._require_live()
+        return self.admission.submit(
+            self.engine.apply_batch,
+            list(inserts),
+            list(deletes),
+            cost=self.MUTATION_COST,
+            key="MUTATION",
+        )
+
+    def insert(self, x: float, y: float, keywords: Iterable[str]) -> int:
+        """Insert one object through admission control; returns its oid."""
+        return self.submit_mutation(inserts=[(x, y, keywords)]).result()[0]
+
+    def delete(self, oid: int) -> None:
+        """Delete one live object through admission control."""
+        self.submit_mutation(deletes=[oid]).result()
+
+    def _require_live(self) -> None:
+        if not self._live:
+            raise TypeError(
+                "mutations need a LiveMCKEngine source; this service wraps "
+                "a static MCKEngine"
+            )
+
+    def _on_mutation(self, op: str, oid: int, keywords: Tuple[str, ...]) -> None:
+        """Post-publish mutation hook: age every touched keyword.
+
+        Runs after the new epoch is visible (the engine guarantees the
+        ordering), so by the time a cached entry is condemned its
+        recomputation can only see the new data — never the old.
+        """
+        if self.generations is not None:
+            self.generations.bump(keywords)
+        _log.debug("live.mutation", op=op, oid=oid, keywords=list(keywords))
 
     def metrics_dict(self) -> dict:
         """Aggregate metrics including the cache's current counters."""
@@ -573,18 +665,28 @@ class QueryService:
         key = self._cache_key(request)
         if key is not None:
             with self._span("serve.cache_probe") as probe:
+                # The stamp is captured *before* executing: a mutation
+                # racing the execution bumps the live generation past it,
+                # so the filled entry is condemned on its next lookup
+                # instead of serving a possibly stale answer.
+                stamp = self.cache.probe_stamp(key)
                 cached = self.cache.get(key)
                 probe.set_attribute("hit", cached is not None)
             if cached is not None:
                 return self._finish_hit(request, cached, started, cid)
-            return self._serve_with_singleflight(request, key, started, cid)
+            return self._serve_with_singleflight(request, key, started, cid, stamp)
 
         group, stats, error = self._execute(request, started, cid)
         self.metrics.record(stats)
         return ServedResult(request=request, group=group, stats=stats, error=error)
 
     def _serve_with_singleflight(
-        self, request: QueryRequest, key: tuple, started: float, cid: str
+        self,
+        request: QueryRequest,
+        key: tuple,
+        started: float,
+        cid: str,
+        stamp: int = 0,
     ) -> ServedResult:
         with self._inflight_lock:
             fut = self._inflight.get(key)
@@ -603,7 +705,7 @@ class QueryService:
                 # deadline pressure (or pool outage) has passed.
                 if group is not None and not group.degraded:
                     with self._span("serve.cache_store"):
-                        self.cache.put(key, group)
+                        self.cache.put(key, group, stamp=stamp)
                 fut.set_result((group, error))
             except BaseException as err:  # pragma: no cover - defensive
                 fut.set_exception(err)

@@ -235,6 +235,28 @@ class MetricsRegistry:
             "mck_concurrency_limit",
             help="Current adaptive concurrency limit in cost-weighted units.",
         )
+        self.live_epoch_gauge = self.gauge(
+            "mck_live_epoch",
+            help="Currently published epoch of the live store.",
+        )
+        self.delta_size_gauge = self.gauge(
+            "mck_delta_size",
+            help="Mutations (adds + tombstones) in the current delta overlay.",
+        )
+        self.compactions_counter = self.counter(
+            "mck_compactions_total",
+            help="Delta-into-base compactions, by outcome (ok, failed).",
+            label_names=("outcome",),
+        )
+        self.cache_invalidation_counter = self.counter(
+            "mck_cache_invalidations_total",
+            help="Cached results dropped by keyword-scoped invalidation.",
+        )
+        self.wal_records_counter = self.counter(
+            "mck_wal_records_total",
+            help="Records appended to the write-ahead log, by op.",
+            label_names=("op",),
+        )
 
     @classmethod
     def default(cls) -> "MetricsRegistry":

@@ -32,6 +32,12 @@ Known sites
     Fired when a distributed worker starts a task.  Arm the
     ``worker_crash`` error (crash-on-nth-task via ``after``) to exercise
     the coordinator's respawn-and-resubmit path.
+``serving.live.compaction``
+    Fired when the live store's compactor starts folding a delta into a
+    new sealed base (see :mod:`repro.live.compaction`).  Arm the
+    ``compaction-fail`` error to abort compactions and verify the store
+    keeps serving (and re-triggering) on the uncompacted snapshot, or a
+    ``delay`` to model a slow rebuild racing concurrent mutations.
 
 Example
 -------
@@ -253,6 +259,12 @@ def _worker_crash_error() -> BaseException:
     return WorkerCrashed(-1, "injected crash (repro.testing.faults)")
 
 
+def _compaction_fail_error() -> BaseException:
+    from ..exceptions import IndexError_
+
+    return IndexError_("injected compaction failure (repro.testing.faults)")
+
+
 def _admission_reject_error() -> BaseException:
     from ..exceptions import QueryRejected
 
@@ -271,6 +283,10 @@ ALIASES: Dict[str, tuple] = {
     "admission-reject": (
         "serving.admission.capacity",
         {"error": _admission_reject_error},
+    ),
+    "compaction-fail": (
+        "serving.live.compaction",
+        {"error": _compaction_fail_error},
     ),
 }
 

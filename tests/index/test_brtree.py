@@ -112,3 +112,85 @@ class TestRangeDelegation:
             i for i, x, y, _m in records if math.hypot(x - 50, y - 50) <= 20
         }
         assert got == expected
+
+
+class TestIncrementalMaskMaintenance:
+    """Regression: interleaved inserts and reads keep bitmaps exact.
+
+    Non-restructuring inserts OR the new mask along the leaf-to-root path
+    instead of marking everything stale; any interleaving of inserts,
+    ``node_mask`` reads, and ``check_invariants`` must keep every node's
+    bitmap equal to the union of its subtree.
+    """
+
+    def test_interleaved_inserts_and_reads_stay_exact(self):
+        rng = random.Random(99)
+        tree = BRStarTree.build(_records(99, 60), max_entries=8)
+        next_id = 1000
+        for step in range(200):
+            terms = rng.sample(range(6), rng.randint(1, 3))
+            tree.insert(
+                next_id, rng.uniform(0, 100), rng.uniform(0, 100),
+                mask_of(terms),
+            )
+            next_id += 1
+            if step % 3 == 0:
+                # A read between inserts freshens stale annotations, so
+                # later inserts go down the incremental path again.
+                assert tree.node_mask(tree.root) != 0
+            if step % 7 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 260
+
+    def test_incremental_path_actually_taken(self):
+        """With reads interleaved, most inserts avoid the full recompute."""
+        rng = random.Random(7)
+        tree = BRStarTree.build(_records(7, 80), max_entries=8)
+        incremental = 0
+        for i in range(100):
+            tree.node_mask(tree.root)  # freshen before each insert
+            tree.insert(
+                2000 + i, rng.uniform(0, 100), rng.uniform(0, 100),
+                mask_of([rng.randrange(6)]),
+            )
+            if tree._masks_fresh:
+                incremental += 1
+        # STR bulk-load packs leaves full, so early inserts split; still,
+        # the majority of steady-state inserts must take the cheap path.
+        assert incremental >= 50
+        tree.check_invariants()
+
+    def test_rebound_item_with_new_mask_forces_recompute(self):
+        """Re-registering an item with a different mask cannot leave the
+        old bits resident anywhere (incremental OR could never clear
+        them, so the tree must fall back to a full recompute)."""
+        tree = BRStarTree.build(_records(42, 40), max_entries=8)
+        tree.node_mask(tree.root)
+        tree.insert(0, 50.0, 50.0, mask_of([5]))  # item 0 re-registered
+        assert not tree._masks_fresh
+        tree.check_invariants()
+        assert tree.item_mask(0) == mask_of([5])
+
+    def test_insert_into_stale_tree_stays_stale_until_read(self):
+        tree = BRStarTree.build(_records(43, 40), max_entries=8)
+        tree._masks_fresh = False  # as after a restructuring insert
+        tree.insert(500, 10.0, 10.0, mask_of([2]))
+        assert not tree._masks_fresh
+        tree.check_invariants()  # the read recomputes and verifies
+
+    def test_root_growth_detected(self):
+        """Splitting the root swaps the root node; the incremental path
+        must notice and fall back rather than OR into a dead root."""
+        tree = BRStarTree.build([], max_entries=4)
+        rng = random.Random(44)
+        for i in range(50):
+            tree.insert(
+                i, rng.uniform(0, 100), rng.uniform(0, 100),
+                mask_of([i % 6]),
+            )
+        tree.check_invariants()
+        expected = 0
+        for i in range(50):
+            expected |= mask_of([i % 6])
+        assert tree.node_mask(tree.root) == expected

@@ -1,0 +1,94 @@
+"""Epoch manager: atomic publish, reader pins, drain-then-retire."""
+
+from repro.live.base import SealedBase
+from repro.live.delta import DeltaOverlay
+from repro.live.snapshots import EpochManager, Snapshot
+
+
+def _manager(on_retire=None):
+    base = SealedBase.build([(0, 0.0, 0.0, ["a"])], name="snap-test")
+    return EpochManager(Snapshot(0, base, DeltaOverlay()), on_retire=on_retire), base
+
+
+class TestPublish:
+    def test_epochs_are_monotone(self):
+        mgr, base = _manager()
+        assert mgr.epoch == 0
+        s1 = mgr.publish(base, DeltaOverlay())
+        s2 = mgr.publish(base, DeltaOverlay())
+        assert (s1.epoch, s2.epoch) == (1, 2)
+        assert mgr.current() is s2
+
+    def test_unpinned_supersede_retires_immediately(self):
+        mgr, base = _manager()
+        mgr.publish(base, DeltaOverlay())
+        assert mgr.retired_epochs() == [0]
+
+    def test_current_epoch_never_retires_on_unpin(self):
+        mgr, _base = _manager()
+        guard = mgr.pin()
+        guard.release()
+        assert mgr.retired_epochs() == []
+
+
+class TestPins:
+    def test_pin_holds_snapshot_across_publish(self):
+        mgr, base = _manager()
+        with mgr.pin() as snapshot:
+            mgr.publish(base, DeltaOverlay())
+            assert snapshot.epoch == 0
+            assert mgr.epoch == 1
+            assert mgr.pinned_epochs() == [0]
+            assert mgr.retired_epochs() == []
+        assert mgr.pinned_epochs() == []
+        assert mgr.retired_epochs() == [0]
+
+    def test_refcount_drains_before_retirement(self):
+        mgr, base = _manager()
+        g1, g2 = mgr.pin(), mgr.pin()
+        mgr.publish(base, DeltaOverlay())
+        g1.release()
+        assert mgr.retired_epochs() == []  # g2 still holds epoch 0
+        g2.release()
+        assert mgr.retired_epochs() == [0]
+
+    def test_release_is_idempotent(self):
+        mgr, base = _manager()
+        guard = mgr.pin()
+        mgr.pin()  # second, independently held pin
+        mgr.publish(base, DeltaOverlay())
+        guard.release()
+        guard.release()  # must not double-decrement the other pin
+        assert mgr.retired_epochs() == []
+
+    def test_on_retire_callback_receives_snapshot(self):
+        retired = []
+        mgr, base = _manager(on_retire=retired.append)
+        guard = mgr.pin()
+        mgr.publish(base, DeltaOverlay())
+        assert retired == []
+        guard.release()
+        assert [s.epoch for s in retired] == [0]
+
+    def test_interleaved_pins_retire_in_drain_order(self):
+        mgr, base = _manager()
+        g0 = mgr.pin()                      # pins epoch 0
+        mgr.publish(base, DeltaOverlay())
+        g1 = mgr.pin()                      # pins epoch 1
+        mgr.publish(base, DeltaOverlay())
+        g1.release()
+        assert mgr.retired_epochs() == [1]  # epoch 0 still pinned
+        g0.release()
+        assert mgr.retired_epochs() == [1, 0]
+
+
+class TestSnapshotView:
+    def test_view_is_cached(self):
+        mgr, _base = _manager()
+        snapshot = mgr.current()
+        assert snapshot.view() is snapshot.view()
+
+    def test_view_name_carries_epoch(self):
+        mgr, base = _manager()
+        mgr.publish(base, DeltaOverlay())
+        assert mgr.current().view().name.endswith("@e1")

@@ -1,0 +1,184 @@
+"""Write-ahead log: framing, replay, torn tails, crash recovery."""
+
+import os
+
+import pytest
+
+from repro.exceptions import WALError
+from repro.live.wal import WalRecord, WriteAheadLog, read_wal
+
+
+def _wal(tmp_path, name="test.wal", **kwargs):
+    return WriteAheadLog(str(tmp_path / name), **kwargs)
+
+
+def _write_three(tmp_path, name="test.wal"):
+    """Three records through a closed (fully flushed) log; returns the path."""
+    path = str(tmp_path / name)
+    with WriteAheadLog(path, sync_every=0) as wal:
+        wal.append_insert(0, 1.0, 2.0, ["cafe", "bar"])
+        wal.append_insert(1, 3.0, 4.0, ["shop"])
+        wal.append_delete(0)
+    return path
+
+
+class TestRecord:
+    def test_payload_roundtrip_insert(self):
+        rec = WalRecord(seq=7, op="insert", oid=3, x=1.5, y=-2.5,
+                        keywords=("a", "b"))
+        assert WalRecord.from_payload(rec.payload()) == rec
+
+    def test_payload_roundtrip_delete(self):
+        rec = WalRecord(seq=2, op="delete", oid=9)
+        back = WalRecord.from_payload(rec.payload())
+        assert back == rec
+        assert back.keywords == ()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WALError):
+            WalRecord.from_payload({"seq": 1, "op": "truncate", "oid": 0})
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        path = _write_three(tmp_path)
+        records, valid_bytes, torn = read_wal(path)
+        assert torn is None
+        assert valid_bytes == os.path.getsize(path)
+        assert [r.op for r in records] == ["insert", "insert", "delete"]
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert records[0].keywords == ("bar", "cafe") or records[0].keywords == (
+            "cafe", "bar"
+        )
+
+    def test_missing_file_is_empty_untorn(self, tmp_path):
+        records, valid_bytes, torn = read_wal(str(tmp_path / "absent.wal"))
+        assert records == [] and valid_bytes == 0 and torn is None
+
+    def test_records_written_excludes_recovered(self, tmp_path):
+        path = _write_three(tmp_path)
+        with WriteAheadLog(path, sync_every=0) as wal:
+            assert len(wal.recovered) == 3
+            assert wal.records_written == 0
+            wal.append_delete(1)
+            assert wal.records_written == 1
+            assert wal.last_seq == 4
+
+    def test_sequence_continues_across_reopen(self, tmp_path):
+        path = _write_three(tmp_path)
+        with WriteAheadLog(path, sync_every=0) as wal:
+            rec = wal.append_insert(5, 0.0, 0.0, ["x"])
+            assert rec.seq == 4
+        records, _bytes, torn = read_wal(path)
+        assert torn is None
+        assert [r.seq for r in records] == [1, 2, 3, 4]
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        wal = _wal(tmp_path, sync_every=0)
+        wal.close()
+        with pytest.raises(WALError):
+            wal.append_insert(0, 0.0, 0.0, ["a"])
+        wal.close()  # idempotent
+        wal.flush()  # no-op after close
+
+
+class TestTornTail:
+    """Every torn-tail shape: replay stops at the last valid record."""
+
+    def test_truncated_mid_record(self, tmp_path):
+        path = _write_three(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 5)
+        records, _bytes, torn = read_wal(path)
+        assert len(records) == 2
+        assert torn is not None
+
+    def test_missing_trailing_newline(self, tmp_path):
+        path = _write_three(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 1)
+        records, _bytes, torn = read_wal(path)
+        assert len(records) == 2
+        assert "truncated" in torn
+
+    def test_crc_mismatch(self, tmp_path):
+        path = _write_three(tmp_path)
+        data = open(path, "rb").read()
+        lines = data.splitlines(keepends=True)
+        # Flip one byte inside the last record's JSON body.
+        corrupt = bytearray(lines[-1])
+        corrupt[12] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(b"".join(lines[:-1]) + bytes(corrupt))
+        records, _bytes, torn = read_wal(path)
+        assert len(records) == 2
+        assert torn == "CRC mismatch"
+
+    def test_garbage_tail(self, tmp_path):
+        path = _write_three(tmp_path)
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\xffgarbage-not-a-record\n")
+        records, _bytes, torn = read_wal(path)
+        assert len(records) == 3
+        assert torn is not None
+
+    def test_valid_crc_bad_json_body(self, tmp_path):
+        import zlib
+        path = _write_three(tmp_path)
+        body = b"{not json"
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        with open(path, "ab") as fh:
+            fh.write(b"%08x %s\n" % (crc, body))
+        records, _bytes, torn = read_wal(path)
+        assert len(records) == 3
+        assert torn == "undecodable record body"
+
+    def test_sequence_gap_stops_replay(self, tmp_path):
+        path = _write_three(tmp_path)
+        # Append a record whose seq skips ahead (simulates a second writer).
+        from repro.live.wal import _encode
+        rogue = WalRecord(seq=9, op="delete", oid=1)
+        with open(path, "ab") as fh:
+            fh.write(_encode(rogue))
+        records, _bytes, torn = read_wal(path)
+        assert len(records) == 3
+        assert "sequence gap" in torn
+
+    def test_open_truncates_torn_tail(self, tmp_path):
+        path = _write_three(tmp_path)
+        whole = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(whole - 5)
+        torn_size = os.path.getsize(path)
+        wal = WriteAheadLog(path, sync_every=0)
+        assert wal.torn_reason is not None
+        assert len(wal.recovered) == 2
+        assert os.path.getsize(path) < torn_size  # torn bytes gone
+        # Appending after recovery produces a cleanly replayable log.
+        wal.append_insert(7, 5.0, 5.0, ["fresh"])
+        wal.close()
+        records, _bytes, torn = read_wal(path)
+        assert torn is None
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert records[-1].oid == 7
+
+
+class TestGroupCommit:
+    def test_auto_flush_every_sync_every(self, tmp_path, monkeypatch):
+        syncs = []
+        monkeypatch.setattr(os, "fsync", lambda fd: syncs.append(fd))
+        wal = _wal(tmp_path, sync_every=3)
+        for i in range(7):
+            wal.append_insert(i, 0.0, 0.0, ["a"])
+        assert len(syncs) == 2  # after records 3 and 6
+        wal.close()  # flush() on close fsyncs the remainder
+        assert len(syncs) == 3
+
+    def test_sync_every_zero_never_fsyncs(self, tmp_path, monkeypatch):
+        def boom(fd):  # pragma: no cover - failure path
+            raise AssertionError("fsync with sync disabled")
+        monkeypatch.setattr(os, "fsync", boom)
+        wal = _wal(tmp_path, sync_every=0)
+        for i in range(10):
+            wal.append_insert(i, 0.0, 0.0, ["a"])
+        wal.close()

@@ -176,3 +176,180 @@ class TestExpiredEntriesAreDropped:
         stats = cache.stats()
         assert stats["evictions"] == 1
         assert stats["expirations"] == 0
+
+
+class TestKeywordGenerations:
+    def test_stamp_is_sum_not_max(self):
+        from repro.serving.cache import KeywordGenerations
+
+        gen = KeywordGenerations()
+        gen.bump(["a"])
+        gen.bump(["a"])
+        gen.bump(["a"])
+        gen.bump(["a"])
+        gen.bump(["a"])
+        before = gen.stamp(["a", "b"])
+        gen.bump(["b"])  # max(gen) would stay 5 and miss this bump
+        assert gen.stamp(["a", "b"]) == before + 1
+
+    def test_never_bumped_keyword_is_zero(self):
+        from repro.serving.cache import KeywordGenerations
+
+        gen = KeywordGenerations()
+        assert gen.stamp(["x", "y"]) == 0
+        assert gen.generation("x") == 0
+
+    def test_bumps_counter(self):
+        from repro.serving.cache import KeywordGenerations
+
+        gen = KeywordGenerations()
+        gen.bump(["a", "b"])
+        gen.bump(["a"])
+        assert gen.bumps == 3
+
+
+class TestKeywordInvalidation:
+    def _cache(self):
+        from repro.serving.cache import KeywordGenerations
+
+        gen = KeywordGenerations()
+        return ResultCache(max_size=8, generations=gen), gen
+
+    def test_bump_invalidates_on_next_get(self):
+        cache, gen = self._cache()
+        key = make_cache_key(["hotel", "shop"], "EXACT", 0.01)
+        cache.put(key, "answer")
+        assert cache.get(key) == "answer"
+        gen.bump(["shop"])
+        assert cache.get(key) is None
+        assert cache.stats()["invalidations"] == 1
+
+    def test_disjoint_keywords_stay_hot(self):
+        cache, gen = self._cache()
+        touched = make_cache_key(["hotel", "shop"], "EXACT", 0.01)
+        disjoint = make_cache_key(["restaurant"], "EXACT", 0.01)
+        cache.put(touched, 1)
+        cache.put(disjoint, 2)
+        gen.bump(["shop"])
+        assert cache.get(touched) is None
+        assert cache.get(disjoint) == 2
+        assert cache.stats()["invalidations"] == 1
+
+    def test_probe_stamp_closes_mutation_during_execution_race(self):
+        cache, gen = self._cache()
+        key = make_cache_key(["hotel"], "EXACT", 0.01)
+        stamp = cache.probe_stamp(key)  # captured before "executing"
+        gen.bump(["hotel"])             # mutation lands mid-execution
+        cache.put(key, "possibly-stale", stamp=stamp)
+        # The stale fill must not be trusted on its next lookup.
+        assert cache.get(key) is None
+        assert cache.stats()["invalidations"] == 1
+
+    def test_contains_drops_generation_stale_entry(self):
+        cache, gen = self._cache()
+        key = make_cache_key(["hotel"], "EXACT", 0.01)
+        cache.put(key, "v")
+        gen.bump(["hotel"])
+        assert key not in cache
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_eager_invalidate_keywords_sweep(self):
+        cache, _gen = self._cache()
+        a = make_cache_key(["hotel", "shop"], "EXACT", 0.01)
+        b = make_cache_key(["restaurant"], "EXACT", 0.01)
+        cache.put(a, 1)
+        cache.put(b, 2)
+        assert cache.invalidate_keywords(["shop"]) == 1
+        assert cache.get(a) is None
+        assert cache.get(b) == 2
+
+    def test_foreign_keys_are_never_keyword_invalidated(self):
+        cache, gen = self._cache()
+        cache.put("opaque-key", "v")
+        gen.bump(["anything"])
+        assert cache.get("opaque-key") == "v"
+
+
+class TestConservation:
+    """inserts == live + evictions + expirations + invalidations, always."""
+
+    @staticmethod
+    def _balanced(cache):
+        st = cache.stats()
+        return st["inserts"] == (
+            st["size"] + st["evictions"] + st["expirations"]
+            + st["invalidations"]
+        )
+
+    def test_mixed_workload_books_balance(self):
+        from repro.serving.cache import KeywordGenerations
+
+        clock = FakeClock()
+        gen = KeywordGenerations()
+        cache = ResultCache(
+            max_size=3, ttl_seconds=10.0, clock=clock, generations=gen
+        )
+        keys = [make_cache_key([t], "EXACT", 0.01) for t in "abcdef"]
+        for k in keys[:3]:
+            cache.put(k, 1)
+        cache.put(keys[0], 2)          # overwrite -> eviction
+        cache.put(keys[3], 1)          # over capacity -> LRU eviction
+        clock.advance(11.0)
+        cache.get(keys[3])             # expired on probe
+        cache.put(keys[4], 1)
+        gen.bump(["e"])
+        cache.get(keys[4])             # invalidated on probe
+        cache.put(keys[5], 1)
+        cache.clear()                  # everything left -> evictions
+        st = cache.stats()
+        assert st["invalidations"] == 1
+        assert st["expirations"] >= 1
+        assert self._balanced(cache), st
+
+    def test_every_single_operation_keeps_balance(self):
+        from repro.serving.cache import KeywordGenerations
+
+        clock = FakeClock()
+        gen = KeywordGenerations()
+        cache = ResultCache(
+            max_size=2, ttl_seconds=5.0, clock=clock, generations=gen
+        )
+        keys = [make_cache_key([t], "EXACT", 0.01) for t in "abcd"]
+        ops = [
+            lambda: cache.put(keys[0], 1),
+            lambda: cache.put(keys[1], 1),
+            lambda: cache.put(keys[2], 1),      # evicts
+            lambda: cache.get(keys[1]),
+            lambda: gen.bump(["b"]),
+            lambda: cache.get(keys[1]),          # invalidates
+            lambda: clock.advance(6.0),
+            lambda: cache.get(keys[2]),          # expires
+            lambda: cache.put(keys[3], 1),
+            lambda: cache.purge_expired(),
+            lambda: keys[3] in cache,
+            lambda: cache.clear(),
+        ]
+        for op in ops:
+            op()
+            assert self._balanced(cache), cache.stats()
+
+    def test_on_invalidate_callback_counts_drops(self):
+        from repro.serving.cache import KeywordGenerations
+
+        dropped = []
+        gen = KeywordGenerations()
+        cache = ResultCache(
+            max_size=4, generations=gen, on_invalidate=dropped.append
+        )
+        a = make_cache_key(["x"], "EXACT", 0.01)
+        b = make_cache_key(["x", "y"], "EXACT", 0.01)
+        cache.put(a, 1)
+        cache.put(b, 1)
+        gen.bump(["x"])
+        cache.get(a)
+        cache.get(b)
+        assert dropped == [1, 1]
+        # Evictions and expirations never fire the invalidation callback.
+        cache.clear()
+        assert dropped == [1, 1]
