@@ -28,14 +28,19 @@ METRICS_PATH = os.environ.get("REPRO_BENCH_METRICS")
 
 
 def dump_metrics(path=None):
-    """Write the process-wide serving metrics registry to ``path`` as JSON.
+    """Append the process-wide serving metrics registry to ``path``.
 
     Every :class:`~repro.experiments.runner.ExperimentRunner` the figure
     functions create reports into ``MetricsRegistry.default()``, so after a
     benchmark run this holds per-algorithm latency aggregates (including
     the p50/p95/p99 histogram snapshots) and the circleScan/pruning
-    counters of everything that executed.  A Prometheus text rendering of
-    the same registry lands next to it at ``<path>.prom``.
+    counters of everything that executed.
+
+    Each call appends one single-line JSON snapshot (JSON-lines), so a
+    session that runs several benchmarks against the same ``path`` keeps
+    every dump instead of overwriting the earlier ones.  The Prometheus
+    text rendering at ``<path>.prom`` is a point-in-time exposition format
+    and is rewritten with the latest snapshot on every call.
     """
     from repro.serving.stats import MetricsRegistry
 
@@ -43,8 +48,8 @@ def dump_metrics(path=None):
     if not target:
         return None
     registry = MetricsRegistry.default()
-    with open(target, "w") as fh:
-        fh.write(registry.to_json())
+    with open(target, "a") as fh:
+        fh.write(registry.to_json(indent=None))
         fh.write("\n")
     with open(target + ".prom", "w") as fh:
         fh.write(registry.to_prometheus())

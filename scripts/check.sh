@@ -24,3 +24,9 @@ python scripts/overload_smoke.py
 
 echo "== live smoke =="
 python scripts/live_smoke.py
+
+echo "== perf gate (smoke scale) =="
+# Fast variant: parity + counter checks on the pinned seed without a
+# latency baseline (host speed varies; CI gates against the committed
+# small-scale baseline instead).
+python benchmarks/perf_gate.py --scale smoke

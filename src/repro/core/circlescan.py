@@ -14,8 +14,12 @@ frequency table across the sorted enter/exit events answers, in O(n log n):
   covers the query, maximal under inclusion.  (The candidate circles that
   Procedure circleScanSearch of EXACT exhaustively searches.)
 
-Event construction is vectorised over the sweeping area; only the event
-walk itself (early-terminating for :func:`circle_scan`) runs in Python.
+Event construction is vectorised over the sweeping area.  The event walk
+itself has two implementations selected by :mod:`repro.kernels`: the
+columnar path turns the per-keyword frequency table into an ``(events, m)``
+delta matrix and scans its running column sums in chunked batches (early
+terminating per chunk), while the object path keeps the original
+per-event Python loop as the reference oracle.
 """
 
 from __future__ import annotations
@@ -25,12 +29,17 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..kernels import vectorized_enabled
 from ..testing import faults as _faults
 from .query import QueryContext
 
 __all__ = ["circle_scan", "circle_scan_candidates", "sweeping_area"]
 
 _TWO_PI = 2.0 * math.pi
+
+#: Events per batch in the columnar walk: large enough to amortise numpy
+#: dispatch, small enough that a first-hit early exit skips most work.
+_EVENT_CHUNK = 2048
 
 
 def sweeping_area(ctx: QueryContext, pole_row: int, diameter: float) -> np.ndarray:
@@ -53,21 +62,87 @@ def _sweep_events(ctx: QueryContext, pole_row: int, diameter: float):
     so at a tie angle both the entering and the exiting object are
     enclosed, and an object at distance exactly ``D`` (a degenerate
     single-angle interval) must be entered before it is exited.
+
+    The columnar path reads the pole cache's precomputed polar angles and
+    drops enter events at angle exactly 0 (those rows are already in
+    ``inside_rows``, so the event is a no-op the batched walk would
+    double-count); the object path recomputes ``arctan2`` per probe and
+    keeps the redundant events, exactly as the original implementation did
+    (its in-set guard makes them no-ops).  Both paths emit the same event
+    permutation: a stable sort of angles with enters listed first equals
+    the original ``lexsort((-kinds, angles))``.
     """
     if diameter < ctx.cover_radii[pole_row] * (1.0 - 1e-12):
         # Even the whole sweeping area cannot cover the query: the rotation
         # (paper: "the checking on o is thus avoided") is skipped.
         return None
-    cache = ctx.pole_cache(pole_row)
-    k = cache.prefix_length(diameter)
-    if k == 0 or cache.prefix_union[k] != ctx.full_mask:
-        return None
 
-    rows = cache.rows[:k]
-    dists = cache.dists[:k]
+    if not vectorized_enabled():
+        cache = ctx.pole_cache(pole_row)
+        k = cache.prefix_length(diameter)
+        if k == 0 or cache.prefix_union[k] != ctx.full_mask:
+            return None
+        return _sweep_events_object(
+            ctx, pole_row, cache.rows[:k], cache.dists[:k], diameter
+        )
+
+    view = ctx.sweep_view(pole_row, diameter)
+    if view is None:
+        return None
+    rows, dists, view_phis = view
+
+    # Rows essentially at the pole are inside at every rotation position;
+    # distances are sorted ascending, so they form a prefix.
+    still = int(np.searchsorted(dists, max(1e-12, 1e-15 * diameter), side="right"))
+    always_rows = rows[:still]
+    mrows = rows[still:]
+    if len(mrows) == 0:
+        return list(map(int, always_rows)), _EMPTY, _EMPTY_KINDS, _EMPTY_ROWS
+
+    ratio = np.minimum(dists[still:] / diameter, 1.0)
+    beta = np.arccos(ratio)
+    phi = view_phis[still:]
+    enter = np.mod(phi - beta, _TWO_PI)
+    exit_ = np.mod(phi + beta, _TWO_PI)
+
+    # Inside at angle 0: the interval wraps (enter > exit) or starts at 0.
+    at_zero = enter == 0.0
+    wraps = (enter > exit_) | at_zero
+    inside_rows = [int(r) for r in always_rows]
+    inside_rows.extend(int(r) for r in mrows[wraps])
+
+    if at_zero.any():
+        live = ~at_zero
+        angles = np.concatenate([enter[live], exit_])
+        kinds = np.concatenate(
+            [
+                np.ones(int(live.sum()), dtype=np.int8),
+                np.zeros(len(mrows), dtype=np.int8),
+            ]
+        )
+        event_rows = np.concatenate([mrows[live], mrows])
+    else:
+        angles = np.concatenate([enter, exit_])
+        kinds = np.concatenate(
+            [np.ones(len(mrows), dtype=np.int8), np.zeros(len(mrows), dtype=np.int8)]
+        )
+        event_rows = np.concatenate([mrows, mrows])
+    # Enters precede exits in the unsorted arrays, so a stable sort on
+    # angle alone yields the enter-before-exit tie order.
+    order = np.argsort(angles, kind="stable")
+    return inside_rows, angles[order], kinds[order], event_rows[order]
+
+
+def _sweep_events_object(
+    ctx: QueryContext,
+    pole_row: int,
+    rows: np.ndarray,
+    dists: np.ndarray,
+    diameter: float,
+):
+    """Object-path event construction: the original per-probe sequence."""
     pole = ctx.coords[pole_row]
 
-    # Rows essentially at the pole are inside at every rotation position.
     moving = dists > max(1e-12, 1e-15 * diameter)
     always_rows = rows[~moving]
     mrows = rows[moving]
@@ -83,7 +158,6 @@ def _sweep_events(ctx: QueryContext, pole_row: int, diameter: float):
     enter = np.mod(phi - beta, _TWO_PI)
     exit_ = np.mod(phi + beta, _TWO_PI)
 
-    # Inside at angle 0: the interval wraps (enter > exit) or starts at 0.
     wraps = (enter > exit_) | (enter == 0.0)
     inside_rows = [int(r) for r in always_rows]
     inside_rows.extend(int(r) for r in mrows[wraps])
@@ -118,6 +192,85 @@ def circle_scan(
     if setup is None:
         return None
     inside_rows, angles, kinds, event_rows = setup
+
+    bits = ctx.bits_matrix if vectorized_enabled() else None
+    if bits is not None:
+        return _first_cover_batched(ctx, bits, inside_rows, angles, kinds, event_rows)
+    return _first_cover_scalar(ctx, inside_rows, angles, kinds, event_rows)
+
+
+def _first_cover_batched(
+    ctx: QueryContext,
+    bits: np.ndarray,
+    inside_rows: List[int],
+    angles: np.ndarray,
+    kinds: np.ndarray,
+    event_rows: np.ndarray,
+) -> Optional[Tuple[List[int], float]]:
+    """Columnar event walk: chunked running per-keyword counts.
+
+    ``bits`` is the O' ``(n, m)`` 0/1 keyword matrix; each event batch
+    contributes a signed delta block whose column-wise cumulative sum is
+    the per-keyword frequency table at every event position in the batch.
+    Coverage holds where all m running counts are positive; the first such
+    position is the answer, and earlier batches bail out without touching
+    the rest of the sweep.
+    """
+    inside_arr = np.asarray(inside_rows, dtype=np.intp)
+    m = bits.shape[1]
+    if len(inside_arr):
+        counts = bits[inside_arr].sum(axis=0, dtype=np.int32)
+        if int((counts > 0).sum()) == m:
+            return sorted(inside_rows), 0.0
+    else:
+        counts = np.zeros(m, dtype=np.int32)
+
+    n_events = len(angles)
+    if n_events == 0:
+        return None
+    signs = kinds.astype(np.int32) * 2 - 1
+    for start in range(0, n_events, _EVENT_CHUNK):
+        stop = min(start + _EVENT_CHUNK, n_events)
+        deltas = bits[event_rows[start:stop]].astype(np.int32)
+        deltas *= signs[start:stop, None]
+        running = np.cumsum(deltas, axis=0)
+        running += counts
+        covered = (running > 0).all(axis=1)
+        hits = np.flatnonzero(covered)
+        if hits.size:
+            i = start + int(hits[0])
+            rows = _enclosed_rows_at(len(ctx.coords), inside_arr, event_rows, signs, i)
+            return rows, float(angles[i])
+        counts = running[-1]
+    return None
+
+
+def _enclosed_rows_at(
+    n_rows: int,
+    inside_arr: np.ndarray,
+    event_rows: np.ndarray,
+    signs: np.ndarray,
+    i: int,
+) -> List[int]:
+    """Reconstruct the enclosed set right after event ``i``.
+
+    Each row's membership is its initial inside flag plus the net of its
+    enter/exit events up to ``i`` — one scatter-add over the event prefix.
+    """
+    state = np.zeros(n_rows, dtype=np.int32)
+    state[inside_arr] = 1
+    np.add.at(state, event_rows[: i + 1], signs[: i + 1])
+    return [int(r) for r in np.flatnonzero(state == 1)]
+
+
+def _first_cover_scalar(
+    ctx: QueryContext,
+    inside_rows: List[int],
+    angles: np.ndarray,
+    kinds: np.ndarray,
+    event_rows: np.ndarray,
+) -> Optional[Tuple[List[int], float]]:
+    """Object-path event walk: the original per-event reference loop."""
     masks = ctx.masks
     full = ctx.full_mask
 
@@ -161,6 +314,90 @@ def circle_scan_candidates(
     if setup is None:
         return []
     inside_rows, angles, kinds, event_rows = setup
+
+    bits = ctx.bits_matrix if vectorized_enabled() else None
+    if bits is not None:
+        snapshots = _covering_snapshots_batched(
+            ctx, bits, inside_rows, angles, kinds, event_rows
+        )
+    else:
+        snapshots = _covering_snapshots_scalar(
+            ctx, inside_rows, angles, kinds, event_rows
+        )
+    return _maximal_sets(snapshots)
+
+
+def _covering_snapshots_batched(
+    ctx: QueryContext,
+    bits: np.ndarray,
+    inside_rows: List[int],
+    angles: np.ndarray,
+    kinds: np.ndarray,
+    event_rows: np.ndarray,
+) -> set:
+    """Columnar full-rotation sweep for EXACT's candidate enumeration.
+
+    The coverage profile over all events is computed in one batch; the
+    enclosed set is then only materialised at *locally maximal* covering
+    positions (those followed by an exit or the sweep end — a covering
+    position followed by an enter is strictly contained in its successor,
+    which stays covering, so skipping it never loses a maximal set).
+    """
+    inside_arr = np.asarray(inside_rows, dtype=np.intp)
+    m = bits.shape[1]
+    if len(inside_arr):
+        counts0 = bits[inside_arr].sum(axis=0, dtype=np.int32)
+    else:
+        counts0 = np.zeros(m, dtype=np.int32)
+    covered0 = int((counts0 > 0).sum()) == m
+
+    n_events = len(angles)
+    snapshots: set = set()
+    if n_events == 0:
+        if covered0:
+            snapshots.add(frozenset(inside_rows))
+        return snapshots
+
+    signs = kinds.astype(np.int32) * 2 - 1
+    deltas = bits[event_rows].astype(np.int32)
+    deltas *= signs[:, None]
+    running = np.cumsum(deltas, axis=0)
+    running += counts0
+    covered = (running > 0).all(axis=1)
+
+    covering = np.flatnonzero(covered)
+    if covering.size:
+        last = covering == n_events - 1
+        followed_by_exit = np.zeros(covering.size, dtype=bool)
+        followed_by_exit[~last] = kinds[covering[~last] + 1] == 0
+        snap_idx = covering[last | followed_by_exit]
+    else:
+        snap_idx = covering
+
+    if covered0 and kinds[0] == 0:
+        # The initial enclosed set is maximal only when the sweep opens
+        # with an exit; an opening enter strictly grows it.
+        snapshots.add(frozenset(inside_rows))
+
+    state = np.zeros(len(ctx.coords), dtype=np.int32)
+    state[inside_arr] = 1
+    prev = 0
+    for i in snap_idx:
+        i = int(i)
+        np.add.at(state, event_rows[prev : i + 1], signs[prev : i + 1])
+        prev = i + 1
+        snapshots.add(frozenset(np.flatnonzero(state == 1).tolist()))
+    return snapshots
+
+
+def _covering_snapshots_scalar(
+    ctx: QueryContext,
+    inside_rows: List[int],
+    angles: np.ndarray,
+    kinds: np.ndarray,
+    event_rows: np.ndarray,
+) -> set:
+    """Object-path full-rotation sweep (reference loop)."""
     masks = ctx.masks
     full = ctx.full_mask
 
@@ -188,13 +425,17 @@ def circle_scan_candidates(
             covered = _remove_mask(masks[r], counts, covered)
         if covered == full:
             snapshots.add(frozenset(inside))
-
-    return _maximal_sets(snapshots)
+    return snapshots
 
 
 def _maximal_sets(snapshots) -> List[List[int]]:
-    """Drop snapshots strictly contained in another; return sorted lists."""
-    ordered = sorted(snapshots, key=len, reverse=True)
+    """Drop snapshots strictly contained in another; return sorted lists.
+
+    The candidate order feeds EXACT's branch-and-bound incumbent updates,
+    so ties are broken deterministically (by content, not set-iteration
+    order) — both kernel paths must emit candidates identically.
+    """
+    ordered = sorted(snapshots, key=lambda s: (-len(s), tuple(sorted(s))))
     maximal: List[frozenset] = []
     for candidate in ordered:
         if any(candidate <= kept for kept in maximal):

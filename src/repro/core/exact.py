@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry.mcc import minimum_covering_circle
+from ..kernels import vectorized_enabled as _vectorized_enabled
 from .circlescan import circle_scan_candidates
 from .common import QUALITY_APPROX, QUALITY_EXACT, SQRT3_FACTOR, Deadline
 from .query import QueryContext
@@ -91,9 +92,22 @@ def exact_from_state(
     max_invalid = state.max_invalid_range
     searched = 0
     pruned_poles = 0
-    for pole in range(len(ctx.relevant_ids)):
+    if _vectorized_enabled():
+        # Columnar pole filter: Lemma 3 and the coverage-radius precheck
+        # (the same test circleScan's setup would apply pole-by-pole) are
+        # evaluated in two array comparisons, so the Python loop only
+        # visits poles that can actually host a candidate circle.
+        max_inv = np.asarray(max_invalid, dtype=np.float64)
+        lemma3 = max_inv >= diam
+        pruned_poles = int(lemma3.sum())
+        deadline.count("pruned_poles", pruned_poles)
+        hopeless = diam < ctx.cover_radii * (1.0 - 1e-12)
+        pole_iter = [int(p) for p in np.flatnonzero(~(lemma3 | hopeless))]
+    else:
+        pole_iter = None
+    for pole in pole_iter if pole_iter is not None else range(len(ctx.relevant_ids)):
         deadline.check()
-        if max_invalid[pole] >= diam:
+        if pole_iter is None and max_invalid[pole] >= diam:
             # Lemma 3: ø(SKECo) > 2/√3 · ø(MCC_Gskeca) means this pole
             # cannot be on the boundary of MCC_Gopt.
             pruned_poles += 1

@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import InfeasibleQueryError, QueryError
+from ..kernels import vectorized_enabled
 from .common import QUALITY_EXACT, QUALITY_GREEDY, QUALITY_PARTIAL, Deadline
 from .query import QueryContext
 from .result import Group
@@ -96,6 +97,9 @@ def _best_group_kdtree(
             _d, idx = tree.query(anchor_pts, k=1)
             nearest_row[bit_pos] = holders[idx]
 
+    if vectorized_enabled() and ctx.m <= 64:
+        return _assemble_groups_batched(ctx, anchors, nearest_row, deadline)
+
     best_rows: Optional[List[int]] = None
     best_diameter = float("inf")
     for i, anchor in enumerate(anchor_rows):
@@ -118,6 +122,85 @@ def _best_group_kdtree(
             best_rows = group_rows
             # Feasible but unrated until the anchor loop completes.
             deadline.offer(ctx, group_rows, diameter, quality=QUALITY_PARTIAL)
+    return best_rows
+
+
+def _assemble_groups_batched(
+    ctx: QueryContext,
+    anchors: np.ndarray,
+    nearest_row: List[Optional[np.ndarray]],
+    deadline: Deadline,
+) -> List[int]:
+    """Columnar anchor rounds: all G_o groups assembled simultaneously.
+
+    Round ``r`` resolves, for every still-uncovered anchor at once, the
+    lowest uncovered keyword bit and gathers that keyword's nearest
+    holder — the same member sequence the per-anchor loop produces, so
+    the winning group (first index of the minimum diameter, matching the
+    scalar loop's strict-improvement rule) is identical.
+    """
+    m = ctx.m
+    n_a = len(anchors)
+    masks_np = ctx.masks_np
+    fullv = np.uint64(ctx.full_mask)
+
+    # One span for the whole batch — the columnar path runs every anchor
+    # round simultaneously, so the per-anchor span collapses to a single
+    # emission with the anchor count attached.
+    with deadline.span("gkg.anchor_round", anchors=n_a):
+        return _assemble_rounds(ctx, anchors, nearest_row, deadline)
+
+
+def _assemble_rounds(
+    ctx: QueryContext,
+    anchors: np.ndarray,
+    nearest_row: List[Optional[np.ndarray]],
+    deadline: Deadline,
+) -> List[int]:
+    m = ctx.m
+    n_a = len(anchors)
+    masks_np = ctx.masks_np
+    fullv = np.uint64(ctx.full_mask)
+
+    covered = masks_np[anchors].copy()
+    members = np.broadcast_to(anchors[:, None], (n_a, m + 1)).copy()
+    counts = np.ones(n_a, dtype=np.intp)
+
+    # One check up front (like the scalar loop's first iteration), none
+    # inside the rounds: the whole assembly is <= m short vector passes,
+    # and raising mid-assembly would time out before the first incumbent
+    # offer — the degraded path expects GKG to leave an incumbent behind.
+    deadline.check()
+    for _round in range(m):
+        active = np.flatnonzero(covered != fullv)
+        if active.size == 0:
+            break
+        miss = (~covered[active]) & fullv
+        low = miss & (np.uint64(0) - miss)
+        # frexp on an exact power of two returns (0.5, k+1) — an exact
+        # lowest-set-bit position without per-element Python.
+        bitpos = np.frexp(low.astype(np.float64))[1] - 1
+        picked = np.empty(active.size, dtype=np.intp)
+        for bit in np.unique(bitpos):
+            lookup = nearest_row[int(bit)]
+            assert lookup is not None  # bit uncovered => lookup was built
+            sel = bitpos == bit
+            picked[sel] = lookup[active[sel]]
+        members[active, counts[active]] = picked
+        counts[active] += 1
+        covered[active] |= masks_np[picked]
+
+    # Padding repeats the anchor row, which never changes the pairwise max.
+    pts = ctx.coords[members]
+    diff = pts[:, :, None, :] - pts[:, None, :, :]
+    sq = diff[..., 0] * diff[..., 0] + diff[..., 1] * diff[..., 1]
+    per_group = sq.reshape(n_a, -1).max(axis=1)
+    best = int(np.argmin(per_group))
+
+    best_rows = [int(r) for r in members[best, : counts[best]]]
+    deadline.offer(
+        ctx, best_rows, float(per_group[best]) ** 0.5, quality=QUALITY_PARTIAL
+    )
     return best_rows
 
 

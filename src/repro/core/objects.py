@@ -17,6 +17,7 @@ import numpy as np
 from ..exceptions import DatasetError
 from ..index.bitmap import KeywordVocabulary
 from ..index.brtree import BRStarTree
+from ..index.columns import ColumnarStore
 from ..index.inverted import InvertedIndex
 
 __all__ = ["GeoObject", "Dataset"]
@@ -55,6 +56,7 @@ class Dataset:
         self.inverted = InvertedIndex()
         self._term_ids: List[Tuple[int, ...]] = []
         self._coords: Optional[np.ndarray] = None
+        self._columns: Optional[ColumnarStore] = None
         self._brtree: Optional[BRStarTree] = None
         self._brtree_fanout = 100
         self._finalized = False
@@ -122,6 +124,30 @@ class Dataset:
         if self._coords is None:
             raise DatasetError("dataset not finalized")
         return self._coords
+
+    @property
+    def columns(self) -> ColumnarStore:
+        """Struct-of-arrays view: x/y columns + CSR term ids (lazy)."""
+        if self._columns is None:
+            if self._coords is None:
+                raise DatasetError("dataset not finalized")
+            n = len(self.objects)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            lengths = [len(t) for t in self._term_ids]
+            np.cumsum(lengths, out=indptr[1:])
+            flat = np.fromiter(
+                (tid for terms in self._term_ids for tid in terms),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            self._columns = ColumnarStore(
+                np.arange(n, dtype=np.int64),
+                np.ascontiguousarray(self._coords[:, 0]),
+                np.ascontiguousarray(self._coords[:, 1]),
+                indptr,
+                flat,
+            )
+        return self._columns
 
     def location_of(self, oid: int) -> Tuple[float, float]:
         o = self.objects[oid]

@@ -11,6 +11,7 @@ makes the paper's "same index for all methods" comparison fair (§3).
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -19,6 +20,7 @@ import numpy as np
 
 from ..exceptions import QueryError
 from ..index.virtual import VirtualBRTree
+from ..kernels import vectorized_enabled as _vectorized_enabled
 from ..observability.tracer import span as _trace_span
 from .objects import Dataset
 
@@ -33,14 +35,28 @@ class PoleCache:
     subsequent sweeping-area query a ``searchsorted`` + slice, and the
     prefix-union array answers "can the objects within distance D cover the
     query?" in O(1) — the precheck that skips most circleScan invocations.
+    ``phis`` carries each object's polar angle around the pole (aligned
+    with ``rows``), so per-probe event construction skips the ``arctan2``.
     """
 
-    __slots__ = ("dists", "rows", "prefix_union")
+    __slots__ = ("dists", "rows", "prefix_union", "phis", "radius_bound")
 
-    def __init__(self, dists: np.ndarray, rows: np.ndarray, prefix_union: np.ndarray):
+    def __init__(
+        self,
+        dists: np.ndarray,
+        rows: np.ndarray,
+        prefix_union: np.ndarray,
+        phis: np.ndarray,
+        radius_bound: float = float("inf"),
+    ):
         self.dists = dists
         self.rows = rows
         self.prefix_union = prefix_union
+        self.phis = phis
+        #: Largest query radius this cache fully covers; a *bounded* cache
+        #: (columnar path) holds only the rows within this distance — a
+        #: bit-identical prefix of the full distance sort.
+        self.radius_bound = radius_bound
 
     def prefix_length(self, radius: float) -> int:
         """Number of O' objects within (closed) distance ``radius``."""
@@ -109,6 +125,7 @@ class QueryContext:
             dataset.term_ids,
             query_terms=query.keywords,
             exclude=self.excluded_ids or None,
+            columns=_columns_of(dataset),
         )
         self.relevant_ids: List[int] = self.virtual_tree.object_ids
         self.coords: np.ndarray = self.virtual_tree.coords
@@ -117,12 +134,17 @@ class QueryContext:
         self.t_inf: str = dataset.vocabulary.least_frequent(list(query.keywords))
         self.t_inf_bit: int = 1 << query.keywords.index(self.t_inf)
         self._pole_caches: "OrderedDict[int, PoleCache]" = OrderedDict()
+        #: Poles probed once via a bounded sweep view; a second probe
+        #: promotes the pole to a full distance-sorted cache.
+        self._pole_probes: dict = {}
         #: Cap on cached poles; 1024 poles over a few thousand relevant
         #: objects stays well under 100 MB.
         self._pole_cache_limit = 1024
         self._cover_radii: Optional[np.ndarray] = None
         self._keyword_trees: dict = {}
-        self._masks_np: Optional[np.ndarray] = None
+        self._relevant_kdtree = None
+        self._masks_np: Optional[np.ndarray] = self.virtual_tree.masks_np
+        self._bits_matrix: Optional[np.ndarray] = None
         self._ir_tree = None
 
     # ------------------------------------------------------------------ #
@@ -144,8 +166,35 @@ class QueryContext:
     def location_of_row(self, row: int) -> Tuple[float, float]:
         return (float(self.coords[row, 0]), float(self.coords[row, 1]))
 
+    @property
+    def masks_np(self) -> np.ndarray:
+        """Flat uint64 column of the query-local masks (m <= 64 bits)."""
+        if self._masks_np is None:
+            self._masks_np = np.asarray(self.masks, dtype=np.uint64)
+        return self._masks_np
+
+    @property
+    def bits_matrix(self) -> np.ndarray:
+        """``(|O'|, m)`` uint8 keyword-membership matrix (lazy).
+
+        Column ``i`` flags the holders of query keyword ``i`` — the
+        struct-of-arrays form of ``masks`` that the batched circleScan
+        event walk consumes.
+        """
+        if self._bits_matrix is None:
+            from ..index.bitmap import bits_matrix as _bits
+
+            if self.m <= 64:
+                self._bits_matrix = _bits(self.masks_np, self.m)
+            else:
+                self._bits_matrix = _bits(self.masks, self.m)
+        return self._bits_matrix
+
     def rows_with_bit(self, bit: int) -> List[int]:
         """Rows of O' whose mask has ``bit`` set (e.g. holders of t_inf)."""
+        if self.m <= 64:
+            hits = np.flatnonzero(self.masks_np & np.uint64(bit))
+            return [int(r) for r in hits]
         return [row for row, mask in enumerate(self.masks) if mask & bit]
 
     def rows_within(self, cx: float, cy: float, r: float) -> np.ndarray:
@@ -169,13 +218,40 @@ class QueryContext:
         touching the sweeping area.
         """
         if self._cover_radii is None:
-            radii = np.zeros(len(self.relevant_ids), dtype=np.float64)
-            for bit_pos in range(self.m):
-                tree, _holders = self.keyword_tree(bit_pos)
-                nearest, _idx = tree.query(self.coords, k=1)
-                np.maximum(radii, nearest, out=radii)
+            radii = None
+            if _vectorized_enabled() and not self.excluded_ids:
+                radii = self._cover_radii_columnar()
+            if radii is None:
+                radii = np.zeros(len(self.relevant_ids), dtype=np.float64)
+                for bit_pos in range(self.m):
+                    tree, _holders = self.keyword_tree(bit_pos)
+                    nearest, _idx = tree.query(self.coords, k=1)
+                    np.maximum(radii, nearest, out=radii)
             self._cover_radii = radii
         return self._cover_radii
+
+    def _cover_radii_columnar(self) -> Optional[np.ndarray]:
+        """Coverage radii from the store's per-term NN-distance columns.
+
+        Each query keyword's nearest-holder distances are computed once
+        per dataset (and shared across queries); a compile then gathers
+        the O' rows and takes the running maximum.  Bit-identical to the
+        per-query KD path — every holder of a query keyword belongs to
+        O', so both minimise over the same holder set — but invalid under
+        ``exclude`` (the holder set shrinks), where the caller falls back.
+        """
+        columns = _columns_of(self.dataset)
+        if columns is None:
+            return None
+        with _trace_span("index.cover_radii_columnar"):
+            positions = columns.positions_of(self.relevant_ids)
+            radii = np.zeros(len(positions), dtype=np.float64)
+            for tid in self.term_ids:
+                dists = columns.term_nn_dists(tid)
+                if dists is None:
+                    return None
+                np.maximum(radii, dists[positions], out=radii)
+        return radii
 
     def keyword_tree(self, bit_pos: int):
         """KD-tree over the holders of query keyword ``bit_pos``.
@@ -191,10 +267,15 @@ class QueryContext:
 
             with _trace_span("index.keyword_tree_build", keyword_bit=bit_pos):
                 bit = 1 << bit_pos
-                holder_rows = np.array(
-                    [r for r, msk in enumerate(self.masks) if msk & bit],
-                    dtype=np.intp,
-                )
+                if self.m <= 64:
+                    holder_rows = np.flatnonzero(
+                        self.masks_np & np.uint64(bit)
+                    ).astype(np.intp)
+                else:
+                    holder_rows = np.array(
+                        [r for r, msk in enumerate(self.masks) if msk & bit],
+                        dtype=np.intp,
+                    )
                 cached = (cKDTree(self.coords[holder_rows]), holder_rows)
             self._keyword_trees[bit_pos] = cached
         return cached
@@ -224,19 +305,18 @@ class QueryContext:
     def pole_cache(self, row: int) -> PoleCache:
         """Distance-sorted O' view around one pole (LRU-cached)."""
         cache = self._pole_caches.get(row)
-        if cache is not None:
+        if cache is not None and math.isinf(cache.radius_bound):
             self._pole_caches.move_to_end(row)
             return cache
         with _trace_span("index.pole_cache_build", pole=row):
-            dists = self.distances_from_row(row)
+            delta = self.coords - self.coords[row]
+            dists = np.hypot(delta[:, 0], delta[:, 1])
             order = np.argsort(dists, kind="stable")
             sorted_dists = dists[order]
-            if self._masks_np is None:
-                # Query-local masks have at most m <= 64 bits; pack them once.
-                self._masks_np = np.asarray(self.masks, dtype=np.uint64)
-            acc = np.bitwise_or.accumulate(self._masks_np[order])
+            phis = np.arctan2(delta[order, 1], delta[order, 0])
+            acc = np.bitwise_or.accumulate(self.masks_np[order])
             prefix_union = np.concatenate(([np.uint64(0)], acc))
-            cache = PoleCache(sorted_dists, order.astype(np.intp), prefix_union)
+            cache = PoleCache(sorted_dists, order.astype(np.intp), prefix_union, phis)
         self._pole_caches[row] = cache
         while len(self._pole_caches) > self._pole_cache_limit:
             self._pole_caches.popitem(last=False)
@@ -247,11 +327,131 @@ class QueryContext:
         delta = self.coords - self.coords[row]
         return np.hypot(delta[:, 0], delta[:, 1])
 
+    def _disc_candidates(self, row: int, bound: float) -> np.ndarray:
+        """Ascending O' rows guaranteed to include all within ``bound``.
+
+        A KD ball query (built lazily, once per compile) with a slightly
+        inflated radius: the tree's internal distance rounding differs
+        from ``np.hypot`` by at most a few ulps, which the 1e-9 relative
+        inflation dominates, so no row with ``hypot <= bound`` can be
+        missed.  Callers re-filter with the exact ``hypot <= bound`` test;
+        the surviving selection is identical to a full-array scan.
+        """
+        if self._relevant_kdtree is None:
+            from scipy.spatial import cKDTree
+
+            self._relevant_kdtree = cKDTree(self.coords)
+        hits = self._relevant_kdtree.query_ball_point(
+            self.coords[row], bound * (1.0 + 1e-9) + 1e-12, return_sorted=True
+        )
+        return np.asarray(hits, dtype=np.intp)
+
+    def pole_cache_bounded(self, row: int, radius: float) -> PoleCache:
+        """A :class:`PoleCache` covering queries up to ``radius`` (LRU-cached).
+
+        Selects the rows within ``radius`` with one vectorised ``hypot``
+        pass and sorts only those — O(n + k log k) against the full
+        cache's O(n log n), a large win because sweeping areas are tiny
+        compared to O'.  The result is a bit-identical prefix of the full
+        stable distance sort (ties break by row index in both), so any
+        probe at ``diameter <= radius`` sees exactly the full cache's
+        view.  A cached cache with a smaller bound is rebuilt with
+        doubled headroom; probes shrink in every caller, so rebuilds are
+        rare.
+        """
+        cache = self._pole_caches.get(row)
+        if cache is not None and radius <= cache.radius_bound:
+            self._pole_caches.move_to_end(row)
+            return cache
+        if cache is not None:
+            # A probe outgrew the cached bound: rebuild with headroom.
+            radius = max(radius * 2.0, cache.radius_bound * 2.0)
+        with _trace_span("index.pole_cache_build", pole=row, bounded=True):
+            bound = radius * (1.0 + 1e-12) + 1e-18
+            cand = self._disc_candidates(row, bound)
+            dx = self.coords[cand, 0] - self.coords[row, 0]
+            dy = self.coords[cand, 1] - self.coords[row, 1]
+            d = np.hypot(dx, dy)
+            keep = d <= bound
+            sel = cand[keep]
+            dsel = d[keep]
+            order = np.argsort(dsel, kind="stable")
+            rows = sel[order]
+            phis = np.arctan2(dy[keep][order], dx[keep][order])
+            acc = np.bitwise_or.accumulate(self.masks_np[rows])
+            prefix_union = np.concatenate(([np.uint64(0)], acc))
+            cache = PoleCache(
+                dsel[order], rows, prefix_union, phis, radius_bound=radius
+            )
+        self._pole_caches[row] = cache
+        while len(self._pole_caches) > self._pole_cache_limit:
+            self._pole_caches.popitem(last=False)
+        return cache
+
+    def sweep_view(self, row: int, diameter: float):
+        """Sweeping-area view around a pole: ``(rows, dists, phis)`` or None.
+
+        Rows within (closed) distance ``diameter`` of the pole, sorted by
+        distance (ties by row index), with their polar angles; None when
+        the area is empty or its keyword union cannot cover the query.
+
+        A pole probed once gets a one-shot *bounded* selection (no cache
+        allocation); a pole probed again (the binary-search pattern)
+        promotes to a bounded :class:`PoleCache` so later probes are a
+        ``searchsorted`` + slice.  All variants produce bit-identical
+        views: a bounded selection is exactly the prefix of the stable
+        full distance sort.
+        """
+        cache = self._pole_caches.get(row)
+        if cache is None:
+            probes = self._pole_probes
+            if probes.get(row, 0):
+                cache = self.pole_cache_bounded(row, diameter)
+            else:
+                probes[row] = 1
+        elif diameter > cache.radius_bound:
+            cache = self.pole_cache_bounded(row, diameter)
+        else:
+            self._pole_caches.move_to_end(row)
+        if cache is not None:
+            k = cache.prefix_length(diameter)
+            if k == 0 or cache.prefix_union[k] != self.full_mask:
+                return None
+            return cache.rows[:k], cache.dists[:k], cache.phis[:k]
+
+        bound = diameter * (1.0 + 1e-12) + 1e-18
+        cand = self._disc_candidates(row, bound)
+        dx = self.coords[cand, 0] - self.coords[row, 0]
+        dy = self.coords[cand, 1] - self.coords[row, 1]
+        d = np.hypot(dx, dy)
+        keep = d <= bound
+        sel = cand[keep]
+        if len(sel) == 0:
+            return None
+        if self.m <= 64:
+            union = int(np.bitwise_or.reduce(self.masks_np[sel]))
+        else:
+            union = 0
+            masks = self.masks
+            for r in sel:
+                union |= masks[r]
+        if union != self.full_mask:
+            return None
+        dsel = d[keep]
+        order = np.argsort(dsel, kind="stable")
+        rows = sel[order]
+        phis = np.arctan2(dy[keep][order], dx[keep][order])
+        return rows, dsel[order], phis
+
     def group_diameter_rows(self, rows: Sequence[int]) -> float:
         """Diameter (Definition 1) of a set of O' rows."""
         if len(rows) < 2:
             return 0.0
         pts = self.coords[np.asarray(rows, dtype=np.intp)]
+        if _vectorized_enabled():
+            from ..geometry.diameter import diameter_batch
+
+            return diameter_batch(pts)
         best = 0.0
         for i in range(len(pts)):
             dx = pts[i + 1 :, 0] - pts[i, 0]
@@ -261,6 +461,14 @@ class QueryContext:
                 if cand > best:
                     best = cand
         return best**0.5
+
+
+def _columns_of(dataset):
+    """The dataset's struct-of-arrays view, or None when unavailable."""
+    try:
+        return dataset.columns
+    except Exception:
+        return None
 
 
 def compile_query(dataset: Dataset, query, exclude=None) -> QueryContext:

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from ..exceptions import GeometryError
 from ..geometry.circle import Circle, circle_from_three, circle_from_two
+from ..kernels import vectorized_enabled as _vectorized_enabled
 from .common import QUALITY_APPROX, QUALITY_EXACT, Deadline
 from .gkg import gkg
 from .query import QueryContext
@@ -77,7 +78,13 @@ def find_oskec(
     if current.diameter < ctx.cover_radii[pole_row] * (1.0 - 1e-12):
         # The whole search space around this pole cannot cover the query.
         return current
-    cache = ctx.pole_cache(pole_row)
+    if _vectorized_enabled():
+        # Each pole is probed once at the current best diameter; a bounded
+        # cache (bit-identical prefix of the full sort) skips the full
+        # O(n log n) per-pole build.
+        cache = ctx.pole_cache_bounded(pole_row, current.diameter)
+    else:
+        cache = ctx.pole_cache(pole_row)
     k = cache.prefix_length(current.diameter)
     if k == 0 or cache.prefix_union[k] != ctx.full_mask:
         return current

@@ -11,10 +11,17 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from .hull import convex_hull
 from .point import dist, dist_sq
 
-__all__ = ["group_diameter", "diameter_bruteforce", "diameter_calipers"]
+__all__ = [
+    "group_diameter",
+    "diameter_bruteforce",
+    "diameter_calipers",
+    "diameter_batch",
+]
 
 #: Below this size the quadratic scan beats hull construction in practice.
 _CALIPERS_THRESHOLD = 24
@@ -48,6 +55,12 @@ def diameter_calipers(points: Sequence[Sequence[float]]) -> float:
 
     The farthest pair of a planar set is a pair of antipodal hull vertices;
     the calipers walk visits each antipodal pair once.
+
+    The walk's advance rule compares triangle areas, which assumes the
+    hull is non-degenerate.  Near-collinear input can survive hull
+    construction as a sliver polygon whose areas are all rounding noise —
+    there the caliper stalls and can miss the extreme pair entirely — so
+    slivers fall back to the exact pairwise scan over the hull vertices.
     """
     hull = convex_hull(points)
     n = len(hull)
@@ -55,6 +68,16 @@ def diameter_calipers(points: Sequence[Sequence[float]]) -> float:
         return 0.0
     if n == 2:
         return dist(hull[0], hull[1])
+
+    shoelace = 0.0
+    scale = 0.0
+    for i in range(n):
+        ax, ay = hull[i]
+        bx, by = hull[(i + 1) % n]
+        shoelace += ax * by - bx * ay
+        scale = max(scale, abs(ax), abs(ay))
+    if abs(shoelace) <= 1e-12 * scale * scale:
+        return diameter_bruteforce(hull)
 
     best_sq = 0.0
     k = 1
@@ -71,6 +94,36 @@ def diameter_calipers(points: Sequence[Sequence[float]]) -> float:
                 break
         best_sq = max(best_sq, dist_sq(hull[i], hull[k]), dist_sq(hull[j], hull[k]))
     return best_sq**0.5
+
+
+#: Above this size the full (n, n) broadcast is chunked to bound memory.
+_BATCH_CHUNK = 2048
+
+
+def diameter_batch(pts: np.ndarray) -> float:
+    """Vectorised pairwise diameter over an ``(n, 2)`` float64 array.
+
+    Every pairwise squared distance is the same IEEE expression the scalar
+    scan evaluates — ``(xi - xj)**2 + (yi - yj)**2`` in float64 — so the
+    result is bit-identical to :func:`diameter_bruteforce` on the same
+    rows (negation before squaring is exact, and ``max`` over the same
+    float set is order-free).
+    """
+    pts = np.asarray(pts, dtype=np.float64)
+    n = pts.shape[0]
+    if n < 2:
+        return 0.0
+    xs = pts[:, 0]
+    ys = pts[:, 1]
+    best = 0.0
+    for start in range(0, n, _BATCH_CHUNK):
+        stop = min(start + _BATCH_CHUNK, n)
+        dx = xs[start:stop, None] - xs[None, :]
+        dy = ys[start:stop, None] - ys[None, :]
+        cand = float(np.max(dx * dx + dy * dy))
+        if cand > best:
+            best = cand
+    return best**0.5
 
 
 def _twice_area(a: Sequence[float], b: Sequence[float], c: Sequence[float]) -> float:

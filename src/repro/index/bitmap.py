@@ -17,9 +17,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Sequence
 
+import numpy as np
+
 from ..exceptions import DatasetError
 
-__all__ = ["KeywordVocabulary", "mask_of", "iter_bits", "popcount"]
+__all__ = [
+    "KeywordVocabulary",
+    "mask_of",
+    "iter_bits",
+    "popcount",
+    "pack_masks",
+    "unpack_mask_row",
+    "bits_matrix",
+]
 
 
 def mask_of(term_ids: Iterable[int]) -> int:
@@ -41,6 +51,62 @@ def iter_bits(mask: int) -> Iterator[int]:
 def popcount(mask: int) -> int:
     """Number of set bits."""
     return mask.bit_count()
+
+
+# ---------------------------------------------------------------------- #
+# Packed mask columns (struct-of-arrays storage for the columnar kernels)
+# ---------------------------------------------------------------------- #
+
+def pack_masks(masks: Sequence[int], width: int) -> np.ndarray:
+    """Pack ``n`` arbitrary-width int bitmaps into an ``(n, W)`` uint64 array.
+
+    ``W = ceil(width / 64)`` words per row, little-endian (word 0 holds
+    bits 0..63).  This is the columnar twin of a ``List[int]`` mask column:
+    contiguous, gather-friendly, and consumed batch-wise by the vectorized
+    kernels.  For ``width <= 64`` the result is a single word per row and
+    ``packed[:, 0]`` is a flat ``uint64`` mask column.
+    """
+    words = max(1, (int(width) + 63) // 64)
+    packed = np.zeros((len(masks), words), dtype=np.uint64)
+    low64 = (1 << 64) - 1
+    for row, mask in enumerate(masks):
+        mask = int(mask)
+        w = 0
+        while mask and w < words:
+            packed[row, w] = mask & low64
+            mask >>= 64
+            w += 1
+    return packed
+
+
+def unpack_mask_row(packed_row: np.ndarray) -> int:
+    """Rebuild the arbitrary-width Python int mask of one packed row."""
+    mask = 0
+    for w in range(len(packed_row) - 1, -1, -1):
+        mask = (mask << 64) | int(packed_row[w])
+    return mask
+
+
+def bits_matrix(masks: Sequence[int], width: int) -> np.ndarray:
+    """Expand masks into an ``(n, width)`` uint8 0/1 matrix.
+
+    Column ``i`` flags which rows carry bit ``i`` — the representation the
+    batched circleScan event walk consumes (per-keyword count updates
+    become column-wise cumulative sums).
+    """
+    packed = masks if isinstance(masks, np.ndarray) else pack_masks(masks, width)
+    if packed.ndim == 1:
+        packed = packed[:, None]
+    width = int(width)
+    out = np.empty((packed.shape[0], width), dtype=np.uint8)
+    for w in range((width + 63) // 64):
+        lo = w * 64
+        span = min(64, width - lo)
+        shifts = np.arange(span, dtype=np.uint64)
+        out[:, lo : lo + span] = (
+            (packed[:, w, None] >> shifts[None, :]) & np.uint64(1)
+        ).astype(np.uint8)
+    return out
 
 
 class KeywordVocabulary:

@@ -49,11 +49,21 @@ class UniformGrid:
 
         keys_x = np.floor((coords[:, 0] - self._min_x) / cell_size).astype(np.int64)
         keys_y = np.floor((coords[:, 1] - self._min_y) / cell_size).astype(np.int64)
-        buckets: Dict[Tuple[int, int], List[int]] = {}
-        for row in range(n):
-            buckets.setdefault((int(keys_x[row]), int(keys_y[row])), []).append(row)
+        # Group rows by cell with one stable lexsort instead of a Python
+        # loop: ties (rows in the same cell) keep their original ascending
+        # row order, so each bucket is identical to what per-row appends
+        # would have produced.
+        order = np.lexsort((keys_y, keys_x)).astype(np.intp)
+        sx = keys_x[order]
+        sy = keys_y[order]
+        changed = np.empty(n, dtype=bool)
+        changed[0] = True
+        np.logical_or(sx[1:] != sx[:-1], sy[1:] != sy[:-1], out=changed[1:])
+        starts = np.flatnonzero(changed)
+        bounds = np.append(starts, n)
         self._cells = {
-            key: np.asarray(rows, dtype=np.intp) for key, rows in buckets.items()
+            (int(sx[s]), int(sy[s])): order[s:e]
+            for s, e in zip(bounds[:-1], bounds[1:])
         }
         # Occupied cell bounds: disc queries clamp their cell sweep to this
         # window, otherwise a huge radius over a degenerate (tiny-extent)

@@ -18,8 +18,16 @@ import heapq
 import math
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..kernels import vectorized_enabled
 from .mbr import point_min_dist
-from .rstar import LeafEntry, Node, RStarTree
+from .rstar import (
+    _BATCH_MIN_FANOUT,
+    _leaf_frontier_dists,
+    _node_frontier_dists,
+    LeafEntry,
+    Node,
+    RStarTree,
+)
 
 __all__ = ["IRTree"]
 
@@ -115,6 +123,20 @@ class IRTree:
                 yield element, d
                 continue
             node: Node = element
+            posting = self.posting(node, term)
+            if vectorized_enabled() and len(posting) >= _BATCH_MIN_FANOUT:
+                # Posting lists are homogeneous (leaf entries under leaf
+                # nodes, child nodes otherwise), so one batched MinDist
+                # pass covers the whole frontier expansion.
+                if node.is_leaf:
+                    dists = _leaf_frontier_dists(posting, x, y)
+                else:
+                    dists = _node_frontier_dists(posting, x, y)
+                is_entry = node.is_leaf
+                for dc, child in zip(dists, posting):
+                    counter += 1
+                    heapq.heappush(heap, (dc, counter, child, is_entry))
+                continue
             for child in self.posting(node, term):
                 counter += 1
                 if isinstance(child, LeafEntry):

@@ -20,9 +20,49 @@ import heapq
 import math
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..kernels import vectorized_enabled
 from .mbr import MBR, point_min_dist
 
 __all__ = ["RStarTree", "Node", "LeafEntry"]
+
+#: Below this fanout a Python loop beats the numpy gather set-up cost.
+_BATCH_MIN_FANOUT = 8
+
+
+def _leaf_frontier_dists(entries: List["LeafEntry"], x: float, y: float) -> List[float]:
+    """Distances from ``(x, y)`` to each leaf entry, gathered batch-wise.
+
+    The coordinate gather and subtraction vectorise; the final ``hypot``
+    stays ``math.hypot`` per element because ``np.hypot`` rounds
+    differently on some platforms and the heap order must match the
+    scalar walk bit-for-bit.
+    """
+    k = len(entries)
+    dx = np.fromiter((e.x for e in entries), np.float64, k)
+    dy = np.fromiter((e.y for e in entries), np.float64, k)
+    dx -= x
+    dy -= y
+    hyp = math.hypot
+    return [hyp(dx[i], dy[i]) for i in range(k)]
+
+
+def _node_frontier_dists(children: List["Node"], x: float, y: float) -> List[float]:
+    """MinDist from ``(x, y)`` to each child MBR, clamped batch-wise."""
+    k = len(children)
+    x1 = np.fromiter((c.box.x1 for c in children), np.float64, k)
+    y1 = np.fromiter((c.box.y1 for c in children), np.float64, k)
+    x2 = np.fromiter((c.box.x2 for c in children), np.float64, k)
+    y2 = np.fromiter((c.box.y2 for c in children), np.float64, k)
+    x1 -= x
+    y1 -= y
+    np.subtract(x, x2, out=x2)
+    np.subtract(y, y2, out=y2)
+    dx = np.maximum(np.maximum(x1, 0.0), x2)
+    dy = np.maximum(np.maximum(y1, 0.0), y2)
+    hyp = math.hypot
+    return [hyp(dx[i], dy[i]) for i in range(k)]
 
 #: Fraction of entries forcibly reinserted on first overflow (R* paper: 30%).
 _REINSERT_FRACTION = 0.3
@@ -472,7 +512,13 @@ class RStarTree:
             node: Node = element
             if prune is not None and prune(node):
                 continue
+            batched = vectorized_enabled() and len(node.entries) >= _BATCH_MIN_FANOUT
             if node.is_leaf:
+                if batched and predicate is None:
+                    for de, e in zip(_leaf_frontier_dists(node.entries, x, y), node.entries):
+                        counter += 1
+                        heapq.heappush(heap, (de, counter, e, True))
+                    continue
                 for e in node.entries:
                     if predicate is not None and not predicate(e):
                         continue
@@ -480,6 +526,11 @@ class RStarTree:
                     de = math.hypot(e.x - x, e.y - y)
                     heapq.heappush(heap, (de, counter, e, True))
             else:
+                if batched:
+                    for dc, child in zip(_node_frontier_dists(node.entries, x, y), node.entries):
+                        counter += 1
+                        heapq.heappush(heap, (dc, counter, child, False))
+                    continue
                 for child in node.entries:
                     counter += 1
                     dc = point_min_dist(origin, child.box)

@@ -1,0 +1,55 @@
+"""Kernel-mode switch: columnar/vectorized hot paths vs the object path.
+
+The inner loops the paper's algorithms spend their time in — circleScan's
+angular sweep, pairwise diameter, posting-list merging, grid bucketing and
+R*-tree frontier scans — each have two implementations:
+
+* the **columnar** path: batch numpy kernels over struct-of-arrays storage
+  (the default), and
+* the **object** path: the original scalar-Python loops over
+  :class:`~repro.core.objects.GeoObject`-shaped rows, kept as the trusted
+  reference implementation.
+
+Both paths are maintained and must return bit-identical groups (the parity
+suite in ``tests/core/test_columnar_parity.py`` enforces this); the perf
+gate (``benchmarks/perf_gate.py``) times them against each other so the
+columnar speedup is measured, not asserted.
+
+Switch globally with the ``REPRO_SCALAR_KERNELS`` environment variable
+(``1``/``true``/``yes`` selects the object path at import time), or
+locally with :func:`scalar_kernels` / :func:`set_vectorized`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["vectorized_enabled", "set_vectorized", "scalar_kernels"]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+_vectorized: bool = os.environ.get("REPRO_SCALAR_KERNELS", "").strip().lower() not in _TRUTHY
+
+
+def vectorized_enabled() -> bool:
+    """True when the columnar/vectorized kernels are active."""
+    return _vectorized
+
+
+def set_vectorized(enabled: bool) -> bool:
+    """Set the kernel mode; returns the previous mode."""
+    global _vectorized
+    previous = _vectorized
+    _vectorized = bool(enabled)
+    return previous
+
+
+@contextmanager
+def scalar_kernels():
+    """Run a block on the object (scalar reference) path."""
+    previous = set_vectorized(False)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)

@@ -22,6 +22,7 @@ from ..core.objects import GeoObject
 from ..exceptions import DatasetError
 from ..index.bitmap import KeywordVocabulary, mask_of
 from ..index.brtree import BRStarTree
+from ..index.columns import ColumnarStore
 from ..index.inverted import InvertedIndex
 
 __all__ = ["SealedBase"]
@@ -38,6 +39,8 @@ class SealedBase:
         self._term_ids: Dict[int, Tuple[int, ...]] = {}
         self._brtree: Optional[BRStarTree] = None
         self._brtree_lock = threading.Lock()
+        self._columns: Optional[ColumnarStore] = None
+        self._columns_lock = threading.Lock()
 
     @classmethod
     def build(
@@ -95,6 +98,21 @@ class SealedBase:
     def max_oid(self) -> int:
         """Largest oid sealed in (``-1`` when empty)."""
         return max(self.objects) if self.objects else -1
+
+    @property
+    def columns(self) -> ColumnarStore:
+        """Struct-of-arrays view sorted by oid (lazy, built once).
+
+        The oid column is sorted but sparse (deletes leave holes), so the
+        store resolves ids by ``searchsorted`` instead of direct indexing.
+        """
+        with self._columns_lock:
+            if self._columns is None:
+                self._columns = ColumnarStore.from_rows(
+                    (oid, obj.x, obj.y, self._term_ids[oid])
+                    for oid, obj in sorted(self.objects.items())
+                )
+            return self._columns
 
     def brtree(self, fanout: int = 100) -> BRStarTree:
         """Whole-base bR*-tree over global keyword masks (lazy, cached)."""

@@ -35,9 +35,12 @@ from __future__ import annotations
 import math
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.objects import GeoObject
 from ..exceptions import DatasetError
 from ..index.bitmap import mask_of
+from ..index.columns import ColumnarStore
 from ..index.rstar import LeafEntry
 from .base import SealedBase
 
@@ -289,6 +292,7 @@ class LiveView:
         self.name = name
         self.vocabulary = OverlayVocabulary(base.vocabulary, delta)
         self.inverted = OverlayInverted(base.inverted, self.vocabulary, delta)
+        self._columns: Optional[ColumnarStore] = None
 
     def finalize(self) -> None:
         """No-op: a snapshot view is immutable by construction."""
@@ -356,6 +360,72 @@ class LiveView:
 
     def index(self) -> "LiveIndex":
         return LiveIndex(self)
+
+    @property
+    def columns(self) -> ColumnarStore:
+        """Merged struct-of-arrays view of this snapshot (lazy, cached).
+
+        The sealed base's columns are reused wholesale: tombstoned rows are
+        dropped with one boolean gather, delta adds (small by construction)
+        are appended, and when an add's oid interleaves with the base range
+        a stable argsort restores oid order.  Term ids are the snapshot's
+        overlay id space, matching :meth:`term_ids_of`.
+        """
+        if self._columns is None:
+            base_cols = self.base.columns
+            tomb = self.delta.tombstones & self.base.objects.keys()
+            if tomb:
+                keep = ~np.isin(
+                    base_cols.oids, np.fromiter(tomb, dtype=np.int64, count=len(tomb))
+                )
+                kept_idx = np.flatnonzero(keep)
+                oids = base_cols.oids[kept_idx]
+                xs = base_cols.xs[kept_idx]
+                ys = base_cols.ys[kept_idx]
+                starts = base_cols.term_indptr[kept_idx]
+                counts = base_cols.term_indptr[kept_idx + 1] - starts
+                offsets = np.concatenate(([0], np.cumsum(counts)))
+                flat = np.arange(int(offsets[-1]), dtype=np.int64) + np.repeat(
+                    starts - offsets[:-1], counts
+                )
+                terms = base_cols.term_ids[flat]
+                indptr = offsets
+            else:
+                oids = base_cols.oids
+                xs = base_cols.xs
+                ys = base_cols.ys
+                indptr = base_cols.term_indptr
+                terms = base_cols.term_ids
+            if self.delta.adds:
+                add_cols = ColumnarStore.from_rows(
+                    (oid, obj.x, obj.y, self.term_ids_of(oid))
+                    for oid, obj in sorted(self.delta.adds.items())
+                )
+                merged_oids = np.concatenate([oids, add_cols.oids])
+                xs = np.concatenate([xs, add_cols.xs])
+                ys = np.concatenate([ys, add_cols.ys])
+                lengths = np.concatenate(
+                    [np.diff(indptr), np.diff(add_cols.term_indptr)]
+                )
+                starts = np.concatenate(
+                    [indptr[:-1], add_cols.term_indptr[:-1] + indptr[-1]]
+                )
+                terms = np.concatenate([terms, add_cols.term_ids])
+                if len(oids) and len(add_cols.oids) and add_cols.oids[0] < oids[-1]:
+                    order = np.argsort(merged_oids, kind="stable")
+                    merged_oids = merged_oids[order]
+                    xs = xs[order]
+                    ys = ys[order]
+                    lengths = lengths[order]
+                    starts = starts[order]
+                indptr = np.concatenate(([0], np.cumsum(lengths)))
+                flat = np.arange(int(indptr[-1]), dtype=np.int64) + np.repeat(
+                    starts - indptr[:-1], lengths
+                )
+                terms = terms[flat]
+                oids = merged_oids
+            self._columns = ColumnarStore(oids, xs, ys, indptr, terms)
+        return self._columns
 
 
 class _ViewTermIds:

@@ -1,0 +1,40 @@
+"""dump_metrics appends snapshots instead of overwriting earlier dumps."""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from benchmarks._common import dump_metrics  # noqa: E402
+
+
+class TestDumpMetrics:
+    def test_appends_one_json_line_per_call(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        assert dump_metrics(str(target)) == str(target)
+        assert dump_metrics(str(target)) == str(target)
+
+        lines = target.read_text().splitlines()
+        assert len(lines) == 2, "second dump must not overwrite the first"
+        for line in lines:
+            snapshot = json.loads(line)
+            assert isinstance(snapshot, dict)
+
+    def test_prometheus_rendering_is_latest_snapshot(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        dump_metrics(str(target))
+        prom = tmp_path / "metrics.json.prom"
+        assert prom.exists()
+        first = prom.read_text()
+        dump_metrics(str(target))
+        # A snapshot format: rewritten, not accumulated.
+        assert prom.read_text().count("# TYPE") == first.count("# TYPE")
+
+    def test_no_target_is_a_no_op(self, tmp_path, monkeypatch):
+        import benchmarks._common as common
+
+        monkeypatch.setattr(common, "METRICS_PATH", None)
+        assert common.dump_metrics() is None

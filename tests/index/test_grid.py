@@ -91,3 +91,48 @@ class TestDegenerateExtent:
         grid = UniformGrid(coords)
         assert grid.rows_within(1e7, 1e7, 5.0).size == 0
         assert grid.rows_within(1e7, 1e7, 2e7).size == 1
+
+
+def _reference_cells(coords, cell_size):
+    """The pre-columnar bucket build: one Python loop of appends."""
+    coords = np.asarray(coords, dtype=np.float64)
+    min_xy = coords.min(axis=0)
+    keys_x = np.floor((coords[:, 0] - min_xy[0]) / cell_size).astype(np.int64)
+    keys_y = np.floor((coords[:, 1] - min_xy[1]) / cell_size).astype(np.int64)
+    cells = {}
+    for row, (kx, ky) in enumerate(zip(keys_x, keys_y)):
+        cells.setdefault((int(kx), int(ky)), []).append(row)
+    return {key: np.asarray(rows, dtype=np.intp) for key, rows in cells.items()}
+
+
+class TestLexsortBucketEquivalence:
+    """The lexsort-grouped build must reproduce the loop build exactly,
+    including the ascending within-cell row order the loop's appends gave
+    (callers rely on it for deterministic scan order)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cells_match_reference_loop(self, seed):
+        coords = _cloud(seed, 400)
+        grid = UniformGrid(coords, cell_size=7.0)
+        expected = _reference_cells(coords, 7.0)
+        assert set(grid._cells) == set(expected)
+        for key, rows in expected.items():
+            np.testing.assert_array_equal(grid._cells[key], rows)
+
+    def test_within_cell_order_is_ascending(self):
+        # Many points in one cell, inserted in scrambled order by row id.
+        rng = random.Random(9)
+        coords = np.array(
+            [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(64)]
+        )
+        grid = UniformGrid(coords, cell_size=10.0)
+        (rows,) = grid._cells.values()
+        np.testing.assert_array_equal(rows, np.arange(64, dtype=np.intp))
+
+    def test_duplicate_coordinates_single_bucket(self):
+        coords = np.tile(np.array([[3.0, 4.0]]), (10, 1))
+        grid = UniformGrid(coords, cell_size=1.0)
+        expected = _reference_cells(coords, 1.0)
+        assert set(grid._cells) == set(expected)
+        for key, rows in expected.items():
+            np.testing.assert_array_equal(grid._cells[key], rows)

@@ -73,3 +73,51 @@ class TestDunder:
         idx = _build()
         assert 1 in idx
         assert 9 not in idx
+
+
+class TestObjectsWithAllTerms:
+    def _reference(self, idx, term_ids):
+        acc = None
+        for tid in term_ids:
+            holders = set(idx.posting(tid))
+            acc = holders if acc is None else (acc & holders)
+        return sorted(acc or ())
+
+    def test_simple_intersection(self):
+        idx = _build()
+        assert idx.objects_with_all_terms([1, 2]) == [0]
+        assert idx.objects_with_all_terms([2, 3]) == [1]
+        assert idx.objects_with_all_terms([1, 4]) == []
+
+    def test_empty_and_duplicate_terms(self):
+        idx = _build()
+        assert idx.objects_with_all_terms([]) == []
+        assert idx.objects_with_all_terms([1, 1, 2]) == [0]
+
+    def test_unknown_term_short_circuits(self):
+        assert _build().objects_with_all_terms([1, 99]) == []
+
+    def test_merge_bitmap_and_scalar_strategies_agree(self):
+        """Dense postings route through the bitmap path, sparse ones
+        through the sorted merge, the object path through sets — all
+        three must return the identical sorted id list."""
+        import random
+
+        from repro.kernels import scalar_kernels
+
+        rng = random.Random(0xA11)
+        idx = InvertedIndex()
+        # Term 0: dense (most objects) -> bitmap path once it is the
+        # smallest remaining column; terms 1..5: increasingly sparse.
+        for oid in range(500):
+            terms = [0] if rng.random() < 0.9 else []
+            terms += [t for t in range(1, 6) if rng.random() < 0.3 / t]
+            idx.add_object(oid, terms)
+        idx.finalize()
+
+        queries = [[0, 1], [1, 2, 3], [0, 1, 2, 3, 4, 5], [5], [2, 4]]
+        for q in queries:
+            expected = self._reference(idx, q)
+            assert idx.objects_with_all_terms(q) == expected
+            with scalar_kernels():
+                assert idx.objects_with_all_terms(q) == expected

@@ -5,8 +5,14 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.geometry.circle import circle_from_three, circle_from_two
-from repro.geometry.diameter import diameter_bruteforce, diameter_calipers
+from repro.geometry.diameter import (
+    diameter_batch,
+    diameter_bruteforce,
+    diameter_calipers,
+)
 from repro.geometry.hull import convex_hull, cross
 from repro.geometry.mcc import minimum_covering_circle
 from repro.geometry.point import dist
@@ -58,6 +64,65 @@ class TestDiameterProperties:
         base = diameter_bruteforce(pts)
         scaled = diameter_bruteforce([(x * factor, y * factor) for x, y in pts])
         assert math.isclose(scaled, base * factor, rel_tol=1e-9, abs_tol=1e-6)
+
+
+# Adversarial point sets: the cases that break naive hull/caliper walks.
+# Each strategy produces duplicates, exact collinearity, cocircularity or
+# near-degenerate clusters — inputs where the farthest pair is ambiguous
+# or the hull collapses.
+_small = st.integers(min_value=-50, max_value=50)
+_lattice_point = st.tuples(
+    _small.map(float), _small.map(float)
+)  # exact-arithmetic coordinates: duplicates and collinear runs are common
+
+
+def _collinear_sets(draw):
+    base = draw(st.tuples(coordinate, coordinate))
+    dx = draw(st.floats(-100, 100, allow_nan=False))
+    dy = draw(st.floats(-100, 100, allow_nan=False))
+    ts = draw(st.lists(st.integers(-20, 20), min_size=2, max_size=25))
+    return [(base[0] + t * dx, base[1] + t * dy) for t in ts]
+
+
+def _cocircular_sets(draw):
+    cx = draw(st.floats(-1e3, 1e3, allow_nan=False))
+    cy = draw(st.floats(-1e3, 1e3, allow_nan=False))
+    r = draw(st.floats(1e-3, 1e3, allow_nan=False))
+    ks = draw(st.lists(st.integers(0, 359), min_size=2, max_size=25))
+    return [
+        (cx + r * math.cos(math.tau * k / 360.0), cy + r * math.sin(math.tau * k / 360.0))
+        for k in ks
+    ]
+
+
+adversarial_points = st.one_of(
+    st.lists(_lattice_point, min_size=1, max_size=30),
+    st.composite(_collinear_sets)(),
+    st.composite(_cocircular_sets)(),
+    # Tight cluster with one far outlier: near-tied farthest pairs.
+    st.lists(point, min_size=1, max_size=20).map(
+        lambda pts: pts + [(p[0] + 1e-9, p[1] - 1e-9) for p in pts[:3]]
+    ),
+)
+
+
+class TestDiameterAdversarial:
+    @given(adversarial_points)
+    @settings(max_examples=150, deadline=None)
+    def test_calipers_equals_bruteforce_adversarial(self, pts):
+        a = diameter_bruteforce(pts)
+        b = diameter_calipers(pts)
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(adversarial_points)
+    @settings(max_examples=150, deadline=None)
+    def test_batch_kernel_is_bit_identical_to_bruteforce(self, pts):
+        """The columnar kernel computes the same squared-distance maxima
+        as the scalar loop ((a-b)^2 is symmetric, max order-free), so its
+        result must be bit-identical, not merely close."""
+        a = diameter_bruteforce(pts)
+        b = diameter_batch(np.asarray(pts, dtype=np.float64))
+        assert a == b
 
 
 class TestHullProperties:
