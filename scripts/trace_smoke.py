@@ -5,12 +5,14 @@ and validate both exporter outputs.
 Checks, in order:
 
 1. ``mck trace`` exits 0 and writes both files;
-2. the Chrome trace is valid JSON with a non-empty ``traceEvents`` list of
-   complete ("ph": "X") events, including a ``serve.request`` root and at
-   least one algorithm-level span (binary_step / circlescan / gkg);
+2. the Chrome trace is valid JSON whose ``traceEvents`` hold complete
+   ("ph": "X") spans — including a ``serve.request`` root and at least
+   one algorithm-level span — plus ``process_name``/``thread_name``
+   metadata ("ph": "M") events naming the coordinator process;
 3. the Prometheus text parses line-by-line: every sample line matches the
-   exposition grammar, ``mck_query_latency_seconds`` has cumulative
-   histogram buckets and both ``cache="hit"`` and ``cache="miss"`` series.
+   exposition grammar (with or without a trailing ``# {...}`` OpenMetrics
+   exemplar), ``mck_query_latency_seconds`` has cumulative histogram
+   buckets and both ``cache="hit"`` and ``cache="miss"`` series.
 
 Run from the repo root: ``python scripts/trace_smoke.py [algorithm]``.
 """
@@ -26,7 +28,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 SAMPLE_RE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})? -?(?:[0-9.e+-]+|\+Inf|NaN)$"
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})? -?(?:[0-9.e+-]+|\+Inf|NaN)"
+    r"(?: # \{[^}]*\} -?(?:[0-9.e+-]+|\+Inf|NaN))?$"
 )
 
 
@@ -75,13 +78,27 @@ def main() -> int:
         events = document.get("traceEvents")
         if not isinstance(events, list) or not events:
             fail("traceEvents missing or empty")
-        names = {e["name"] for e in events}
-        for event in events:
+        spans = [e for e in events if e.get("ph") == "X"]
+        metadata = [e for e in events if e.get("ph") == "M"]
+        names = {e["name"] for e in spans}
+        for event in spans:
             for field in ("name", "ph", "ts", "dur", "pid", "tid"):
                 if field not in event:
                     fail(f"trace event missing {field!r}: {event}")
-            if event["ph"] != "X":
-                fail(f"unexpected phase {event['ph']!r}")
+        for event in events:
+            if event.get("ph") not in ("X", "M"):
+                fail(f"unexpected phase {event.get('ph')!r}")
+        if not metadata:
+            fail("no metadata (ph=M) events naming processes/threads")
+        meta_names = {e["name"] for e in metadata}
+        if "process_name" not in meta_names:
+            fail(f"no process_name metadata event in {sorted(meta_names)}")
+        if not any(
+            "coordinator" in e.get("args", {}).get("name", "")
+            for e in metadata
+            if e["name"] == "process_name"
+        ):
+            fail("process_name metadata does not label the coordinator")
         if "serve.request" not in names:
             fail(f"no serve.request span in {sorted(names)}")
         algo_spans = {
@@ -118,8 +135,9 @@ def main() -> int:
             fail("no cache=hit latency series (repeat>=2 should produce hits)")
 
     print(
-        f"trace-smoke: OK ({len(events)} events, {len(names)} span names, "
-        f"{buckets} latency buckets, hit/miss series present)"
+        f"trace-smoke: OK ({len(spans)} spans + {len(metadata)} metadata "
+        f"events, {len(names)} span names, {buckets} latency buckets, "
+        f"hit/miss series present)"
     )
     return 0
 

@@ -15,8 +15,12 @@ Subcommands
 ``trace``       serve a small workload with the span tracer attached and
                 write a Chrome trace-event JSON (plus optional Prometheus
                 text exposition of the latency histograms)
+``explain``     answer one query through the full serving stack and print
+                its EXPLAIN report (span tree, kernel mode, cache and
+                admission outcome, pruning counters, phase latencies)
 ``metrics``     run a nested ``mck`` command, then pretty-print the
                 process-wide :class:`~repro.serving.stats.MetricsRegistry`
+                (``--format json|prom``)
 """
 
 from __future__ import annotations
@@ -178,6 +182,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write Prometheus text exposition of the service metrics here",
     )
+    serve.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="sample stacks during the run and write collapsed stacks "
+        "(flamegraph.pl / speedscope format) here",
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="latency SLO target used for the dump's slo block",
+    )
     serve.set_defaults(handler=_cmd_serve_bench)
 
     live = sub.add_parser(
@@ -250,6 +268,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write Prometheus text exposition of the service metrics here",
     )
+    live.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="sample stacks during the run and write collapsed stacks "
+        "(flamegraph.pl / speedscope format) here",
+    )
+    live.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="latency SLO target used for the dump's slo block",
+    )
     live.set_defaults(handler=_cmd_live_bench)
 
     trace = sub.add_parser(
@@ -302,14 +334,63 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(handler=_cmd_trace)
 
+    explain = sub.add_parser(
+        "explain",
+        help="answer one query through the serving stack, print its EXPLAIN",
+    )
+    explain.add_argument(
+        "keywords",
+        nargs="*",
+        help="query keywords (omitted = auto-generate a feasible query)",
+    )
+    explain.add_argument(
+        "--dataset", default=None, help="JSON-lines dataset path (overrides --preset)"
+    )
+    explain.add_argument("--preset", choices=["NY", "LA", "TW"], default="NY")
+    explain.add_argument("--scale", type=float, default=0.01)
+    explain.add_argument(
+        "--m", type=int, default=4, help="keywords per auto-generated query"
+    )
+    explain.add_argument(
+        "--algorithm",
+        default="SKECa+",
+        choices=["GKG", "SKEC", "SKECa", "SKECa+", "EXACT"],
+    )
+    explain.add_argument("--epsilon", type=float, default=0.01)
+    explain.add_argument("--timeout", type=float, default=None)
+    explain.add_argument(
+        "--live",
+        action="store_true",
+        help="serve through a live (mutable) engine instead of a sealed one",
+    )
+    explain.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help=">=2 prints one report per run; the second shows the cache hit",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw EXPLAIN dict as JSON instead of the text report",
+    )
+    explain.add_argument("--seed", type=int, default=0)
+    explain.set_defaults(handler=_cmd_explain)
+
     met = sub.add_parser(
         "metrics",
         help="run a nested mck command, then pretty-print the default metrics registry",
     )
     met.add_argument(
+        "--format",
+        choices=["json", "prom"],
+        default=None,
+        help="output format (prom = Prometheus text exposition)",
+    )
+    met.add_argument(
         "--prometheus",
         action="store_true",
-        help="print Prometheus text exposition instead of JSON",
+        help="deprecated alias for --format prom",
     )
     met.add_argument(
         "rest",
@@ -428,7 +509,14 @@ def _cmd_serve_bench(args) -> int:
         for q in workload
     ]
 
+    from .observability.profiler import StackProfiler
+    from .observability.slo import SLOTracker, default_objectives
+
+    slo = SLOTracker(default_objectives(latency_target=args.slo_target))
+    profiler = StackProfiler(interval=0.01) if args.profile else None
     started = _time.perf_counter()
+    if profiler is not None:
+        profiler.start()
     try:
         with QueryService(
             dataset,
@@ -439,6 +527,7 @@ def _cmd_serve_bench(args) -> int:
             cache_ttl=args.cache_ttl,
             use_processes_for_exact=args.process_exact,
             strict_timeouts=args.strict_timeouts,
+            slo=slo,
         ) as service:
             failures = 0
             degraded = 0
@@ -503,10 +592,16 @@ def _cmd_serve_bench(args) -> int:
                 },
                 "admission": service.admission_dict(),
                 "metrics": service.metrics_dict(),
+                "slo": slo.as_dict(),
             }
             prom_text = service.metrics.to_prometheus() if args.prom_out else None
     finally:
+        if profiler is not None:
+            profiler.stop()
         faults.reset()
+    if profiler is not None:
+        profiler.write_collapsed(args.profile)
+        dump["profile"] = profiler.stats()
 
     text = json.dumps(dump, indent=2, sort_keys=True)
     if args.output:
@@ -519,6 +614,8 @@ def _cmd_serve_bench(args) -> int:
         with open(args.prom_out, "w") as fh:
             fh.write(prom_text)
         print(f"wrote Prometheus exposition to {args.prom_out}")
+    if profiler is not None:
+        print(f"wrote collapsed stacks to {args.profile}")
     return 0
 
 
@@ -564,21 +661,29 @@ def _cmd_live_bench(args) -> int:
     x_lo, y_lo = float(coords[:, 0].min()), float(coords[:, 1].min())
     x_hi, y_hi = float(coords[:, 0].max()), float(coords[:, 1].max())
 
+    from .observability.profiler import StackProfiler
+    from .observability.slo import SLOTracker, default_objectives
+
     rng = _random.Random(args.seed)
     reads = writes = inserts = deletes = 0
     failures = degraded = rejected = mutation_errors = 0
     inserted_oids: List[int] = []
+    slo = SLOTracker(default_objectives(latency_target=args.slo_target))
+    profiler = StackProfiler(interval=0.01) if args.profile else None
     started = _time.perf_counter()
     engine = LiveMCKEngine.from_dataset(
         dataset,
         wal_path=args.wal,
         compact_threshold=args.compact_threshold,
     )
+    if profiler is not None:
+        profiler.start()
     try:
         with QueryService(
             engine,
             max_workers=args.workers,
             cache_size=args.cache_size,
+            slo=slo,
         ) as service:
             futures = []
             for _op in range(max(0, args.operations)):
@@ -671,11 +776,17 @@ def _cmd_live_bench(args) -> int:
                 "cache": cache_stats,
                 "admission": service.admission_dict(),
                 "metrics": service.metrics_dict(),
+                "slo": slo.as_dict(),
             }
             prom_text = service.metrics.to_prometheus() if args.prom_out else None
     finally:
+        if profiler is not None:
+            profiler.stop()
         engine.close()
         faults.reset()
+    if profiler is not None:
+        profiler.write_collapsed(args.profile)
+        dump["profile"] = profiler.stats()
 
     text = json.dumps(dump, indent=2, sort_keys=True)
     if args.output:
@@ -688,6 +799,8 @@ def _cmd_live_bench(args) -> int:
         with open(args.prom_out, "w") as fh:
             fh.write(prom_text)
         print(f"wrote Prometheus exposition to {args.prom_out}")
+    if profiler is not None:
+        print(f"wrote collapsed stacks to {args.profile}")
     return 0
 
 
@@ -782,11 +895,89 @@ def _cmd_metrics(args) -> int:
         return 2
     rc = main(rest)
     registry = MetricsRegistry.default()
-    if args.prometheus:
+    fmt = args.format or ("prom" if args.prometheus else "json")
+    if fmt == "prom":
         print(registry.to_prometheus(), end="")
     else:
         print(registry.to_json())
     return rc
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from .datasets.queries import generate_queries
+    from .exceptions import QueryRejected
+    from .observability.explain import render_explain
+    from .observability.flight import FlightRecorder
+    from .observability.tracer import Tracer
+    from .serving import QueryService
+    from .serving.stats import MetricsRegistry
+
+    if args.repeat < 1:
+        print("explain: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    if args.dataset:
+        dataset = load_jsonl(args.dataset)
+    else:
+        maker = {"NY": make_ny_like, "LA": make_la_like, "TW": make_tw_like}[
+            args.preset
+        ]
+        dataset = maker(scale=args.scale, seed=args.seed)
+
+    keywords = list(args.keywords)
+    if not keywords:
+        workload = generate_queries(dataset, m=args.m, count=1, seed=args.seed)
+        keywords = list(workload[0].keywords)
+        print(f"auto-generated query: {', '.join(keywords)}", file=sys.stderr)
+
+    source = dataset
+    engine = None
+    if args.live:
+        from .live import LiveMCKEngine
+
+        engine = LiveMCKEngine.from_dataset(dataset)
+        source = engine
+
+    tracer = Tracer()
+    flight = FlightRecorder(boring_keep_rate=1.0)
+    reports = []
+    try:
+        with QueryService(
+            source,
+            metrics=MetricsRegistry(),
+            tracer=tracer,
+            flight=flight,
+        ) as service:
+            for run in range(args.repeat):
+                try:
+                    result = service.query(
+                        keywords,
+                        algorithm=args.algorithm,
+                        epsilon=args.epsilon,
+                        timeout=args.timeout,
+                        explain=True,
+                    )
+                except QueryRejected as exc:
+                    print(f"explain: rejected ({exc})", file=sys.stderr)
+                    return 1
+                if result.explain is None:
+                    print("explain: no report produced", file=sys.stderr)
+                    return 1
+                reports.append(result.explain)
+    finally:
+        if engine is not None:
+            engine.close()
+
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else reports
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for run, report in enumerate(reports, start=1):
+            if len(reports) > 1:
+                print(f"--- run {run}/{len(reports)} ---")
+            print(render_explain(report))
+    return 0
 
 
 def _cmd_stats(args) -> int:

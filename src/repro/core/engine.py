@@ -13,6 +13,9 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..exceptions import AlgorithmTimeout, QueryError
+from ..kernels import kernel_mode
+from ..observability import tracer as _tracing
+from ..observability.explain import build_explain, collect_trace_spans
 from .common import Deadline, Instrumentation, instrumentation_span
 from .exact import exact
 from .gkg import gkg
@@ -93,6 +96,10 @@ class MCKEngine:
     [0, 1]
     """
 
+    #: EXPLAIN reports label which engine flavour answered; the live
+    #: engine overrides this with ``"live"``.
+    _ENGINE_KIND = "sealed"
+
     def __init__(self, dataset: Dataset, context_cache_size: int = 16):
         dataset.finalize()
         self.dataset = dataset
@@ -125,6 +132,7 @@ class MCKEngine:
         timeout: Optional[float] = None,
         instrumentation: Optional[Instrumentation] = None,
         degrade_on_timeout: bool = False,
+        explain: bool = False,
     ) -> Group:
         """Answer one mCK query.
 
@@ -151,40 +159,84 @@ class MCKEngine:
             certificate tag — instead of raising.  The default (False)
             keeps the paper's strict §6.2.3 fail-hard semantics.  A
             timeout with no incumbent raises either way.
+        explain:
+            When True, attach a per-query EXPLAIN report (the dict built
+            by :func:`repro.observability.explain.build_explain`) to the
+            returned group as ``group.explain_report``.  A private tracer
+            is used when neither the instrumentation nor the process has
+            one, so explain works standalone with zero setup.
         """
         canonical = canonical_algorithm(algorithm)
         runner = self._dispatch(algorithm, epsilon)
-        with instrumentation_span(
-            instrumentation, "engine.query", algorithm=canonical
-        ):
-            compile_started = time.perf_counter()
-            with instrumentation_span(instrumentation, "engine.context_compile"):
-                ctx = self.context(keywords)
-            compile_seconds = time.perf_counter() - compile_started
-            deadline = Deadline(algorithm, timeout, instrumentation)
-            started = time.perf_counter()
-            try:
-                with instrumentation_span(
-                    instrumentation, "engine.algorithm", algorithm=canonical
-                ):
-                    group = runner(ctx, deadline)
-            except AlgorithmTimeout as err:
-                if not degrade_on_timeout or err.incumbent is None:
-                    raise
-                group = err.incumbent
-                group.algorithm = canonical
-                group.quality = err.quality
-                group.stats["degraded"] = 1.0
-                if instrumentation is not None:
-                    instrumentation.count("degraded")
-            finally:
-                elapsed = time.perf_counter() - started
-                if instrumentation is not None:
-                    instrumentation.timings["context_seconds"] = compile_seconds
-                    instrumentation.timings["algorithm_seconds"] = elapsed
+        explain_tracer = None
+        detach_tracer = False
+        if explain:
+            if instrumentation is None:
+                instrumentation = Instrumentation()
+            explain_tracer = instrumentation.tracer or _tracing.get_tracer()
+            if explain_tracer is None:
+                explain_tracer = _tracing.Tracer()
+                instrumentation.tracer = explain_tracer
+                detach_tracer = True
+        try:
+            with instrumentation_span(
+                instrumentation, "engine.query", algorithm=canonical
+            ) as root_span:
+                compile_started = time.perf_counter()
+                with instrumentation_span(instrumentation, "engine.context_compile"):
+                    ctx = self.context(keywords)
+                compile_seconds = time.perf_counter() - compile_started
+                deadline = Deadline(algorithm, timeout, instrumentation)
+                started = time.perf_counter()
+                try:
+                    with instrumentation_span(
+                        instrumentation,
+                        "engine.algorithm",
+                        algorithm=canonical,
+                        kernel=kernel_mode(),
+                    ):
+                        group = runner(ctx, deadline)
+                except AlgorithmTimeout as err:
+                    if not degrade_on_timeout or err.incumbent is None:
+                        raise
+                    group = err.incumbent
+                    group.algorithm = canonical
+                    group.quality = err.quality
+                    group.stats["degraded"] = 1.0
+                    if instrumentation is not None:
+                        instrumentation.count("degraded")
+                finally:
+                    elapsed = time.perf_counter() - started
+                    if instrumentation is not None:
+                        instrumentation.timings["context_seconds"] = compile_seconds
+                        instrumentation.timings["algorithm_seconds"] = elapsed
+        finally:
+            if detach_tracer:
+                instrumentation.tracer = None
         group.elapsed_seconds = elapsed
         if instrumentation is not None:
             instrumentation.merge_group_stats(group.stats)
+        if explain:
+            trace_id = getattr(root_span, "trace_id", None)
+            spans = collect_trace_spans(explain_tracer, trace_id)
+            timings = dict(instrumentation.timings)
+            timings.setdefault("total_seconds", compile_seconds + elapsed)
+            group.explain_report = build_explain(
+                keywords=[str(k) for k in keywords],
+                algorithm=canonical,
+                epsilon=epsilon,
+                timeout=timeout,
+                spans=spans,
+                counters=instrumentation.counters,
+                timings=timings,
+                engine_kind=self._ENGINE_KIND,
+                status="degraded" if group.stats.get("degraded") else "ok",
+                quality=group.quality or "",
+                diameter=group.diameter,
+                group_size=len(group.object_ids),
+                object_ids=group.object_ids,
+                trace_id=trace_id or "",
+            )
         return group
 
     def _dispatch(

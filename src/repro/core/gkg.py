@@ -25,7 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import InfeasibleQueryError, QueryError
-from ..kernels import vectorized_enabled
+from ..kernels import kernel_mode, vectorized_enabled
 from .common import QUALITY_EXACT, QUALITY_GREEDY, QUALITY_PARTIAL, Deadline
 from .query import QueryContext
 from .result import Group
@@ -44,6 +44,17 @@ def gkg(
     if not anchor_rows:
         raise InfeasibleQueryError([ctx.t_inf])
     deadline.count("anchors", len(anchor_rows))
+    # Zero-duration "plan" marker: records the chosen strategy and kernel
+    # mode on the trace so EXPLAIN can report them post-hoc.
+    with deadline.span(
+        "gkg.plan",
+        method=method,
+        kernel=kernel_mode(),
+        m=ctx.m,
+        anchors=len(anchor_rows),
+    ):
+        pass
+    deadline.count("kernel_vectorized", 1.0 if vectorized_enabled() else 0.0)
 
     full = ctx.full_mask
     for anchor in anchor_rows:

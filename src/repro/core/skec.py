@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from ..exceptions import GeometryError
 from ..geometry.circle import Circle, circle_from_three, circle_from_two
+from ..kernels import kernel_mode
 from ..kernels import vectorized_enabled as _vectorized_enabled
 from .common import QUALITY_APPROX, QUALITY_EXACT, Deadline
 from .gkg import gkg
@@ -30,6 +31,14 @@ __all__ = ["skec", "find_oskec"]
 def skec(ctx: QueryContext, deadline: Optional[Deadline] = None) -> Group:
     """Run SKEC: exact SKECq, 2/√3-approximate mCK answer."""
     deadline = deadline or Deadline.unlimited("SKEC")
+    with deadline.span(
+        "skec.plan",
+        kernel=kernel_mode(),
+        m=ctx.m,
+        poles=len(ctx.relevant_ids),
+    ):
+        pass
+    deadline.count("kernel_vectorized", 1.0 if _vectorized_enabled() else 0.0)
 
     with deadline.span("gkg.run"):
         greedy = gkg(ctx, deadline)

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..geometry.circle import Circle
 from ..geometry.mcc import minimum_covering_circle
+from ..kernels import kernel_mode, vectorized_enabled
 from .circlescan import circle_scan
 from .common import QUALITY_APPROX, Deadline
 from .gkg import gkg
@@ -63,6 +64,15 @@ def skeca_plus_state(
 ) -> SkecaPlusState:
     """Run SKECa+ and return the group plus the internal pruning state."""
     deadline = deadline or Deadline.unlimited("SKECa+")
+    with deadline.span(
+        "skecaplus.plan",
+        kernel=kernel_mode(),
+        m=ctx.m,
+        epsilon=epsilon,
+        poles=len(ctx.relevant_ids),
+    ):
+        pass
+    deadline.count("kernel_vectorized", 1.0 if vectorized_enabled() else 0.0)
     with deadline.span("gkg.run"):
         greedy = gkg(ctx, deadline)
     n_relevant = len(ctx.relevant_ids)

@@ -35,6 +35,8 @@ from ..core.engine import MCKEngine
 from ..core.objects import Dataset
 from ..core.result import Group
 from ..exceptions import InfeasibleQueryError, QueryRejected, WorkerCrashed
+from ..observability import tracer as _tracing
+from ..observability.flight import FlightRecorder
 from ..observability.logging import correlation_scope, get_logger
 from ..observability.tracer import span as _trace_span
 from ..serving.stats import MetricsRegistry
@@ -87,6 +89,7 @@ class DistributedMCKEngine:
         sleep=time.sleep,
         metrics: Optional[MetricsRegistry] = None,
         worker_queue_capacity: Optional[int] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         dataset.finalize()
         self.dataset = dataset
@@ -125,6 +128,14 @@ class DistributedMCKEngine:
         self._pending: Dict[int, int] = {}
         self._pending_lock = threading.Lock()
         self._central_engine: Optional[MCKEngine] = None
+        #: Optional tail-latency flight recorder.  The coordinator spans go
+        #: through the process-global tracer, so attach the recorder there;
+        #: worker-crash rounds are retained as fault-hit traces.
+        self.flight = flight
+        if flight is not None:
+            tracer = _tracing.get_tracer()
+            if tracer is not None:
+                flight.attach(tracer)
 
     @property
     def n_workers(self) -> int:
@@ -181,13 +192,59 @@ class DistributedMCKEngine:
         exact_algorithm: str = "EXACT",
     ) -> DistributedResult:
         """Run the two-round distributed protocol."""
+        started = time.perf_counter()
         with correlation_scope() as cid:
-            with _trace_span(
-                "dist.query", workers=self.n_workers, m=len(list(keywords))
-            ):
-                return self._query_traced(
-                    keywords, bound_algorithm, exact_algorithm, cid
+            result = None
+            error: Optional[str] = None
+            root = None
+            try:
+                with _trace_span(
+                    "dist.query", workers=self.n_workers, m=len(list(keywords))
+                ) as root:
+                    result = self._query_traced(
+                        keywords, bound_algorithm, exact_algorithm, cid
+                    )
+            except Exception as err:  # noqa: BLE001 - recorded, then re-raised
+                error = str(err) or type(err).__name__
+                raise
+            finally:
+                self._complete_flight(
+                    getattr(root, "trace_id", None) or "",
+                    cid,
+                    exact_algorithm,
+                    result,
+                    error,
+                    time.perf_counter() - started,
                 )
+        return result
+
+    def _complete_flight(
+        self,
+        trace_id: str,
+        cid: str,
+        algorithm: str,
+        result: Optional[DistributedResult],
+        error: Optional[str],
+        latency_seconds: float,
+    ) -> None:
+        """Hand the finished distributed trace to the flight recorder.
+
+        Worker crashes count as fault hits so crash-and-respawn rounds are
+        always retained, exactly like injected faults in the serving path.
+        """
+        if self.flight is None or not trace_id:
+            return
+        crashes = result.worker_crashes if result is not None else 0
+        degraded = bool(result is not None and result.fell_back_to_central)
+        self.flight.complete(
+            trace_id,
+            algorithm=algorithm,
+            correlation_id=cid,
+            latency_seconds=latency_seconds,
+            degraded=degraded,
+            error=error,
+            fault_hits=crashes,
+        )
 
     def _query_traced(
         self,

@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-__all__ = ["vectorized_enabled", "set_vectorized", "scalar_kernels"]
+__all__ = ["vectorized_enabled", "set_vectorized", "scalar_kernels", "kernel_mode"]
 
 _TRUTHY = ("1", "true", "yes", "on")
 
@@ -35,6 +35,11 @@ _vectorized: bool = os.environ.get("REPRO_SCALAR_KERNELS", "").strip().lower() n
 def vectorized_enabled() -> bool:
     """True when the columnar/vectorized kernels are active."""
     return _vectorized
+
+
+def kernel_mode() -> str:
+    """Current mode as the label EXPLAIN and the span layer use."""
+    return "vectorized" if _vectorized else "scalar"
 
 
 def set_vectorized(enabled: bool) -> bool:

@@ -40,6 +40,9 @@ from ..core.query import MCKQuery, QueryContext, compile_query
 from ..core.result import Group
 from ..core.skeca import DEFAULT_EPSILON
 from ..exceptions import AlgorithmTimeout, DatasetError
+from ..kernels import kernel_mode
+from ..observability import tracer as _tracing
+from ..observability.explain import build_explain, collect_trace_spans
 from ..observability.tracer import span
 from .base import SealedBase
 from .compaction import Compactor
@@ -271,51 +274,95 @@ class LiveMCKEngine:
         timeout: Optional[float] = None,
         instrumentation: Optional[Instrumentation] = None,
         degrade_on_timeout: bool = False,
+        explain: bool = False,
     ) -> Group:
         """Answer one mCK query on a pinned snapshot.
 
         Same contract as :meth:`repro.core.engine.MCKEngine.query`; the
-        answering epoch is recorded in ``group.stats["epoch"]``.
+        answering epoch and overlay size are recorded in
+        ``group.stats["epoch"]`` / ``group.stats["delta_size"]``, and
+        ``explain=True`` attaches ``group.explain_report`` labelled with
+        the live engine kind.
         """
         canonical = canonical_algorithm(algorithm)
         runner = dispatch_algorithm(algorithm, epsilon)
-        with self._epochs.pin() as snapshot:
-            with instrumentation_span(
-                instrumentation, "engine.query", algorithm=canonical
-            ):
-                compile_started = time.perf_counter()
+        explain_tracer = None
+        detach_tracer = False
+        if explain:
+            if instrumentation is None:
+                instrumentation = Instrumentation()
+            explain_tracer = instrumentation.tracer or _tracing.get_tracer()
+            if explain_tracer is None:
+                explain_tracer = _tracing.Tracer()
+                instrumentation.tracer = explain_tracer
+                detach_tracer = True
+        try:
+            with self._epochs.pin() as snapshot:
                 with instrumentation_span(
-                    instrumentation, "engine.context_compile"
-                ):
-                    ctx = self._context(snapshot, keywords)
-                compile_seconds = time.perf_counter() - compile_started
-                deadline = Deadline(algorithm, timeout, instrumentation)
-                started = time.perf_counter()
-                try:
+                    instrumentation, "engine.query", algorithm=canonical
+                ) as root_span:
+                    compile_started = time.perf_counter()
                     with instrumentation_span(
-                        instrumentation, "engine.algorithm", algorithm=canonical
+                        instrumentation, "engine.context_compile"
                     ):
-                        group = runner(ctx, deadline)
-                except AlgorithmTimeout as err:
-                    if not degrade_on_timeout or err.incumbent is None:
-                        raise
-                    group = err.incumbent
-                    group.algorithm = canonical
-                    group.quality = err.quality
-                    group.stats["degraded"] = 1.0
-                    if instrumentation is not None:
-                        instrumentation.count("degraded")
-                finally:
-                    elapsed = time.perf_counter() - started
-                    if instrumentation is not None:
-                        instrumentation.timings["context_seconds"] = (
-                            compile_seconds
-                        )
-                        instrumentation.timings["algorithm_seconds"] = elapsed
-            group.stats["epoch"] = float(snapshot.epoch)
+                        ctx = self._context(snapshot, keywords)
+                    compile_seconds = time.perf_counter() - compile_started
+                    deadline = Deadline(algorithm, timeout, instrumentation)
+                    started = time.perf_counter()
+                    try:
+                        with instrumentation_span(
+                            instrumentation,
+                            "engine.algorithm",
+                            algorithm=canonical,
+                            kernel=kernel_mode(),
+                            epoch=snapshot.epoch,
+                        ):
+                            group = runner(ctx, deadline)
+                    except AlgorithmTimeout as err:
+                        if not degrade_on_timeout or err.incumbent is None:
+                            raise
+                        group = err.incumbent
+                        group.algorithm = canonical
+                        group.quality = err.quality
+                        group.stats["degraded"] = 1.0
+                        if instrumentation is not None:
+                            instrumentation.count("degraded")
+                    finally:
+                        elapsed = time.perf_counter() - started
+                        if instrumentation is not None:
+                            instrumentation.timings["context_seconds"] = (
+                                compile_seconds
+                            )
+                            instrumentation.timings["algorithm_seconds"] = elapsed
+                group.stats["epoch"] = float(snapshot.epoch)
+                group.stats["delta_size"] = float(snapshot.delta.size)
+        finally:
+            if detach_tracer:
+                instrumentation.tracer = None
         group.elapsed_seconds = elapsed
         if instrumentation is not None:
             instrumentation.merge_group_stats(group.stats)
+        if explain:
+            trace_id = getattr(root_span, "trace_id", None)
+            spans = collect_trace_spans(explain_tracer, trace_id)
+            timings = dict(instrumentation.timings)
+            timings.setdefault("total_seconds", compile_seconds + elapsed)
+            group.explain_report = build_explain(
+                keywords=[str(k) for k in keywords],
+                algorithm=canonical,
+                epsilon=epsilon,
+                timeout=timeout,
+                spans=spans,
+                counters=instrumentation.counters,
+                timings=timings,
+                engine_kind="live",
+                status="degraded" if group.stats.get("degraded") else "ok",
+                quality=group.quality or "",
+                diameter=group.diameter,
+                group_size=len(group.object_ids),
+                object_ids=group.object_ids,
+                trace_id=trace_id or "",
+            )
         return group
 
     def _context(

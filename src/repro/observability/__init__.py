@@ -12,9 +12,22 @@ Three cooperating layers (see ``docs/observability.md``):
 * :mod:`~repro.observability.logging` — structured JSON logs with
   per-query correlation ids propagated across thread pools, the EXACT
   process pool, and the distributed coordinator→worker calls.
+
+Plus the tail-latency forensics layer built on top of them:
+
+* :mod:`~repro.observability.flight` — bounded flight recorder with
+  tail-based sampling (keep the traces worth debugging, drop the bulk);
+* :mod:`~repro.observability.explain` — per-query EXPLAIN reports from
+  the span tree and instrumentation counters;
+* :mod:`~repro.observability.slo` — rolling-window SLO tracking with
+  multi-window burn-rate alerts and error-budget gauges;
+* :mod:`~repro.observability.profiler` — continuous stack-sampling
+  profiler emitting collapsed stacks for flame graphs.
 """
 
+from .explain import build_explain, collect_trace_spans, render_explain
 from .exporters import chrome_trace, render_prometheus, write_chrome_trace
+from .flight import FlightRecorder, RetainedTrace, TraceOutcome
 from .logging import (
     JsonFormatter,
     StructuredLogger,
@@ -32,9 +45,21 @@ from .metrics import (
     Histogram,
     log_buckets,
 )
+from .profiler import StackProfiler
+from .slo import SLObjective, SLOTracker, default_objectives
 from .tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, span, traced
 
 __all__ = [
+    "FlightRecorder",
+    "RetainedTrace",
+    "TraceOutcome",
+    "build_explain",
+    "render_explain",
+    "collect_trace_spans",
+    "SLOTracker",
+    "SLObjective",
+    "default_objectives",
+    "StackProfiler",
     "Tracer",
     "Span",
     "NULL_SPAN",

@@ -15,7 +15,8 @@ Two consumers, two formats:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Union
+import os
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from .tracer import Tracer
 
@@ -45,7 +46,7 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-def render_prometheus(metrics: Iterable[Any]) -> str:
+def render_prometheus(metrics: Iterable[Any], exemplars: bool = False) -> str:
     """Render metric families as Prometheus text exposition (version 0.0.4).
 
     Each family must expose ``name``, ``kind``, ``help`` and a
@@ -53,15 +54,34 @@ def render_prometheus(metrics: Iterable[Any]) -> str:
     tuples — the protocol of :class:`~repro.observability.metrics.Counter`,
     :class:`~repro.observability.metrics.Gauge` and
     :class:`~repro.observability.metrics.Histogram`.
+
+    With ``exemplars=True``, histogram ``_bucket`` lines carry an
+    OpenMetrics-style exemplar suffix — ``... 5 # {trace_id="..."} 0.042``
+    — linking the bucket to a retained trace.  Classic Prometheus text
+    parsers reject that syntax, so it is opt-in; the OpenMetrics format
+    (and Perfetto-adjacent tooling) accepts it.
     """
     lines: List[str] = []
     for metric in metrics:
         if metric.help:
             lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
-        for suffix, labels, extra, value in metric.samples():
+        use_exemplars = exemplars and hasattr(metric, "samples_with_exemplars")
+        sample_iter = (
+            metric.samples_with_exemplars() if use_exemplars else metric.samples()
+        )
+        for sample in sample_iter:
+            if use_exemplars:
+                suffix, labels, extra, value, exemplar = sample
+            else:
+                suffix, labels, extra, value = sample
+                exemplar = None
             label_text = _render_labels(labels, extra)
-            lines.append(f"{metric.name}{suffix}{label_text} {_format_value(value)}")
+            line = f"{metric.name}{suffix}{label_text} {_format_value(value)}"
+            if exemplar is not None:
+                ex_labels, ex_value = exemplar
+                line += f" # {_render_labels(ex_labels)} {_format_value(ex_value)}"
+            lines.append(line)
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -76,16 +96,26 @@ def _spans_of(source: Union[Tracer, Iterable[Dict[str, Any]]]) -> List[Dict[str,
     return list(source)
 
 
-def chrome_trace(source: Union[Tracer, Iterable[Dict[str, Any]]]) -> Dict[str, Any]:
+def chrome_trace(
+    source: Union[Tracer, Iterable[Dict[str, Any]]],
+    main_pid: Optional[int] = None,
+) -> Dict[str, Any]:
     """Build a Chrome trace-event document from spans.
 
     Every span becomes one complete ("ph": "X") event; trace/span ids and
     attributes ride along in ``args`` so Perfetto's query view can slice by
     them.  Timestamps are microseconds (the format's unit), preserving the
     monotonic-clock origin — only relative times are meaningful.
+
+    ``process_name`` / ``thread_name`` metadata events (``"ph": "M"``) are
+    prepended so Perfetto groups the coordinator process and its pool
+    workers under readable labels.  ``main_pid`` names which pid is the
+    coordinator; it defaults to the exporting process, which is correct
+    whenever the parent does the exporting.
     """
-    events: List[Dict[str, Any]] = []
-    for sp in sorted(_spans_of(source), key=lambda s: s["start_ns"]):
+    spans = _spans_of(source)
+    events: List[Dict[str, Any]] = _metadata_events(spans, main_pid)
+    for sp in sorted(spans, key=lambda s: s["start_ns"]):
         args = {k: _json_safe(v) for k, v in sp.get("attributes", {}).items()}
         args["trace_id"] = sp.get("trace_id")
         args["span_id"] = sp.get("span_id")
@@ -104,6 +134,54 @@ def chrome_trace(source: Union[Tracer, Iterable[Dict[str, Any]]]) -> Dict[str, A
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _metadata_events(
+    spans: List[Dict[str, Any]], main_pid: Optional[int]
+) -> List[Dict[str, Any]]:
+    """``process_name``/``thread_name`` metadata for every pid / thread.
+
+    The exporting process (or ``main_pid``) is labelled the coordinator;
+    any other pid in the span set is a pool worker — the distinction the
+    EXACT process pool and the distributed simulation both produce.
+    """
+    if main_pid is None:
+        main_pid = os.getpid()
+    events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, None] = {}
+    seen_threads: Dict[tuple, str] = {}
+    for sp in spans:
+        pid = sp.get("pid", 0)
+        tid = sp.get("thread_id", 0)
+        seen_pids.setdefault(pid, None)
+        key = (pid, tid)
+        if key not in seen_threads:
+            seen_threads[key] = str(sp.get("thread_name") or f"thread-{tid}")
+    for pid in sorted(seen_pids):
+        label = (
+            f"coordinator (pid {pid})"
+            if pid == main_pid
+            else f"pool-worker (pid {pid})"
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": label},
+            }
+        )
+    for (pid, tid), tname in sorted(seen_threads.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+    return events
 
 
 def write_chrome_trace(

@@ -1,0 +1,435 @@
+"""Flight recorder: tail-based trace retention in a bounded ring buffer.
+
+Aggregate histograms say *that* p99 regressed; the flight recorder says
+*why*, by keeping the complete span trees of exactly the requests worth
+debugging.  The sampling decision is **tail-based** — made at the *end*
+of a request, when its outcome is known — so the recorder retains:
+
+* requests slower than the rolling p99 of recent root latencies (after a
+  short warm-up, see ``min_samples``);
+* degraded answers (anytime incumbents, pool fallbacks);
+* admission rejections (the serving layer synthesizes a minimal trace —
+  a rejected request never executed, so it has no organic spans);
+* errors and timeouts;
+* requests during which an armed fault fired;
+* plus an optional random ``boring_keep_rate`` sliver of the healthy bulk
+  as a baseline for comparison.
+
+Everything else is dropped at completion, so memory stays bounded by
+``max_traces`` retained traces plus ``max_pending`` in-flight ones —
+independent of traffic volume.
+
+Wiring: :meth:`FlightRecorder.attach` registers the recorder as a span
+*sink* on a :class:`~repro.observability.tracer.Tracer` (it sees every
+finished span, including spans ingested from EXACT pool workers and
+spans the tracer's own bounded buffer dropped).  The serving layer calls
+:meth:`complete` once per request with the outcome flags; the recorder
+then either retains the whole span tree or forgets it.
+
+Dumps are Chrome trace-event JSON (:func:`~repro.observability.exporters
+.chrome_trace`), loadable in Perfetto — per retained trace or all at
+once, on demand or automatically on every triggered retention
+(``auto_dump_dir``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .tracer import Tracer
+
+__all__ = ["FlightRecorder", "RetainedTrace", "TraceOutcome"]
+
+#: Retention reasons, in the order they are evaluated.
+REASONS = ("rejected", "error", "degraded", "fault", "slow", "sampled")
+
+
+@dataclass
+class TraceOutcome:
+    """What the serving layer knew about a request when it finished."""
+
+    algorithm: str = ""
+    correlation_id: str = ""
+    latency_seconds: Optional[float] = None
+    cache_hit: bool = False
+    degraded: bool = False
+    rejected: bool = False
+    error: Optional[str] = None
+    #: Armed-fault triggers observed during the request (approximate
+    #: under concurrency; any positive count marks the trace fault-hit).
+    fault_hits: int = 0
+    quality: str = ""
+
+
+@dataclass
+class RetainedTrace:
+    """One trace the recorder decided to keep."""
+
+    trace_id: str
+    reasons: Tuple[str, ...]
+    outcome: TraceOutcome
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: Monotonic clock at retention (recorder clock; ordering only).
+    retained_at: float = 0.0
+    seq: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "reasons": list(self.reasons),
+            "seq": self.seq,
+            "algorithm": self.outcome.algorithm,
+            "correlation_id": self.outcome.correlation_id,
+            "latency_seconds": self.outcome.latency_seconds,
+            "cache_hit": self.outcome.cache_hit,
+            "degraded": self.outcome.degraded,
+            "rejected": self.outcome.rejected,
+            "error": self.outcome.error,
+            "fault_hits": self.outcome.fault_hits,
+            "quality": self.outcome.quality,
+            "spans": len(self.spans),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of retained traces with tail-based sampling.
+
+    Parameters
+    ----------
+    max_traces:
+        Retained-trace ring capacity; beyond it the oldest retained trace
+        is evicted (``evicted`` counts them).
+    max_pending:
+        Cap on traces whose spans are accumulating but whose request has
+        not completed yet.  Overflow evicts the oldest pending trace
+        (``pending_evicted``) — a leak guard for traces that are never
+        :meth:`complete`\\ d.
+    p99_window / min_samples:
+        The rolling-p99 slowness detector keeps the last ``p99_window``
+        root latencies; until ``min_samples`` of them exist no trace is
+        retained for slowness alone (flags always retain).
+    boring_keep_rate:
+        Probability (0..1) of keeping an otherwise-boring trace as a
+        healthy baseline; 0 (default) keeps none.
+    auto_dump_dir / auto_dump_limit:
+        When set, every *triggered* retention (any reason except
+        ``sampled``) writes ``trace-<id>.json`` Chrome-trace dumps into
+        the directory, up to ``auto_dump_limit`` files per recorder.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        max_traces: int = 256,
+        max_pending: int = 1024,
+        p99_window: int = 512,
+        min_samples: int = 50,
+        boring_keep_rate: float = 0.0,
+        auto_dump_dir: Optional[str] = None,
+        auto_dump_limit: int = 20,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[Any] = None,
+    ):
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        if not 0.0 <= boring_keep_rate <= 1.0:
+            raise ValueError("boring_keep_rate must be in [0, 1]")
+        self.max_traces = int(max_traces)
+        self.max_pending = int(max_pending)
+        self.min_samples = int(min_samples)
+        self.boring_keep_rate = float(boring_keep_rate)
+        self.auto_dump_dir = auto_dump_dir
+        self.auto_dump_limit = int(auto_dump_limit)
+        self._clock = clock
+        if rng is None:
+            import random
+
+            rng = random.Random()
+        self._rng = rng
+        self._lock = threading.Lock()
+        self._pending: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+        self._retained: "OrderedDict[str, RetainedTrace]" = OrderedDict()
+        self._latencies: Deque[float] = deque(maxlen=int(p99_window))
+        self._sorted_latencies: List[float] = []
+        self._latencies_dirty = 0
+        self._seq = 0
+        self._attached: List[Tracer] = []
+        # Counters (read via stats()).
+        self.completed = 0
+        self.dropped_boring = 0
+        self.evicted = 0
+        self.pending_evicted = 0
+        self.auto_dumps = 0
+        self.by_reason: Dict[str, int] = {r: 0 for r in REASONS}
+
+    # ------------------------------------------------------------------ #
+    # Tracer wiring
+    # ------------------------------------------------------------------ #
+
+    def attach(self, tracer: Tracer) -> "FlightRecorder":
+        """Register as a span sink on ``tracer``; returns self.
+
+        Idempotent per tracer — a service and a coordinator sharing one
+        global tracer attach once, not twice.
+        """
+        if tracer in self._attached:
+            return self
+        tracer.add_sink(self.on_span)
+        self._attached.append(tracer)
+        return self
+
+    def detach(self, tracer: Optional[Tracer] = None) -> None:
+        """Unregister from one tracer (or every attached one)."""
+        targets = [tracer] if tracer is not None else list(self._attached)
+        for t in targets:
+            t.remove_sink(self.on_span)
+            try:
+                self._attached.remove(t)
+            except ValueError:
+                pass
+
+    def on_span(self, span: Dict[str, Any]) -> None:
+        """Span-sink callback: buffer the span under its trace id."""
+        trace_id = span.get("trace_id")
+        if not trace_id:
+            return
+        with self._lock:
+            bucket = self._pending.get(trace_id)
+            if bucket is None:
+                bucket = self._pending[trace_id] = []
+                while len(self._pending) > self.max_pending:
+                    self._pending.popitem(last=False)
+                    self.pending_evicted += 1
+            bucket.append(dict(span))
+
+    # ------------------------------------------------------------------ #
+    # Completion: the tail-based sampling decision
+    # ------------------------------------------------------------------ #
+
+    def complete(
+        self,
+        trace_id: str,
+        outcome: Optional[TraceOutcome] = None,
+        extra_spans: Optional[List[Dict[str, Any]]] = None,
+        **outcome_kwargs: Any,
+    ) -> Optional[RetainedTrace]:
+        """Finish one trace: retain it if interesting, else forget it.
+
+        Accepts either a ready :class:`TraceOutcome` or its fields as
+        keyword arguments.  ``extra_spans`` appends synthetic spans (the
+        serving layer uses this for rejected requests, which never ran).
+        Returns the :class:`RetainedTrace` when retained, else ``None``.
+        """
+        if outcome is None:
+            outcome = TraceOutcome(**outcome_kwargs)
+        dump: Optional[RetainedTrace] = None
+        with self._lock:
+            spans = self._pending.pop(trace_id, [])
+            if extra_spans:
+                spans.extend(dict(sp) for sp in extra_spans)
+            self.completed += 1
+            reasons = self._reasons_locked(outcome)
+            # Feed the latency window *after* the slowness comparison so a
+            # request is compared against its predecessors, not itself.
+            if outcome.latency_seconds is not None and not outcome.rejected:
+                self._latencies.append(float(outcome.latency_seconds))
+                self._latencies_dirty += 1
+            if not reasons:
+                self.dropped_boring += 1
+                return None
+            self._seq += 1
+            trace = RetainedTrace(
+                trace_id=trace_id,
+                reasons=tuple(reasons),
+                outcome=outcome,
+                spans=spans,
+                retained_at=self._clock(),
+                seq=self._seq,
+            )
+            self._retained[trace_id] = trace
+            self._retained.move_to_end(trace_id)
+            while len(self._retained) > self.max_traces:
+                self._retained.popitem(last=False)
+                self.evicted += 1
+            for reason in reasons:
+                self.by_reason[reason] += 1
+            triggered = any(r != "sampled" for r in reasons)
+            if (
+                triggered
+                and self.auto_dump_dir is not None
+                and self.auto_dumps < self.auto_dump_limit
+            ):
+                self.auto_dumps += 1
+                dump = trace
+        if dump is not None:
+            self._auto_dump(dump)
+        return trace
+
+    def _reasons_locked(self, outcome: TraceOutcome) -> List[str]:
+        reasons: List[str] = []
+        if outcome.rejected:
+            reasons.append("rejected")
+        if outcome.error:
+            reasons.append("error")
+        if outcome.degraded:
+            reasons.append("degraded")
+        if outcome.fault_hits > 0:
+            reasons.append("fault")
+        if (
+            outcome.latency_seconds is not None
+            and not outcome.rejected
+            and len(self._latencies) >= self.min_samples
+            and outcome.latency_seconds > self._rolling_p99_locked()
+        ):
+            reasons.append("slow")
+        if not reasons and self.boring_keep_rate > 0.0:
+            if self._rng.random() < self.boring_keep_rate:
+                reasons.append("sampled")
+        return reasons
+
+    def _rolling_p99_locked(self) -> float:
+        # Re-sort lazily: at most every 32 completions, or when the
+        # window content is stale — O(n log n) amortized far below once
+        # per request.
+        if self._latencies_dirty >= 32 or len(self._sorted_latencies) != len(
+            self._latencies
+        ):
+            self._sorted_latencies = sorted(self._latencies)
+            self._latencies_dirty = 0
+        data = self._sorted_latencies
+        if not data:
+            return float("inf")
+        rank = max(0, min(len(data) - 1, int(0.99 * len(data))))
+        return data[rank]
+
+    def rolling_p99(self) -> Optional[float]:
+        """Current rolling p99 of completed-request latencies (None cold)."""
+        with self._lock:
+            if len(self._latencies) < self.min_samples:
+                return None
+            return self._rolling_p99_locked()
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def get(self, trace_id: str) -> Optional[RetainedTrace]:
+        with self._lock:
+            return self._retained.get(trace_id)
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._retained)
+
+    def traces(self) -> List[RetainedTrace]:
+        with self._lock:
+            return list(self._retained.values())
+
+    def spans_for(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Spans of one trace — retained or still pending (copies)."""
+        with self._lock:
+            trace = self._retained.get(trace_id)
+            if trace is not None:
+                return [dict(sp) for sp in trace.spans]
+            return [dict(sp) for sp in self._pending.get(trace_id, [])]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._retained)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "completed": self.completed,
+                "retained": len(self._retained),
+                "dropped_boring": self.dropped_boring,
+                "evicted": self.evicted,
+                "pending": len(self._pending),
+                "pending_evicted": self.pending_evicted,
+                "auto_dumps": self.auto_dumps,
+                "by_reason": dict(self.by_reason),
+                "p99_seconds": (
+                    self._rolling_p99_locked()
+                    if len(self._latencies) >= self.min_samples
+                    else None
+                ),
+                "latency_samples": len(self._latencies),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Dumping
+    # ------------------------------------------------------------------ #
+
+    def to_chrome_trace(
+        self, trace_id: Optional[str] = None, main_pid: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Chrome trace-event document of one retained trace (or all)."""
+        from .exporters import chrome_trace
+
+        with self._lock:
+            if trace_id is not None:
+                trace = self._retained.get(trace_id)
+                spans = list(trace.spans) if trace is not None else []
+            else:
+                spans = [
+                    sp for t in self._retained.values() for sp in t.spans
+                ]
+        return chrome_trace(spans, main_pid=main_pid)
+
+    def dump(
+        self, path: str, trace_id: Optional[str] = None
+    ) -> int:
+        """Write a Chrome-trace JSON dump to ``path``; returns event count."""
+        import json
+
+        document = self.to_chrome_trace(trace_id)
+        with open(path, "w") as fh:
+            json.dump(document, fh, indent=1)
+            fh.write("\n")
+        return len(document["traceEvents"])
+
+    def _auto_dump(self, trace: RetainedTrace) -> None:
+        import os
+
+        try:
+            os.makedirs(self.auto_dump_dir, exist_ok=True)
+            path = os.path.join(
+                self.auto_dump_dir, f"trace-{trace.trace_id}.json"
+            )
+            self.dump(path, trace.trace_id)
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def synthetic_span(
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        duration_ns: int = 0,
+        **attributes: Any,
+    ) -> Dict[str, Any]:
+        """A minimal span dict for events with no organic span (rejections)."""
+        import os as _os
+        import threading as _threading
+
+        now_ns = time.monotonic_ns()
+        return {
+            "name": name,
+            "trace_id": trace_id or uuid.uuid4().hex,
+            "span_id": uuid.uuid4().hex[:16],
+            "parent_id": parent_id,
+            "start_ns": now_ns - max(0, duration_ns),
+            "end_ns": now_ns,
+            "thread_id": _threading.get_ident(),
+            "thread_name": _threading.current_thread().name,
+            "pid": _os.getpid(),
+            "attributes": dict(attributes),
+        }

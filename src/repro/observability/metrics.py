@@ -112,7 +112,8 @@ class Histogram(_Metric):
         self.bounds = bounds
 
     class _Child:
-        __slots__ = ("counts", "inf_count", "count", "sum", "min", "max")
+        __slots__ = ("counts", "inf_count", "count", "sum", "min", "max",
+                     "exemplars")
 
         def __init__(self, n_bounds: int):
             self.counts = [0] * n_bounds
@@ -121,6 +122,9 @@ class Histogram(_Metric):
             self.sum = 0.0
             self.min = math.inf
             self.max = -math.inf
+            #: Last-observed exemplar per bucket index (``n_bounds`` is the
+            #: +Inf bucket): ``{idx: (labels_dict, observed_value)}``.
+            self.exemplars: Dict[int, Tuple[Dict[str, str], float]] = {}
 
     def _child(self, labels: Dict[str, Any]) -> "Histogram._Child":
         key = self._key(labels)
@@ -129,7 +133,15 @@ class Histogram(_Metric):
             child = self._children[key] = Histogram._Child(len(self.bounds))
         return child
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[Dict[str, Any]] = None,
+        **labels: Any,
+    ) -> None:
+        """Record one sample; ``exemplar`` optionally attaches reference
+        labels (OpenMetrics-style, e.g. ``{"trace_id": ...}``) to the
+        bucket the sample lands in — the last exemplar per bucket wins."""
         value = float(value)
         with self._lock:
             child = self._child(labels)
@@ -142,8 +154,14 @@ class Histogram(_Metric):
             idx = self._bucket_index(value)
             if idx is None:
                 child.inf_count += 1
+                idx = len(self.bounds)
             else:
                 child.counts[idx] += 1
+            if exemplar:
+                child.exemplars[idx] = (
+                    {str(k): str(v) for k, v in exemplar.items()},
+                    value,
+                )
 
     def _bucket_index(self, value: float) -> Optional[int]:
         bounds = self.bounds
@@ -238,6 +256,42 @@ class Histogram(_Metric):
                 yield ("_bucket", labels, ("le", "+Inf"), float(child.count))
                 yield ("_sum", labels, None, child.sum)
                 yield ("_count", labels, None, float(child.count))
+
+    def samples_with_exemplars(self):
+        """Like :meth:`samples` but 5-tuples whose last element is the
+        bucket's exemplar ``(labels_dict, observed_value)`` or ``None``.
+        Only ``_bucket`` samples carry exemplars (OpenMetrics rules)."""
+        with self._lock:
+            for key in sorted(self._children):
+                child = self._children[key]
+                labels = dict(zip(self.label_names, key))
+                cumulative = 0
+                for i, (bound, n) in enumerate(zip(self.bounds, child.counts)):
+                    cumulative += n
+                    yield (
+                        "_bucket",
+                        labels,
+                        ("le", _format_float(bound)),
+                        float(cumulative),
+                        child.exemplars.get(i),
+                    )
+                yield (
+                    "_bucket",
+                    labels,
+                    ("le", "+Inf"),
+                    float(child.count),
+                    child.exemplars.get(len(self.bounds)),
+                )
+                yield ("_sum", labels, None, child.sum, None)
+                yield ("_count", labels, None, float(child.count), None)
+
+    def exemplars(self, **labels: Any) -> List[Tuple[Dict[str, str], float]]:
+        """All exemplars currently held for one label set."""
+        with self._lock:
+            child = self._children.get(self._key(labels))
+            if child is None:
+                return []
+            return [child.exemplars[i] for i in sorted(child.exemplars)]
 
 
 class Counter(_Metric):

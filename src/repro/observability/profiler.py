@@ -1,0 +1,195 @@
+"""Continuous profiling: low-overhead stack sampling to collapsed stacks.
+
+:class:`StackProfiler` wakes every ``interval`` seconds, snapshots every
+thread's Python stack via :func:`sys._current_frames` (a C-level dict
+copy — no tracing hooks, no per-call cost to the profiled code), and
+folds each stack into a ``root;caller;...;leaf -> count`` table.  That is
+exactly Brendan Gregg's *collapsed stack* format, so the output of
+:meth:`write_collapsed` feeds ``flamegraph.pl`` / speedscope / Perfetto
+directly.
+
+The profiler measures its own cost: :meth:`stats` reports
+``overhead_fraction`` — time spent inside the sampling loop divided by
+wall time profiled — which the forensics smoke gates below 5%.  At the
+default 10 ms interval a sample costs tens of microseconds, keeping the
+fraction well under 1% for typical thread counts.
+
+Usage::
+
+    with StackProfiler(interval=0.01) as prof:
+        run_workload()
+    prof.write_collapsed("profile.folded")
+
+``mck serve-bench --profile out.folded`` and ``live-bench --profile``
+wire this around the whole benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["StackProfiler"]
+
+
+class StackProfiler:
+    """Background sampling profiler emitting collapsed stacks.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples.  Lower = finer profile, higher overhead;
+        the forensics smoke uses 25 ms to stay far under its 5% gate.
+    max_stacks:
+        Bound on distinct stack strings kept; beyond it new stacks fold
+        into the ``(other)`` bucket so memory stays fixed.
+    include_idle:
+        Keep samples of threads parked in ``wait``/``select``/``poll``
+        leaf frames.  Off by default: idle pool threads would otherwise
+        dominate every profile.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.01,
+        max_stacks: int = 10_000,
+        include_idle: bool = False,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = float(interval)
+        self.max_stacks = int(max_stacks)
+        self.include_idle = bool(include_idle)
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._samples = 0
+        self._threads_seen = 0
+        self._work_seconds = 0.0
+        self._started_at: Optional[float] = None
+        self._wall_seconds = 0.0
+
+    _IDLE_LEAVES = frozenset(
+        {"wait", "select", "poll", "accept", "recv", "sleep", "_recv_bytes"}
+    )
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def start(self) -> "StackProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="mck-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_at is not None:
+            self._wall_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def __enter__(self) -> "StackProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling loop --------------------------------------------------- #
+
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            began = time.perf_counter()
+            try:
+                frames = sys._current_frames()
+            except Exception:
+                continue
+            stacks: List[str] = []
+            for ident, frame in frames.items():
+                if ident == own_ident:
+                    continue
+                stack = self._fold(frame)
+                if stack is not None:
+                    stacks.append(stack)
+            with self._lock:
+                self._samples += 1
+                self._threads_seen = max(self._threads_seen, len(frames) - 1)
+                for stack in stacks:
+                    if (
+                        stack not in self._counts
+                        and len(self._counts) >= self.max_stacks
+                    ):
+                        stack = "(other)"
+                    self._counts[stack] = self._counts.get(stack, 0) + 1
+                self._work_seconds += time.perf_counter() - began
+
+    def _fold(self, frame) -> Optional[str]:
+        parts: List[str] = []
+        leaf_name = None
+        depth = 0
+        while frame is not None and depth < 128:
+            code = frame.f_code
+            if leaf_name is None:
+                leaf_name = code.co_name
+            module = os.path.splitext(os.path.basename(code.co_filename))[0]
+            parts.append(f"{module}.{code.co_name}")
+            frame = frame.f_back
+            depth += 1
+        if not parts:
+            return None
+        if not self.include_idle and leaf_name in self._IDLE_LEAVES:
+            return None
+        parts.reverse()
+        return ";".join(parts)
+
+    # -- output ---------------------------------------------------------- #
+
+    def collapsed(self) -> Dict[str, int]:
+        """``{"root;...;leaf": samples}`` snapshot."""
+        with self._lock:
+            return dict(self._counts)
+
+    def render_collapsed(self) -> str:
+        """Flamegraph-compatible text: one ``stack count`` line each."""
+        counts = self.collapsed()
+        return "\n".join(
+            f"{stack} {count}" for stack, count in sorted(counts.items())
+        ) + ("\n" if counts else "")
+
+    def write_collapsed(self, path: str) -> int:
+        """Write collapsed stacks to ``path``; returns the line count."""
+        text = self.render_collapsed()
+        with open(path, "w") as fh:
+            fh.write(text)
+        return len(self.collapsed())
+
+    def stats(self) -> Dict[str, Any]:
+        wall = self._wall_seconds
+        if self._started_at is not None:
+            wall += time.perf_counter() - self._started_at
+        with self._lock:
+            samples = self._samples
+            stacks = len(self._counts)
+            work = self._work_seconds
+        return {
+            "samples": samples,
+            "distinct_stacks": stacks,
+            "interval_seconds": self.interval,
+            "wall_seconds": wall,
+            "sampling_seconds": work,
+            "overhead_fraction": (work / wall) if wall > 0 else 0.0,
+            "max_threads_seen": self._threads_seen,
+        }

@@ -1,0 +1,369 @@
+"""SLO tracking: rolling-window burn rates, error budgets, alerts.
+
+An SLO ("99% of queries answer in under 250 ms over the window") is
+tracked as a stream of good/bad events bucketed per second into rolling
+windows.  From those the tracker derives the quantities SRE practice
+actually pages on:
+
+* **burn rate** — the window's bad-event rate divided by the budgeted
+  rate ``1 - objective``.  Burn 1.0 spends the error budget exactly at
+  the sustainable pace; burn 10.0 exhausts it 10× too fast.
+* **multi-window alerts** — a policy ``(short, long, factor)`` fires
+  when *both* the short and the long window burn at ≥ ``factor``; the
+  long window keeps one latency spike from paging, the short window
+  makes the alert reset quickly once the incident ends.
+* **error budget remaining** — the fraction of the longest window's
+  budget still unspent (clamped to [0, 1]).
+
+Wire a tracker to a :class:`~repro.serving.stats.MetricsRegistry` (or
+pass one at construction) and the gauges ride the existing Prometheus
+export: ``mck_slo_burn_rate{slo,window}``,
+``mck_slo_error_budget_remaining{slo}``, ``mck_slo_alert{slo}`` and the
+``mck_slo_events_total{slo,outcome}`` counter.
+
+Arithmetic contract: an empty window yields burn 0.0 and budget 1.0 —
+never NaN — so the burn-rate math is safe to export from a cold start.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SLObjective",
+    "SLOTracker",
+    "DEFAULT_WINDOWS",
+    "DEFAULT_ALERT_POLICIES",
+    "default_objectives",
+]
+
+#: Rolling windows, seconds: fast signal, paging signal, budget window.
+DEFAULT_WINDOWS: Tuple[int, ...] = (60, 300, 1800)
+
+#: Multi-window alert policies ``(short_s, long_s, factor)`` — the
+#: classic fast-burn and slow-burn pair.
+DEFAULT_ALERT_POLICIES: Tuple[Tuple[int, int, float], ...] = (
+    (60, 300, 10.0),
+    (300, 1800, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective.
+
+    ``kind`` selects how a :class:`~repro.serving.stats.QueryStats`
+    record is classified:
+
+    * ``"latency"`` — SLI over *answered* requests only (rejected and
+      errored requests are excluded; they are availability's problem);
+      good when ``total_seconds <= latency_target``.
+    * ``"availability"`` — SLI over all requests; bad when the request
+      errored **or was rejected by admission control** (a shed request
+      is unavailability from the client's side of the socket).
+    """
+
+    name: str
+    kind: str  # "latency" | "availability"
+    objective: float  # good-event fraction target in (0, 1)
+    latency_target: Optional[float] = None  # seconds; latency kind only
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be a fraction in (0, 1)")
+        if self.kind == "latency" and not self.latency_target:
+            raise ValueError("latency SLO needs a latency_target")
+
+    def classify(self, stats) -> Optional[bool]:
+        """True good / False bad / None not-applicable for this SLI."""
+        rejected = bool(getattr(stats, "rejected", False))
+        success = bool(getattr(stats, "success", True))
+        if self.kind == "availability":
+            return success and not rejected
+        if rejected or not success:
+            return None
+        return float(getattr(stats, "total_seconds", 0.0)) <= self.latency_target
+
+
+def default_objectives(
+    latency_target: float = 0.25,
+    latency_objective: float = 0.95,
+    availability_objective: float = 0.99,
+) -> Tuple[SLObjective, ...]:
+    """The serving layer's stock pair: latency-under-target + availability."""
+    return (
+        SLObjective("latency", "latency", latency_objective, latency_target),
+        SLObjective("availability", "availability", availability_objective),
+    )
+
+
+class _Ring:
+    """Per-second good/bad buckets covering the last ``horizon`` seconds."""
+
+    __slots__ = ("horizon", "_buckets")
+
+    def __init__(self, horizon: int):
+        self.horizon = int(horizon)
+        self._buckets: Dict[int, List[float]] = {}
+
+    def add(self, now: float, good: bool) -> None:
+        second = int(now)
+        bucket = self._buckets.get(second)
+        if bucket is None:
+            self._evict(second)
+            bucket = self._buckets[second] = [0.0, 0.0]
+        bucket[0 if good else 1] += 1.0
+
+    def totals(self, now: float, window: int) -> Tuple[float, float]:
+        """(good, bad) counts over the trailing ``window`` seconds."""
+        second = int(now)
+        cutoff = second - int(window)
+        good = bad = 0.0
+        for ts, bucket in self._buckets.items():
+            if cutoff < ts <= second:
+                good += bucket[0]
+                bad += bucket[1]
+        return good, bad
+
+    def _evict(self, now_second: int) -> None:
+        cutoff = now_second - self.horizon
+        if len(self._buckets) > self.horizon:
+            for ts in [t for t in self._buckets if t <= cutoff]:
+                del self._buckets[ts]
+
+
+class SLOTracker:
+    """Track a set of :class:`SLObjective` over rolling windows.
+
+    Parameters
+    ----------
+    objectives:
+        The SLOs to track; defaults to :func:`default_objectives`.
+    windows:
+        Rolling window lengths in seconds; the longest one is the error
+        budget window.
+    alert_policies:
+        ``(short_s, long_s, factor)`` triples; both windows must burn at
+        ≥ factor for the alert to fire.  Windows referenced here are
+        tracked even if absent from ``windows``.
+    registry:
+        Optional :class:`~repro.serving.stats.MetricsRegistry` to bind
+        gauges onto immediately (see :meth:`bind`).
+    clock:
+        Injectable time source (seconds); tests pass a fake.
+    """
+
+    def __init__(
+        self,
+        objectives: Optional[Sequence[SLObjective]] = None,
+        windows: Sequence[int] = DEFAULT_WINDOWS,
+        alert_policies: Sequence[Tuple[int, int, float]] = DEFAULT_ALERT_POLICIES,
+        registry=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.objectives: Tuple[SLObjective, ...] = tuple(
+            objectives if objectives is not None else default_objectives()
+        )
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        window_set = {int(w) for w in windows}
+        for short, long_, _factor in alert_policies:
+            window_set.add(int(short))
+            window_set.add(int(long_))
+        self.windows: Tuple[int, ...] = tuple(sorted(window_set))
+        if not self.windows:
+            raise ValueError("need at least one window")
+        self.alert_policies = tuple(
+            (int(s), int(l), float(f)) for s, l, f in alert_policies
+        )
+        self.clock = clock
+        self._lock = threading.Lock()
+        horizon = max(self.windows)
+        self._rings: Dict[str, _Ring] = {
+            o.name: _Ring(horizon) for o in self.objectives
+        }
+        self._events: Dict[Tuple[str, str], int] = {}
+        self._burn_gauge = None
+        self._budget_gauge = None
+        self._alert_gauge = None
+        self._events_counter = None
+        if registry is not None:
+            self.bind(registry)
+
+    # -- wiring ---------------------------------------------------------- #
+
+    def bind(self, registry) -> "SLOTracker":
+        """Create/attach the SLO metric families on a registry.
+
+        Gauges are refreshed by :meth:`refresh_gauges` (called from
+        :meth:`as_dict`), not per record — burn rates are derived state,
+        and deriving on read keeps the record path O(1).
+        """
+        self._burn_gauge = registry.gauge(
+            "mck_slo_burn_rate",
+            help="Error-budget burn rate per SLO and rolling window "
+            "(1.0 = budget spent exactly at the sustainable pace).",
+            label_names=("slo", "window"),
+        )
+        self._budget_gauge = registry.gauge(
+            "mck_slo_error_budget_remaining",
+            help="Fraction of the budget window's error budget unspent.",
+            label_names=("slo",),
+        )
+        self._alert_gauge = registry.gauge(
+            "mck_slo_alert",
+            help="1 while any multi-window burn-rate alert fires for the SLO.",
+            label_names=("slo",),
+        )
+        self._events_counter = registry.counter(
+            "mck_slo_events_total",
+            help="SLI events classified per SLO.",
+            label_names=("slo", "outcome"),
+        )
+        return self
+
+    # -- recording ------------------------------------------------------- #
+
+    def record(self, stats) -> Dict[str, bool]:
+        """Classify one QueryStats-shaped record against every objective.
+
+        Returns ``{slo_name: good}`` for the objectives that applied.
+        """
+        now = self.clock()
+        outcome: Dict[str, bool] = {}
+        with self._lock:
+            for objective in self.objectives:
+                verdict = objective.classify(stats)
+                if verdict is None:
+                    continue
+                outcome[objective.name] = verdict
+                self._record_locked(objective.name, verdict, now)
+        for name, good in outcome.items():
+            if self._events_counter is not None:
+                self._events_counter.inc(
+                    1.0, slo=name, outcome="good" if good else "bad"
+                )
+        return outcome
+
+    def record_event(self, name: str, good: bool) -> None:
+        """Record a raw SLI event for one objective by name."""
+        now = self.clock()
+        with self._lock:
+            if name not in self._rings:
+                raise KeyError(f"unknown SLO {name!r}")
+            self._record_locked(name, good, now)
+        if self._events_counter is not None:
+            self._events_counter.inc(
+                1.0, slo=name, outcome="good" if good else "bad"
+            )
+
+    def _record_locked(self, name: str, good: bool, now: float) -> None:
+        self._rings[name].add(now, good)
+        key = (name, "good" if good else "bad")
+        self._events[key] = self._events.get(key, 0) + 1
+
+    # -- derived quantities ---------------------------------------------- #
+
+    def burn_rate(self, name: str, window: int) -> float:
+        """Bad-event rate over ``window`` divided by the budgeted rate.
+
+        0.0 for an empty window (cold start burns nothing).
+        """
+        objective = self._objective(name)
+        now = self.clock()
+        with self._lock:
+            good, bad = self._rings[name].totals(now, window)
+        total = good + bad
+        if total <= 0.0:
+            return 0.0
+        return (bad / total) / (1.0 - objective.objective)
+
+    def error_budget_remaining(self, name: str) -> float:
+        """Unspent budget fraction over the longest window, in [0, 1]."""
+        burn = self.burn_rate(name, max(self.windows))
+        return max(0.0, min(1.0, 1.0 - burn))
+
+    def alerts(self, name: str) -> List[Dict[str, Any]]:
+        """The alert policies currently firing for one objective."""
+        firing = []
+        for short, long_, factor in self.alert_policies:
+            short_burn = self.burn_rate(name, short)
+            long_burn = self.burn_rate(name, long_)
+            if short_burn >= factor and long_burn >= factor:
+                firing.append(
+                    {
+                        "short_window": short,
+                        "long_window": long_,
+                        "factor": factor,
+                        "short_burn": short_burn,
+                        "long_burn": long_burn,
+                    }
+                )
+        return firing
+
+    def refresh_gauges(self) -> None:
+        """Push current burn/budget/alert values into the bound gauges."""
+        if self._burn_gauge is None:
+            return
+        for objective in self.objectives:
+            for window in self.windows:
+                self._burn_gauge.set(
+                    self.burn_rate(objective.name, window),
+                    slo=objective.name,
+                    window=str(window),
+                )
+            self._budget_gauge.set(
+                self.error_budget_remaining(objective.name), slo=objective.name
+            )
+            self._alert_gauge.set(
+                1.0 if self.alerts(objective.name) else 0.0, slo=objective.name
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The ``slo`` block of bench dumps; also refreshes bound gauges."""
+        now = self.clock()
+        out: Dict[str, Any] = {}
+        for objective in self.objectives:
+            with self._lock:
+                ring = self._rings[objective.name]
+                window_totals = {
+                    window: ring.totals(now, window) for window in self.windows
+                }
+                good_total = self._events.get((objective.name, "good"), 0)
+                bad_total = self._events.get((objective.name, "bad"), 0)
+            windows = {}
+            for window, (good, bad) in sorted(window_totals.items()):
+                total = good + bad
+                bad_rate = bad / total if total else 0.0
+                windows[str(window)] = {
+                    "good": good,
+                    "bad": bad,
+                    "burn_rate": bad_rate / (1.0 - objective.objective),
+                }
+            out[objective.name] = {
+                "kind": objective.kind,
+                "objective": objective.objective,
+                "latency_target": objective.latency_target,
+                "events": {"good": good_total, "bad": bad_total},
+                "windows": windows,
+                "error_budget_remaining": self.error_budget_remaining(
+                    objective.name
+                ),
+                "alerts": self.alerts(objective.name),
+            }
+        self.refresh_gauges()
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def _objective(self, name: str) -> SLObjective:
+        for objective in self.objectives:
+            if objective.name == name:
+                return objective
+        raise KeyError(f"unknown SLO {name!r}")

@@ -67,6 +67,7 @@ class Span:
         "end_ns",
         "attributes",
         "thread_id",
+        "thread_name",
         "pid",
         "_tracer",
     )
@@ -88,6 +89,7 @@ class Span:
         self.end_ns = 0
         self.attributes = attributes or {}
         self.thread_id = threading.get_ident()
+        self.thread_name = threading.current_thread().name
         self.pid = os.getpid()
 
     # -- context manager ------------------------------------------------- #
@@ -120,6 +122,7 @@ class Span:
             "start_ns": self.start_ns,
             "end_ns": self.end_ns,
             "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
             "pid": self.pid,
             "attributes": dict(self.attributes),
         }
@@ -184,6 +187,7 @@ class Tracer:
         self._foreign: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._sinks: List[Callable[[Dict[str, Any]], None]] = []
 
     # -- span lifecycle -------------------------------------------------- #
 
@@ -261,12 +265,35 @@ class Tracer:
 
     def ingest(self, spans: Iterable[Dict[str, Any]]) -> None:
         """Adopt span dicts produced by another tracer (other process)."""
+        adopted: List[Dict[str, Any]] = []
         with self._lock:
             for sp in spans:
                 if len(self._finished) + len(self._foreign) >= self.max_spans:
                     self.dropped += 1
                     continue
-                self._foreign.append(dict(sp))
+                record = dict(sp)
+                self._foreign.append(record)
+                adopted.append(record)
+        if self._sinks and adopted:
+            for record in adopted:
+                self._emit(record)
+
+    def add_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        """Register a callback fired with every finished span's dict.
+
+        Sinks see locally finished spans and ingested foreign spans alike
+        — even ones dropped from the bounded buffer — so a
+        :class:`~repro.observability.flight.FlightRecorder` never loses a
+        trace to buffer pressure.  Sinks run outside the tracer lock and
+        must not raise.
+        """
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
 
     def reset(self) -> None:
         with self._lock:
@@ -304,8 +331,20 @@ class Tracer:
         with self._lock:
             if len(self._finished) + len(self._foreign) >= self.max_spans:
                 self.dropped += 1
-                return
-            self._finished.append(sp)
+            else:
+                self._finished.append(sp)
+        # Sinks fire outside the lock, even for buffer-dropped spans: the
+        # flight recorder keeps its own bounded copies, so buffer pressure
+        # cannot lose a trace.
+        if self._sinks:
+            self._emit(sp.to_dict())
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        for sink in list(self._sinks):
+            try:
+                sink(record)
+            except Exception:  # pragma: no cover - sinks must not break tracing
+                pass
 
 
 class _UnsampledMarker:

@@ -41,7 +41,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
 )
 from dataclasses import dataclass
-from threading import Lock
+from threading import Lock, local as thread_local
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.common import Instrumentation
@@ -57,6 +57,8 @@ from ..exceptions import (
 )
 from ..live.engine import LiveMCKEngine
 from ..observability import tracer as _tracing
+from ..observability.explain import build_explain, collect_trace_spans
+from ..observability.flight import FlightRecorder
 from ..observability.logging import correlation_scope, get_logger
 from ..testing import faults as _faults
 from .admission import (
@@ -145,6 +147,9 @@ class ServedResult:
     stats: QueryStats
     #: Human-readable failure reason (``None`` on success).
     error: Optional[str] = None
+    #: Per-query EXPLAIN report (``submit(..., explain=True)`` only);
+    #: the dict built by :func:`repro.observability.explain.build_explain`.
+    explain: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -307,6 +312,8 @@ class QueryService:
         breaker_cooldown: float = 30.0,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[_tracing.Tracer] = None,
+        flight: Optional[FlightRecorder] = None,
+        slo=None,
         cache_clock=time.monotonic,
     ):
         if isinstance(source, (MCKEngine, LiveMCKEngine)):
@@ -341,6 +348,23 @@ class QueryService:
             if self.engine.metrics is None:
                 self.engine.metrics = self.metrics
         self.tracer = tracer
+        self._local = thread_local()
+        #: Flight recorder for tail-based trace retention.  It needs a
+        #: tracer to feed it spans: when neither an explicit nor a global
+        #: tracer exists, the service grows a private one.
+        self.flight = flight
+        if flight is not None:
+            if self.tracer is None and _tracing.get_tracer() is None:
+                self.tracer = _tracing.Tracer()
+            flight.attach(self._tracer())
+        #: SLO tracker (:class:`~repro.observability.slo.SLOTracker`);
+        #: every finished request — including admission rejections — is
+        #: classified against its objectives.  Bound to this service's
+        #: metrics registry so the burn-rate gauges ride the existing
+        #: Prometheus export.
+        self.slo = slo
+        if slo is not None and getattr(slo, "_burn_gauge", None) is None:
+            slo.bind(self.metrics)
         self.strict_timeouts = strict_timeouts
         self.pool_retries = max(0, pool_retries)
         self.pool_retry_backoff = pool_retry_backoff
@@ -389,14 +413,16 @@ class QueryService:
         algorithm: str = "SKECa+",
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
+        explain: bool = False,
     ) -> ServedResult:
         """Answer one query through admission control and wait for it.
 
         Raises :class:`~repro.exceptions.QueryRejected` when admission
         control sheds the request (queue full, unmeetable deadline, or
-        the service is closing).
+        the service is closing).  ``explain=True`` attaches the per-query
+        EXPLAIN report as ``result.explain``.
         """
-        return self.submit(keywords, algorithm, epsilon, timeout).result()
+        return self.submit(keywords, algorithm, epsilon, timeout, explain).result()
 
     def submit(
         self,
@@ -404,6 +430,7 @@ class QueryService:
         algorithm: str = "SKECa+",
         epsilon: float = DEFAULT_EPSILON,
         timeout: Optional[float] = None,
+        explain: bool = False,
     ) -> "Future[ServedResult]":
         """Enqueue one query; returns a future of its :class:`ServedResult`.
 
@@ -411,9 +438,15 @@ class QueryService:
         the request is not admitted (reason ``shutdown`` after
         :meth:`close`); a request shed *after* admission resolves its
         future with the same exception.
+
+        With ``explain=True`` the result carries an EXPLAIN report
+        (``result.explain``): algorithm and kernel mode, cache and
+        admission outcome, pruning counters, per-phase latency breakdown
+        and the span tree — assembled even when no tracer is attached (an
+        ephemeral per-request tracer fills in).
         """
         request = QueryRequest.coerce(keywords, algorithm, epsilon, timeout)
-        return self._submit(request)
+        return self._submit(request, explain)
 
     def query_many(
         self,
@@ -548,16 +581,75 @@ class QueryService:
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _submit(self, request: QueryRequest) -> "Future[ServedResult]":
+    def _submit(
+        self, request: QueryRequest, explain: bool = False
+    ) -> "Future[ServedResult]":
         algorithm = canonical_algorithm(request.algorithm)
-        return self.admission.submit(
-            self._serve,
-            request,
-            time.monotonic_ns(),
-            cost=self._estimate_cost(request, algorithm),
-            timeout=request.timeout,
-            key=algorithm,
+        try:
+            future = self.admission.submit(
+                self._serve,
+                request,
+                time.monotonic_ns(),
+                explain,
+                cost=self._estimate_cost(request, algorithm),
+                timeout=request.timeout,
+                key=algorithm,
+            )
+        except QueryRejected as err:
+            # Rejected at the door (queue full, unmeetable deadline,
+            # shutdown): the request never ran, so synthesize its trace.
+            self._record_rejection(request, err)
+            raise
+        # A request shed *after* admission (victim of reject-oldest /
+        # deadline-aware policies, or flushed at close) resolves its
+        # future with QueryRejected instead of raising here.
+        future.add_done_callback(
+            lambda fut: self._record_shed_future(request, fut)
         )
+        return future
+
+    def _record_shed_future(self, request: QueryRequest, fut: Future) -> None:
+        try:
+            err = fut.exception()
+        except BaseException:  # cancelled — nothing to record
+            return
+        if isinstance(err, QueryRejected):
+            self._record_rejection(request, err)
+
+    def _record_rejection(self, request: QueryRequest, err: QueryRejected) -> None:
+        """Observability for a shed request: SLO bad event + flight trace.
+
+        A rejected request never executed, so it has no organic spans; a
+        synthetic ``serve.rejected`` span (zero duration, reason attached)
+        is written to the flight recorder so 100% of rejections remain
+        debuggable.  The synthesized trace id is stashed on the exception
+        (``err.trace_id``) for :meth:`_rejected_result` to surface.
+        """
+        algorithm = canonical_algorithm(request.algorithm)
+        stats = QueryStats(
+            keywords=request.keywords,
+            algorithm=algorithm,
+            epsilon=request.epsilon,
+            success=False,
+            rejected=True,
+        )
+        if self.slo is not None:
+            self.slo.record(stats)
+        if self.flight is not None:
+            span = FlightRecorder.synthetic_span(
+                "serve.rejected",
+                reason=getattr(err, "reason", "rejected"),
+                algorithm=algorithm,
+                m=len(request.keywords),
+            )
+            err.trace_id = span["trace_id"]
+            self.flight.complete(
+                span["trace_id"],
+                rejected=True,
+                algorithm=algorithm,
+                error=str(err),
+                extra_spans=[span],
+            )
 
     def _estimate_cost(self, request: QueryRequest, algorithm: str) -> float:
         """Cost weight from algorithm, m, and keyword document frequency."""
@@ -587,6 +679,7 @@ class QueryService:
             epsilon=request.epsilon,
             success=False,
             rejected=True,
+            trace_id=getattr(err, "trace_id", "") or "",
         )
         return ServedResult(
             request=request, group=None, stats=stats, error=str(err)
@@ -604,7 +697,19 @@ class QueryService:
         _log.warning("pool.circuit", old_state=old_state, new_state=new_state)
 
     def _tracer(self) -> Optional[_tracing.Tracer]:
+        # The per-request ephemeral tracer (explain with no tracer wired)
+        # wins: a request's spans must land where its EXPLAIN looks.
+        ephemeral = getattr(self._local, "tracer", None)
+        if ephemeral is not None:
+            return ephemeral
         return self.tracer if self.tracer is not None else _tracing.get_tracer()
+
+    def _record(self, stats: QueryStats) -> None:
+        """Stamp the request's trace id, then feed metrics and SLO."""
+        stats.trace_id = getattr(self._local, "trace_id", "") or ""
+        self.metrics.record(stats)
+        if self.slo is not None:
+            self.slo.record(stats)
 
     def _span(self, name: str, **attributes):
         tracer = self._tracer()
@@ -613,51 +718,137 @@ class QueryService:
         return tracer.span(name, **attributes)
 
     def _serve(
-        self, request: QueryRequest, enqueued_ns: Optional[int] = None
+        self,
+        request: QueryRequest,
+        enqueued_ns: Optional[int] = None,
+        explain: bool = False,
     ) -> ServedResult:
         started = time.perf_counter()
-        with correlation_scope() as cid:
-            with self._span(
-                "serve.request",
-                algorithm=request.algorithm,
-                m=len(request.keywords),
-                correlation_id=cid,
-            ) as root:
-                if enqueued_ns is not None:
-                    # The wait happened before this span existed; record it
-                    # as two already-complete children: the raw queue wait
-                    # and the admission view of it (policy, live depth,
-                    # concurrency limit at dispatch).
-                    tracer = self._tracer()
-                    if tracer is not None:
-                        now_ns = time.monotonic_ns()
-                        tracer.record_complete(
-                            "serve.queue", enqueued_ns, now_ns
-                        )
-                        tracer.record_complete(
-                            "serve.admission",
-                            enqueued_ns,
-                            now_ns,
-                            policy=self.admission.policy,
-                            queue_depth=self.admission.queue_depth,
-                            concurrency_limit=round(self.limiter.limit, 3),
-                        )
-                result = self._serve_traced(request, started, cid)
-                root.set_attribute(
-                    "cache", "hit" if result.stats.cache_hit else "miss"
+        faults_before = _faults.total_triggered()
+        ephemeral: Optional[_tracing.Tracer] = None
+        if explain and self._tracer() is None:
+            # EXPLAIN needs spans; with no tracer wired anywhere, give
+            # this one request a private tracer (request execution —
+            # including the inline engine run — stays on this thread).
+            ephemeral = _tracing.Tracer()
+            self._local.tracer = ephemeral
+        try:
+            with correlation_scope() as cid:
+                with self._span(
+                    "serve.request",
+                    algorithm=request.algorithm,
+                    m=len(request.keywords),
+                    correlation_id=cid,
+                ) as root:
+                    trace_id = getattr(root, "trace_id", "") or ""
+                    self._local.trace_id = trace_id
+                    if enqueued_ns is not None:
+                        # The wait happened before this span existed; record it
+                        # as two already-complete children: the raw queue wait
+                        # and the admission view of it (policy, live depth,
+                        # concurrency limit at dispatch).
+                        tracer = self._tracer()
+                        if tracer is not None:
+                            now_ns = time.monotonic_ns()
+                            tracer.record_complete(
+                                "serve.queue", enqueued_ns, now_ns
+                            )
+                            tracer.record_complete(
+                                "serve.admission",
+                                enqueued_ns,
+                                now_ns,
+                                policy=self.admission.policy,
+                                queue_depth=self.admission.queue_depth,
+                                concurrency_limit=round(self.limiter.limit, 3),
+                            )
+                    result = self._serve_traced(request, started, cid)
+                    root.set_attribute(
+                        "cache", "hit" if result.stats.cache_hit else "miss"
+                    )
+                    if not result.ok:
+                        root.set_attribute("error", result.error or "failed")
+                # Root span closed: the full tree is in the tracer (and in
+                # the flight recorder's pending buffer).  Decide retention
+                # and assemble EXPLAIN now.
+                fault_hits = _faults.total_triggered() - faults_before
+                if self.flight is not None and trace_id:
+                    self.flight.complete(
+                        trace_id,
+                        algorithm=result.stats.algorithm,
+                        correlation_id=cid,
+                        latency_seconds=result.stats.total_seconds,
+                        cache_hit=result.stats.cache_hit,
+                        degraded=result.stats.degraded,
+                        error=result.error,
+                        fault_hits=fault_hits,
+                        quality=result.stats.quality,
+                    )
+                if explain:
+                    result.explain = self._build_explain(
+                        request, result, trace_id, cid, ephemeral
+                    )
+                _log.debug(
+                    "query.served",
+                    algorithm=result.stats.algorithm,
+                    keywords=list(request.keywords),
+                    cache_hit=result.stats.cache_hit,
+                    success=result.stats.success,
+                    total_seconds=result.stats.total_seconds,
+                    error=result.error,
                 )
-                if not result.ok:
-                    root.set_attribute("error", result.error or "failed")
-            _log.debug(
-                "query.served",
-                algorithm=result.stats.algorithm,
-                keywords=list(request.keywords),
-                cache_hit=result.stats.cache_hit,
-                success=result.stats.success,
-                total_seconds=result.stats.total_seconds,
-                error=result.error,
-            )
-        return result
+            return result
+        finally:
+            self._local.trace_id = ""
+            if ephemeral is not None:
+                self._local.tracer = None
+
+    def _build_explain(
+        self,
+        request: QueryRequest,
+        result: ServedResult,
+        trace_id: str,
+        cid: str,
+        ephemeral: Optional[_tracing.Tracer],
+    ) -> dict:
+        stats = result.stats
+        if ephemeral is not None:
+            spans = ephemeral.drain()  # private per-request tracer: all ours
+        else:
+            spans = collect_trace_spans(self._tracer(), trace_id)
+            if not spans and self.flight is not None and trace_id:
+                spans = self.flight.spans_for(trace_id)
+        if stats.rejected:
+            status = "rejected"
+        elif not stats.success:
+            status = "error"
+        elif stats.degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        group = result.group
+        return build_explain(
+            keywords=request.keywords,
+            algorithm=stats.algorithm,
+            epsilon=request.epsilon,
+            timeout=request.timeout,
+            spans=spans,
+            counters=stats.counters,
+            timings={
+                "context_seconds": stats.context_seconds,
+                "algorithm_seconds": stats.algorithm_seconds,
+                "total_seconds": stats.total_seconds,
+            },
+            engine_kind="live" if self._live else "sealed",
+            status=status,
+            quality=stats.quality,
+            diameter=stats.diameter,
+            group_size=stats.group_size,
+            object_ids=group.object_ids if group is not None else (),
+            error=result.error,
+            cache_hit=stats.cache_hit,
+            trace_id=trace_id,
+            correlation_id=cid,
+        )
 
     def _serve_traced(
         self, request: QueryRequest, started: float, cid: str
@@ -677,7 +868,7 @@ class QueryService:
             return self._serve_with_singleflight(request, key, started, cid, stamp)
 
         group, stats, error = self._execute(request, started, cid)
-        self.metrics.record(stats)
+        self._record(stats)
         return ServedResult(request=request, group=group, stats=stats, error=error)
 
     def _serve_with_singleflight(
@@ -714,7 +905,7 @@ class QueryService:
                 with self._inflight_lock:
                     if self._inflight.get(key) is fut:
                         del self._inflight[key]
-            self.metrics.record(stats)
+            self._record(stats)
             return ServedResult(
                 request=request, group=group, stats=stats, error=error
             )
@@ -918,7 +1109,7 @@ class QueryService:
             correlation_id=cid,
             quality=group.quality or "",
         )
-        self.metrics.record(stats)
+        self._record(stats)
         return ServedResult(request=request, group=group, stats=stats)
 
     def _finish_join(
@@ -944,5 +1135,5 @@ class QueryService:
             stats.group_size = len(group)
             stats.degraded = group.degraded
             stats.quality = group.quality or ""
-        self.metrics.record(stats)
+        self._record(stats)
         return ServedResult(request=request, group=group, stats=stats, error=error)

@@ -60,6 +60,10 @@ class QueryStats:
     group_size: int = 0
     #: Correlation id of the serving request that produced this record.
     correlation_id: str = ""
+    #: Trace id of the request's span tree (``""`` untraced); carried as
+    #: the histogram exemplar so a latency bucket links back to the
+    #: flight recorder's retained trace.
+    trace_id: str = ""
     #: Search/pruning counters: ``circle_scans``, ``binary_steps``,
     #: ``candidate_circles``, ``pruned_poles``, ``property1_skips``, ...
     counters: Dict[str, float] = field(default_factory=dict)
@@ -80,6 +84,7 @@ class QueryStats:
             "diameter": None if math.isnan(self.diameter) else self.diameter,
             "group_size": self.group_size,
             "correlation_id": self.correlation_id,
+            "trace_id": self.trace_id,
             "counters": dict(self.counters),
         }
 
@@ -319,7 +324,10 @@ class MetricsRegistry:
         # the registry lock stays small and un-nested.
         cache_label = "hit" if stats.cache_hit else "miss"
         self.latency_histogram.observe(
-            stats.total_seconds, algorithm=stats.algorithm, cache=cache_label
+            stats.total_seconds,
+            exemplar={"trace_id": stats.trace_id} if stats.trace_id else None,
+            algorithm=stats.algorithm,
+            cache=cache_label,
         )
         self.queries_counter.inc(
             1.0,
@@ -403,9 +411,14 @@ class MetricsRegistry:
             self.as_dict(), indent=indent, sort_keys=True, allow_nan=False
         )
 
-    def to_prometheus(self) -> str:
-        """Render every metric family as Prometheus text exposition."""
-        return render_prometheus(self.metric_families())
+    def to_prometheus(self, exemplars: bool = False) -> str:
+        """Render every metric family as Prometheus text exposition.
+
+        ``exemplars=True`` adds OpenMetrics exemplar suffixes (trace ids)
+        to histogram buckets; the default stays parseable by classic
+        Prometheus text parsers.
+        """
+        return render_prometheus(self.metric_families(), exemplars=exemplars)
 
     def reset(self) -> None:
         with self._lock:

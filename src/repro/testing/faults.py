@@ -236,6 +236,16 @@ def fired(site: str) -> int:
         return sum(f.triggered for f in _SITES.get(site, ()))
 
 
+def total_triggered() -> int:
+    """Trigger count summed over every armed site (flight-recorder use:
+    diffed before/after a request to tag traces that hit a fault).  Free
+    when no faults are armed."""
+    if not ACTIVE:
+        return 0
+    with _LOCK:
+        return sum(f.triggered for faults in _SITES.values() for f in faults)
+
+
 def snapshot() -> Dict[str, List[Fault]]:
     """Copy of the armed-fault table (debugging / assertions)."""
     with _LOCK:

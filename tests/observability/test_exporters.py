@@ -76,6 +76,10 @@ class TestPrometheus:
         assert render_prometheus([]) == ""
 
 
+def span_events(document):
+    return [e for e in document["traceEvents"] if e["ph"] == "X"]
+
+
 class TestChromeTrace:
     def test_round_trips_through_json(self, tmp_path):
         tracer = make_tracer()
@@ -84,13 +88,12 @@ class TestChromeTrace:
                 pass
         path = tmp_path / "trace.json"
         count = write_chrome_trace(tracer, str(path))
-        assert count == 2
         document = json.loads(path.read_text())
+        assert count == len(document["traceEvents"])
         assert set(document) == {"traceEvents", "displayTimeUnit"}
-        events = document["traceEvents"]
+        events = span_events(document)
         assert [e["name"] for e in events] == ["outer", "inner"]  # by start
         for event in events:
-            assert event["ph"] == "X"
             assert event["dur"] > 0
             assert event["cat"] == event["name"]
         inner = events[1]
@@ -98,11 +101,40 @@ class TestChromeTrace:
         assert inner["args"]["parent_id"] == events[0]["args"]["span_id"]
         assert inner["args"]["trace_id"] == events[0]["args"]["trace_id"]
 
+    def test_metadata_events_label_processes_and_threads(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            pass
+        events = chrome_trace(tracer)["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        # Metadata precedes every span event.
+        assert events[: len(metadata)] == metadata
+        (process,) = [e for e in metadata if e["name"] == "process_name"]
+        assert process["args"]["name"].startswith("coordinator (pid ")
+        (thread,) = [e for e in metadata if e["name"] == "thread_name"]
+        assert thread["pid"] == process["pid"]
+        assert thread["args"]["name"]
+
+    def test_foreign_pid_labelled_pool_worker(self):
+        span = {
+            "name": "engine.query",
+            "start_ns": 0,
+            "end_ns": 1000,
+            "pid": 999_999_999,
+            "thread_id": 1,
+            "attributes": {},
+        }
+        metadata = [
+            e for e in chrome_trace([span])["traceEvents"] if e["ph"] == "M"
+        ]
+        (process,) = [e for e in metadata if e["name"] == "process_name"]
+        assert process["args"]["name"] == "pool-worker (pid 999999999)"
+
     def test_category_is_name_prefix(self):
         tracer = make_tracer()
         with tracer.span("serve.request"):
             pass
-        (event,) = chrome_trace(tracer)["traceEvents"]
+        (event,) = span_events(chrome_trace(tracer))
         assert event["cat"] == "serve"
 
     def test_accepts_plain_span_dicts(self):
@@ -111,7 +143,7 @@ class TestChromeTrace:
             pass
         shipped = tracer.drain()
         document = chrome_trace(shipped)
-        assert [e["name"] for e in document["traceEvents"]] == ["work"]
+        assert [e["name"] for e in span_events(document)] == ["work"]
 
     def test_nonfinite_and_object_attributes_become_json_safe(self):
         tracer = make_tracer()
@@ -119,7 +151,7 @@ class TestChromeTrace:
             pass
         document = chrome_trace(tracer)
         text = json.dumps(document, allow_nan=False)  # must not raise
-        args = json.loads(text)["traceEvents"][0]["args"]
+        args = span_events(json.loads(text))[0]["args"]
         assert isinstance(args["bad"], str)
         assert isinstance(args["obj"], str)
         assert args["ok"] == 1.5
@@ -130,5 +162,5 @@ class TestChromeTrace:
             {"name": "b", "start_ns": 2000, "end_ns": 3000, "attributes": {}},
             {"name": "a", "start_ns": 1000, "end_ns": 1500, "attributes": {}},
         ]
-        names = [e["name"] for e in chrome_trace(spans)["traceEvents"]]
+        names = [e["name"] for e in span_events(chrome_trace(spans))]
         assert names == ["a", "b"]

@@ -1,0 +1,156 @@
+"""FlightRecorder tests: tail-based retention, ring bounds, dumping."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.observability.flight import FlightRecorder, TraceOutcome
+from repro.observability.tracer import Tracer
+
+
+def span_dict(trace_id: str, name: str = "s", **attrs):
+    return FlightRecorder.synthetic_span(name, trace_id=trace_id, **attrs)
+
+
+class TestRetentionReasons:
+    @pytest.mark.parametrize(
+        "kwargs, reason",
+        [
+            (dict(rejected=True), "rejected"),
+            (dict(error="boom"), "error"),
+            (dict(degraded=True), "degraded"),
+            (dict(fault_hits=2), "fault"),
+        ],
+    )
+    def test_flagged_outcomes_always_retained(self, kwargs, reason):
+        rec = FlightRecorder()
+        trace = rec.complete("t1", **kwargs)
+        assert trace is not None
+        assert reason in trace.reasons
+        assert rec.get("t1") is trace
+
+    def test_boring_dropped(self):
+        rec = FlightRecorder()
+        assert rec.complete("t1", latency_seconds=0.01) is None
+        assert rec.get("t1") is None
+        assert rec.stats()["dropped_boring"] == 1
+
+    def test_boring_keep_rate_samples(self):
+        rec = FlightRecorder(boring_keep_rate=1.0, rng=random.Random(0))
+        trace = rec.complete("t1", latency_seconds=0.01)
+        assert trace is not None and trace.reasons == ("sampled",)
+
+    def test_reasons_accumulate_in_order(self):
+        rec = FlightRecorder()
+        trace = rec.complete("t1", rejected=True, error="x", degraded=True)
+        assert trace.reasons == ("rejected", "error", "degraded")
+
+
+class TestSlownessDetector:
+    def test_no_slow_retention_before_warmup(self):
+        rec = FlightRecorder(min_samples=10)
+        for i in range(9):
+            rec.complete(f"t{i}", latency_seconds=0.001)
+        assert rec.rolling_p99() is None
+        assert len(rec) == 0
+
+    def test_slow_outlier_retained_after_warmup(self):
+        rec = FlightRecorder(min_samples=10)
+        for i in range(20):
+            rec.complete(f"t{i}", latency_seconds=0.001)
+        trace = rec.complete("slow", latency_seconds=5.0)
+        assert trace is not None and "slow" in trace.reasons
+        # The outlier itself joined the window only after the comparison.
+        assert rec.rolling_p99() is not None
+
+    def test_rejected_latency_not_fed_to_window(self):
+        rec = FlightRecorder(min_samples=2)
+        for i in range(5):
+            rec.complete(f"t{i}", rejected=True, latency_seconds=100.0)
+        assert rec.rolling_p99() is None
+
+
+class TestBoundedMemory:
+    def test_retained_ring_evicts_oldest(self):
+        rec = FlightRecorder(max_traces=3)
+        for i in range(5):
+            rec.complete(f"t{i}", degraded=True)
+        assert len(rec) == 3
+        assert rec.trace_ids() == ["t2", "t3", "t4"]
+        assert rec.stats()["evicted"] == 2
+
+    def test_pending_bound_evicts_never_completed_traces(self):
+        rec = FlightRecorder(max_pending=2)
+        for i in range(4):
+            rec.on_span(span_dict(f"t{i}"))
+        stats = rec.stats()
+        assert stats["pending"] == 2
+        assert stats["pending_evicted"] == 2
+
+
+class TestTracerWiring:
+    def test_attach_collects_spans_and_complete_retains_tree(self):
+        tracer = Tracer()
+        rec = FlightRecorder().attach(tracer)
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        trace = rec.complete(root.trace_id, degraded=True)
+        assert {s["name"] for s in trace.spans} == {"root", "child"}
+
+    def test_attach_is_idempotent(self):
+        tracer = Tracer()
+        rec = FlightRecorder()
+        rec.attach(tracer)
+        rec.attach(tracer)
+        with tracer.span("root") as root:
+            pass
+        trace = rec.complete(root.trace_id, degraded=True)
+        assert len(trace.spans) == 1
+
+    def test_detach_stops_collection(self):
+        tracer = Tracer()
+        rec = FlightRecorder().attach(tracer)
+        rec.detach()
+        with tracer.span("root") as root:
+            pass
+        assert rec.complete(root.trace_id, degraded=True).spans == []
+
+    def test_extra_spans_appended_for_rejections(self):
+        rec = FlightRecorder()
+        sp = span_dict("tr", name="serve.rejected", reason="queue_full")
+        trace = rec.complete("tr", rejected=True, extra_spans=[sp])
+        assert trace.spans[0]["name"] == "serve.rejected"
+
+
+class TestDumping:
+    def test_chrome_dump_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        rec = FlightRecorder().attach(tracer)
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        rec.complete(root.trace_id, degraded=True)
+        path = tmp_path / "dump.json"
+        events = rec.dump(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == events
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"root", "child"} <= names
+
+    def test_auto_dump_on_triggered_retention(self, tmp_path):
+        rec = FlightRecorder(auto_dump_dir=str(tmp_path), auto_dump_limit=1)
+        rec.complete("t1", degraded=True, extra_spans=[span_dict("t1")])
+        rec.complete("t2", degraded=True, extra_spans=[span_dict("t2")])
+        files = list(tmp_path.glob("trace-*.json"))
+        assert [f.name for f in files] == ["trace-t1.json"]
+        assert rec.stats()["auto_dumps"] == 1
+
+    def test_outcome_object_accepted(self):
+        rec = FlightRecorder()
+        trace = rec.complete("t", TraceOutcome(degraded=True, algorithm="GKG"))
+        assert trace.outcome.algorithm == "GKG"
+        assert trace.as_dict()["algorithm"] == "GKG"

@@ -1,0 +1,76 @@
+"""Histogram percentile edge cases and exemplar plumbing.
+
+The percentile estimator must never return NaN: empty children return
+``None``, and every estimate is clamped to the observed min/max.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.observability.metrics import Histogram
+
+
+class TestPercentileEdges:
+    def test_empty_child_returns_none(self):
+        hist = Histogram("h", label_names=("algo",))
+        hist.observe(0.5, algo="GKG")
+        assert hist.percentile(99.0, algo="EXACT") is None
+        assert hist.percentile(0.0, algo="EXACT") is None
+
+    def test_single_bucket_histogram_no_nan(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(0.25)
+        for q in (0.0, 50.0, 99.0, 100.0):
+            p = hist.percentile(q)
+            assert p is not None and not math.isnan(p)
+            assert p == 0.25  # clamped to the only observed value
+
+    def test_all_overflow_returns_max_not_nan(self):
+        hist = Histogram("h", buckets=(0.001,))
+        for v in (10.0, 20.0, 30.0):
+            hist.observe(v)
+        for q in (0.0, 50.0, 99.9, 100.0):
+            p = hist.percentile(q)
+            assert p is not None and not math.isnan(p)
+        assert hist.percentile(100.0) == 30.0
+
+    def test_zero_percentile_on_populated_histogram(self):
+        hist = Histogram("h")
+        hist.observe(0.005)
+        p = hist.percentile(0.0)
+        assert p is not None and not math.isnan(p)
+
+    def test_mixed_labels_do_not_leak(self):
+        hist = Histogram("h", label_names=("algo",))
+        hist.observe(0.001, algo="GKG")
+        hist.observe(100.0, algo="EXACT")
+        assert hist.percentile(99.0, algo="GKG") <= 0.01
+
+
+class TestExemplars:
+    def test_observe_with_exemplar_recorded_on_bucket(self):
+        hist = Histogram("h", buckets=(0.01, 1.0))
+        hist.observe(0.5, exemplar={"trace_id": "abc123"})
+        exemplars = hist.exemplars()
+        assert any(e[0] == {"trace_id": "abc123"} for e in exemplars)
+
+    def test_last_exemplar_per_bucket_wins(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(0.5, exemplar={"trace_id": "first"})
+        hist.observe(0.6, exemplar={"trace_id": "second"})
+        labels = [e[0]["trace_id"] for e in hist.exemplars()]
+        assert labels == ["second"]
+
+    def test_overflow_exemplar_lands_in_inf_bucket(self):
+        hist = Histogram("h", buckets=(0.001,))
+        hist.observe(10.0, exemplar={"trace_id": "big"})
+        assert [e[0]["trace_id"] for e in hist.exemplars()] == ["big"]
+
+    def test_samples_with_exemplars_only_on_buckets(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(0.5, exemplar={"trace_id": "t"})
+        rows = hist.samples_with_exemplars()
+        for name, _labels, bucket, _value, exemplar in rows:
+            if exemplar is not None:
+                assert name.endswith("_bucket")

@@ -1,0 +1,91 @@
+"""Stack-sampling profiler tests: output format, bounds, overhead."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.observability.profiler import StackProfiler
+
+
+def burn(deadline):
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSampling:
+    def test_captures_busy_thread_stacks(self):
+        with StackProfiler(interval=0.002) as prof:
+            burn(time.perf_counter() + 0.15)
+        counts = prof.collapsed()
+        assert counts, "no stacks sampled"
+        assert any("burn" in stack for stack in counts)
+        stats = prof.stats()
+        assert stats["samples"] > 10
+        assert stats["wall_seconds"] > 0.1
+
+    def test_collapsed_format_is_semicolon_separated(self):
+        with StackProfiler(interval=0.002) as prof:
+            burn(time.perf_counter() + 0.05)
+        text = prof.render_collapsed()
+        line = text.splitlines()[0]
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack and "." in stack
+
+    def test_write_collapsed(self, tmp_path):
+        with StackProfiler(interval=0.002) as prof:
+            burn(time.perf_counter() + 0.05)
+        path = tmp_path / "out.folded"
+        n = prof.write_collapsed(str(path))
+        assert n == len(path.read_text().splitlines())
+
+    def test_idle_threads_filtered_by_default(self):
+        stop = threading.Event()
+        idler = threading.Thread(target=stop.wait, daemon=True)
+        idler.start()
+        try:
+            with StackProfiler(interval=0.002) as prof:
+                time.sleep(0.05)
+            # The main thread sleeps and the idler waits: both leaves are
+            # idle, so nothing should be recorded.
+            assert all(
+                not s.endswith(".wait") and not s.endswith(".sleep")
+                for s in prof.collapsed()
+            )
+        finally:
+            stop.set()
+
+
+class TestBoundsAndLifecycle:
+    def test_max_stacks_folds_into_other(self):
+        prof = StackProfiler(interval=0.002, max_stacks=1)
+        prof._counts["existing"] = 1
+        with prof:
+            burn(time.perf_counter() + 0.05)
+        counts = prof.collapsed()
+        assert set(counts) <= {"existing", "(other)"}
+
+    def test_double_start_rejected(self):
+        prof = StackProfiler(interval=0.01).start()
+        try:
+            with pytest.raises(RuntimeError):
+                prof.start()
+        finally:
+            prof.stop()
+        prof.stop()  # idempotent
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StackProfiler(interval=0.0)
+
+    def test_overhead_fraction_reported_and_small(self):
+        with StackProfiler(interval=0.02) as prof:
+            burn(time.perf_counter() + 0.2)
+        stats = prof.stats()
+        assert 0.0 <= stats["overhead_fraction"] < 0.5
+        assert stats["sampling_seconds"] <= stats["wall_seconds"]

@@ -1,0 +1,149 @@
+"""SLO tracker tests: classification, burn rates, alerts, budget, gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.slo import (
+    SLObjective,
+    SLOTracker,
+    default_objectives,
+)
+from repro.serving.stats import MetricsRegistry, QueryStats
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def stats(success=True, rejected=False, total_seconds=0.01):
+    return QueryStats(
+        keywords=("a",),
+        algorithm="GKG",
+        epsilon=0.01,
+        success=success,
+        rejected=rejected,
+        total_seconds=total_seconds,
+    )
+
+
+def make_tracker(**kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    return SLOTracker(default_objectives(latency_target=0.1), **kwargs)
+
+
+class TestClassification:
+    def test_success_is_good_everywhere(self):
+        tracker = make_tracker()
+        verdicts = tracker.record(stats())
+        assert verdicts == {"availability": True, "latency": True}
+
+    def test_rejection_bad_for_availability_excluded_from_latency(self):
+        tracker = make_tracker()
+        verdicts = tracker.record(stats(success=False, rejected=True))
+        assert verdicts["availability"] is False
+        assert "latency" not in verdicts
+
+    def test_slow_success_fails_latency_only(self):
+        tracker = make_tracker()
+        verdicts = tracker.record(stats(total_seconds=5.0))
+        assert verdicts == {"availability": True, "latency": False}
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            SLObjective("x", "availability", objective=1.5)
+        with pytest.raises(ValueError):
+            SLObjective("x", "latency", objective=0.9)  # no target
+        with pytest.raises(ValueError):
+            SLObjective("x", "nonsense", objective=0.9)
+
+
+class TestBurnRate:
+    def test_empty_window_is_zero_not_nan(self):
+        tracker = make_tracker()
+        assert tracker.burn_rate("availability", 60) == 0.0
+        assert tracker.error_budget_remaining("availability") == 1.0
+
+    def test_burn_rate_math(self):
+        # 10% bad against a 99% objective = 10x burn.
+        clock = FakeClock()
+        tracker = SLOTracker(
+            (SLObjective("avail", "availability", objective=0.99),),
+            clock=clock,
+        )
+        for i in range(90):
+            tracker.record_event("avail", True)
+        for i in range(10):
+            tracker.record_event("avail", False)
+        assert tracker.burn_rate("avail", 60) == pytest.approx(10.0)
+
+    def test_events_age_out_of_window(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            (SLObjective("avail", "availability", objective=0.99),),
+            windows=(60,),
+            clock=clock,
+        )
+        tracker.record_event("avail", False)
+        assert tracker.burn_rate("avail", 60) > 0
+        clock.advance(120)
+        assert tracker.burn_rate("avail", 60) == 0.0
+
+    def test_budget_remaining_clamped(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            (SLObjective("avail", "availability", objective=0.99),),
+            clock=clock,
+        )
+        for _ in range(100):
+            tracker.record_event("avail", False)  # 100x over budget
+        assert tracker.error_budget_remaining("avail") == 0.0
+
+
+class TestAlerts:
+    def test_alert_requires_both_windows_burning(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            (SLObjective("avail", "availability", objective=0.99),),
+            alert_policies=((60, 300, 10.0),),
+            clock=clock,
+        )
+        # Sustained 100% failure burns both the short and long window.
+        for _ in range(50):
+            tracker.record_event("avail", False)
+        alerts = tracker.alerts("avail")
+        assert len(alerts) == 1
+        assert alerts[0]["short_window"] == 60
+        # After 4 quiet minutes the short window empties: alert clears.
+        clock.advance(240)
+        assert tracker.alerts("avail") == []
+
+
+class TestGaugesAndDict:
+    def test_bound_registry_exports_burn_and_budget(self):
+        registry = MetricsRegistry()
+        tracker = make_tracker(registry=registry)
+        tracker.record(stats(success=False))
+        tracker.refresh_gauges()
+        prom = registry.to_prometheus()
+        assert "mck_slo_burn_rate" in prom
+        assert "mck_slo_error_budget_remaining" in prom
+        assert "mck_slo_events_total" in prom
+
+    def test_as_dict_shape(self):
+        tracker = make_tracker()
+        tracker.record(stats())
+        d = tracker.as_dict()
+        assert set(d) == {"availability", "latency"}
+        avail = d["availability"]
+        assert avail["events"]["good"] == 1
+        assert "60" in avail["windows"]
+        assert avail["error_budget_remaining"] == 1.0
+        assert avail["alerts"] == []
