@@ -28,6 +28,9 @@ python scripts/live_smoke.py
 echo "== forensics smoke =="
 python scripts/forensics_smoke.py
 
+echo "== http smoke =="
+python scripts/http_smoke.py
+
 echo "== perf gate (smoke scale) =="
 # Fast variant: parity + counter checks on the pinned seed without a
 # latency baseline (host speed varies; CI gates against the committed

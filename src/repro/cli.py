@@ -6,8 +6,13 @@ Subcommands
 ``query``       answer one mCK query over a dataset file
 ``experiment``  regenerate a paper table/figure (table1, fig7 ... fig14)
 ``stats``       print Table-1-style statistics for a dataset file
+``serve``       serve mCK queries over HTTP: the asyncio JSON API of
+                :mod:`repro.server` over a :class:`~repro.serving.QueryService`
+                with a worker-process pool for the hot loops
 ``serve-bench`` replay a query workload through the batched
                 :class:`~repro.serving.QueryService` and dump JSON metrics
+                (``--http`` drives the real socket tier with open-loop
+                Poisson load instead)
 ``live-bench``  drive a mixed read/write Poisson workload against a
                 :class:`~repro.live.LiveMCKEngine`-backed service and dump
                 JSON metrics (epochs, delta size, compactions, WAL records,
@@ -158,6 +163,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run EXACT queries on a process pool",
     )
+    serve.add_argument(
+        "--process-algorithms",
+        nargs="+",
+        default=None,
+        metavar="ALGO",
+        help="run these algorithms on the worker-process pool (off the "
+        "GIL); supersedes --process-exact",
+    )
+    serve.add_argument(
+        "--http",
+        action="store_true",
+        help="open-loop mode over a real socket: boot the asyncio HTTP "
+        "tier and drive it with the Poisson load generator; reports "
+        "wire p50/p95 latencies and HTTP 429 rejections",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--output", default=None, help="write the JSON dump here instead of stdout"
@@ -197,6 +217,69 @@ def _build_parser() -> argparse.ArgumentParser:
         help="latency SLO target used for the dump's slo block",
     )
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve mCK queries over HTTP (asyncio front end, "
+        "worker-process pool for the hot loops)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    srv.add_argument(
+        "--dataset", default=None, help="JSON-lines dataset path (overrides --preset)"
+    )
+    srv.add_argument("--preset", choices=["NY", "LA", "TW"], default="NY")
+    srv.add_argument("--scale", type=float, default=0.02)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--live",
+        action="store_true",
+        help="front a mutable LiveMCKEngine (enables POST /mutate); "
+        "implies in-process execution — the worker-process pool needs "
+        "a sealed dataset",
+    )
+    srv.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="write-ahead log path (with --live): mutations are durable "
+        "and replayed on restart",
+    )
+    srv.add_argument("--workers", type=int, default=None)
+    srv.add_argument(
+        "--admission-capacity",
+        type=int,
+        default=1024,
+        help="bounded admission queue capacity; 0 = unbounded",
+    )
+    srv.add_argument(
+        "--shed-policy",
+        default="reject-newest",
+        choices=["reject-newest", "reject-oldest", "deadline-aware"],
+    )
+    srv.add_argument("--cache-size", type=int, default=1024)
+    srv.add_argument(
+        "--process-algorithms",
+        nargs="+",
+        default=None,
+        metavar="ALGO",
+        help="run these algorithms on the worker-process pool, off the "
+        "GIL (static datasets only; default: EXACT and SKECa+)",
+    )
+    srv.add_argument(
+        "--ready-fraction",
+        type=float,
+        default=0.8,
+        help="queue-depth fraction of the admission capacity at which "
+        "/readyz flips unready (shed at the balancer before 429s)",
+    )
+    srv.add_argument(
+        "--flight-traces",
+        type=int,
+        default=256,
+        help="tail-latency flight recorder retention (0 disables)",
+    )
+    srv.set_defaults(handler=_cmd_serve)
 
     live = sub.add_parser(
         "live-bench",
@@ -526,6 +609,7 @@ def _cmd_serve_bench(args) -> int:
             cache_size=args.cache_size,
             cache_ttl=args.cache_ttl,
             use_processes_for_exact=args.process_exact,
+            process_algorithms=args.process_algorithms,
             strict_timeouts=args.strict_timeouts,
             slo=slo,
         ) as service:
@@ -533,7 +617,36 @@ def _cmd_serve_bench(args) -> int:
             degraded = 0
             rejected = 0
             rounds = max(1, args.repeat)
-            if args.arrival_rate is not None:
+            http_load = None
+            if args.http:
+                # Over-the-wire open loop: boot the asyncio HTTP tier on
+                # a free port and drive it with Poisson arrivals through
+                # real sockets, so the numbers include wire framing and
+                # admission rejections surface as HTTP 429s.
+                from .server import MCKServer
+                from .server.loadgen import run_http_load
+
+                rate = args.arrival_rate or 50.0
+                duration = len(requests) * rounds / rate
+                handle = MCKServer(service).run_in_thread()
+                try:
+                    http_load = run_http_load(
+                        handle.host,
+                        handle.port,
+                        [list(q.keywords) for q in workload],
+                        rate=rate,
+                        duration=duration,
+                        algorithm=algorithms,
+                        epsilon=args.epsilon,
+                        timeout=args.timeout,
+                        seed=args.seed,
+                    )
+                finally:
+                    handle.stop()
+                failures = http_load.errors
+                degraded = http_load.degraded
+                rejected = http_load.rejected
+            elif args.arrival_rate is not None:
                 # Open loop: arrivals do not wait for completions, so a
                 # slow service sees a growing queue — exactly the regime
                 # admission control and shedding are for.
@@ -594,6 +707,22 @@ def _cmd_serve_bench(args) -> int:
                 "metrics": service.metrics_dict(),
                 "slo": slo.as_dict(),
             }
+            if http_load is not None:
+                dump["http"] = http_load.as_dict()
+                dump["workload"]["requests_total"] = http_load.offered
+                p50, p95 = http_load.percentile(0.5), http_load.percentile(0.95)
+                print(
+                    "serve-bench --http: offered={} completed={} rejected(429)={} "
+                    "errors={} p50={} p95={}".format(
+                        http_load.offered,
+                        http_load.completed,
+                        http_load.rejected,
+                        http_load.errors,
+                        f"{p50 * 1e3:.1f}ms" if p50 is not None else "n/a",
+                        f"{p95 * 1e3:.1f}ms" if p95 is not None else "n/a",
+                    ),
+                    file=sys.stderr,
+                )
             prom_text = service.metrics.to_prometheus() if args.prom_out else None
     finally:
         if profiler is not None:
@@ -616,6 +745,98 @@ def _cmd_serve_bench(args) -> int:
         print(f"wrote Prometheus exposition to {args.prom_out}")
     if profiler is not None:
         print(f"wrote collapsed stacks to {args.profile}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .core.engine import canonical_algorithm
+    from .exceptions import QueryError
+    from .live import LiveMCKEngine
+    from .observability.flight import FlightRecorder
+    from .server import MCKServer
+    from .serving import QueryService
+
+    if args.admission_capacity < 0:
+        print("serve: --admission-capacity must be >= 0", file=sys.stderr)
+        return 2
+    if args.wal and not args.live:
+        print("serve: --wal needs --live", file=sys.stderr)
+        return 2
+    if args.live and args.process_algorithms:
+        print(
+            "serve: --process-algorithms needs a sealed dataset "
+            "(pool workers hold a frozen copy); drop --live",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.dataset:
+        dataset = load_jsonl(args.dataset)
+    else:
+        maker = {"NY": make_ny_like, "LA": make_la_like, "TW": make_tw_like}[
+            args.preset
+        ]
+        dataset = maker(scale=args.scale, seed=args.seed)
+
+    if args.live:
+        source = LiveMCKEngine.from_records(
+            ((obj.x, obj.y, obj.keywords) for obj in dataset),
+            name=dataset.name,
+            wal_path=args.wal,
+        )
+        process_algorithms = None
+    else:
+        source = dataset
+        try:
+            process_algorithms = [
+                canonical_algorithm(a)
+                for a in (args.process_algorithms or ["EXACT", "SKECa+"])
+            ]
+        except QueryError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+
+    flight = (
+        FlightRecorder(max_traces=args.flight_traces)
+        if args.flight_traces > 0
+        else None
+    )
+    service = QueryService(
+        source,
+        max_workers=args.workers,
+        admission_capacity=args.admission_capacity or None,
+        shed_policy=args.shed_policy,
+        cache_size=args.cache_size,
+        process_algorithms=process_algorithms,
+        flight=flight,
+    )
+    server = MCKServer(
+        service,
+        host=args.host,
+        port=args.port,
+        ready_fraction=args.ready_fraction,
+        owns_service=True,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        mode = "live (mutable)" if args.live else (
+            f"sealed, process pool for {', '.join(process_algorithms)}"
+        )
+        print(
+            f"mck serve: http://{server.host}:{server.port} "
+            f"[{dataset.name}: {len(dataset)} objects; {mode}]",
+            flush=True,
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("mck serve: interrupted, shutting down", file=sys.stderr)
+        service.close()
     return 0
 
 

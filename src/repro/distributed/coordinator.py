@@ -132,10 +132,34 @@ class DistributedMCKEngine:
         #: through the process-global tracer, so attach the recorder there;
         #: worker-crash rounds are retained as fault-hit traces.
         self.flight = flight
+        self._flight_tracer: Optional[_tracing.Tracer] = None
         if flight is not None:
             tracer = _tracing.get_tracer()
             if tracer is not None:
+                # Remember only attachments *we* made: a recorder shared
+                # with sibling services may already be wired to this
+                # tracer, and close() must not sever their sink.
+                if not flight.is_attached(tracer):
+                    self._flight_tracer = tracer
                 flight.attach(tracer)
+
+    def close(self) -> None:
+        """Detach the flight-recorder sink this coordinator attached.
+
+        Idempotent.  Without this, every short-lived coordinator sharing
+        the process-global tracer leaks a span sink — the same lifecycle
+        bug as a :class:`~repro.serving.QueryService` that never detaches
+        its mutation listener.
+        """
+        if self.flight is not None and self._flight_tracer is not None:
+            self.flight.detach(self._flight_tracer)
+            self._flight_tracer = None
+
+    def __enter__(self) -> "DistributedMCKEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def n_workers(self) -> int:

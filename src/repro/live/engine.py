@@ -185,6 +185,20 @@ class LiveMCKEngine:
         """
         self._listeners.append(listener)
 
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Detach a previously registered listener (idempotent).
+
+        One shared engine can outlive many :class:`~repro.serving.service
+        .QueryService` lifecycles; a service that never detaches leaks its
+        listener — and through it the service's closed cache — for the
+        engine's whole lifetime.  Unknown listeners are ignored so a
+        double-close stays a no-op.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
@@ -417,7 +431,9 @@ class LiveMCKEngine:
             raise DatasetError(f"live engine {self.name!r} is closed")
 
     def _notify(self, op: str, oid: int, keywords: Tuple[str, ...]) -> None:
-        for listener in self._listeners:
+        # Snapshot: a listener detaching itself (service close racing a
+        # mutation) must not skip or double-fire its neighbours.
+        for listener in list(self._listeners):
             listener(op, oid, keywords)
 
     def _publish_metrics(self, wal_inserts: int = 0, wal_deletes: int = 0) -> None:

@@ -10,10 +10,12 @@ Records carry a strictly increasing ``seq`` starting at 1; replay also
 stops at the first sequence discontinuity (a seq that is not
 ``previous + 1``), which catches interleaved writers and manual edits.
 
-Durability is batched: ``fsync`` runs every ``sync_every`` appends (and
-always on :meth:`~WriteAheadLog.flush` / :meth:`~WriteAheadLog.close`),
-trading a bounded window of recent mutations for not paying a disk
-round-trip per insert — the standard WAL group-commit knob.
+Durability is batched: ``fsync`` runs every ``sync_every`` appends, and
+*unconditionally* on :meth:`~WriteAheadLog.flush` /
+:meth:`~WriteAheadLog.close` — ``sync_every`` only governs the automatic
+per-append group-commit cadence, never whether an explicit flush is
+durable.  The trade is a bounded window of recent mutations against not
+paying a disk round-trip per insert — the standard WAL group-commit knob.
 """
 
 from __future__ import annotations
@@ -120,8 +122,9 @@ class WriteAheadLog:
     Opening an existing path replays it first (the valid records are
     exposed as :attr:`recovered`) and truncates any torn tail so new
     appends start on a clean prefix.  ``sync_every=1`` fsyncs every
-    record; larger values batch, ``0``/``None`` disables fsync entirely
-    (tests, tmpfs).
+    record; larger values batch; ``0``/``None`` disables the *automatic*
+    per-append fsync only (tests, tmpfs) — an explicit :meth:`flush` or
+    :meth:`close` always fsyncs, in every mode.
     """
 
     def __init__(self, path: str, sync_every: int = 64):
@@ -181,12 +184,16 @@ class WriteAheadLog:
         return record
 
     def flush(self) -> None:
-        """Flush buffered records and fsync (group commit boundary)."""
+        """Flush buffered records and fsync (group commit boundary).
+
+        Always fsyncs — including under ``sync_every=0``/``None``, which
+        only disables the automatic per-append group commit.  ``close()``
+        flushes, so a closed log is durable in every mode.
+        """
         if self._closed:
             return
         self._fh.flush()
-        if self.sync_every:
-            os.fsync(self._fh.fileno())
+        os.fsync(self._fh.fileno())
         self._unsynced = 0
 
     def close(self) -> None:

@@ -184,6 +184,15 @@ class FlightRecorder:
         self._attached.append(tracer)
         return self
 
+    def is_attached(self, tracer: Tracer) -> bool:
+        """True when this recorder is already a sink on ``tracer``.
+
+        Lifecycle code uses this to detach only attachments it made: a
+        service sharing one recorder + global tracer with its siblings
+        must not rip the sink out from under them on close.
+        """
+        return tracer in self._attached
+
     def detach(self, tracer: Optional[Tracer] = None) -> None:
         """Unregister from one tracer (or every attached one)."""
         targets = [tracer] if tracer is not None else list(self._attached)

@@ -1,0 +1,24 @@
+"""Network serving tier: asyncio HTTP/JSON API over the query service.
+
+The package is dependency-light by design — :mod:`repro.server.http`
+hand-rolls the HTTP/1.1 subset a JSON API needs over asyncio streams,
+:mod:`repro.server.app` mounts the query/mutate/top-k/health/metrics
+routes on a :class:`~repro.serving.QueryService`, and
+:mod:`repro.server.loadgen` drives it with open-loop Poisson traffic
+for benchmarks and smoke tests.
+"""
+
+from .app import MCKServer, ServerHandle
+from .http import HTTPError, HTTPRequest, read_request, render_response
+from .loadgen import HTTPLoadResult, run_http_load
+
+__all__ = [
+    "MCKServer",
+    "ServerHandle",
+    "HTTPError",
+    "HTTPRequest",
+    "read_request",
+    "render_response",
+    "HTTPLoadResult",
+    "run_http_load",
+]

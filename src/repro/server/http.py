@@ -1,0 +1,219 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The serving tier stays dependency-light on purpose (stdlib only), so the
+wire protocol is hand-rolled here rather than pulled from a framework:
+request-line + headers + ``Content-Length`` body parsing on the way in,
+status line + headers + body rendering on the way out, with keep-alive
+connection reuse.  The subset implemented is exactly what a JSON API
+needs — no chunked transfer encoding (answered with 411), no multipart,
+no TLS (terminate upstream).
+
+Limits are enforced while *reading*, so an abusive client cannot balloon
+memory: an oversized request line, header block or declared body tears
+the connection down with a 4xx before the bytes are buffered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = [
+    "HTTPError",
+    "HTTPRequest",
+    "read_request",
+    "render_response",
+    "STATUS_PHRASES",
+]
+
+#: Reason phrases for every status the server emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Hard caps, generous for a JSON API but fatal for abuse.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+DEFAULT_MAX_BODY = 1024 * 1024
+
+
+class HTTPError(Exception):
+    """A protocol-level failure mapped straight to a status code."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(f"{status}: {message}")
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request."""
+
+    method: str
+    #: Decoded path component (no query string).
+    path: str
+    #: Raw request target as sent.
+    target: str
+    #: Query-string parameters (``parse_qs`` semantics: list values).
+    query: Dict[str, List[str]] = field(default_factory=dict)
+    #: Headers with lower-cased names; duplicates joined with ``", "``.
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (empty body = ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            document = json.loads(self.body)
+        except ValueError as err:
+            raise HTTPError(400, f"invalid JSON body: {err}") from err
+        if not isinstance(document, dict):
+            raise HTTPError(400, "JSON body must be an object")
+        return document
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return b""  # clean EOF between requests
+        raise HTTPError(400, "connection closed mid-request") from err
+    except asyncio.LimitOverrunError as err:
+        raise HTTPError(413, "line too long") from err
+    if len(line) > limit:
+        raise HTTPError(413, "line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY
+) -> Optional[HTTPRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HTTPError` on malformed input — the caller answers
+    with the error's status and closes the connection.
+    """
+    raw_line = await _read_line(reader, MAX_REQUEST_LINE)
+    if not raw_line:
+        return None
+    try:
+        line = raw_line.decode("ascii")
+    except UnicodeDecodeError as err:
+        raise HTTPError(400, "non-ASCII request line") from err
+    parts = line.split(" ")
+    if len(parts) != 3:
+        raise HTTPError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await _read_line(reader, MAX_HEADER_BYTES)
+        if not raw:
+            break
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HTTPError(413, "header block too large")
+        try:
+            text = raw.decode("latin-1")
+        except UnicodeDecodeError as err:  # pragma: no cover - latin-1 total
+            raise HTTPError(400, "undecodable header") from err
+        name, sep, value = text.partition(":")
+        if not sep or not name.strip():
+            raise HTTPError(400, f"malformed header line: {text!r}")
+        key = name.strip().lower()
+        value = value.strip()
+        if key in headers:
+            headers[key] = f"{headers[key]}, {value}"
+        else:
+            headers[key] = value
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HTTPError(411, "chunked transfer encoding is not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as err:
+            raise HTTPError(400, "invalid Content-Length") from err
+        if length < 0:
+            raise HTTPError(400, "negative Content-Length")
+        if length > max_body:
+            raise HTTPError(413, f"body exceeds {max_body} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as err:
+                raise HTTPError(400, "connection closed mid-body") from err
+
+    split = urlsplit(target)
+    request = HTTPRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        target=target,
+        query=parse_qs(split.query, keep_blank_values=True),
+        headers=headers,
+        body=body,
+    )
+    if version == "HTTP/1.0" and headers.get("connection", "").lower() != "keep-alive":
+        request.headers["connection"] = "close"
+    return request
+
+
+def render_response(
+    status: int,
+    body: object = b"",
+    *,
+    content_type: str = "application/json",
+    headers: Optional[List[Tuple[str, str]]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response (dict bodies are JSON-encoded)."""
+    if isinstance(body, (dict, list)):
+        payload = (
+            json.dumps(body, sort_keys=True, allow_nan=False) + "\n"
+        ).encode("utf-8")
+    elif isinstance(body, str):
+        payload = body.encode("utf-8")
+    else:
+        payload = bytes(body)
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in headers or ():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + payload

@@ -1,0 +1,236 @@
+"""Open-loop Poisson load generator for the HTTP serving tier.
+
+Closed-loop benchmarks (issue, wait, repeat) hide overload: the clients
+slow down with the server, so the arrival rate politely tracks capacity
+and the queue never grows.  Real traffic does not wait.  This generator
+is **open-loop**: arrival times are drawn from a Poisson process
+(exponential inter-arrival gaps) *up front* and each request fires at
+its appointed time on a worker thread whether or not earlier requests
+have come back — exactly the regime where admission control, 429s and
+readiness shedding earn their keep.
+
+Transport is stdlib :mod:`http.client` over real sockets with one
+persistent keep-alive connection per worker thread, so measured
+latencies include wire framing but not per-request TCP handshakes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["HTTPLoadResult", "run_http_load"]
+
+
+@dataclass
+class HTTPLoadResult:
+    """Aggregate outcome of one open-loop run."""
+
+    offered: int
+    duration_seconds: float
+    #: HTTP status code -> count (0 for transport errors).
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    #: Wire latencies (seconds) of 200-family responses, sorted.
+    latencies: List[float] = field(default_factory=list)
+    #: Count of 200 responses whose body carried ``degraded: true``.
+    degraded: int = 0
+    #: Retry-After values observed on 429 responses.
+    retry_after: List[int] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return sum(
+            count for status, count in self.status_counts.items()
+            if 200 <= status < 300
+        )
+
+    @property
+    def rejected(self) -> int:
+        return self.status_counts.get(429, 0)
+
+    @property
+    def errors(self) -> int:
+        return sum(
+            count for status, count in self.status_counts.items()
+            if status == 0 or status >= 500
+        )
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self.latencies:
+            return None
+        idx = min(len(self.latencies) - 1, int(q * len(self.latencies)))
+        return self.latencies[idx]
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.offered / self.duration_seconds if self.duration_seconds else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "duration_seconds": self.duration_seconds,
+            "achieved_rate_qps": self.achieved_rate,
+            "latency_p50_seconds": self.percentile(0.50),
+            "latency_p95_seconds": self.percentile(0.95),
+            "latency_p99_seconds": self.percentile(0.99),
+            "status_counts": {
+                str(status): count
+                for status, count in sorted(self.status_counts.items())
+            },
+            "retry_after_max": max(self.retry_after, default=None),
+        }
+
+
+class _Client(threading.local):
+    """One keep-alive connection per worker thread."""
+
+    connection: Optional[http.client.HTTPConnection] = None
+
+
+def _post_query(
+    client: _Client,
+    host: str,
+    port: int,
+    body: bytes,
+    timeout: float,
+) -> Tuple[int, Optional[float], Optional[int], bool]:
+    """Returns (status, latency or None, retry_after or None, degraded)."""
+    start = time.perf_counter()
+    try:
+        conn = client.connection
+        if conn is None:
+            conn = client.connection = http.client.HTTPConnection(
+                host, port, timeout=timeout
+            )
+        conn.request(
+            "POST",
+            "/query",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = response.read()
+        latency = time.perf_counter() - start
+        status = response.status
+        if 200 <= status < 300:
+            degraded = False
+            try:
+                degraded = bool(json.loads(payload).get("degraded"))
+            except ValueError:
+                pass
+            return status, latency, None, degraded
+        retry_after: Optional[int] = None
+        if status == 429:
+            header = response.getheader("Retry-After")
+            if header is not None and header.isdigit():
+                retry_after = int(header)
+        return status, None, retry_after, False
+    except (OSError, http.client.HTTPException):
+        # Transport failure: drop the connection so the next request on
+        # this thread reconnects instead of inheriting a poisoned socket.
+        if client.connection is not None:
+            try:
+                client.connection.close()
+            except OSError:
+                pass
+            client.connection = None
+        return 0, None, None, False
+
+
+def run_http_load(
+    host: str,
+    port: int,
+    keyword_pool: Sequence[Sequence[str]],
+    *,
+    rate: float = 50.0,
+    duration: float = 5.0,
+    algorithm: Union[str, Sequence[str]] = "SKECa+",
+    epsilon: float = 0.01,
+    timeout: Optional[float] = None,
+    request_timeout: float = 30.0,
+    client_threads: int = 32,
+    seed: int = 0,
+) -> HTTPLoadResult:
+    """Drive ``rate`` req/s of Poisson arrivals at the server for ``duration``.
+
+    ``keyword_pool`` supplies the query mix — each arrival picks one
+    keyword set uniformly; ``algorithm`` may be a single name or a
+    sequence sampled the same way.  ``timeout`` (the per-query time
+    budget) rides inside the request body; ``request_timeout`` bounds
+    the socket.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if not keyword_pool:
+        raise ValueError("keyword_pool must not be empty")
+    algorithms = [algorithm] if isinstance(algorithm, str) else list(algorithm)
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    rng = random.Random(seed)
+
+    # Draw the full arrival schedule up front: the schedule must not
+    # depend on how the server responds (that is what "open loop" means).
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration:
+            break
+        arrivals.append(t)
+
+    bodies = [
+        json.dumps(
+            {
+                "keywords": list(rng.choice(keyword_pool)),
+                "algorithm": rng.choice(algorithms),
+                "epsilon": epsilon,
+                **({"timeout": timeout} if timeout is not None else {}),
+            }
+        ).encode("utf-8")
+        for _ in arrivals
+    ]
+
+    client = _Client()
+    result = HTTPLoadResult(offered=len(arrivals), duration_seconds=duration)
+    lock = threading.Lock()
+
+    def _fire(body: bytes) -> None:
+        status, latency, retry_after, degraded = _post_query(
+            client, host, port, body, request_timeout
+        )
+        with lock:
+            result.status_counts[status] = (
+                result.status_counts.get(status, 0) + 1
+            )
+            if latency is not None:
+                result.latencies.append(latency)
+            if retry_after is not None:
+                result.retry_after.append(retry_after)
+            if degraded:
+                result.degraded += 1
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=client_threads, thread_name_prefix="mck-loadgen"
+    ) as pool:
+        futures = []
+        for offset, body in zip(arrivals, bodies):
+            delay = start + offset - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(_fire, body))
+        for future in futures:
+            future.result()
+    result.duration_seconds = time.perf_counter() - start
+    result.latencies.sort()
+    return result

@@ -255,6 +255,15 @@ class QueryService:
         Opt-in: run EXACT queries on a :class:`ProcessPoolExecutor` whose
         workers each hold their own engine.  Worth it only when EXACT
         dominates the workload; worker start-up re-indexes the dataset.
+        Shorthand for ``process_algorithms=("EXACT",)``.
+    process_algorithms:
+        Algorithms to execute on the worker-process pool instead of the
+        thread pool (names are canonicalized).  The HTTP serving tier
+        passes every algorithm it serves so CPU-bound hot loops run off
+        the GIL; the pool-failure retry budget, circuit breaker and
+        in-process SKECa+ fallback apply to all of them.  Mutually
+        exclusive with a live engine (pool workers hold a frozen
+        dataset copy).
     admission_capacity:
         Bound on the admission queue (requests accepted but not yet
         executing).  When the queue is full the ``shed_policy`` decides
@@ -303,6 +312,7 @@ class QueryService:
         cache_size: int = 1024,
         cache_ttl: Optional[float] = None,
         use_processes_for_exact: bool = False,
+        process_algorithms: Optional[Sequence[str]] = None,
         process_workers: Optional[int] = None,
         strict_timeouts: bool = False,
         pool_retries: int = 2,
@@ -321,9 +331,22 @@ class QueryService:
         else:
             self.engine = MCKEngine(source)
         self._live = isinstance(self.engine, LiveMCKEngine)
-        if self._live and use_processes_for_exact:
+        #: Canonical algorithm names executed on the worker-process pool
+        #: instead of in-process threads.  ``use_processes_for_exact`` is
+        #: the historical spelling of ``process_algorithms=("EXACT",)``;
+        #: the HTTP serving tier passes every algorithm so the CPU-bound
+        #: hot loops run off the GIL.
+        if process_algorithms is not None:
+            self._process_algorithms = frozenset(
+                canonical_algorithm(a) for a in process_algorithms
+            )
+        elif use_processes_for_exact:
+            self._process_algorithms = frozenset(("EXACT",))
+        else:
+            self._process_algorithms = frozenset()
+        if self._live and self._process_algorithms:
             raise ValueError(
-                "use_processes_for_exact is not supported with a live engine: "
+                "process-pool execution is not supported with a live engine: "
                 "pool workers hold a frozen copy of the dataset and would "
                 "silently miss every mutation"
             )
@@ -353,10 +376,18 @@ class QueryService:
         #: tracer to feed it spans: when neither an explicit nor a global
         #: tracer exists, the service grows a private one.
         self.flight = flight
+        #: The tracer this service attached ``flight`` to (and therefore
+        #: must detach from on close) — ``None`` when the recorder was
+        #: already listening there (a sibling service attached first; the
+        #: sink is theirs to remove).
+        self._flight_tracer: Optional[_tracing.Tracer] = None
         if flight is not None:
             if self.tracer is None and _tracing.get_tracer() is None:
                 self.tracer = _tracing.Tracer()
-            flight.attach(self._tracer())
+            sink_tracer = self._tracer()
+            if not flight.is_attached(sink_tracer):
+                self._flight_tracer = sink_tracer
+            flight.attach(sink_tracer)
         #: SLO tracker (:class:`~repro.observability.slo.SLOTracker`);
         #: every finished request — including admission rejections — is
         #: classified against its objectives.  Bound to this service's
@@ -395,7 +426,6 @@ class QueryService:
             thread_name_prefix="mck-serve",
         )
         self.metrics.concurrency_limit_gauge.set(self.limiter.limit)
-        self._use_processes_for_exact = use_processes_for_exact
         self._process_workers = process_workers
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._process_pool_lock = Lock()
@@ -563,11 +593,25 @@ class QueryService:
         already executing complete and their futures resolve; requests
         still queued resolve with ``QueryRejected(reason="shutdown")``;
         later :meth:`submit` calls raise the same.
+
+        Detaches everything this service hooked into shared objects: the
+        mutation listener registered on a live engine (which would
+        otherwise pin this service's cache alive for the engine's whole
+        lifetime) and the flight recorder's span sink when this service
+        attached it.  A shared engine or recorder is therefore safe to
+        reuse across any number of service lifecycles.
         """
         if self._closed:
             return
         self._closed = True
+        # Drain first: in-flight queries keep cache-invalidation coverage
+        # until the last one resolves, only then is the listener removed.
         self.admission.close()
+        if self._live:
+            self.engine.remove_mutation_listener(self._on_mutation)
+        if self.flight is not None and self._flight_tracer is not None:
+            self.flight.detach(self._flight_tracer)
+            self._flight_tracer = None
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
 
@@ -938,7 +982,7 @@ class QueryService:
             correlation_id=cid,
         )
         with self._span("serve.execute", algorithm=algorithm):
-            if self._use_processes_for_exact and algorithm == "EXACT":
+            if algorithm in self._process_algorithms:
                 outcome = self._run_in_process_pool(request, cid)
             else:
                 outcome = self._run_inline(request)

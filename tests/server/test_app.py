@@ -1,0 +1,314 @@
+"""The HTTP application: routes, overload translation, readiness."""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.observability.flight import FlightRecorder
+from repro.serving import MetricsRegistry, QueryService
+from repro.server import MCKServer
+from repro.testing import faults
+from tests.conftest import feasible_query, make_random_dataset
+
+QUERY = ["shrine", "shop", "restaurant", "hotel"]
+
+
+class Client:
+    """Thin http.client wrapper; one connection, keep-alive."""
+
+    def __init__(self, handle, timeout=30):
+        self.conn = http.client.HTTPConnection(
+            handle.host, handle.port, timeout=timeout
+        )
+
+    def call(self, method, path, body=None):
+        payload = None if body is None else json.dumps(body).encode()
+        self.conn.request(method, path, body=payload)
+        response = self.conn.getresponse()
+        raw = response.read()
+        headers = dict(response.getheaders())
+        try:
+            document = json.loads(raw)
+        except ValueError:
+            document = raw.decode("utf-8", "replace")
+        return response.status, document, headers
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One server over the kyoto scenario for the whole module."""
+    from repro import Dataset
+
+    records = [
+        (10.0, 10.0, ["shrine"]),
+        (11.0, 10.5, ["shop"]),
+        (10.5, 11.0, ["restaurant"]),
+        (11.2, 11.2, ["hotel"]),
+        (50.0, 50.0, ["shrine"]),
+        (52.0, 50.0, ["shop"]),
+        (90.0, 10.0, ["restaurant"]),
+        (10.0, 90.0, ["hotel"]),
+    ]
+    dataset = Dataset.from_records(records, name="kyoto-http")
+    service = QueryService(
+        dataset, max_workers=2, metrics=MetricsRegistry(), cache_size=0,
+        flight=FlightRecorder(),
+    )
+    server = MCKServer(service, owns_service=True)
+    handle = server.run_in_thread()
+    yield handle, server, service
+    handle.stop()
+
+
+@pytest.fixture
+def client(served):
+    handle, _server, _service = served
+    c = Client(handle)
+    yield c
+    c.close()
+
+
+class TestBasicRoutes:
+    def test_healthz(self, client):
+        status, body, _ = client.call("GET", "/healthz")
+        assert status == 200 and body == {"status": "ok"}
+
+    def test_readyz_when_idle(self, client):
+        status, body, _ = client.call("GET", "/readyz")
+        assert status == 200
+        assert body["ready"] is True
+        assert body["queue_depth"] == 0
+        assert body["ready_threshold"] <= body["capacity"]
+
+    def test_unknown_route_404(self, client):
+        status, body, _ = client.call("GET", "/nope")
+        assert status == 404 and "error" in body
+
+    def test_wrong_method_405(self, client):
+        status, _, _ = client.call("GET", "/query")
+        assert status == 405
+        status, _, _ = client.call("POST", "/metrics")
+        assert status == 405
+
+    def test_metrics_exposition(self, client):
+        status, text, headers = client.call("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "mck_http_requests_total" in text
+        assert "mck_server_ready" in text
+
+    def test_flightz(self, client):
+        status, body, _ = client.call("GET", "/flightz")
+        assert status == 200
+        assert "stats" in body and "traces" in body
+
+
+class TestQueryEndpoint:
+    def test_query_answers_and_matches_engine(self, served, client):
+        _handle, _server, service = served
+        status, body, _ = client.call(
+            "POST", "/query", {"keywords": QUERY, "algorithm": "EXACT"}
+        )
+        assert status == 200
+        assert body["status"] == "ok"
+        direct = service.engine.query(QUERY, algorithm="EXACT")
+        assert body["diameter"] == pytest.approx(direct.diameter)
+        assert sorted(body["object_ids"]) == sorted(direct.object_ids)
+        assert body["correlation_id"]
+        # Object details ride along for wire-only clients.
+        assert {o["oid"] for o in body["objects"]} == set(body["object_ids"])
+        assert all("keywords" in o for o in body["objects"])
+
+    def test_missing_keywords_400(self, client):
+        status, body, _ = client.call("POST", "/query", {"algorithm": "EXACT"})
+        assert status == 400
+
+    def test_invalid_json_400(self, served, client):
+        client.conn.request(
+            "POST", "/query", body=b"{nope",
+        )
+        response = client.conn.getresponse()
+        assert response.status == 400
+        response.read()
+
+    def test_unknown_algorithm_400(self, client):
+        status, body, _ = client.call(
+            "POST", "/query", {"keywords": QUERY, "algorithm": "MAGIC"}
+        )
+        assert status == 400
+
+    def test_infeasible_query_422(self, client):
+        status, body, _ = client.call(
+            "POST", "/query", {"keywords": ["no-such-keyword", "shrine"]}
+        )
+        assert status == 422
+        assert body["status"] == "error"
+
+    def test_degraded_answer_tagged(self, client):
+        with faults.injected(
+            "core.deadline.clock", skew=1e9, after=2, times=None
+        ):
+            status, body, _ = client.call(
+                "POST",
+                "/query",
+                {"keywords": QUERY, "algorithm": "EXACT", "timeout": 60.0},
+            )
+        assert status == 200
+        assert body["status"] == "degraded"
+        assert body["degraded"] is True
+        assert body["quality"]  # certified quality tag rides the wire
+
+    def test_explain_passthrough(self, client):
+        status, body, _ = client.call(
+            "POST",
+            "/query",
+            {"keywords": QUERY, "algorithm": "EXACT", "explain": True},
+        )
+        assert status == 200
+        explain = body["explain"]
+        assert explain["outcome"]["status"] in ("ok", "degraded")
+        assert explain["phases"]
+
+    def test_rejection_is_429_with_retry_after(self, client):
+        fault = faults.arm_spec("admission-reject:times=1")
+        try:
+            status, body, headers = client.call(
+                "POST", "/query", {"keywords": QUERY}
+            )
+        finally:
+            faults.disarm(fault)
+        assert status == 429
+        assert body["reason"] == "injected"
+        retry_after = headers["Retry-After"]
+        assert retry_after.isdigit() and 1 <= int(retry_after) <= 30
+
+    def test_http_request_counter_increments(self, served, client):
+        _handle, server, service = served
+        before = service.metrics.counter("mck_http_requests_total").value(
+            route="/healthz", status="200"
+        )
+        client.call("GET", "/healthz")
+        after = service.metrics.counter("mck_http_requests_total").value(
+            route="/healthz", status="200"
+        )
+        assert after == before + 1
+
+
+class TestTopkEndpoint:
+    def test_topk_groups(self, client):
+        status, body, _ = client.call(
+            "GET", "/topk?keywords=shrine,shop&k=2&algorithm=EXACT"
+        )
+        assert status == 200
+        assert 1 <= len(body["groups"]) <= 2
+        assert body["groups"][0]["rank"] == 1
+        assert body["groups"][0]["object_ids"]
+
+    def test_topk_needs_keywords(self, client):
+        status, _, _ = client.call("GET", "/topk?k=2")
+        assert status == 400
+
+    def test_topk_k_bounds(self, client):
+        status, _, _ = client.call("GET", "/topk?keywords=shrine&k=9999")
+        assert status == 400
+
+
+class TestReadiness:
+    def test_readyz_flips_before_admission_saturates(self):
+        """Queue at 50% of a tiny capacity: unready while 429s are not
+        yet being issued — the balancer sheds first.
+
+        The queue is parked deterministically (gated no-op tasks through
+        the service's own admission controller) instead of racing slow
+        queries against a poll loop.
+        """
+        dataset = make_random_dataset(3, n=40)
+        service = QueryService(
+            dataset,
+            max_workers=1,
+            admission_capacity=4,
+            cache_size=0,
+            metrics=MetricsRegistry(),
+        )
+        server = MCKServer(service, ready_fraction=0.5, owns_service=True)
+        handle = server.run_in_thread()
+        probe = Client(handle)
+        gate = threading.Event()
+        parked = []
+        try:
+            # One task occupies the single worker; two more sit queued:
+            # depth 2 == ceil(0.5 * 4) -> unready, queue NOT yet full.
+            parked.append(service.admission.submit(gate.wait))
+            time.sleep(0.05)  # let the worker pick up the first task
+            parked.append(service.admission.submit(gate.wait))
+            parked.append(service.admission.submit(gate.wait))
+
+            status, body, _ = probe.call("GET", "/readyz")
+            assert status == 503
+            assert body["ready"] is False
+            assert body["queue_depth"] >= body["ready_threshold"]
+            # Strictly before saturation: new work is still admitted (no
+            # QueryRejected), so the balancer sheds before 429s start.
+            assert body["queue_depth"] < body["capacity"]
+            parked.append(service.admission.submit(gate.wait))
+
+            gate.set()
+            for future in parked:
+                future.result(timeout=10)
+            status, body, _ = probe.call("GET", "/readyz")
+            assert status == 200 and body["ready"] is True
+        finally:
+            gate.set()
+            probe.close()
+            handle.stop()
+
+    def test_mutate_on_sealed_dataset_409(self, client):
+        status, body, _ = client.call(
+            "POST", "/mutate", {"inserts": [[1.0, 2.0, ["x"]]]}
+        )
+        assert status == 409
+
+
+class TestLiveServer:
+    def test_mutations_over_the_wire(self):
+        from repro.live import LiveMCKEngine
+
+        engine = LiveMCKEngine.from_records(
+            [
+                (0.0, 0.0, ["cafe"]),
+                (1.0, 1.0, ["bar"]),
+                (50.0, 50.0, ["cafe", "bar"]),
+            ]
+        )
+        service = QueryService(engine, max_workers=2, metrics=MetricsRegistry())
+        handle = MCKServer(service, owns_service=True).run_in_thread()
+        client = Client(handle)
+        try:
+            status, body, _ = client.call(
+                "POST",
+                "/mutate",
+                {"inserts": [[0.5, 0.5, ["tea"]]], "deletes": [2]},
+            )
+            assert status == 200
+            (new_oid,) = body["oids"]
+            assert body["epoch"] >= 1
+            status, body, _ = client.call(
+                "POST", "/query", {"keywords": ["cafe", "tea"]}
+            )
+            assert status == 200
+            assert new_oid in body["object_ids"]
+            status, body, _ = client.call(
+                "POST", "/mutate", {"deletes": ["nope"]}
+            )
+            assert status == 400
+            status, body, _ = client.call("POST", "/mutate", {})
+            assert status == 400
+        finally:
+            client.close()
+            handle.stop()

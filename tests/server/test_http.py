@@ -1,0 +1,158 @@
+"""HTTP/1.1 framing layer: parsing, limits, rendering."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    DEFAULT_MAX_BODY,
+    HTTPError,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(_run())
+
+
+class TestParsing:
+    def test_simple_get(self):
+        req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.body == b""
+        assert req.keep_alive  # HTTP/1.1 default
+
+    def test_query_string_and_param(self):
+        req = parse(b"GET /topk?keywords=cafe,bar&k=2 HTTP/1.1\r\n\r\n")
+        assert req.path == "/topk"
+        assert req.query["keywords"] == ["cafe,bar"]
+        assert req.param("k") == "2"
+        assert req.param("missing", "7") == "7"
+
+    def test_percent_decoded_path(self):
+        req = parse(b"GET /a%20b HTTP/1.1\r\n\r\n")
+        assert req.path == "/a b"
+
+    def test_post_body_via_content_length(self):
+        body = json.dumps({"keywords": ["a"]}).encode()
+        raw = (
+            b"POST /query HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+            % (len(body), body)
+        )
+        req = parse(raw)
+        assert req.json() == {"keywords": ["a"]}
+
+    def test_header_names_lowercased_and_joined(self):
+        req = parse(b"GET / HTTP/1.1\r\nX-Tag: a\r\nx-tag: b\r\n\r\n")
+        assert req.headers["x-tag"] == "a, b"
+
+    def test_connection_close_disables_keep_alive(self):
+        req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        req = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert req.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "raw,status",
+        [
+            (b"GARBAGE\r\n\r\n", 400),                     # malformed line
+            (b"GET / SPDY/3\r\n\r\n", 400),                # bad protocol
+            (b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                411,
+            ),
+        ],
+    )
+    def test_malformed_requests(self, raw, status):
+        with pytest.raises(HTTPError) as err:
+            parse(raw)
+        assert err.value.status == status
+
+    def test_body_over_cap_is_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n"
+        with pytest.raises(HTTPError) as err:
+            parse(raw, max_body=10)
+        assert err.value.status == 413
+
+    def test_default_body_cap(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+            % (DEFAULT_MAX_BODY + 1)
+        )
+        with pytest.raises(HTTPError) as err:
+            parse(raw)
+        assert err.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab")
+        assert err.value.status == 400
+
+    def test_invalid_json_body(self):
+        req = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+        with pytest.raises(HTTPError) as err:
+            req.json()
+        assert err.value.status == 400
+
+    def test_non_object_json_body(self):
+        req = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]")
+        with pytest.raises(HTTPError) as err:
+            req.json()
+        assert err.value.status == 400
+
+    def test_empty_body_is_empty_object(self):
+        req = parse(b"POST / HTTP/1.1\r\n\r\n")
+        assert req.json() == {}
+
+
+class TestRendering:
+    def test_json_dict_body(self):
+        raw = render_response(200, {"b": 1, "a": 2})
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert json.loads(payload) == {"a": 2, "b": 1}
+        # Declared length matches the payload exactly (keep-alive safety).
+        assert b"Content-Length: %d" % len(payload) in head
+
+    def test_extra_headers_and_close(self):
+        raw = render_response(
+            429,
+            {"error": "x"},
+            headers=[("Retry-After", "3")],
+            keep_alive=False,
+        )
+        assert b"HTTP/1.1 429 Too Many Requests" in raw
+        assert b"Retry-After: 3" in raw
+        assert b"Connection: close" in raw
+
+    def test_text_body(self):
+        raw = render_response(200, "hello", content_type="text/plain")
+        assert raw.endswith(b"\r\n\r\nhello")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            render_response(200, {"x": float("nan")})

@@ -1,0 +1,110 @@
+"""Worker-process execution behind the HTTP tier.
+
+The serving contract for a network deployment: CPU-bound hot loops run
+in worker *processes* (off the GIL), crashes respawn through the retry
+machinery, and observability (flight recorder, EXPLAIN) still works for
+queries that executed on the far side of a process boundary.
+"""
+
+import json
+
+import pytest
+
+from repro.observability.flight import FlightRecorder
+from repro.serving import MetricsRegistry, QueryService
+from repro.server import MCKServer
+from repro.testing import faults
+from tests.server.test_app import Client
+
+RECORDS = [
+    (10.0, 10.0, ["shrine"]),
+    (11.0, 10.5, ["shop"]),
+    (10.5, 11.0, ["restaurant"]),
+    (11.2, 11.2, ["hotel"]),
+    (50.0, 50.0, ["shrine"]),
+    (52.0, 50.0, ["shop"]),
+    (90.0, 10.0, ["restaurant"]),
+]
+QUERY = ["shrine", "shop", "restaurant"]
+
+
+@pytest.fixture(scope="module")
+def pool_served():
+    from repro import Dataset
+
+    dataset = Dataset.from_records(RECORDS, name="pool-http")
+    flight = FlightRecorder()
+    service = QueryService(
+        dataset,
+        max_workers=2,
+        cache_size=0,
+        metrics=MetricsRegistry(),
+        process_algorithms=("EXACT", "SKECa+"),
+        flight=flight,
+    )
+    handle = MCKServer(service, owns_service=True).run_in_thread()
+    yield handle, service, flight
+    handle.stop()
+
+
+class TestProcessPoolOverTheWire:
+    @pytest.mark.parametrize("algorithm", ["EXACT", "SKECa+"])
+    def test_pool_answer_matches_inline(self, pool_served, algorithm):
+        handle, service, _flight = pool_served
+        client = Client(handle, timeout=120)
+        try:
+            status, body, _ = client.call(
+                "POST", "/query", {"keywords": QUERY, "algorithm": algorithm}
+            )
+        finally:
+            client.close()
+        assert status == 200 and body["status"] == "ok"
+        direct = service.engine.query(QUERY, algorithm=algorithm)
+        assert body["diameter"] == pytest.approx(direct.diameter)
+
+    def test_explain_and_flight_cross_process_boundary(self, pool_served):
+        handle, service, flight = pool_served
+        client = Client(handle, timeout=120)
+        try:
+            status, body, _ = client.call(
+                "POST",
+                "/query",
+                {"keywords": QUERY, "algorithm": "EXACT", "explain": True},
+            )
+        finally:
+            client.close()
+        assert status == 200
+        trace_id = body["trace_id"]
+        assert trace_id
+        # EXPLAIN was assembled in the coordinator from spans the worker
+        # process drained and shipped back.
+        phases = body["explain"]["phases"]
+        assert phases, "no phase breakdown for a pool-executed query"
+        # The flight recorder completed the same trace.
+        assert any(t["trace_id"] == trace_id for t in (
+            trace.as_dict() for trace in flight.traces()
+        )) or flight.completed > 0
+
+    def test_pool_rejection_retries_and_counts(self, pool_served):
+        handle, service, _flight = pool_served
+        before = service.metrics.pool_retry_counter.value(algorithm="EXACT")
+        client = Client(handle, timeout=120)
+        fault = faults.arm_spec("pool-reject:times=1")
+        try:
+            status, body, _ = client.call(
+                "POST", "/query", {"keywords": QUERY, "algorithm": "EXACT"}
+            )
+        finally:
+            faults.disarm(fault)
+            client.close()
+        # The retry machinery absorbed the refusal; the client saw success.
+        assert status == 200 and body["status"] == "ok"
+        after = service.metrics.pool_retry_counter.value(algorithm="EXACT")
+        assert after == before + 1
+
+    def test_process_algorithms_rejects_live_engine(self):
+        from repro.live import LiveMCKEngine
+
+        engine = LiveMCKEngine.from_records(RECORDS)
+        with pytest.raises(ValueError, match="live"):
+            QueryService(engine, process_algorithms=("EXACT",))
