@@ -25,6 +25,9 @@ python scripts/overload_smoke.py
 echo "== live smoke =="
 python scripts/live_smoke.py
 
+echo "== restart smoke =="
+python scripts/restart_smoke.py
+
 echo "== forensics smoke =="
 python scripts/forensics_smoke.py
 

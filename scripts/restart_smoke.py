@@ -1,0 +1,337 @@
+#!/usr/bin/env python
+"""Restart smoke check: checkpointed durability under real process kills.
+
+Three scenarios, all deterministic given ``--seed``:
+
+1. **Kill-anywhere.** For each checkpoint fault site
+   (``segment_write`` / ``manifest_rename`` / ``wal_truncate``, order
+   shuffled by the seed), a child process builds a checkpointed engine,
+   applies a scripted mutation plan with one clean mid-way checkpoint,
+   then dies with ``os._exit(137)`` — a real SIGKILL-style death, no
+   cleanup — at the armed site during a second checkpoint.  The parent
+   restarts from the directory and asserts the recovered state equals a
+   clean brute-force rebuild of the full plan, and that recovery
+   replayed *fewer* WAL records than the plan wrote (the checkpoint
+   earned its keep).
+2. **Instant-restart bound.** 20 000 objects are checkpointed, then a
+   short tail of mutations lands; a cold reopen must replay exactly the
+   tail — asserted through the ``mck_recovery_wal_records_replayed``
+   gauge, along with ``mck_checkpoints_total`` and
+   ``mck_recovery_seconds``.
+3. **Degraded restart.** The newest segment is bit-flipped; the reopen
+   falls back (counted in ``mck_segment_crc_failures_total``) and still
+   recovers the identical state.
+
+Run from the repo root: ``python scripts/restart_smoke.py [--seed N]``.
+"""
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.live import LiveMCKEngine  # noqa: E402
+from repro.live.checkpoint import SEGMENT_DIR, read_manifest  # noqa: E402
+from repro.serving.stats import MetricsRegistry  # noqa: E402
+from repro.testing import faults  # noqa: E402
+
+RECORDS = [
+    (0.0, 0.0, ["shrine"]),
+    (1.0, 1.0, ["shop"]),
+    (2.0, 0.5, ["restaurant"]),
+    (40.0, 40.0, ["shrine", "hotel"]),
+    (41.0, 41.0, ["shop"]),
+]
+
+KEYWORDS = ["shrine", "shop", "restaurant", "hotel", "cafe", "bar"]
+
+CRASH_SITES = [
+    "live.checkpoint.segment_write",
+    "live.checkpoint.manifest_rename",
+    "live.checkpoint.wal_truncate",
+]
+
+KILL_EXIT = 137
+
+
+def fail(message):
+    print(f"restart-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def mutation_plan(seed, n=60):
+    """Deterministic op list: the child and the parent derive the same one."""
+    rng = random.Random(seed)
+    ops = []
+    live = list(range(len(RECORDS)))
+    next_oid = len(RECORDS)
+    for _ in range(n):
+        if live and rng.random() < 0.25:
+            ops.append(("delete", live.pop(rng.randrange(len(live)))))
+        else:
+            kw = rng.sample(KEYWORDS, rng.randint(1, 3))
+            ops.append(("insert", rng.uniform(0, 50), rng.uniform(0, 50), kw))
+            live.append(next_oid)
+            next_oid += 1
+    return ops
+
+
+def apply_plan(engine, ops):
+    for op in ops:
+        if op[0] == "insert":
+            engine.insert(op[1], op[2], op[3])
+        else:
+            engine.delete(op[1])
+
+
+def plan_model(ops):
+    model = {
+        i: (float(x), float(y), frozenset(kw))
+        for i, (x, y, kw) in enumerate(RECORDS)
+    }
+    next_oid = len(RECORDS)
+    for op in ops:
+        if op[0] == "insert":
+            model[next_oid] = (op[1], op[2], frozenset(op[3]))
+            next_oid += 1
+        else:
+            del model[op[1]]
+    return model
+
+
+def engine_state(engine):
+    return {
+        (oid, x, y, tuple(sorted(kw)))
+        for oid, x, y, kw in engine.snapshot().view().records()
+    }
+
+
+def model_state(model):
+    return {
+        (oid, x, y, tuple(sorted(kw))) for oid, (x, y, kw) in model.items()
+    }
+
+
+# --------------------------------------------------------------------- #
+# Child: build, mutate, die mid-checkpoint.
+# --------------------------------------------------------------------- #
+
+
+def run_child(data_dir, site, seed):
+    def _kill():
+        # A real process death: no exception unwinding, no close(), no
+        # flush beyond what the protocol already made durable.
+        os._exit(KILL_EXIT)
+
+    engine = LiveMCKEngine.from_records(
+        RECORDS,
+        name="restart",
+        data_dir=data_dir,
+        wal_sync_every=1,
+        compact_threshold=10**9,
+        auto_compact=False,
+    )
+    ops = mutation_plan(seed)
+    half = len(ops) // 2
+    apply_plan(engine, ops[:half])
+    if not engine.checkpoint():
+        os._exit(3)  # the clean mid-way checkpoint must land
+    apply_plan(engine, ops[half:])
+    faults.arm(site, error=_kill)
+    engine.checkpoint()  # dies inside the protocol
+    os._exit(4)  # unreachable unless the fault never fired
+
+
+# --------------------------------------------------------------------- #
+# Parent scenarios.
+# --------------------------------------------------------------------- #
+
+
+def check_kill_anywhere(seed):
+    sites = CRASH_SITES[:]
+    random.Random(seed).shuffle(sites)
+    ops = mutation_plan(seed)
+    want = model_state(plan_model(ops))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    for site in sites:
+        with tempfile.TemporaryDirectory() as data_dir:
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    __file__,
+                    "--child",
+                    data_dir,
+                    site,
+                    str(seed),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=600,
+            )
+            if proc.returncode != KILL_EXIT:
+                fail(
+                    f"child for {site} exited {proc.returncode}, wanted "
+                    f"{KILL_EXIT}: {proc.stderr[-800:]}"
+                )
+            metrics = MetricsRegistry()
+            with LiveMCKEngine.open(
+                data_dir, name="restart", metrics=metrics
+            ) as engine:
+                report = engine.recovery_report
+                if not report.complete:
+                    fail(f"recovery incomplete after {site}: {report.state}")
+                got = engine_state(engine)
+                if got != want:
+                    fail(
+                        f"state diverged after kill at {site}: "
+                        f"missing={sorted(want - got)[:3]} "
+                        f"extra={sorted(got - want)[:3]}"
+                    )
+                if report.wal_records_replayed >= len(ops):
+                    fail(
+                        f"{site}: replayed {report.wal_records_replayed} "
+                        f"records, checkpoint saved nothing over {len(ops)}"
+                    )
+                gauge = metrics.recovery_replayed_gauge.value()
+                if gauge != float(report.wal_records_replayed):
+                    fail(f"replay gauge {gauge} != report {report}")
+        print(
+            f"  kill at {site.split('.')[-1]}: recovered "
+            f"{len(want)} objects, replayed "
+            f"{report.wal_records_replayed}/{len(ops)} WAL records"
+        )
+
+
+def check_instant_restart(seed):
+    rng = random.Random(seed + 1)
+    big = 20_000
+    tail = 50
+    with tempfile.TemporaryDirectory() as data_dir:
+        with LiveMCKEngine.from_records(
+            RECORDS,
+            name="restart",
+            data_dir=data_dir,
+            wal_sync_every=0,
+            compact_threshold=10**9,
+            auto_compact=False,
+        ) as engine:
+            engine.apply_batch(
+                inserts=[
+                    (
+                        rng.uniform(0, 1000),
+                        rng.uniform(0, 1000),
+                        rng.sample(KEYWORDS, 2),
+                    )
+                    for _ in range(big)
+                ]
+            )
+            if not engine.checkpoint():
+                fail("big checkpoint did not land")
+            for _ in range(tail):
+                engine.insert(
+                    rng.uniform(0, 1000),
+                    rng.uniform(0, 1000),
+                    rng.sample(KEYWORDS, 2),
+                )
+            total = len(engine)
+            want_answer = engine.query(
+                ["shrine", "cafe"], algorithm="SKECa+"
+            ).diameter
+        metrics = MetricsRegistry()
+        with LiveMCKEngine.open(
+            data_dir, name="restart", metrics=metrics
+        ) as engine:
+            replayed = metrics.recovery_replayed_gauge.value()
+            if replayed != float(tail):
+                fail(
+                    f"cold restart replayed {replayed} WAL records, "
+                    f"expected exactly the {tail}-record tail"
+                )
+            if metrics.recovery_seconds_gauge.value() <= 0.0:
+                fail("recovery seconds gauge never set")
+            if metrics.segment_crc_failures_counter.value() != 0.0:
+                fail("clean restart counted CRC failures")
+            if len(engine) != total:
+                fail(f"object count {len(engine)} != {total}")
+            got = engine.query(["shrine", "cafe"], algorithm="SKECa+").diameter
+            if got != want_answer:
+                fail(f"answer drifted across restart: {got} != {want_answer}")
+            if not engine.checkpoint():
+                fail("post-restart checkpoint did not land")
+            if metrics.checkpoints_counter.value(outcome="ok") < 1.0:
+                fail("mck_checkpoints_total{outcome=ok} not counted")
+    print(
+        f"  instant restart: {big + len(RECORDS)} objects from segment, "
+        f"replayed only the {tail}-record tail"
+    )
+
+
+def check_degraded_restart(seed):
+    ops = mutation_plan(seed, n=30)
+    want = model_state(plan_model(ops))
+    with tempfile.TemporaryDirectory() as data_dir:
+        with LiveMCKEngine.from_records(
+            RECORDS,
+            name="restart",
+            data_dir=data_dir,
+            wal_sync_every=1,
+            compact_threshold=10**9,
+            auto_compact=False,
+        ) as engine:
+            apply_plan(engine, ops)
+            if not engine.checkpoint():
+                fail("checkpoint did not land")
+        manifest = read_manifest(os.path.join(data_dir, "MANIFEST"))
+        newest = manifest["checkpoints"][-1]["segment"]
+        seg_path = os.path.join(data_dir, SEGMENT_DIR, newest)
+        blob = bytearray(open(seg_path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(seg_path, "wb").write(bytes(blob))
+
+        metrics = MetricsRegistry()
+        with LiveMCKEngine.open(
+            data_dir, name="restart", metrics=metrics
+        ) as engine:
+            report = engine.recovery_report
+            if not report.complete:
+                fail(f"degraded recovery incomplete: {report.state}")
+            if report.segment_failures < 1:
+                fail("corrupt segment not counted")
+            if metrics.segment_crc_failures_counter.value() < 1.0:
+                fail("mck_segment_crc_failures_total not counted")
+            if engine_state(engine) != want:
+                fail("degraded recovery lost state")
+    print(
+        "  degraded restart: corrupt newest segment skipped "
+        f"({report.segment_failures} failure), state intact via "
+        f"{report.source}"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--child", nargs=3, metavar=("DIR", "SITE", "SEED"))
+    args = parser.parse_args()
+    if args.child:
+        run_child(args.child[0], args.child[1], int(args.child[2]))
+        return
+    print("== restart smoke ==")
+    check_kill_anywhere(args.seed)
+    check_instant_restart(args.seed)
+    check_degraded_restart(args.seed)
+    print("restart-smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

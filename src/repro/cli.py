@@ -245,6 +245,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write-ahead log path (with --live): mutations are durable "
         "and replayed on restart",
     )
+    srv.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="checkpointed durable store (with --live, instead of --wal): "
+        "compactions persist CRC-checksummed segments so a restart is a "
+        "segment load plus short WAL tail replay, verified before /readyz "
+        "reports ready",
+    )
     srv.add_argument("--workers", type=int, default=None)
     srv.add_argument(
         "--admission-capacity",
@@ -764,6 +771,15 @@ def _cmd_serve(args) -> int:
     if args.wal and not args.live:
         print("serve: --wal needs --live", file=sys.stderr)
         return 2
+    if args.data_dir and not args.live:
+        print("serve: --data-dir needs --live", file=sys.stderr)
+        return 2
+    if args.data_dir and args.wal:
+        print(
+            "serve: --data-dir manages its own WAL; drop --wal",
+            file=sys.stderr,
+        )
+        return 2
     if args.live and args.process_algorithms:
         print(
             "serve: --process-algorithms needs a sealed dataset "
@@ -785,6 +801,7 @@ def _cmd_serve(args) -> int:
             ((obj.x, obj.y, obj.keywords) for obj in dataset),
             name=dataset.name,
             wal_path=args.wal,
+            data_dir=args.data_dir,
         )
         process_algorithms = None
     else:

@@ -93,6 +93,18 @@ class WALError(ReproError):
     """
 
 
+class SegmentError(ReproError):
+    """An on-disk checkpoint segment or manifest failed verification.
+
+    Raised by :mod:`repro.index.segments` when a segment's magic, header,
+    or section CRCs do not check out, and by the checkpoint manifest
+    reader on a torn or corrupt manifest.  Recovery code treats this as a
+    *degradation signal*, not a fatal error: a store that cannot load its
+    newest checkpoint falls back to an older one (or to full WAL replay)
+    and keeps serving — see :mod:`repro.live.checkpoint`.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised by the experiment harness on inconsistent configuration."""
 

@@ -15,6 +15,9 @@ ever blocking readers:
   pin the epoch they started on, retired epochs drain by reader count;
 * :mod:`repro.live.compaction` — a background compactor that reseals the
   delta into a fresh base off-thread and publishes a new epoch;
+* :mod:`repro.live.checkpoint` — crash-safe checkpoints: sealed bases
+  persisted as CRC-checksummed segments with an atomic manifest, so a
+  restart is a segment load plus short WAL tail replay;
 * :mod:`repro.live.engine` — :class:`LiveMCKEngine`, mirroring
   :meth:`repro.core.engine.MCKEngine.query` over the mutable store;
 * :mod:`repro.live.sharded` — shard-routed mutations over the
@@ -22,6 +25,7 @@ ever blocking readers:
 """
 
 from .base import SealedBase
+from .checkpoint import CheckpointManager, RecoveryReport, read_manifest
 from .compaction import Compactor
 from .delta import DeltaOverlay, LiveIndex, LiveView
 from .engine import LiveMCKEngine
@@ -30,16 +34,19 @@ from .snapshots import EpochManager, Snapshot
 from .wal import WalRecord, WriteAheadLog, read_wal
 
 __all__ = [
+    "CheckpointManager",
     "Compactor",
     "DeltaOverlay",
     "EpochManager",
     "LiveIndex",
     "LiveMCKEngine",
     "LiveView",
+    "RecoveryReport",
     "SealedBase",
     "ShardedLiveStore",
     "Snapshot",
     "WalRecord",
     "WriteAheadLog",
+    "read_manifest",
     "read_wal",
 ]

@@ -135,6 +135,12 @@ class Compactor:
             self.compactions += 1
             if metrics is not None:
                 metrics.compactions_counter.inc(outcome="ok")
+            # Outside the try/except: sealing already succeeded and the
+            # compacted epoch is published, so a checkpoint that cannot be
+            # persisted is a durability hiccup (counted by the engine),
+            # not a failed compaction.  ``new_base`` reflects the WAL
+            # exactly through the sealed snapshot's watermark.
+            self._engine._checkpoint_after_compaction(snapshot, new_base)
             return True
 
     # ------------------------------------------------------------------ #

@@ -13,14 +13,20 @@
 * a :class:`~repro.live.compaction.Compactor` folds a grown delta back
   into a fresh sealed base off the write path.
 
-Durability model: the sealed base handed to :meth:`LiveMCKEngine.open`
-(or the initial records) plus a full WAL replay reproduces the exact
-live object set.  Compaction is an in-memory reorganisation only and
-needs no checkpointing.
+Durability model: with ``wal_path=`` the sealed base handed to the
+constructor plus a full WAL replay reproduces the exact live object set.
+With ``data_dir=`` the engine additionally *checkpoints*: a compaction
+that seals a new base also persists it as a CRC-checksummed segment with
+an atomic manifest (see :mod:`repro.live.checkpoint`), and truncates the
+covered WAL prefix — so a restart is segment load + short tail replay
+instead of full replay + index rebuild.  A corrupt or torn segment
+degrades recovery (older checkpoint, then full replay of whatever WAL
+exists) rather than refusing to start.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -45,12 +51,15 @@ from ..observability import tracer as _tracing
 from ..observability.explain import build_explain, collect_trace_spans
 from ..observability.tracer import span
 from .base import SealedBase
+from .checkpoint import CheckpointManager, RecoveryReport
 from .compaction import Compactor
 from .delta import DeltaOverlay, LiveView
 from .snapshots import EpochManager, Snapshot
 from .wal import WalRecord, WriteAheadLog
 
 __all__ = ["LiveMCKEngine"]
+
+logger = logging.getLogger("repro.live.engine")
 
 #: ``listener(op, oid, keywords)`` — fired after each mutation publishes.
 MutationListener = Callable[[str, int, Tuple[str, ...]], None]
@@ -75,6 +84,7 @@ class LiveMCKEngine:
         base: SealedBase,
         wal_path: Optional[str] = None,
         wal_sync_every: int = 64,
+        data_dir: Optional[str] = None,
         compact_threshold: int = 512,
         compact_ratio: float = 0.25,
         auto_compact: bool = True,
@@ -83,7 +93,10 @@ class LiveMCKEngine:
         context_cache_size: int = 16,
         oid_start: int = 0,
     ):
-        self.name = base.name
+        if wal_path is not None and data_dir is not None:
+            raise DatasetError(
+                "pass wal_path (bare WAL) or data_dir (checkpointed), not both"
+            )
         self.metrics = metrics
         self._write_lock = threading.RLock()
         self._listeners: List[MutationListener] = []
@@ -94,20 +107,59 @@ class LiveMCKEngine:
         self._context_cache_size = max(0, context_cache_size)
         self._closed = False
 
+        self.checkpointer: Optional[CheckpointManager] = None
+        self.recovery_report: Optional[RecoveryReport] = None
+        self._recovery_metrics_pushed = False
+
         delta = DeltaOverlay()
+        covered_seq = 0
+        tail: Sequence[WalRecord] = ()
+        if data_dir is not None:
+            self.checkpointer = CheckpointManager(data_dir)
+            recovered_base, covered_seq, tail, report = (
+                self.checkpointer.recover()
+            )
+            self.recovery_report = report
+            if recovered_base is not None:
+                # The checkpoint supersedes the caller's seed base: it IS
+                # that base (or a descendant) as of the covered WAL seq.
+                base = recovered_base
+            wal_path = self.checkpointer.wal_path
+
+        self.name = base.name
         # ``oid_start`` lets a sharded deployment give each shard its own
         # disjoint oid range; new oids never dip below it.
         next_oid = max(base.max_oid() + 1, int(oid_start))
+        if self.checkpointer is not None:
+            # A compacted base forgets deleted oids; the manifest's
+            # high-water mark keeps the allocator from re-issuing them.
+            next_oid = max(next_oid, self.checkpointer.recovered_next_oid)
 
         self.wal: Optional[WriteAheadLog] = None
         if wal_path is not None:
-            self.wal = WriteAheadLog(wal_path, sync_every=wal_sync_every)
-            if self.wal.recovered:
-                with span("live.replay", records=len(self.wal.recovered)):
-                    delta, next_oid = _replay(base, self.wal.recovered, next_oid)
+            self.wal = WriteAheadLog(
+                wal_path, sync_every=wal_sync_every, start_seq=covered_seq
+            )
+            replayable = tail if self.checkpointer is not None else (
+                self.wal.recovered
+            )
+            if replayable:
+                report = self.recovery_report
+                if report is not None:
+                    report.state = "replaying_wal"
+                with span("live.replay", records=len(replayable)):
+                    delta, next_oid = self._fold_tail(
+                        base, replayable, next_oid
+                    )
+        if self.recovery_report is not None:
+            self.recovery_report.state = "complete"
 
         self._next_oid = next_oid
-        self._epochs = EpochManager(Snapshot(0, base, delta))
+        self._epochs = EpochManager(
+            Snapshot(
+                0, base, delta, wal_seq=self.wal.last_seq if self.wal else 0
+            )
+        )
         self.compactor = Compactor(
             self,
             threshold=compact_threshold,
@@ -116,6 +168,17 @@ class LiveMCKEngine:
         )
         if background_compaction:
             self.compactor.start()
+        if (
+            self.checkpointer is not None
+            and self.recovery_report is not None
+            and self.recovery_report.source == "initial"
+            and len(base) > 0
+        ):
+            # First boot over a non-empty seed base: the seed exists only
+            # in memory until a compaction checkpoints it.  Persist it now
+            # (covering seq 0 — the WAL tail replays on top) so "initial
+            # records + data_dir" is durable from the first open.
+            self._persist_checkpoint(base, 0)
         self._publish_metrics()
 
     # ------------------------------------------------------------------ #
@@ -143,6 +206,19 @@ class LiveMCKEngine:
             ((o.oid, o.x, o.y, o.keywords) for o in dataset), name=dataset.name
         )
         return cls(sealed, **kwargs)
+
+    @classmethod
+    def open(
+        cls, data_dir: str, name: str = "live", **kwargs
+    ) -> "LiveMCKEngine":
+        """Open (or create) a checkpointed store rooted at ``data_dir``.
+
+        The canonical durable entry point: an empty seed base, with the
+        real state recovered from the newest verifiable checkpoint segment
+        plus the WAL tail.  A fresh directory yields an empty store.
+        """
+        sealed = SealedBase.build((), name=name)
+        return cls(sealed, data_dir=data_dir, **kwargs)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -257,7 +333,11 @@ class LiveMCKEngine:
                     self.wal.append_delete(oid)
 
             delta = current.delta.with_batch(inserts=new_objects, deletes=victims)
-            self._epochs.publish(current.base, delta)
+            self._epochs.publish(
+                current.base,
+                delta,
+                wal_seq=self.wal.last_seq if self.wal is not None else None,
+            )
             self._publish_metrics(
                 wal_inserts=len(new_objects) if self.wal is not None else 0,
                 wal_deletes=len(victims) if self.wal is not None else 0,
@@ -275,6 +355,113 @@ class LiveMCKEngine:
     def compact(self) -> bool:
         """Force a synchronous compaction; True if one ran."""
         return self.compactor.compact_now(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (data_dir mode only)
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> bool:
+        """Force a durable checkpoint of the current state; True if taken.
+
+        With a pending delta the delta is compacted first (the compaction
+        hook persists the freshly sealed base); with an empty delta the
+        current base is persisted directly unless the newest on-disk
+        checkpoint already covers this snapshot's WAL watermark.
+        """
+        if self.checkpointer is None:
+            return False
+        self._check_open()
+        if self.delta_size:
+            before = self.checkpointer.checkpoints_taken
+            self.compactor.compact_now(force=True)
+            # The compaction may succeed while its checkpoint fails
+            # (counted, non-fatal); report what actually got durable.
+            return self.checkpointer.checkpoints_taken > before
+        snapshot = self.snapshot()
+        retained = self.checkpointer._retained()
+        if retained and int(retained[-1]["wal_seq"]) >= snapshot.wal_seq:
+            return False  # nothing new since the last checkpoint
+        return self._persist_checkpoint(snapshot.base, snapshot.wal_seq)
+
+    def _checkpoint_after_compaction(
+        self, sealed: Snapshot, new_base: SealedBase
+    ) -> None:
+        """Persist the base a compaction just sealed (data_dir mode).
+
+        ``sealed`` is the snapshot the compaction folded: the new base
+        reflects the WAL exactly through ``sealed.wal_seq`` (residual
+        delta mutations carry higher seqs and stay in the log tail).
+        Called by the compactor *outside* its failure accounting — a
+        checkpoint that cannot be written must not look like a failed
+        compaction.
+        """
+        if self.checkpointer is None:
+            return
+        self._persist_checkpoint(new_base, sealed.wal_seq)
+
+    def _fold_tail(
+        self, base: SealedBase, records: Sequence[WalRecord], next_oid: int
+    ) -> Tuple[DeltaOverlay, int]:
+        """Fold recovered WAL records over ``base`` at startup.
+
+        Strict replay first — a collision means the log and the base
+        disagree, which a bare-WAL engine treats as the configuration
+        error it is.  A *checkpointed* engine must start anyway (the
+        mismatch is typically a segment/WAL pairing damaged by the very
+        crash we are recovering from), so it falls back to lenient replay
+        that skips contradictory records, counting and reporting them.
+        """
+        try:
+            return _replay(base, records, next_oid)
+        except DatasetError as err:
+            if self.checkpointer is None:
+                raise
+            report = self.recovery_report
+            if report is not None:
+                report.failure_reasons.append(f"strict replay failed: {err}")
+            logger.warning(
+                "recovery: strict WAL replay failed (%s); "
+                "replaying leniently",
+                err,
+            )
+            return _replay_lenient(base, records, next_oid)
+
+    def _persist_checkpoint(self, base: SealedBase, covered_seq: int) -> bool:
+        """Run the checkpoint protocol for ``base``; count, never raise.
+
+        The segment + manifest write runs without the write lock (it can
+        take a while and only reads the immutable base); the WAL rotation
+        takes the write lock so it cannot race an appending mutation.
+        :class:`~repro.testing.faults.SimulatedCrash` is deliberately NOT
+        caught — a simulated kill must unwind like a real one.
+        """
+        if self.checkpointer is None:
+            return False
+        try:
+            if self.wal is not None:
+                self.wal.flush()
+            manifest = self.checkpointer.checkpoint(
+                base, covered_seq, wal=None, next_oid=self._next_oid
+            )
+            kept = manifest["checkpoints"]
+            if self.wal is not None and len(kept) >= 2:
+                # Truncate only through the *older* retained checkpoint —
+                # the newest segment's covering records must survive as
+                # its corruption fallback (see repro.live.checkpoint).
+                safe_seq = int(kept[0]["wal_seq"])
+                with self._write_lock:
+                    self.wal.truncate_through(safe_seq)
+        except Exception as err:  # noqa: BLE001 - serve on, log, count
+            self.checkpointer.checkpoint_failures += 1
+            if self.metrics is not None:
+                self.metrics.checkpoints_counter.inc(outcome="failed")
+            logger.warning(
+                "checkpoint failed (covered_seq %d): %s", covered_seq, err
+            )
+            return False
+        if self.metrics is not None:
+            self.metrics.checkpoints_counter.inc(outcome="ok")
+        return True
 
     # ------------------------------------------------------------------ #
     # Query (mirrors MCKEngine.query against a pinned snapshot)
@@ -447,6 +634,24 @@ class LiveMCKEngine:
             metrics.wal_records_counter.inc(wal_inserts, op="insert")
         if wal_deletes:
             metrics.wal_records_counter.inc(wal_deletes, op="delete")
+        report = self.recovery_report
+        if (
+            report is not None
+            and report.complete
+            and not self._recovery_metrics_pushed
+        ):
+            # The engine is usually built before the serving layer wires
+            # ``metrics`` onto it, so recovery numbers are published
+            # lazily from the first metric push that sees both.
+            self._recovery_metrics_pushed = True
+            metrics.recovery_seconds_gauge.set(report.seconds)
+            metrics.recovery_replayed_gauge.set(
+                float(report.wal_records_replayed)
+            )
+            if report.segment_failures:
+                metrics.segment_crc_failures_counter.inc(
+                    report.segment_failures
+                )
 
 
 def _replay(
@@ -481,4 +686,42 @@ def _replay(
                 # simply vanishes (it was never sealed anywhere).
                 tombstones.add(record.oid)
             next_oid = max(next_oid, record.oid + 1)
+    return DeltaOverlay.from_state(adds, tombstones, base), next_oid
+
+
+def _replay_lenient(
+    base: SealedBase, records: Sequence[WalRecord], next_oid: int
+) -> Tuple[DeltaOverlay, int]:
+    """Degraded-mode replay: skip contradictory records instead of raising.
+
+    Used only when recovering a checkpointed store whose segment and WAL
+    disagree (see :meth:`LiveMCKEngine._fold_tail`).  An insert colliding
+    with a live oid and a delete of a never-live oid are both dropped —
+    the segment, which passed full CRC verification, wins.
+    """
+    adds = {}
+    tombstones = set()
+    skipped = 0
+    for record in records:
+        next_oid = max(next_oid, record.oid + 1)
+        if record.op == "insert":
+            if record.oid in base or record.oid in adds or record.oid in tombstones:
+                skipped += 1
+                continue
+            adds[record.oid] = GeoObject(
+                record.oid, record.x, record.y, frozenset(record.keywords)
+            )
+        else:
+            was_add = adds.pop(record.oid, None)
+            if was_add is not None:
+                continue
+            if record.oid not in base:
+                skipped += 1
+                continue
+            tombstones.add(record.oid)
+    if skipped:
+        logger.warning(
+            "recovery: lenient replay skipped %d contradictory record(s)",
+            skipped,
+        )
     return DeltaOverlay.from_state(adds, tombstones, base), next_oid

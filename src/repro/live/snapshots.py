@@ -30,12 +30,23 @@ __all__ = ["Snapshot", "EpochManager"]
 class Snapshot:
     """One immutable published version of the store."""
 
-    __slots__ = ("epoch", "base", "delta", "_view", "_view_lock")
+    __slots__ = ("epoch", "base", "delta", "wal_seq", "_view", "_view_lock")
 
-    def __init__(self, epoch: int, base: SealedBase, delta: DeltaOverlay):
+    def __init__(
+        self,
+        epoch: int,
+        base: SealedBase,
+        delta: DeltaOverlay,
+        wal_seq: int = 0,
+    ):
         self.epoch = epoch
         self.base = base
         self.delta = delta
+        #: Highest WAL sequence reflected in this snapshot's merged view
+        #: (0 when the engine has no WAL).  Checkpointing uses it as the
+        #: durable watermark: a segment sealed from this snapshot covers
+        #: exactly the log prefix through ``wal_seq``.
+        self.wal_seq = wal_seq
         self._view: Optional[LiveView] = None
         self._view_lock = threading.Lock()
 
@@ -113,12 +124,27 @@ class EpochManager:
             self._pins[snapshot.epoch] = self._pins.get(snapshot.epoch, 0) + 1
         return _PinGuard(self, snapshot)
 
-    def publish(self, base: SealedBase, delta: DeltaOverlay) -> Snapshot:
-        """Swap in a new version; returns the published snapshot."""
+    def publish(
+        self,
+        base: SealedBase,
+        delta: DeltaOverlay,
+        wal_seq: Optional[int] = None,
+    ) -> Snapshot:
+        """Swap in a new version; returns the published snapshot.
+
+        ``wal_seq`` defaults to the superseded snapshot's watermark — the
+        right value for publishes that reorganise existing data without
+        adding mutations (compaction).
+        """
         to_retire: List[Snapshot] = []
         with self._lock:
             old = self._current
-            new = Snapshot(old.epoch + 1, base, delta)
+            new = Snapshot(
+                old.epoch + 1,
+                base,
+                delta,
+                wal_seq=old.wal_seq if wal_seq is None else int(wal_seq),
+            )
             self._current = new
             if self._pins.get(old.epoch, 0) > 0:
                 self._superseded[old.epoch] = old

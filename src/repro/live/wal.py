@@ -6,9 +6,13 @@ CRC covers the JSON bytes exactly, so a torn tail (process killed mid
 JSON — replay stops cleanly at the last valid record and the torn bytes
 are truncated away before the log is reopened for append.
 
-Records carry a strictly increasing ``seq`` starting at 1; replay also
-stops at the first sequence discontinuity (a seq that is not
-``previous + 1``), which catches interleaved writers and manual edits.
+Records carry a strictly increasing ``seq``; replay stops at the first
+sequence discontinuity (a seq that is not ``previous + 1``), which
+catches interleaved writers and manual edits.  A fresh log starts at
+``seq=1``; a log *rotated* by checkpointing (see
+:meth:`WriteAheadLog.truncate_through`) starts at the first seq after
+the checkpoint's covered prefix, so the first record of a file anchors
+the contiguity check rather than being required to be 1.
 
 Durability is batched: ``fsync`` runs every ``sync_every`` appends, and
 *unconditionally* on :meth:`~WriteAheadLog.flush` /
@@ -27,6 +31,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import WALError
+from ..index.segments import fsync_dir
+from ..testing import faults
 
 __all__ = ["WalRecord", "WriteAheadLog", "read_wal"]
 
@@ -87,7 +93,7 @@ def read_wal(path: str) -> Tuple[List[WalRecord], int, Optional[str]]:
     valid_bytes = 0
     if not os.path.exists(path):
         return records, valid_bytes, None
-    last_seq = 0
+    last_seq: Optional[int] = None
     with open(path, "rb") as fh:
         for raw in fh:
             if not raw.endswith(b"\n"):
@@ -106,7 +112,7 @@ def read_wal(path: str) -> Tuple[List[WalRecord], int, Optional[str]]:
                 record = WalRecord.from_payload(json.loads(body))
             except (ValueError, KeyError, WALError):
                 return records, valid_bytes, "undecodable record body"
-            if record.seq != last_seq + 1:
+            if last_seq is not None and record.seq != last_seq + 1:
                 return records, valid_bytes, (
                     f"sequence gap ({last_seq} -> {record.seq})"
                 )
@@ -127,16 +133,26 @@ class WriteAheadLog:
     :meth:`close` always fsyncs, in every mode.
     """
 
-    def __init__(self, path: str, sync_every: int = 64):
+    def __init__(self, path: str, sync_every: int = 64, start_seq: int = 0):
         self.path = path
         self.sync_every = max(0, int(sync_every or 0))
         self.recovered, valid_bytes, self.torn_reason = read_wal(path)
         if os.path.exists(path) and os.path.getsize(path) > valid_bytes:
             # Drop the torn tail in place; appending after garbage would
-            # poison every later replay.
+            # poison every later replay.  The truncate is itself fsynced
+            # (file, then directory) so a second crash right here cannot
+            # resurrect the torn bytes and poison the *next* recovery.
             with open(path, "r+b") as fh:
                 fh.truncate(valid_bytes)
-        self._last_seq = self.recovered[-1].seq if self.recovered else 0
+                fh.flush()
+                os.fsync(fh.fileno())
+            fsync_dir(os.path.dirname(os.path.abspath(path)))
+        # ``start_seq`` seeds the sequence when the covered prefix lives
+        # in a checkpoint segment instead of this file (a rotated log may
+        # be empty while the store is not); appends must not restart at 1.
+        self._last_seq = max(
+            self.recovered[-1].seq if self.recovered else 0, int(start_seq)
+        )
         self._records_written = 0
         self._unsynced = 0
         self._fh = open(path, "ab")
@@ -182,6 +198,44 @@ class WriteAheadLog:
         if self.sync_every and self._unsynced >= self.sync_every:
             self.flush()
         return record
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop every record with ``record.seq <= seq``; returns kept count.
+
+        The checkpointing primitive: once a checkpoint segment durably
+        covers the log prefix through ``seq``, the prefix is dead weight
+        that only slows the next recovery.  Rotation is atomic — the kept
+        tail is written to a temp file, fsynced, renamed over the log,
+        and the directory fsynced — so a crash at *any* point leaves
+        either the old complete log or the new complete tail, both
+        replayable (the ``live.wal.rotate`` fault site fires before each
+        step with ``stage=`` ``write_tmp`` / ``rename`` / ``fsync_dir``).
+
+        The open handle survives rotation and appends continue at the
+        same sequence; ``seq`` values beyond :attr:`last_seq` only empty
+        the file, they never invent records.
+        """
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        seq = int(seq)
+        self.flush()
+        current, _bytes, _torn = read_wal(self.path)
+        kept = [r for r in current if r.seq > seq]
+        tmp = self.path + ".rotate"
+        faults.fire("live.wal.rotate", stage="write_tmp", seq=seq)
+        with open(tmp, "wb") as fh:
+            for record in kept:
+                fh.write(_encode(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        faults.fire("live.wal.rotate", stage="rename", seq=seq)
+        self._fh.close()
+        os.replace(tmp, self.path)
+        faults.fire("live.wal.rotate", stage="fsync_dir", seq=seq)
+        fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+        self._fh = open(self.path, "ab")
+        self._unsynced = 0
+        return len(kept)
 
     def flush(self) -> None:
         """Flush buffered records and fsync (group commit boundary).

@@ -239,8 +239,15 @@ class MCKServer:
             if capacity is not None
             else None
         )
+        recovery = getattr(self.service.engine, "recovery_report", None)
         if self._draining:
             ready, reason = False, "draining"
+        elif recovery is not None and not recovery.complete:
+            # A checkpointed engine still recovering (segment load / WAL
+            # tail replay in progress) serves queries over a partial view;
+            # stay unready so load balancers hold traffic until the store
+            # reaches its restored state.
+            ready, reason = False, f"recovering ({recovery.state})"
         elif threshold is not None and depth >= threshold:
             ready, reason = False, "admission queue beyond ready fraction"
         else:
@@ -253,6 +260,8 @@ class MCKServer:
             "ready_threshold": threshold,
             "inflight": admission.inflight,
         }
+        if recovery is not None:
+            detail["recovery"] = recovery.as_dict()
         self._ready_gauge.set(1.0 if ready else 0.0)
         return ready, detail
 

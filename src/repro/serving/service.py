@@ -370,6 +370,10 @@ class QueryService:
             self.engine.add_mutation_listener(self._on_mutation)
             if self.engine.metrics is None:
                 self.engine.metrics = self.metrics
+                # Re-push so engine-lifecycle metrics that predate the
+                # wiring (recovery gauges, epoch/delta) appear at startup
+                # rather than after the first mutation.
+                self.engine._publish_metrics()
         self.tracer = tracer
         self._local = thread_local()
         #: Flight recorder for tail-based trace retention.  It needs a

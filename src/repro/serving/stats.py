@@ -262,6 +262,27 @@ class MetricsRegistry:
             help="Records appended to the write-ahead log, by op.",
             label_names=("op",),
         )
+        self.checkpoints_counter = self.counter(
+            "mck_checkpoints_total",
+            help="Checkpoint attempts (segment + manifest + WAL truncate), "
+            "by outcome (ok, failed).",
+            label_names=("outcome",),
+        )
+        self.recovery_seconds_gauge = self.gauge(
+            "mck_recovery_seconds",
+            help="Wall-clock seconds the last restart spent recovering "
+            "(manifest read + segment load + WAL tail replay).",
+        )
+        self.recovery_replayed_gauge = self.gauge(
+            "mck_recovery_wal_records_replayed",
+            help="WAL records replayed by the last recovery; bounded by the "
+            "checkpoint cadence, not by total log history.",
+        )
+        self.segment_crc_failures_counter = self.counter(
+            "mck_segment_crc_failures_total",
+            help="Checkpoint segments or manifests that failed verification "
+            "at recovery and were skipped (recovery degraded gracefully).",
+        )
 
     @classmethod
     def default(cls) -> "MetricsRegistry":

@@ -38,6 +38,29 @@ Known sites
     ``compaction-fail`` error to abort compactions and verify the store
     keeps serving (and re-triggering) on the uncompacted snapshot, or a
     ``delay`` to model a slow rebuild racing concurrent mutations.
+``live.checkpoint.segment_write``
+    Fired just before a checkpoint writes its segment file.  Arm
+    :class:`SimulatedCrash` (the ``checkpoint-crash`` alias) to model a
+    process killed mid-checkpoint: the previous manifest stays intact and
+    the full WAL tail is still on disk, so recovery loses nothing.
+``live.checkpoint.manifest_rename``
+    Fired after the segment is durable but before the manifest rename
+    that commits the checkpoint.  A crash here leaves an orphan segment
+    (garbage-collected by the next successful checkpoint) and recovers
+    from the previous manifest.
+``live.checkpoint.wal_truncate``
+    Fired after the manifest commit, before the covered WAL prefix is
+    truncated away.  A crash here recovers from the *new* checkpoint and
+    skips the already-covered WAL records during tail replay.
+``live.wal.rotate``
+    Fired inside :meth:`repro.live.wal.WriteAheadLog.truncate_through`
+    before each step of the rotation (context ``stage=`` ``write_tmp`` /
+    ``rename`` / ``fsync_dir``) so tests can interrupt the rotation at
+    every point and assert the log stays replayable.
+``live.checkpoint.recover``
+    Fired when checkpoint recovery starts (before the manifest is read).
+    Arm a ``delay`` to hold an engine in the recovering state and assert
+    ``/readyz`` answers 503 with recovery progress until it completes.
 
 Example
 -------
@@ -60,6 +83,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 __all__ = [
     "Fault",
+    "SimulatedCrash",
     "arm",
     "arm_spec",
     "disarm",
@@ -72,6 +96,19 @@ __all__ = [
     "ALIASES",
     "ACTIVE",
 ]
+
+
+class SimulatedCrash(BaseException):
+    """A process death injected at a fault site (kill-anywhere harness).
+
+    Deliberately a ``BaseException``: production code that degrades
+    gracefully by catching ``Exception`` (the compactor, the checkpoint
+    writer) must NOT be able to swallow a simulated kill — the crash has
+    to unwind through every handler exactly as ``SIGKILL`` would leave
+    no handler running at all.  Tests catch it at the outermost level,
+    abandon the dirty in-memory engine without closing it, and re-open
+    from disk to model a restart.
+    """
 
 #: Fast-path flag: ``fire``/``clock_skew`` return immediately while False.
 #: Maintained by arm/disarm/reset; read without the lock (a stale read
@@ -275,6 +312,10 @@ def _compaction_fail_error() -> BaseException:
     return IndexError_("injected compaction failure (repro.testing.faults)")
 
 
+def _simulated_crash_error() -> BaseException:
+    return SimulatedCrash("injected process kill (repro.testing.faults)")
+
+
 def _admission_reject_error() -> BaseException:
     from ..exceptions import QueryRejected
 
@@ -298,6 +339,19 @@ ALIASES: Dict[str, tuple] = {
         "serving.live.compaction",
         {"error": _compaction_fail_error},
     ),
+    "checkpoint-crash": (
+        "live.checkpoint.segment_write",
+        {"error": _simulated_crash_error},
+    ),
+    "manifest-crash": (
+        "live.checkpoint.manifest_rename",
+        {"error": _simulated_crash_error},
+    ),
+    "wal-truncate-crash": (
+        "live.checkpoint.wal_truncate",
+        {"error": _simulated_crash_error},
+    ),
+    "slow-recovery": ("live.checkpoint.recover", {"delay": 0.5}),
 }
 
 _INT_KEYS = frozenset({"after", "times"})

@@ -1,0 +1,178 @@
+"""On-disk segments: round-trip fidelity and corruption detection."""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.exceptions import SegmentError
+from repro.index.segments import (
+    MAGIC,
+    load_segment,
+    segment_info,
+    write_segment,
+)
+from repro.live.base import SealedBase
+
+
+def _sealed(name="seg-test", n=20):
+    """A small sealed base with a mixed vocabulary and sparse oids."""
+    records = []
+    for i in range(n):
+        oid = i * 3 + 1  # sparse: deletes leave holes in real bases
+        kws = [f"kw{i % 5}", f"tag{i % 3}"]
+        if i % 4 == 0:
+            kws.append("rare")
+        records.append((oid, float(i), float(n - i) * 0.5, kws))
+    return SealedBase.build(records, name=name)
+
+
+def _write(tmp_path, base=None, name="base.seg"):
+    base = base if base is not None else _sealed()
+    path = str(tmp_path / name)
+    header = write_segment(base, path)
+    return base, path, header
+
+
+class TestRoundTrip:
+    def test_identical_objects_and_terms(self, tmp_path):
+        base, path, header = _write(tmp_path)
+        loaded = load_segment(path)
+        assert loaded.name == base.name
+        assert sorted(loaded.objects) == sorted(base.objects)
+        for oid, obj in base.objects.items():
+            twin = loaded.objects[oid]
+            assert (twin.x, twin.y) == (obj.x, obj.y)
+            assert twin.keywords == obj.keywords
+            # Term ids survive verbatim — no re-interning on load.
+            assert loaded._term_ids[oid] == base._term_ids[oid]
+
+    def test_vocabulary_order_and_frequency_survive(self, tmp_path):
+        base, path, _header = _write(tmp_path)
+        loaded = load_segment(path)
+        assert len(loaded.vocabulary) == len(base.vocabulary)
+        for tid in range(len(base.vocabulary)):
+            term = base.vocabulary.term_of(tid)
+            assert loaded.vocabulary.term_of(tid) == term
+            assert loaded.vocabulary.frequency(tid) == base.vocabulary.frequency(
+                tid
+            )
+
+    def test_columns_installed_eagerly(self, tmp_path):
+        base, path, _header = _write(tmp_path)
+        loaded = load_segment(path)
+        assert loaded._columns is not None  # load, not lazy rebuild
+        assert list(loaded.columns.oids) == list(base.columns.oids)
+        assert list(loaded.columns.term_ids) == list(base.columns.term_ids)
+
+    def test_inverted_index_parity(self, tmp_path):
+        base, path, _header = _write(tmp_path)
+        loaded = load_segment(path)
+        for tid in range(len(base.vocabulary)):
+            assert list(loaded.inverted.posting(tid)) == list(
+                base.inverted.posting(tid)
+            )
+
+    def test_header_metadata(self, tmp_path):
+        base, path, header = _write(tmp_path)
+        assert header["objects"] == len(base)
+        assert header["version"] == 1
+        info = segment_info(path)
+        assert info["objects"] == len(base)
+        assert info["terms"] == header["terms"]
+
+    def test_empty_base_round_trips(self, tmp_path):
+        base = SealedBase.build((), name="empty")
+        path = str(tmp_path / "empty.seg")
+        write_segment(base, path)
+        loaded = load_segment(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        _base, path, _header = _write(tmp_path)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestCorruption:
+    """Every corruption shape raises SegmentError — loaders never guess."""
+
+    def test_bad_magic(self, tmp_path):
+        _base, path, _header = _write(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[0] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SegmentError, match="magic"):
+            load_segment(path)
+        with pytest.raises(SegmentError, match="magic"):
+            segment_info(path)
+
+    def test_header_crc_mismatch(self, tmp_path):
+        _base, path, _header = _write(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        # Flip a byte inside the JSON header (just past the CRC field).
+        data[len(MAGIC) + 12] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SegmentError, match="CRC"):
+            load_segment(path)
+
+    def test_section_bitflip(self, tmp_path):
+        _base, path, _header = _write(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[-5] ^= 0x01  # inside the last (masks) section
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SegmentError, match="CRC mismatch"):
+            load_segment(path)
+
+    def test_truncated_section(self, tmp_path):
+        _base, path, _header = _write(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 16)
+        with pytest.raises(SegmentError, match="truncated"):
+            load_segment(path)
+
+    def test_truncated_header(self, tmp_path):
+        _base, path, _header = _write(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(len(MAGIC) + 4)
+        with pytest.raises(SegmentError):
+            load_segment(path)
+
+    def test_consistent_rewrite_fails_mask_cross_check(self, tmp_path):
+        # Adversarial: rewrite a section AND fix its CRC in the header.
+        # The per-row mask/CSR cross-validation still catches the lie.
+        base, path, header = _write(tmp_path)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        header_line_end = raw.index(b"\n", len(MAGIC)) + 1
+        body = raw[header_line_end:]
+        sections = header["sections"]
+        # Corrupt one uint64 word of the masks section, recompute its CRC.
+        offset = sum(s["bytes"] for s in sections[:-1])
+        masks_raw = bytearray(body[offset:])
+        masks_raw[0] ^= 0x01
+        sections[-1]["crc"] = zlib.crc32(bytes(masks_raw)) & 0xFFFFFFFF
+        new_body = json.dumps(header, sort_keys=True).encode("utf-8")
+        framed = b"%08x %s\n" % (zlib.crc32(new_body) & 0xFFFFFFFF, new_body)
+        with open(path, "wb") as fh:
+            fh.write(MAGIC + framed + body[:offset] + bytes(masks_raw))
+        with pytest.raises(SegmentError, match="disagrees"):
+            load_segment(path)
+
+    def test_unsupported_version(self, tmp_path):
+        base = _sealed()
+        path = str(tmp_path / "v2.seg")
+        header = write_segment(base, path)
+        header["version"] = 99
+        body = json.dumps(header, sort_keys=True).encode("utf-8")
+        framed = b"%08x %s\n" % (zlib.crc32(body) & 0xFFFFFFFF, body)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        tail = raw[raw.index(b"\n", len(MAGIC)) + 1 :]
+        with open(path, "wb") as fh:
+            fh.write(MAGIC + framed + tail)
+        with pytest.raises(SegmentError, match="version"):
+            load_segment(path)

@@ -1,0 +1,403 @@
+"""Checkpointed durability: protocol, kill-anywhere crashes, degraded
+recovery, and the /readyz recovery gate."""
+
+import os
+
+import pytest
+
+from repro.live import LiveMCKEngine
+from repro.live.checkpoint import (
+    MANIFEST_NAME,
+    RETAIN,
+    SEGMENT_DIR,
+    CheckpointManager,
+    read_manifest,
+)
+from repro.live.wal import read_wal
+from repro.serving.stats import MetricsRegistry
+from repro.testing.faults import SimulatedCrash
+from repro.testing import faults
+
+CRASH_SITES = (
+    "live.checkpoint.segment_write",
+    "live.checkpoint.manifest_rename",
+    "live.checkpoint.wal_truncate",
+)
+
+
+def _engine(data_dir, **kwargs):
+    kwargs.setdefault("wal_sync_every", 1)
+    kwargs.setdefault("compact_threshold", 4)
+    return LiveMCKEngine.open(str(data_dir), name="ckpt", **kwargs)
+
+
+def _fill(engine, n, start=0):
+    oids = []
+    for i in range(start, start + n):
+        oids.append(
+            engine.insert(float(i), float(i) * 0.5, [f"kw{i % 3}", "cafe"])
+        )
+    return oids
+
+
+def _state(engine):
+    """Canonical live-object state for equality assertions."""
+    return {
+        (oid, x, y, tuple(sorted(kw)))
+        for oid, x, y, kw in engine.snapshot().view().records()
+    }
+
+
+class TestProtocol:
+    def test_compaction_persists_a_checkpoint(self, tmp_path):
+        with _engine(tmp_path) as eng:
+            _fill(eng, 10)
+            assert eng.compactor.compactions >= 1
+            manifest = read_manifest(str(tmp_path / MANIFEST_NAME))
+            assert manifest["version"] == 1
+            assert manifest["checkpoints"]
+            newest = manifest["checkpoints"][-1]
+            seg = tmp_path / SEGMENT_DIR / newest["segment"]
+            assert seg.exists()
+
+    def test_manifest_retains_two_and_collects_garbage(self, tmp_path):
+        with _engine(tmp_path) as eng:
+            for round_ in range(4):
+                _fill(eng, 6, start=round_ * 100)
+                assert eng.checkpoint() or eng.delta_size == 0
+            manifest = read_manifest(str(tmp_path / MANIFEST_NAME))
+            kept = manifest["checkpoints"]
+            assert len(kept) == RETAIN
+            on_disk = {
+                n
+                for n in os.listdir(tmp_path / SEGMENT_DIR)
+                if n.endswith(".seg")
+            }
+            assert on_disk == {c["segment"] for c in kept}
+
+    def test_wal_truncated_only_through_older_checkpoint(self, tmp_path):
+        with _engine(tmp_path) as eng:
+            _fill(eng, 6)
+            _fill(eng, 6, start=100)
+            manifest = read_manifest(str(tmp_path / MANIFEST_NAME))
+            kept = manifest["checkpoints"]
+            assert len(kept) == 2
+            older_seq = int(kept[0]["wal_seq"])
+            newer_seq = int(kept[1]["wal_seq"])
+            assert older_seq < newer_seq
+            eng.flush()
+            records, _bytes, torn = read_wal(str(tmp_path / "wal.log"))
+            assert torn is None
+            seqs = [r.seq for r in records]
+            # Records covering the *newest* checkpoint are still present:
+            # they are the fallback if its segment fails verification.
+            assert seqs and seqs[0] == older_seq + 1
+            assert any(s <= newer_seq for s in seqs)
+
+    def test_checkpoint_noop_when_nothing_new(self, tmp_path):
+        with _engine(tmp_path) as eng:
+            _fill(eng, 6)
+            eng.checkpoint()
+            assert eng.delta_size == 0
+            assert eng.checkpoint() is False  # watermark already covered
+
+    def test_restart_replays_only_the_tail(self, tmp_path):
+        with _engine(tmp_path) as eng:
+            _fill(eng, 20)
+            eng.checkpoint()
+            eng.insert(99.0, 99.0, ["tail"])  # past the checkpoint
+            before = _state(eng)
+        with _engine(tmp_path) as eng2:
+            report = eng2.recovery_report
+            assert report.complete and report.source == "segment"
+            assert report.wal_records_replayed == 1
+            assert _state(eng2) == before
+
+    def test_restart_never_reuses_deleted_oids(self, tmp_path):
+        # Delete everything, compact, checkpoint: the segment is empty
+        # and the covering WAL records are gone — only the manifest's
+        # high-water mark can keep the allocator from restarting at 0.
+        with _engine(tmp_path) as eng:
+            oids = _fill(eng, 5)
+            for oid in oids:
+                eng.delete(oid)
+            eng.compactor.compact_now(force=True)
+            eng.checkpoint()
+            assert len(eng) == 0
+        with _engine(tmp_path) as eng2:
+            fresh = eng2.insert(1.0, 1.0, ["new"])
+            assert fresh == max(oids) + 1
+
+    def test_recovered_engine_answers_like_a_fresh_build(self, tmp_path):
+        with _engine(tmp_path) as eng:
+            _fill(eng, 15)
+            eng.delete(3)
+            eng.checkpoint()
+            eng.insert(7.7, 7.7, ["cafe", "kw1"])
+            live = sorted(
+                (x, y, sorted(kw))
+                for _oid, x, y, kw in eng.snapshot().view().records()
+            )
+        with _engine(tmp_path) as recovered:
+            twin = LiveMCKEngine.from_records(
+                ((x, y, kw) for x, y, kw in live), name="twin"
+            )
+            for algo in ("GKG", "SKEC", "SKECa", "SKECa+", "EXACT"):
+                got = recovered.query(["cafe", "kw1", "kw2"], algorithm=algo)
+                want = twin.query(["cafe", "kw1", "kw2"], algorithm=algo)
+                assert got.diameter == pytest.approx(want.diameter, abs=0.0)
+            twin.close()
+
+    def test_seed_records_checkpointed_on_first_boot(self, tmp_path):
+        # "initial records + data_dir" must be durable from the first
+        # open, before any mutation or compaction runs.
+        with LiveMCKEngine.from_records(
+            [(0.0, 0.0, ["a"]), (1.0, 1.0, ["b"])],
+            name="seeded",
+            data_dir=str(tmp_path),
+        ) as eng:
+            assert len(eng) == 2
+            manifest = read_manifest(str(tmp_path / MANIFEST_NAME))
+            assert manifest["checkpoints"][-1]["objects"] == 2
+        with _engine(tmp_path) as eng2:
+            assert eng2.recovery_report.source == "segment"
+            assert len(eng2) == 2
+
+    def test_wal_path_and_data_dir_are_exclusive(self, tmp_path):
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError, match="not both"):
+            LiveMCKEngine.from_records(
+                [(0.0, 0.0, ["a"])],
+                wal_path=str(tmp_path / "w.log"),
+                data_dir=str(tmp_path / "d"),
+            )
+
+
+class TestKillAnywhere:
+    """A SimulatedCrash at every protocol step loses nothing."""
+
+    @pytest.mark.parametrize("site", CRASH_SITES)
+    def test_crash_during_checkpoint_recovers_everything(self, tmp_path, site):
+        eng = _engine(tmp_path, compact_threshold=1000)
+        _fill(eng, 8)
+        eng.checkpoint()  # a healthy checkpoint to fall back on
+        _fill(eng, 4, start=50)
+        expected = _state(eng)
+        with faults.injected(site, error=SimulatedCrash):
+            with pytest.raises(SimulatedCrash):
+                eng.checkpoint()
+        # Abandon the dirty engine without close() — models SIGKILL.
+        with _engine(tmp_path) as recovered:
+            assert recovered.recovery_report.complete
+            assert _state(recovered) == expected
+
+    @pytest.mark.parametrize("site", CRASH_SITES)
+    def test_crash_in_compaction_triggered_checkpoint(self, tmp_path, site):
+        eng = _engine(tmp_path, compact_threshold=4)
+        expected = None
+        with faults.injected(site, error=SimulatedCrash):
+            try:
+                for i in range(12):
+                    eng.insert(float(i), float(i), ["kw", f"t{i % 2}"])
+            except SimulatedCrash:
+                pass
+            expected = _state(eng)
+        with _engine(tmp_path) as recovered:
+            assert recovered.recovery_report.complete
+            assert _state(recovered) == expected
+
+    def test_crash_before_manifest_rename_gc_cleans_orphan(self, tmp_path):
+        eng = _engine(tmp_path, compact_threshold=1000)
+        _fill(eng, 6)
+        with faults.injected(
+            "live.checkpoint.manifest_rename", error=SimulatedCrash
+        ):
+            with pytest.raises(SimulatedCrash):
+                eng.checkpoint()
+        # The orphan segment exists but no manifest references it.
+        orphans = os.listdir(tmp_path / SEGMENT_DIR)
+        assert orphans
+        with _engine(tmp_path) as recovered:
+            assert _state(recovered) == _state(eng)
+            recovered.checkpoint()
+            manifest = read_manifest(str(tmp_path / MANIFEST_NAME))
+            kept = {c["segment"] for c in manifest["checkpoints"]}
+            on_disk = {
+                n
+                for n in os.listdir(tmp_path / SEGMENT_DIR)
+                if n.endswith(".seg")
+            }
+            assert on_disk == kept  # orphan collected
+
+
+class TestDegradedRecovery:
+    def _corrupt(self, path):
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+
+    def test_corrupt_newest_segment_falls_back_to_older(self, tmp_path):
+        with _engine(tmp_path) as eng:
+            _fill(eng, 6)
+            _fill(eng, 6, start=100)
+            expected = _state(eng)
+        manifest = read_manifest(str(tmp_path / MANIFEST_NAME))
+        kept = manifest["checkpoints"]
+        assert len(kept) == 2
+        self._corrupt(str(tmp_path / SEGMENT_DIR / kept[-1]["segment"]))
+        with _engine(tmp_path) as recovered:
+            report = recovered.recovery_report
+            assert report.complete
+            assert report.segment_failures == 1
+            assert report.source == "segment"
+            assert report.segment == kept[0]["segment"]
+            assert _state(recovered) == expected
+
+    def test_all_segments_corrupt_degrades_to_wal_replay(self, tmp_path):
+        with _engine(tmp_path, compact_threshold=1000) as eng:
+            _fill(eng, 6)
+            eng.checkpoint()
+            expected = _state(eng)
+        for name in os.listdir(tmp_path / SEGMENT_DIR):
+            self._corrupt(str(tmp_path / SEGMENT_DIR / name))
+        with _engine(tmp_path) as recovered:
+            report = recovered.recovery_report
+            assert report.complete
+            assert report.segment_failures >= 1
+            assert report.source == "initial"
+            # The WAL still covered everything (truncation lags one
+            # checkpoint), so nothing is lost even with every segment gone.
+            assert _state(recovered) == expected
+
+    def test_corrupt_manifest_degrades_to_wal_replay(self, tmp_path):
+        with _engine(tmp_path, compact_threshold=1000) as eng:
+            _fill(eng, 6)
+            eng.checkpoint()
+            expected = _state(eng)
+        self._corrupt(str(tmp_path / MANIFEST_NAME))
+        with _engine(tmp_path) as recovered:
+            report = recovered.recovery_report
+            assert report.complete
+            assert report.segment_failures >= 1
+            assert report.failure_reasons
+            assert _state(recovered) == expected
+
+    def test_missing_segment_file(self, tmp_path):
+        with _engine(tmp_path, compact_threshold=1000) as eng:
+            _fill(eng, 6)
+            eng.checkpoint()
+            expected = _state(eng)
+        for name in os.listdir(tmp_path / SEGMENT_DIR):
+            os.unlink(tmp_path / SEGMENT_DIR / name)
+        with _engine(tmp_path) as recovered:
+            assert recovered.recovery_report.complete
+            assert _state(recovered) == expected
+
+
+class TestMetrics:
+    def test_checkpoint_and_recovery_metrics(self, tmp_path):
+        metrics = MetricsRegistry()
+        with _engine(tmp_path, metrics=metrics, compact_threshold=1000) as eng:
+            _fill(eng, 6)
+            assert eng.checkpoint() is True
+            assert metrics.checkpoints_counter.value(outcome="ok") >= 1.0
+        metrics2 = MetricsRegistry()
+        with _engine(
+            tmp_path, metrics=metrics2, compact_threshold=1000
+        ) as eng2:
+            report = eng2.recovery_report
+            assert metrics2.recovery_replayed_gauge.value() == float(
+                report.wal_records_replayed
+            )
+            assert metrics2.recovery_seconds_gauge.value() == pytest.approx(
+                report.seconds
+            )
+            assert metrics2.segment_crc_failures_counter.value() == 0.0
+
+    def test_crc_failures_counted(self, tmp_path):
+        with _engine(tmp_path, compact_threshold=1000) as eng:
+            _fill(eng, 6)
+            eng.checkpoint()
+        seg_dir = tmp_path / SEGMENT_DIR
+        for name in os.listdir(seg_dir):
+            data = bytearray(open(seg_dir / name, "rb").read())
+            data[-3] ^= 0xFF
+            open(seg_dir / name, "wb").write(bytes(data))
+        metrics = MetricsRegistry()
+        with _engine(tmp_path, metrics=metrics) as eng2:
+            assert eng2.recovery_report.segment_failures >= 1
+            assert metrics.segment_crc_failures_counter.value() >= 1.0
+
+    def test_failed_checkpoint_counted_and_survivable(self, tmp_path):
+        metrics = MetricsRegistry()
+        with _engine(tmp_path, metrics=metrics, compact_threshold=1000) as eng:
+            _fill(eng, 6)
+            with faults.injected(
+                "live.checkpoint.segment_write",
+                error=OSError("disk full (injected)"),
+            ):
+                assert eng.checkpoint() is False
+            assert metrics.checkpoints_counter.value(outcome="failed") == 1.0
+            # The engine keeps serving and the next checkpoint succeeds.
+            assert eng.query(["cafe"], algorithm="GKG") is not None
+            assert eng.checkpoint() is True
+
+
+class TestReadinessGate:
+    def test_readyz_unready_until_recovery_completes(self, tmp_path):
+        from repro.server import MCKServer
+        from repro.serving import QueryService
+
+        with _engine(tmp_path) as eng:
+            _fill(eng, 6)
+            service = QueryService(eng, max_workers=1)
+            server = MCKServer(service, port=0)
+            try:
+                ready, detail = server.readiness()
+                assert ready and detail["recovery"]["state"] == "complete"
+                # Rewind the report to mid-recovery: the gate must hold.
+                eng.recovery_report.state = "loading_segment"
+                ready, detail = server.readiness()
+                assert not ready
+                assert "recovering" in detail["reason"]
+                assert detail["recovery"]["state"] == "loading_segment"
+                eng.recovery_report.state = "complete"
+                ready, _detail = server.readiness()
+                assert ready
+            finally:
+                service.close()
+
+    def test_non_checkpointed_engine_has_no_gate(self, tmp_path):
+        from repro.server import MCKServer
+        from repro.serving import QueryService
+
+        with LiveMCKEngine.from_records(
+            [(0.0, 0.0, ["a"])], name="plain"
+        ) as eng:
+            service = QueryService(eng, max_workers=1)
+            server = MCKServer(service, port=0)
+            try:
+                ready, detail = server.readiness()
+                assert ready
+                assert "recovery" not in detail
+            finally:
+                service.close()
+
+
+class TestCheckpointManagerUnit:
+    def test_recover_empty_dir_is_first_boot(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        base, covered, tail, report = mgr.recover()
+        assert base is None and covered == 0 and tail == []
+        assert report.complete and report.source == "initial"
+        assert report.segment_failures == 0
+
+    def test_slow_recovery_fault_delays(self, tmp_path):
+        import time
+
+        mgr = CheckpointManager(str(tmp_path))
+        with faults.injected("live.checkpoint.recover", delay=0.05):
+            t0 = time.perf_counter()
+            mgr.recover()
+            assert time.perf_counter() - t0 >= 0.05

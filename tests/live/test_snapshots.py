@@ -92,3 +92,80 @@ class TestSnapshotView:
         mgr, base = _manager()
         mgr.publish(base, DeltaOverlay())
         assert mgr.current().view().name.endswith("@e1")
+
+
+class TestWalSeqWatermark:
+    def test_publish_carries_explicit_watermark(self):
+        mgr, base = _manager()
+        snap = mgr.publish(base, DeltaOverlay(), wal_seq=7)
+        assert snap.wal_seq == 7
+
+    def test_compaction_publish_inherits_watermark(self):
+        # A publish that reorganises data without new mutations (rebased
+        # compaction) passes wal_seq=None and must inherit, not reset.
+        mgr, base = _manager()
+        mgr.publish(base, DeltaOverlay(), wal_seq=9)
+        snap = mgr.publish(base, DeltaOverlay())
+        assert snap.wal_seq == 9
+
+
+class TestPinsAcrossCheckpoint:
+    """Reader pins held across a full checkpoint cycle still drain-retire."""
+
+    def test_pinned_epoch_survives_checkpoint_and_retires_on_release(
+        self, tmp_path
+    ):
+        from repro.live import LiveMCKEngine
+
+        with LiveMCKEngine.open(
+            str(tmp_path), wal_sync_every=1, compact_threshold=1000
+        ) as eng:
+            for i in range(6):
+                eng.insert(float(i), float(i), ["kw", f"t{i % 2}"])
+            guard = eng.pin()
+            pinned = guard.snapshot
+            pinned_state = sorted(
+                oid for oid, *_rest in pinned.view().records()
+            )
+
+            # Compaction + segment write + manifest + WAL truncation all
+            # land while the reader still holds its epoch.
+            assert eng.checkpoint() is True
+            assert eng.epoch > pinned.epoch
+            assert pinned.epoch in eng._epochs.pinned_epochs()
+            assert pinned.epoch not in eng._epochs.retired_epochs()
+            # The pinned view is untouched by the checkpoint.
+            assert (
+                sorted(oid for oid, *_r in pinned.view().records())
+                == pinned_state
+            )
+            # A query through the guard's snapshot still answers.
+            assert eng.query(["kw"], algorithm="GKG").object_ids
+
+            guard.release()
+            assert pinned.epoch in eng._epochs.retired_epochs()
+            assert pinned.epoch not in eng._epochs.pinned_epochs()
+
+    def test_pin_held_across_crashing_checkpoint(self, tmp_path):
+        import pytest
+
+        from repro.live import LiveMCKEngine
+        from repro.testing import faults
+        from repro.testing.faults import SimulatedCrash
+
+        with LiveMCKEngine.open(
+            str(tmp_path), wal_sync_every=1, compact_threshold=1000
+        ) as eng:
+            for i in range(4):
+                eng.insert(float(i), float(i), ["kw"])
+            guard = eng.pin()
+            with faults.injected(
+                "live.checkpoint.manifest_rename", error=SimulatedCrash
+            ):
+                with pytest.raises(SimulatedCrash):
+                    eng.checkpoint()
+            # The reader's epoch is intact after the aborted checkpoint
+            # (the compaction itself published before the crash).
+            assert guard.snapshot.epoch in eng._epochs.pinned_epochs()
+            guard.release()
+            assert guard.snapshot.epoch in eng._epochs.retired_epochs()

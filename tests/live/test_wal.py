@@ -163,6 +163,139 @@ class TestTornTail:
         assert records[-1].oid == 7
 
 
+class TestTornTailDurability:
+    def test_torn_tail_truncate_fsyncs_file_and_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: the open-time truncate once skipped fsync entirely,
+        # so a second crash right after recovery could resurrect the torn
+        # bytes from the page cache and poison the *next* replay.  Count
+        # every fsync: the truncate must sync the file AND its directory
+        # before the log reopens for append.
+        path = _write_three(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 5)
+
+        real_fsync = os.fsync
+        synced = {"files": 0, "dirs": 0}
+
+        def counting_fsync(fd):
+            import stat
+
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                synced["dirs"] += 1
+            else:
+                synced["files"] += 1
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        wal = WriteAheadLog(path, sync_every=0)
+        assert wal.torn_reason is not None
+        assert synced["files"] >= 1  # the truncated file itself
+        assert synced["dirs"] >= 1  # its directory entry
+        wal.close()
+
+
+class TestTruncateThrough:
+    def test_drops_covered_prefix_keeps_tail(self, tmp_path):
+        path = _write_three(tmp_path)
+        with WriteAheadLog(path, sync_every=0) as wal:
+            kept = wal.truncate_through(2)
+            assert kept == 1
+            wal.append_insert(9, 9.0, 9.0, ["later"])
+        records, _bytes, torn = read_wal(path)
+        assert torn is None
+        assert [r.seq for r in records] == [3, 4]
+
+    def test_truncate_everything_then_append(self, tmp_path):
+        path = _write_three(tmp_path)
+        with WriteAheadLog(path, sync_every=0) as wal:
+            assert wal.truncate_through(99) == 0
+            assert os.path.getsize(path) == 0
+            rec = wal.append_insert(9, 0.0, 0.0, ["x"])
+            assert rec.seq == 4  # sequence never restarts
+        records, _bytes, torn = read_wal(path)
+        assert torn is None
+        assert [r.seq for r in records] == [4]
+
+    def test_closed_log_rejects_truncate(self, tmp_path):
+        path = _write_three(tmp_path)
+        wal = WriteAheadLog(path, sync_every=0)
+        wal.close()
+        with pytest.raises(WALError):
+            wal.truncate_through(1)
+
+    @pytest.mark.parametrize("stage", ["write_tmp", "rename", "fsync_dir"])
+    def test_rotation_interrupted_at_every_stage_stays_replayable(
+        self, tmp_path, stage
+    ):
+        # Kill-anywhere: whichever step of the rotation dies, what is on
+        # disk replays cleanly to either the old complete log or the new
+        # complete tail — never a torn hybrid.
+        from repro.testing import faults
+        from repro.testing.faults import SimulatedCrash
+
+        path = _write_three(tmp_path)
+        wal = WriteAheadLog(path, sync_every=0)
+        full = [r.seq for r in read_wal(path)[0]]
+
+        def _match(stage_ctx=stage):
+            def check(stage, **_ctx):
+                return stage == stage_ctx
+
+            return check
+
+        with faults.injected(
+            "live.wal.rotate", error=SimulatedCrash, match=_match()
+        ):
+            with pytest.raises(SimulatedCrash):
+                wal.truncate_through(2)
+        # Abandon the handle (the process is "dead"); replay from disk.
+        records, _bytes, torn = read_wal(path)
+        assert torn is None
+        seqs = [r.seq for r in records]
+        assert seqs in (full, [3]), seqs
+        # A fresh open appends at the original sequence either way.
+        with WriteAheadLog(path, sync_every=0, start_seq=3) as wal2:
+            rec = wal2.append_delete(1)
+            assert rec.seq == 4
+        # No stray temp file poisons the directory.
+        leftover = tmp_path / "test.wal.rotate"
+        if leftover.exists():
+            # a crash before the rename legitimately leaves the tmp file;
+            # a reopened log must simply ignore it
+            assert read_wal(str(leftover))[2] is None
+
+
+class TestStartSeq:
+    def test_empty_rotated_log_continues_sequence(self, tmp_path):
+        # After checkpointing, the covered prefix lives in a segment and
+        # the log may be empty; appends must continue, not restart at 1.
+        path = str(tmp_path / "rotated.wal")
+        with WriteAheadLog(path, sync_every=0, start_seq=41) as wal:
+            assert wal.last_seq == 41
+            rec = wal.append_insert(7, 0.0, 0.0, ["a"])
+            assert rec.seq == 42
+        records, _bytes, torn = read_wal(path)
+        assert torn is None
+        assert [r.seq for r in records] == [42]
+
+    def test_recovered_records_win_over_smaller_start_seq(self, tmp_path):
+        path = _write_three(tmp_path)
+        with WriteAheadLog(path, sync_every=0, start_seq=1) as wal:
+            assert wal.last_seq == 3  # max(recovered, start_seq)
+
+    def test_replay_anchors_on_first_record_not_one(self, tmp_path):
+        # A rotated log legitimately starts mid-sequence.
+        path = str(tmp_path / "tail.wal")
+        with WriteAheadLog(path, sync_every=0, start_seq=10) as wal:
+            wal.append_insert(1, 0.0, 0.0, ["a"])
+            wal.append_delete(1)
+        records, _bytes, torn = read_wal(path)
+        assert torn is None
+        assert [r.seq for r in records] == [11, 12]
+
+
 class TestGroupCommit:
     def test_auto_flush_every_sync_every(self, tmp_path, monkeypatch):
         syncs = []

@@ -14,6 +14,13 @@
 3. **WAL crash recovery.**  Cutting the log at *any* byte offset yields a
    clean prefix of the appended records on replay — never garbage, never
    a record that was not written.
+
+4. **Checkpoint/crash/restore equivalence.**  Any interleaving of
+   mutations, compactions, checkpoints, clean restarts, and simulated
+   kills at every checkpoint fault site recovers to a state equal to the
+   plain-dict model — and the recovered engine answers all five
+   algorithms identically to a never-crashed twin driven through the
+   same mutations.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ from hypothesis import strategies as st
 from repro import Dataset, MCKEngine
 from repro.live import LiveMCKEngine
 from repro.live.wal import WriteAheadLog, read_wal
+from repro.testing import faults
+from repro.testing.faults import SimulatedCrash
 
 BASE_RECORDS = [
     (0.0, 0.0, ["a"]),
@@ -131,6 +140,117 @@ def test_wal_replay_reproduces_live_set(ops, tmp_path_factory):
             obj = view[oid]
             assert (obj.x, obj.y) == (x, y)
             assert obj.keywords == kw
+
+
+_CRASH_SITES = (
+    "live.checkpoint.segment_write",
+    "live.checkpoint.manifest_rename",
+    "live.checkpoint.wal_truncate",
+)
+
+_ckpt_op = st.one_of(
+    st.tuples(
+        st.just("insert"),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+        _keywords,
+    ),
+    st.tuples(st.just("delete"), st.integers(min_value=0, max_value=10**6)),
+    st.tuples(st.just("compact")),
+    st.tuples(st.just("checkpoint")),
+    st.tuples(st.just("restart")),
+    st.tuples(st.just("crash"), st.sampled_from(_CRASH_SITES)),
+)
+
+
+def _reopen(data_dir):
+    engine = LiveMCKEngine.open(
+        data_dir, name="live", wal_sync_every=1, auto_compact=False
+    )
+    assert engine.recovery_report.complete
+    return engine
+
+
+@settings(deadline=None, max_examples=15)
+@given(ops=st.lists(_ckpt_op, max_size=12))
+def test_checkpoint_crash_restore_equals_bruteforce(ops, tmp_path_factory):
+    faults.reset()  # hypothesis reuses one test-function invocation
+    data_dir = str(tmp_path_factory.mktemp("ckpt"))
+    engine = LiveMCKEngine.from_records(
+        BASE_RECORDS,
+        name="live",
+        data_dir=data_dir,
+        wal_sync_every=1,
+        auto_compact=False,
+    )
+    # The never-crashed twin sees the same mutations, never the crashes.
+    twin = LiveMCKEngine.from_records(
+        BASE_RECORDS, name="twin", auto_compact=False
+    )
+    model = {
+        i: (float(x), float(y), frozenset(kw))
+        for i, (x, y, kw) in enumerate(BASE_RECORDS)
+    }
+    try:
+        for op in ops:
+            kind = op[0]
+            if kind == "insert":
+                _tag, x, y, kw = op
+                oid = engine.insert(float(x), float(y), kw)
+                assert twin.insert(float(x), float(y), kw) == oid
+                model[oid] = (float(x), float(y), frozenset(kw))
+            elif kind == "delete":
+                if not model:
+                    continue
+                live = sorted(model)
+                victim = live[op[1] % len(live)]
+                engine.delete(victim)
+                twin.delete(victim)
+                del model[victim]
+            elif kind == "compact":
+                engine.compact()
+            elif kind == "checkpoint":
+                engine.checkpoint()
+            elif kind == "restart":
+                engine.close()
+                engine = _reopen(data_dir)
+            else:  # simulated kill mid-checkpoint at a chosen fault site
+                with faults.injected(op[1], error=SimulatedCrash):
+                    try:
+                        engine.checkpoint()
+                    except SimulatedCrash:
+                        pass
+                # Abandon the dirty engine without close() (the process
+                # is "dead") and restart from whatever disk holds.
+                engine = _reopen(data_dir)
+
+        # One final kill-and-restart: whatever the interleaving left on
+        # disk must recover to exactly the model.
+        engine = _reopen(data_dir)
+        view = engine.dataset
+        assert view.live_oids() == sorted(model)
+        for oid, (x, y, kw) in model.items():
+            obj = view[oid]
+            assert (obj.x, obj.y) == (x, y)
+            assert obj.keywords == kw
+
+        # Recovered engine answers every algorithm like the twin.
+        live_terms = (
+            set().union(*(kw for _x, _y, kw in model.values()))
+            if model
+            else set()
+        )
+        terms = sorted(live_terms)
+        if len(terms) >= 2:
+            query = terms[:3]
+            for algo in ("GKG", "SKEC", "SKECa", "SKECa+", "EXACT"):
+                got = engine.query(query, algorithm=algo)
+                want = twin.query(query, algorithm=algo)
+                assert sorted(got.object_ids) == sorted(want.object_ids), algo
+                assert got.diameter == want.diameter, algo
+    finally:
+        engine.close()
+        twin.close()
 
 
 @settings(deadline=None, max_examples=30)
