@@ -34,6 +34,9 @@ python scripts/forensics_smoke.py
 echo "== http smoke =="
 python scripts/http_smoke.py
 
+echo "== replication smoke =="
+python scripts/replication_smoke.py
+
 echo "== perf gate (smoke scale) =="
 # Fast variant: parity + counter checks on the pinned seed without a
 # latency baseline (host speed varies; CI gates against the committed

@@ -1,0 +1,418 @@
+#!/usr/bin/env python
+"""Scale-out replication smoke: failover, tailing, stragglers, splits.
+
+Four scenarios over the replication subsystem (``repro.replication``):
+
+1. **Kill-a-primary failover parity.**  Two identical 4-shard routers
+   run the same deterministic mutation plan; halfway through, the
+   hottest shard's primary in one of them is abandoned (SIGKILL
+   semantics: file handles closed, no final flush).  The next write to
+   that shard must auto-promote the most caught-up replica, and at the
+   end the crashed router must answer all five algorithms identically
+   to the never-crashed twin — same live set, same groups, same
+   diameters.
+
+2. **Lag-bounded tailing.**  A replication group with two replicas
+   takes bursts of writes; between syncs the lag watermark must equal
+   exactly the unshipped record count, and after each sync it must
+   return to zero (records and seconds).  The lag gauges must render
+   with ``shard=``/``replica=`` labels.
+
+3. **Straggler partial-merge.**  One shard is grown until an EXACT
+   query over it takes real wall time, while the other shards hold
+   tight feasible groups.  Under an aggressive deadline the router must
+   keep whatever finished and tag the merged answer ``partial`` (with
+   ``shards_missed`` accounted) instead of erroring — and the partial
+   answer must still cover the query keywords.
+
+4. **Hot-shard split.**  A skewed insert workload pushes one shard past
+   ``split_threshold``; ``maybe_split`` must migrate half of it into a
+   new group without losing objects or changing query answers, new
+   inserts in the moved region must land on the new shard, and the
+   split/lag metrics must render.
+
+Usage: scripts/replication_smoke.py [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.common import QUALITY_PARTIAL  # noqa: E402
+from repro.exceptions import (  # noqa: E402
+    AlgorithmTimeout,
+    InfeasibleQueryError,
+)
+from repro.replication import (  # noqa: E402
+    ReplicatedShardRouter,
+    ReplicationGroup,
+)
+from repro.serving.stats import MetricsRegistry  # noqa: E402
+
+VOCAB = ["a", "b", "c", "d", "e"]
+EXTENT = 100.0
+ALGORITHMS = ["GKG", "SKEC", "SKECa", "SKECa+", "EXACT"]
+QUERY_SETS = [["a", "b"], ["a", "b", "c"], ["c", "d", "e"], ["nosuchword"]]
+
+
+def fail(message):
+    print(f"replication-smoke: FAIL: {message}")
+    sys.exit(1)
+
+
+def base_records(seed, n=60):
+    rng = random.Random(seed)
+    records = [
+        (rng.uniform(0.0, EXTENT), rng.uniform(0.0, EXTENT), rng.sample(VOCAB, 2))
+        for _ in range(n)
+    ]
+    # Pin the extent corners so the routing grid covers the full square.
+    records.append((0.0, 0.0, ["a"]))
+    records.append((EXTENT, EXTENT, ["b"]))
+    return records
+
+
+def mutation_plan(seed, n=60):
+    """A deterministic list of insert/delete ops (delete targets are
+    indices into the caller's live-oid list, so two routers replaying
+    the same plan stay byte-identical)."""
+    rng = random.Random(seed * 7 + 1)
+    ops = []
+    live = 62  # base_records() size; only used to bias the mix
+    for _ in range(n):
+        if live > 20 and rng.random() < 0.3:
+            ops.append(("delete", rng.randrange(10**6)))
+            live -= 1
+        else:
+            ops.append(
+                (
+                    "insert",
+                    rng.uniform(0.0, EXTENT),
+                    rng.uniform(0.0, EXTENT),
+                    rng.sample(VOCAB, 2),
+                )
+            )
+            live += 1
+    return ops
+
+
+def apply_plan(router, ops, live):
+    for op in ops:
+        if op[0] == "insert":
+            live.append(router.insert(op[1], op[2], op[3]))
+        elif live:
+            router.delete(live.pop(op[1] % len(live)))
+
+
+def router_state(router):
+    out = set()
+    for group in router.live_groups():
+        for oid, x, y, kws in group.primary_engine.dataset.records():
+            out.add((oid, round(x, 9), round(y, 9), tuple(sorted(kws))))
+    return out
+
+
+def point_in_shard(router, gid):
+    """A probe point the router routes to shard ``gid``."""
+    step = EXTENT / 20.0
+    for i in range(21):
+        for j in range(21):
+            x, y = i * step, j * step
+            if router.route(x, y) == gid:
+                return x, y
+    fail(f"no probe point routes to shard {gid}")
+
+
+# --------------------------------------------------------------------- #
+# 1. Kill-a-primary failover: parity vs a never-crashed twin.
+# --------------------------------------------------------------------- #
+
+
+def check_failover_parity(seed):
+    records = base_records(seed)
+    ops = mutation_plan(seed)
+    half = len(ops) // 2
+    crashed = ReplicatedShardRouter(
+        records, n_shards=4, replicas_per_shard=1, name="smoke-crashed"
+    )
+    twin = ReplicatedShardRouter(
+        records, n_shards=4, replicas_per_shard=1, name="smoke-twin"
+    )
+    try:
+        live_a, live_b = [], []
+        apply_plan(crashed, ops[:half], live_a)
+        apply_plan(twin, ops[:half], live_b)
+        crashed.sync_replicas()
+
+        sizes = crashed.shard_sizes()
+        hot = max(sizes, key=lambda g: (sizes[g], -g))
+        crashed.groups[hot].crash_primary()
+
+        # The rest of the workload rides straight through the failover.
+        apply_plan(crashed, ops[half:], live_a)
+        apply_plan(twin, ops[half:], live_b)
+        # Guarantee at least one write reached the killed shard (the
+        # plan almost surely did already; this makes it deterministic).
+        px, py = point_in_shard(crashed, hot)
+        crashed.insert(px, py, ["e"])
+        twin.insert(px, py, ["e"])
+        # Drain replication on both sides: reads are offloaded to
+        # replicas within the lag bound, so parity is only meaningful
+        # once both routers' replicas are caught up.
+        crashed.sync_replicas()
+        twin.sync_replicas()
+
+        failovers = sum(g.failovers for g in crashed.live_groups())
+        if failovers < 1:
+            fail("killing a shard primary never triggered a failover")
+        if crashed.groups[hot].primary_dead():
+            fail("the killed shard's primary was never replaced")
+        if live_a != live_b:
+            fail("oid allocation diverged between crashed and twin routers")
+
+        got, want = router_state(crashed), router_state(twin)
+        if got != want:
+            fail(
+                "live set diverged after failover: "
+                f"missing={sorted(want - got)[:3]} extra={sorted(got - want)[:3]}"
+            )
+
+        for algorithm in ALGORITHMS:
+            for keywords in QUERY_SETS:
+                try:
+                    expect = twin.query(keywords, algorithm=algorithm)
+                except (InfeasibleQueryError, AlgorithmTimeout) as err:
+                    try:
+                        crashed.query(keywords, algorithm=algorithm)
+                    except type(err):
+                        continue
+                    fail(
+                        f"{algorithm}/{keywords}: twin raised "
+                        f"{type(err).__name__} but the crashed router answered"
+                    )
+                answer = crashed.query(keywords, algorithm=algorithm)
+                if sorted(answer.object_ids) != sorted(expect.object_ids):
+                    fail(
+                        f"{algorithm}/{keywords}: groups diverged "
+                        f"({sorted(answer.object_ids)} vs {sorted(expect.object_ids)})"
+                    )
+                if abs(answer.diameter - expect.diameter) > 1e-9:
+                    fail(
+                        f"{algorithm}/{keywords}: diameter diverged "
+                        f"({answer.diameter} vs {expect.diameter})"
+                    )
+    finally:
+        crashed.close()
+        twin.close()
+
+
+# --------------------------------------------------------------------- #
+# 2. Lag-bounded tailing.
+# --------------------------------------------------------------------- #
+
+
+def check_lag_bounded_tailing(seed):
+    registry = MetricsRegistry()
+    seed_records = [
+        (i, float(i), float(i), [VOCAB[i % len(VOCAB)]]) for i in range(4)
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        with ReplicationGroup(
+            seed_records,
+            dir=tmp,
+            n_replicas=2,
+            name="smoke-lag",
+            metrics=registry,
+        ) as group:
+            rng = random.Random(seed + 1)
+            for burst in range(3):
+                burst_size = 5 + burst
+                for _ in range(burst_size):
+                    group.insert(
+                        rng.uniform(0.0, EXTENT),
+                        rng.uniform(0.0, EXTENT),
+                        rng.sample(VOCAB, 2),
+                    )
+                # Unsynced: the watermark must equal the unshipped count.
+                for rid, lag_records, _secs in group.lag_watermarks():
+                    if lag_records != burst_size:
+                        fail(
+                            f"replica {rid} lag {lag_records} != "
+                            f"unshipped burst {burst_size}"
+                        )
+                group.sync_replicas()
+                for rid, lag_records, lag_seconds in group.lag_watermarks():
+                    if lag_records != 0 or lag_seconds != 0.0:
+                        fail(
+                            f"replica {rid} still lags after sync: "
+                            f"{lag_records} records / {lag_seconds}s"
+                        )
+            for replica in group.replicas:
+                if len(replica.engine) != len(group):
+                    fail("replica object count diverged from primary")
+            rendered = registry.to_prometheus()
+            for needle in (
+                'mck_replication_lag_records{replica="0",shard="0"} 0',
+                'mck_replication_lag_seconds{replica="1",shard="0"} 0',
+                "mck_shard_objects",
+            ):
+                if needle not in rendered:
+                    fail(f"lag metric missing from /metrics render: {needle}")
+
+
+# --------------------------------------------------------------------- #
+# 3. Straggler partial-merge under an aggressive deadline.
+# --------------------------------------------------------------------- #
+
+
+def _straggler_records(seed, n_per):
+    rng = random.Random(seed + 2)
+    records = [(0.0, 0.0, ["a"]), (EXTENT, EXTENT, ["b"])]
+    # Three cool quadrants each hold a tight feasible pair for p/q/r.
+    for bx, by in ((10.0, 10.0), (80.0, 10.0), (10.0, 80.0)):
+        records.append((bx, by, ["p", "q"]))
+        records.append((bx + 0.5, by + 0.5, ["r"]))
+    # The hot quadrant gets one cluster per keyword, far apart: every
+    # cross-cluster combination is a near-tie, so EXACT cannot prune
+    # and has real combinatorial work to do there.  (A dense mixed
+    # cluster would backfire: a tiny optimum prunes the search flat.)
+    for keyword, (cx, cy) in zip("pqr", ((58.0, 58.0), (92.0, 58.0), (58.0, 92.0))):
+        for _ in range(n_per):
+            records.append(
+                (
+                    cx + rng.uniform(-3.0, 3.0),
+                    cy + rng.uniform(-3.0, 3.0),
+                    [keyword],
+                )
+            )
+    return records
+
+
+def check_straggler_partial_merge(seed):
+    keywords = ["p", "q", "r"]
+    for n_per in (20, 30, 45, 70):
+        with ReplicatedShardRouter(
+            _straggler_records(seed, n_per), n_shards=4, name="smoke-straggler"
+        ) as router:
+            started = time.perf_counter()
+            full = router.query(keywords, algorithm="EXACT")
+            elapsed = time.perf_counter() - started
+            if full.stats["shards_answered"] != 4.0:
+                fail("untimed straggler query did not hear from all shards")
+            if elapsed < 0.1:
+                continue  # hot shard not slow enough yet; grow it
+            for divisor in (8, 16, 32, 64, 4):
+                try:
+                    answer = router.query(
+                        keywords, algorithm="EXACT", timeout=elapsed / divisor
+                    )
+                except AlgorithmTimeout:
+                    continue  # deadline too tight for every shard; relax
+                if (
+                    answer.quality == QUALITY_PARTIAL
+                    and answer.stats["shards_missed"] >= 1
+                    and answer.stats["degraded"] == 1.0
+                ):
+                    covered = set()
+                    for oid in answer.object_ids:
+                        covered |= set(router.dataset[oid].keywords)
+                    if not set(keywords) <= covered:
+                        fail("partial answer does not cover the query")
+                    return
+            fail(
+                "no aggressive deadline produced a partial-tagged merge "
+                f"(untimed EXACT took {elapsed:.3f}s)"
+            )
+    fail("could not grow a hot shard slow enough to straggle")
+
+
+# --------------------------------------------------------------------- #
+# 4. Hot-shard split under a skewed workload.
+# --------------------------------------------------------------------- #
+
+
+def check_hot_shard_split(seed):
+    registry = MetricsRegistry()
+    rng = random.Random(seed + 3)
+    with ReplicatedShardRouter(
+        base_records(seed, n=40),
+        n_shards=4,
+        replicas_per_shard=1,
+        split_threshold=60,
+        name="smoke-split",
+        metrics=registry,
+    ) as router:
+        # A skewed burst: everything lands in one quadrant.
+        for _ in range(90):
+            router.insert(
+                rng.uniform(55.0, 95.0),
+                rng.uniform(55.0, 95.0),
+                rng.sample(VOCAB, 2),
+            )
+        before = router.query(["a", "b"], algorithm="GKG")
+        total = len(router)
+        report = router.maybe_split()
+        if report is None:
+            fail("skewed workload never tripped the split threshold")
+        if report.moved_objects <= 0:
+            fail("split moved no objects")
+        if len(router) != total:
+            fail(
+                f"split changed the object count ({len(router)} != {total})"
+            )
+        after = router.query(["a", "b"], algorithm="GKG")
+        if after.object_ids != before.object_ids or abs(
+            after.diameter - before.diameter
+        ) > 1e-9:
+            fail("query answer changed across the split")
+        # New inserts in the migrated region must land on the new shard.
+        mid_x = (report.move_region.x1 + report.move_region.x2) / 2
+        mid_y = (report.move_region.y1 + report.move_region.y2) / 2
+        oid = router.insert(mid_x, mid_y, ["e"])
+        if router.shard_of(oid) != report.new_shard:
+            fail("post-split insert in the moved region missed the new shard")
+        router.sync_replicas()
+        rendered = registry.to_prometheus()
+        for needle in (
+            'mck_shard_splits_total{outcome="ok"} 1',
+            f'mck_shard_objects{{shard="{report.new_shard}"}}',
+            "mck_replication_lag_records",
+        ):
+            if needle not in rendered:
+                fail(f"split metric missing from /metrics render: {needle}")
+
+
+# --------------------------------------------------------------------- #
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=20260808)
+    args = parser.parse_args()
+
+    scenarios = [
+        ("kill-a-primary failover parity", check_failover_parity),
+        ("lag-bounded tailing", check_lag_bounded_tailing),
+        ("straggler partial-merge", check_straggler_partial_merge),
+        ("hot-shard split", check_hot_shard_split),
+    ]
+    for name, scenario in scenarios:
+        started = time.perf_counter()
+        scenario(args.seed)
+        print(
+            f"replication-smoke: {name}: ok "
+            f"({time.perf_counter() - started:.2f}s)"
+        )
+    print("replication-smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

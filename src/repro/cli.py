@@ -9,6 +9,9 @@ Subcommands
 ``serve``       serve mCK queries over HTTP: the asyncio JSON API of
                 :mod:`repro.server` over a :class:`~repro.serving.QueryService`
                 with a worker-process pool for the hot loops
+                (``--shards N`` scales out: a replicated shard router
+                fans queries across N shard groups with WAL-shipped read
+                replicas and automatic failover)
 ``serve-bench`` replay a query workload through the batched
                 :class:`~repro.serving.QueryService` and dump JSON metrics
                 (``--http`` drives the real socket tier with open-loop
@@ -17,6 +20,11 @@ Subcommands
                 :class:`~repro.live.LiveMCKEngine`-backed service and dump
                 JSON metrics (epochs, delta size, compactions, WAL records,
                 keyword-scoped cache invalidations)
+``shard-bench`` drive a skewed read/write workload against the
+                scale-out tier (replicated shard router): scatter-gather
+                queries, WAL-shipped replicas, optional mid-workload
+                primary kill (failover) and hot-shard splitting; dump a
+                JSON report
 ``trace``       serve a small workload with the span tracer attached and
                 write a Chrome trace-event JSON (plus optional Prometheus
                 text exposition of the latency histograms)
@@ -286,6 +294,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=256,
         help="tail-latency flight recorder retention (0 disables)",
     )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scale out: front a replicated shard router fanning queries "
+        "across N shard groups (implies mutable in-process execution; "
+        "needs neither --live nor --wal)",
+    )
+    srv.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="WAL-shipped read replicas per shard (with --shards)",
+    )
     srv.set_defaults(handler=_cmd_serve)
 
     live = sub.add_parser(
@@ -373,6 +396,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="latency SLO target used for the dump's slo block",
     )
     live.set_defaults(handler=_cmd_live_bench)
+
+    shard = sub.add_parser(
+        "shard-bench",
+        help="drive a skewed read/write workload against the replicated "
+        "shard router (scatter-gather, failover, live splits), dump JSON",
+    )
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument(
+        "--replicas", type=int, default=1, help="read replicas per shard"
+    )
+    shard.add_argument(
+        "--objects", type=int, default=400, help="bootstrap object count"
+    )
+    shard.add_argument(
+        "--operations", type=int, default=300, help="reads + writes to drive"
+    )
+    shard.add_argument(
+        "--write-ratio",
+        type=float,
+        default=0.5,
+        help="fraction of operations that are mutations",
+    )
+    shard.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.7,
+        help="fraction of inserts clustered on the hot spot (drives one "
+        "shard past --split-threshold)",
+    )
+    shard.add_argument(
+        "--split-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="arm live rebalancing: split any shard that grows past N "
+        "objects (omitted = no splits)",
+    )
+    shard.add_argument(
+        "--kill-primary-at",
+        type=int,
+        default=None,
+        metavar="OP",
+        help="crash the hottest shard's primary after OP operations "
+        "(exercises automatic failover)",
+    )
+    shard.add_argument(
+        "--algorithm",
+        default="SKECa+",
+        choices=["GKG", "SKEC", "SKECa", "SKECa+", "EXACT"],
+    )
+    shard.add_argument("--m", type=int, default=3, help="keywords per query")
+    shard.add_argument("--timeout", type=float, default=None)
+    shard.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="router data directory (omitted = private tempdir)",
+    )
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument(
+        "--output", default=None, help="write the JSON dump here instead of stdout"
+    )
+    shard.add_argument(
+        "--prom-out",
+        default=None,
+        help="also write Prometheus text exposition of the metrics here",
+    )
+    shard.set_defaults(handler=_cmd_shard_bench)
 
     trace = sub.add_parser(
         "trace",
@@ -768,6 +859,23 @@ def _cmd_serve(args) -> int:
     if args.admission_capacity < 0:
         print("serve: --admission-capacity must be >= 0", file=sys.stderr)
         return 2
+    if args.shards < 0:
+        print("serve: --shards must be >= 0", file=sys.stderr)
+        return 2
+    if args.shards and (args.live or args.wal or args.data_dir):
+        print(
+            "serve: --shards manages its own live engines and durability; "
+            "drop --live/--wal/--data-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards and args.process_algorithms:
+        print(
+            "serve: --process-algorithms needs a sealed dataset; "
+            "drop --shards",
+            file=sys.stderr,
+        )
+        return 2
     if args.wal and not args.live:
         print("serve: --wal needs --live", file=sys.stderr)
         return 2
@@ -796,7 +904,18 @@ def _cmd_serve(args) -> int:
         ]
         dataset = maker(scale=args.scale, seed=args.seed)
 
-    if args.live:
+    if args.shards:
+        from .replication import ReplicatedShardRouter
+
+        source = ReplicatedShardRouter(
+            [(obj.x, obj.y, obj.keywords) for obj in dataset],
+            n_shards=args.shards,
+            replicas_per_shard=max(0, args.replicas),
+            name=dataset.name,
+            replication_interval=0.05,
+        )
+        process_algorithms = None
+    elif args.live:
         source = LiveMCKEngine.from_records(
             ((obj.x, obj.y, obj.keywords) for obj in dataset),
             name=dataset.name,
@@ -839,9 +958,17 @@ def _cmd_serve(args) -> int:
 
     async def _main() -> None:
         await server.start()
-        mode = "live (mutable)" if args.live else (
-            f"sealed, process pool for {', '.join(process_algorithms)}"
-        )
+        if args.shards:
+            # The routing grid is square, so the live shard count is
+            # floor(sqrt(--shards))^2 — report what actually runs.
+            mode = (
+                f"scatter: {len(source.live_groups())} shard(s) x "
+                f"{max(0, args.replicas)} replica(s)"
+            )
+        elif args.live:
+            mode = "live (mutable)"
+        else:
+            mode = f"sealed, process pool for {', '.join(process_algorithms)}"
         print(
             f"mck serve: http://{server.host}:{server.port} "
             f"[{dataset.name}: {len(dataset)} objects; {mode}]",
@@ -1039,6 +1166,49 @@ def _cmd_live_bench(args) -> int:
         print(f"wrote Prometheus exposition to {args.prom_out}")
     if profiler is not None:
         print(f"wrote collapsed stacks to {args.profile}")
+    return 0
+
+
+def _cmd_shard_bench(args) -> int:
+    import json
+
+    from .replication.bench import run_shard_bench
+    from .serving.stats import MetricsRegistry
+
+    if not 0.0 <= args.write_ratio <= 1.0:
+        print("shard-bench: --write-ratio must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("shard-bench: --shards must be >= 1", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    report = run_shard_bench(
+        n_shards=args.shards,
+        replicas=args.replicas,
+        objects=args.objects,
+        operations=args.operations,
+        write_ratio=args.write_ratio,
+        hot_fraction=args.hot_fraction,
+        split_threshold=args.split_threshold,
+        kill_primary_at=args.kill_primary_at,
+        algorithm=args.algorithm,
+        m=args.m,
+        timeout=args.timeout,
+        dir=args.dir,
+        metrics=registry,
+        seed=args.seed,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote shard-bench report to {args.output}")
+    else:
+        print(text)
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(registry.to_prometheus())
+        print(f"wrote Prometheus exposition to {args.prom_out}")
     return 0
 
 

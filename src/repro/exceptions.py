@@ -144,6 +144,53 @@ class AlgorithmTimeout(ReproError):
         super().__init__(message)
 
 
+class ReplicationError(ReproError):
+    """A replication-group operation failed (see :mod:`repro.replication`).
+
+    Covers structural problems — promoting with no replicas, applying
+    through a group whose primary cannot be revived, a corrupt epoch
+    file — as opposed to the *expected* stream discontinuities modelled
+    by :class:`ReplicationGap`.
+    """
+
+
+class ReplicationGap(ReplicationError):
+    """A replica's WAL tail no longer continues from its applied prefix.
+
+    Raised while tailing when the next needed sequence number is not
+    present in the shipped log — typically because the primary truncated
+    the covered prefix after a bootstrap checkpoint while this replica
+    lagged behind.  The standard response is to re-bootstrap from the
+    newest checkpoint segment, not to fail.
+    """
+
+    def __init__(self, needed_seq: int, detail: str = ""):
+        self.needed_seq = int(needed_seq)
+        message = f"replication stream gap: need seq {needed_seq}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class FencedWriteError(ReplicationError):
+    """A write arrived through a primary handle from a superseded epoch.
+
+    After a failover the promoted primary bumps the group's fencing
+    epoch; a zombie of the old primary that wakes up and tries to write
+    is rejected with this error instead of silently diverging the
+    replicated history.
+    """
+
+    def __init__(self, shard: str, stale_epoch: int, current_epoch: int):
+        self.shard = shard
+        self.stale_epoch = int(stale_epoch)
+        self.current_epoch = int(current_epoch)
+        super().__init__(
+            f"shard {shard}: write fenced (handle epoch {stale_epoch}, "
+            f"group epoch {current_epoch})"
+        )
+
+
 class WorkerCrashed(ReproError):
     """A distributed worker died mid-task (dead process / broken pipe).
 

@@ -128,13 +128,17 @@ class Compactor:
             except Exception as err:  # noqa: BLE001 - serve on, log, count
                 self.failures += 1
                 if metrics is not None:
-                    metrics.compactions_counter.inc(outcome="failed")
+                    metrics.compactions_counter.inc(
+                        outcome="failed", shard=self._engine.shard_label
+                    )
                 logger.warning("compaction failed (epoch %d): %s",
                                snapshot.epoch, err)
                 return False
             self.compactions += 1
             if metrics is not None:
-                metrics.compactions_counter.inc(outcome="ok")
+                metrics.compactions_counter.inc(
+                    outcome="ok", shard=self._engine.shard_label
+                )
             # Outside the try/except: sealing already succeeded and the
             # compacted epoch is published, so a checkpoint that cannot be
             # persisted is a durability hiccup (counted by the engine),

@@ -92,12 +92,18 @@ class LiveMCKEngine:
         metrics=None,
         context_cache_size: int = 16,
         oid_start: int = 0,
+        shard_label: str = "0",
+        wal_start_seq: int = 0,
     ):
         if wal_path is not None and data_dir is not None:
             raise DatasetError(
                 "pass wal_path (bare WAL) or data_dir (checkpointed), not both"
             )
         self.metrics = metrics
+        #: ``shard=`` label under which this engine publishes its metric
+        #: families; a sharded deployment gives each member its own so
+        #: hot shards are tellable apart on one registry.
+        self.shard_label = str(shard_label)
         self._write_lock = threading.RLock()
         self._listeners: List[MutationListener] = []
         self._contexts: "OrderedDict[Tuple[int, Tuple[str, ...]], QueryContext]" = (
@@ -137,8 +143,13 @@ class LiveMCKEngine:
 
         self.wal: Optional[WriteAheadLog] = None
         if wal_path is not None:
+            # ``wal_start_seq`` matters only in bare-WAL mode: a log file
+            # opened mid-stream (a post-failover epoch file) must continue
+            # the shipped sequence, not restart at 1.
             self.wal = WriteAheadLog(
-                wal_path, sync_every=wal_sync_every, start_seq=covered_seq
+                wal_path,
+                sync_every=wal_sync_every,
+                start_seq=max(covered_seq, int(wal_start_seq)),
             )
             replayable = tail if self.checkpointer is not None else (
                 self.wal.recovered
@@ -351,6 +362,122 @@ class LiveMCKEngine:
             self._notify("delete", oid, kw)
         self.compactor.notify()
         return [obj.oid for obj in new_objects]
+
+    def apply_replicated(
+        self, records: Sequence[WalRecord], log: bool = False
+    ) -> int:
+        """Apply shipped WAL records *at their recorded oids*; returns count.
+
+        The replication-side counterpart of :meth:`apply_batch`: a read
+        replica (or a shard-split destination) replays another engine's
+        mutation stream, so oids must be preserved rather than allocated.
+        Records are folded into as few published epochs as possible — a
+        flush boundary is forced only when a record touches an oid already
+        touched earlier in the same call (insert-after-delete of the same
+        oid cannot share one overlay batch).
+
+        With ``log=True`` the records are re-logged into *this* engine's
+        WAL under fresh local sequence numbers (a split destination owns
+        its own durable stream); replicas pass ``log=False`` and track the
+        source stream position themselves.  A record contradicting the
+        live view (insert of a live oid, delete of a dead one) raises
+        :class:`~repro.exceptions.DatasetError` — the caller's stream
+        position is corrupt and it should re-bootstrap, not limp on.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        self._check_open()
+        notifications: List[Tuple[str, int, Tuple[str, ...]]] = []
+        with self._write_lock, span(
+            "live.apply_replicated", records=len(records), log=log
+        ):
+            pending: List[WalRecord] = []
+            touched: set = set()
+
+            def _flush_pending() -> None:
+                if not pending:
+                    return
+                current = self._epochs.current()
+                view = current.view()
+                new_objects: List[GeoObject] = []
+                victims: List[Tuple[int, Tuple[str, ...]]] = []
+                for record in pending:
+                    if record.op == "insert":
+                        if view.get(record.oid) is not None:
+                            raise DatasetError(
+                                f"replicated insert of oid {record.oid} "
+                                "collides with a live object"
+                            )
+                        obj = GeoObject(
+                            record.oid,
+                            float(record.x),
+                            float(record.y),
+                            frozenset(record.keywords),
+                        )
+                        new_objects.append(obj)
+                        self._next_oid = max(self._next_oid, record.oid + 1)
+                    else:
+                        victim = view.get(record.oid)
+                        if victim is None:
+                            raise DatasetError(
+                                f"replicated delete of oid {record.oid}: "
+                                "not live"
+                            )
+                        victims.append(
+                            (record.oid, tuple(sorted(victim.keywords)))
+                        )
+                if log and self.wal is not None:
+                    for obj in new_objects:
+                        self.wal.append_insert(
+                            obj.oid, obj.x, obj.y, sorted(obj.keywords)
+                        )
+                    for oid, _ in victims:
+                        self.wal.append_delete(oid)
+                delta = current.delta.with_batch(
+                    inserts=new_objects, deletes=victims
+                )
+                if log and self.wal is not None:
+                    watermark = self.wal.last_seq
+                else:
+                    # Track the *source* stream: the snapshot watermark is
+                    # how far this replica has applied, which failover uses
+                    # as the branch point.
+                    watermark = pending[-1].seq
+                self._epochs.publish(current.base, delta, wal_seq=watermark)
+                self._publish_metrics(
+                    wal_inserts=(
+                        len(new_objects) if log and self.wal is not None else 0
+                    ),
+                    wal_deletes=(
+                        len(victims) if log and self.wal is not None else 0
+                    ),
+                )
+                for obj in new_objects:
+                    notifications.append(
+                        ("insert", obj.oid, tuple(sorted(obj.keywords)))
+                    )
+                notifications.extend(
+                    ("delete", oid, kw) for oid, kw in victims
+                )
+                pending.clear()
+                touched.clear()
+
+            for record in records:
+                if record.op not in ("insert", "delete"):
+                    raise DatasetError(
+                        f"replicated record has unknown op {record.op!r}"
+                    )
+                if record.oid in touched:
+                    _flush_pending()
+                pending.append(record)
+                touched.add(record.oid)
+            _flush_pending()
+
+        for op, oid, kw in notifications:
+            self._notify(op, oid, kw)
+        self.compactor.notify()
+        return len(records)
 
     def compact(self) -> bool:
         """Force a synchronous compaction; True if one ran."""
@@ -599,6 +726,42 @@ class LiveMCKEngine:
         if self.wal is not None:
             self.wal.flush()
 
+    def attach_wal(
+        self, path: str, sync_every: int = 64, start_seq: int = 0
+    ) -> None:
+        """Adopt a (typically fresh) WAL file as this engine's durable log.
+
+        The promotion primitive: a read replica runs without a WAL of its
+        own — it applies a shipped stream — until failover makes it the
+        primary, at which point it must start logging into the new fencing
+        epoch's file.  ``start_seq`` anchors the continued sequence (the
+        branch point the promotion chose); any WAL already attached is
+        closed first.
+        """
+        with self._write_lock:
+            self._check_open()
+            if self.wal is not None:
+                self.wal.close()
+            self.wal = WriteAheadLog(
+                path, sync_every=sync_every, start_seq=start_seq
+            )
+
+    def abandon(self) -> None:
+        """Crash-stop the engine: no flush, no final WAL fsync.
+
+        The counterpart of :meth:`close` for failure injection — after
+        this the engine refuses all work exactly as a killed process
+        would, and whatever the WAL had not yet group-committed is left
+        to the mercy of the page cache (see
+        :meth:`repro.live.wal.WriteAheadLog.abandon`).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.compactor.stop()
+        if self.wal is not None:
+            self.wal.abandon()
+
     def close(self) -> None:
         if self._closed:
             return
@@ -628,12 +791,17 @@ class LiveMCKEngine:
         if metrics is None:
             return
         current = self._epochs.current()
-        metrics.live_epoch_gauge.set(float(current.epoch))
-        metrics.delta_size_gauge.set(float(current.delta.size))
+        shard = self.shard_label
+        metrics.live_epoch_gauge.set(float(current.epoch), shard=shard)
+        metrics.delta_size_gauge.set(float(current.delta.size), shard=shard)
         if wal_inserts:
-            metrics.wal_records_counter.inc(wal_inserts, op="insert")
+            metrics.wal_records_counter.inc(
+                wal_inserts, op="insert", shard=shard
+            )
         if wal_deletes:
-            metrics.wal_records_counter.inc(wal_deletes, op="delete")
+            metrics.wal_records_counter.inc(
+                wal_deletes, op="delete", shard=shard
+            )
         report = self.recovery_report
         if (
             report is not None

@@ -37,6 +37,11 @@ __all__ = ["ShardedLiveStore"]
 DEFAULT_OID_STRIDE = 1 << 40
 
 
+def _merge_key(group: Group) -> Tuple[float, Tuple[int, ...]]:
+    """Total order for cross-shard best-group merging."""
+    return (group.diameter, tuple(sorted(group.object_ids)))
+
+
 class ShardedLiveStore:
     """Route live mutations to per-cell engines with disjoint oid ranges."""
 
@@ -83,7 +88,11 @@ class ShardedLiveStore:
                 LiveMCKEngine(
                     SealedBase.build(grouped[shard], name=f"{name}-s{shard}"),
                     wal_path=wal_path,
-                    metrics=metrics if shard == 0 else None,
+                    # Every shard shares the registry; the shard= label
+                    # keeps their series apart so a hot shard is visible
+                    # before rebalancing has to act on it.
+                    metrics=metrics,
+                    shard_label=str(shard),
                     oid_start=shard * self.oid_stride,
                     **engine_kwargs,
                 )
@@ -181,7 +190,11 @@ class ShardedLiveStore:
             except InfeasibleQueryError:
                 continue
             feasible = True
-            if best is None or group.diameter < best.diameter:
+            # Deterministic merge: diameter first, then lexicographic
+            # oids — two shards producing equal-diameter groups must not
+            # leave the winner to shard iteration order, or the same
+            # store answers differently across n_shards.
+            if best is None or _merge_key(group) < _merge_key(best):
                 best = group
         if not feasible or best is None:
             raise InfeasibleQueryError(missing_keywords=tuple(keywords))

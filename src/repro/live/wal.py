@@ -250,6 +250,23 @@ class WriteAheadLog:
         os.fsync(self._fh.fileno())
         self._unsynced = 0
 
+    def abandon(self) -> None:
+        """Stop writing *without* the final fsync (crash simulation).
+
+        Models a SIGKILL on a machine that stays up: bytes already handed
+        to the OS survive in the page cache, but no group-commit boundary
+        is forced on the way out — exactly what the replication tests
+        need to kill a primary "at an arbitrary point".  The handle is
+        closed; further appends raise :class:`~repro.exceptions.WALError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - flush of a dying handle
+            pass
+
     def close(self) -> None:
         if self._closed:
             return

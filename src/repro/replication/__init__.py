@@ -1,0 +1,39 @@
+"""Scale-out over the live stack: WAL shipping, failover, scatter-gather.
+
+The subsystem composes four pieces, bottom up:
+
+* :mod:`repro.replication.fencing` — the durable promotion history of a
+  shard group (per-epoch WAL files, interval-capped against zombies);
+* :mod:`repro.replication.tailer` /
+  :mod:`repro.replication.replica` — read replicas that bootstrap from
+  PR 9 checkpoint segments and tail the shipped log incrementally,
+  exposing a two-part replication-lag watermark;
+* :mod:`repro.replication.group` — one shard's fenced primary plus N
+  replicas: flush-before-ack writes, automatic promotion of the most
+  caught-up replica when the primary dies, respawn with capped backoff;
+* :mod:`repro.replication.router` — scatter-gather fan-out across
+  groups with deterministic merge and ``partial`` degradation, plus
+  live hot-shard splitting.
+
+See ``docs/scale_out.md`` for the protocol walk-through.
+"""
+
+from .fencing import EpochEntry, read_epoch_entries, wal_name, write_epoch_entries
+from .group import PrimaryHandle, ReplicationGroup
+from .replica import ReadReplica
+from .router import ReplicatedShardRouter, RouterView, SplitReport
+from .tailer import WalTailer
+
+__all__ = [
+    "EpochEntry",
+    "PrimaryHandle",
+    "ReadReplica",
+    "ReplicatedShardRouter",
+    "ReplicationGroup",
+    "RouterView",
+    "SplitReport",
+    "WalTailer",
+    "read_epoch_entries",
+    "wal_name",
+    "write_epoch_entries",
+]

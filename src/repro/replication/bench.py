@@ -1,0 +1,190 @@
+"""The ``mck shard-bench`` workload engine.
+
+Drives a mixed read/write workload against a
+:class:`~repro.replication.router.ReplicatedShardRouter` and reports
+what the scale-out tier actually did: per-shard object counts before and
+after rebalancing, hot-shard splits, failovers survived mid-workload,
+replication-lag watermarks, scatter-gather latency percentiles and how
+many answers degraded to ``partial``.
+
+The workload is deliberately *skewed*: inserts cluster around a hot spot
+inside one region so the split machinery has something to do, and every
+query's keywords come from a small shared vocabulary so cross-shard
+fan-out stays feasible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional
+
+from ..exceptions import QueryError, ReproError
+from .router import ReplicatedShardRouter
+
+__all__ = ["run_shard_bench"]
+
+_VOCAB = [
+    "cafe", "museum", "hotel", "library", "cinema", "park", "bakery",
+    "pharmacy", "school", "garage", "tower", "harbor", "market", "studio",
+]
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[idx]
+
+
+def run_shard_bench(
+    n_shards: int = 4,
+    replicas: int = 1,
+    objects: int = 400,
+    operations: int = 300,
+    write_ratio: float = 0.5,
+    hot_fraction: float = 0.7,
+    split_threshold: Optional[int] = None,
+    kill_primary_at: Optional[int] = None,
+    algorithm: str = "SKECa+",
+    m: int = 3,
+    timeout: Optional[float] = None,
+    dir: Optional[str] = None,
+    metrics=None,
+    seed: int = 0,
+) -> Dict:
+    """Run the scale-out workload; returns the JSON-ready report dict.
+
+    ``kill_primary_at`` crashes the hottest shard's primary after that
+    many operations (SIGKILL-style — no final WAL group-commit); the
+    router's auto-failover must absorb it.  ``split_threshold`` arms
+    live rebalancing: after every write burst the router splits any
+    shard that grew past the threshold.
+    """
+    rng = random.Random(seed)
+    extent = 1000.0
+    hot_x, hot_y = extent * 0.8, extent * 0.8
+
+    def random_record(hot: bool):
+        if hot:
+            x = min(extent, max(0.0, rng.gauss(hot_x, extent * 0.04)))
+            y = min(extent, max(0.0, rng.gauss(hot_y, extent * 0.04)))
+        else:
+            x, y = rng.uniform(0, extent), rng.uniform(0, extent)
+        kws = rng.sample(_VOCAB, rng.randint(2, 4))
+        return (x, y, kws)
+
+    seed_records = [
+        random_record(rng.random() < hot_fraction) for _ in range(objects)
+    ]
+    # Pin the extent corners so the router's grid covers the full square
+    # regardless of where the sampled records landed.
+    seed_records.append((0.0, 0.0, [_VOCAB[0]]))
+    seed_records.append((extent, extent, [_VOCAB[1]]))
+
+    latencies: List[float] = []
+    reads = writes = failures = partials = 0
+    splits: List[Dict] = []
+    inserted: List[int] = []
+
+    started = time.perf_counter()
+    with ReplicatedShardRouter(
+        seed_records,
+        n_shards=n_shards,
+        replicas_per_shard=replicas,
+        dir=dir,
+        name="shard-bench",
+        metrics=metrics,
+        split_threshold=split_threshold,
+        read_preference="auto",
+    ) as router:
+        sizes_before = router.shard_sizes()
+        killed_at: Optional[int] = None
+        failovers_before = sum(
+            g.failovers for g in router.live_groups()
+        )
+        for op in range(max(0, int(operations))):
+            if kill_primary_at is not None and op == kill_primary_at:
+                sizes = router.shard_sizes()
+                hottest = max(sizes, key=lambda g: (sizes[g], -g))
+                router.groups[hottest].crash_primary()
+                killed_at = op
+            if rng.random() < write_ratio:
+                writes += 1
+                try:
+                    if inserted and rng.random() < 0.3:
+                        router.delete(
+                            inserted.pop(rng.randrange(len(inserted)))
+                        )
+                    else:
+                        inserted.append(
+                            router.insert(*random_record(rng.random() < hot_fraction))
+                        )
+                except ReproError:
+                    failures += 1
+                if split_threshold is not None:
+                    report = router.maybe_split()
+                    if report is not None:
+                        splits.append(report.as_dict())
+            else:
+                reads += 1
+                keywords = rng.sample(_VOCAB, m)
+                t0 = time.perf_counter()
+                try:
+                    group = router.query(
+                        keywords, algorithm=algorithm, timeout=timeout
+                    )
+                    latencies.append(time.perf_counter() - t0)
+                    if group.stats.get("shards_missed"):
+                        partials += 1
+                except QueryError:
+                    failures += 1
+            router.sync_replicas()
+        router.sync_replicas()
+        wall = time.perf_counter() - started
+        lag = {
+            str(gid): [
+                {"replica": rid, "records": recs, "seconds": secs}
+                for rid, recs, secs in router.groups[gid].lag_watermarks()
+            ]
+            for gid in router.live_shard_ids()
+        }
+        failovers = (
+            sum(g.failovers for g in router.live_groups()) - failovers_before
+        )
+        report = {
+            "workload": {
+                "objects_initial": len(seed_records),
+                "objects_final": len(router),
+                "operations": operations,
+                "reads": reads,
+                "writes": writes,
+                "failures": failures,
+                "partial_answers": partials,
+                "write_ratio": write_ratio,
+                "hot_fraction": hot_fraction,
+                "wall_seconds": wall,
+            },
+            "topology": {
+                "shards_initial": n_shards,
+                "shards_final": len(router.live_shard_ids()),
+                "replicas_per_shard": replicas,
+                "sizes_before": {str(k): v for k, v in sizes_before.items()},
+                "sizes_after": {
+                    str(k): v for k, v in router.shard_sizes().items()
+                },
+            },
+            "splits": splits,
+            "failover": {
+                "killed_at_op": killed_at,
+                "failovers": failovers,
+            },
+            "replication_lag": lag,
+            "latency": {
+                "queries": len(latencies),
+                "p50_seconds": _percentile(latencies, 0.5),
+                "p95_seconds": _percentile(latencies, 0.95),
+            },
+        }
+    return report

@@ -1,0 +1,142 @@
+"""Fencing epochs: the durable promotion history of one shard group.
+
+Every :class:`~repro.replication.group.ReplicationGroup` directory holds
+an ``EPOCH`` file — a single CRC-framed JSON line listing one entry per
+fencing epoch::
+
+    {"version": 1, "epochs": [
+        {"epoch": 1, "wal": "wal-e0001.log", "start_after": 0},
+        {"epoch": 2, "wal": "wal-e0002.log", "start_after": 731},
+        ...
+    ]}
+
+Each epoch owns its own WAL file; entry ``i`` is authoritative exactly
+for sequence numbers in ``(start_after_i, start_after_{i+1}]`` (the last
+entry is unbounded).  That interval *is* the fence: when epoch ``N+1``
+branches at seq ``B``, any record a zombie epoch-``N`` primary manages
+to append beyond ``B`` to its old file falls outside every interval and
+is ignored by every replayer — late writes are rejected durably, not
+just at the API layer.
+
+The file is written atomically (tmp + fsync + rename + fsync dir), same
+protocol as the checkpoint manifest, and corruption raises
+:class:`~repro.exceptions.ReplicationError` rather than silently
+electing a wrong primary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..exceptions import ReplicationError
+from ..index.segments import fsync_dir
+
+__all__ = [
+    "EpochEntry",
+    "EPOCH_NAME",
+    "wal_name",
+    "read_epoch_entries",
+    "write_epoch_entries",
+]
+
+EPOCH_NAME = "EPOCH"
+
+
+def wal_name(epoch: int) -> str:
+    """Canonical WAL filename for a fencing epoch."""
+    return f"wal-e{int(epoch):04d}.log"
+
+
+@dataclass(frozen=True)
+class EpochEntry:
+    """One fencing epoch: its WAL file and the seq it branched after."""
+
+    epoch: int
+    wal: str
+    #: Highest sequence number belonging to the *previous* epoch; this
+    #: epoch's records are exactly those with ``seq > start_after`` (and
+    #: ``<=`` the next entry's ``start_after``, when one exists).
+    start_after: int
+
+    def payload(self) -> Dict:
+        return {
+            "epoch": self.epoch,
+            "wal": self.wal,
+            "start_after": self.start_after,
+        }
+
+    @classmethod
+    def from_payload(cls, doc: Dict) -> "EpochEntry":
+        return cls(
+            epoch=int(doc["epoch"]),
+            wal=str(doc["wal"]),
+            start_after=int(doc["start_after"]),
+        )
+
+
+def _frame(body: bytes) -> bytes:
+    return b"%08x %s\n" % (zlib.crc32(body) & 0xFFFFFFFF, body)
+
+
+def read_epoch_entries(group_dir: str) -> List[EpochEntry]:
+    """Read the group's fencing history (missing file = empty history).
+
+    Raises :class:`~repro.exceptions.ReplicationError` on corruption or
+    a non-monotonic history: a group that cannot tell which epoch is
+    current must not guess.
+    """
+    path = os.path.join(group_dir, EPOCH_NAME)
+    try:
+        with open(path, "rb") as fh:
+            line = fh.read()
+    except FileNotFoundError:
+        return []
+    if not line.endswith(b"\n"):
+        raise ReplicationError(f"{path}: torn epoch file (no newline)")
+    line = line[:-1]
+    if len(line) < 10 or line[8:9] != b" ":
+        raise ReplicationError(f"{path}: malformed epoch file framing")
+    try:
+        want = int(line[:8], 16)
+    except ValueError:
+        raise ReplicationError(f"{path}: malformed epoch CRC field") from None
+    body = line[9:]
+    if zlib.crc32(body) & 0xFFFFFFFF != want:
+        raise ReplicationError(f"{path}: epoch file CRC mismatch")
+    try:
+        doc = json.loads(body)
+    except ValueError as err:
+        raise ReplicationError(f"{path}: undecodable epoch file: {err}") from None
+    if doc.get("version") != 1:
+        raise ReplicationError(
+            f"{path}: unsupported epoch file version {doc.get('version')!r}"
+        )
+    entries = [EpochEntry.from_payload(e) for e in doc.get("epochs", ())]
+    for prev, cur in zip(entries, entries[1:]):
+        if cur.epoch <= prev.epoch or cur.start_after < prev.start_after:
+            raise ReplicationError(
+                f"{path}: non-monotonic epoch history "
+                f"({prev.epoch}@{prev.start_after} -> "
+                f"{cur.epoch}@{cur.start_after})"
+            )
+    return entries
+
+
+def write_epoch_entries(group_dir: str, entries: List[EpochEntry]) -> None:
+    """Atomically replace the group's fencing history."""
+    path = os.path.join(group_dir, EPOCH_NAME)
+    body = json.dumps(
+        {"version": 1, "epochs": [e.payload() for e in entries]},
+        sort_keys=True,
+    ).encode("utf-8")
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(_frame(body))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_dir(os.path.abspath(group_dir))

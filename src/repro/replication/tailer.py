@@ -1,0 +1,102 @@
+"""Incremental tailing of a CRC-framed WAL file.
+
+The shipping side of replication is deliberately dumb: the primary just
+appends to its WAL (as it always did) and a :class:`WalTailer` reads the
+file *incrementally* — it remembers the byte offset of the last complete
+record it returned and each :meth:`~WalTailer.poll` parses only what was
+appended since.  Three situations need care:
+
+* **torn tail** — the writer may be mid-``write`` when we read; an
+  incomplete or CRC-failing last line is *not* an error, the offset
+  simply stays put and the next poll retries;
+* **rotation** — :meth:`~repro.live.wal.WriteAheadLog.truncate_through`
+  atomically replaces the file (new inode, usually smaller).  The tailer
+  detects it via inode/size and restarts from offset 0; consumers filter
+  already-applied sequence numbers, and a restart that *skips* needed
+  sequences is the consumer's cue to re-bootstrap
+  (:class:`~repro.exceptions.ReplicationGap`);
+* **disappearance** — a garbage-collected old-epoch file reads as empty.
+
+The tailer never interprets sequence numbers; it returns records in file
+order and leaves gap/fence semantics to
+:class:`~repro.replication.replica.ReadReplica`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import List, Optional, Tuple
+
+from ..exceptions import WALError
+from ..live.wal import WalRecord
+
+__all__ = ["WalTailer"]
+
+
+class WalTailer:
+    """Offset-remembering reader over one append-only WAL file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._offset = 0
+        self._sig: Optional[Tuple[int, int]] = None
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the first not-yet-returned record."""
+        return self._offset
+
+    def poll(self) -> List[WalRecord]:
+        """Parse and return records appended since the last poll.
+
+        Returns an empty list when nothing new (or nothing valid yet) is
+        readable.  After a rotation the *whole* rewritten file is
+        returned again — callers deduplicate by sequence number.
+        """
+        try:
+            st = os.stat(self.path)
+        except FileNotFoundError:
+            self._offset = 0
+            self._sig = None
+            return []
+        sig = (st.st_ino, st.st_dev)
+        if self._sig != sig or st.st_size < self._offset:
+            # Replaced (rotation) or shrunk: restart from the top.
+            self._offset = 0
+        self._sig = sig
+        if st.st_size <= self._offset:
+            return []
+        records: List[WalRecord] = []
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            for raw in fh:
+                record = _decode(raw)
+                if record is None:
+                    # Torn or in-flight tail: leave the offset before it
+                    # and let a later poll see the completed record.
+                    break
+                records.append(record)
+                self._offset += len(raw)
+        return records
+
+
+def _decode(raw: bytes) -> Optional[WalRecord]:
+    """One framed line -> record, or None when incomplete/corrupt."""
+    if not raw.endswith(b"\n"):
+        return None
+    line = raw[:-1]
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        want = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:]
+    if zlib.crc32(body) & 0xFFFFFFFF != want:
+        return None
+    try:
+        return WalRecord.from_payload(json.loads(body))
+    except (ValueError, KeyError, WALError):
+        return None

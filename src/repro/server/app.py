@@ -561,6 +561,13 @@ class MCKServer:
             raise HTTPError(400, f"k must be in [1, {self.topk_limit}]")
         algorithm = request.param("algorithm", "SKECa+")
         policy = request.param("policy", "disjoint")
+        if not hasattr(self.service.engine.dataset, "columns"):
+            # A scatter-gather router's cross-shard view has no columnar
+            # compile surface; top-k would need a per-shard merge that
+            # the extension does not implement yet.
+            raise HTTPError(
+                501, "top-k is not available on a sharded (scatter) engine"
+            )
 
         def _solve():
             from ..extensions.topk import top_k_mck

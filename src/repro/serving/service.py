@@ -326,11 +326,23 @@ class QueryService:
         slo=None,
         cache_clock=time.monotonic,
     ):
-        if isinstance(source, (MCKEngine, LiveMCKEngine)):
-            self.engine = source
-        else:
+        if isinstance(source, Dataset):
             self.engine = MCKEngine(source)
-        self._live = isinstance(self.engine, LiveMCKEngine)
+        else:
+            # Engines pass through: the sealed MCKEngine, the mutable
+            # LiveMCKEngine, or anything live-engine-shaped — e.g. the
+            # scatter-gather ReplicatedShardRouter (duck-typed so the
+            # serving tier does not import the replication subsystem).
+            self.engine = source
+        self._live = hasattr(self.engine, "apply_batch") and hasattr(
+            self.engine, "add_mutation_listener"
+        )
+        if hasattr(self.engine, "live_groups"):
+            self._engine_kind = "scatter"
+        elif self._live:
+            self._engine_kind = "live"
+        else:
+            self._engine_kind = "sealed"
         #: Canonical algorithm names executed on the worker-process pool
         #: instead of in-process threads.  ``use_processes_for_exact`` is
         #: the historical spelling of ``process_algorithms=("EXACT",)``;
@@ -886,7 +898,7 @@ class QueryService:
                 "algorithm_seconds": stats.algorithm_seconds,
                 "total_seconds": stats.total_seconds,
             },
-            engine_kind="live" if self._live else "sealed",
+            engine_kind=self._engine_kind,
             status=status,
             quality=stats.quality,
             diameter=stats.diameter,

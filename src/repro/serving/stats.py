@@ -242,16 +242,20 @@ class MetricsRegistry:
         )
         self.live_epoch_gauge = self.gauge(
             "mck_live_epoch",
-            help="Currently published epoch of the live store.",
+            help="Currently published epoch of the live store, per shard.",
+            label_names=("shard",),
         )
         self.delta_size_gauge = self.gauge(
             "mck_delta_size",
-            help="Mutations (adds + tombstones) in the current delta overlay.",
+            help="Mutations (adds + tombstones) in the current delta "
+            "overlay, per shard.",
+            label_names=("shard",),
         )
         self.compactions_counter = self.counter(
             "mck_compactions_total",
-            help="Delta-into-base compactions, by outcome (ok, failed).",
-            label_names=("outcome",),
+            help="Delta-into-base compactions, by outcome (ok, failed) "
+            "and shard.",
+            label_names=("outcome", "shard"),
         )
         self.cache_invalidation_counter = self.counter(
             "mck_cache_invalidations_total",
@@ -259,8 +263,8 @@ class MetricsRegistry:
         )
         self.wal_records_counter = self.counter(
             "mck_wal_records_total",
-            help="Records appended to the write-ahead log, by op.",
-            label_names=("op",),
+            help="Records appended to the write-ahead log, by op and shard.",
+            label_names=("op", "shard"),
         )
         self.checkpoints_counter = self.counter(
             "mck_checkpoints_total",
@@ -282,6 +286,62 @@ class MetricsRegistry:
             "mck_segment_crc_failures_total",
             help="Checkpoint segments or manifests that failed verification "
             "at recovery and were skipped (recovery degraded gracefully).",
+        )
+        # -- scale-out / replication families (see repro.replication) -- #
+        self.replication_lag_records_gauge = self.gauge(
+            "mck_replication_lag_records",
+            help="WAL records the replica has not yet applied "
+            "(primary last acked seq minus replica applied seq).",
+            label_names=("shard", "replica"),
+        )
+        self.replication_lag_seconds_gauge = self.gauge(
+            "mck_replication_lag_seconds",
+            help="Seconds the replica has continuously been behind the "
+            "primary's acked watermark (0 when caught up).",
+            label_names=("shard", "replica"),
+        )
+        self.replica_applied_counter = self.counter(
+            "mck_replica_applied_total",
+            help="Shipped WAL records applied by each read replica.",
+            label_names=("shard", "replica"),
+        )
+        self.replica_rebootstraps_counter = self.counter(
+            "mck_replica_rebootstraps_total",
+            help="Replicas that fell behind a truncated log and rebuilt "
+            "themselves from the newest bootstrap checkpoint segment.",
+            label_names=("shard",),
+        )
+        self.failovers_counter = self.counter(
+            "mck_failovers_total",
+            help="Replica promotions after a shard primary died.",
+            label_names=("shard",),
+        )
+        self.fenced_writes_counter = self.counter(
+            "mck_fenced_writes_total",
+            help="Writes rejected because they arrived through a primary "
+            "handle from a superseded fencing epoch (zombie primary).",
+            label_names=("shard",),
+        )
+        self.fanout_counter = self.counter(
+            "mck_fanout_shards_total",
+            help="Per-shard outcomes of scatter-gather query fan-out "
+            "(answered, missed, infeasible, failed).",
+            label_names=("outcome",),
+        )
+        self.partial_merge_counter = self.counter(
+            "mck_partial_merges_total",
+            help="Scatter-gather answers tagged `partial` because at "
+            "least one shard missed the deadline or failed.",
+        )
+        self.shard_splits_counter = self.counter(
+            "mck_shard_splits_total",
+            help="Live shard splits, by outcome (ok, failed).",
+            label_names=("outcome",),
+        )
+        self.shard_objects_gauge = self.gauge(
+            "mck_shard_objects",
+            help="Live objects per shard (hot-shard detection input).",
+            label_names=("shard",),
         )
 
     @classmethod

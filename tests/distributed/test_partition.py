@@ -82,3 +82,66 @@ class TestHalo:
         parts = GridPartitioner(ds, 4).partitions(halo=1e6)
         for p in parts:
             assert len(p) == len(ds)
+
+
+class TestWorkerForBoundaries:
+    """Point routing must agree with bulk partitioning everywhere --
+    including points exactly on interior cell edges and extent corners
+    (the live sharding layer routes mutations through ``worker_for`` and
+    splits regions along these exact float boundaries)."""
+
+    def _boundary_dataset(self):
+        # Extent [0,100]^2 with a 2x2 grid: the interior edges sit at
+        # exactly 50.0 on each axis.
+        pts = [
+            (0.0, 0.0), (100.0, 100.0),          # extent corners (min/max)
+            (100.0, 0.0), (0.0, 100.0),          # the other corners
+            (50.0, 50.0),                        # grid centre (both edges)
+            (50.0, 0.0), (0.0, 50.0),            # interior edge endpoints
+            (50.0, 100.0), (100.0, 50.0),
+            (49.999999, 50.0), (50.000001, 50.0),  # straddling the edge
+            (25.0, 75.0), (75.0, 25.0),          # cell interiors
+        ]
+        ds = Dataset(name="boundaries")
+        for i, (x, y) in enumerate(pts):
+            ds.add(x, y, ["t"])
+        ds.finalize()
+        return ds
+
+    def test_point_routing_matches_bulk_partitioning(self):
+        ds = self._boundary_dataset()
+        grid = GridPartitioner(ds, 4)
+        owner_by_bulk = {}
+        for part in grid.partitions(0.0):
+            for oid in part.core_ids:
+                owner_by_bulk[oid] = part.worker_id
+        assert len(owner_by_bulk) == len(ds)  # every object exactly once
+        coords = ds.coords
+        for oid in range(len(ds)):
+            x, y = float(coords[oid, 0]), float(coords[oid, 1])
+            assert grid.worker_for(x, y) == owner_by_bulk[oid], (oid, x, y)
+
+    def test_interior_edges_belong_to_the_higher_cell(self):
+        ds = self._boundary_dataset()
+        grid = GridPartitioner(ds, 4)
+        # x == 50 is the first column of the east cells, y == 50 the first
+        # row of the north cells; the extent max edge clamps back inside.
+        assert grid.cell_of(50.0, 0.0) == (1, 0)
+        assert grid.cell_of(0.0, 50.0) == (0, 1)
+        assert grid.cell_of(50.0, 50.0) == (1, 1)
+        assert grid.cell_of(100.0, 100.0) == (1, 1)
+        assert grid.cell_of(0.0, 0.0) == (0, 0)
+        assert grid.cell_of(49.999999, 50.0) == (0, 1)
+
+    def test_extent_corner_objects_round_trip_every_worker_count(self):
+        ds = self._boundary_dataset()
+        for n_workers in (1, 4, 9, 16):
+            grid = GridPartitioner(ds, n_workers)
+            owner_by_bulk = {}
+            for part in grid.partitions(0.0):
+                for oid in part.core_ids:
+                    owner_by_bulk[oid] = part.worker_id
+            coords = ds.coords
+            for oid in range(len(ds)):
+                x, y = float(coords[oid, 0]), float(coords[oid, 1])
+                assert grid.worker_for(x, y) == owner_by_bulk[oid]

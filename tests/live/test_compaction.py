@@ -160,8 +160,8 @@ class TestFaultInjection:
             engine.compact()
         engine.compact()
         rendered = metrics.to_prometheus()
-        assert 'mck_compactions_total{outcome="failed"} 1' in rendered
-        assert 'mck_compactions_total{outcome="ok"} 1' in rendered
+        assert 'mck_compactions_total{outcome="failed",shard="0"} 1' in rendered
+        assert 'mck_compactions_total{outcome="ok",shard="0"} 1' in rendered
         engine.close()
 
 

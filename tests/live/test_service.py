@@ -106,13 +106,13 @@ class TestLiveMetrics:
         service.insert(1.0, 1.0, ["x"])
         service.insert(2.0, 2.0, ["y"])
         rendered = service.metrics.to_prometheus()
-        assert "mck_live_epoch 2" in rendered
-        assert "mck_delta_size 2" in rendered
+        assert 'mck_live_epoch{shard="0"} 2' in rendered
+        assert 'mck_delta_size{shard="0"} 2' in rendered
 
     def test_wal_counter_absent_without_wal(self, service):
         service.insert(1.0, 1.0, ["x"])
         rendered = service.metrics.to_prometheus()
-        assert 'mck_wal_records_total{op="insert"}' not in rendered
+        assert 'mck_wal_records_total{op="insert",shard="0"}' not in rendered
 
     def test_wal_counter_with_wal(self, tmp_path):
         engine = LiveMCKEngine.from_records(
@@ -122,6 +122,6 @@ class TestLiveMetrics:
             svc.insert(1.0, 1.0, ["x"])
             svc.delete(0)
             rendered = svc.metrics.to_prometheus()
-            assert 'mck_wal_records_total{op="insert"} 1' in rendered
-            assert 'mck_wal_records_total{op="delete"} 1' in rendered
+            assert 'mck_wal_records_total{op="insert",shard="0"} 1' in rendered
+            assert 'mck_wal_records_total{op="delete",shard="0"} 1' in rendered
         engine.close()

@@ -144,3 +144,48 @@ class TestWalPerShard:
 def test_empty_bootstrap_rejected():
     with pytest.raises(DatasetError):
         ShardedLiveStore([], n_shards=4)
+
+
+class TestDeterministicTieBreak:
+    """Two shards holding equal-diameter feasible groups must not leave
+    the winner to shard iteration order: the merge is (diameter, then
+    lexicographic oids), so the same store answers identically no matter
+    which shard produced its candidate first."""
+
+    def _tied_store(self):
+        # Identical-geometry pairs in the NW (shard 0) and SE (shard 1)
+        # cells of the 2x2 grid: both cover {"tea", "soup"} at diameter
+        # exactly 2.0.
+        records = RECORDS + [
+            (10.0, 10.0, ["tea"]),
+            (12.0, 10.0, ["soup"]),
+            (90.0, 10.0, ["tea"]),
+            (88.0, 10.0, ["soup"]),
+        ]
+        return ShardedLiveStore(records, n_shards=4, oid_stride=STRIDE)
+
+    def test_lowest_oid_group_wins_the_tie(self):
+        with self._tied_store() as store:
+            group = store.query(["tea", "soup"], algorithm="EXACT")
+            assert group.diameter == pytest.approx(2.0)
+            # Shard 0's oid range starts below shard 1's: the tie must
+            # resolve to the lexicographically smaller oid tuple.
+            assert all(oid < STRIDE for oid in group.object_ids)
+
+    def test_answer_stable_across_repeated_queries(self):
+        with self._tied_store() as store:
+            first = store.query(["tea", "soup"], algorithm="EXACT")
+            for _ in range(5):
+                again = store.query(["tea", "soup"], algorithm="EXACT")
+                assert again.object_ids == first.object_ids
+                assert again.diameter == first.diameter
+
+    def test_mutation_cannot_flip_an_equal_tie(self):
+        # Inserting yet another equal-diameter pair in a *higher* shard
+        # must not steal the answer from the lower-oid incumbent.
+        with self._tied_store() as store:
+            first = store.query(["tea", "soup"], algorithm="EXACT")
+            store.insert(10.0, 90.0, ["tea"])
+            store.insert(12.0, 90.0, ["soup"])
+            again = store.query(["tea", "soup"], algorithm="EXACT")
+            assert again.object_ids == first.object_ids

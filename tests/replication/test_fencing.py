@@ -1,0 +1,81 @@
+"""The EPOCH fencing file: atomic round trips, corruption, monotonicity."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import ReplicationError
+from repro.replication.fencing import (
+    EPOCH_NAME,
+    EpochEntry,
+    read_epoch_entries,
+    wal_name,
+    write_epoch_entries,
+)
+
+
+class TestRoundTrip:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert read_epoch_entries(str(tmp_path)) == []
+
+    def test_write_read_round_trip(self, tmp_path):
+        entries = [
+            EpochEntry(1, wal_name(1), 0),
+            EpochEntry(2, wal_name(2), 731),
+        ]
+        write_epoch_entries(str(tmp_path), entries)
+        assert read_epoch_entries(str(tmp_path)) == entries
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        write_epoch_entries(str(tmp_path), [EpochEntry(1, wal_name(1), 0)])
+        write_epoch_entries(
+            str(tmp_path),
+            [EpochEntry(1, wal_name(1), 0), EpochEntry(2, wal_name(2), 5)],
+        )
+        got = read_epoch_entries(str(tmp_path))
+        assert [e.epoch for e in got] == [1, 2]
+        assert not os.path.exists(str(tmp_path / (EPOCH_NAME + ".tmp")))
+
+    def test_wal_name_is_zero_padded(self):
+        assert wal_name(1) == "wal-e0001.log"
+        assert wal_name(42) == "wal-e0042.log"
+
+
+class TestCorruption:
+    def _write_raw(self, tmp_path, payload: bytes) -> str:
+        path = str(tmp_path / EPOCH_NAME)
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        return str(tmp_path)
+
+    def test_torn_file_raises(self, tmp_path):
+        write_epoch_entries(str(tmp_path), [EpochEntry(1, wal_name(1), 0)])
+        with open(str(tmp_path / EPOCH_NAME), "rb") as fh:
+            raw = fh.read()
+        self._write_raw(tmp_path, raw[: len(raw) // 2])
+        with pytest.raises(ReplicationError):
+            read_epoch_entries(str(tmp_path))
+
+    def test_crc_mismatch_raises(self, tmp_path):
+        write_epoch_entries(str(tmp_path), [EpochEntry(1, wal_name(1), 0)])
+        with open(str(tmp_path / EPOCH_NAME), "rb") as fh:
+            raw = bytearray(fh.read())
+        raw[-5] ^= 0xFF  # flip a byte inside the JSON body
+        self._write_raw(tmp_path, bytes(raw))
+        with pytest.raises(ReplicationError):
+            read_epoch_entries(str(tmp_path))
+
+    def test_garbage_raises(self, tmp_path):
+        self._write_raw(tmp_path, b"not an epoch file\n")
+        with pytest.raises(ReplicationError):
+            read_epoch_entries(str(tmp_path))
+
+    def test_non_monotonic_history_raises(self, tmp_path):
+        write_epoch_entries(
+            str(tmp_path),
+            [EpochEntry(2, wal_name(2), 10), EpochEntry(1, wal_name(1), 0)],
+        )
+        with pytest.raises(ReplicationError):
+            read_epoch_entries(str(tmp_path))
